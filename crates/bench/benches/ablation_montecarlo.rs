@@ -1,0 +1,48 @@
+//! Ablation: analytic expected cost vs. Monte-Carlo threshold simulation.
+//!
+//! The randomized policies have closed-form expected costs (eq. (7)/(9)
+//! integrated against eq. (3)); a simulation-only implementation would
+//! instead draw thresholds per stop. This bench measures the cost of the
+//! Monte-Carlo route at several sample counts and verifies its
+//! convergence to the closed form — quantifying what the analytic path
+//! buys the fleet evaluation (which evaluates ~10⁵ stops × 6 strategies).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use skirental::policy::NRand;
+use skirental::{BreakEven, Policy};
+
+fn mc_expected_cost(policy: &NRand, y: f64, draws: usize, rng: &mut StdRng) -> f64 {
+    let b = policy.break_even();
+    (0..draws).map(|_| b.online_cost(policy.sample_threshold(rng), y)).sum::<f64>()
+        / draws as f64
+}
+
+fn bench_mc_vs_analytic(c: &mut Criterion) {
+    let policy = NRand::new(BreakEven::SSV);
+    let y = 40.0;
+    let mut g = c.benchmark_group("expected_cost_nrand");
+    g.bench_function("analytic", |bencher| {
+        bencher.iter(|| black_box(policy.expected_cost(black_box(y))));
+    });
+    for draws in [100usize, 1000, 10_000] {
+        g.bench_with_input(BenchmarkId::new("monte_carlo", draws), &draws, |bencher, &draws| {
+            let mut rng = StdRng::seed_from_u64(1);
+            bencher.iter(|| black_box(mc_expected_cost(&policy, y, draws, &mut rng)));
+        });
+    }
+    g.finish();
+
+    // Convergence check: 100k draws land within 1 % of the closed form.
+    let mut rng = StdRng::seed_from_u64(2);
+    let mc = mc_expected_cost(&policy, y, 100_000, &mut rng);
+    let analytic = policy.expected_cost(y);
+    assert!(
+        (mc - analytic).abs() / analytic < 0.01,
+        "Monte Carlo {mc} vs analytic {analytic}"
+    );
+}
+
+criterion_group!(benches, bench_mc_vs_analytic);
+criterion_main!(benches);

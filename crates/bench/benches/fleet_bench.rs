@@ -1,0 +1,61 @@
+//! Criterion benchmarks of the experiment pipeline itself: trace
+//! synthesis throughput, fleet evaluation (the Figure-4 inner loop), and
+//! the end-to-end engine-controller simulation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use drivesim::{Area, FleetConfig, VehicleTrace};
+use powertrain::{StopStartController, VehicleSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use skirental::fleet_eval::{evaluate_fleet, evaluate_fleet_parallel};
+use skirental::policy::NRand;
+use skirental::{BreakEven, Strategy};
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synthesis");
+    g.bench_function("chicago_20_vehicles_1_week", |bencher| {
+        bencher.iter(|| {
+            black_box(FleetConfig::new(Area::Chicago).vehicles(20).synthesize(black_box(7)))
+        });
+    });
+    g.finish();
+}
+
+fn bench_fleet_eval(c: &mut Criterion) {
+    let traces = FleetConfig::new(Area::Chicago).vehicles(30).synthesize(1);
+    let stops: Vec<Vec<f64>> = traces.iter().map(VehicleTrace::stop_lengths).collect();
+    let mut g = c.benchmark_group("fleet_eval");
+    g.bench_function("30_vehicles_6_strategies", |bencher| {
+        bencher.iter(|| {
+            black_box(evaluate_fleet(black_box(&stops), BreakEven::SSV, &Strategy::ALL).unwrap())
+        });
+    });
+    g.bench_function("30_vehicles_parallel_4_threads", |bencher| {
+        bencher.iter(|| {
+            black_box(
+                evaluate_fleet_parallel(black_box(&stops), BreakEven::SSV, &Strategy::ALL, 4)
+                    .unwrap(),
+            )
+        });
+    });
+    g.finish();
+}
+
+fn bench_controller(c: &mut Criterion) {
+    let spec = VehicleSpec::stop_start_vehicle();
+    let policy = NRand::new(spec.break_even());
+    let trace = FleetConfig::new(Area::Atlanta).vehicles(1).days(30).synthesize(2);
+    let stops = trace[0].stop_lengths();
+    let mut g = c.benchmark_group("controller");
+    g.bench_function("state_machine_month_of_stops", |bencher| {
+        bencher.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let ctl = StopStartController::new(&policy, spec);
+            black_box(ctl.drive(black_box(&stops), &mut rng).unwrap())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_synthesis, bench_fleet_eval, bench_controller);
+criterion_main!(benches);

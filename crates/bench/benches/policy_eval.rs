@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks of the core library: policy construction,
+//! per-stop expected-cost evaluation, threshold sampling, and the
+//! constrained solver.
+//!
+//! These quantify that the proposed algorithm is cheap enough for an
+//! embedded stop-start controller: selecting the optimal vertex is a
+//! handful of floating-point operations, and even the randomized policies
+//! sample in nanoseconds (N-Rand has a closed-form inverse CDF; MOM-Rand
+//! pays for a bisection).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use skirental::policy::{Det, MomRand, NRand, Toi};
+use skirental::{BreakEven, ConstrainedStats, Policy};
+
+fn bench_policy_construction(c: &mut Criterion) {
+    let b = BreakEven::SSV;
+    let mut g = c.benchmark_group("construct");
+    g.bench_function("proposed_from_moments", |bencher| {
+        bencher.iter(|| {
+            let stats = ConstrainedStats::new(b, black_box(5.0), black_box(0.3)).unwrap();
+            black_box(stats.optimal_policy())
+        });
+    });
+    let stops: Vec<f64> = (0..200).map(|i| (i % 97) as f64 + 0.5).collect();
+    g.bench_function("proposed_from_200_samples", |bencher| {
+        bencher.iter(|| {
+            let stats = ConstrainedStats::from_samples(black_box(&stops), b).unwrap();
+            black_box(stats.optimal_policy())
+        });
+    });
+    g.bench_function("momrand_from_mean", |bencher| {
+        bencher.iter(|| black_box(MomRand::new(b, black_box(12.0)).unwrap()));
+    });
+    g.finish();
+}
+
+fn bench_expected_cost(c: &mut Criterion) {
+    let b = BreakEven::SSV;
+    let det = Det::new(b);
+    let nrand = NRand::new(b);
+    let momrand = MomRand::new(b, 10.0).unwrap();
+    let toi = Toi::new(b);
+    let mut g = c.benchmark_group("expected_cost");
+    g.bench_function("det", |bencher| {
+        bencher.iter(|| black_box(det.expected_cost(black_box(17.0))));
+    });
+    g.bench_function("toi", |bencher| {
+        bencher.iter(|| black_box(toi.expected_cost(black_box(17.0))));
+    });
+    g.bench_function("nrand", |bencher| {
+        bencher.iter(|| black_box(nrand.expected_cost(black_box(17.0))));
+    });
+    g.bench_function("momrand", |bencher| {
+        bencher.iter(|| black_box(momrand.expected_cost(black_box(17.0))));
+    });
+    g.finish();
+}
+
+fn bench_threshold_sampling(c: &mut Criterion) {
+    let b = BreakEven::SSV;
+    let nrand = NRand::new(b);
+    let momrand = MomRand::new(b, 10.0).unwrap();
+    let mut g = c.benchmark_group("sample_threshold");
+    g.bench_function("nrand_closed_form", |bencher| {
+        let mut rng = StdRng::seed_from_u64(1);
+        bencher.iter(|| black_box(nrand.sample_threshold(&mut rng)));
+    });
+    g.bench_function("momrand_bisection", |bencher| {
+        let mut rng = StdRng::seed_from_u64(2);
+        bencher.iter(|| black_box(momrand.sample_threshold(&mut rng)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_policy_construction,
+    bench_expected_cost,
+    bench_threshold_sampling
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Ablation — the hindsight-optimal fixed threshold (Bayes-OPT) vs. the
+//! paper's six strategies.
+//!
+//! Bayes-OPT picks, per vehicle, the best *fixed* threshold in hindsight —
+//! a lower bound for every deterministic strategy (DET, b-DET, TOI, NEV
+//! are all fixed thresholds) but not for randomized ones. Comparing it to
+//! the proposed algorithm quantifies (a) how much the proposed strategy
+//! leaves on the table against a clairvoyant fixed threshold and (b) where
+//! randomization genuinely helps.
+//!
+//! Output: per-area tables on stdout and
+//! `target/figures/ablation_bayes.csv`.
+
+use drivesim::{Area, FleetConfig, VehicleTrace};
+use idling_bench::write_csv;
+use skirental::fleet_eval::evaluate_fleet;
+use skirental::{BreakEven, Strategy};
+
+const SEED: u64 = 2014;
+const VEHICLES_PER_AREA: usize = 120;
+
+fn main() {
+    let b = BreakEven::SSV;
+    println!("Ablation: hindsight fixed threshold (Bayes-OPT) vs the paper's strategies");
+    println!("({VEHICLES_PER_AREA} vehicles per area, B = {} s)\n", b.seconds());
+    let mut rows = Vec::new();
+
+    for area in Area::ALL {
+        let traces = FleetConfig::new(area).vehicles(VEHICLES_PER_AREA).synthesize(SEED);
+        let stops: Vec<Vec<f64>> = traces.iter().map(VehicleTrace::stop_lengths).collect();
+        let report =
+            evaluate_fleet(&stops, b, &Strategy::WITH_HINDSIGHT).expect("non-empty fleet");
+        println!("{area}:");
+        print!("{report}");
+        println!();
+        for s in &report.summaries {
+            rows.push(format!(
+                "{},{},{:.6},{:.6},{}",
+                area.name(),
+                s.strategy.name(),
+                s.mean_cr,
+                s.worst_cr,
+                s.wins
+            ));
+        }
+
+        let bayes = report.summary_of(Strategy::BayesOpt).expect("evaluated");
+        let proposed = report.summary_of(Strategy::Proposed).expect("evaluated");
+        // Hindsight dominates every deterministic strategy per vehicle…
+        for strat in [Strategy::Nev, Strategy::Toi, Strategy::Det] {
+            let s = report.summary_of(strat).expect("evaluated");
+            assert!(
+                bayes.mean_cr <= s.mean_cr + 1e-9,
+                "{area}: Bayes-OPT mean {} beaten by {} ({})",
+                bayes.mean_cr,
+                strat.name(),
+                s.mean_cr
+            );
+        }
+        // …and therefore lower-bounds the proposed algorithm's mean CR.
+        assert!(bayes.mean_cr <= proposed.mean_cr + 1e-9);
+        println!(
+            "  gap: proposed mean CR {:.4} vs hindsight {:.4} \
+             (+{:.1} % left on the table)\n",
+            proposed.mean_cr,
+            bayes.mean_cr,
+            100.0 * (proposed.mean_cr / bayes.mean_cr - 1.0)
+        );
+    }
+
+    let path = write_csv("ablation_bayes.csv", "area,strategy,mean_cr,worst_cr,wins", &rows);
+    println!("written to {}", path.display());
+}

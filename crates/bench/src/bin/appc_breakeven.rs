@@ -1,0 +1,82 @@
+//! Appendix C — the break-even interval calculation: idling cost rate,
+//! restart cost components, and the resulting `B` for stop-start and
+//! conventional vehicles (the paper's 28 s / 47 s).
+//!
+//! Output: the component table on stdout and
+//! `target/figures/appc_breakeven.csv`.
+
+use idling_bench::write_csv;
+use powertrain::breakeven::{VehicleKind, VehicleSpec};
+use powertrain::emissions::{restart_equivalent_idle_seconds, Emissions};
+use powertrain::fuel::{idle_rate_from_displacement, IdleFuelModel};
+use powertrain::restart::{BatteryModel, StarterModel};
+
+fn main() {
+    println!("Appendix C: break-even interval derivation\n");
+
+    // C.1 — idling cost.
+    let fusion = IdleFuelModel::ford_fusion();
+    let regression = IdleFuelModel::from_displacement(2.5);
+    println!("Idle burn, 2011 Ford Fusion 2.5 L:");
+    println!("  measured          : {:.3} cc/s", fusion.cc_per_s());
+    println!(
+        "  eq. (45) regression: {:.3} cc/s ({:.4} L/h)",
+        regression.cc_per_s(),
+        idle_rate_from_displacement(2.5)
+    );
+    let rate = fusion.cost_per_s(3.5);
+    println!("  idling cost at $3.50/gal: {:.4} cents/s (paper: 0.0258)\n", rate * 100.0);
+
+    // C.2 — restart components.
+    println!("Restart components (idle-equivalent seconds at the paper's rate):");
+    println!("  fuel: 10.0 s (consensus figure)");
+    let starter_min = StarterModel::conventional_paper_min().idle_equivalent_s(rate);
+    let starter_max = StarterModel::conventional_expensive().idle_equivalent_s(rate);
+    println!("  starter, conventional: {starter_min:.2} .. {starter_max:.2} s (paper: 19.38 .. 155.04)");
+    println!("  starter, SSV: 0.00 s (1.2M-start rated)");
+    let bat_min = BatteryModel::paper_min().idle_equivalent_s(rate);
+    let bat_max = BatteryModel::paper_max().idle_equivalent_s(rate);
+    println!("  battery: {bat_min:.2} .. {bat_max:.2} s (paper: at least 18.76)");
+    let emis = Emissions::one_restart().nox_tax_idle_equivalent_s(rate);
+    println!("  emissions (NOx tax): {emis:.3} s (paper: 0.14)\n");
+
+    // Assembled break-even intervals.
+    let mut rows = Vec::new();
+    for (spec, paper_b) in [
+        (VehicleSpec::stop_start_vehicle(), 28.0),
+        (VehicleSpec::conventional_vehicle(), 47.0),
+    ] {
+        let bd = spec.break_even_breakdown();
+        let kind = match spec.kind() {
+            VehicleKind::StopStart => "stop-start vehicle",
+            VehicleKind::Conventional => "conventional vehicle",
+        };
+        println!("{kind}: {bd}");
+        println!("  → computed B = {:.1} s, paper uses {paper_b} s\n", bd.total_seconds());
+        rows.push(format!(
+            "{kind},{:.4},{:.4},{:.4},{:.4},{:.4},{paper_b}",
+            bd.fuel_s,
+            bd.starter_s,
+            bd.battery_s,
+            bd.emissions_s,
+            bd.total_seconds()
+        ));
+        assert!(
+            (bd.total_seconds() - paper_b).abs() < 2.5,
+            "computed B {} too far from the paper's {paper_b}",
+            bd.total_seconds()
+        );
+    }
+
+    // The "which is greener" emission crossovers (C.2.3 context).
+    let eq = restart_equivalent_idle_seconds();
+    println!("Idling seconds matching ONE restart's emissions, per species:");
+    println!("  THC {:.0} s, NOx {:.0} s, CO {:.0} s", eq.thc_mg, eq.nox_mg, eq.co_mg);
+
+    let path = write_csv(
+        "appc_breakeven.csv",
+        "vehicle,fuel_s,starter_s,battery_s,emissions_s,total_s,paper_b",
+        &rows,
+    );
+    println!("\nwritten to {}", path.display());
+}

@@ -1,0 +1,73 @@
+//! Extension — multislope (multi-state) idling reduction.
+//!
+//! The paper cites the multislope generalization ("rent, lease, or buy")
+//! as related work; this harness explores what an intermediate *eco-idle*
+//! engine state (accessory load shed before a full shutdown) buys on the
+//! synthetic Chicago workload: per-stop costs of the classic two-state
+//! system vs. the three-state system under the 2-competitive
+//! lower-envelope strategy, plus the worst-case guarantee of each.
+//!
+//! Output: table on stdout and `target/figures/ext_multislope.csv`.
+
+use drivesim::{Area, FleetConfig};
+use idling_bench::write_csv;
+use skirental::multislope::MultiSlope;
+use skirental::BreakEven;
+
+const SEED: u64 = 2014;
+
+fn main() {
+    let b = BreakEven::SSV;
+    let classic = MultiSlope::classic(b);
+    let eco = MultiSlope::eco_idle(b);
+
+    println!("Extension: eco-idle intermediate state (multislope ski rental), B = 28 s\n");
+    println!(
+        "classic breakpoints: {:?}\neco-idle breakpoints: {:?}\n",
+        classic.breakpoints(),
+        eco.breakpoints()
+    );
+    println!(
+        "worst-case CR: classic {:.4}, eco-idle {:.4} (both ≤ 2, lower-envelope strategy)\n",
+        classic.worst_case_cr(4000),
+        eco.worst_case_cr(4000)
+    );
+
+    // Per-stop cost comparison on representative stop lengths.
+    println!("{:>9} {:>12} {:>12} {:>12} {:>10}", "stop (s)", "offline", "classic", "eco-idle", "saving %");
+    let mut rows = Vec::new();
+    for y in [2.0, 5.0, 10.0, 20.0, 28.0, 45.0, 90.0, 300.0] {
+        let off = eco.offline_cost(y);
+        let c = classic.online_cost(y);
+        let e = eco.online_cost(y);
+        let saving = 100.0 * (1.0 - e / c);
+        println!("{y:>9.1} {off:>12.3} {c:>12.3} {e:>12.3} {saving:>10.1}");
+        rows.push(format!("{y},{off:.6},{c:.6},{e:.6},{saving:.3}"));
+    }
+
+    // Fleet-level: total online cost over a synthetic Chicago fleet.
+    let traces = FleetConfig::new(Area::Chicago).vehicles(100).synthesize(SEED);
+    let (mut total_classic, mut total_eco, mut total_off) = (0.0, 0.0, 0.0);
+    for t in &traces {
+        for y in t.stop_lengths() {
+            total_classic += classic.online_cost(y);
+            total_eco += eco.online_cost(y);
+            total_off += eco.offline_cost(y);
+        }
+    }
+    println!(
+        "\nChicago fleet (100 vehicles, 1 week): classic CR {:.4}, eco-idle CR {:.4} \
+         → eco-idle saves {:.1} % of online cost",
+        total_classic / total_off,
+        total_eco / total_off,
+        100.0 * (1.0 - total_eco / total_classic)
+    );
+    assert!(total_eco < total_classic, "eco-idle must help on this workload");
+
+    let path = write_csv(
+        "ext_multislope.csv",
+        "stop_s,offline,classic_online,eco_online,saving_pct",
+        &rows,
+    );
+    println!("written to {}", path.display());
+}

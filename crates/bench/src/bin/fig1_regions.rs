@@ -1,0 +1,70 @@
+//! Figure 1 — the proposed algorithm's strategy-selection regions (a) and
+//! worst-case CR surface (b) over the `(μ_B⁻, q_B⁺)` plane.
+//!
+//! Output: an ASCII region map on stdout (D = DET, T = TOI, b = b-DET,
+//! N = N-Rand) and `target/figures/fig1_surface.csv` with columns
+//! `mu_over_b,q,choice,worst_case_cr` for plotting both panels.
+
+use idling_bench::write_csv;
+use skirental::{BreakEven, ConstrainedStats, StrategyChoice};
+
+fn main() {
+    let b = BreakEven::new(1.0).expect("unit break-even"); // normalized plane
+    let n = 60usize;
+
+    println!("Figure 1(a): strategy selection over (mu_B-/B, q_B+)");
+    println!("  rows: q_B+ from 1.0 (top) to 0.0; cols: mu_B-/B from 0 to 1");
+    println!("  D = DET, T = TOI, b = b-DET, N = N-Rand, . = infeasible\n");
+
+    let mut rows = Vec::new();
+    for qi in (0..=n).rev() {
+        let q = qi as f64 / n as f64;
+        let mut line = String::with_capacity(n + 1);
+        for mi in 0..=n {
+            let mu = mi as f64 / n as f64;
+            if mu > (1.0 - q) + 1e-12 {
+                line.push('.');
+                continue;
+            }
+            let stats = ConstrainedStats::new(b, mu.min(1.0 - q), q)
+                .expect("feasible grid point");
+            let choice = stats.optimal_choice();
+            line.push(match choice {
+                StrategyChoice::Det => 'D',
+                StrategyChoice::Toi => 'T',
+                StrategyChoice::BDet { .. } => 'b',
+                StrategyChoice::NRand => 'N',
+            });
+            rows.push(format!(
+                "{mu:.4},{q:.4},{},{:.6}",
+                choice.name(),
+                stats.worst_case_cr()
+            ));
+        }
+        println!("  q={q:4.2} |{line}|");
+    }
+
+    let path = write_csv("fig1_surface.csv", "mu_over_b,q,choice,worst_case_cr", &rows);
+    println!("\nFigure 1(b) surface written to {}", path.display());
+
+    // Headline properties the paper's Figure 1 shows.
+    let corner_light = ConstrainedStats::new(b, 0.3, 0.01).unwrap();
+    let corner_heavy = ConstrainedStats::new(b, 0.01, 0.95).unwrap();
+    let middle = ConstrainedStats::new(b, 0.10, 0.35).unwrap();
+    println!("\nchecks:");
+    println!(
+        "  light traffic (mu=0.30B, q=0.01): {} cr={:.4}",
+        corner_light.optimal_choice().name(),
+        corner_light.worst_case_cr()
+    );
+    println!(
+        "  heavy traffic (mu=0.01B, q=0.95): {} cr={:.4}",
+        corner_heavy.optimal_choice().name(),
+        corner_heavy.worst_case_cr()
+    );
+    println!(
+        "  mid traffic   (mu=0.10B, q=0.35): {} cr={:.4}",
+        middle.optimal_choice().name(),
+        middle.worst_case_cr()
+    );
+}

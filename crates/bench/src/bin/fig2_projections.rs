@@ -1,0 +1,68 @@
+//! Figure 2 — projected views of the worst-case CR: each strategy's curve
+//! against `q_B⁺` for fixed `μ_B⁻`, showing that the proposed algorithm is
+//! the lower envelope and that b-DET improves the small-μ corner
+//! (panels (c)–(d): μ_B⁻ = 0.02·B and 0.05·B).
+//!
+//! Output: one table per panel on stdout and
+//! `target/figures/fig2_panel_<mu>.csv` with per-strategy CR columns.
+
+use idling_bench::write_csv;
+use skirental::{BreakEven, ConstrainedStats, StrategyChoice};
+
+fn main() {
+    let b = BreakEven::new(1.0).expect("unit break-even");
+    // Panels (a)-(b): moderate μ; panels (c)-(d): the b-DET regime.
+    for &mu_frac in &[0.25, 0.5, 0.02, 0.05] {
+        run_panel(b, mu_frac);
+    }
+}
+
+fn run_panel(b: BreakEven, mu_frac: f64) {
+    println!("\nFigure 2 panel: mu_B- = {mu_frac}B");
+    println!(
+        "{:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "q_B+", "DET", "TOI", "N-Rand", "b-DET", "Proposed", "choice"
+    );
+    let mut rows = Vec::new();
+    let steps = 40usize;
+    for qi in 0..=steps {
+        let q = qi as f64 / steps as f64;
+        if mu_frac > 1.0 - q {
+            continue; // infeasible (mu > (1-q)B)
+        }
+        let stats = ConstrainedStats::new(b, mu_frac, q).expect("feasible point");
+        let det = stats.worst_case_cr_of(StrategyChoice::Det);
+        let toi = stats.worst_case_cr_of(StrategyChoice::Toi);
+        let nrand = stats.worst_case_cr_of(StrategyChoice::NRand);
+        let bdet = stats
+            .b_det_vertex()
+            .map(|v| v.cost / stats.expected_offline_cost());
+        let proposed = stats.worst_case_cr();
+        let choice = stats.optimal_choice();
+
+        let bdet_s = bdet.map_or("      --".to_string(), |v| format!("{v:9.4}"));
+        println!(
+            "{q:6.3} {det:9.4} {toi:9.4} {nrand:9.4} {bdet_s:>9} {proposed:9.4} {:>9}",
+            choice.name()
+        );
+        rows.push(format!(
+            "{q:.4},{det:.6},{toi:.6},{nrand:.6},{},{proposed:.6},{}",
+            bdet.map_or(String::from("nan"), |v| format!("{v:.6}")),
+            choice.name()
+        ));
+
+        // Invariant the figure demonstrates: the proposed CR is the lower
+        // envelope of the candidates.
+        let mut envelope = det.min(toi).min(nrand);
+        if let Some(v) = bdet {
+            envelope = envelope.min(v);
+        }
+        assert!(
+            (proposed - envelope).abs() < 1e-9,
+            "proposed is not the envelope at mu={mu_frac}, q={q}"
+        );
+    }
+    let name = format!("fig2_panel_mu{:03}.csv", (mu_frac * 100.0).round() as u32);
+    let path = write_csv(&name, "q,det,toi,nrand,bdet,proposed,choice", &rows);
+    println!("written to {}", path.display());
+}

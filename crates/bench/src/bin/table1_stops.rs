@@ -1,0 +1,53 @@
+//! Table 1 — stops per day in the three locations: vehicle count, mean,
+//! standard deviation, and `P{X ≤ μ + 2σ}`.
+//!
+//! Uses the Table-1 vehicle counts (Atlanta 827, Chicago 408, California
+//! 291), which differ from the Section-5 CR-study fleet sizes, exactly as
+//! in the paper. Output: the table on stdout and
+//! `target/figures/table1_stops.csv`.
+
+use drivesim::{Area, FleetConfig, Table1Row};
+use idling_bench::write_csv;
+
+const SEED: u64 = 2014;
+
+fn main() {
+    println!("Table 1: Stops Per Day in 3 Locations (synthetic fleet, paper targets in brackets)\n");
+    println!(
+        "{:<11} {:>8} {:>8} {:>8} {:>10}   paper: mean/std/P",
+        "Location", "Vehicles", "Mean", "Std", "P<=mu+2s"
+    );
+    let paper: [(Area, f64, f64, f64); 3] = [
+        (Area::Atlanta, 10.37, 8.42, 0.9091),
+        (Area::Chicago, 12.49, 9.97, 0.9534),
+        (Area::California, 9.37, 7.68, 0.9553),
+    ];
+    let mut rows = Vec::new();
+    for (area, p_mean, p_std, p_p) in paper {
+        let params = area.params();
+        let fleet = FleetConfig::new(area).vehicles(params.table1_vehicles).synthesize(SEED);
+        let row = Table1Row::from_traces(area, &fleet);
+        println!("{row}   [{p_mean}/{p_std}/{p_p}]");
+        rows.push(format!(
+            "{},{},{:.4},{:.4},{:.4},{p_mean},{p_std},{p_p}",
+            area.name(),
+            row.vehicles,
+            row.mean,
+            row.std_dev,
+            row.p_within_2_sigma
+        ));
+        // Shape checks: within 15 % of the paper's mean/std; P in the
+        // same 0.90–0.96 band.
+        assert!((row.mean - p_mean).abs() < 0.15 * p_mean, "{area}: mean {}", row.mean);
+        assert!((row.std_dev - p_std).abs() < 0.20 * p_std, "{area}: std {}", row.std_dev);
+        assert!((0.88..=1.0).contains(&row.p_within_2_sigma));
+    }
+    let upper: f64 = paper.iter().map(|&(_, m, s, _)| m + 2.0 * s).fold(0.0, f64::max);
+    println!("\nmu + 2*sigma upper bound used for battery amortization: {upper:.2} (paper: 32.43)");
+    let path = write_csv(
+        "table1_stops.csv",
+        "area,vehicles,mean,std,p_within_2_sigma,paper_mean,paper_std,paper_p",
+        &rows,
+    );
+    println!("written to {}", path.display());
+}

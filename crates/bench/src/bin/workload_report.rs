@@ -1,0 +1,121 @@
+//! Workload report — what the synthetic fleets actually look like, with
+//! uncertainty: per-area stop-cause composition, per-cause duration
+//! statistics, bootstrap confidence intervals on the proposed policy's
+//! per-vehicle CR, and an hour-of-day arrival histogram under the
+//! commuter diurnal profile.
+//!
+//! Output: tables on stdout and `target/figures/workload_report.csv`.
+
+use drivesim::diurnal::DiurnalProfile;
+use drivesim::{Area, FleetConfig, StopCause, VehicleProfile};
+use idling_bench::write_csv;
+use numeric::stats::RunningStats;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use skirental::analysis::bootstrap_cr_ci;
+use skirental::{BreakEven, ConstrainedStats};
+
+const SEED: u64 = 2014;
+
+fn main() {
+    let b = BreakEven::SSV;
+    let mut rows = Vec::new();
+
+    println!("Workload report (synthetic fleets, seed {SEED})\n");
+    println!(
+        "{:<11} {:>7} | {:>6} {:>7} {:>8} | {:>6} {:>7} {:>9}  per-cause share / mean s / p99 s",
+        "area", "stops", "light%", "sign%", "cong%", "mean", "median", "p99"
+    );
+    for area in Area::ALL {
+        let fleet = FleetConfig::new(area).vehicles(120).synthesize(SEED);
+        let mut durations = Vec::new();
+        let mut by_cause = [0usize; 3];
+        let mut cause_stats = [RunningStats::new(), RunningStats::new(), RunningStats::new()];
+        for t in &fleet {
+            for e in t {
+                durations.push(e.duration_s);
+                let ci = match e.cause {
+                    StopCause::TrafficLight => 0,
+                    StopCause::StopSign => 1,
+                    StopCause::Congestion => 2,
+                };
+                by_cause[ci] += 1;
+                cause_stats[ci].add(e.duration_s);
+            }
+        }
+        let n = durations.len();
+        durations.sort_by(|a, c| a.partial_cmp(c).expect("finite"));
+        let share = |i: usize| 100.0 * by_cause[i] as f64 / n as f64;
+        let mean = durations.iter().sum::<f64>() / n as f64;
+        let median = numeric::stats::quantile_sorted(&durations, 0.5);
+        let p99 = numeric::stats::quantile_sorted(&durations, 0.99);
+        println!(
+            "{:<11} {n:>7} | {:>6.1} {:>7.1} {:>8.1} | {mean:>6.1} {median:>7.1} {p99:>9.1}",
+            area.name(),
+            share(0),
+            share(1),
+            share(2)
+        );
+        for (i, cause) in StopCause::ALL.iter().enumerate() {
+            println!(
+                "    {:<14} {:>6.1}%  mean {:>6.1} s  max {:>8.0} s",
+                cause.to_string(),
+                share(i),
+                cause_stats[i].mean(),
+                cause_stats[i].max().unwrap_or(0.0)
+            );
+            rows.push(format!(
+                "{},{cause},{:.4},{:.4},{:.1}",
+                area.name(),
+                share(i),
+                cause_stats[i].mean(),
+                cause_stats[i].max().unwrap_or(0.0)
+            ));
+        }
+
+        // Bootstrap CI of the proposed policy's CR on a typical vehicle.
+        let stops = fleet[0].stop_lengths();
+        let policy = ConstrainedStats::from_samples(&stops, b)
+            .expect("non-empty")
+            .optimal_policy();
+        let mut rng = StdRng::seed_from_u64(SEED);
+        let ci = bootstrap_cr_ci(&policy, &stops, 400, 0.95, &mut rng).expect("non-empty");
+        println!(
+            "    vehicle 0 proposed CR {:.3} (95% bootstrap CI [{:.3}, {:.3}], {} stops)\n",
+            ci.point,
+            ci.lo,
+            ci.hi,
+            stops.len()
+        );
+        assert!(ci.lo <= ci.point && ci.point <= ci.hi);
+    }
+
+    // Hour-of-day arrival histogram under the commuter profile.
+    println!("hour-of-day arrivals (Chicago, commuter diurnal profile):");
+    let params = Area::Chicago.params();
+    let profile = DiurnalProfile::commuter();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut hourly = [0usize; 24];
+    for id in 0..120 {
+        let vp = VehicleProfile::draw(&params, id, 7, &mut rng);
+        let trace = vp.week_with_diurnal(7, &profile, &mut rng);
+        for e in &trace {
+            hourly[((e.start_s % 86_400.0) / 3600.0) as usize] += 1;
+        }
+    }
+    let max = *hourly.iter().max().expect("24 hours") as f64;
+    for (h, &c) in hourly.iter().enumerate() {
+        let bar = "#".repeat((40.0 * c as f64 / max) as usize);
+        println!("  {h:02}:00 {c:>6} {bar}");
+    }
+    let rush: usize = hourly[7..9].iter().chain(&hourly[16..19]).sum();
+    let night: usize = hourly[0..5].iter().sum();
+    assert!(rush > 3 * night, "diurnal profile not visible: rush {rush} vs night {night}");
+
+    let path = write_csv(
+        "workload_report.csv",
+        "area,cause,share_pct,mean_s,max_s",
+        &rows,
+    );
+    println!("\nwritten to {}", path.display());
+}

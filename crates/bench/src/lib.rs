@@ -1,0 +1,208 @@
+//! Shared harness utilities for the figure/table regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper as a text table on stdout plus a CSV under `target/figures/`
+//! (machine-readable series for external plotting). This library holds the
+//! pieces they share: CSV emission, the area-level stop-length mixture,
+//! and the worst-case CR formulas for the strategies the figures sweep.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use drivesim::Area;
+use skirental::{e_ratio, BreakEven, ConstrainedStats, Strategy, StrategyChoice};
+use std::f64::consts::E;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use stopmodel::dist::{LogNormal, Mixture, Pareto};
+
+/// Directory CSV outputs are written to.
+#[must_use]
+pub fn figures_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/figures");
+    fs::create_dir_all(&dir).expect("can create target/figures");
+    dir
+}
+
+/// Writes a CSV file (header + rows) under `target/figures/` and returns
+/// its path.
+///
+/// # Panics
+///
+/// Panics on I/O errors (the harness binaries have no useful recovery).
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let path = figures_dir().join(name);
+    let mut f = fs::File::create(&path).expect("can create CSV file");
+    writeln!(f, "{header}").expect("can write CSV");
+    for row in rows {
+        writeln!(f, "{row}").expect("can write CSV");
+    }
+    path
+}
+
+/// The area-level stop-length mixture (lights + signs + congestion) built
+/// from the calibrated [`AreaParams`](drivesim::AreaParams) — the analytic
+/// counterpart of the per-vehicle synthesis, used by the Figure-5/6 sweep
+/// ("following the distribution of Chicago, but scaling its mean value").
+///
+/// # Panics
+///
+/// Panics only if the calibrated parameters were invalid (they are
+/// validated by tests).
+#[must_use]
+pub fn area_mixture(area: Area) -> Mixture {
+    let p = area.params();
+    Mixture::new(vec![
+        (
+            p.weight_light,
+            Box::new(LogNormal::new(p.light_log_mu, p.light_log_sigma).expect("valid params"))
+                as _,
+        ),
+        (
+            p.weight_sign,
+            Box::new(LogNormal::new(p.sign_log_mu, p.sign_log_sigma).expect("valid params")) as _,
+        ),
+        (
+            p.weight_congestion,
+            Box::new(Pareto::new(p.congestion_scale, p.congestion_alpha).expect("valid params"))
+                as _,
+        ),
+    ])
+    .expect("calibrated weights are positive")
+}
+
+/// Worst-case expected CR of a Figure-5/6 strategy under all distributions
+/// consistent with the given constrained statistics.
+///
+/// * DET / TOI / N-Rand / Proposed come from [`ConstrainedStats`];
+/// * MOM-Rand's per-stop expected cost is convex increasing in `y` on
+///   `[0, B]` and constant beyond, so the adversary pushes all paying mass
+///   to `y ≥ B`, giving `(μ_B⁻ + q_B⁺·B)·(e−3/2)/(e−2)` when the
+///   moment-aware density is in effect (full mean `≤ 0.836·B`), and the
+///   N-Rand value otherwise;
+/// * NEV's worst case is unbounded (`+∞`): a consistent distribution can
+///   push the tail mass arbitrarily far out.
+///
+/// Returns `1` for a degenerate instance with zero expected offline cost.
+#[must_use]
+pub fn worst_case_cr(strategy: Strategy, stats: &ConstrainedStats, full_mean: f64) -> f64 {
+    if stats.expected_offline_cost() == 0.0 {
+        return 1.0;
+    }
+    match strategy {
+        Strategy::Det => stats.worst_case_cr_of(StrategyChoice::Det),
+        Strategy::Toi => stats.worst_case_cr_of(StrategyChoice::Toi),
+        Strategy::NRand => stats.worst_case_cr_of(StrategyChoice::NRand),
+        Strategy::Proposed => stats.worst_case_cr(),
+        Strategy::MomRand => {
+            let b = stats.break_even();
+            let threshold = 2.0 * (E - 2.0) / (E - 1.0) * b.seconds();
+            if full_mean <= threshold {
+                (E - 1.5) / (E - 2.0)
+            } else {
+                e_ratio()
+            }
+        }
+        Strategy::Nev => f64::INFINITY,
+        // A fixed threshold x chosen in hindsight still faces the same
+        // adversary as b-DET at that x; with no commitment to a specific
+        // x ahead of time, report the b-DET optimum as its best case.
+        Strategy::BayesOpt => stats
+            .b_det_vertex()
+            .map_or(stats.worst_case_cr_of(StrategyChoice::Det).min(
+                stats.worst_case_cr_of(StrategyChoice::Toi),
+            ), |v| {
+                (v.cost / stats.expected_offline_cost())
+                    .min(stats.worst_case_cr_of(StrategyChoice::Det))
+                    .min(stats.worst_case_cr_of(StrategyChoice::Toi))
+            }),
+    }
+}
+
+/// Formats a CR for table output (`inf` for unbounded).
+#[must_use]
+pub fn fmt_cr(cr: f64) -> String {
+    if cr.is_infinite() {
+        "    inf".to_string()
+    } else {
+        format!("{cr:7.4}")
+    }
+}
+
+/// Builds a `ConstrainedStats` from a distribution, panicking only on
+/// invalid break-even values (the harness controls both inputs).
+#[must_use]
+pub fn stats_of<D: stopmodel::StopDistribution + ?Sized>(
+    dist: &D,
+    break_even: BreakEven,
+) -> ConstrainedStats {
+    ConstrainedStats::from_distribution(dist, break_even)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stopmodel::StopDistribution;
+
+    #[test]
+    fn area_mixture_is_calibrated() {
+        for area in Area::ALL {
+            let m = area_mixture(area);
+            assert!(m.mean().is_finite() && m.mean() > 0.0);
+            // Heavy tail present.
+            assert!(m.tail_prob(200.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn chicago_mixture_longest_mean() {
+        let chi = area_mixture(Area::Chicago).mean();
+        assert!(chi > area_mixture(Area::California).mean());
+        assert!(chi > area_mixture(Area::Atlanta).mean());
+    }
+
+    #[test]
+    fn worst_case_cr_ordering() {
+        let b = BreakEven::SSV;
+        let m = area_mixture(Area::Chicago);
+        let stats = stats_of(&m, b);
+        let proposed = worst_case_cr(Strategy::Proposed, &stats, m.mean());
+        for s in [Strategy::Det, Strategy::Toi, Strategy::NRand] {
+            assert!(
+                proposed <= worst_case_cr(s, &stats, m.mean()) + 1e-12,
+                "proposed beaten by {s:?}"
+            );
+        }
+        assert!(worst_case_cr(Strategy::Nev, &stats, m.mean()).is_infinite());
+    }
+
+    #[test]
+    fn momrand_worst_case_regimes() {
+        let b = BreakEven::SSV;
+        let stats = ConstrainedStats::new(b, 5.0, 0.2).unwrap();
+        // Small full mean: moment pdf, ratio (e−1.5)/(e−2) ≈ 1.696.
+        let small = worst_case_cr(Strategy::MomRand, &stats, 10.0);
+        assert!((small - (E - 1.5) / (E - 2.0)).abs() < 1e-12);
+        // Large full mean: falls back to N-Rand's e/(e−1).
+        let large = worst_case_cr(Strategy::MomRand, &stats, 40.0);
+        assert!((large - e_ratio()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let p = write_csv(
+            "selftest.csv",
+            "a,b",
+            &["1,2".to_string(), "3,4".to_string()],
+        );
+        let content = std::fs::read_to_string(p).unwrap();
+        assert!(content.contains("a,b") && content.contains("3,4"));
+    }
+
+    #[test]
+    fn fmt_cr_handles_infinity() {
+        assert!(fmt_cr(f64::INFINITY).contains("inf"));
+        assert!(fmt_cr(1.5).contains("1.5"));
+    }
+}

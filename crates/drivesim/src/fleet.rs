@@ -1,0 +1,345 @@
+//! Fleet synthesis and Table-1 statistics.
+//!
+//! [`FleetConfig`] generates one area's fleet; [`synthesize_nrel_like_fleet`]
+//! builds the full 1182-vehicle study population (California 217, Chicago
+//! 312, Atlanta 653 — the Section-5 counts); [`Table1Row`] reproduces the
+//! stops-per-day summary table.
+
+use crate::area::{Area, AreaParams};
+use crate::diurnal::DiurnalProfile;
+use crate::trace::VehicleTrace;
+use crate::trip::VehicleProfile;
+use numeric::stats::{fraction_at_most, RunningStats};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::fmt;
+
+/// Number of recorded days per vehicle (the NREL collection window).
+pub const TRACE_DAYS: u32 = 7;
+
+/// Configuration for synthesizing one area's fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    params: AreaParams,
+    vehicles: usize,
+    days: u32,
+    diurnal: Option<DiurnalProfile>,
+}
+
+impl FleetConfig {
+    /// Starts from the area's calibrated parameters with the Section-5
+    /// fleet size and a 7-day window.
+    #[must_use]
+    pub fn new(area: Area) -> Self {
+        let params = area.params();
+        Self { params, vehicles: params.fleet_vehicles, days: TRACE_DAYS, diurnal: None }
+    }
+
+    /// Places stop arrivals according to a diurnal (time-of-day) profile
+    /// instead of sequential exponential gaps, and returns `self`. Stop
+    /// counts and durations — everything the ski-rental analysis consumes
+    /// — keep the same generators; only timestamps change.
+    #[must_use]
+    pub fn with_diurnal(mut self, profile: DiurnalProfile) -> Self {
+        self.diurnal = Some(profile);
+        self
+    }
+
+    /// Overrides the number of vehicles (e.g. the Table-1 counts, or a
+    /// small fleet for tests) and returns `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn vehicles(mut self, n: usize) -> Self {
+        assert!(n > 0, "fleet needs at least one vehicle");
+        self.vehicles = n;
+        self
+    }
+
+    /// Overrides the number of recorded days and returns `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `days == 0`.
+    #[must_use]
+    pub fn days(mut self, days: u32) -> Self {
+        assert!(days > 0, "need at least one day");
+        self.days = days;
+        self
+    }
+
+    /// The area parameters in use.
+    #[must_use]
+    pub fn params(&self) -> &AreaParams {
+        &self.params
+    }
+
+    /// Synthesizes the fleet deterministically from `seed`.
+    #[must_use]
+    pub fn synthesize(&self, seed: u64) -> Vec<VehicleTrace> {
+        // Derive a per-area stream so areas are independent of each other
+        // and of vehicle count.
+        let mut rng = StdRng::seed_from_u64(seed ^ area_salt(self.params.area));
+        self.synthesize_with(&mut rng)
+    }
+
+    /// Synthesizes using a caller-provided RNG.
+    #[must_use]
+    pub fn synthesize_with(&self, rng: &mut dyn RngCore) -> Vec<VehicleTrace> {
+        (0..self.vehicles)
+            .map(|id| {
+                let profile = VehicleProfile::draw(&self.params, id as u32, self.days, rng);
+                match &self.diurnal {
+                    Some(d) => profile.week_with_diurnal(self.days, d, rng),
+                    None => profile.week(self.days, rng),
+                }
+            })
+            .collect()
+    }
+}
+
+fn area_salt(area: Area) -> u64 {
+    match area {
+        Area::California => 0xCA11F0,
+        Area::Chicago => 0xC41CA6,
+        Area::Atlanta => 0xA71A47,
+    }
+}
+
+/// The three synthesized fleets of the Section-5 study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NrelLikeFleet {
+    /// California: 217 vehicles.
+    pub california: Vec<VehicleTrace>,
+    /// Chicago: 312 vehicles.
+    pub chicago: Vec<VehicleTrace>,
+    /// Atlanta: 653 vehicles.
+    pub atlanta: Vec<VehicleTrace>,
+}
+
+impl NrelLikeFleet {
+    /// Per-area traces in the paper's order.
+    #[must_use]
+    pub fn by_area(&self) -> [(Area, &[VehicleTrace]); 3] {
+        [
+            (Area::California, self.california.as_slice()),
+            (Area::Chicago, self.chicago.as_slice()),
+            (Area::Atlanta, self.atlanta.as_slice()),
+        ]
+    }
+
+    /// Total vehicle count (1182 with the default configuration).
+    #[must_use]
+    pub fn total_vehicles(&self) -> usize {
+        self.california.len() + self.chicago.len() + self.atlanta.len()
+    }
+
+    /// Every stop length in one flat vector (for whole-population
+    /// distribution plots).
+    #[must_use]
+    pub fn all_stop_lengths(&self) -> Vec<f64> {
+        self.by_area()
+            .iter()
+            .flat_map(|(_, traces)| traces.iter())
+            .flat_map(VehicleTrace::stop_lengths)
+            .collect()
+    }
+}
+
+/// Synthesizes the full 1182-vehicle study population.
+#[must_use]
+pub fn synthesize_nrel_like_fleet(seed: u64) -> NrelLikeFleet {
+    NrelLikeFleet {
+        california: FleetConfig::new(Area::California).synthesize(seed),
+        chicago: FleetConfig::new(Area::Chicago).synthesize(seed),
+        atlanta: FleetConfig::new(Area::Atlanta).synthesize(seed),
+    }
+}
+
+/// One row of the paper's Table 1: stops-per-day statistics for an area.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Row {
+    /// The area.
+    pub area: Area,
+    /// Number of vehicles.
+    pub vehicles: usize,
+    /// Mean stops per day across vehicles.
+    pub mean: f64,
+    /// Standard deviation of stops per day across vehicles.
+    pub std_dev: f64,
+    /// `P{X ≤ μ + 2σ}` across vehicles.
+    pub p_within_2_sigma: f64,
+}
+
+impl Table1Row {
+    /// Computes the row from a fleet of traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty.
+    #[must_use]
+    pub fn from_traces(area: Area, traces: &[VehicleTrace]) -> Self {
+        assert!(!traces.is_empty(), "need at least one vehicle");
+        let rates: Vec<f64> = traces.iter().map(VehicleTrace::stops_per_day).collect();
+        let stats: RunningStats = rates.iter().copied().collect();
+        let mean = stats.mean();
+        let std_dev = stats.sample_std_dev();
+        Self {
+            area,
+            vehicles: traces.len(),
+            mean,
+            std_dev,
+            p_within_2_sigma: fraction_at_most(&rates, mean + 2.0 * std_dev),
+        }
+    }
+}
+
+impl fmt::Display for Table1Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<11} {:>8} {:>8.2} {:>8.2} {:>10.4}",
+            self.area.name(),
+            self.vehicles,
+            self.mean,
+            self.std_dev,
+            self.p_within_2_sigma
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stopmodel::dist::Exponential;
+    use stopmodel::kstest::ks_test;
+
+    #[test]
+    fn small_fleet_shape() {
+        let fleet = FleetConfig::new(Area::California).vehicles(5).days(3).synthesize(1);
+        assert_eq!(fleet.len(), 5);
+        for t in &fleet {
+            assert_eq!(t.days, 3);
+            assert!(t.num_stops() >= 1);
+            assert_eq!(t.area, Area::California);
+        }
+    }
+
+    #[test]
+    fn diurnal_fleet_config() {
+        use crate::diurnal::DiurnalProfile;
+        let fleet = FleetConfig::new(Area::Chicago)
+            .vehicles(30)
+            .with_diurnal(DiurnalProfile::commuter())
+            .synthesize(21);
+        assert_eq!(fleet.len(), 30);
+        let mut rush = 0usize;
+        let mut night = 0usize;
+        for t in &fleet {
+            for e in t {
+                let hour = (e.start_s % 86_400.0) / 3600.0;
+                if (7.0..9.0).contains(&hour) || (16.0..19.0).contains(&hour) {
+                    rush += 1;
+                } else if hour < 5.0 {
+                    night += 1;
+                }
+            }
+        }
+        assert!(rush > 3 * night, "rush {rush} vs night {night}");
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = FleetConfig::new(Area::Chicago).vehicles(4).synthesize(7);
+        let b = FleetConfig::new(Area::Chicago).vehicles(4).synthesize(7);
+        assert_eq!(a, b);
+        let c = FleetConfig::new(Area::Chicago).vehicles(4).synthesize(8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn full_study_population() {
+        let fleet = synthesize_nrel_like_fleet(42);
+        assert_eq!(fleet.california.len(), 217);
+        assert_eq!(fleet.chicago.len(), 312);
+        assert_eq!(fleet.atlanta.len(), 653);
+        assert_eq!(fleet.total_vehicles(), 1182);
+        assert!(fleet.all_stop_lengths().len() > 10_000);
+    }
+
+    #[test]
+    fn table1_statistics_match_calibration() {
+        // With the Table-1 vehicle counts, the synthesized stops/day
+        // statistics land near the paper's values.
+        for area in Area::ALL {
+            let p = area.params();
+            let fleet = FleetConfig::new(area).vehicles(p.table1_vehicles).synthesize(3);
+            let row = Table1Row::from_traces(area, &fleet);
+            assert!(
+                (row.mean - p.stops_per_day_mean).abs() < 0.15 * p.stops_per_day_mean,
+                "{area}: mean {} vs target {}",
+                row.mean,
+                p.stops_per_day_mean
+            );
+            assert!(
+                (row.std_dev - p.stops_per_day_std).abs() < 0.2 * p.stops_per_day_std,
+                "{area}: std {} vs target {}",
+                row.std_dev,
+                p.stops_per_day_std
+            );
+            // The paper's P column sits between 0.90 and 0.96.
+            assert!(
+                (0.85..=1.0).contains(&row.p_within_2_sigma),
+                "{area}: P = {}",
+                row.p_within_2_sigma
+            );
+        }
+    }
+
+    #[test]
+    fn stop_lengths_are_heavy_tailed_non_exponential() {
+        // The Figure-3 claim: a K-S test rejects the fitted exponential.
+        for area in Area::ALL {
+            let fleet = FleetConfig::new(area).vehicles(60).synthesize(5);
+            let stops: Vec<f64> =
+                fleet.iter().flat_map(VehicleTrace::stop_lengths).collect();
+            let null = Exponential::fit(&stops).unwrap();
+            let r = ks_test(&stops, &null);
+            assert!(r.rejects_at(0.001), "{area}: p = {}", r.p_value);
+        }
+    }
+
+    #[test]
+    fn chicago_stops_longer_on_average() {
+        let mean_of = |area: Area| {
+            let fleet = FleetConfig::new(area).vehicles(80).synthesize(9);
+            let stops: Vec<f64> = fleet.iter().flat_map(VehicleTrace::stop_lengths).collect();
+            stops.iter().sum::<f64>() / stops.len() as f64
+        };
+        let chi = mean_of(Area::Chicago);
+        assert!(chi > mean_of(Area::California), "Chicago {chi}");
+        assert!(chi > mean_of(Area::Atlanta), "Chicago {chi}");
+    }
+
+    #[test]
+    fn table1_row_display() {
+        let fleet = FleetConfig::new(Area::Atlanta).vehicles(10).synthesize(11);
+        let row = Table1Row::from_traces(Area::Atlanta, &fleet);
+        let s = row.to_string();
+        assert!(s.contains("Atlanta") && s.contains("10"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vehicle")]
+    fn table1_rejects_empty() {
+        let _ = Table1Row::from_traces(Area::Atlanta, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vehicle")]
+    fn config_rejects_zero_vehicles() {
+        let _ = FleetConfig::new(Area::Atlanta).vehicles(0);
+    }
+}

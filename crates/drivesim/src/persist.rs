@@ -1,0 +1,287 @@
+//! Plain-CSV persistence for vehicle traces.
+//!
+//! Synthesized fleets are cheap to regenerate from a seed, but exporting
+//! traces lets external tools (plotting, other simulators) consume them
+//! and lets experiments pin an exact dataset. The format is deliberately
+//! trivial — a metadata line, a header, one row per stop event:
+//!
+//! ```text
+//! vehicle,17,Chicago,7
+//! start_s,duration_s,cause
+//! 371.2041,12.5000,traffic_light
+//! ...
+//! ```
+
+use crate::area::Area;
+use crate::trace::{StopCause, StopEvent, VehicleTrace};
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Errors when parsing a trace CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseTraceError {
+    /// The metadata line (`vehicle,<id>,<area>,<days>`) is missing or
+    /// malformed.
+    BadMetadata,
+    /// An unknown area name in the metadata.
+    UnknownArea(String),
+    /// The column header line is missing or wrong.
+    BadHeader,
+    /// A data row has the wrong number of fields or an unparsable value.
+    BadRow {
+        /// 1-based line number in the input.
+        line: usize,
+    },
+    /// An unknown stop-cause tag.
+    UnknownCause(String),
+    /// Events were not chronological or had negative durations.
+    InvalidEvents(String),
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMetadata => write!(f, "missing or malformed 'vehicle,<id>,<area>,<days>' line"),
+            Self::UnknownArea(a) => write!(f, "unknown area {a:?}"),
+            Self::BadHeader => write!(f, "missing 'start_s,duration_s,cause' header"),
+            Self::BadRow { line } => write!(f, "malformed event row at line {line}"),
+            Self::UnknownCause(c) => write!(f, "unknown stop cause {c:?}"),
+            Self::InvalidEvents(msg) => write!(f, "invalid events: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+fn cause_tag(cause: StopCause) -> &'static str {
+    match cause {
+        StopCause::TrafficLight => "traffic_light",
+        StopCause::StopSign => "stop_sign",
+        StopCause::Congestion => "congestion",
+    }
+}
+
+fn parse_cause(tag: &str) -> Result<StopCause, ParseTraceError> {
+    match tag {
+        "traffic_light" => Ok(StopCause::TrafficLight),
+        "stop_sign" => Ok(StopCause::StopSign),
+        "congestion" => Ok(StopCause::Congestion),
+        other => Err(ParseTraceError::UnknownCause(other.to_string())),
+    }
+}
+
+fn parse_area(name: &str) -> Result<Area, ParseTraceError> {
+    Area::ALL
+        .iter()
+        .find(|a| a.name() == name)
+        .copied()
+        .ok_or_else(|| ParseTraceError::UnknownArea(name.to_string()))
+}
+
+/// Serializes a trace to the CSV format described in the module docs.
+#[must_use]
+pub fn to_csv(trace: &VehicleTrace) -> String {
+    let mut out = String::with_capacity(64 + trace.events.len() * 32);
+    out.push_str(&format!(
+        "vehicle,{},{},{}\nstart_s,duration_s,cause\n",
+        trace.vehicle_id,
+        trace.area.name(),
+        trace.days
+    ));
+    for e in &trace.events {
+        out.push_str(&format!("{:.4},{:.4},{}\n", e.start_s, e.duration_s, cause_tag(e.cause)));
+    }
+    out
+}
+
+/// Parses a trace from the CSV format produced by [`to_csv`].
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] describing the first problem encountered.
+pub fn from_csv(input: &str) -> Result<VehicleTrace, ParseTraceError> {
+    let mut lines = input.lines().enumerate();
+    let (_, meta) = lines.next().ok_or(ParseTraceError::BadMetadata)?;
+    let fields: Vec<&str> = meta.split(',').collect();
+    if fields.len() != 4 || fields[0] != "vehicle" {
+        return Err(ParseTraceError::BadMetadata);
+    }
+    let vehicle_id: u32 = fields[1].parse().map_err(|_| ParseTraceError::BadMetadata)?;
+    let area = parse_area(fields[2])?;
+    let days: u32 = fields[3].parse().map_err(|_| ParseTraceError::BadMetadata)?;
+    if days == 0 {
+        return Err(ParseTraceError::BadMetadata);
+    }
+
+    let (_, header) = lines.next().ok_or(ParseTraceError::BadHeader)?;
+    if header.trim() != "start_s,duration_s,cause" {
+        return Err(ParseTraceError::BadHeader);
+    }
+
+    let mut events = Vec::new();
+    let mut prev_start = 0.0f64;
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != 3 {
+            return Err(ParseTraceError::BadRow { line: i + 1 });
+        }
+        let start_s: f64 = cols[0].parse().map_err(|_| ParseTraceError::BadRow { line: i + 1 })?;
+        let duration_s: f64 =
+            cols[1].parse().map_err(|_| ParseTraceError::BadRow { line: i + 1 })?;
+        let cause = parse_cause(cols[2].trim())?;
+        if !start_s.is_finite() || start_s < prev_start {
+            return Err(ParseTraceError::InvalidEvents(format!(
+                "event at line {} is out of order",
+                i + 1
+            )));
+        }
+        if !duration_s.is_finite() || duration_s < 0.0 {
+            return Err(ParseTraceError::InvalidEvents(format!(
+                "negative duration at line {}",
+                i + 1
+            )));
+        }
+        prev_start = start_s;
+        events.push(StopEvent { start_s, duration_s, cause });
+    }
+    Ok(VehicleTrace::new(vehicle_id, area, days, events))
+}
+
+/// Writes a trace to `path` as CSV.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn save_csv(trace: &VehicleTrace, path: &Path) -> std::io::Result<()> {
+    fs::write(path, to_csv(trace))
+}
+
+/// Reads a trace from a CSV file.
+///
+/// # Errors
+///
+/// Returns an I/O error wrapped as `InvalidData` when parsing fails.
+pub fn load_csv(path: &Path) -> std::io::Result<VehicleTrace> {
+    let content = fs::read_to_string(path)?;
+    from_csv(&content)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::FleetConfig;
+
+    fn sample_trace() -> VehicleTrace {
+        FleetConfig::new(Area::Chicago).vehicles(1).days(3).synthesize(5).remove(0)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything_within_precision() {
+        let t = sample_trace();
+        let csv = to_csv(&t);
+        let back = from_csv(&csv).unwrap();
+        assert_eq!(back.vehicle_id, t.vehicle_id);
+        assert_eq!(back.area, t.area);
+        assert_eq!(back.days, t.days);
+        assert_eq!(back.num_stops(), t.num_stops());
+        for (a, b) in back.iter().zip(t.iter()) {
+            assert!((a.start_s - b.start_s).abs() < 1e-3);
+            assert!((a.duration_s - b.duration_s).abs() < 1e-3);
+            assert_eq!(a.cause, b.cause);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = sample_trace();
+        let dir = std::env::temp_dir().join("drivesim_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        save_csv(&t, &path).unwrap();
+        let back = load_csv(&path).unwrap();
+        assert_eq!(back.num_stops(), t.num_stops());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_event_list_roundtrips() {
+        let t = VehicleTrace::new(9, Area::Atlanta, 7, vec![]);
+        let back = from_csv(&to_csv(&t)).unwrap();
+        assert_eq!(back.num_stops(), 0);
+        assert_eq!(back.vehicle_id, 9);
+    }
+
+    #[test]
+    fn rejects_malformed_metadata() {
+        assert_eq!(from_csv(""), Err(ParseTraceError::BadMetadata));
+        assert_eq!(from_csv("car,1,Chicago,7\n"), Err(ParseTraceError::BadMetadata));
+        assert_eq!(from_csv("vehicle,x,Chicago,7\n"), Err(ParseTraceError::BadMetadata));
+        assert_eq!(from_csv("vehicle,1,Chicago,0\n"), Err(ParseTraceError::BadMetadata));
+        assert_eq!(
+            from_csv("vehicle,1,Springfield,7\n"),
+            Err(ParseTraceError::UnknownArea("Springfield".into()))
+        );
+    }
+
+    #[test]
+    fn rejects_bad_header_and_rows() {
+        assert_eq!(from_csv("vehicle,1,Chicago,7\n"), Err(ParseTraceError::BadHeader));
+        assert_eq!(
+            from_csv("vehicle,1,Chicago,7\nwrong,header,here\n"),
+            Err(ParseTraceError::BadHeader)
+        );
+        let base = "vehicle,1,Chicago,7\nstart_s,duration_s,cause\n";
+        assert_eq!(
+            from_csv(&format!("{base}1.0,2.0\n")),
+            Err(ParseTraceError::BadRow { line: 3 })
+        );
+        assert_eq!(
+            from_csv(&format!("{base}abc,2.0,stop_sign\n")),
+            Err(ParseTraceError::BadRow { line: 3 })
+        );
+        assert_eq!(
+            from_csv(&format!("{base}1.0,2.0,warp_drive\n")),
+            Err(ParseTraceError::UnknownCause("warp_drive".into()))
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_order_and_negative() {
+        let base = "vehicle,1,Chicago,7\nstart_s,duration_s,cause\n";
+        assert!(matches!(
+            from_csv(&format!("{base}10.0,1.0,stop_sign\n5.0,1.0,stop_sign\n")),
+            Err(ParseTraceError::InvalidEvents(_))
+        ));
+        assert!(matches!(
+            from_csv(&format!("{base}10.0,-1.0,stop_sign\n")),
+            Err(ParseTraceError::InvalidEvents(_))
+        ));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let base = "vehicle,1,Chicago,7\nstart_s,duration_s,cause\n1.0,2.0,congestion\n\n";
+        let t = from_csv(base).unwrap();
+        assert_eq!(t.num_stops(), 1);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let errs: Vec<ParseTraceError> = vec![
+            ParseTraceError::BadMetadata,
+            ParseTraceError::UnknownArea("X".into()),
+            ParseTraceError::BadHeader,
+            ParseTraceError::BadRow { line: 3 },
+            ParseTraceError::UnknownCause("X".into()),
+            ParseTraceError::InvalidEvents("msg".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Random-variate samplers used by the simulator.
+//!
+//! These live in [`stopmodel::sampling`] (they also back the distribution
+//! types there); this module re-exports them under the simulator's
+//! historical path.
+
+pub use stopmodel::sampling::{gamma, gamma_mean_std, poisson, standard_normal};

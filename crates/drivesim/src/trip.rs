@@ -1,0 +1,316 @@
+//! Per-vehicle stop-event generation.
+//!
+//! A [`VehicleProfile`] is one vehicle's realization of its area's
+//! hyperpriors: its own stop rate (drawn from a Gamma matched to Table 1)
+//! and its own mildly jittered stop-length mixture. From a profile, a
+//! week-long [`VehicleTrace`] is generated day by day: a Poisson number of
+//! stops per day, each stop assigned a cause and a duration, placed on the
+//! clock with exponential gaps.
+
+use crate::area::AreaParams;
+use crate::random::{gamma_mean_std, poisson, standard_normal};
+use crate::trace::{StopCause, StopEvent, VehicleTrace};
+use rand::RngCore;
+use stopmodel::dist::{Censored, LogNormal, Pareto, StopDistribution};
+use stopmodel::uniform01;
+
+/// Mean driving gap between consecutive stops, seconds (affects only
+/// timestamps, not the ski-rental analysis).
+const MEAN_GAP_S: f64 = 420.0;
+
+/// Longest realizable ignition-on stop, seconds (2 h): the congestion
+/// Pareto tail is near-critical (`α` just above 1), and real ignition-on
+/// idling episodes do not last days, so the congestion component is
+/// censored (`Y = min(X, cap)`) at this value.
+const MAX_STOP_S: f64 = 7200.0;
+
+/// One vehicle's realized generation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VehicleProfile {
+    /// Vehicle identifier.
+    pub vehicle_id: u32,
+    /// Area parameters the profile was drawn from.
+    pub params: AreaParams,
+    /// This vehicle's mean stops per day.
+    pub stops_per_day: f64,
+    light: LogNormal,
+    sign: LogNormal,
+    congestion: Censored<Pareto>,
+    weights: [f64; 3],
+}
+
+impl VehicleProfile {
+    /// Draws a vehicle profile from the area's hyperpriors.
+    ///
+    /// Per-vehicle heterogeneity: the log-normal location parameters get
+    /// a `N(0, 0.15)` shift, the congestion weight a log-normal(0, 0.3)
+    /// multiplier (renormalized), and the stop rate a Gamma draw matching
+    /// the Table-1 across-vehicle moments.
+    #[must_use]
+    pub fn draw(params: &AreaParams, vehicle_id: u32, days: u32, rng: &mut dyn RngCore) -> Self {
+        let light_mu = params.light_log_mu + 0.15 * standard_normal(rng);
+        let sign_mu = params.sign_log_mu + 0.15 * standard_normal(rng);
+        let cong_mult = (0.3 * standard_normal(rng)).exp();
+        let w_cong = (params.weight_congestion * cong_mult).min(0.5);
+        let rest = 1.0 - w_cong;
+        let light_sign_total = params.weight_light + params.weight_sign;
+        let w_light = rest * params.weight_light / light_sign_total;
+        let w_sign = rest * params.weight_sign / light_sign_total;
+
+        // Per-vehicle mean stop rate; floored so every vehicle has data.
+        let lambda =
+            gamma_mean_std(params.stops_per_day_mean, params.lambda_std(days), rng).max(0.5);
+
+        Self {
+            vehicle_id,
+            params: *params,
+            stops_per_day: lambda,
+            light: LogNormal::new(light_mu, params.light_log_sigma)
+                .expect("jittered parameters stay valid"),
+            sign: LogNormal::new(sign_mu, params.sign_log_sigma)
+                .expect("jittered parameters stay valid"),
+            congestion: Censored::new(
+                Pareto::new(params.congestion_scale, params.congestion_alpha)
+                    .expect("area parameters are valid"),
+                MAX_STOP_S,
+            )
+            .expect("cap is positive"),
+            weights: [w_light, w_sign, w_cong],
+        }
+    }
+
+    /// Mixture weights `(light, sign, congestion)`.
+    #[must_use]
+    pub fn weights(&self) -> [f64; 3] {
+        self.weights
+    }
+
+    /// Samples one stop: `(duration, cause)`.
+    #[must_use]
+    pub fn sample_stop(&self, rng: &mut dyn RngCore) -> (f64, StopCause) {
+        let u = uniform01(rng);
+        if u < self.weights[0] {
+            (self.light.sample(rng), StopCause::TrafficLight)
+        } else if u < self.weights[0] + self.weights[1] {
+            (self.sign.sample(rng), StopCause::StopSign)
+        } else {
+            (self.congestion.sample(rng), StopCause::Congestion)
+        }
+    }
+
+    /// Generates a `days`-long trace for this vehicle.
+    ///
+    /// Day `d` contributes a Poisson(λ) number of stops placed after
+    /// exponential driving gaps starting at `d · 86 400 s`. A vehicle
+    /// whose whole week draws zero stops is given a single stop so the
+    /// plug-in estimators are always defined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `days == 0`.
+    #[must_use]
+    pub fn week(&self, days: u32, rng: &mut dyn RngCore) -> VehicleTrace {
+        assert!(days > 0, "need at least one day");
+        let mut events = Vec::new();
+        for day in 0..days {
+            let n = poisson(self.stops_per_day, rng);
+            let mut t = f64::from(day) * 86_400.0;
+            for _ in 0..n {
+                // Exponential driving gap.
+                let mut u = uniform01(rng);
+                while u == 0.0 {
+                    u = uniform01(rng);
+                }
+                t += -MEAN_GAP_S * u.ln();
+                let (duration, cause) = self.sample_stop(rng);
+                events.push(StopEvent { start_s: t, duration_s: duration, cause });
+                t += duration;
+            }
+        }
+        if events.is_empty() {
+            let (duration, cause) = self.sample_stop(rng);
+            events.push(StopEvent { start_s: 0.0, duration_s: duration, cause });
+        }
+        VehicleTrace::new(self.vehicle_id, self.params.area, days, events)
+    }
+
+    /// Like [`Self::week`], but stop *arrival times* follow a diurnal
+    /// profile (e.g. commuter rush hours) instead of sequential
+    /// exponential gaps. Stop counts and durations are drawn identically,
+    /// so the ski-rental statistics are unchanged; only the timestamps
+    /// move. Very long stops may overlap the next arrival — the analysis
+    /// consumes durations only, and [`VehicleTrace`] requires only sorted
+    /// start times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `days == 0`.
+    #[must_use]
+    pub fn week_with_diurnal(
+        &self,
+        days: u32,
+        profile: &crate::diurnal::DiurnalProfile,
+        rng: &mut dyn RngCore,
+    ) -> VehicleTrace {
+        assert!(days > 0, "need at least one day");
+        let mut events = Vec::new();
+        for day in 0..days {
+            let n = poisson(self.stops_per_day, rng) as usize;
+            let arrivals = profile.sample_day_arrivals(day, n, rng);
+            for start_s in arrivals {
+                let (duration, cause) = self.sample_stop(rng);
+                events.push(StopEvent { start_s, duration_s: duration, cause });
+            }
+        }
+        if events.is_empty() {
+            let (duration, cause) = self.sample_stop(rng);
+            events.push(StopEvent { start_s: 0.0, duration_s: duration, cause });
+        }
+        VehicleTrace::new(self.vehicle_id, self.params.area, days, events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::area::Area;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn profile(seed: u64) -> VehicleProfile {
+        let mut rng = StdRng::seed_from_u64(seed);
+        VehicleProfile::draw(&Area::Chicago.params(), 1, 7, &mut rng)
+    }
+
+    #[test]
+    fn weights_normalized() {
+        for seed in 0..50 {
+            let p = profile(seed);
+            let sum: f64 = p.weights().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "weights sum {sum}");
+            assert!(p.weights().iter().all(|&w| (0.0..=1.0).contains(&w)));
+        }
+    }
+
+    #[test]
+    fn stop_rate_positive_and_heterogeneous() {
+        let rates: Vec<f64> = (0..200).map(|s| profile(s).stops_per_day).collect();
+        assert!(rates.iter().all(|&r| r >= 0.5));
+        let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+        // Near the Chicago Table-1 mean.
+        assert!((mean - 12.49).abs() < 2.0, "mean rate {mean}");
+        let var = rates.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / rates.len() as f64;
+        assert!(var > 10.0, "rates should vary across vehicles, var {var}");
+    }
+
+    #[test]
+    fn sample_stop_causes_follow_weights() {
+        let p = profile(3);
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 50_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            let (d, cause) = p.sample_stop(&mut rng);
+            assert!(d > 0.0);
+            match cause {
+                StopCause::TrafficLight => counts[0] += 1,
+                StopCause::StopSign => counts[1] += 1,
+                StopCause::Congestion => counts[2] += 1,
+            }
+        }
+        for (i, (&count, &weight)) in counts.iter().zip(&p.weights()).enumerate() {
+            let freq = count as f64 / n as f64;
+            assert!((freq - weight).abs() < 0.01, "cause {i}: freq {freq} vs weight {weight}");
+        }
+    }
+
+    #[test]
+    fn congestion_stops_are_long() {
+        let p = profile(4);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let (d, cause) = p.sample_stop(&mut rng);
+            if cause == StopCause::Congestion {
+                assert!(d >= p.params.congestion_scale);
+            }
+        }
+    }
+
+    #[test]
+    fn week_has_chronological_events() {
+        let p = profile(5);
+        let mut rng = StdRng::seed_from_u64(11);
+        let trace = p.week(7, &mut rng);
+        assert!(trace.num_stops() > 0);
+        let mut prev = 0.0;
+        for e in &trace {
+            assert!(e.start_s >= prev);
+            prev = e.start_s;
+        }
+        // Roughly λ·7 stops.
+        let expect = p.stops_per_day * 7.0;
+        assert!(
+            (trace.num_stops() as f64) > 0.3 * expect && (trace.num_stops() as f64) < 3.0 * expect,
+            "stops {} vs expectation {expect}",
+            trace.num_stops()
+        );
+    }
+
+    #[test]
+    fn week_never_empty() {
+        // Even a minimal-rate vehicle gets at least one stop.
+        let params = Area::California.params();
+        let mut rng = StdRng::seed_from_u64(13);
+        for id in 0..100 {
+            let mut p = VehicleProfile::draw(&params, id, 7, &mut rng);
+            p.stops_per_day = 0.5; // force the floor
+            let t = p.week(1, &mut rng);
+            assert!(t.num_stops() >= 1);
+        }
+    }
+
+    #[test]
+    fn diurnal_week_preserves_statistics() {
+        use crate::diurnal::DiurnalProfile;
+        let params = Area::Chicago.params();
+        let mut rng = StdRng::seed_from_u64(31);
+        let p = VehicleProfile::draw(&params, 1, 7, &mut rng);
+        let profile = DiurnalProfile::commuter();
+        let trace = p.week_with_diurnal(7, &profile, &mut rng);
+        assert!(trace.num_stops() > 0);
+        // Chronological starts, all within the week.
+        let mut prev = 0.0;
+        for e in &trace {
+            assert!(e.start_s >= prev);
+            assert!(e.start_s < 7.0 * 86_400.0);
+            prev = e.start_s;
+        }
+        // Rush hours are busier than deep night across many vehicles.
+        let mut rush = 0usize;
+        let mut night = 0usize;
+        for id in 0..60 {
+            let p = VehicleProfile::draw(&params, id, 7, &mut rng);
+            let t = p.week_with_diurnal(7, &profile, &mut rng);
+            for e in &t {
+                let hour = (e.start_s % 86_400.0) / 3600.0;
+                if (7.0..9.0).contains(&hour) || (16.0..19.0).contains(&hour) {
+                    rush += 1;
+                } else if hour < 5.0 {
+                    night += 1;
+                }
+            }
+        }
+        assert!(rush > 3 * night, "rush {rush} vs night {night}");
+    }
+
+    #[test]
+    fn determinism_with_seed() {
+        let params = Area::Atlanta.params();
+        let mk = || {
+            let mut rng = StdRng::seed_from_u64(21);
+            let p = VehicleProfile::draw(&params, 1, 7, &mut rng);
+            p.week(7, &mut rng)
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,309 @@
+//! Histograms for empirical stop-length distributions.
+//!
+//! Figure 3 of the paper plots the probability distribution of stop lengths
+//! in each area; [`Histogram`] reproduces those plots as text/CSV series.
+//! Both linear and logarithmic binnings are supported — the log binning is
+//! what makes the heavy tail of the stop-length data visible.
+
+use std::fmt;
+
+/// How bin edges are spaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Binning {
+    /// Equal-width bins over `[lo, hi)`.
+    Linear,
+    /// Log-spaced bins over `[lo, hi)`; requires `lo > 0`.
+    Logarithmic,
+}
+
+/// A fixed-edge histogram over `[lo, hi)` with an overflow and underflow
+/// count.
+///
+/// # Example
+///
+/// ```
+/// use numeric::histogram::{Binning, Histogram};
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5, Binning::Linear);
+/// for v in [0.5, 1.5, 2.5, 2.6, 11.0] {
+///     h.add(v);
+/// }
+/// assert_eq!(h.count(1), 2);      // [2,4) holds 2.5, 2.6 → bin 1
+/// assert_eq!(h.overflow(), 1);    // 11.0
+/// assert_eq!(h.total(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    binning: Binning,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`, if `lo >= hi`, if either bound is non-finite,
+    /// or if `Binning::Logarithmic` is requested with `lo <= 0`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize, binning: Binning) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite(), "histogram bounds must be finite");
+        assert!(lo < hi, "histogram requires lo < hi");
+        if binning == Binning::Logarithmic {
+            assert!(lo > 0.0, "logarithmic binning requires lo > 0");
+        }
+        Self { lo, hi, binning, counts: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Number of bins (excluding under/overflow).
+    #[must_use]
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, value: f64) {
+        match self.bin_index(value) {
+            BinIndex::Under => self.underflow += 1,
+            BinIndex::Over => self.overflow += 1,
+            BinIndex::In(i) => self.counts[i] += 1,
+        }
+    }
+
+    /// Adds every observation from an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= bins()`.
+    #[must_use]
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Observations below `lo`.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations added, including under/overflow.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.underflow + self.overflow + self.counts.iter().sum::<u64>()
+    }
+
+    /// `[start, end)` edges of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= bins()`.
+    #[must_use]
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len(), "bin index out of range");
+        (self.edge(i), self.edge(i + 1))
+    }
+
+    /// Midpoint of bin `i` (geometric midpoint for log binning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= bins()`.
+    #[must_use]
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let (a, b) = self.bin_edges(i);
+        match self.binning {
+            Binning::Linear => 0.5 * (a + b),
+            Binning::Logarithmic => (a * b).sqrt(),
+        }
+    }
+
+    /// Estimated probability *density* in bin `i`: relative frequency
+    /// divided by bin width. Returns `0` if the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= bins()`.
+    #[must_use]
+    pub fn density(&self, i: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let (a, b) = self.bin_edges(i);
+        self.counts[i] as f64 / total as f64 / (b - a)
+    }
+
+    /// Relative frequency of bin `i` (count / total, including flows in the
+    /// denominator). Returns `0` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= bins()`.
+    #[must_use]
+    pub fn frequency(&self, i: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.counts[i] as f64 / total as f64
+    }
+
+    /// Iterates `(center, density)` pairs — the series a Figure-3-style
+    /// plot consumes.
+    pub fn density_series(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        (0..self.counts.len()).map(|i| (self.bin_center(i), self.density(i)))
+    }
+
+    fn edge(&self, i: usize) -> f64 {
+        let n = self.counts.len() as f64;
+        let t = i as f64 / n;
+        match self.binning {
+            Binning::Linear => self.lo + t * (self.hi - self.lo),
+            Binning::Logarithmic => self.lo * (self.hi / self.lo).powf(t),
+        }
+    }
+
+    fn bin_index(&self, value: f64) -> BinIndex {
+        if value < self.lo || value.is_nan() {
+            return BinIndex::Under;
+        }
+        if value >= self.hi {
+            return BinIndex::Over;
+        }
+        let n = self.counts.len() as f64;
+        let t = match self.binning {
+            Binning::Linear => (value - self.lo) / (self.hi - self.lo),
+            Binning::Logarithmic => (value / self.lo).ln() / (self.hi / self.lo).ln(),
+        };
+        let i = ((t * n) as usize).min(self.counts.len() - 1);
+        BinIndex::In(i)
+    }
+}
+
+impl fmt::Display for Histogram {
+    /// Renders a compact `center: count` listing — never empty, even for an
+    /// empty histogram (C-DEBUG-NONEMPTY analogue for Display).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "histogram [{}, {}) x{} ({:?})", self.lo, self.hi, self.bins(), self.binning)?;
+        for i in 0..self.bins() {
+            writeln!(f, "  {:>12.4}: {}", self.bin_center(i), self.counts[i])?;
+        }
+        write!(f, "  under={} over={}", self.underflow, self.overflow)
+    }
+}
+
+enum BinIndex {
+    Under,
+    In(usize),
+    Over,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn linear_binning_basics() {
+        let mut h = Histogram::new(0.0, 10.0, 10, Binning::Linear);
+        h.extend([0.0, 0.99, 5.0, 9.999, -1.0, 10.0]);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(5), 1);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn log_binning_edges_are_geometric() {
+        let h = Histogram::new(1.0, 100.0, 2, Binning::Logarithmic);
+        let (a, b) = h.bin_edges(0);
+        assert!(approx_eq(a, 1.0, 1e-12));
+        assert!(approx_eq(b, 10.0, 1e-12));
+        let (c, d) = h.bin_edges(1);
+        assert!(approx_eq(c, 10.0, 1e-12));
+        assert!(approx_eq(d, 100.0, 1e-12));
+    }
+
+    #[test]
+    fn log_binning_assignment() {
+        let mut h = Histogram::new(1.0, 100.0, 2, Binning::Logarithmic);
+        h.extend([2.0, 9.0, 11.0, 99.0]);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(1), 2);
+    }
+
+    #[test]
+    fn density_integrates_to_coverage() {
+        let mut h = Histogram::new(0.0, 1.0, 4, Binning::Linear);
+        h.extend([0.1, 0.3, 0.6, 0.9]);
+        let integral: f64 =
+            (0..4).map(|i| h.density(i) * (h.bin_edges(i).1 - h.bin_edges(i).0)).sum();
+        assert!(approx_eq(integral, 1.0, 1e-12));
+    }
+
+    #[test]
+    fn frequency_counts_flows_in_denominator() {
+        let mut h = Histogram::new(0.0, 1.0, 1, Binning::Linear);
+        h.extend([0.5, 2.0]);
+        assert!(approx_eq(h.frequency(0), 0.5, 1e-12));
+    }
+
+    #[test]
+    fn empty_histogram_density_zero() {
+        let h = Histogram::new(0.0, 1.0, 3, Binning::Linear);
+        assert_eq!(h.density(0), 0.0);
+        assert_eq!(h.frequency(1), 0.0);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn nan_goes_to_underflow() {
+        let mut h = Histogram::new(0.0, 1.0, 2, Binning::Linear);
+        h.add(f64::NAN);
+        assert_eq!(h.underflow(), 1);
+    }
+
+    #[test]
+    fn display_never_empty() {
+        let h = Histogram::new(0.0, 1.0, 2, Binning::Linear);
+        assert!(!h.to_string().is_empty());
+    }
+
+    #[test]
+    fn density_series_length() {
+        let h = Histogram::new(0.0, 1.0, 7, Binning::Linear);
+        assert_eq!(h.density_series().count(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires lo < hi")]
+    fn rejects_inverted_bounds() {
+        let _ = Histogram::new(1.0, 0.0, 3, Binning::Linear);
+    }
+
+    #[test]
+    #[should_panic(expected = "logarithmic binning requires lo > 0")]
+    fn rejects_log_zero_lo() {
+        let _ = Histogram::new(0.0, 1.0, 3, Binning::Logarithmic);
+    }
+}

@@ -1,0 +1,189 @@
+//! Adaptive Simpson quadrature.
+//!
+//! The ski-rental analysis in the paper rests on closed-form integrals of
+//! exponential threshold densities (e.g. the N-Rand expected cost). This
+//! module provides an independent numeric check of those closed forms, and
+//! is also used to compute expected costs under arbitrary user-supplied
+//! threshold or stop-length densities for which no closed form exists.
+
+/// Integrates `f` over `[a, b]` using adaptive Simpson's rule with absolute
+/// error target `tol`.
+///
+/// The interval is recursively bisected until the local Richardson error
+/// estimate falls below the locally apportioned tolerance, or the recursion
+/// depth reaches an internal safety limit of 60 levels (at which point the
+/// best available estimate is returned).
+///
+/// If `a > b` the result is the negated integral over `[b, a]`, matching the
+/// usual orientation convention. An empty interval integrates to `0`.
+///
+/// # Panics
+///
+/// Panics if `a` or `b` is non-finite or if `tol` is not strictly positive.
+///
+/// # Example
+///
+/// ```
+/// use numeric::quadrature::integrate;
+///
+/// let v = integrate(|x| x * x, 0.0, 3.0, 1e-12);
+/// assert!((v - 9.0).abs() < 1e-10);
+/// ```
+pub fn integrate<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> f64 {
+    assert!(a.is_finite() && b.is_finite(), "integration bounds must be finite");
+    assert!(tol > 0.0, "tolerance must be positive");
+    if a == b {
+        return 0.0;
+    }
+    if a > b {
+        return -integrate(f, b, a, tol);
+    }
+    let fa = f(a);
+    let fb = f(b);
+    let m = 0.5 * (a + b);
+    let fm = f(m);
+    let whole = simpson(a, b, fa, fm, fb);
+    adaptive(&f, a, b, fa, fm, fb, whole, tol, 60)
+}
+
+/// Integrates `f` over `[a, b]` with composite Simpson's rule on `n` equal
+/// panels (`n` is rounded up to the next even integer, minimum 2).
+///
+/// This non-adaptive variant is useful when the integrand is cheap and
+/// smooth and a predictable amount of work is preferred, e.g. inside
+/// property tests.
+///
+/// # Panics
+///
+/// Panics if the bounds are non-finite or `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use numeric::quadrature::integrate_fixed;
+///
+/// let v = integrate_fixed(|x| x.sin(), 0.0, std::f64::consts::PI, 1000);
+/// assert!((v - 2.0).abs() < 1e-9);
+/// ```
+pub fn integrate_fixed<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
+    assert!(a.is_finite() && b.is_finite(), "integration bounds must be finite");
+    assert!(n > 0, "panel count must be positive");
+    if a == b {
+        return 0.0;
+    }
+    if a > b {
+        return -integrate_fixed(f, b, a, n);
+    }
+    let n = if n.is_multiple_of(2) { n } else { n + 1 };
+    let h = (b - a) / n as f64;
+    let mut sum = f(a) + f(b);
+    for i in 1..n {
+        let x = a + h * i as f64;
+        sum += if i % 2 == 1 { 4.0 * f(x) } else { 2.0 * f(x) };
+    }
+    sum * h / 3.0
+}
+
+fn simpson(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
+    (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adaptive<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    whole: f64,
+    tol: f64,
+    depth: u32,
+) -> f64 {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = simpson(a, m, fa, flm, fm);
+    let right = simpson(m, b, fm, frm, fb);
+    let delta = left + right - whole;
+    if depth == 0 || delta.abs() <= 15.0 * tol {
+        // Richardson extrapolation on the two half-interval estimates.
+        left + right + delta / 15.0
+    } else {
+        adaptive(f, a, m, fa, flm, fm, left, 0.5 * tol, depth - 1)
+            + adaptive(f, m, b, fm, frm, fb, right, 0.5 * tol, depth - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use std::f64::consts::{E, PI};
+
+    #[test]
+    fn integrates_polynomial_exactly() {
+        // Simpson is exact for cubics.
+        let v = integrate(|x| 4.0 * x * x * x - 2.0 * x + 1.0, -1.0, 2.0, 1e-12);
+        // ∫ = x^4 - x^2 + x evaluated: (16-4+2) - (1-1-1) = 14 + 1 = 15
+        assert!(approx_eq(v, 15.0, 1e-10), "got {v}");
+    }
+
+    #[test]
+    fn integrates_exponential() {
+        let v = integrate(|x| x.exp(), 0.0, 1.0, 1e-12);
+        assert!(approx_eq(v, E - 1.0, 1e-10));
+    }
+
+    #[test]
+    fn reversed_bounds_negate() {
+        let fwd = integrate(|x| x.cos(), 0.0, PI / 2.0, 1e-10);
+        let rev = integrate(|x| x.cos(), PI / 2.0, 0.0, 1e-10);
+        assert!(approx_eq(fwd, -rev, 1e-10));
+        assert!(approx_eq(fwd, 1.0, 1e-8));
+    }
+
+    #[test]
+    fn empty_interval_is_zero() {
+        assert_eq!(integrate(|x| x.exp(), 2.0, 2.0, 1e-9), 0.0);
+        assert_eq!(integrate_fixed(|x| x.exp(), 2.0, 2.0, 8), 0.0);
+    }
+
+    #[test]
+    fn handles_sharp_peak() {
+        // Narrow Gaussian bump: adaptive refinement must find it.
+        let sigma: f64 = 1e-3;
+        let norm = 1.0 / (sigma * (2.0 * PI).sqrt());
+        let f = |x: f64| norm * (-0.5 * ((x - 0.5) / sigma).powi(2)).exp();
+        let v = integrate(f, 0.0, 1.0, 1e-10);
+        assert!(approx_eq(v, 1.0, 1e-6), "got {v}");
+    }
+
+    #[test]
+    fn fixed_matches_adaptive_on_smooth_integrand() {
+        let f = |x: f64| (1.0 + x).ln();
+        let a = integrate(f, 0.0, 4.0, 1e-12);
+        let b = integrate_fixed(f, 0.0, 4.0, 4096);
+        assert!(approx_eq(a, b, 1e-9));
+    }
+
+    #[test]
+    fn fixed_rounds_odd_panel_count_up() {
+        let v = integrate_fixed(|x| x, 0.0, 1.0, 3);
+        assert!(approx_eq(v, 0.5, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be positive")]
+    fn rejects_nonpositive_tolerance() {
+        integrate(|x| x, 0.0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must be finite")]
+    fn rejects_infinite_bound() {
+        integrate(|x| x, 0.0, f64::INFINITY, 1e-9);
+    }
+}

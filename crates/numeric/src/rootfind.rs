@@ -1,0 +1,250 @@
+//! Bracketing root finders.
+//!
+//! Used by the driving simulator to calibrate distribution parameters to a
+//! target mean (e.g. "scale the Chicago-shaped stop-length distribution so
+//! its mean is 60 s" for the Figure 5/6 traffic sweeps).
+
+use std::fmt;
+
+/// Error returned when a root cannot be located.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FindRootError {
+    /// `f(a)` and `f(b)` have the same sign, so `[a, b]` does not bracket a
+    /// root.
+    NotBracketed,
+    /// The iteration budget was exhausted before the tolerance was met.
+    MaxIterations,
+    /// The function returned a non-finite value inside the bracket.
+    NonFiniteValue,
+}
+
+impl fmt::Display for FindRootError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotBracketed => write!(f, "interval does not bracket a sign change"),
+            Self::MaxIterations => write!(f, "iteration budget exhausted before convergence"),
+            Self::NonFiniteValue => write!(f, "function returned a non-finite value"),
+        }
+    }
+}
+
+impl std::error::Error for FindRootError {}
+
+/// Finds a root of `f` in `[a, b]` by bisection.
+///
+/// Converges unconditionally for any continuous `f` with a sign change on
+/// the bracket, at one bit of accuracy per iteration.
+///
+/// # Errors
+///
+/// Returns [`FindRootError::NotBracketed`] if `f(a)·f(b) > 0`,
+/// [`FindRootError::NonFiniteValue`] if `f` produces NaN/∞, and
+/// [`FindRootError::MaxIterations`] if 200 iterations do not reach `tol`.
+///
+/// # Example
+///
+/// ```
+/// use numeric::rootfind::bisect;
+///
+/// let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12)?;
+/// assert!((r - 2f64.sqrt()).abs() < 1e-10);
+/// # Ok::<(), numeric::rootfind::FindRootError>(())
+/// ```
+pub fn bisect<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> Result<f64, FindRootError> {
+    let (mut lo, mut hi) = (a.min(b), a.max(b));
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if !flo.is_finite() || !fhi.is_finite() {
+        return Err(FindRootError::NonFiniteValue);
+    }
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(FindRootError::NotBracketed);
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        if !fmid.is_finite() {
+            return Err(FindRootError::NonFiniteValue);
+        }
+        if fmid == 0.0 || hi - lo < tol {
+            return Ok(mid);
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(FindRootError::MaxIterations)
+}
+
+/// Finds a root of `f` in `[a, b]` with Brent's method (inverse quadratic
+/// interpolation with a bisection fallback).
+///
+/// Typically an order of magnitude fewer function evaluations than
+/// [`bisect`] on smooth functions, with the same unconditional convergence
+/// guarantee.
+///
+/// # Errors
+///
+/// Same conditions as [`bisect`].
+///
+/// # Example
+///
+/// ```
+/// use numeric::rootfind::brent;
+///
+/// let r = brent(|x| x.cos() - x, 0.0, 1.0, 1e-14)?;
+/// assert!((r - 0.7390851332151607).abs() < 1e-12);
+/// # Ok::<(), numeric::rootfind::FindRootError>(())
+/// ```
+pub fn brent<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> Result<f64, FindRootError> {
+    let (mut a, mut b) = (a, b);
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if !fa.is_finite() || !fb.is_finite() {
+        return Err(FindRootError::NonFiniteValue);
+    }
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(FindRootError::NotBracketed);
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut mflag = true;
+    let mut d = c;
+    for _ in 0..200 {
+        if fb == 0.0 || (b - a).abs() < tol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant step.
+            b - fb * (b - a) / (fb - fa)
+        };
+        let lo = (3.0 * a + b) / 4.0;
+        let cond1 = !((s > lo.min(b) && s < lo.max(b)) || (s > b.min(lo) && s < b.max(lo)));
+        let cond2 = mflag && (s - b).abs() >= (b - c).abs() / 2.0;
+        let cond3 = !mflag && (s - b).abs() >= (c - d).abs() / 2.0;
+        let cond4 = mflag && (b - c).abs() < tol;
+        let cond5 = !mflag && (c - d).abs() < tol;
+        if cond1 || cond2 || cond3 || cond4 || cond5 {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        if !fs.is_finite() {
+            return Err(FindRootError::NonFiniteValue);
+        }
+        d = c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(FindRootError::MaxIterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_accepts_reversed_bracket() {
+        let r = bisect(|x| x - 1.0, 5.0, 0.0, 1e-12).unwrap();
+        assert!((r - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_detects_missing_bracket() {
+        assert_eq!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9),
+            Err(FindRootError::NotBracketed)
+        );
+    }
+
+    #[test]
+    fn bisect_returns_endpoint_root() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-9), Ok(0.0));
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-9), Ok(1.0));
+    }
+
+    #[test]
+    fn brent_finds_cos_fixed_point() {
+        let r = brent(|x| x.cos() - x, 0.0, 1.0, 1e-14).unwrap();
+        assert!((r - 0.739_085_133_215_160_7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brent_matches_bisect() {
+        let f = |x: f64| x.exp() - 3.0;
+        let rb = bisect(f, 0.0, 2.0, 1e-13).unwrap();
+        let rr = brent(f, 0.0, 2.0, 1e-13).unwrap();
+        assert!((rb - rr).abs() < 1e-10);
+        assert!((rr - 3f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_detects_missing_bracket() {
+        assert_eq!(
+            brent(|x| x * x + 1.0, -1.0, 1.0, 1e-9),
+            Err(FindRootError::NotBracketed)
+        );
+    }
+
+    #[test]
+    fn nonfinite_function_rejected() {
+        assert_eq!(
+            bisect(|_| f64::NAN, 0.0, 1.0, 1e-9),
+            Err(FindRootError::NonFiniteValue)
+        );
+    }
+
+    #[test]
+    fn error_display_is_nonempty() {
+        for e in [
+            FindRootError::NotBracketed,
+            FindRootError::MaxIterations,
+            FindRootError::NonFiniteValue,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,554 @@
+//! A dense two-phase simplex solver for small linear programs.
+//!
+//! Section 4.4 of the paper reduces the constrained ski-rental design to a
+//! linear program over the probability masses `(α, β, γ)` placed on the
+//! TOI / DET / b-DET atoms (objective (32), constraints (33)). The optimum
+//! is known to sit at one of four vertices, and `skirental` selects it in
+//! closed form; this solver provides the *general* LP path so the closed
+//! form can be cross-checked (see the `ablation_lp` bench and the
+//! `constrained` module's tests).
+//!
+//! The implementation is a textbook dense tableau with Bland's anti-cycling
+//! rule: variables are non-negative, constraints may be `≤`, `≥`, or `=`,
+//! and both phases share the same pivoting kernel. It is built for problems
+//! with tens of variables, not thousands.
+
+use std::fmt;
+
+/// Relation of a linear constraint row to its right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x ≥ b`
+    Ge,
+    /// `a·x = b`
+    Eq,
+}
+
+/// A single linear constraint `coeffs · x <relation> rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    coeffs: Vec<f64>,
+    relation: Relation,
+    rhs: f64,
+}
+
+/// Why an LP could not be solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded below on the feasible region.
+    Unbounded,
+    /// A constraint row's coefficient count does not match the objective's.
+    DimensionMismatch {
+        /// Index of the offending constraint.
+        constraint: usize,
+        /// Number of coefficients supplied on that row.
+        got: usize,
+        /// Number of decision variables expected.
+        expected: usize,
+    },
+    /// The objective or a constraint contains a NaN/∞ coefficient.
+    NonFiniteInput,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Infeasible => write!(f, "linear program is infeasible"),
+            Self::Unbounded => write!(f, "linear program is unbounded"),
+            Self::DimensionMismatch { constraint, got, expected } => write!(
+                f,
+                "constraint {constraint} has {got} coefficients, expected {expected}"
+            ),
+            Self::NonFiniteInput => write!(f, "non-finite coefficient in linear program"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// An optimal solution to a [`LinearProgram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Optimal values of the decision variables.
+    pub x: Vec<f64>,
+    /// Optimal objective value (for the *minimization* form).
+    pub objective: f64,
+}
+
+/// A linear program `min c·x` subject to linear constraints and `x ≥ 0`.
+///
+/// # Example
+///
+/// Recover the classic vertex solution of a tiny transportation-style LP:
+///
+/// ```
+/// use numeric::simplex::{LinearProgram, Relation};
+///
+/// // min −x − 2y  s.t.  x + y ≤ 4,  y ≤ 3,  x,y ≥ 0   →  x=1, y=3, obj=−7
+/// let mut lp = LinearProgram::minimize(vec![-1.0, -2.0]);
+/// lp.constrain(vec![1.0, 1.0], Relation::Le, 4.0)
+///   .constrain(vec![0.0, 1.0], Relation::Le, 3.0);
+/// let sol = lp.solve()?;
+/// assert!((sol.objective + 7.0).abs() < 1e-9);
+/// # Ok::<(), numeric::simplex::SolveError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearProgram {
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+const EPS: f64 = 1e-9;
+
+impl LinearProgram {
+    /// Creates a minimization problem over `objective.len()` non-negative
+    /// decision variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objective` is empty.
+    #[must_use]
+    pub fn minimize(objective: Vec<f64>) -> Self {
+        assert!(!objective.is_empty(), "objective must have at least one variable");
+        Self { objective, constraints: Vec::new() }
+    }
+
+    /// Creates a maximization problem by negating the objective; the
+    /// returned [`Solution::objective`] is reported for the *maximization*
+    /// once solved through [`Self::solve_max`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objective` is empty.
+    #[must_use]
+    pub fn maximize(objective: Vec<f64>) -> Self {
+        Self::minimize(objective.into_iter().map(|c| -c).collect())
+    }
+
+    /// Adds the constraint `coeffs · x <relation> rhs` and returns `self`
+    /// for chaining.
+    pub fn constrain(&mut self, coeffs: Vec<f64>, relation: Relation, rhs: f64) -> &mut Self {
+        self.constraints.push(Constraint { coeffs, relation, rhs });
+        self
+    }
+
+    /// Number of decision variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints added so far.
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Solves the minimization problem with the two-phase simplex method.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolveError::DimensionMismatch`] — a constraint row has the wrong
+    ///   number of coefficients.
+    /// * [`SolveError::NonFiniteInput`] — NaN/∞ in the input.
+    /// * [`SolveError::Infeasible`] — phase 1 cannot zero the artificials.
+    /// * [`SolveError::Unbounded`] — phase 2 finds an unbounded ray.
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        self.validate()?;
+        Tableau::new(self).solve()
+    }
+
+    /// Solves a problem built with [`Self::maximize`], reporting the
+    /// objective in maximization orientation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::solve`].
+    pub fn solve_max(&self) -> Result<Solution, SolveError> {
+        let sol = self.solve()?;
+        Ok(Solution { objective: -sol.objective, x: sol.x })
+    }
+
+    fn validate(&self) -> Result<(), SolveError> {
+        if self.objective.iter().any(|c| !c.is_finite()) {
+            return Err(SolveError::NonFiniteInput);
+        }
+        let n = self.objective.len();
+        for (i, c) in self.constraints.iter().enumerate() {
+            if c.coeffs.len() != n {
+                return Err(SolveError::DimensionMismatch {
+                    constraint: i,
+                    got: c.coeffs.len(),
+                    expected: n,
+                });
+            }
+            if c.coeffs.iter().any(|v| !v.is_finite()) || !c.rhs.is_finite() {
+                return Err(SolveError::NonFiniteInput);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Dense simplex tableau.
+///
+/// Layout: `rows × (n_total + 1)` where the last column is the RHS.
+/// Columns: `[decision | slack/surplus | artificial]`.
+struct Tableau {
+    /// Constraint rows.
+    rows: Vec<Vec<f64>>,
+    /// Basis variable index for each row.
+    basis: Vec<usize>,
+    /// Number of decision variables.
+    n_dec: usize,
+    /// Total structural columns (decision + slack + artificial).
+    n_total: usize,
+    /// First artificial column index.
+    art_start: usize,
+    /// Original objective padded to `n_total`.
+    cost: Vec<f64>,
+}
+
+impl Tableau {
+    fn new(lp: &LinearProgram) -> Self {
+        let n_dec = lp.objective.len();
+        let m = lp.constraints.len();
+
+        // Count slack/surplus columns and normalize rows to rhs ≥ 0.
+        let mut norm: Vec<(Vec<f64>, Relation, f64)> = lp
+            .constraints
+            .iter()
+            .map(|c| (c.coeffs.clone(), c.relation, c.rhs))
+            .collect();
+        for (coeffs, rel, rhs) in &mut norm {
+            if *rhs < 0.0 {
+                for v in coeffs.iter_mut() {
+                    *v = -*v;
+                }
+                *rhs = -*rhs;
+                *rel = match *rel {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+            }
+        }
+        let n_slack = norm
+            .iter()
+            .filter(|(_, rel, _)| matches!(rel, Relation::Le | Relation::Ge))
+            .count();
+        // Every row gets an artificial except `≤` rows, whose slack can
+        // start basic.
+        let n_art = norm
+            .iter()
+            .filter(|(_, rel, _)| !matches!(rel, Relation::Le))
+            .count();
+        let art_start = n_dec + n_slack;
+        let n_total = art_start + n_art;
+
+        let mut rows = vec![vec![0.0; n_total + 1]; m];
+        let mut basis = vec![0usize; m];
+        let mut slack_col = n_dec;
+        let mut art_col = art_start;
+        for (i, (coeffs, rel, rhs)) in norm.iter().enumerate() {
+            rows[i][..n_dec].copy_from_slice(coeffs);
+            rows[i][n_total] = *rhs;
+            match rel {
+                Relation::Le => {
+                    rows[i][slack_col] = 1.0;
+                    basis[i] = slack_col;
+                    slack_col += 1;
+                }
+                Relation::Ge => {
+                    rows[i][slack_col] = -1.0;
+                    slack_col += 1;
+                    rows[i][art_col] = 1.0;
+                    basis[i] = art_col;
+                    art_col += 1;
+                }
+                Relation::Eq => {
+                    rows[i][art_col] = 1.0;
+                    basis[i] = art_col;
+                    art_col += 1;
+                }
+            }
+        }
+
+        let mut cost = vec![0.0; n_total];
+        cost[..n_dec].copy_from_slice(&lp.objective);
+
+        Self { rows, basis, n_dec, n_total, art_start, cost }
+    }
+
+    fn solve(mut self) -> Result<Solution, SolveError> {
+        // Phase 1: minimize the sum of artificial variables.
+        if self.art_start < self.n_total {
+            let phase1_cost: Vec<f64> = (0..self.n_total)
+                .map(|j| if j >= self.art_start { 1.0 } else { 0.0 })
+                .collect();
+            let obj = self.run_phase(&phase1_cost, self.n_total)?;
+            if obj > EPS {
+                return Err(SolveError::Infeasible);
+            }
+            self.drive_out_artificials();
+        }
+        // Phase 2: original objective, artificials barred from entering.
+        let cost = self.cost.clone();
+        let objective = self.run_phase(&cost, self.art_start)?;
+        let mut x = vec![0.0; self.n_dec];
+        for (row, &bj) in self.basis.iter().enumerate() {
+            if bj < self.n_dec {
+                x[bj] = self.rows[row][self.n_total];
+            }
+        }
+        Ok(Solution { x, objective })
+    }
+
+    /// Runs primal simplex with cost vector `cost`, allowing only columns
+    /// `< col_limit` to enter the basis. Returns the optimal objective.
+    fn run_phase(&mut self, cost: &[f64], col_limit: usize) -> Result<f64, SolveError> {
+        loop {
+            let reduced = self.reduced_costs(cost);
+            // Bland's rule: smallest-index column with negative reduced cost.
+            let entering = (0..col_limit).find(|&j| reduced[j] < -EPS);
+            let Some(enter) = entering else {
+                return Ok(self.objective_value(cost));
+            };
+            // Ratio test with Bland tie-breaking on basis index.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for (i, row) in self.rows.iter().enumerate() {
+                let a = row[enter];
+                if a > EPS {
+                    let ratio = row[self.n_total] / a;
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leave.is_some_and(|l| self.basis[i] < self.basis[l]));
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(leave) = leave else {
+                return Err(SolveError::Unbounded);
+            };
+            self.pivot(leave, enter);
+        }
+    }
+
+    fn reduced_costs(&self, cost: &[f64]) -> Vec<f64> {
+        // r_j = c_j − c_B · B⁻¹A_j ; with an explicit tableau B⁻¹A is just
+        // the stored rows, so r_j = c_j − Σ_i c_{basis(i)} · rows[i][j].
+        let mut r = cost.to_vec();
+        for (i, row) in self.rows.iter().enumerate() {
+            let cb = cost[self.basis[i]];
+            if cb != 0.0 {
+                for j in 0..self.n_total {
+                    r[j] -= cb * row[j];
+                }
+            }
+        }
+        r
+    }
+
+    fn objective_value(&self, cost: &[f64]) -> f64 {
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(i, row)| cost[self.basis[i]] * row[self.n_total])
+            .sum()
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let p = self.rows[row][col];
+        for v in self.rows[row].iter_mut() {
+            *v /= p;
+        }
+        let pivot_row = self.rows[row].clone();
+        for (i, r) in self.rows.iter_mut().enumerate() {
+            if i != row {
+                let factor = r[col];
+                if factor != 0.0 {
+                    for (v, pv) in r.iter_mut().zip(&pivot_row) {
+                        *v -= factor * pv;
+                    }
+                }
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// After phase 1, pivot any artificial variable still in the basis out
+    /// on a non-artificial column (or drop the redundant row if none
+    /// exists).
+    fn drive_out_artificials(&mut self) {
+        for i in 0..self.rows.len() {
+            if self.basis[i] >= self.art_start {
+                let col = (0..self.art_start).find(|&j| self.rows[i][j].abs() > EPS);
+                if let Some(col) = col {
+                    self.pivot(i, col);
+                } else {
+                    // Redundant row: all structural coefficients are zero
+                    // and (phase 1 succeeded) so is the RHS. Zeroing keeps
+                    // indices stable and the row inert.
+                    for v in self.rows[i].iter_mut() {
+                        *v = 0.0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn assert_sol(sol: &Solution, x: &[f64], obj: f64) {
+        assert!(approx_eq(sol.objective, obj, 1e-7), "objective {} != {obj}", sol.objective);
+        for (i, (&got, &want)) in sol.x.iter().zip(x).enumerate() {
+            assert!(approx_eq(got, want, 1e-7), "x[{i}] = {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn basic_maximization() {
+        // max 3x + 5y  s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2,6), 36
+        let mut lp = LinearProgram::maximize(vec![3.0, 5.0]);
+        lp.constrain(vec![1.0, 0.0], Relation::Le, 4.0)
+            .constrain(vec![0.0, 2.0], Relation::Le, 12.0)
+            .constrain(vec![3.0, 2.0], Relation::Le, 18.0);
+        let sol = lp.solve_max().unwrap();
+        assert_sol(&sol, &[2.0, 6.0], 36.0);
+    }
+
+    #[test]
+    fn minimization_with_ge() {
+        // min 2x + 3y  s.t. x + y ≥ 10, x ≥ 2 → (10, 0)? check: obj 20 at
+        // (10,0); (2,8) gives 4+24=28. So (10,0), obj 20.
+        let mut lp = LinearProgram::minimize(vec![2.0, 3.0]);
+        lp.constrain(vec![1.0, 1.0], Relation::Ge, 10.0)
+            .constrain(vec![1.0, 0.0], Relation::Ge, 2.0);
+        let sol = lp.solve().unwrap();
+        assert_sol(&sol, &[10.0, 0.0], 20.0);
+    }
+
+    #[test]
+    fn equality_constraint() {
+        // min x + y  s.t. x + 2y = 4, x ≤ 1 → x=1? obj at (0,2)=2; (1,1.5)=2.5.
+        // min is (0,2) with obj 2.
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+        lp.constrain(vec![1.0, 2.0], Relation::Eq, 4.0)
+            .constrain(vec![1.0, 0.0], Relation::Le, 1.0);
+        let sol = lp.solve().unwrap();
+        assert_sol(&sol, &[0.0, 2.0], 2.0);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // −x ≤ −3  ⟺  x ≥ 3 ; min x → 3.
+        let mut lp = LinearProgram::minimize(vec![1.0]);
+        lp.constrain(vec![-1.0], Relation::Le, -3.0);
+        let sol = lp.solve().unwrap();
+        assert_sol(&sol, &[3.0], 3.0);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut lp = LinearProgram::minimize(vec![1.0]);
+        lp.constrain(vec![1.0], Relation::Le, 1.0)
+            .constrain(vec![1.0], Relation::Ge, 2.0);
+        assert_eq!(lp.solve(), Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // min −x, x ≥ 0, no upper bound.
+        let mut lp = LinearProgram::minimize(vec![-1.0]);
+        lp.constrain(vec![1.0], Relation::Ge, 0.0);
+        assert_eq!(lp.solve(), Err(SolveError::Unbounded));
+    }
+
+    #[test]
+    fn detects_dimension_mismatch() {
+        let mut lp = LinearProgram::minimize(vec![1.0, 2.0]);
+        lp.constrain(vec![1.0], Relation::Le, 1.0);
+        assert_eq!(
+            lp.solve(),
+            Err(SolveError::DimensionMismatch { constraint: 0, got: 1, expected: 2 })
+        );
+    }
+
+    #[test]
+    fn detects_non_finite() {
+        let mut lp = LinearProgram::minimize(vec![f64::NAN]);
+        lp.constrain(vec![1.0], Relation::Le, 1.0);
+        assert_eq!(lp.solve(), Err(SolveError::NonFiniteInput));
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degenerate vertex; Bland's rule must avoid cycling.
+        let mut lp = LinearProgram::minimize(vec![-0.75, 150.0, -0.02, 6.0]);
+        lp.constrain(vec![0.25, -60.0, -0.04, 9.0], Relation::Le, 0.0)
+            .constrain(vec![0.5, -90.0, -0.02, 3.0], Relation::Le, 0.0)
+            .constrain(vec![0.0, 0.0, 1.0, 0.0], Relation::Le, 1.0);
+        let sol = lp.solve().unwrap();
+        assert!(approx_eq(sol.objective, -0.05, 1e-7), "objective {}", sol.objective);
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        // x + y = 2 listed twice: feasible, redundant row must be handled.
+        let mut lp = LinearProgram::minimize(vec![1.0, 0.0]);
+        lp.constrain(vec![1.0, 1.0], Relation::Eq, 2.0)
+            .constrain(vec![1.0, 1.0], Relation::Eq, 2.0);
+        let sol = lp.solve().unwrap();
+        assert_sol(&sol, &[0.0, 2.0], 0.0);
+    }
+
+    #[test]
+    fn paper_vertex_lp_shape() {
+        // The Section-4.4 LP: min Kα·α + Kβ·β + Kγ·γ with α+β+γ ≤ 1 picks
+        // the most negative coefficient's vertex.
+        let mut lp = LinearProgram::minimize(vec![-0.2, -0.5, -0.1]);
+        lp.constrain(vec![1.0, 1.0, 1.0], Relation::Le, 1.0);
+        let sol = lp.solve().unwrap();
+        assert_sol(&sol, &[0.0, 1.0, 0.0], -0.5);
+    }
+
+    #[test]
+    fn all_coefficients_positive_selects_origin() {
+        let mut lp = LinearProgram::minimize(vec![0.3, 0.7, 0.1]);
+        lp.constrain(vec![1.0, 1.0, 1.0], Relation::Le, 1.0);
+        let sol = lp.solve().unwrap();
+        assert_sol(&sol, &[0.0, 0.0, 0.0], 0.0);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let errs: Vec<SolveError> = vec![
+            SolveError::Infeasible,
+            SolveError::Unbounded,
+            SolveError::NonFiniteInput,
+            SolveError::DimensionMismatch { constraint: 0, got: 1, expected: 2 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let mut lp = LinearProgram::minimize(vec![1.0, 2.0]);
+        lp.constrain(vec![1.0, 1.0], Relation::Le, 1.0);
+        assert_eq!(lp.num_vars(), 2);
+        assert_eq!(lp.num_constraints(), 1);
+    }
+}

@@ -1,0 +1,332 @@
+//! Streaming and batch summary statistics.
+//!
+//! Table 1 of the paper reports the mean, standard deviation, and an upper
+//! percentile bound of stops-per-day across each area's fleet; the fleet
+//! experiments additionally need per-vehicle means and worst-case maxima.
+//! [`RunningStats`] provides numerically stable (Welford) accumulation and
+//! [`quantile`] the batch order statistics.
+
+/// Numerically stable streaming accumulator for count / mean / variance /
+/// min / max.
+///
+/// Uses Welford's online algorithm, so it is safe for long traces with
+/// large means (no catastrophic cancellation).
+///
+/// # Example
+///
+/// ```
+/// use numeric::stats::RunningStats;
+///
+/// let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not finite — a NaN would silently poison every
+    /// downstream statistic.
+    pub fn add(&mut self, x: f64) {
+        assert!(x.is_finite(), "RunningStats observation must be finite, got {x}");
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean; `0` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sum of observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+
+    /// Population variance (divide by `n`); `0` when fewer than 1
+    /// observation.
+    #[must_use]
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample variance (divide by `n − 1`); `0` when fewer than 2
+    /// observations.
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn population_std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest observation; `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation; `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for x in iter {
+            s.add(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+/// Returns the `q`-quantile (`0 ≤ q ≤ 1`) of `values` using linear
+/// interpolation between order statistics (type-7, the numpy default).
+/// Returns `None` for an empty slice.
+///
+/// The input does not need to be sorted; a sorted copy is made internally.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or any value is NaN.
+///
+/// # Example
+///
+/// ```
+/// use numeric::stats::quantile;
+///
+/// let v = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(quantile(&v, 0.5), Some(2.5));
+/// assert_eq!(quantile(&v, 0.0), Some(1.0));
+/// assert_eq!(quantile(&v, 1.0), Some(4.0));
+/// ```
+#[must_use]
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile order must be in [0,1], got {q}");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// [`quantile`] for data already sorted ascending (no copy).
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`. Behaviour on unsorted input is
+/// unspecified (but will not panic).
+#[must_use]
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile order must be in [0,1], got {q}");
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Fraction of `values` that are `≤ threshold` — the empirical CDF used for
+/// the Table-1 column `P{X ≤ μ + 2σ}`.
+///
+/// Returns `0` for an empty slice.
+#[must_use]
+pub fn fraction_at_most(values: &[f64], threshold: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v <= threshold).count() as f64 / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn empty_stats() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = RunningStats::new();
+        s.add(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.min(), Some(3.5));
+        assert_eq!(s.max(), Some(3.5));
+    }
+
+    #[test]
+    fn known_variance() {
+        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert!(approx_eq(s.mean(), 5.0, 1e-12));
+        assert!(approx_eq(s.population_variance(), 4.0, 1e-12));
+        assert!(approx_eq(s.sample_variance(), 32.0 / 7.0, 1e-12));
+    }
+
+    #[test]
+    fn welford_is_stable_for_large_offsets() {
+        // Same data shifted by 1e9: variance must be unchanged.
+        let base = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let shifted: RunningStats = base.iter().map(|x| x + 1e9).collect();
+        assert!(approx_eq(shifted.population_variance(), 4.0, 1e-6));
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 5.0).collect();
+        let seq: RunningStats = data.iter().copied().collect();
+        let mut a: RunningStats = data[..37].iter().copied().collect();
+        let b: RunningStats = data[37..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!(approx_eq(a.mean(), seq.mean(), 1e-12));
+        assert!(approx_eq(a.population_variance(), seq.population_variance(), 1e-10));
+        assert_eq!(a.min(), seq.min());
+        assert_eq!(a.max(), seq.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s: RunningStats = [1.0, 2.0].into_iter().collect();
+        let before = s;
+        s.merge(&RunningStats::new());
+        assert_eq!(s, before);
+        let mut e = RunningStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn rejects_nan_observation() {
+        RunningStats::new().add(f64::NAN);
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let v = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(quantile(&v, 0.5), Some(30.0));
+        assert_eq!(quantile(&v, 0.25), Some(20.0));
+        assert_eq!(quantile(&v, 0.1), Some(14.0));
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let v = [3.0, 1.0, 2.0];
+        assert_eq!(quantile(&v, 0.5), Some(2.0));
+    }
+
+    #[test]
+    fn quantile_empty() {
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn fraction_at_most_basics() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!(approx_eq(fraction_at_most(&v, 2.0), 0.5, 1e-12));
+        assert_eq!(fraction_at_most(&v, 0.0), 0.0);
+        assert_eq!(fraction_at_most(&v, 10.0), 1.0);
+        assert_eq!(fraction_at_most(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn quantile_rejects_bad_order() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+}

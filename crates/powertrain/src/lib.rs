@@ -1,0 +1,54 @@
+//! Powertrain cost model and stop-start engine simulation.
+//!
+//! Appendix C of the paper derives the break-even interval `B` from
+//! vehicle physics and component economics: idle fuel burn (eq. (45)),
+//! fuel price (eq. (46)), starter and battery wear amortization, and
+//! exhaust-gas penalties. This crate implements that derivation and an
+//! engine state machine that *executes* a ski-rental policy on a stop
+//! trace, accounting fuel, component wear, and emissions — the end-to-end
+//! path that validates the analytic cost formulas.
+//!
+//! * [`fuel`] — idle fuel-burn and monetary idling cost (eqs. (45)–(46)).
+//! * [`emissions`] — THC/NOx/CO accounting for idling vs. restart, with
+//!   the NOx-tax cost conversion from Appendix C.2.3.
+//! * [`restart`] — the one-time restart cost: fuel, starter wear, battery
+//!   wear, emissions penalty, each expressed in seconds-of-idling.
+//! * [`battery`] — the detailed depth-of-discharge battery wear model
+//!   from the paper's cycle-endurance data (13 250 cycles at 1.75 % DoD,
+//!   250 at 31 %).
+//! * [`breakeven`] — assembling the above into `B` (the paper's 28 s for
+//!   stop-start vehicles and 47 s for conventional ones).
+//! * [`engine`] — the engine state machine (running / idling / off /
+//!   cranking) with validated transitions.
+//! * [`controller`] — the stop-start controller: drives the state machine
+//!   over a stop trace under any [`skirental::Policy`], producing a full
+//!   [`controller::DriveOutcome`] ledger.
+//! * [`savings`] — annual / fleet-scale projections in the introduction's
+//!   units: gallons, dollars, kilograms of CO₂.
+//!
+//! # Example
+//!
+//! ```
+//! use powertrain::breakeven::VehicleSpec;
+//!
+//! // The paper's stop-start vehicle: B comes out near 28 s.
+//! let spec = VehicleSpec::stop_start_vehicle();
+//! let bd = spec.break_even_breakdown();
+//! assert!((27.0..31.0).contains(&bd.total_seconds()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod breakeven;
+pub mod controller;
+pub mod emissions;
+pub mod engine;
+pub mod fuel;
+pub mod restart;
+pub mod savings;
+
+pub use breakeven::{BreakEvenBreakdown, VehicleKind, VehicleSpec};
+pub use controller::{DriveOutcome, StopStartController};
+pub use engine::{EngineState, EngineStateMachine};

@@ -1,0 +1,393 @@
+//! Worst-case stop-length distributions from the paper's proofs.
+//!
+//! Two constructions are used in the analysis:
+//!
+//! * the **short-mass adversary** behind eq. (34): against a deterministic
+//!   threshold `x`, the worst distribution consistent with `(μ_B⁻, q_B⁺)`
+//!   puts all short mass at `{0, x}` (so every non-zero short stop pays the
+//!   full `x + B`) and the long mass at `B`;
+//! * the **Appendix-A adversary**: against a threshold `c > B`, mass is
+//!   placed only on `[0, B] ∪ {c}`, which shows any such threshold is
+//!   dominated by DET — hence the optimal strategy space is `[0, B]`.
+//!
+//! Both return [`Discrete`] distributions so expected costs can be
+//! evaluated exactly and the inequalities of the paper asserted in tests.
+
+use crate::cost::BreakEven;
+use crate::Error;
+use stopmodel::dist::Discrete;
+use stopmodel::ConstrainedMoments;
+
+/// Builds the worst-case distribution against a deterministic threshold
+/// `x ∈ (0, B]`, consistent with the given `(μ_B⁻, q_B⁺)`:
+/// atoms `(0, 1 − q − μ/x)`, `(x, μ/x)`, `(B, q)`.
+///
+/// Under this distribution the expected cost of the threshold-`x` policy is
+/// exactly `(x + B)(μ_B⁻/x + q_B⁺)` — eq. (34).
+///
+/// # Errors
+///
+/// Returns [`Error::InfeasibleAdversary`] when `x ≤ 0`, or when the short
+/// mass cannot be placed at `x` because `μ_B⁻/x > 1 − q_B⁺` (i.e.
+/// `x < μ_B⁻/(1 − q_B⁺)`, the regime where the paper proves b-DET is never
+/// selected).
+pub fn short_mass_adversary(moments: &ConstrainedMoments, x: f64) -> Result<Discrete, Error> {
+    let b = moments.break_even;
+    let mu = moments.mu_b_minus;
+    let q = moments.q_b_plus;
+    if !(x.is_finite() && x > 0.0 && x <= b) {
+        return Err(Error::InfeasibleAdversary { reason: "threshold must lie in (0, B]" });
+    }
+    let mass_at_x = mu / x;
+    let mass_at_zero = 1.0 - q - mass_at_x;
+    if mass_at_zero < -1e-12 {
+        return Err(Error::InfeasibleAdversary {
+            reason: "short mass exceeds 1 - q (need x >= mu / (1 - q))",
+        });
+    }
+    let mut atoms = vec![(x, mass_at_x), (b, q)];
+    if mass_at_zero > 0.0 {
+        atoms.push((0.0, mass_at_zero));
+    }
+    // Degenerate corner: all three masses zero cannot happen (they sum
+    // to 1), so the constructor below always has positive total mass.
+    Discrete::new(atoms.into_iter().filter(|&(_, p)| p > 0.0).collect())
+        .map_err(|_| Error::InfeasibleAdversary { reason: "no positive mass" })
+}
+
+/// Builds the Appendix-A adversary against a threshold `c > B`: short mass
+/// at `{0, v}` with `v ∈ [μ/(1−q), B)` (chosen as the feasible midpoint),
+/// and the long mass at `c` itself. No stop falls in `(B, c)`.
+///
+/// Under this distribution the threshold-`c` policy pays
+/// `μ_B⁻ + q_B⁺(c + B) ≥ μ_B⁻ + 2·q_B⁺·B = E[cost_DET]` (eq. (40)),
+/// which is the paper's proof that thresholds beyond `B` are dominated.
+///
+/// # Errors
+///
+/// Returns [`Error::InfeasibleAdversary`] when `c ≤ B`, or when the short
+/// mass cannot be realized below `B` (requires `μ_B⁻ < (1 − q_B⁺)·B` or
+/// `μ_B⁻ = 0`).
+pub fn appendix_a_adversary(
+    moments: &ConstrainedMoments,
+    c: f64,
+) -> Result<Discrete, Error> {
+    let b = moments.break_even;
+    let mu = moments.mu_b_minus;
+    let q = moments.q_b_plus;
+    if !(c.is_finite() && c > b) {
+        return Err(Error::InfeasibleAdversary { reason: "threshold must exceed B" });
+    }
+    let mut atoms: Vec<(f64, f64)> = Vec::with_capacity(3);
+    if q > 0.0 {
+        atoms.push((c, q));
+    }
+    let p_short = 1.0 - q;
+    if mu > 0.0 {
+        if p_short <= 0.0 {
+            return Err(Error::InfeasibleAdversary { reason: "mu > 0 but q = 1" });
+        }
+        let v_min = mu / p_short;
+        if v_min >= b {
+            return Err(Error::InfeasibleAdversary {
+                reason: "short mass cannot sit strictly below B",
+            });
+        }
+        // Feasible midpoint of [v_min, B).
+        let v = 0.5 * (v_min + b);
+        let mass_v = mu / v;
+        atoms.push((v, mass_v));
+        let rest = p_short - mass_v;
+        if rest > 0.0 {
+            atoms.push((0.0, rest));
+        }
+    } else if p_short > 0.0 {
+        atoms.push((0.0, p_short));
+    }
+    Discrete::new(atoms).map_err(|_| Error::InfeasibleAdversary { reason: "no positive mass" })
+}
+
+/// Convenience: the moments of an adversary distribution round-trip, i.e.
+/// computing `(μ_B⁻, q_B⁺)` of the constructed [`Discrete`] recovers the
+/// inputs. Exposed for tests and benches.
+#[must_use]
+pub fn moments_of(dist: &Discrete, break_even: BreakEven) -> ConstrainedMoments {
+    ConstrainedMoments::from_distribution(dist, break_even.seconds())
+}
+
+/// Numerically certifies a policy's worst-case expected cost by solving
+/// the *adversary's* side of the minimax as a linear program: over
+/// discrete distributions supported on a grid of `grid + 1` points in
+/// `[0, B)` plus the point `B`, maximize the policy's expected cost
+/// subject to the moment constraints
+/// `Σ_{y<B} p_y·y = μ_B⁻`, `Σ_{y≥B} p_y = q_B⁺`, `Σ p_y = 1`, `p ≥ 0`.
+///
+/// For every policy in this crate (thresholds in `[0, B]`) the expected
+/// cost is constant for `y ≥ B`, so a single support point at `B`
+/// represents the whole tail and the LP value equals the true worst case
+/// up to grid resolution. Returns the worst distribution and its cost.
+///
+/// # Errors
+///
+/// Returns [`Error::InfeasibleAdversary`] if the LP is infeasible (cannot
+/// happen for validated moments and `grid ≥ 1`) or the solver fails.
+///
+/// # Panics
+///
+/// Panics if `grid == 0`.
+pub fn worst_distribution_lp(
+    policy: &dyn crate::Policy,
+    moments: &ConstrainedMoments,
+    grid: usize,
+) -> Result<(Discrete, f64), Error> {
+    use numeric::simplex::{LinearProgram, Relation};
+
+    assert!(grid > 0, "grid must be non-empty");
+    let b = moments.break_even;
+    // Support: 0, b/grid, …, (grid−1)·b/grid, then B itself (the tail).
+    let mut support: Vec<f64> = (0..grid).map(|i| b * i as f64 / grid as f64).collect();
+    support.push(b);
+    let n = support.len();
+
+    let costs: Vec<f64> = support.iter().map(|&y| policy.expected_cost(y)).collect();
+    let mut lp = LinearProgram::maximize(costs.clone());
+    // Short-stop partial mean.
+    let mu_row: Vec<f64> =
+        support.iter().map(|&y| if y < b { y } else { 0.0 }).collect();
+    lp.constrain(mu_row, Relation::Eq, moments.mu_b_minus);
+    // Long-stop probability (only the point at B).
+    let q_row: Vec<f64> = support.iter().map(|&y| if y >= b { 1.0 } else { 0.0 }).collect();
+    lp.constrain(q_row, Relation::Eq, moments.q_b_plus);
+    // Total probability.
+    lp.constrain(vec![1.0; n], Relation::Eq, 1.0);
+
+    let sol = lp
+        .solve_max()
+        .map_err(|_| Error::InfeasibleAdversary { reason: "adversary LP failed" })?;
+    let atoms: Vec<(f64, f64)> = support
+        .iter()
+        .zip(&sol.x)
+        .filter(|&(_, &p)| p > 1e-12)
+        .map(|(&y, &p)| (y, p))
+        .collect();
+    let dist = Discrete::new(atoms)
+        .map_err(|_| Error::InfeasibleAdversary { reason: "LP produced no mass" })?;
+    Ok((dist, sol.objective))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::expected_cost_under_discrete;
+    use crate::policy::{BDet, Det};
+    use crate::BreakEven;
+    use numeric::approx_eq;
+    use stopmodel::StopDistribution;
+
+    fn moments(mu: f64, q: f64) -> ConstrainedMoments {
+        ConstrainedMoments::new(28.0, mu, q).unwrap()
+    }
+
+    #[test]
+    fn short_mass_adversary_realizes_moments() {
+        let m = moments(5.0, 0.3);
+        let adv = short_mass_adversary(&m, 10.0).unwrap();
+        let back = moments_of(&adv, BreakEven::new(28.0).unwrap());
+        assert!(approx_eq(back.mu_b_minus, 5.0, 1e-12));
+        assert!(approx_eq(back.q_b_plus, 0.3, 1e-12));
+    }
+
+    #[test]
+    fn short_mass_adversary_achieves_eq34() {
+        let m = moments(5.0, 0.3);
+        for &x in &[9.0, 14.0, 20.0, 28.0] {
+            let adv = short_mass_adversary(&m, x).unwrap();
+            let p = BDet::new(BreakEven::new(28.0).unwrap(), x).unwrap();
+            let cost = expected_cost_under_discrete(&p, &adv);
+            let want = (x + 28.0) * (5.0 / x + 0.3);
+            assert!(approx_eq(cost, want, 1e-12), "x={x}: {cost} vs {want}");
+        }
+    }
+
+    #[test]
+    fn short_mass_adversary_is_worst_among_alternatives() {
+        // The eq.-(34) cost upper-bounds the cost under a "nicer"
+        // distribution with the same moments (short mass spread at x/2,
+        // paying only x/2 < x + B when it ends early).
+        let x = 14.0;
+        let adv_cost = (x + 28.0) * (5.0 / x + 0.3);
+        // Same moments (μ = 0.5·10 = 5, q = 0.3), but the short mass sits
+        // below the threshold so it pays 10 instead of x + B.
+        let nice =
+            Discrete::new(vec![(10.0, 0.5), (0.0, 0.2), (28.0, 0.3)]).unwrap();
+        let p = BDet::new(BreakEven::new(28.0).unwrap(), x).unwrap();
+        let nice_cost = expected_cost_under_discrete(&p, &nice);
+        assert!(nice_cost < adv_cost, "nice {nice_cost} vs adversary {adv_cost}");
+    }
+
+    #[test]
+    fn short_mass_adversary_infeasible_below_vmin() {
+        // mu/(1-q) = 5/0.5 = 10: x below that is infeasible.
+        let m = moments(5.0, 0.5);
+        assert!(short_mass_adversary(&m, 9.0).is_err());
+        assert!(short_mass_adversary(&m, 10.0).is_ok());
+    }
+
+    #[test]
+    fn short_mass_adversary_rejects_bad_threshold() {
+        let m = moments(5.0, 0.3);
+        assert!(short_mass_adversary(&m, 0.0).is_err());
+        assert!(short_mass_adversary(&m, 29.0).is_err());
+        assert!(short_mass_adversary(&m, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn short_mass_adversary_zero_mu() {
+        let m = moments(0.0, 0.4);
+        let adv = short_mass_adversary(&m, 10.0).unwrap();
+        // Mass only at 0 and B.
+        assert_eq!(adv.atoms().len(), 2);
+        assert!(approx_eq(adv.tail_prob(28.0), 0.4, 1e-12));
+    }
+
+    #[test]
+    fn appendix_a_adversary_dominance() {
+        // Against any c > B the adversary makes threshold-c at least as
+        // expensive as DET (eq. (40)).
+        let be = BreakEven::new(28.0).unwrap();
+        for &(mu, q) in &[(5.0, 0.3), (0.0, 0.5), (10.0, 0.1), (13.0, 0.5)] {
+            let m = moments(mu, q);
+            for &c in &[30.0, 56.0, 280.0] {
+                let adv = appendix_a_adversary(&m, c).unwrap();
+                // Expected cost of the threshold-c policy: stops below B pay
+                // their own length (they end before c); the atom at c pays
+                // c + B.
+                let cost_c: f64 = adv
+                    .atoms()
+                    .iter()
+                    .map(|&(v, p)| p * if v >= c { c + 28.0 } else { v })
+                    .sum();
+                let det = Det::new(be);
+                let cost_det = expected_cost_under_discrete(&det, &adv);
+                assert!(
+                    cost_c >= cost_det - 1e-9,
+                    "mu={mu} q={q} c={c}: threshold-c {cost_c} < DET {cost_det}"
+                );
+                assert!(approx_eq(cost_c, mu + q * (c + 28.0), 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn appendix_a_adversary_realizes_moments() {
+        let m = moments(8.0, 0.25);
+        let adv = appendix_a_adversary(&m, 60.0).unwrap();
+        let back = moments_of(&adv, BreakEven::new(28.0).unwrap());
+        assert!(approx_eq(back.mu_b_minus, 8.0, 1e-12));
+        assert!(approx_eq(back.q_b_plus, 0.25, 1e-12));
+    }
+
+    #[test]
+    fn appendix_a_adversary_rejects_c_below_b() {
+        let m = moments(5.0, 0.3);
+        assert!(appendix_a_adversary(&m, 28.0).is_err());
+        assert!(appendix_a_adversary(&m, 10.0).is_err());
+    }
+
+    #[test]
+    fn appendix_a_adversary_edge_mu_at_cap() {
+        // mu = (1-q)·B exactly: v_min = B, cannot sit strictly below B.
+        let m = moments(14.0, 0.5);
+        assert!(appendix_a_adversary(&m, 60.0).is_err());
+    }
+
+    #[test]
+    fn appendix_a_adversary_all_long() {
+        let m = moments(0.0, 1.0);
+        let adv = appendix_a_adversary(&m, 60.0).unwrap();
+        assert_eq!(adv.atoms(), &[(60.0, 1.0)]);
+    }
+
+    #[test]
+    fn lp_certifies_det_worst_case() {
+        // eq. (14): the worst case of DET is μ + 2qB, and the LP recovers
+        // it without knowing the closed form.
+        let be = BreakEven::new(28.0).unwrap();
+        let m = moments(5.0, 0.3);
+        let (dist, cost) = worst_distribution_lp(&Det::new(be), &m, 280).unwrap();
+        assert!(approx_eq(cost, 5.0 + 2.0 * 0.3 * 28.0, 1e-6), "LP cost {cost}");
+        // The worst distribution realizes the prescribed moments.
+        let back = moments_of(&dist, be);
+        assert!(approx_eq(back.mu_b_minus, 5.0, 1e-9));
+        assert!(approx_eq(back.q_b_plus, 0.3, 1e-9));
+    }
+
+    #[test]
+    fn lp_certifies_toi_and_nrand_worst_cases() {
+        use crate::policy::{NRand, Toi};
+        let be = BreakEven::new(28.0).unwrap();
+        let m = moments(5.0, 0.3);
+        // TOI costs B on every positive stop, so the maximizing adversary
+        // simply avoids a zero atom (e.g. all short mass at μ/(1−q)) and
+        // the worst cost is exactly B — the paper's E[cost_TOI] = B.
+        let (_, cost_toi) = worst_distribution_lp(&Toi::new(be), &m, 280).unwrap();
+        assert!(approx_eq(cost_toi, 28.0, 1e-6), "TOI LP {cost_toi}");
+        // N-Rand's expected cost is e/(e−1)·offline pointwise, so any
+        // consistent distribution costs exactly e/(e−1)·(μ + qB).
+        let (_, cost_nr) = worst_distribution_lp(&NRand::new(be), &m, 280).unwrap();
+        assert!(
+            approx_eq(cost_nr, crate::e_ratio() * (5.0 + 0.3 * 28.0), 1e-6),
+            "N-Rand LP {cost_nr}"
+        );
+    }
+
+    #[test]
+    fn lp_certifies_bdet_worst_case_eq34() {
+        let be = BreakEven::new(28.0).unwrap();
+        let m = moments(5.0, 0.3);
+        // Use a grid that contains the threshold exactly (x = 14 = 140/280·28).
+        let x = 14.0;
+        let p = BDet::new(be, x).unwrap();
+        let (dist, cost) = worst_distribution_lp(&p, &m, 280).unwrap();
+        let want = (x + 28.0) * (5.0 / x + 0.3);
+        assert!(approx_eq(cost, want, 1e-6), "LP {cost} vs eq34 {want}");
+        // The LP rediscovers the paper's two-point short-mass structure:
+        // all short mass at {0, x}.
+        for &(y, p_mass) in dist.atoms() {
+            assert!(
+                y == 0.0 || approx_eq(y, x, 1e-9) || y >= 28.0,
+                "unexpected support point {y} with mass {p_mass}"
+            );
+        }
+    }
+
+    #[test]
+    fn lp_never_beats_proposed_guarantee() {
+        // For the proposed policy, the LP-certified worst cost stays at or
+        // below the closed-form guarantee (up to grid resolution).
+        use crate::constrained::ConstrainedStats;
+        let be = BreakEven::new(28.0).unwrap();
+        for &(mu, q) in &[(5.0, 0.3), (0.56, 0.3), (10.0, 0.1), (1.0, 0.7)] {
+            let stats = ConstrainedStats::new(be, mu, q).unwrap();
+            let policy = stats.optimal_policy();
+            let m = *stats.moments();
+            let (_, cost) = worst_distribution_lp(&policy, &m, 560).unwrap();
+            assert!(
+                cost <= stats.worst_case_cost() + 1e-6,
+                "mu={mu} q={q}: LP {cost} exceeds guarantee {}",
+                stats.worst_case_cost()
+            );
+        }
+    }
+
+    #[test]
+    fn lp_rejects_nothing_feasible() {
+        // Moments are validated upstream, so the LP is always feasible;
+        // grid = 1 (support {0, B}) still works when μ = 0.
+        let be = BreakEven::new(28.0).unwrap();
+        let m = moments(0.0, 0.4);
+        let (dist, cost) = worst_distribution_lp(&Det::new(be), &m, 1).unwrap();
+        assert!(approx_eq(cost, 2.0 * 0.4 * 28.0, 1e-9), "cost {cost}");
+        assert!(dist.atoms().len() <= 2);
+    }
+}

@@ -1,0 +1,407 @@
+//! Evaluating policies on stop traces and distributions.
+//!
+//! The paper's experimental metric (eq. (5)) is the *expected* competitive
+//! ratio: the ratio of the policy's expected total cost to the offline
+//! optimum's total cost over a vehicle's stops. This module provides that
+//! empirical CR, plus Monte-Carlo simulation (drawing an actual threshold
+//! per stop, as a real controller would) and analytic expectations under a
+//! continuous or atomic stop-length distribution.
+
+use crate::policy::Policy;
+use crate::Error;
+use numeric::quadrature::integrate;
+use rand::RngCore;
+use stopmodel::dist::{Discrete, StopDistribution};
+
+/// Sum of the policy's per-stop expected costs over a trace.
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyTrace`] if `stops` is empty.
+///
+/// # Panics
+///
+/// Panics if a stop is negative or NaN.
+pub fn total_expected_cost(policy: &dyn Policy, stops: &[f64]) -> Result<f64, Error> {
+    if stops.is_empty() {
+        return Err(Error::EmptyTrace);
+    }
+    Ok(stops.iter().map(|&y| policy.expected_cost(y)).sum())
+}
+
+/// Sum of offline-optimal costs over a trace.
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyTrace`] if `stops` is empty.
+pub fn total_offline_cost(policy: &dyn Policy, stops: &[f64]) -> Result<f64, Error> {
+    if stops.is_empty() {
+        return Err(Error::EmptyTrace);
+    }
+    let b = policy.break_even();
+    Ok(stops.iter().map(|&y| b.offline_cost(y)).sum())
+}
+
+/// Empirical expected competitive ratio of eq. (5):
+/// `Σᵢ E_x[cost_online(x, yᵢ)] / Σᵢ cost_offline(yᵢ)`.
+///
+/// Returns `1` when the offline total is zero (every stop has zero
+/// length — neither algorithm pays anything).
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyTrace`] if `stops` is empty.
+///
+/// # Example
+///
+/// ```
+/// use skirental::{analysis::empirical_cr, policy::Det, BreakEven};
+///
+/// let det = Det::new(BreakEven::new(28.0)?);
+/// // One short stop (idled through, cost = offline) and one long stop
+/// // (costs 2B vs offline B).
+/// let cr = empirical_cr(&det, &[10.0, 100.0])?;
+/// assert!((cr - (10.0 + 56.0) / (10.0 + 28.0)).abs() < 1e-12);
+/// # Ok::<(), skirental::Error>(())
+/// ```
+pub fn empirical_cr(policy: &dyn Policy, stops: &[f64]) -> Result<f64, Error> {
+    let online = total_expected_cost(policy, stops)?;
+    let offline = total_offline_cost(policy, stops)?;
+    if offline == 0.0 {
+        return Ok(1.0);
+    }
+    Ok(online / offline)
+}
+
+/// Simulates the policy on a trace by drawing one concrete threshold per
+/// stop (what a deployed stop-start controller does) and returns the total
+/// realized cost.
+///
+/// For deterministic policies this equals [`total_expected_cost`]; for
+/// randomized policies it converges to it over many stops.
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyTrace`] if `stops` is empty.
+pub fn simulate_total_cost(
+    policy: &dyn Policy,
+    stops: &[f64],
+    rng: &mut dyn RngCore,
+) -> Result<f64, Error> {
+    if stops.is_empty() {
+        return Err(Error::EmptyTrace);
+    }
+    let b = policy.break_even();
+    let mut total = 0.0;
+    for &y in stops {
+        let x = policy.sample_threshold(rng);
+        total += if x.is_infinite() { y } else { b.online_cost(x, y) };
+    }
+    Ok(total)
+}
+
+/// Simulated competitive ratio: realized total cost over offline total.
+/// Returns `1` when the offline total is zero.
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyTrace`] if `stops` is empty.
+pub fn simulate_cr(
+    policy: &dyn Policy,
+    stops: &[f64],
+    rng: &mut dyn RngCore,
+) -> Result<f64, Error> {
+    let online = simulate_total_cost(policy, stops, rng)?;
+    let offline = total_offline_cost(policy, stops)?;
+    if offline == 0.0 {
+        return Ok(1.0);
+    }
+    Ok(online / offline)
+}
+
+/// Analytic expected cost of a policy under a *continuous* stop-length
+/// distribution: `∫ E_x[cost(x, y)] q(y) dy`.
+///
+/// Exploits that every policy in this crate draws thresholds from `[0, B]`
+/// (so its expected cost is constant for `y ≥ B`), except NEV whose cost is
+/// the identity (handled via the distribution's mean). The integral over
+/// `[0, B]` uses adaptive quadrature with the distribution's density.
+///
+/// For atomic distributions use [`expected_cost_under_discrete`].
+#[must_use]
+pub fn expected_cost_under<D: StopDistribution + ?Sized>(policy: &dyn Policy, dist: &D) -> f64 {
+    let b = policy.break_even().seconds();
+    if policy.threshold_cdf(b) < 1.0 - 1e-12 {
+        // Unbounded threshold ⇒ NEV: cost equals the stop length.
+        return dist.mean();
+    }
+    let body = integrate(|y| policy.expected_cost(y) * dist.pdf(y), 0.0, b, 1e-10);
+    // For y ≥ B every threshold in [0, B] has fired: cost is constant.
+    body + policy.expected_cost(b) * dist.tail_prob(b)
+}
+
+/// Analytic expected cost of a policy under an atomic distribution:
+/// `Σ p·E_x[cost(x, v)]`.
+#[must_use]
+pub fn expected_cost_under_discrete(policy: &dyn Policy, dist: &Discrete) -> f64 {
+    dist.atoms().iter().map(|&(v, p)| p * policy.expected_cost(v)).sum()
+}
+
+/// A percentile-bootstrap confidence interval for the empirical CR.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrConfidenceInterval {
+    /// The point estimate ([`empirical_cr`] on the full trace).
+    pub point: f64,
+    /// Lower bound at the requested confidence.
+    pub lo: f64,
+    /// Upper bound at the requested confidence.
+    pub hi: f64,
+    /// Confidence level used (e.g. `0.95`).
+    pub confidence: f64,
+}
+
+/// Percentile-bootstrap confidence interval for a policy's empirical CR
+/// on a stop trace: resample the stops with replacement `resamples`
+/// times, recompute the CR of each pseudo-trace, and take the matching
+/// quantiles.
+///
+/// This quantifies how much a week of data pins down a vehicle's CR —
+/// the spread the paper's per-vehicle Figure-4 points carry implicitly.
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyTrace`] if `stops` is empty.
+///
+/// # Panics
+///
+/// Panics if `resamples == 0` or `confidence` is outside `(0, 1)`.
+pub fn bootstrap_cr_ci(
+    policy: &dyn Policy,
+    stops: &[f64],
+    resamples: usize,
+    confidence: f64,
+    rng: &mut dyn RngCore,
+) -> Result<CrConfidenceInterval, Error> {
+    assert!(resamples > 0, "need at least one resample");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1), got {confidence}"
+    );
+    let point = empirical_cr(policy, stops)?;
+    let n = stops.len();
+    let mut crs = Vec::with_capacity(resamples);
+    let mut pseudo = vec![0.0; n];
+    for _ in 0..resamples {
+        for slot in pseudo.iter_mut() {
+            let idx = (stopmodel::uniform01(rng) * n as f64) as usize;
+            *slot = stops[idx.min(n - 1)];
+        }
+        crs.push(empirical_cr(policy, &pseudo)?);
+    }
+    crs.sort_by(|a, b| a.partial_cmp(b).expect("finite CRs"));
+    let alpha = (1.0 - confidence) / 2.0;
+    Ok(CrConfidenceInterval {
+        point,
+        lo: numeric::stats::quantile_sorted(&crs, alpha),
+        hi: numeric::stats::quantile_sorted(&crs, 1.0 - alpha),
+        confidence,
+    })
+}
+
+/// Expected competitive ratio of a policy under a distribution (the
+/// numerator analytic, the denominator `μ_B⁻ + q_B⁺·B` from eq. (13)).
+/// Returns `1` when the expected offline cost is zero.
+#[must_use]
+pub fn expected_cr_under<D: StopDistribution + ?Sized>(policy: &dyn Policy, dist: &D) -> f64 {
+    let b = policy.break_even().seconds();
+    let offline = dist.partial_mean(b) + dist.tail_prob(b) * b;
+    if offline == 0.0 {
+        return 1.0;
+    }
+    expected_cost_under(policy, dist) / offline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{BDet, Det, MomRand, NRand, Nev, Toi};
+    use crate::{e_ratio, BreakEven};
+    use numeric::approx_eq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use stopmodel::dist::{Exponential, LogNormal};
+
+    fn b28() -> BreakEven {
+        BreakEven::new(28.0).unwrap()
+    }
+
+    #[test]
+    fn totals_and_cr() {
+        let det = Det::new(b28());
+        let stops = [10.0, 100.0];
+        assert_eq!(total_expected_cost(&det, &stops).unwrap(), 66.0);
+        assert_eq!(total_offline_cost(&det, &stops).unwrap(), 38.0);
+        assert!(approx_eq(empirical_cr(&det, &stops).unwrap(), 66.0 / 38.0, 1e-12));
+    }
+
+    #[test]
+    fn empty_trace_errors() {
+        let det = Det::new(b28());
+        assert_eq!(total_expected_cost(&det, &[]), Err(Error::EmptyTrace));
+        assert_eq!(empirical_cr(&det, &[]), Err(Error::EmptyTrace));
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(simulate_total_cost(&det, &[], &mut rng), Err(Error::EmptyTrace));
+    }
+
+    #[test]
+    fn zero_length_trace_cr_is_one() {
+        let det = Det::new(b28());
+        assert_eq!(empirical_cr(&det, &[0.0, 0.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn nev_cr_equals_mean_over_offline() {
+        let nev = Nev::new(b28());
+        let stops = [10.0, 100.0];
+        // NEV pays 110 total; offline pays 38.
+        assert!(approx_eq(empirical_cr(&nev, &stops).unwrap(), 110.0 / 38.0, 1e-12));
+    }
+
+    #[test]
+    fn simulation_matches_expectation_for_deterministic() {
+        let p = BDet::new(b28(), 12.0).unwrap();
+        let stops = [3.0, 15.0, 40.0, 11.9, 12.0];
+        let mut rng = StdRng::seed_from_u64(1);
+        let sim = simulate_total_cost(&p, &stops, &mut rng).unwrap();
+        let exp = total_expected_cost(&p, &stops).unwrap();
+        assert!(approx_eq(sim, exp, 1e-12));
+    }
+
+    #[test]
+    fn simulation_converges_for_randomized() {
+        let p = NRand::new(b28());
+        let stops: Vec<f64> = (0..20_000).map(|i| (i % 80) as f64).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let sim = simulate_cr(&p, &stops, &mut rng).unwrap();
+        let exp = empirical_cr(&p, &stops).unwrap();
+        assert!((sim - exp).abs() < 0.01, "sim {sim} vs expected {exp}");
+        // And the N-Rand CR on any trace is exactly e/(e−1).
+        assert!(approx_eq(exp, e_ratio(), 1e-12));
+    }
+
+    #[test]
+    fn nev_simulation_handles_infinite_threshold() {
+        let p = Nev::new(b28());
+        let mut rng = StdRng::seed_from_u64(3);
+        let sim = simulate_total_cost(&p, &[50.0, 10.0], &mut rng).unwrap();
+        assert_eq!(sim, 60.0);
+    }
+
+    #[test]
+    fn expected_cost_under_exponential_matches_vertex_formulas() {
+        // Under any distribution, E[cost_TOI] = B·P(y>0), E[cost_DET] =
+        // μ_B⁻ + 2·q_B⁺·B, E[cost_NRand] = e/(e−1)(μ_B⁻ + q_B⁺·B).
+        let d = Exponential::with_mean(35.0).unwrap();
+        let b = b28();
+        let mu = d.partial_mean(28.0);
+        let q = d.tail_prob(28.0);
+
+        let toi = expected_cost_under(&Toi::new(b), &d);
+        assert!(approx_eq(toi, 28.0, 1e-7), "TOI {toi}");
+
+        let det = expected_cost_under(&Det::new(b), &d);
+        assert!(approx_eq(det, mu + 2.0 * q * 28.0, 1e-7), "DET {det}");
+
+        let nr = expected_cost_under(&NRand::new(b), &d);
+        assert!(approx_eq(nr, e_ratio() * (mu + q * 28.0), 1e-7), "NRand {nr}");
+
+        let nev = expected_cost_under(&Nev::new(b), &d);
+        assert!(approx_eq(nev, 35.0, 1e-9), "NEV {nev}");
+    }
+
+    #[test]
+    fn expected_cost_under_discrete_exact() {
+        let d = Discrete::new(vec![(5.0, 0.5), (50.0, 0.5)]).unwrap();
+        let det = Det::new(b28());
+        // 0.5·5 + 0.5·56.
+        assert!(approx_eq(expected_cost_under_discrete(&det, &d), 30.5, 1e-12));
+    }
+
+    #[test]
+    fn expected_cr_under_lognormal_sane() {
+        let d = LogNormal::new(2.8, 1.0).unwrap();
+        let b = b28();
+        // N-Rand's CR is exactly e/(e−1) under any distribution.
+        let cr = expected_cr_under(&NRand::new(b), &d);
+        assert!(approx_eq(cr, e_ratio(), 1e-6), "cr = {cr}");
+        // DET's CR is between 1 and 2.
+        let cr_det = expected_cr_under(&Det::new(b), &d);
+        assert!((1.0..=2.0).contains(&cr_det));
+        // MOM-Rand is a valid policy too.
+        let mr = MomRand::new(b, d.mean()).unwrap();
+        let cr_mr = expected_cr_under(&mr, &d);
+        assert!((1.0..2.0).contains(&cr_mr));
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_point_estimate() {
+        let d = LogNormal::new(2.5, 1.0).unwrap();
+        let b = b28();
+        let mut rng = StdRng::seed_from_u64(8);
+        let stops: Vec<f64> = (0..400).map(|_| d.sample(&mut rng)).collect();
+        let p = Det::new(b);
+        let ci = bootstrap_cr_ci(&p, &stops, 500, 0.95, &mut rng).unwrap();
+        assert!(ci.lo <= ci.point && ci.point <= ci.hi, "{ci:?}");
+        assert!(ci.lo >= 1.0 - 1e-9);
+        assert!(ci.hi - ci.lo < 0.5, "CI suspiciously wide: {ci:?}");
+    }
+
+    #[test]
+    fn bootstrap_ci_narrows_with_more_data() {
+        let d = LogNormal::new(2.5, 1.0).unwrap();
+        let b = b28();
+        let mut rng = StdRng::seed_from_u64(9);
+        let big: Vec<f64> = (0..4000).map(|_| d.sample(&mut rng)).collect();
+        let small = &big[..100];
+        let p = Det::new(b);
+        let ci_small = bootstrap_cr_ci(&p, small, 400, 0.9, &mut rng).unwrap();
+        let ci_big = bootstrap_cr_ci(&p, &big, 400, 0.9, &mut rng).unwrap();
+        assert!(
+            ci_big.hi - ci_big.lo < ci_small.hi - ci_small.lo,
+            "big {:?} vs small {:?}",
+            ci_big,
+            ci_small
+        );
+    }
+
+    #[test]
+    fn bootstrap_ci_nrand_is_degenerate() {
+        // N-Rand's CR is e/(e−1) on every trace, so the CI collapses.
+        let b = b28();
+        let mut rng = StdRng::seed_from_u64(10);
+        let stops = [5.0, 40.0, 12.0, 90.0];
+        let ci = bootstrap_cr_ci(&NRand::new(b), &stops, 200, 0.95, &mut rng).unwrap();
+        assert!((ci.hi - ci.lo).abs() < 1e-9);
+        assert!((ci.point - e_ratio()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence must be in (0,1)")]
+    fn bootstrap_ci_validates_confidence() {
+        let b = b28();
+        let mut rng = StdRng::seed_from_u64(11);
+        let _ = bootstrap_cr_ci(&Det::new(b), &[1.0], 10, 1.0, &mut rng);
+    }
+
+    #[test]
+    fn empirical_cr_matches_distribution_cr_in_the_limit() {
+        let d = LogNormal::new(2.5, 0.9).unwrap();
+        let b = b28();
+        let mut rng = StdRng::seed_from_u64(4);
+        let stops: Vec<f64> = (0..200_000).map(|_| d.sample(&mut rng)).collect();
+        let p = Det::new(b);
+        let emp = empirical_cr(&p, &stops).unwrap();
+        let ana = expected_cr_under(&p, &d);
+        assert!((emp - ana).abs() < 0.01, "empirical {emp} vs analytic {ana}");
+    }
+}

@@ -1,0 +1,352 @@
+//! Average-case (distribution-aware) fixed-threshold baseline.
+//!
+//! Fujiwara & Iwama's average-case analysis (cited by the paper as [10])
+//! asks a different question than competitive analysis: if the stop-length
+//! distribution `q(y)` is *known*, which fixed threshold minimizes the
+//! expected cost `E(x) = μ_x⁻ + (x + B)·P(y ≥ x)`? This module computes
+//! that Bayes-optimal threshold — analytically interesting corner cases
+//! included:
+//!
+//! * exponential stops are memoryless, so the optimum is bang-bang:
+//!   turn off immediately when the mean exceeds `B`, never otherwise;
+//! * uniform `[0, u]` stops give `x* = u − B` (or never, when `u ≤ B`).
+//!
+//! [`BayesOpt`] wraps the result as a [`Policy`], and
+//! [`BayesOpt::for_samples`] gives the *in-sample optimal fixed
+//! threshold* — a strong hindsight baseline for the fleet experiments
+//! (see `Strategy::BayesOpt` in [`crate::fleet_eval`]).
+
+use crate::cost::BreakEven;
+use crate::{Error, Policy};
+use rand::RngCore;
+use stopmodel::StopDistribution;
+
+/// Expected cost of the fixed threshold `x` under `dist`:
+/// `E(x) = ∫₀^x y q(y) dy + (x + B)·P(y ≥ x)`; `x = ∞` (never turn off)
+/// costs the distribution's mean.
+///
+/// # Panics
+///
+/// Panics if `x` is negative or NaN.
+#[must_use]
+pub fn expected_threshold_cost<D: StopDistribution + ?Sized>(
+    dist: &D,
+    break_even: BreakEven,
+    x: f64,
+) -> f64 {
+    assert!(x >= 0.0, "threshold must be non-negative, got {x}");
+    if x.is_infinite() {
+        return dist.mean();
+    }
+    dist.partial_mean(x) + (x + break_even.seconds()) * dist.tail_prob(x)
+}
+
+/// Finds the Bayes-optimal fixed threshold for a known distribution:
+/// the minimizer of [`expected_threshold_cost`] over `[0, ∞]`.
+///
+/// A dense grid over `[0, max(4B, q₀.₉₉₅)]` brackets the minimum, a
+/// golden-section pass refines it, and the result is compared against the
+/// two boundary strategies (`x = 0`, `x = ∞`). Returns `(x*, E(x*))`.
+///
+/// # Panics
+///
+/// Panics if `grid < 4`.
+#[must_use]
+pub fn optimal_threshold<D: StopDistribution + ?Sized>(
+    dist: &D,
+    break_even: BreakEven,
+    grid: usize,
+) -> (f64, f64) {
+    assert!(grid >= 4, "need at least 4 grid points");
+    let hi = (4.0 * break_even.seconds()).max(dist.quantile(0.995));
+    let cost = |x: f64| expected_threshold_cost(dist, break_even, x);
+
+    // Grid bracket.
+    let mut best_i = 0usize;
+    let mut best_cost = f64::INFINITY;
+    for i in 0..=grid {
+        let x = hi * i as f64 / grid as f64;
+        let c = cost(x);
+        if c < best_cost {
+            best_cost = c;
+            best_i = i;
+        }
+    }
+    // Golden-section refine inside the bracketing cells.
+    let mut a = hi * best_i.saturating_sub(1) as f64 / grid as f64;
+    let mut b = hi * (best_i + 1).min(grid) as f64 / grid as f64;
+    const PHI: f64 = 0.618_033_988_749_894_8;
+    for _ in 0..60 {
+        let m1 = b - PHI * (b - a);
+        let m2 = a + PHI * (b - a);
+        if cost(m1) <= cost(m2) {
+            b = m2;
+        } else {
+            a = m1;
+        }
+    }
+    let x_star = 0.5 * (a + b);
+    let c_star = cost(x_star);
+    let (mut best_x, mut best_c) = (x_star, c_star);
+    // Boundary candidates.
+    for (x, c) in [(0.0, cost(0.0)), (f64::INFINITY, dist.mean())] {
+        if c < best_c {
+            best_x = x;
+            best_c = c;
+        }
+    }
+    (best_x, best_c)
+}
+
+/// A fixed-threshold policy set to the Bayes-optimal (or in-sample
+/// optimal) threshold.
+///
+/// An infinite threshold encodes "never turn off".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BayesOpt {
+    break_even: BreakEven,
+    threshold: f64,
+}
+
+impl BayesOpt {
+    /// Bayes-optimal threshold for a *known* distribution (uses a
+    /// 512-point grid; see [`optimal_threshold`]).
+    #[must_use]
+    pub fn for_distribution<D: StopDistribution + ?Sized>(
+        dist: &D,
+        break_even: BreakEven,
+    ) -> Self {
+        let (threshold, _) = optimal_threshold(dist, break_even, 512);
+        Self { break_even, threshold }
+    }
+
+    /// The in-sample optimal fixed threshold for an observed trace — the
+    /// hindsight-best deterministic strategy.
+    ///
+    /// The total cost of threshold `x` on a trace is piecewise linear and
+    /// increasing between sample values, so the optimum is either `0`,
+    /// just above one of the observed stop lengths, or `∞`; all candidates
+    /// are evaluated exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyTrace`] if `stops` is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stop is negative or non-finite.
+    pub fn for_samples(stops: &[f64], break_even: BreakEven) -> Result<Self, Error> {
+        if stops.is_empty() {
+            return Err(Error::EmptyTrace);
+        }
+        let b = break_even.seconds();
+        let mut sorted = stops.to_vec();
+        sorted.sort_by(|a, c| a.partial_cmp(c).expect("finite stops"));
+        assert!(sorted[0] >= 0.0, "stop lengths must be non-negative");
+        let n = sorted.len();
+        let total: f64 = sorted.iter().sum();
+
+        // x = 0 (TOI): every positive stop pays B.
+        let positive = sorted.iter().filter(|&&y| y > 0.0).count() as f64;
+        let mut best_cost = positive * b;
+        let mut best_x = 0.0;
+        // x = ∞ (NEV): pay every stop in full.
+        if total < best_cost {
+            best_cost = total;
+            best_x = f64::INFINITY;
+        }
+        // x just above sorted[i]: stops ≤ sorted[i] are idled through,
+        // the rest pay (sorted[i] + B) each (the infimum over the open
+        // interval (sorted[i], next)).
+        let mut prefix = 0.0;
+        for (i, &y) in sorted.iter().enumerate() {
+            prefix += y;
+            if i + 1 < n && sorted[i + 1] == y {
+                continue; // same candidate; take the last duplicate
+            }
+            let longer = (n - i - 1) as f64;
+            let cost = prefix + longer * (y + b);
+            if cost < best_cost {
+                best_cost = cost;
+                // Nudge above y so `stop < threshold` includes it.
+                best_x = y + 1e-9 * y.max(1.0);
+            }
+        }
+        Ok(Self { break_even, threshold: best_x })
+    }
+
+    /// The selected threshold (`∞` = never turn off).
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl Policy for BayesOpt {
+    fn name(&self) -> &'static str {
+        "Bayes-OPT"
+    }
+
+    fn break_even(&self) -> BreakEven {
+        self.break_even
+    }
+
+    fn expected_cost(&self, y: f64) -> f64 {
+        assert!(y >= 0.0, "stop length must be non-negative, got {y}");
+        if self.threshold.is_infinite() {
+            y
+        } else {
+            self.break_even.online_cost(self.threshold, y)
+        }
+    }
+
+    fn sample_threshold(&self, _rng: &mut dyn RngCore) -> f64 {
+        self.threshold
+    }
+
+    fn threshold_cdf(&self, x: f64) -> f64 {
+        if x >= self.threshold {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{empirical_cr, total_expected_cost};
+    use numeric::approx_eq;
+    use stopmodel::dist::{Exponential, LogNormal, Uniform};
+
+    fn b28() -> BreakEven {
+        BreakEven::new(28.0).unwrap()
+    }
+
+    #[test]
+    fn exponential_bang_bang() {
+        // Memorylessness: mean > B ⇒ turn off immediately; mean < B ⇒
+        // never turn off.
+        let heavy = Exponential::with_mean(100.0).unwrap();
+        let (x, c) = optimal_threshold(&heavy, b28(), 256);
+        assert_eq!(x, 0.0, "x* = {x}");
+        assert!(approx_eq(c, 28.0, 1e-9));
+
+        let light = Exponential::with_mean(10.0).unwrap();
+        let (x, c) = optimal_threshold(&light, b28(), 256);
+        assert!(x.is_infinite(), "x* = {x}");
+        assert!(approx_eq(c, 10.0, 1e-9));
+    }
+
+    #[test]
+    fn exponential_cost_formula() {
+        // E(x) = (1 − e^{−λx})/λ + B·e^{−λx}.
+        let d = Exponential::with_mean(30.0).unwrap();
+        for &x in &[0.0, 10.0, 28.0, 80.0] {
+            let want = 30.0 * (1.0 - (-x / 30.0f64).exp()) + 28.0 * (-x / 30.0f64).exp();
+            let got = expected_threshold_cost(&d, b28(), x);
+            assert!(approx_eq(got, want, 1e-9), "E({x}) = {got}, want {want}");
+        }
+        assert!(approx_eq(expected_threshold_cost(&d, b28(), f64::INFINITY), 30.0, 1e-12));
+    }
+
+    #[test]
+    fn uniform_closed_form() {
+        // U[0, u]: E(x) = x²/(2u) + (x+B)(1−x/u) is *concave* in x
+        // (E'' = −1/u), so the optimum is at a boundary: TOI (cost B)
+        // vs NEV (cost u/2), whichever is cheaper.
+        let d = Uniform::new(0.0, 100.0).unwrap();
+        let (x, c) = optimal_threshold(&d, b28(), 1024);
+        assert_eq!(x, 0.0, "x* = {x}"); // B = 28 < mean 50 → TOI
+        assert!(approx_eq(c, 28.0, 1e-9));
+        // u < 2B: the mean is below B, so never turning off wins.
+        let small = Uniform::new(0.0, 20.0).unwrap();
+        let (x, c) = optimal_threshold(&small, b28(), 1024);
+        assert!(x.is_infinite() || x >= 20.0, "x* = {x}");
+        assert!(approx_eq(c, 10.0, 1e-6));
+    }
+
+    #[test]
+    fn policy_wrapper_consistency() {
+        let d = LogNormal::new(2.5, 1.0).unwrap();
+        let p = BayesOpt::for_distribution(&d, b28());
+        assert_eq!(p.name(), "Bayes-OPT");
+        // Its expected cost under the distribution equals the optimal cost.
+        // (Evaluated via expected_threshold_cost: a Bayes-optimal threshold
+        // may exceed B, which analysis::expected_cost_under does not
+        // support — it assumes policies randomize within [0, B].)
+        let (x, c) = optimal_threshold(&d, b28(), 512);
+        assert!(
+            approx_eq(p.threshold(), x, 1e-6)
+                || (p.threshold().is_infinite() && x.is_infinite())
+        );
+        let under = expected_threshold_cost(&d, b28(), p.threshold());
+        assert!(approx_eq(under, c, 1e-6), "{under} vs {c}");
+        // And no classic fixed threshold does better.
+        for &alt in &[0.0, 14.0, 28.0, 56.0] {
+            assert!(c <= expected_threshold_cost(&d, b28(), alt) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn in_sample_optimum_beats_all_fixed_thresholds() {
+        let stops = [3.0, 12.0, 35.0, 7.0, 90.0, 15.0, 4.0, 250.0];
+        let p = BayesOpt::for_samples(&stops, b28()).unwrap();
+        let opt_cost = total_expected_cost(&p, &stops).unwrap();
+        // Exhaustive check against a dense threshold grid (including ∞).
+        for i in 0..=3000 {
+            let x = i as f64 * 0.1;
+            let cost: f64 = stops.iter().map(|&y| b28().online_cost(x, y)).sum();
+            assert!(opt_cost <= cost + 1e-9, "beaten by x = {x}: {cost} < {opt_cost}");
+        }
+        let nev: f64 = stops.iter().sum();
+        assert!(opt_cost <= nev + 1e-9);
+    }
+
+    #[test]
+    fn in_sample_optimum_with_duplicates_and_zeros() {
+        let stops = [0.0, 0.0, 5.0, 5.0, 5.0, 100.0];
+        let p = BayesOpt::for_samples(&stops, b28()).unwrap();
+        // Idle through the 5s, shut off for the 100: cost 15 + 5ish + 28.
+        let cost = total_expected_cost(&p, &stops).unwrap();
+        assert!(cost <= 15.0 + 5.0 + 28.0 + 1e-6, "cost {cost}");
+        let cr = empirical_cr(&p, &stops).unwrap();
+        assert!(cr >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn in_sample_beats_or_ties_proposed_by_construction() {
+        // Hindsight-best fixed threshold is a lower bound for every fixed
+        // deterministic strategy, including DET and b-DET.
+        let stops = [6.0, 14.0, 3.5, 45.0, 9.0, 22.0, 7.5, 310.0, 11.0];
+        let b = b28();
+        let bayes = BayesOpt::for_samples(&stops, b).unwrap();
+        let det = crate::policy::Det::new(b);
+        let toi = crate::policy::Toi::new(b);
+        let c_b = total_expected_cost(&bayes, &stops).unwrap();
+        assert!(c_b <= total_expected_cost(&det, &stops).unwrap() + 1e-9);
+        assert!(c_b <= total_expected_cost(&toi, &stops).unwrap() + 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_rejected() {
+        assert!(matches!(BayesOpt::for_samples(&[], b28()), Err(Error::EmptyTrace)));
+    }
+
+    #[test]
+    fn nev_selection_on_short_stop_trace() {
+        let stops = [1.0, 2.0, 3.0];
+        let p = BayesOpt::for_samples(&stops, b28()).unwrap();
+        // All stops tiny: best fixed threshold idles through everything.
+        let cost = total_expected_cost(&p, &stops).unwrap();
+        assert!(approx_eq(cost, 6.0, 1e-9), "cost {cost}");
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be non-negative")]
+    fn rejects_negative_threshold_cost_query() {
+        let d = Exponential::with_mean(10.0).unwrap();
+        let _ = expected_threshold_cost(&d, b28(), -1.0);
+    }
+}

@@ -1,0 +1,389 @@
+//! Online estimation of `(μ_B⁻, q_B⁺)` and the adaptive proposed policy.
+//!
+//! The paper assumes the constrained statistics are known; a deployed
+//! stop-start controller has to estimate them from the vehicle's own
+//! history, *before* each decision. [`MomentEstimator`] maintains the
+//! plug-in estimates incrementally (optionally over a sliding window, so
+//! the policy tracks changing traffic), and [`AdaptiveController`] runs
+//! the honest online loop: decide a threshold from past stops only, pay
+//! the cost, then observe the stop's true length.
+//!
+//! Until the first stop is observed the controller falls back to N-Rand,
+//! whose `e/(e−1)` guarantee needs no statistics at all.
+
+use crate::analysis::empirical_cr;
+use crate::constrained::ConstrainedStats;
+use crate::cost::BreakEven;
+use crate::policy::{NRand, Policy};
+use crate::Error;
+use rand::RngCore;
+use std::collections::VecDeque;
+
+/// Incremental plug-in estimator of the constrained moments.
+#[derive(Debug, Clone)]
+pub struct MomentEstimator {
+    break_even: BreakEven,
+    window: Option<usize>,
+    buffer: VecDeque<f64>,
+    short_sum: f64,
+    long_count: usize,
+}
+
+impl MomentEstimator {
+    /// An estimator over the full history.
+    #[must_use]
+    pub fn new(break_even: BreakEven) -> Self {
+        Self { break_even, window: None, buffer: VecDeque::new(), short_sum: 0.0, long_count: 0 }
+    }
+
+    /// An estimator over a sliding window of the last `window` stops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn with_window(break_even: BreakEven, window: usize) -> Self {
+        assert!(window > 0, "window must be non-empty");
+        Self {
+            break_even,
+            window: Some(window),
+            buffer: VecDeque::with_capacity(window),
+            short_sum: 0.0,
+            long_count: 0,
+        }
+    }
+
+    /// Number of stops currently contributing to the estimate.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Whether no stops have been observed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// Records one completed stop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is negative or non-finite.
+    pub fn observe(&mut self, y: f64) {
+        assert!(y.is_finite() && y >= 0.0, "stop length must be finite and >= 0, got {y}");
+        if let Some(w) = self.window {
+            if self.buffer.len() == w {
+                let old = self.buffer.pop_front().expect("window full");
+                if old >= self.break_even.seconds() {
+                    self.long_count -= 1;
+                } else {
+                    self.short_sum -= old;
+                }
+            }
+        }
+        self.buffer.push_back(y);
+        if y >= self.break_even.seconds() {
+            self.long_count += 1;
+        } else {
+            self.short_sum += y;
+        }
+    }
+
+    /// Current constrained statistics, or `None` before the first stop.
+    #[must_use]
+    pub fn stats(&self) -> Option<ConstrainedStats> {
+        if self.buffer.is_empty() {
+            return None;
+        }
+        let n = self.buffer.len() as f64;
+        let q = self.long_count as f64 / n;
+        // Sliding-window subtraction leaves O(ε) residue in the running
+        // sum; clamp to the feasible region.
+        let mu_cap = (1.0 - q) * self.break_even.seconds();
+        let mu = (self.short_sum / n).clamp(0.0, mu_cap);
+        Some(
+            ConstrainedStats::new(self.break_even, mu, q)
+                .expect("clamped plug-in estimates are feasible"),
+        )
+    }
+}
+
+/// Summary of an adaptive run over a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveOutcome {
+    /// Total realized online cost (idle-equivalent seconds).
+    pub online_cost: f64,
+    /// Total offline-optimal cost.
+    pub offline_cost: f64,
+    /// Realized competitive ratio (`1` when the offline cost is zero).
+    pub cr: f64,
+    /// Stops processed.
+    pub stops: usize,
+}
+
+/// The honest online controller: estimates from the past, decides, pays,
+/// then learns the stop's true length.
+#[derive(Debug, Clone)]
+pub struct AdaptiveController {
+    estimator: MomentEstimator,
+    cold_start: NRand,
+    /// Stops required before trusting the estimate (before that, N-Rand).
+    min_history: usize,
+}
+
+impl AdaptiveController {
+    /// A controller using the full history, trusting it from the first
+    /// observed stop.
+    #[must_use]
+    pub fn new(break_even: BreakEven) -> Self {
+        Self {
+            estimator: MomentEstimator::new(break_even),
+            cold_start: NRand::new(break_even),
+            min_history: 1,
+        }
+    }
+
+    /// Uses a sliding window of the last `window` stops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn with_window(break_even: BreakEven, window: usize) -> Self {
+        Self {
+            estimator: MomentEstimator::with_window(break_even, window),
+            cold_start: NRand::new(break_even),
+            min_history: 1,
+        }
+    }
+
+    /// Requires `n` observed stops before switching from the N-Rand cold
+    /// start to the estimated proposed policy; returns `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn min_history(mut self, n: usize) -> Self {
+        assert!(n > 0, "min history must be positive");
+        self.min_history = n;
+        self
+    }
+
+    /// The current estimator state.
+    #[must_use]
+    pub fn estimator(&self) -> &MomentEstimator {
+        &self.estimator
+    }
+
+    /// Chooses the idle threshold for the *next* stop, from history alone.
+    pub fn decide(&self, rng: &mut dyn RngCore) -> f64 {
+        if self.estimator.len() >= self.min_history {
+            if let Some(stats) = self.estimator.stats() {
+                return stats.optimal_policy().sample_threshold(rng);
+            }
+        }
+        self.cold_start.sample_threshold(rng)
+    }
+
+    /// Records a completed stop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is negative or non-finite.
+    pub fn observe(&mut self, y: f64) {
+        self.estimator.observe(y);
+    }
+
+    /// Runs the full online loop over a trace: for each stop, decide →
+    /// pay → observe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyTrace`] if `stops` is empty.
+    pub fn run(&mut self, stops: &[f64], rng: &mut dyn RngCore) -> Result<AdaptiveOutcome, Error> {
+        if stops.is_empty() {
+            return Err(Error::EmptyTrace);
+        }
+        let b = self.estimator.break_even;
+        let mut online = 0.0;
+        let mut offline = 0.0;
+        for &y in stops {
+            let x = self.decide(rng);
+            online += if x.is_infinite() { y } else { b.online_cost(x, y) };
+            offline += b.offline_cost(y);
+            self.observe(y);
+        }
+        Ok(AdaptiveOutcome {
+            online_cost: online,
+            offline_cost: offline,
+            cr: if offline == 0.0 { 1.0 } else { online / offline },
+            stops: stops.len(),
+        })
+    }
+}
+
+/// Convenience: the oracle (in-sample) CR of the proposed policy on the
+/// same trace — what the adaptive run converges to with enough history.
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyTrace`] if `stops` is empty.
+pub fn oracle_cr(stops: &[f64], break_even: BreakEven) -> Result<f64, Error> {
+    let policy = ConstrainedStats::from_samples(stops, break_even)?.optimal_policy();
+    empirical_cr(&policy, stops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numeric::approx_eq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use stopmodel::dist::{LogNormal, Mixture, Pareto, StopDistribution};
+
+    fn b28() -> BreakEven {
+        BreakEven::new(28.0).unwrap()
+    }
+
+    #[test]
+    fn estimator_matches_batch() {
+        let stops = [3.0, 40.0, 7.0, 28.0, 12.0];
+        let mut est = MomentEstimator::new(b28());
+        for &y in &stops {
+            est.observe(y);
+        }
+        let inc = est.stats().unwrap();
+        let batch = ConstrainedStats::from_samples(&stops, b28()).unwrap();
+        assert!(approx_eq(inc.moments().mu_b_minus, batch.moments().mu_b_minus, 1e-12));
+        assert!(approx_eq(inc.moments().q_b_plus, batch.moments().q_b_plus, 1e-12));
+        assert_eq!(est.len(), 5);
+        assert!(!est.is_empty());
+    }
+
+    #[test]
+    fn estimator_empty_state() {
+        let est = MomentEstimator::new(b28());
+        assert!(est.stats().is_none());
+        assert!(est.is_empty());
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut est = MomentEstimator::with_window(b28(), 3);
+        for &y in &[100.0, 100.0, 100.0, 1.0, 2.0, 3.0] {
+            est.observe(y);
+        }
+        // Only [1, 2, 3] remain: all short.
+        let s = est.stats().unwrap();
+        assert_eq!(est.len(), 3);
+        assert!(approx_eq(s.moments().mu_b_minus, 2.0, 1e-12));
+        assert_eq!(s.moments().q_b_plus, 0.0);
+    }
+
+    #[test]
+    fn window_slides_mixed() {
+        let mut est = MomentEstimator::with_window(b28(), 2);
+        est.observe(5.0);
+        est.observe(50.0);
+        est.observe(10.0); // evicts the 5
+        let s = est.stats().unwrap();
+        assert!(approx_eq(s.moments().mu_b_minus, 5.0, 1e-12)); // (10)/2
+        assert!(approx_eq(s.moments().q_b_plus, 0.5, 1e-12));
+    }
+
+    #[test]
+    fn cold_start_uses_nrand() {
+        let ctl = AdaptiveController::new(b28());
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let x = ctl.decide(&mut rng);
+            assert!((0.0..=28.0).contains(&x), "cold-start threshold {x}");
+        }
+    }
+
+    #[test]
+    fn adaptive_converges_to_oracle_on_iid_stream() {
+        let dist = Mixture::new(vec![
+            (0.9, Box::new(LogNormal::new(2.0, 0.8).unwrap()) as _),
+            (0.1, Box::new(Pareto::new(45.0, 1.1).unwrap()) as _),
+        ])
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let stops: Vec<f64> = (0..5000).map(|_| dist.sample(&mut rng)).collect();
+        let mut ctl = AdaptiveController::new(b28());
+        let out = ctl.run(&stops, &mut rng).unwrap();
+        let oracle = oracle_cr(&stops, b28()).unwrap();
+        assert!(
+            (out.cr - oracle).abs() < 0.08,
+            "adaptive {} vs oracle {oracle}",
+            out.cr
+        );
+        assert_eq!(out.stops, 5000);
+        assert!(out.cr >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn adaptive_tracks_regime_change_with_window() {
+        // Light traffic then heavy traffic: the windowed controller must
+        // end up making heavy-traffic decisions (short thresholds).
+        let mut rng = StdRng::seed_from_u64(3);
+        let light = LogNormal::new(1.5, 0.5).unwrap();
+        let heavy = Pareto::new(50.0, 1.2).unwrap();
+        let mut stops: Vec<f64> = (0..500).map(|_| light.sample(&mut rng)).collect();
+        stops.extend((0..500).map(|_| heavy.sample(&mut rng)));
+        let mut ctl = AdaptiveController::with_window(b28(), 100);
+        let _ = ctl.run(&stops, &mut rng).unwrap();
+        // After the heavy block, q̂ ≈ 1 → TOI-like decisions.
+        let s = ctl.estimator().stats().unwrap();
+        assert!(s.moments().q_b_plus > 0.9, "q̂ = {}", s.moments().q_b_plus);
+        let mut short_decisions = 0;
+        for _ in 0..20 {
+            if ctl.decide(&mut rng) < 1.0 {
+                short_decisions += 1;
+            }
+        }
+        assert_eq!(short_decisions, 20, "should turn off (almost) immediately");
+    }
+
+    #[test]
+    fn min_history_extends_cold_start() {
+        let mut ctl = AdaptiveController::new(b28()).min_history(10);
+        let mut rng = StdRng::seed_from_u64(4);
+        // After 5 huge stops, a trusting controller would go TOI (x = 0);
+        // with min_history 10 it must still randomize à la N-Rand.
+        for _ in 0..5 {
+            ctl.observe(1000.0);
+        }
+        let mut nonzero = 0;
+        for _ in 0..20 {
+            if ctl.decide(&mut rng) > 0.0 {
+                nonzero += 1;
+            }
+        }
+        assert!(nonzero > 15, "still in cold start: {nonzero}");
+    }
+
+    #[test]
+    fn run_rejects_empty() {
+        let mut ctl = AdaptiveController::new(b28());
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(matches!(ctl.run(&[], &mut rng), Err(Error::EmptyTrace)));
+    }
+
+    #[test]
+    fn zero_offline_cr_is_one() {
+        let mut ctl = AdaptiveController::new(b28());
+        let mut rng = StdRng::seed_from_u64(6);
+        let out = ctl.run(&[0.0, 0.0, 0.0], &mut rng).unwrap();
+        assert_eq!(out.cr, 1.0);
+        assert_eq!(out.offline_cost, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn zero_window_rejected() {
+        let _ = MomentEstimator::with_window(b28(), 0);
+    }
+}

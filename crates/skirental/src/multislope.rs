@@ -1,0 +1,533 @@
+//! Multislope ski rental — the "rent, lease, or buy" generalization the
+//! paper cites as related work (Lotker, Patt-Shamir, Rawitz, SIAM DM
+//! 2012), in its *additive* form (equivalently, multi-state power-down:
+//! Irani et al.).
+//!
+//! An idling vehicle need not choose only between "engine on" and "engine
+//! off": intermediate states shed load progressively (drop the A/C
+//! compressor and alternator load, then shut the engine off). State `i`
+//! costs `rate_i` per second while stopped, after a cumulative one-time
+//! transition cost `cost_i`:
+//!
+//! * **offline**: `OPT(y) = min_i (cost_i + rate_i · y)` — the lower
+//!   envelope of the state lines;
+//! * **online (lower-envelope strategy)**: at elapsed stop time `t`, be in
+//!   the state that is offline-optimal for a stop of exactly `t`. The
+//!   rent paid telescopes to exactly `OPT(y)`, so the online cost is
+//!   `OPT(y) + cost_{state(y)} ≤ 2·OPT(y)` — deterministic 2-competitive,
+//!   collapsing to the classic DET algorithm for two states.
+//!
+//! [`MultiSlope`] validates the state system (strictly decreasing rates,
+//! strictly increasing costs, no dominated state) and exposes offline
+//! cost, online cost, per-stop competitive ratio, and a worst-case scan.
+
+use crate::cost::BreakEven;
+use crate::Error;
+
+/// One engine state: a rent `rate` (cost per second of stop time) reached
+/// after a one-time `cumulative_cost`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Slope {
+    /// Cost per second while stopped in this state (idle-equivalent
+    /// seconds per second, i.e. state 0 has rate 1).
+    pub rate: f64,
+    /// Total one-time cost paid to have reached this state (state 0 has
+    /// cost 0).
+    pub cumulative_cost: f64,
+}
+
+/// A validated multislope (multi-state power-down) instance.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MultiSlope {
+    slopes: Vec<Slope>,
+    /// `breakpoints[i]` is the stop length at which the offline envelope
+    /// switches from state `i` to state `i+1` (length `slopes.len()−1`).
+    breakpoints: Vec<f64>,
+}
+
+impl MultiSlope {
+    /// Builds a multislope system from `(rate, cumulative_cost)` pairs in
+    /// state order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSlopes`] unless there are at least two
+    /// states, state 0 is `(rate > 0, cost = 0)`, rates strictly decrease,
+    /// costs strictly increase, the final rate is ≥ 0, and no state is
+    /// dominated (every state must appear on the lower envelope, i.e. the
+    /// switch points must be strictly increasing).
+    pub fn new(states: Vec<(f64, f64)>) -> Result<Self, Error> {
+        if states.len() < 2 {
+            return Err(Error::InvalidSlopes { reason: "need at least two states" });
+        }
+        let slopes: Vec<Slope> =
+            states.into_iter().map(|(rate, cumulative_cost)| Slope { rate, cumulative_cost }).collect();
+        if !slopes.iter().all(|s| s.rate.is_finite() && s.cumulative_cost.is_finite()) {
+            return Err(Error::InvalidSlopes { reason: "rates and costs must be finite" });
+        }
+        if slopes[0].cumulative_cost != 0.0 {
+            return Err(Error::InvalidSlopes { reason: "state 0 must have zero one-time cost" });
+        }
+        if slopes[0].rate <= 0.0 {
+            return Err(Error::InvalidSlopes { reason: "state 0 must have positive rate" });
+        }
+        if slopes.last().expect("non-empty").rate < 0.0 {
+            return Err(Error::InvalidSlopes { reason: "rates must be non-negative" });
+        }
+        for w in slopes.windows(2) {
+            if w[1].rate >= w[0].rate {
+                return Err(Error::InvalidSlopes { reason: "rates must strictly decrease" });
+            }
+            if w[1].cumulative_cost <= w[0].cumulative_cost {
+                return Err(Error::InvalidSlopes { reason: "costs must strictly increase" });
+            }
+        }
+        // Envelope switch points; strict increase ⇔ no dominated state.
+        let mut breakpoints = Vec::with_capacity(slopes.len() - 1);
+        for w in slopes.windows(2) {
+            let y = (w[1].cumulative_cost - w[0].cumulative_cost) / (w[0].rate - w[1].rate);
+            breakpoints.push(y);
+        }
+        for w in breakpoints.windows(2) {
+            if w[1] <= w[0] {
+                return Err(Error::InvalidSlopes {
+                    reason: "a state is dominated (never offline-optimal)",
+                });
+            }
+        }
+        Ok(Self { slopes, breakpoints })
+    }
+
+    /// The classic two-state instance: idle at rate 1 or pay `B` to turn
+    /// off (rate 0). Its online strategy is exactly DET.
+    #[must_use]
+    pub fn classic(break_even: BreakEven) -> Self {
+        Self::new(vec![(1.0, 0.0), (0.0, break_even.seconds())])
+            .expect("two-state system is always valid")
+    }
+
+    /// A three-state automotive example: full idle → eco-idle (A/C and
+    /// alternator load shed, 60 % rate, small switch cost) → engine off
+    /// (residual battery drain, full restart cost `B`).
+    #[must_use]
+    pub fn eco_idle(break_even: BreakEven) -> Self {
+        let b = break_even.seconds();
+        Self::new(vec![(1.0, 0.0), (0.6, 0.1 * b), (0.02, b)])
+            .expect("eco-idle preset is a valid system")
+    }
+
+    /// The states, in order.
+    #[must_use]
+    pub fn slopes(&self) -> &[Slope] {
+        &self.slopes
+    }
+
+    /// Stop lengths at which the offline optimum switches state
+    /// (`len() == slopes().len() − 1`, strictly increasing).
+    #[must_use]
+    pub fn breakpoints(&self) -> &[f64] {
+        &self.breakpoints
+    }
+
+    /// Index of the offline-optimal state for a stop of length `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is negative or NaN.
+    #[must_use]
+    pub fn offline_state(&self, y: f64) -> usize {
+        assert!(y >= 0.0, "stop length must be non-negative, got {y}");
+        self.breakpoints.partition_point(|&bp| bp <= y)
+    }
+
+    /// Offline (clairvoyant) cost `min_i (cost_i + rate_i·y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is negative or NaN.
+    #[must_use]
+    pub fn offline_cost(&self, y: f64) -> f64 {
+        let s = self.slopes[self.offline_state(y)];
+        s.cumulative_cost + s.rate * y
+    }
+
+    /// Online cost of the lower-envelope strategy for a stop of length
+    /// `y`: rents telescope to `OPT(y)`, plus the one-time cost of the
+    /// state reached — `OPT(y) + cost_{state(y)}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is negative or NaN.
+    #[must_use]
+    pub fn online_cost(&self, y: f64) -> f64 {
+        self.offline_cost(y) + self.slopes[self.offline_state(y)].cumulative_cost
+    }
+
+    /// Pointwise competitive ratio of the lower-envelope strategy;
+    /// defined as `1` when both costs are zero (`y = 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is negative or NaN.
+    #[must_use]
+    pub fn competitive_ratio(&self, y: f64) -> f64 {
+        let off = self.offline_cost(y);
+        if off == 0.0 {
+            return 1.0;
+        }
+        self.online_cost(y) / off
+    }
+
+    /// Worst pointwise competitive ratio over a dense grid of stop lengths
+    /// covering all breakpoints (provably `≤ 2`, attained just past the
+    /// last switch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid == 0`.
+    #[must_use]
+    pub fn worst_case_cr(&self, grid: usize) -> f64 {
+        assert!(grid > 0, "grid must be non-empty");
+        let hi = 2.0 * self.breakpoints.last().expect("at least one breakpoint");
+        let mut worst: f64 = 0.0;
+        for i in 0..=grid {
+            let y = hi * i as f64 / grid as f64;
+            worst = worst.max(self.competitive_ratio(y));
+        }
+        // The supremum sits exactly at the breakpoints (the ratio is
+        // right-continuous and decreasing within a segment).
+        for &bp in &self.breakpoints {
+            worst = worst.max(self.competitive_ratio(bp));
+        }
+        worst
+    }
+}
+
+/// A randomized schedule mixture and its guaranteed competitive ratio
+/// (see [`MultiSlope::optimal_randomized_envelope`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomizedEnvelope {
+    /// Worst-case competitive ratio of the mixture over the adversary
+    /// grid.
+    pub cr: f64,
+    /// `(θ, probability)` pairs with non-negligible mass, sorted by `θ`.
+    pub weights: Vec<(f64, f64)>,
+}
+
+impl MultiSlope {
+    /// Cost of the *scaled-envelope schedule* with factor `θ` on a stop of
+    /// length `y`: switch to state `i+1` at time `θ · breakpoint_i`.
+    ///
+    /// `θ = 1` is the deterministic lower-envelope strategy; `θ = 0`
+    /// drops straight to the final state (TOI-like); large `θ` never
+    /// switches (NEV-like). For the classic two-state system this family
+    /// is exactly the fixed-threshold family `x = θ·B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `θ` or `y` is negative or NaN.
+    #[must_use]
+    pub fn scaled_schedule_cost(&self, theta: f64, y: f64) -> f64 {
+        assert!(theta >= 0.0, "scale factor must be non-negative, got {theta}");
+        assert!(y >= 0.0, "stop length must be non-negative, got {y}");
+        // State reached by time y: switches at θ·bp_i that have fired.
+        let fired = self.breakpoints.partition_point(|&bp| theta * bp <= y);
+        let mut rent = 0.0;
+        let mut prev = 0.0;
+        for i in 0..fired {
+            let t = theta * self.breakpoints[i];
+            rent += self.slopes[i].rate * (t - prev);
+            prev = t;
+        }
+        rent += self.slopes[fired].rate * (y - prev);
+        rent + self.slopes[fired].cumulative_cost
+    }
+
+    /// Finds the best *mixture* of scaled-envelope schedules by solving
+    /// the matrix game `min_p max_y Σ_θ p_θ·cost(θ, y) / OPT(y)` as an LP
+    /// over a `θ`-grid on `[0, θ_max]` (adversary on a `y`-grid enriched
+    /// with every scaled switch point, where the ratio peaks).
+    ///
+    /// For the classic two-state system this recovers Karlin et al.'s
+    /// `e/(e−1) ≈ 1.582` as the grid refines; for richer systems it
+    /// upper-bounds the optimal randomized CR and beats the deterministic
+    /// lower-envelope guarantee of 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid < 4`.
+    #[must_use]
+    pub fn optimal_randomized_envelope(&self, grid: usize) -> RandomizedEnvelope {
+        use numeric::simplex::{LinearProgram, Relation};
+        assert!(grid >= 4, "grid must have at least 4 points");
+
+        // θ ∈ [0, 1]: scaling past 1 delays switches beyond the offline
+        // envelope, which Appendix-A-style dominance rules out.
+        let thetas: Vec<f64> = (0..=grid).map(|i| i as f64 / grid as f64).collect();
+        // Adversary support: all scaled switch points (the ratio's jump
+        // points), the envelope breakpoints, and a tail probe.
+        let last_bp = *self.breakpoints.last().expect("at least one breakpoint");
+        let mut ys: Vec<f64> = Vec::new();
+        for &theta in &thetas {
+            for &bp in &self.breakpoints {
+                let t = theta * bp;
+                if t > 0.0 {
+                    ys.push(t);
+                }
+            }
+        }
+        ys.extend(self.breakpoints.iter().copied());
+        ys.push(2.0 * last_bp);
+        ys.push(10.0 * last_bp);
+        ys.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        ys.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+        // Variables: p_θ …, v. Objective: min v.
+        let n = thetas.len();
+        let mut objective = vec![0.0; n + 1];
+        objective[n] = 1.0;
+        let mut lp = LinearProgram::minimize(objective);
+        for &y in &ys {
+            let opt = self.offline_cost(y);
+            if opt <= 0.0 {
+                continue;
+            }
+            let mut row = vec![0.0; n + 1];
+            for (i, &theta) in thetas.iter().enumerate() {
+                row[i] = self.scaled_schedule_cost(theta, y);
+            }
+            row[n] = -opt;
+            lp.constrain(row, Relation::Le, 0.0);
+        }
+        let mut norm = vec![1.0; n + 1];
+        norm[n] = 0.0;
+        lp.constrain(norm, Relation::Eq, 1.0);
+
+        let sol = lp.solve().expect("randomized-envelope game is feasible and bounded");
+        let weights = thetas
+            .iter()
+            .zip(&sol.x[..n])
+            .filter(|&(_, &p)| p > 1e-9)
+            .map(|(&t, &p)| (t, p))
+            .collect();
+        RandomizedEnvelope { cr: sol.objective, weights }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numeric::approx_eq;
+
+    fn b28() -> BreakEven {
+        BreakEven::new(28.0).unwrap()
+    }
+
+    #[test]
+    fn classic_reduces_to_det() {
+        let ms = MultiSlope::classic(b28());
+        let det = crate::policy::Det::new(b28());
+        use crate::policy::Policy as _;
+        for y in [0.0, 5.0, 27.9, 28.0, 28.1, 100.0] {
+            assert!(
+                approx_eq(ms.online_cost(y), det.expected_cost(y), 1e-12),
+                "y={y}: {} vs {}",
+                ms.online_cost(y),
+                det.expected_cost(y)
+            );
+            assert!(approx_eq(ms.offline_cost(y), b28().offline_cost(y), 1e-12));
+        }
+        assert!(approx_eq(ms.worst_case_cr(1000), 2.0, 1e-9));
+    }
+
+    #[test]
+    fn breakpoints_computed() {
+        let ms = MultiSlope::eco_idle(b28());
+        let bps = ms.breakpoints();
+        assert_eq!(bps.len(), 2);
+        // idle→eco: 0.1B/(1−0.6) = 0.25B = 7; eco→off: 0.9B/0.58 ≈ 43.45.
+        assert!(approx_eq(bps[0], 7.0, 1e-12));
+        assert!(approx_eq(bps[1], 0.9 * 28.0 / 0.58, 1e-9));
+        assert!(bps[0] < bps[1]);
+    }
+
+    #[test]
+    fn offline_is_lower_envelope() {
+        let ms = MultiSlope::eco_idle(b28());
+        for yi in 0..200 {
+            let y = yi as f64;
+            let brute = ms
+                .slopes()
+                .iter()
+                .map(|s| s.cumulative_cost + s.rate * y)
+                .fold(f64::INFINITY, f64::min);
+            assert!(approx_eq(ms.offline_cost(y), brute, 1e-12), "y={y}");
+        }
+    }
+
+    #[test]
+    fn online_identity_and_two_competitiveness() {
+        let ms = MultiSlope::eco_idle(b28());
+        for yi in 0..400 {
+            let y = yi as f64 * 0.5;
+            let j = ms.offline_state(y);
+            assert!(approx_eq(
+                ms.online_cost(y),
+                ms.offline_cost(y) + ms.slopes()[j].cumulative_cost,
+                1e-12
+            ));
+            assert!(ms.competitive_ratio(y) <= 2.0 + 1e-12, "cr at {y}");
+        }
+        let worst = ms.worst_case_cr(2000);
+        assert!(worst <= 2.0 + 1e-12);
+        // Eco-idle improves on the classic worst case (cost_{state} <
+        // OPT strictly except in the limit).
+        assert!(worst > 1.5, "worst {worst}");
+    }
+
+    #[test]
+    fn eco_idle_beats_classic_on_medium_stops() {
+        // The intermediate state pays off for stops around the first
+        // breakpoint.
+        let classic = MultiSlope::classic(b28());
+        let eco = MultiSlope::eco_idle(b28());
+        let y = 20.0;
+        assert!(
+            eco.online_cost(y) < classic.online_cost(y),
+            "eco {} vs classic {}",
+            eco.online_cost(y),
+            classic.online_cost(y)
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_systems() {
+        // Too few states.
+        assert!(matches!(
+            MultiSlope::new(vec![(1.0, 0.0)]),
+            Err(Error::InvalidSlopes { .. })
+        ));
+        // State 0 must be free.
+        assert!(MultiSlope::new(vec![(1.0, 1.0), (0.0, 28.0)]).is_err());
+        // Rates must decrease.
+        assert!(MultiSlope::new(vec![(1.0, 0.0), (1.0, 28.0)]).is_err());
+        // Costs must increase.
+        assert!(MultiSlope::new(vec![(1.0, 0.0), (0.5, 0.0)]).is_err());
+        // Negative final rate.
+        assert!(MultiSlope::new(vec![(1.0, 0.0), (-0.1, 28.0)]).is_err());
+        // Non-finite.
+        assert!(MultiSlope::new(vec![(1.0, 0.0), (f64::NAN, 28.0)]).is_err());
+    }
+
+    #[test]
+    fn dominated_state_rejected() {
+        // Middle state's line never touches the envelope: switching to it
+        // at y1 = 20/(1-0.9) = 200 but to state 2 already at
+        // (28-20)/(0.9-0) = 8.9 < 200 → breakpoints not increasing.
+        assert!(matches!(
+            MultiSlope::new(vec![(1.0, 0.0), (0.9, 20.0), (0.0, 28.0)]),
+            Err(Error::InvalidSlopes { reason: _ })
+        ));
+    }
+
+    #[test]
+    fn zero_length_stop() {
+        let ms = MultiSlope::eco_idle(b28());
+        assert_eq!(ms.offline_cost(0.0), 0.0);
+        assert_eq!(ms.online_cost(0.0), 0.0);
+        assert_eq!(ms.competitive_ratio(0.0), 1.0);
+        assert_eq!(ms.offline_state(0.0), 0);
+    }
+
+    #[test]
+    fn scaled_schedule_classic_is_threshold_family() {
+        let ms = MultiSlope::classic(b28());
+        for &theta in &[0.0, 0.25, 0.5, 1.0] {
+            let x = theta * 28.0;
+            for &y in &[0.0, 5.0, 14.0, 28.0, 100.0] {
+                let want = b28().online_cost(x, y);
+                let got = ms.scaled_schedule_cost(theta, y);
+                assert!(
+                    approx_eq(got, want, 1e-12),
+                    "theta={theta}, y={y}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_schedule_theta_one_is_lower_envelope() {
+        let ms = MultiSlope::eco_idle(b28());
+        for yi in 0..300 {
+            let y = yi as f64 * 0.5;
+            assert!(
+                approx_eq(ms.scaled_schedule_cost(1.0, y), ms.online_cost(y), 1e-9),
+                "y = {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_schedule_theta_zero_commits_to_final_state() {
+        let ms = MultiSlope::eco_idle(b28());
+        let last = *ms.slopes().last().unwrap();
+        for &y in &[0.5, 10.0, 100.0] {
+            assert!(approx_eq(
+                ms.scaled_schedule_cost(0.0, y),
+                last.cumulative_cost + last.rate * y,
+                1e-12
+            ));
+        }
+    }
+
+    #[test]
+    fn randomized_envelope_recovers_e_ratio_for_classic() {
+        // The matrix game over the fixed-threshold family must converge to
+        // Karlin et al.'s e/(e−1).
+        let ms = MultiSlope::classic(b28());
+        let sol = ms.optimal_randomized_envelope(120);
+        assert!(
+            (sol.cr - crate::e_ratio()).abs() < 0.01,
+            "game CR {} vs e/(e-1) {}",
+            sol.cr,
+            crate::e_ratio()
+        );
+        // The optimal mixture is a genuine spread over [0, 1].
+        assert!(sol.weights.len() > 10, "support size {}", sol.weights.len());
+    }
+
+    #[test]
+    fn randomized_envelope_beats_deterministic_for_eco_idle() {
+        let ms = MultiSlope::eco_idle(b28());
+        let det = ms.worst_case_cr(4000);
+        let sol = ms.optimal_randomized_envelope(100);
+        assert!(
+            sol.cr < det - 0.2,
+            "randomized {} should clearly beat deterministic {det}",
+            sol.cr
+        );
+        // Lotker et al.'s e/(e−1) is the optimal CR for the *hardest*
+        // multislope instance; eco-idle is easier (its final state still
+        // rents at 0.02, blunting the adversary), so the game value can
+        // dip slightly below e/(e−1). It cannot approach 1, though.
+        assert!(sol.cr > 1.4, "cr {} suspiciously low", sol.cr);
+    }
+
+    #[test]
+    fn many_states_still_two_competitive() {
+        // A geometric ladder of 6 states.
+        let mut states = vec![(1.0, 0.0)];
+        let mut cost = 0.0;
+        let mut rate = 1.0;
+        for _ in 0..5 {
+            cost += 7.0;
+            rate *= 0.45;
+            states.push((rate, cost));
+        }
+        let ms = MultiSlope::new(states).unwrap();
+        assert_eq!(ms.slopes().len(), 6);
+        assert!(ms.worst_case_cr(5000) <= 2.0 + 1e-12);
+    }
+}

@@ -1,0 +1,330 @@
+//! Tail-limiting transforms: censoring and truncation.
+//!
+//! The synthetic congestion tail is a near-critical Pareto; real
+//! ignition-on idling episodes do not last days. Two standard ways to
+//! bound a tail:
+//!
+//! * [`Censored`] — `Y = min(X, cap)`: excess mass piles up as an **atom
+//!   at the cap** (what a data logger with a session limit records, and
+//!   what the driving simulator uses);
+//! * [`Truncated`] — `Y ~ X | X ≤ cap`: the tail is cut off and the rest
+//!   **renormalized** (conditioning, e.g. "stops during business hours").
+
+use super::{DistributionError, StopDistribution};
+use rand::RngCore;
+
+/// `Y = min(X, cap)` — censoring at a cap, with an atom at the cap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Censored<D> {
+    inner: D,
+    cap: f64,
+}
+
+impl<D: StopDistribution> Censored<D> {
+    /// Censors `inner` at `cap > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError`] if `cap` is not strictly positive and
+    /// finite.
+    pub fn new(inner: D, cap: f64) -> Result<Self, DistributionError> {
+        if !(cap.is_finite() && cap > 0.0) {
+            return Err(DistributionError::new("cap", cap, "must be finite and > 0"));
+        }
+        Ok(Self { inner, cap })
+    }
+
+    /// The censoring cap.
+    #[must_use]
+    pub fn cap(&self) -> f64 {
+        self.cap
+    }
+
+    /// The wrapped distribution.
+    #[must_use]
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Probability mass of the atom at the cap, `P(X ≥ cap)`.
+    #[must_use]
+    pub fn atom_mass(&self) -> f64 {
+        self.inner.tail_prob(self.cap)
+    }
+}
+
+impl<D: StopDistribution> StopDistribution for Censored<D> {
+    /// Density of the absolutely continuous part only — the atom at the
+    /// cap carries [`Self::atom_mass`] and is not represented here.
+    fn pdf(&self, y: f64) -> f64 {
+        if y < self.cap {
+            self.inner.pdf(y)
+        } else {
+            0.0
+        }
+    }
+
+    fn cdf(&self, y: f64) -> f64 {
+        if y >= self.cap {
+            1.0
+        } else {
+            self.inner.cdf(y)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.inner.partial_mean(self.cap) + self.cap * self.inner.tail_prob(self.cap)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.inner.sample(rng).min(self.cap)
+    }
+
+    fn quantile(&self, u: f64) -> f64 {
+        assert!((0.0..1.0).contains(&u), "quantile order must be in [0,1), got {u}");
+        self.inner.quantile(u).min(self.cap)
+    }
+
+    fn partial_mean(&self, b: f64) -> f64 {
+        assert!(b >= 0.0, "partial_mean bound must be non-negative, got {b}");
+        if b <= self.cap {
+            self.inner.partial_mean(b)
+        } else {
+            // The atom at the cap is below b, so it counts in full.
+            self.mean()
+        }
+    }
+
+    fn tail_prob(&self, b: f64) -> f64 {
+        if b > self.cap {
+            0.0
+        } else {
+            self.inner.tail_prob(b)
+        }
+    }
+}
+
+/// `Y ~ X | X ≤ cap` — truncation with renormalization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Truncated<D> {
+    inner: D,
+    cap: f64,
+    /// `P(X ≤ cap)`, the normalizing constant.
+    mass: f64,
+}
+
+impl<D: StopDistribution> Truncated<D> {
+    /// Truncates `inner` to `[0, cap]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError`] if `cap` is not strictly positive and
+    /// finite, or if `inner` has (numerically) no mass below `cap`.
+    pub fn new(inner: D, cap: f64) -> Result<Self, DistributionError> {
+        if !(cap.is_finite() && cap > 0.0) {
+            return Err(DistributionError::new("cap", cap, "must be finite and > 0"));
+        }
+        let mass = inner.cdf(cap);
+        if mass <= 1e-12 {
+            return Err(DistributionError::new("cap", cap, "inner distribution has no mass below cap"));
+        }
+        Ok(Self { inner, cap, mass })
+    }
+
+    /// The truncation cap.
+    #[must_use]
+    pub fn cap(&self) -> f64 {
+        self.cap
+    }
+
+    /// The wrapped distribution.
+    #[must_use]
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<D: StopDistribution> StopDistribution for Truncated<D> {
+    fn pdf(&self, y: f64) -> f64 {
+        if y <= self.cap {
+            self.inner.pdf(y) / self.mass
+        } else {
+            0.0
+        }
+    }
+
+    fn cdf(&self, y: f64) -> f64 {
+        if y >= self.cap {
+            1.0
+        } else {
+            (self.inner.cdf(y) / self.mass).min(1.0)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.inner.partial_mean(self.cap) / self.mass
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        // Inverse-CDF through the inner quantile: u' = u · mass.
+        let u = crate::uniform01(rng) * self.mass;
+        self.inner.quantile(u).min(self.cap)
+    }
+
+    fn quantile(&self, u: f64) -> f64 {
+        assert!((0.0..1.0).contains(&u), "quantile order must be in [0,1), got {u}");
+        self.inner.quantile(u * self.mass).min(self.cap)
+    }
+
+    fn partial_mean(&self, b: f64) -> f64 {
+        assert!(b >= 0.0, "partial_mean bound must be non-negative, got {b}");
+        self.inner.partial_mean(b.min(self.cap)) / self.mass
+    }
+
+    fn tail_prob(&self, b: f64) -> f64 {
+        if b > self.cap {
+            0.0
+        } else {
+            ((self.inner.cdf(self.cap) - self.inner.cdf(b)) / self.mass
+                + self.atom_adjustment(b))
+                .clamp(0.0, 1.0)
+        }
+    }
+}
+
+impl<D: StopDistribution> Truncated<D> {
+    /// For purely continuous inners this is zero; it corrects the boundary
+    /// convention (`P(Y ≥ b)` vs `1 − cdf(b)`) for atomic inners.
+    fn atom_adjustment(&self, b: f64) -> f64 {
+        // tail_prob counts mass at exactly b; cdf(b) − cdf(b⁻) would be the
+        // atom. Recover it from the inner's own convention.
+        let inner_tail = self.inner.tail_prob(b);
+        let inner_cont = 1.0 - self.inner.cdf(b);
+        ((inner_tail - inner_cont) / self.mass).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Discrete, Exponential, Pareto};
+    use numeric::approx_eq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn censored_moments() {
+        let d = Censored::new(Exponential::with_mean(30.0).unwrap(), 60.0).unwrap();
+        // E[min(X, 60)] = 30·(1 − e^{−2}).
+        let want = 30.0 * (1.0 - (-2.0f64).exp());
+        assert!(approx_eq(d.mean(), want, 1e-12), "mean {}", d.mean());
+        assert!(approx_eq(d.atom_mass(), (-2.0f64).exp(), 1e-12));
+        assert_eq!(d.cap(), 60.0);
+    }
+
+    #[test]
+    fn censored_cdf_and_tail() {
+        let inner = Exponential::with_mean(30.0).unwrap();
+        let d = Censored::new(inner, 60.0).unwrap();
+        use crate::StopDistribution as _;
+        assert!(approx_eq(d.cdf(20.0), inner.cdf(20.0), 1e-15));
+        assert_eq!(d.cdf(60.0), 1.0);
+        assert_eq!(d.cdf(100.0), 1.0);
+        // Atom at the cap counts as a "long stop" at b = cap.
+        assert!(approx_eq(d.tail_prob(60.0), (-2.0f64).exp(), 1e-12));
+        assert_eq!(d.tail_prob(60.1), 0.0);
+    }
+
+    #[test]
+    fn censored_partial_mean_includes_atom() {
+        let d = Censored::new(Exponential::with_mean(30.0).unwrap(), 60.0).unwrap();
+        assert!(approx_eq(d.partial_mean(1000.0), d.mean(), 1e-12));
+        // Below the cap, censoring is invisible.
+        let inner = Exponential::with_mean(30.0).unwrap();
+        assert!(approx_eq(d.partial_mean(28.0), inner.partial_mean(28.0), 1e-12));
+    }
+
+    #[test]
+    fn censored_samples_bounded() {
+        let d = Censored::new(Pareto::new(45.0, 1.03).unwrap(), 7200.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut saw_cap = false;
+        for _ in 0..20_000 {
+            let s = d.sample(&mut rng);
+            assert!((45.0..=7200.0).contains(&s));
+            if s == 7200.0 {
+                saw_cap = true;
+            }
+        }
+        assert!(saw_cap, "atom at the cap should be hit");
+        // Mean is finite and below the unconstrained (huge) mean.
+        assert!(d.mean() < 1000.0, "mean {}", d.mean());
+    }
+
+    #[test]
+    fn truncated_renormalizes() {
+        let d = Truncated::new(Exponential::with_mean(30.0).unwrap(), 60.0).unwrap();
+        use crate::StopDistribution as _;
+        assert_eq!(d.cdf(60.0), 1.0);
+        assert!(d.cdf(30.0) > Exponential::with_mean(30.0).unwrap().cdf(30.0));
+        // pdf integrates to 1 over [0, cap].
+        let total = numeric::quadrature::integrate(|y| d.pdf(y), 0.0, 60.0, 1e-10);
+        assert!(approx_eq(total, 1.0, 1e-8), "mass {total}");
+        // Truncated mean < cap and < censored mean + atom effect.
+        assert!(d.mean() < 30.0);
+    }
+
+    #[test]
+    fn truncated_quantile_and_sampling() {
+        let d = Truncated::new(Exponential::with_mean(30.0).unwrap(), 60.0).unwrap();
+        for &u in &[0.1, 0.5, 0.9] {
+            let y = d.quantile(u);
+            assert!(y <= 60.0);
+            assert!(approx_eq(d.cdf(y), u, 1e-8), "cdf(q({u})) = {}", d.cdf(y));
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - d.mean()).abs() < 0.02 * d.mean(), "sample mean {mean}");
+    }
+
+    #[test]
+    fn truncated_partial_mean_consistent() {
+        let d = Truncated::new(Exponential::with_mean(30.0).unwrap(), 60.0).unwrap();
+        let num = numeric::quadrature::integrate(|y| y * d.pdf(y), 0.0, 28.0, 1e-10);
+        assert!(approx_eq(d.partial_mean(28.0), num, 1e-7));
+        assert!(approx_eq(d.partial_mean(60.0), d.mean(), 1e-12));
+        assert!(approx_eq(d.partial_mean(100.0), d.mean(), 1e-12));
+    }
+
+    #[test]
+    fn truncated_atomic_inner_boundary_convention() {
+        // Atom exactly at b must count as tail mass after truncation too.
+        let inner = Discrete::new(vec![(10.0, 0.5), (28.0, 0.25), (100.0, 0.25)]).unwrap();
+        let d = Truncated::new(inner, 50.0).unwrap();
+        // Mass below cap: 0.75; renormalized atoms: 10 → 2/3, 28 → 1/3.
+        assert!(approx_eq(d.tail_prob(28.0), 1.0 / 3.0, 1e-12));
+        assert!(approx_eq(d.mean(), (10.0 * 2.0 + 28.0) / 3.0, 1e-12));
+    }
+
+    #[test]
+    fn rejects_bad_caps() {
+        let e = Exponential::with_mean(30.0).unwrap();
+        assert!(Censored::new(e, 0.0).is_err());
+        assert!(Censored::new(e, f64::INFINITY).is_err());
+        assert!(Truncated::new(e, -1.0).is_err());
+        // Pareto has no mass below its scale.
+        let p = Pareto::new(50.0, 2.0).unwrap();
+        assert!(Truncated::new(p, 10.0).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let e = Exponential::with_mean(30.0).unwrap();
+        let c = Censored::new(e, 60.0).unwrap();
+        assert_eq!(c.inner().mean(), 30.0);
+        let t = Truncated::new(e, 60.0).unwrap();
+        assert_eq!(t.cap(), 60.0);
+        assert_eq!(t.inner().mean(), 30.0);
+    }
+}

@@ -1,0 +1,483 @@
+//! Parametric model fitting and selection for stop-length samples.
+//!
+//! The paper's Figure-3 argument is a *negative* fit result (exponential
+//! rejected by K-S); this module makes the positive direction available
+//! too: fit the parametric families in [`crate::dist`] to a sample and
+//! rank them by their Kolmogorov–Smirnov distance — the tool a downstream
+//! user reaches for when deciding how to model their own fleet's stops.
+
+use crate::dist::{DistributionError, Exponential, Gamma, LogNormal, StopDistribution, Weibull};
+use crate::kstest::{ks_test, KsResult};
+use numeric::rootfind::bisect;
+use std::fmt;
+
+/// A fitted parametric model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FittedModel {
+    /// Exponential(rate) — MLE.
+    Exponential(Exponential),
+    /// LogNormal(μ, σ) — log-moment fit.
+    LogNormal(LogNormal),
+    /// Weibull(k, λ) — MLE (profile likelihood for the shape).
+    Weibull(Weibull),
+    /// Gamma(k, θ) — method of moments.
+    Gamma(Gamma),
+}
+
+impl FittedModel {
+    /// Family name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Exponential(_) => "exponential",
+            Self::LogNormal(_) => "lognormal",
+            Self::Weibull(_) => "weibull",
+            Self::Gamma(_) => "gamma",
+        }
+    }
+
+    /// The fitted distribution as a trait object.
+    #[must_use]
+    pub fn as_distribution(&self) -> &dyn StopDistribution {
+        match self {
+            Self::Exponential(d) => d,
+            Self::LogNormal(d) => d,
+            Self::Weibull(d) => d,
+            Self::Gamma(d) => d,
+        }
+    }
+}
+
+impl fmt::Display for FittedModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Exponential(d) => write!(f, "exponential(rate = {:.5})", d.rate()),
+            Self::LogNormal(d) => write!(f, "lognormal(mu = {:.3}, sigma = {:.3})", d.mu(), d.sigma()),
+            Self::Weibull(d) => write!(f, "weibull(shape = {:.3}, scale = {:.3})", d.shape(), d.scale()),
+            Self::Gamma(d) => write!(f, "gamma(shape = {:.3}, scale = {:.3})", d.shape(), d.scale()),
+        }
+    }
+}
+
+/// One fit with its goodness-of-fit score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitReport {
+    /// The fitted model.
+    pub model: FittedModel,
+    /// One-sample K-S test of the data against the fit.
+    pub ks: KsResult,
+}
+
+/// Maximum-likelihood Weibull fit.
+///
+/// The shape `k` solves the profile-likelihood equation
+/// `Σ yᵏ ln y / Σ yᵏ − 1/k = mean(ln y)` (bisected on `[0.05, 30]`); the
+/// scale is then `(Σ yᵏ / n)^{1/k}`.
+///
+/// # Errors
+///
+/// Returns [`DistributionError`] if fewer than two samples are given, any
+/// sample is non-positive, or the shape equation has no root in range
+/// (pathological data, e.g. all samples equal).
+pub fn fit_weibull(samples: &[f64]) -> Result<Weibull, DistributionError> {
+    if samples.len() < 2 {
+        return Err(DistributionError::new(
+            "samples",
+            samples.len() as f64,
+            "need at least 2 samples",
+        ));
+    }
+    if let Some(&bad) = samples.iter().find(|&&s| s <= 0.0) {
+        return Err(DistributionError::new("samples", bad, "must all be > 0"));
+    }
+    let n = samples.len() as f64;
+    let mean_ln = samples.iter().map(|y| y.ln()).sum::<f64>() / n;
+    let g = |k: f64| {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &y in samples {
+            let yk = y.powf(k);
+            num += yk * y.ln();
+            den += yk;
+        }
+        num / den - 1.0 / k - mean_ln
+    };
+    let k = bisect(g, 0.05, 30.0, 1e-10)
+        .map_err(|_| DistributionError::new("shape", f64::NAN, "MLE equation has no root"))?;
+    let scale = (samples.iter().map(|y| y.powf(k)).sum::<f64>() / n).powf(1.0 / k);
+    Weibull::new(k, scale)
+}
+
+/// Method-of-moments Gamma fit.
+///
+/// # Errors
+///
+/// Returns [`DistributionError`] if fewer than two samples are given or
+/// the sample mean/variance are not strictly positive.
+pub fn fit_gamma(samples: &[f64]) -> Result<Gamma, DistributionError> {
+    if samples.len() < 2 {
+        return Err(DistributionError::new(
+            "samples",
+            samples.len() as f64,
+            "need at least 2 samples",
+        ));
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|y| (y - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    if !(mean > 0.0 && var > 0.0) {
+        return Err(DistributionError::new("samples", mean, "need positive mean and variance"));
+    }
+    Gamma::from_mean_std(mean, var.sqrt())
+}
+
+/// Fits every family that accepts the sample and ranks the results by K-S
+/// statistic (best first).
+///
+/// Families whose preconditions fail (e.g. log-normal with zero-valued
+/// samples) are silently skipped; the result is non-empty for any sample
+/// with a positive mean.
+///
+/// # Errors
+///
+/// Returns [`DistributionError`] if `samples` is empty or *no* family
+/// could be fitted.
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use stopmodel::dist::{LogNormal, StopDistribution};
+/// use stopmodel::fit::fit_best;
+///
+/// let truth = LogNormal::new(2.5, 0.8)?;
+/// let mut rng = StdRng::seed_from_u64(5);
+/// let samples: Vec<f64> = (0..2000).map(|_| truth.sample(&mut rng)).collect();
+/// let ranked = fit_best(&samples)?;
+/// assert_eq!(ranked[0].model.name(), "lognormal");
+/// # Ok::<(), stopmodel::dist::DistributionError>(())
+/// ```
+pub fn fit_best(samples: &[f64]) -> Result<Vec<FitReport>, DistributionError> {
+    if samples.is_empty() {
+        return Err(DistributionError::new("samples", 0.0, "must be non-empty"));
+    }
+    let mut reports = Vec::new();
+    if let Ok(d) = Exponential::fit(samples) {
+        reports.push(FitReport { ks: ks_test(samples, &d), model: FittedModel::Exponential(d) });
+    }
+    if let Ok(d) = LogNormal::fit(samples) {
+        reports.push(FitReport { ks: ks_test(samples, &d), model: FittedModel::LogNormal(d) });
+    }
+    if let Ok(d) = fit_weibull(samples) {
+        reports.push(FitReport { ks: ks_test(samples, &d), model: FittedModel::Weibull(d) });
+    }
+    if let Ok(d) = fit_gamma(samples) {
+        reports.push(FitReport { ks: ks_test(samples, &d), model: FittedModel::Gamma(d) });
+    }
+    if reports.is_empty() {
+        return Err(DistributionError::new("samples", samples.len() as f64, "no family fit"));
+    }
+    reports.sort_by(|a, b| {
+        a.ks.statistic.partial_cmp(&b.ks.statistic).expect("finite statistics")
+    });
+    Ok(reports)
+}
+
+/// One component of a fitted log-normal mixture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixtureComponent {
+    /// Mixing weight (components sum to 1).
+    pub weight: f64,
+    /// The component distribution.
+    pub dist: LogNormal,
+}
+
+/// Result of [`fit_lognormal_mixture`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixtureFit {
+    /// Fitted components, sorted by log-mean ascending.
+    pub components: Vec<MixtureComponent>,
+    /// Final log-likelihood of the sample under the mixture.
+    pub log_likelihood: f64,
+    /// EM iterations performed.
+    pub iterations: usize,
+}
+
+impl MixtureFit {
+    /// Converts the fit into a sampleable [`crate::dist::Mixture`].
+    ///
+    /// # Panics
+    ///
+    /// Never panics for a fit produced by [`fit_lognormal_mixture`] (the
+    /// weights are positive and normalized).
+    #[must_use]
+    pub fn to_mixture(&self) -> crate::dist::Mixture {
+        crate::dist::Mixture::new(
+            self.components
+                .iter()
+                .map(|c| (c.weight, Box::new(c.dist) as _))
+                .collect(),
+        )
+        .expect("EM weights are positive and normalized")
+    }
+}
+
+/// Fits a `k`-component log-normal mixture by expectation–maximization
+/// (a Gaussian mixture on `ln y`).
+///
+/// Initialization splits the sorted log-sample into `k` equal blocks; EM
+/// runs until the log-likelihood improves by less than `1e-8` relatively
+/// or `max_iters` is reached. Component standard deviations are floored
+/// at `1e-3` to prevent degenerate spikes. This is exactly the structure
+/// of the synthetic stop-length workloads (short-body + long-tail), which
+/// single families cannot capture (see [`fit_best`]).
+///
+/// # Errors
+///
+/// Returns [`DistributionError`] if `k == 0`, fewer than `2·k` samples
+/// are given, or any sample is non-positive.
+pub fn fit_lognormal_mixture(
+    samples: &[f64],
+    k: usize,
+    max_iters: usize,
+) -> Result<MixtureFit, DistributionError> {
+    if k == 0 {
+        return Err(DistributionError::new("k", 0.0, "need at least one component"));
+    }
+    if samples.len() < 2 * k {
+        return Err(DistributionError::new(
+            "samples",
+            samples.len() as f64,
+            "need at least 2 samples per component",
+        ));
+    }
+    if let Some(&bad) = samples.iter().find(|&&s| s <= 0.0) {
+        return Err(DistributionError::new("samples", bad, "must all be > 0"));
+    }
+    let mut z: Vec<f64> = samples.iter().map(|y| y.ln()).collect();
+    let n = z.len();
+    let nf = n as f64;
+
+    // Quantile-block initialization on the sorted log-sample.
+    let mut sorted = z.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mut weights = vec![1.0 / k as f64; k];
+    let mut means = Vec::with_capacity(k);
+    let mut sds = Vec::with_capacity(k);
+    for block in 0..k {
+        let lo = block * n / k;
+        let hi = ((block + 1) * n / k).max(lo + 1);
+        let slice = &sorted[lo..hi.min(n)];
+        let m = slice.iter().sum::<f64>() / slice.len() as f64;
+        let v = slice.iter().map(|x| (x - m).powi(2)).sum::<f64>() / slice.len() as f64;
+        means.push(m);
+        sds.push(v.sqrt().max(1e-3));
+    }
+    drop(sorted);
+    // Keep the raw order for responsibilities.
+    let data = std::mem::take(&mut z);
+
+    let ln_norm = |x: f64, m: f64, s: f64| {
+        let d = (x - m) / s;
+        -0.5 * d * d - s.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+    };
+    let mut resp = vec![0.0f64; n * k];
+    let mut prev_ll = f64::NEG_INFINITY;
+    let mut iterations = 0;
+    for it in 0..max_iters {
+        iterations = it + 1;
+        // E-step (log-sum-exp for stability).
+        let mut ll = 0.0;
+        let mut logs = vec![0.0f64; k];
+        for (i, &x) in data.iter().enumerate() {
+            let mut max = f64::NEG_INFINITY;
+            for c in 0..k {
+                logs[c] = weights[c].ln() + ln_norm(x, means[c], sds[c]);
+                max = max.max(logs[c]);
+            }
+            let sum: f64 = logs.iter().map(|l| (l - max).exp()).sum();
+            ll += max + sum.ln();
+            for c in 0..k {
+                resp[i * k + c] = (logs[c] - max).exp() / sum;
+            }
+        }
+        // M-step.
+        for c in 0..k {
+            let nk: f64 = (0..n).map(|i| resp[i * k + c]).sum();
+            let nk = nk.max(1e-12);
+            weights[c] = nk / nf;
+            let m = (0..n).map(|i| resp[i * k + c] * data[i]).sum::<f64>() / nk;
+            let v =
+                (0..n).map(|i| resp[i * k + c] * (data[i] - m).powi(2)).sum::<f64>() / nk;
+            means[c] = m;
+            sds[c] = v.sqrt().max(1e-3);
+        }
+        if (ll - prev_ll).abs() <= 1e-8 * ll.abs().max(1.0) {
+            prev_ll = ll;
+            break;
+        }
+        prev_ll = ll;
+    }
+
+    let mut components: Vec<MixtureComponent> = (0..k)
+        .map(|c| MixtureComponent {
+            weight: weights[c],
+            dist: LogNormal::new(means[c], sds[c]).expect("floored sigma is valid"),
+        })
+        .collect();
+    components.sort_by(|a, b| a.dist.mu().partial_cmp(&b.dist.mu()).expect("finite"));
+    Ok(MixtureFit { components, log_likelihood: prev_ll, iterations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn draw<D: StopDistribution>(d: &D, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn weibull_mle_recovers_parameters() {
+        let truth = Weibull::new(1.7, 22.0).unwrap();
+        let samples = draw(&truth, 30_000, 1);
+        let fit = fit_weibull(&samples).unwrap();
+        assert!((fit.shape() - 1.7).abs() < 0.05, "shape {}", fit.shape());
+        assert!((fit.scale() - 22.0).abs() < 0.5, "scale {}", fit.scale());
+    }
+
+    #[test]
+    fn weibull_mle_heavy_shape() {
+        let truth = Weibull::new(0.6, 10.0).unwrap();
+        let samples = draw(&truth, 30_000, 2);
+        let fit = fit_weibull(&samples).unwrap();
+        assert!((fit.shape() - 0.6).abs() < 0.03, "shape {}", fit.shape());
+    }
+
+    #[test]
+    fn gamma_moments_recover_parameters() {
+        let truth = Gamma::new(2.5, 8.0).unwrap();
+        let samples = draw(&truth, 50_000, 3);
+        let fit = fit_gamma(&samples).unwrap();
+        assert!((fit.shape() - 2.5).abs() < 0.1, "shape {}", fit.shape());
+        assert!((fit.scale() - 8.0).abs() < 0.4, "scale {}", fit.scale());
+    }
+
+    #[test]
+    fn selection_identifies_true_family() {
+        // Each generator should win its own contest.
+        let ln = LogNormal::new(2.3, 0.9).unwrap();
+        assert_eq!(fit_best(&draw(&ln, 4000, 4)).unwrap()[0].model.name(), "lognormal");
+        let ex = Exponential::with_mean(15.0).unwrap();
+        let best = fit_best(&draw(&ex, 4000, 5)).unwrap();
+        // Exponential is a special case of both Weibull and Gamma, so any
+        // of the three may edge out on a finite sample — but lognormal
+        // must not win.
+        assert_ne!(best[0].model.name(), "lognormal", "best: {}", best[0].model);
+    }
+
+    #[test]
+    fn selection_rejects_exponential_for_heavy_tails() {
+        use crate::dist::{Mixture, Pareto};
+        let mix = Mixture::new(vec![
+            (0.9, Box::new(LogNormal::new(2.0, 0.7).unwrap()) as _),
+            (0.1, Box::new(Pareto::new(45.0, 1.1).unwrap()) as _),
+        ])
+        .unwrap();
+        let samples = draw(&mix, 4000, 6);
+        let ranked = fit_best(&samples).unwrap();
+        let expo = ranked.iter().find(|r| r.model.name() == "exponential").unwrap();
+        assert!(expo.ks.rejects_at(0.001), "exponential must be rejected");
+        // The winner fits meaningfully better than the exponential.
+        assert!(ranked[0].ks.statistic < 0.5 * expo.ks.statistic);
+    }
+
+    #[test]
+    fn handles_samples_with_zeros() {
+        // Zeros disqualify lognormal/weibull but not exponential/gamma.
+        let samples = [0.0, 1.0, 2.0, 3.0, 10.0, 4.0];
+        let ranked = fit_best(&samples).unwrap();
+        assert!(ranked.iter().all(|r| r.model.name() != "lognormal"));
+        assert!(ranked.iter().any(|r| r.model.name() == "exponential"));
+    }
+
+    #[test]
+    fn errors_on_empty_and_degenerate() {
+        assert!(fit_best(&[]).is_err());
+        assert!(fit_weibull(&[5.0]).is_err());
+        assert!(fit_weibull(&[5.0, 0.0]).is_err());
+        assert!(fit_gamma(&[1.0]).is_err());
+        assert!(fit_gamma(&[2.0, 2.0]).is_err()); // zero variance
+    }
+
+    #[test]
+    fn em_recovers_two_component_mixture() {
+        use crate::dist::Mixture;
+        let truth = Mixture::new(vec![
+            (0.7, Box::new(LogNormal::new(1.5, 0.4).unwrap()) as _),
+            (0.3, Box::new(LogNormal::new(4.0, 0.5).unwrap()) as _),
+        ])
+        .unwrap();
+        let samples = draw(&truth, 20_000, 11);
+        let fit = fit_lognormal_mixture(&samples, 2, 300).unwrap();
+        assert_eq!(fit.components.len(), 2);
+        let (a, b) = (&fit.components[0], &fit.components[1]);
+        assert!((a.weight - 0.7).abs() < 0.03, "w0 {}", a.weight);
+        assert!((a.dist.mu() - 1.5).abs() < 0.06, "mu0 {}", a.dist.mu());
+        assert!((a.dist.sigma() - 0.4).abs() < 0.05, "s0 {}", a.dist.sigma());
+        assert!((b.dist.mu() - 4.0).abs() < 0.06, "mu1 {}", b.dist.mu());
+        assert!(fit.iterations >= 2);
+        // The mixture fit beats the best single family on this sample.
+        let single = fit_best(&samples).unwrap();
+        let mix = fit.to_mixture();
+        let mix_ks = crate::kstest::ks_statistic(&samples, &mix);
+        assert!(
+            mix_ks < 0.5 * single[0].ks.statistic,
+            "mixture D {mix_ks} vs best single {}",
+            single[0].ks.statistic
+        );
+    }
+
+    #[test]
+    fn em_single_component_matches_direct_fit() {
+        let truth = LogNormal::new(2.5, 0.7).unwrap();
+        let samples = draw(&truth, 10_000, 12);
+        let em = fit_lognormal_mixture(&samples, 1, 100).unwrap();
+        let direct = LogNormal::fit(&samples).unwrap();
+        assert!((em.components[0].dist.mu() - direct.mu()).abs() < 1e-6);
+        assert!((em.components[0].dist.sigma() - direct.sigma()).abs() < 1e-3);
+        assert!((em.components[0].weight - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn em_weights_normalized_and_sorted() {
+        let truth = LogNormal::new(2.0, 1.2).unwrap();
+        let samples = draw(&truth, 5000, 13);
+        let fit = fit_lognormal_mixture(&samples, 3, 200).unwrap();
+        let total: f64 = fit.components.iter().map(|c| c.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for w in fit.components.windows(2) {
+            assert!(w[0].dist.mu() <= w[1].dist.mu());
+        }
+    }
+
+    #[test]
+    fn em_validation() {
+        assert!(fit_lognormal_mixture(&[1.0, 2.0], 0, 10).is_err());
+        assert!(fit_lognormal_mixture(&[1.0, 2.0, 3.0], 2, 10).is_err());
+        assert!(fit_lognormal_mixture(&[1.0, -2.0, 3.0, 4.0], 2, 10).is_err());
+    }
+
+    #[test]
+    fn display_and_accessors() {
+        let samples = draw(&Exponential::with_mean(10.0).unwrap(), 500, 7);
+        let ranked = fit_best(&samples).unwrap();
+        for r in &ranked {
+            assert!(!r.model.to_string().is_empty());
+            assert!(r.model.as_distribution().mean() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Stop-length distribution substrate.
+//!
+//! Everything in the paper is driven by the distribution `q(y)` of vehicle
+//! stop lengths: the constrained ski-rental statistics `μ_B⁻` and `q_B⁺`
+//! are functionals of it, the Figure-3 plots are its empirical density, and
+//! the Figure-5/6 sweeps rescale its mean. This crate provides:
+//!
+//! * [`dist`] — the [`StopDistribution`] trait and implementations:
+//!   [`dist::Exponential`], [`dist::Uniform`], [`dist::LogNormal`],
+//!   [`dist::Weibull`], [`dist::Pareto`], [`dist::Mixture`],
+//!   [`dist::Gamma`], [`dist::Scaled`], [`dist::Censored`],
+//!   [`dist::Truncated`], [`dist::Discrete`], and [`dist::Empirical`].
+//! * [`moments`] — the `(μ_B⁻, q_B⁺)` functionals, both analytic (from a
+//!   distribution) and plug-in (from samples).
+//! * [`kstest`] — one- and two-sample Kolmogorov–Smirnov tests, used to
+//!   reproduce the paper's observation that real stop-length data is *not*
+//!   exponential.
+//! * [`sampling`] — shared variate samplers (normal, Gamma, Poisson).
+//! * [`fit`] — parametric fitting (MLE / moments) and K-S model selection.
+//!
+//! # Example
+//!
+//! ```
+//! use stopmodel::dist::{Exponential, StopDistribution};
+//! use stopmodel::moments::ConstrainedMoments;
+//!
+//! let q = Exponential::new(1.0 / 30.0)?; // mean stop of 30 s
+//! let m = ConstrainedMoments::from_distribution(&q, 28.0);
+//! assert!(m.mu_b_minus > 0.0 && m.q_b_plus > 0.0);
+//! # Ok::<(), stopmodel::dist::DistributionError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod fit;
+pub mod kstest;
+pub mod moments;
+pub mod sampling;
+
+pub use dist::StopDistribution;
+pub use moments::ConstrainedMoments;
+
+/// Draws a uniform variate in `[0, 1)` from any [`rand::RngCore`], using the
+/// top 53 bits of one `u64` draw.
+///
+/// Exposed because several crates in the workspace sample through
+/// `&mut dyn RngCore` trait objects, where the generic [`rand::Rng`]
+/// convenience methods are unavailable.
+#[must_use]
+pub fn uniform01(rng: &mut dyn rand::RngCore) -> f64 {
+    // 53 random mantissa bits → exactly representable uniform on [0, 1).
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform01_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let u = uniform01(&mut rng);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform01_mean_near_half() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| uniform01(&mut rng)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+}

@@ -1,0 +1,190 @@
+//! Random-variate samplers shared across the workspace: standard normal
+//! (Box–Muller), Gamma (Marsaglia–Tsang), and Poisson (Knuth / normal
+//! approximation).
+//!
+//! These back both the distribution types in [`crate::dist`] and the
+//! driving simulator's per-vehicle heterogeneity draws.
+
+use crate::uniform01;
+use rand::RngCore;
+
+/// Draws a standard normal variate (Box–Muller).
+#[must_use]
+pub fn standard_normal(rng: &mut dyn RngCore) -> f64 {
+    let mut u1 = uniform01(rng);
+    while u1 == 0.0 {
+        u1 = uniform01(rng);
+    }
+    let u2 = uniform01(rng);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a Gamma(shape `k`, scale `θ`) variate using Marsaglia–Tsang
+/// (with the boost for `k < 1`).
+///
+/// # Panics
+///
+/// Panics if `shape` or `scale` is not strictly positive and finite.
+#[must_use]
+pub fn gamma(shape: f64, scale: f64, rng: &mut dyn RngCore) -> f64 {
+    assert!(shape.is_finite() && shape > 0.0, "gamma shape must be positive, got {shape}");
+    assert!(scale.is_finite() && scale > 0.0, "gamma scale must be positive, got {scale}");
+    if shape < 1.0 {
+        // Boost: Gamma(k) = Gamma(k+1) · U^{1/k}.
+        let mut u = uniform01(rng);
+        while u == 0.0 {
+            u = uniform01(rng);
+        }
+        return gamma(shape + 1.0, scale, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u = uniform01(rng);
+        let x2 = x * x;
+        if u < 1.0 - 0.0331 * x2 * x2 || u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
+            return d * v * scale;
+        }
+    }
+}
+
+/// Draws a Gamma variate parameterized by mean and standard deviation
+/// (`k = μ²/σ²`, `θ = σ²/μ`) — handy for matching summary statistics such
+/// as the paper's Table 1.
+///
+/// # Panics
+///
+/// Panics if `mean` or `std_dev` is not strictly positive and finite.
+#[must_use]
+pub fn gamma_mean_std(mean: f64, std_dev: f64, rng: &mut dyn RngCore) -> f64 {
+    assert!(mean.is_finite() && mean > 0.0, "mean must be positive, got {mean}");
+    assert!(std_dev.is_finite() && std_dev > 0.0, "std must be positive, got {std_dev}");
+    let shape = (mean / std_dev).powi(2);
+    let scale = std_dev * std_dev / mean;
+    gamma(shape, scale, rng)
+}
+
+/// Draws a Poisson(λ) count. Uses Knuth's product method for small λ and
+/// a rounded-normal approximation beyond λ = 30 (adequate for stop
+/// counts).
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative or non-finite.
+#[must_use]
+pub fn poisson(lambda: f64, rng: &mut dyn RngCore) -> u64 {
+    assert!(lambda.is_finite() && lambda >= 0.0, "lambda must be non-negative, got {lambda}");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        let x = lambda + lambda.sqrt() * standard_normal(rng);
+        return x.round().max(0.0) as u64;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= uniform01(rng);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..100_000).map(|_| standard_normal(&mut rng)).collect();
+        let (m, v) = moments(&samples);
+        assert!(m.abs() < 0.02, "mean {m}");
+        assert!((v - 1.0).abs() < 0.03, "var {v}");
+    }
+
+    #[test]
+    fn gamma_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (k, theta) = (2.5, 3.0);
+        let samples: Vec<f64> = (0..100_000).map(|_| gamma(k, theta, &mut rng)).collect();
+        let (m, v) = moments(&samples);
+        assert!((m - k * theta).abs() < 0.1, "mean {m}");
+        assert!((v - k * theta * theta).abs() < 0.7, "var {v}");
+        assert!(samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn gamma_small_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<f64> = (0..100_000).map(|_| gamma(0.5, 2.0, &mut rng)).collect();
+        let (m, _) = moments(&samples);
+        assert!((m - 1.0).abs() < 0.05, "mean {m}");
+        assert!(samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn gamma_mean_std_parameterization() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let samples: Vec<f64> =
+            (0..100_000).map(|_| gamma_mean_std(12.49, 9.97, &mut rng)).collect();
+        let (m, v) = moments(&samples);
+        assert!((m - 12.49).abs() < 0.15, "mean {m}");
+        assert!((v.sqrt() - 9.97).abs() < 0.2, "std {}", v.sqrt());
+    }
+
+    #[test]
+    fn poisson_moments_small_lambda() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples: Vec<f64> = (0..100_000).map(|_| poisson(4.2, &mut rng) as f64).collect();
+        let (m, v) = moments(&samples);
+        assert!((m - 4.2).abs() < 0.05, "mean {m}");
+        assert!((v - 4.2).abs() < 0.15, "var {v}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_normal_path() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let samples: Vec<f64> = (0..100_000).map(|_| poisson(100.0, &mut rng) as f64).collect();
+        let (m, v) = moments(&samples);
+        assert!((m - 100.0).abs() < 0.3, "mean {m}");
+        assert!((v - 100.0).abs() < 3.0, "var {v}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(poisson(0.0, &mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma shape must be positive")]
+    fn gamma_rejects_bad_shape() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let _ = gamma(0.0, 1.0, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be non-negative")]
+    fn poisson_rejects_negative() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let _ = poisson(-1.0, &mut rng);
+    }
+}

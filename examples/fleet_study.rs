@@ -1,0 +1,44 @@
+//! Fleet study: a condensed version of the paper's Section-5 experiment
+//! (Figure 4). Synthesizes NREL-like fleets for the three areas, evaluates
+//! all six strategies per vehicle, and prints per-area summaries plus the
+//! "proposed is best on N of M vehicles" count — for both stop-start
+//! (B = 28 s) and conventional (B = 47 s) vehicles.
+//!
+//! Run with: `cargo run --release --example fleet_study`
+//! (Pass a vehicle count to shrink the fleets, e.g. `-- 50`.)
+
+use automotive_idling::drivesim::{Area, FleetConfig, VehicleTrace};
+use automotive_idling::skirental::fleet_eval::evaluate_fleet;
+use automotive_idling::skirental::{BreakEven, Strategy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let override_vehicles: Option<usize> =
+        std::env::args().nth(1).map(|s| s.parse()).transpose()?;
+
+    for (label, b) in
+        [("stop-start vehicles, B = 28 s", BreakEven::SSV), ("no stop-start system, B = 47 s", BreakEven::CONVENTIONAL)]
+    {
+        println!("\n=== {label} ===");
+        let mut proposed_wins = 0usize;
+        let mut total = 0usize;
+        for area in Area::ALL {
+            let mut config = FleetConfig::new(area);
+            if let Some(n) = override_vehicles {
+                config = config.vehicles(n);
+            }
+            let traces = config.synthesize(2014);
+            let stops: Vec<Vec<f64>> = traces.iter().map(VehicleTrace::stop_lengths).collect();
+            let report = evaluate_fleet(&stops, b, &Strategy::ALL)?;
+            println!("\n{area} ({} vehicles):", report.num_vehicles());
+            print!("{report}");
+            let p = report.summary_of(Strategy::Proposed).expect("proposed evaluated");
+            proposed_wins += p.wins;
+            total += report.num_vehicles();
+        }
+        println!(
+            "\nproposed strategy best on {proposed_wins} of {total} vehicles \
+             (paper: 1169/1182 at B=28, 977/1182 at B=47)"
+        );
+    }
+    Ok(())
+}

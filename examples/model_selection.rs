@@ -1,0 +1,55 @@
+//! Model selection: which parametric family describes an area's stop
+//! lengths? The paper stops at a negative result (exponential rejected by
+//! K-S); `stopmodel::fit` answers the positive question, and the chosen
+//! model's `(μ_B⁻, q_B⁺)` feed straight into the proposed policy.
+//!
+//! Run with: `cargo run --release --example model_selection`
+
+use automotive_idling::drivesim::{Area, FleetConfig, VehicleTrace};
+use automotive_idling::skirental::{BreakEven, ConstrainedStats};
+use automotive_idling::stopmodel::fit::fit_best;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let b = BreakEven::SSV;
+    for area in Area::ALL {
+        let fleet = FleetConfig::new(area).vehicles(80).synthesize(2014);
+        let stops: Vec<f64> = fleet.iter().flat_map(VehicleTrace::stop_lengths).collect();
+        println!("\n{area} — {} stops", stops.len());
+
+        let ranked = fit_best(&stops)?;
+        println!("{:<42} {:>8} {:>11}", "fitted model", "K-S D", "p-value");
+        for report in &ranked {
+            println!(
+                "{:<42} {:>8.4} {:>11.3e}",
+                report.model.to_string(),
+                report.ks.statistic,
+                report.ks.p_value
+            );
+        }
+
+        // What the best single-family fit implies for the policy, vs the
+        // plug-in estimate from the raw data.
+        let best = &ranked[0];
+        let from_fit = ConstrainedStats::from_distribution(best.model.as_distribution(), b);
+        let from_data = ConstrainedStats::from_samples(&stops, b)?;
+        println!(
+            "policy via {:<12} mu_B- = {:5.2}, q_B+ = {:.4} → {}",
+            best.model.name(),
+            from_fit.moments().mu_b_minus,
+            from_fit.moments().q_b_plus,
+            from_fit.optimal_choice().name()
+        );
+        println!(
+            "policy via raw data:   mu_B- = {:5.2}, q_B+ = {:.4} → {}",
+            from_data.moments().mu_b_minus,
+            from_data.moments().q_b_plus,
+            from_data.optimal_choice().name()
+        );
+        println!(
+            "(no single family captures the mixture's tail — q_B+ from the best fit is {:.0} % \
+             of the empirical value, which is why the paper's plug-in statistics matter)",
+            100.0 * from_fit.moments().q_b_plus / from_data.moments().q_b_plus.max(1e-12)
+        );
+    }
+    Ok(())
+}

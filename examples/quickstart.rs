@@ -1,0 +1,50 @@
+//! Quickstart: derive a vehicle's break-even interval, estimate the
+//! constrained statistics from a handful of observed stops, build the
+//! proposed policy, and use it on the next stop.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use automotive_idling::powertrain::VehicleSpec;
+use automotive_idling::skirental::{analysis, ConstrainedStats, Policy, StrategyChoice};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. How expensive is a restart, in seconds of idling? (Appendix C.)
+    let spec = VehicleSpec::stop_start_vehicle();
+    let breakdown = spec.break_even_breakdown();
+    let b = spec.break_even();
+    println!("break-even interval: {breakdown}");
+
+    // 2. The stops this vehicle saw this week (seconds).
+    let stops = [6.0, 14.0, 3.5, 45.0, 9.0, 22.0, 7.5, 310.0, 11.0, 5.0, 18.0, 64.0];
+    let stats = ConstrainedStats::from_samples(&stops, b)?;
+    println!(
+        "estimated statistics: mu_B- = {:.2} s, q_B+ = {:.3}",
+        stats.moments().mu_b_minus,
+        stats.moments().q_b_plus
+    );
+
+    // 3. The minimax-optimal strategy for those statistics.
+    let policy = stats.optimal_policy();
+    match policy.choice() {
+        StrategyChoice::Det => println!("strategy: wait the full break-even interval (DET)"),
+        StrategyChoice::Toi => println!("strategy: shut off immediately (TOI)"),
+        StrategyChoice::BDet { b } => println!("strategy: wait {b:.1} s, then shut off (b-DET)"),
+        StrategyChoice::NRand => println!("strategy: randomized threshold (N-Rand)"),
+    }
+    println!(
+        "guaranteed worst-case expected competitive ratio: {:.4}",
+        policy.worst_case_cr()
+    );
+
+    // 4. Use it: decide how long to idle at the next stop.
+    let mut rng = StdRng::seed_from_u64(7);
+    let threshold = policy.sample_threshold(&mut rng);
+    println!("next stop: idle up to {threshold:.1} s before shutting the engine off");
+
+    // 5. How did it do on this week's trace, against the clairvoyant optimum?
+    let cr = analysis::empirical_cr(&policy, &stops)?;
+    println!("this week's expected competitive ratio: {cr:.4}");
+    Ok(())
+}

@@ -1,0 +1,231 @@
+//! A tiny dependency-free flag parser for `idlectl`.
+//!
+//! Supports `--flag value`, `--flag=value`, and bare boolean flags; the
+//! first non-flag token is the subcommand. Unknown flags are errors (a
+//! typo should not silently fall back to a default).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command line: a subcommand plus its flags.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    /// The subcommand (first positional token), if any.
+    pub command: Option<String>,
+    flags: BTreeMap<String, String>,
+}
+
+/// Errors from parsing or typed access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// More than one positional token.
+    UnexpectedPositional(String),
+    /// A required flag was not supplied.
+    Required(String),
+    /// A flag's value failed to parse as the expected type.
+    BadValue {
+        /// Flag name.
+        flag: String,
+        /// Offending raw value.
+        value: String,
+        /// Expected type, human readable.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnexpectedPositional(tok) => write!(f, "unexpected argument {tok:?}"),
+            Self::Required(flag) => write!(f, "missing required flag --{flag}"),
+            Self::BadValue { flag, value, expected } => {
+                write!(f, "--{flag} {value:?} is not a valid {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses tokens (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] on a dangling `--flag` at the end of the line
+    /// or a second positional token.
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, ArgError> {
+        let mut out = Args::default();
+        let mut iter = tokens.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if let Some((k, v)) = name.split_once('=') {
+                    out.flags.insert(k.to_string(), v.to_string());
+                } else if iter.peek().is_some_and(|n| !n.starts_with("--")) {
+                    let v = iter.next().expect("peeked");
+                    out.flags.insert(name.to_string(), v);
+                } else {
+                    // Bare boolean flag.
+                    out.flags.insert(name.to_string(), String::from("true"));
+                }
+            } else if out.command.is_none() {
+                out.command = Some(tok);
+            } else {
+                return Err(ArgError::UnexpectedPositional(tok));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Raw string value of a flag.
+    #[must_use]
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// Whether a boolean flag was supplied.
+    #[must_use]
+    pub fn has(&self, flag: &str) -> bool {
+        self.flags.contains_key(flag)
+    }
+
+    /// Typed optional flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::BadValue`] if present but unparsable.
+    pub fn opt<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        expected: &'static str,
+    ) -> Result<Option<T>, ArgError> {
+        match self.get(flag) {
+            None => Ok(None),
+            Some(raw) => raw.parse().map(Some).map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: raw.to_string(),
+                expected,
+            }),
+        }
+    }
+
+    /// Typed optional flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::BadValue`] if present but unparsable.
+    pub fn opt_or<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        expected: &'static str,
+        default: T,
+    ) -> Result<T, ArgError> {
+        Ok(self.opt(flag, expected)?.unwrap_or(default))
+    }
+
+    /// Typed required flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::Required`] if absent, [`ArgError::BadValue`] if
+    /// unparsable.
+    pub fn required<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        self.opt(flag, expected)?.ok_or_else(|| ArgError::Required(flag.to_string()))
+    }
+
+    /// Names of all supplied flags (for unknown-flag checks).
+    pub fn flag_names(&self) -> impl Iterator<Item = &str> {
+        self.flags.keys().map(String::as_str)
+    }
+
+    /// Rejects any flag not in `allowed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::UnexpectedPositional`] naming the first unknown
+    /// flag.
+    pub fn expect_only(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for name in self.flag_names() {
+            if !allowed.contains(&name) {
+                return Err(ArgError::UnexpectedPositional(format!("--{name}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(tokens.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse(&["policy", "--b", "28", "--mu=5.0", "--verbose"]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("policy"));
+        assert_eq!(a.get("b"), Some("28"));
+        assert_eq!(a.get("mu"), Some("5.0"));
+        assert!(a.has("verbose"));
+        assert!(!a.has("quiet"));
+    }
+
+    #[test]
+    fn typed_access() {
+        let a = parse(&["x", "--b", "28", "--q", "0.3"]).unwrap();
+        assert_eq!(a.required::<f64>("b", "number").unwrap(), 28.0);
+        assert_eq!(a.opt::<f64>("missing", "number").unwrap(), None);
+        assert_eq!(a.opt_or::<u64>("seed", "integer", 7).unwrap(), 7);
+        assert!(matches!(a.required::<f64>("nope", "number"), Err(ArgError::Required(_))));
+        assert!(matches!(
+            a.required::<u64>("q", "integer"),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_second_positional() {
+        assert!(matches!(
+            parse(&["a", "b"]),
+            Err(ArgError::UnexpectedPositional(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bare_flag_is_boolean() {
+        let a = parse(&["cmd", "--flag"]).unwrap();
+        assert!(a.has("flag"));
+    }
+
+    #[test]
+    fn flag_followed_by_flag_is_boolean() {
+        let a = parse(&["cmd", "--a", "--b", "5"]).unwrap();
+        assert_eq!(a.get("a"), Some("true"));
+        assert_eq!(a.get("b"), Some("5"));
+    }
+
+    #[test]
+    fn expect_only_catches_typos() {
+        let a = parse(&["cmd", "--sede", "5"]).unwrap();
+        assert!(a.expect_only(&["seed"]).is_err());
+        let b = parse(&["cmd", "--seed", "5"]).unwrap();
+        assert!(b.expect_only(&["seed"]).is_ok());
+    }
+
+    #[test]
+    fn error_display() {
+        for e in [
+            ArgError::UnexpectedPositional("y".into()),
+            ArgError::Required("z".into()),
+            ArgError::BadValue { flag: "f".into(), value: "v".into(), expected: "number" },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! `idlectl` — command-line interface to the idling-reduction library.
+//!
+//! ```text
+//! idlectl breakeven  [--kind ssv|conventional] [--fuel-price 3.5]
+//! idlectl policy     (--mu 5 --q 0.3 | --trace t.csv) [--b 28]
+//! idlectl evaluate   --trace t.csv [--b 28] [--hindsight]
+//! idlectl synthesize --area chicago --out DIR [--vehicles 5] [--days 7] [--seed 2014]
+//! idlectl simulate   --trace t.csv [--kind ssv] [--policy proposed] [--seed 7]
+//! idlectl table      --area chicago [--vehicles 40] [--b 28] [--seed 2014]
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+idlectl — automotive idling reduction (DAC 2014 reproduction)
+
+USAGE:
+  idlectl <command> [flags]
+
+COMMANDS:
+  breakeven   Derive the break-even interval B from the Appendix-C model
+              [--kind ssv|conventional] [--fuel-price DOLLARS]
+  policy      The minimax-optimal strategy for given statistics or a trace
+              (--mu SECONDS --q PROB | --trace FILE.csv) [--b SECONDS]
+  evaluate    Expected competitive ratio of every strategy on a trace
+              --trace FILE.csv [--b SECONDS] [--hindsight]
+  synthesize  Generate NREL-like vehicle traces as CSV files
+              --area NAME --out DIR [--vehicles N] [--days N] [--seed N]
+  simulate    Run the engine state machine over a trace, full cost ledger
+              --trace FILE.csv [--kind ssv|conventional] [--policy NAME]
+  table       Mini Figure-4 fleet comparison for one area
+              --area NAME [--vehicles N] [--b SECONDS] [--seed N]
+  fit         Fit parametric stop-length models to a trace, K-S ranked
+              --trace FILE.csv [--mixture K]
+
+Traces use the drivesim CSV format (header `vehicle,<id>,<area>,<days>`).
+";
+
+fn main() -> ExitCode {
+    let parsed = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(command) = parsed.command.clone() else {
+        print!("{HELP}");
+        return ExitCode::SUCCESS;
+    };
+    let result = match command.as_str() {
+        "breakeven" => commands::breakeven(&parsed),
+        "policy" => commands::policy(&parsed),
+        "evaluate" => commands::evaluate(&parsed),
+        "synthesize" => commands::synthesize(&parsed),
+        "simulate" => commands::simulate(&parsed),
+        "table" => commands::table(&parsed),
+        "fit" => commands::fit(&parsed),
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command {other:?}; run `idlectl help`")),
+    };
+    match result {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Umbrella crate for the DAC 2014 idling-reduction reproduction.
+//!
+//! Re-exports the workspace crates so that the repository-level examples and
+//! integration tests can exercise the whole stack through one dependency:
+//!
+//! * [`skirental`] — the paper's contribution: constrained ski-rental
+//!   policies and competitive analysis.
+//! * [`stopmodel`] — stop-length distributions and statistics.
+//! * [`drivesim`] — synthetic NREL-like driving-trace generation.
+//! * [`powertrain`] — Appendix-C cost model and the engine state machine.
+//! * [`numeric`] — shared numerical substrate.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs`; in short:
+//!
+//! ```
+//! use automotive_idling::skirental::{BreakEven, ConstrainedStats};
+//!
+//! let b = BreakEven::SSV;                                    // stop-start vehicle, 28 s
+//! let stats = ConstrainedStats::new(b, 8.0, 0.25).unwrap();  // μ_B⁻ = 8 s, q_B⁺ = 0.25
+//! let policy = stats.optimal_policy();
+//! println!("worst-case CR = {:.4}", stats.worst_case_cr());
+//! # let _ = policy;
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use drivesim;
+pub use numeric;
+pub use powertrain;
+pub use skirental;
+pub use stopmodel;

@@ -1,0 +1,119 @@
+//! End-to-end tests of the `idlectl` binary: spawn the real executable
+//! and check its stdout/stderr and exit codes.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn idlectl(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_idlectl"))
+        .args(args)
+        .output()
+        .expect("can spawn idlectl")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+struct TempDir(PathBuf);
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn temp_dir(tag: &str) -> TempDir {
+    let p = std::env::temp_dir().join(format!("idlectl_e2e_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&p).expect("can create temp dir");
+    TempDir(p)
+}
+
+#[test]
+fn no_args_prints_help() {
+    let out = idlectl(&[]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = idlectl(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn breakeven_both_kinds() {
+    let ssv = idlectl(&["breakeven", "--kind", "ssv"]);
+    assert!(ssv.status.success());
+    assert!(stdout(&ssv).contains("= B 29.0 s"));
+    let conv = idlectl(&["breakeven", "--kind", "conventional"]);
+    assert!(conv.status.success());
+    assert!(stdout(&conv).contains("starter 19.4"));
+}
+
+#[test]
+fn policy_from_moments() {
+    let out = idlectl(&["policy", "--b", "28", "--mu", "0.56", "--q", "0.3"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("b-DET"), "{text}");
+    assert!(text.contains("worst-case CR"));
+    // Infeasible moments → clean error, not a panic.
+    let bad = idlectl(&["policy", "--b", "28", "--mu", "99", "--q", "0.9"]);
+    assert!(!bad.status.success());
+    assert!(stderr(&bad).contains("no stop-length distribution"));
+}
+
+#[test]
+fn synthesize_then_evaluate_then_simulate() {
+    let dir = temp_dir("pipeline");
+    let dir_s = dir.0.to_str().unwrap();
+    let out = idlectl(&[
+        "synthesize", "--area", "atlanta", "--vehicles", "2", "--seed", "11", "--out", dir_s,
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let trace = dir.0.join("atlanta_0000.csv");
+    assert!(trace.exists());
+    let trace_s = trace.to_str().unwrap();
+
+    let eval = idlectl(&["evaluate", "--trace", trace_s, "--hindsight"]);
+    assert!(eval.status.success(), "{}", stderr(&eval));
+    let text = stdout(&eval);
+    assert!(text.contains("Proposed") && text.contains("Bayes-OPT") && text.contains("best:"));
+
+    let sim = idlectl(&["simulate", "--trace", trace_s, "--policy", "det"]);
+    assert!(sim.status.success(), "{}", stderr(&sim));
+    assert!(stdout(&sim).contains("restarts"));
+
+    let pol = idlectl(&["policy", "--trace", trace_s]);
+    assert!(pol.status.success());
+    assert!(stdout(&pol).contains("statistics: mu_B-"));
+}
+
+#[test]
+fn table_command_runs() {
+    let out = idlectl(&["table", "--area", "chicago", "--vehicles", "6", "--seed", "3"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("Chicago") && text.contains("mean CR"));
+}
+
+#[test]
+fn typo_flag_is_rejected() {
+    let out = idlectl(&["breakeven", "--kindd", "ssv"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--kindd"));
+}
+
+#[test]
+fn missing_trace_file_reports_io_error() {
+    let out = idlectl(&["evaluate", "--trace", "/definitely/not/here.csv"]);
+    assert!(!out.status.success());
+    assert!(!stderr(&out).is_empty());
+}

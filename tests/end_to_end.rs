@@ -1,0 +1,153 @@
+//! End-to-end integration: the engine-controller simulation must agree
+//! with the analytic ski-rental cost model, across policies, vehicles,
+//! and synthesized fleets.
+
+use automotive_idling::drivesim::{Area, FleetConfig, VehicleTrace};
+use automotive_idling::powertrain::{StopStartController, VehicleSpec};
+use automotive_idling::skirental::analysis::{simulate_total_cost, total_expected_cost};
+use automotive_idling::skirental::policy::{BDet, Det, NRand, Nev, Policy, Toi};
+use automotive_idling::skirental::ConstrainedStats;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn policies(spec: &VehicleSpec, stops: &[f64]) -> Vec<Box<dyn Policy>> {
+    let b = spec.break_even();
+    vec![
+        Box::new(Nev::new(b)),
+        Box::new(Toi::new(b)),
+        Box::new(Det::new(b)),
+        Box::new(BDet::new(b, 0.4 * b.seconds()).expect("valid threshold")),
+        Box::new(NRand::new(b)),
+        Box::new(
+            ConstrainedStats::from_samples(stops, b).expect("non-empty").optimal_policy(),
+        ),
+    ]
+}
+
+#[test]
+fn controller_ledger_equals_analytic_simulation() {
+    // For every policy and a real synthesized trace, the controller's
+    // idle-equivalent cost equals the analytic simulation driven by the
+    // same RNG stream.
+    let spec = VehicleSpec::stop_start_vehicle();
+    let trace = FleetConfig::new(Area::Chicago).vehicles(1).synthesize(11).remove(0);
+    let stops = trace.stop_lengths();
+    for policy in policies(&spec, &stops) {
+        let mut rng1 = StdRng::seed_from_u64(77);
+        let out = StopStartController::new(policy.as_ref(), spec)
+            .drive(&stops, &mut rng1)
+            .expect("valid trace");
+        let mut rng2 = StdRng::seed_from_u64(77);
+        let analytic =
+            simulate_total_cost(policy.as_ref(), &stops, &mut rng2).expect("non-empty");
+        assert!(
+            (out.idle_equivalent_s - analytic).abs() < 1e-9,
+            "{}: controller {} vs analytic {}",
+            policy.name(),
+            out.idle_equivalent_s,
+            analytic
+        );
+    }
+}
+
+#[test]
+fn deterministic_policies_match_expected_cost_exactly() {
+    let spec = VehicleSpec::conventional_vehicle();
+    let b = spec.break_even();
+    let trace = FleetConfig::new(Area::Atlanta).vehicles(1).synthesize(13).remove(0);
+    let stops = trace.stop_lengths();
+    for policy in [&Det::new(b) as &dyn Policy, &Toi::new(b), &Nev::new(b)] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let out =
+            StopStartController::new(policy, spec).drive(&stops, &mut rng).expect("valid trace");
+        let expected = total_expected_cost(policy, &stops).expect("non-empty");
+        assert!(
+            (out.idle_equivalent_s - expected).abs() < 1e-9,
+            "{}: {} vs {}",
+            policy.name(),
+            out.idle_equivalent_s,
+            expected
+        );
+    }
+}
+
+#[test]
+fn randomized_controller_converges_to_expectation() {
+    // Over a long trace, the realized cost of N-Rand is within 2 % of the
+    // analytic expectation.
+    let spec = VehicleSpec::stop_start_vehicle();
+    let b = spec.break_even();
+    let policy = NRand::new(b);
+    let traces = FleetConfig::new(Area::Chicago).vehicles(10).days(30).synthesize(17);
+    let stops: Vec<f64> = traces.iter().flat_map(VehicleTrace::stop_lengths).collect();
+    assert!(stops.len() > 2000, "need a long trace, got {}", stops.len());
+    let mut rng = StdRng::seed_from_u64(23);
+    let out = StopStartController::new(&policy, spec).drive(&stops, &mut rng).expect("valid");
+    let expected = total_expected_cost(&policy, &stops).expect("non-empty");
+    let rel = (out.idle_equivalent_s - expected).abs() / expected;
+    assert!(rel < 0.02, "relative error {rel}");
+}
+
+#[test]
+fn fuel_ledger_consistency() {
+    // Fuel = idle_rate · (idle seconds + 10 s per restart), exactly.
+    let spec = VehicleSpec::stop_start_vehicle();
+    let b = spec.break_even();
+    let policy = Det::new(b);
+    let trace = FleetConfig::new(Area::California).vehicles(1).synthesize(19).remove(0);
+    let mut rng = StdRng::seed_from_u64(29);
+    let out = StopStartController::new(&policy, spec)
+        .drive(&trace.stop_lengths(), &mut rng)
+        .expect("valid");
+    let rate = spec.fuel().cc_per_s();
+    let want = rate * (out.idle_seconds + 10.0 * out.restarts as f64);
+    assert!((out.fuel_cc - want).abs() < 1e-9, "fuel {} vs {}", out.fuel_cc, want);
+    // Emission ledger grows with both idling and restarts.
+    assert!(out.emissions.thc_mg > 0.0 && out.emissions.co_mg > 0.0);
+}
+
+#[test]
+fn proposed_never_pays_more_than_double_offline_on_any_fleet() {
+    // Worst-case guarantee: proposed CR <= 2 (it is at most DET's bound)
+    // and in fact <= e/(e-1) when N-Rand is available.
+    let spec = VehicleSpec::stop_start_vehicle();
+    let b = spec.break_even();
+    for area in Area::ALL {
+        let traces = FleetConfig::new(area).vehicles(25).synthesize(31);
+        for trace in traces {
+            let stops = trace.stop_lengths();
+            let policy =
+                ConstrainedStats::from_samples(&stops, b).expect("non-empty").optimal_policy();
+            let cr = automotive_idling::skirental::analysis::empirical_cr(&policy, &stops)
+                .expect("non-empty");
+            assert!(
+                cr <= automotive_idling::skirental::e_ratio() + 1e-9,
+                "{area}: vehicle {} proposed CR {cr}",
+                trace.vehicle_id
+            );
+        }
+    }
+}
+
+#[test]
+fn conventional_vehicle_restarts_less() {
+    // Same trace, same TOI policy: the conventional vehicle's bigger B
+    // means each restart is dearer in idle-equivalents, so its ski-rental
+    // cost is higher even though the physical restarts are identical.
+    let ssv = VehicleSpec::stop_start_vehicle();
+    let conv = VehicleSpec::conventional_vehicle();
+    let trace = FleetConfig::new(Area::Chicago).vehicles(1).synthesize(37).remove(0);
+    let stops = trace.stop_lengths();
+    let p_ssv = Toi::new(ssv.break_even());
+    let p_conv = Toi::new(conv.break_even());
+    let mut rng1 = StdRng::seed_from_u64(41);
+    let mut rng2 = StdRng::seed_from_u64(41);
+    let out_ssv =
+        StopStartController::new(&p_ssv, ssv).drive(&stops, &mut rng1).expect("valid");
+    let out_conv =
+        StopStartController::new(&p_conv, conv).drive(&stops, &mut rng2).expect("valid");
+    assert_eq!(out_ssv.restarts, out_conv.restarts);
+    assert!(out_conv.idle_equivalent_s > out_ssv.idle_equivalent_s);
+    // And the conventional wear bill includes the starter.
+    assert!(out_conv.wear_dollars > out_ssv.wear_dollars);
+}

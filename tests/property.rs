@@ -1,0 +1,304 @@
+//! Property-based tests (proptest) over the whole stack: cost-model
+//! identities, the constrained solver's optimality, estimator
+//! consistency, and controller/analytic agreement under random inputs.
+
+use automotive_idling::skirental::adversary::short_mass_adversary;
+use automotive_idling::skirental::analysis::{
+    empirical_cr, expected_cost_under_discrete, total_expected_cost, total_offline_cost,
+};
+use automotive_idling::skirental::policy::{BDet, Det, NRand, Nev, Policy, Toi};
+use automotive_idling::skirental::{e_ratio, BreakEven, ConstrainedMoments, ConstrainedStats};
+use automotive_idling::stopmodel::dist::{Empirical, Exponential, LogNormal, StopDistribution};
+use proptest::prelude::*;
+
+/// A valid (B, μ_B⁻, q_B⁺) triple.
+fn moments_strategy() -> impl Strategy<Value = (f64, f64, f64)> {
+    (1.0f64..200.0, 0.0f64..1.0, 0.0f64..=1.0)
+        .prop_map(|(b, mu_frac, q)| (b, mu_frac * (1.0 - q) * b, q))
+}
+
+/// A non-empty vector of stop lengths.
+fn stops_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..2000.0, 1..200)
+}
+
+proptest! {
+    #[test]
+    fn online_cost_dominates_offline((b, x, y) in (1.0f64..100.0, 0.0f64..300.0, 0.0f64..300.0)) {
+        let be = BreakEven::new(b).unwrap();
+        prop_assert!(be.online_cost(x, y) + 1e-12 >= be.offline_cost(y));
+    }
+
+    #[test]
+    fn det_pointwise_cr_at_most_two((b, y) in (1.0f64..100.0, 0.0f64..1e4)) {
+        let be = BreakEven::new(b).unwrap();
+        prop_assert!(be.competitive_ratio(b, y) <= 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn proposed_is_minimax_optimal((b, mu, q) in moments_strategy()) {
+        let be = BreakEven::new(b).unwrap();
+        let stats = ConstrainedStats::new(be, mu, q).unwrap();
+        let v = stats.vertex_costs();
+        let best = stats.worst_case_cost();
+        prop_assert!(best <= v.det + 1e-9);
+        prop_assert!(best <= v.toi + 1e-9);
+        prop_assert!(best <= v.n_rand + 1e-9);
+        if let Some(bd) = v.b_det {
+            prop_assert!(best <= bd.cost + 1e-9);
+            // b* lies in the valid strategy space.
+            prop_assert!(bd.b > 0.0 && bd.b <= b + 1e-9);
+        }
+        // CR bounds: between 1 and e/(e-1).
+        let cr = stats.worst_case_cr();
+        prop_assert!(cr >= 1.0 - 1e-9 && cr <= e_ratio() + 1e-9);
+    }
+
+    #[test]
+    fn lp_agrees_with_closed_form((b, mu, q) in moments_strategy()) {
+        let be = BreakEven::new(b).unwrap();
+        let stats = ConstrainedStats::new(be, mu, q).unwrap();
+        let lp = stats.solve_lp();
+        prop_assert!(
+            (lp.expected_cost - stats.worst_case_cost()).abs()
+                <= 1e-7 * stats.worst_case_cost().max(1.0)
+        );
+    }
+
+    #[test]
+    fn plugin_estimator_consistent_with_empirical_distribution(stops in stops_strategy()) {
+        let be = BreakEven::new(28.0).unwrap();
+        let m = ConstrainedMoments::from_samples(&stops, 28.0);
+        let e = Empirical::from_samples(&stops).unwrap();
+        prop_assert!((m.mu_b_minus - e.partial_mean(28.0)).abs() < 1e-9);
+        prop_assert!((m.q_b_plus - e.tail_prob(28.0)).abs() < 1e-9);
+        // And the stats object accepts them.
+        let stats = ConstrainedStats::from_samples(&stops, be).unwrap();
+        prop_assert!(stats.worst_case_cr() >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn empirical_cr_at_least_one(stops in stops_strategy()) {
+        let be = BreakEven::new(28.0).unwrap();
+        let policies: Vec<Box<dyn Policy>> = vec![
+            Box::new(Nev::new(be)),
+            Box::new(Toi::new(be)),
+            Box::new(Det::new(be)),
+            Box::new(NRand::new(be)),
+            Box::new(ConstrainedStats::from_samples(&stops, be).unwrap().optimal_policy()),
+        ];
+        for p in &policies {
+            let cr = empirical_cr(p.as_ref(), &stops).unwrap();
+            prop_assert!(cr >= 1.0 - 1e-9, "{} CR {cr}", p.name());
+        }
+    }
+
+    #[test]
+    fn nrand_cr_is_exactly_e_ratio_on_any_trace(stops in stops_strategy()) {
+        let be = BreakEven::new(28.0).unwrap();
+        let p = NRand::new(be);
+        let online = total_expected_cost(&p, &stops).unwrap();
+        let offline = total_offline_cost(&p, &stops).unwrap();
+        if offline > 0.0 {
+            prop_assert!((online / offline - e_ratio()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn adversary_attains_eq34(
+        (b, mu, q) in moments_strategy(),
+        x_frac in 0.05f64..1.0,
+    ) {
+        let m = match ConstrainedMoments::new(b, mu, q) {
+            Ok(m) => m,
+            Err(_) => return Ok(()),
+        };
+        let x = x_frac * b;
+        if let Ok(adv) = short_mass_adversary(&m, x) {
+            let be = BreakEven::new(b).unwrap();
+            let p = BDet::new(be, x).unwrap();
+            let cost = expected_cost_under_discrete(&p, &adv);
+            let want = (x + b) * (mu / x + q);
+            prop_assert!((cost - want).abs() < 1e-6 * want.max(1.0), "{cost} vs {want}");
+        }
+    }
+
+    #[test]
+    fn moments_from_distribution_are_feasible(
+        (mean, b) in (1.0f64..200.0, 1.0f64..200.0)
+    ) {
+        let d = Exponential::with_mean(mean).unwrap();
+        let m = ConstrainedMoments::from_distribution(&d, b);
+        prop_assert!(m.mu_b_minus >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&m.q_b_plus));
+        prop_assert!(m.mu_b_minus <= (1.0 - m.q_b_plus) * b + 1e-9);
+        prop_assert!(m.expected_offline_cost() <= b + 1e-9);
+    }
+
+    #[test]
+    fn lognormal_partial_mean_monotone(
+        (mu, sigma) in (-1.0f64..4.0, 0.1f64..1.5),
+        (b1, b2) in (0.1f64..500.0, 0.1f64..500.0),
+    ) {
+        let d = LogNormal::new(mu, sigma).unwrap();
+        let (lo, hi) = (b1.min(b2), b1.max(b2));
+        prop_assert!(d.partial_mean(lo) <= d.partial_mean(hi) + 1e-12);
+        prop_assert!(d.tail_prob(lo) + 1e-12 >= d.tail_prob(hi));
+        prop_assert!(d.partial_mean(hi) <= d.mean() + 1e-9);
+    }
+
+    #[test]
+    fn threshold_cdfs_are_valid(
+        x in 0.0f64..60.0,
+        dx in 0.0f64..10.0,
+    ) {
+        let be = BreakEven::new(28.0).unwrap();
+        let policies: Vec<Box<dyn Policy>> = vec![
+            Box::new(Toi::new(be)),
+            Box::new(Det::new(be)),
+            Box::new(BDet::new(be, 12.0).unwrap()),
+            Box::new(NRand::new(be)),
+        ];
+        for p in &policies {
+            let c1 = p.threshold_cdf(x);
+            let c2 = p.threshold_cdf(x + dx);
+            prop_assert!((0.0..=1.0).contains(&c1), "{} cdf {c1}", p.name());
+            prop_assert!(c2 + 1e-12 >= c1, "{} not monotone", p.name());
+            // All mass within [0, B].
+            prop_assert!((p.threshold_cdf(28.0) - 1.0).abs() < 1e-12);
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn trace_csv_parser_never_panics(input in "\\PC*") {
+        // Arbitrary garbage must produce an error, not a panic.
+        let _ = automotive_idling::drivesim::persist::from_csv(&input);
+    }
+
+    #[test]
+    fn trace_csv_roundtrips_structured_input(
+        events in prop::collection::vec((0.0f64..1e6, 0.0f64..5e3), 0..50),
+        id in 0u32..1000,
+        days in 1u32..30,
+    ) {
+        use automotive_idling::drivesim::persist::{from_csv, to_csv};
+        use automotive_idling::drivesim::{Area, StopCause, StopEvent, VehicleTrace};
+        let mut sorted = events;
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let evs: Vec<StopEvent> = sorted
+            .into_iter()
+            .map(|(start_s, duration_s)| StopEvent {
+                start_s,
+                duration_s,
+                cause: StopCause::StopSign,
+            })
+            .collect();
+        let trace = VehicleTrace::new(id, Area::Atlanta, days, evs);
+        let back = from_csv(&to_csv(&trace)).unwrap();
+        prop_assert_eq!(back.vehicle_id, trace.vehicle_id);
+        prop_assert_eq!(back.num_stops(), trace.num_stops());
+        for (a, b) in back.iter().zip(trace.iter()) {
+            prop_assert!((a.start_s - b.start_s).abs() < 1e-3);
+            prop_assert!((a.duration_s - b.duration_s).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn multislope_lower_envelope_is_two_competitive(
+        costs in prop::collection::vec(0.5f64..50.0, 1..5),
+        rate_factors in prop::collection::vec(0.05f64..0.95, 1..5),
+        y in 0.0f64..500.0,
+    ) {
+        use automotive_idling::skirental::multislope::MultiSlope;
+        // Build a valid system: strictly increasing costs, strictly
+        // decreasing rates.
+        let k = costs.len().min(rate_factors.len());
+        let mut states = vec![(1.0, 0.0)];
+        let mut cum_cost = 0.0;
+        let mut rate = 1.0;
+        for i in 0..k {
+            cum_cost += costs[i];
+            rate *= rate_factors[i];
+            states.push((rate, cum_cost));
+        }
+        if let Ok(ms) = MultiSlope::new(states) {
+            prop_assert!(ms.competitive_ratio(y) <= 2.0 + 1e-9);
+            prop_assert!(ms.online_cost(y) + 1e-9 >= ms.offline_cost(y));
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn incremental_estimator_matches_batch(stops in stops_strategy()) {
+        use automotive_idling::skirental::estimator::MomentEstimator;
+        let be = BreakEven::new(28.0).unwrap();
+        let mut est = MomentEstimator::new(be);
+        for &y in &stops {
+            est.observe(y);
+        }
+        let inc = est.stats().unwrap();
+        let batch = ConstrainedStats::from_samples(&stops, be).unwrap();
+        prop_assert!((inc.moments().mu_b_minus - batch.moments().mu_b_minus).abs() < 1e-9);
+        prop_assert!((inc.moments().q_b_plus - batch.moments().q_b_plus).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hindsight_dominates_every_fixed_threshold(
+        stops in prop::collection::vec(0.0f64..500.0, 1..60),
+        probe in 0.0f64..600.0,
+    ) {
+        use automotive_idling::skirental::bayes::BayesOpt;
+        let be = BreakEven::new(28.0).unwrap();
+        let p = BayesOpt::for_samples(&stops, be).unwrap();
+        let opt_cost = total_expected_cost(&p, &stops).unwrap();
+        let probe_cost: f64 = stops.iter().map(|&y| be.online_cost(probe, y)).sum();
+        prop_assert!(opt_cost <= probe_cost + 1e-9, "beaten by x = {probe}");
+    }
+
+    #[test]
+    fn bootstrap_ci_always_brackets_point(
+        stops in prop::collection::vec(0.1f64..500.0, 2..80),
+        seed in 0u64..500,
+    ) {
+        use automotive_idling::skirental::analysis::bootstrap_cr_ci;
+        use automotive_idling::skirental::policy::Det;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let be = BreakEven::new(28.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ci = bootstrap_cr_ci(&Det::new(be), &stops, 50, 0.9, &mut rng).unwrap();
+        prop_assert!(ci.lo <= ci.point + 1e-9 && ci.point <= ci.hi + 1e-9);
+        prop_assert!(ci.lo >= 1.0 - 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn controller_matches_simulation_on_random_traces(
+        stops in prop::collection::vec(0.1f64..600.0, 1..60),
+        seed in 0u64..1000,
+        threshold_frac in 0.0f64..=1.0,
+    ) {
+        use automotive_idling::powertrain::{StopStartController, VehicleSpec};
+        use automotive_idling::skirental::analysis::simulate_total_cost;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let spec = VehicleSpec::stop_start_vehicle();
+        let b = spec.break_even();
+        let policy = BDet::new(b, threshold_frac * b.seconds()).unwrap();
+        let mut rng1 = StdRng::seed_from_u64(seed);
+        let out = StopStartController::new(&policy, spec)
+            .drive(&stops, &mut rng1)
+            .unwrap();
+        let mut rng2 = StdRng::seed_from_u64(seed);
+        let analytic = simulate_total_cost(&policy, &stops, &mut rng2).unwrap();
+        prop_assert!((out.idle_equivalent_s - analytic).abs() < 1e-9);
+        prop_assert_eq!(out.stops as usize, stops.len());
+    }
+}
