@@ -1,0 +1,466 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The workspace builds without network access, so `proptest` is
+//! `[patch.crates-io]`-ed to this implementation of the API subset the
+//! property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//!   [`prop_assert!`] and [`prop_assert_eq!`];
+//! * [`Strategy`] with `prop_map`, implemented for numeric ranges, tuples,
+//!   string patterns, and [`collection::vec`];
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Differences from upstream: cases are generated from a seed derived
+//! deterministically from the test name and case index (reproducible across
+//! runs and machines), there is **no shrinking** (a failure reports the
+//! exact generated inputs instead), and string "regex" strategies generate
+//! arbitrary printable text rather than interpreting the pattern.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Test-case failure plumbing used by the assertion macros.
+pub mod test_runner {
+    use std::fmt;
+
+    /// Error carried out of a failing property body by `prop_assert!`.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail<S: Into<String>>(message: S) -> Self {
+            Self { message: message.into() }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Result type of a single property-test case body.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic per-case generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Derives the generator for `case` of the named test:
+        /// FNV-1a over the name, mixed with the case index.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self { state: h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform `usize` in `[lo, hi)`; `lo` when the range is empty.
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            if hi <= lo {
+                return lo;
+            }
+            lo + (self.next_u64() % (hi - lo) as u64) as usize
+        }
+    }
+
+    /// Runs `config.cases` deterministic cases of one property test.
+    ///
+    /// `f` returns the failure *and* the pretty-printed generated inputs so
+    /// the panic message identifies the counterexample (this stand-in has
+    /// no shrinker).
+    pub fn run_cases<F>(config: &crate::ProptestConfig, test_name: &str, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), (TestCaseError, Vec<String>)>,
+    {
+        for case in 0..config.cases {
+            let mut rng = TestRng::for_case(test_name, case);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err((err, inputs))) => panic!(
+                    "property '{test_name}' failed at case {case}/{total}: {err}\n  inputs:\n    {inputs}",
+                    total = config.cases,
+                    inputs = inputs.join("\n    "),
+                ),
+                Err(payload) => {
+                    eprintln!(
+                        "property '{test_name}' panicked at case {case}/{total} \
+                         (deterministic; re-run reproduces it)",
+                        total = config.cases,
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Runner configuration; only the case count is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type; `Debug` so failures can print counterexamples.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let v = self.start + rng.unit() * (self.end - self.start);
+        // Guard the half-open invariant against rounding on wide ranges.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start() + rng.unit() * (self.end() - self.start())
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+/// String "pattern" strategy. The pattern itself is not interpreted: any
+/// `&str` strategy generates arbitrary printable text (ASCII plus a few
+/// multi-byte code points), which is what the workspace's `"\\PC*"`
+/// fuzz-the-parser property needs.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        const EXTRA: [char; 8] = ['µ', 'é', '€', '中', ',', ';', '"', '\t'];
+        let len = rng.usize_in(0, 40);
+        (0..len)
+            .map(|_| {
+                if rng.usize_in(0, 8) == 0 {
+                    EXTRA[rng.usize_in(0, EXTRA.len())]
+                } else {
+                    // Printable ASCII: 0x20..=0x7E.
+                    char::from(0x20 + (rng.next_u64() % 95) as u8)
+                }
+            })
+            .collect()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Debug, Range, Strategy, TestRng};
+
+    /// Strategy for `Vec`s with element strategy `S` and a half-open
+    /// length range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_in(self.size.start, self.size.end);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `use proptest::prelude::*` surface.
+pub mod prelude {
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+
+    /// Namespace alias mirroring upstream's `prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests.
+///
+/// Accepted grammar (the upstream subset this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))] // optional
+///     #[test]
+///     fn name((a, b) in strategy_expr, c in other_strategy) {
+///         prop_assert!(a + b >= c);
+///     }
+/// }
+/// ```
+///
+/// Each body runs in a closure returning
+/// `Result<(), TestCaseError>`, so `prop_assert!` can early-return and
+/// `return Ok(())` skips a case.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __pt_config: $crate::ProptestConfig = $cfg;
+            $crate::test_runner::run_cases(&__pt_config, stringify!($name), |__pt_rng| {
+                let mut __pt_inputs: ::std::vec::Vec<::std::string::String> =
+                    ::std::vec::Vec::new();
+                $(
+                    let __pt_value = $crate::Strategy::generate(&($strat), __pt_rng);
+                    __pt_inputs.push(::std::format!(
+                        "{} = {:?}",
+                        stringify!($pat),
+                        &__pt_value
+                    ));
+                    let $pat = __pt_value;
+                )+
+                let __pt_result: ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match __pt_result {
+                    ::std::result::Result::Ok(()) => ::std::result::Result::Ok(()),
+                    ::std::result::Result::Err(e) => {
+                        ::std::result::Result::Err((e, __pt_inputs))
+                    }
+                }
+            });
+        }
+    )*};
+
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, early-returning a
+/// [`test_runner::TestCaseError`] instead of panicking so the runner can
+/// report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pa_left, __pa_right) = (&$left, &$right);
+        if !(*__pa_left == *__pa_right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __pa_left,
+                    __pa_right
+                ),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn shifted() -> impl Strategy<Value = (f64, f64)> {
+        (0.0f64..10.0, 1.0f64..2.0).prop_map(|(a, b)| (a + b, b))
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 1.0f64..5.0, n in 3u32..9, k in 0usize..4) {
+            prop_assert!((1.0..5.0).contains(&x));
+            prop_assert!((3..9).contains(&n));
+            prop_assert!(k < 4);
+        }
+
+        #[test]
+        fn mapped_tuple_keeps_invariant((sum, b) in shifted()) {
+            prop_assert!(sum >= b);
+        }
+
+        #[test]
+        fn vec_sizes_in_range(v in prop::collection::vec(0.0f64..1.0, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert_eq!(v.len(), v.iter().count());
+        }
+
+        #[test]
+        fn string_strategy_is_printable(s in "\\PC*") {
+            for c in s.chars() {
+                prop_assert!(!c.is_control() || c == '\t', "control char {c:?}");
+            }
+            // Early-return path used by the workspace tests.
+            if s.is_empty() {
+                return Ok(());
+            }
+            prop_assert!(!s.is_empty());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+
+        #[test]
+        fn config_is_honored(x in 0u64..1000) {
+            prop_assert!(x < 1000);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::test_runner::TestRng;
+        let a: Vec<u64> = {
+            let mut r = TestRng::for_case("t", 3);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::for_case("t", 3);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

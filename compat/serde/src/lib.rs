@@ -1,0 +1,20 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! Every `serde` use in this workspace is behind an off-by-default `serde`
+//! cargo feature and consists solely of
+//! `#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]`
+//! annotations — no code actually serializes anything (there is no
+//! `serde_json` in the tree). This stand-in therefore provides just enough
+//! for dependency resolution and for those derives to compile: marker
+//! traits and, behind the `derive` feature, no-op derive macros.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

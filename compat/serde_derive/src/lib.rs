@@ -1,0 +1,17 @@
+//! No-op `Serialize` / `Deserialize` derives for the vendored serde
+//! stand-in. The workspace never serializes anything, so deriving the
+//! traits only needs to *compile*; emitting no impl at all is sufficient
+//! (the marker traits in the stand-in `serde` crate are never required
+//! by bounds).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

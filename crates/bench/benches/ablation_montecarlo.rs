@@ -15,8 +15,7 @@ use skirental::{BreakEven, Policy};
 
 fn mc_expected_cost(policy: &NRand, y: f64, draws: usize, rng: &mut StdRng) -> f64 {
     let b = policy.break_even();
-    (0..draws).map(|_| b.online_cost(policy.sample_threshold(rng), y)).sum::<f64>()
-        / draws as f64
+    (0..draws).map(|_| b.online_cost(policy.sample_threshold(rng), y)).sum::<f64>() / draws as f64
 }
 
 fn bench_mc_vs_analytic(c: &mut Criterion) {
@@ -38,10 +37,7 @@ fn bench_mc_vs_analytic(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let mc = mc_expected_cost(&policy, y, 100_000, &mut rng);
     let analytic = policy.expected_cost(y);
-    assert!(
-        (mc - analytic).abs() / analytic < 0.01,
-        "Monte Carlo {mc} vs analytic {analytic}"
-    );
+    assert!((mc - analytic).abs() / analytic < 0.01, "Monte Carlo {mc} vs analytic {analytic}");
 }
 
 criterion_group!(benches, bench_mc_vs_analytic);

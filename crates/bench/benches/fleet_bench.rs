@@ -1,15 +1,23 @@
 //! Criterion benchmarks of the experiment pipeline itself: trace
 //! synthesis throughput, fleet evaluation (the Figure-4 inner loop), and
 //! the end-to-end engine-controller simulation.
+//!
+//! The `serial_vs_parallel` group measures the shared
+//! [`skirental::parallel`] runtime on 10 000-stop-per-vehicle fixtures:
+//! fleet evaluation and the bootstrap resampler, serial versus sharded
+//! across worker threads (results are bit-identical either way).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use drivesim::{Area, FleetConfig, VehicleTrace};
 use powertrain::{StopStartController, VehicleSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use skirental::analysis::bootstrap_cr_ci_parallel;
 use skirental::fleet_eval::{evaluate_fleet, evaluate_fleet_parallel};
-use skirental::policy::NRand;
+use skirental::policy::{Det, NRand};
 use skirental::{BreakEven, Strategy};
+use stopmodel::dist::LogNormal;
+use stopmodel::StopDistribution;
 
 fn bench_synthesis(c: &mut Criterion) {
     let mut g = c.benchmark_group("synthesis");
@@ -57,5 +65,54 @@ fn bench_controller(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_synthesis, bench_fleet_eval, bench_controller);
+fn bench_serial_vs_parallel(c: &mut Criterion) {
+    let b = BreakEven::SSV;
+    // Floor at 4 so the sharded code path is exercised (and its overhead
+    // visible) even on single-core CI runners; on real hardware this uses
+    // every available core.
+    let threads =
+        std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get).max(4);
+    // 16 vehicles × 10 000 stops each: large enough that per-vehicle work
+    // (sort + closed-form scoring) dominates thread-spawn overhead.
+    let dist = LogNormal::new(2.4, 1.0).expect("valid params");
+    let mut rng = StdRng::seed_from_u64(11);
+    let fleet: Vec<Vec<f64>> =
+        (0..16).map(|_| (0..10_000).map(|_| dist.sample(&mut rng)).collect()).collect();
+    let mut g = c.benchmark_group("serial_vs_parallel");
+    g.bench_function("fleet_eval_16x10k_serial", |bencher| {
+        bencher.iter(|| black_box(evaluate_fleet(black_box(&fleet), b, &Strategy::ALL).unwrap()));
+    });
+    g.bench_function("fleet_eval_16x10k_parallel", |bencher| {
+        bencher.iter(|| {
+            black_box(
+                evaluate_fleet_parallel(black_box(&fleet), b, &Strategy::ALL, threads).unwrap(),
+            )
+        });
+    });
+
+    let det = Det::new(b);
+    g.bench_function("bootstrap_10k_200_resamples_serial", |bencher| {
+        bencher.iter(|| {
+            let mut r = StdRng::seed_from_u64(5);
+            black_box(bootstrap_cr_ci_parallel(&det, &fleet[0], 200, 0.95, &mut r, 1).unwrap())
+        });
+    });
+    g.bench_function("bootstrap_10k_200_resamples_parallel", |bencher| {
+        bencher.iter(|| {
+            let mut r = StdRng::seed_from_u64(5);
+            black_box(
+                bootstrap_cr_ci_parallel(&det, &fleet[0], 200, 0.95, &mut r, threads).unwrap(),
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_synthesis,
+    bench_fleet_eval,
+    bench_controller,
+    bench_serial_vs_parallel
+);
 criterion_main!(benches);

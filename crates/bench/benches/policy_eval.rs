@@ -7,12 +7,20 @@
 //! handful of floating-point operations, and even the randomized policies
 //! sample in nanoseconds (N-Rand has a closed-form inverse CDF; MOM-Rand
 //! pays for a bisection).
+//!
+//! The `naive_vs_summary` group pits the O(n) per-query trace scans
+//! against the [`StopSummary`] sufficient-statistics engine (sort once,
+//! then O(log n) closed forms) on a 10 000-stop fixture.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use skirental::analysis::empirical_cr_with;
+use skirental::bayes::BayesOpt;
 use skirental::policy::{Det, MomRand, NRand, Toi};
-use skirental::{BreakEven, ConstrainedStats, Policy};
+use skirental::{BreakEven, ConstrainedStats, Policy, StopSummary};
+use stopmodel::dist::LogNormal;
+use stopmodel::StopDistribution;
 
 fn bench_policy_construction(c: &mut Criterion) {
     let b = BreakEven::SSV;
@@ -74,10 +82,67 @@ fn bench_threshold_sampling(c: &mut Criterion) {
     g.finish();
 }
 
+/// A heavy-tailed 10 000-stop trace shared by the naive-vs-summary pairs.
+fn fixture_10k() -> Vec<f64> {
+    let dist = LogNormal::new(2.4, 1.0).expect("valid params");
+    let mut rng = StdRng::seed_from_u64(42);
+    (0..10_000).map(|_| dist.sample(&mut rng)).collect()
+}
+
+fn bench_naive_vs_summary(c: &mut Criterion) {
+    let b = BreakEven::SSV;
+    let stops = fixture_10k();
+    let summary = StopSummary::new(&stops).unwrap();
+    let det = Det::new(b);
+    let momrand = MomRand::new(b, summary.mean()).unwrap();
+    let mut g = c.benchmark_group("naive_vs_summary");
+
+    // The one-time cost the summary path pays up front.
+    g.bench_function("summary_build_10k", |bencher| {
+        bencher.iter(|| black_box(StopSummary::new(black_box(&stops)).unwrap()));
+    });
+
+    // Total trace cost: O(n) policy scan vs O(log n) closed form.
+    g.bench_function("det_total_cost_naive_10k", |bencher| {
+        bencher.iter(|| black_box(stops.iter().map(|&y| det.expected_cost(y)).sum::<f64>()));
+    });
+    g.bench_function("det_total_cost_summary_10k", |bencher| {
+        bencher.iter(|| black_box(det.total_cost_on(black_box(&summary))));
+    });
+    g.bench_function("momrand_total_cost_naive_10k", |bencher| {
+        bencher.iter(|| black_box(stops.iter().map(|&y| momrand.expected_cost(y)).sum::<f64>()));
+    });
+    g.bench_function("momrand_total_cost_summary_10k", |bencher| {
+        bencher.iter(|| black_box(momrand.total_cost_on(black_box(&summary))));
+    });
+
+    // Empirical CR: two O(n) scans vs two summary queries.
+    g.bench_function("empirical_cr_naive_10k", |bencher| {
+        bencher.iter(|| {
+            let online: f64 = stops.iter().map(|&y| det.expected_cost(y)).sum();
+            let offline: f64 = stops.iter().map(|&y| b.offline_cost(y)).sum();
+            black_box(online / offline)
+        });
+    });
+    g.bench_function("empirical_cr_summary_10k", |bencher| {
+        bencher.iter(|| black_box(empirical_cr_with(&det, black_box(&summary))));
+    });
+
+    // Hindsight-optimal threshold: re-sort per call vs reuse the summary.
+    g.bench_function("hindsight_resort_10k", |bencher| {
+        bencher.iter(|| black_box(BayesOpt::for_samples(black_box(&stops), b).unwrap()));
+    });
+    g.bench_function("hindsight_summary_10k", |bencher| {
+        bencher.iter(|| black_box(BayesOpt::for_summary(black_box(&summary), b)));
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_policy_construction,
     bench_expected_cost,
-    bench_threshold_sampling
+    bench_threshold_sampling,
+    bench_naive_vs_summary
 );
 criterion_main!(benches);

@@ -28,8 +28,7 @@ fn main() {
     for area in Area::ALL {
         let traces = FleetConfig::new(area).vehicles(VEHICLES_PER_AREA).synthesize(SEED);
         let stops: Vec<Vec<f64>> = traces.iter().map(VehicleTrace::stop_lengths).collect();
-        let report =
-            evaluate_fleet(&stops, b, &Strategy::WITH_HINDSIGHT).expect("non-empty fleet");
+        let report = evaluate_fleet(&stops, b, &Strategy::WITH_HINDSIGHT).expect("non-empty fleet");
         println!("{area}:");
         print!("{report}");
         println!();

@@ -41,9 +41,8 @@ fn main() {
             crs.push(empirical_cr(&policy, eval).expect("non-empty eval"));
             // Oracle: fit on the evaluation window itself (the paper's
             // in-sample setting).
-            let oracle = ConstrainedStats::from_samples(eval, b)
-                .expect("non-empty eval")
-                .optimal_policy();
+            let oracle =
+                ConstrainedStats::from_samples(eval, b).expect("non-empty eval").optimal_policy();
             oracle_crs.push(empirical_cr(&oracle, eval).expect("non-empty eval"));
         }
         assert!(!crs.is_empty(), "need vehicles with {window}+{EVAL_STOPS} stops");
@@ -57,11 +56,8 @@ fn main() {
         }
     }
 
-    let path = write_csv(
-        "ablation_estimator.csv",
-        "window_stops,mean_cr,worst_cr,oracle_mean_cr",
-        &rows,
-    );
+    let path =
+        write_csv("ablation_estimator.csv", "window_stops,mean_cr,worst_cr,oracle_mean_cr", &rows);
     println!("\nwritten to {}", path.display());
     println!(
         "Reading: small windows misestimate q_B+ and can pick the wrong vertex; \

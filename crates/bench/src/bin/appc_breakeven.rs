@@ -32,7 +32,9 @@ fn main() {
     println!("  fuel: 10.0 s (consensus figure)");
     let starter_min = StarterModel::conventional_paper_min().idle_equivalent_s(rate);
     let starter_max = StarterModel::conventional_expensive().idle_equivalent_s(rate);
-    println!("  starter, conventional: {starter_min:.2} .. {starter_max:.2} s (paper: 19.38 .. 155.04)");
+    println!(
+        "  starter, conventional: {starter_min:.2} .. {starter_max:.2} s (paper: 19.38 .. 155.04)"
+    );
     println!("  starter, SSV: 0.00 s (1.2M-start rated)");
     let bat_min = BatteryModel::paper_min().idle_equivalent_s(rate);
     let bat_max = BatteryModel::paper_max().idle_equivalent_s(rate);
@@ -42,10 +44,9 @@ fn main() {
 
     // Assembled break-even intervals.
     let mut rows = Vec::new();
-    for (spec, paper_b) in [
-        (VehicleSpec::stop_start_vehicle(), 28.0),
-        (VehicleSpec::conventional_vehicle(), 47.0),
-    ] {
+    for (spec, paper_b) in
+        [(VehicleSpec::stop_start_vehicle(), 28.0), (VehicleSpec::conventional_vehicle(), 47.0)]
+    {
         let bd = spec.break_even_breakdown();
         let kind = match spec.kind() {
             VehicleKind::StopStart => "stop-start vehicle",

@@ -89,17 +89,15 @@ fn main() {
     println!("{:>11} {:>12} {:>14}", "E[y^2]", "game CR", "improvement %");
     let mut rows2 = Vec::new();
     for &m2 in &[4.0, 25.0, 100.0, 400.0, 784.0, 4000.0] {
-        let sol = moment_constrained_cr_game(
-            b,
-            &[MomentConstraint { power: 2.0, value: m2 }],
-            GRID,
-        );
+        let sol =
+            moment_constrained_cr_game(b, &[MomentConstraint { power: 2.0, value: m2 }], GRID);
         let improvement = 100.0 * (1.0 - sol.value / unconstrained.value);
         println!("{m2:>11.0} {:>12.5} {improvement:>14.2}", sol.value);
         rows2.push(format!("{m2},{:.6},{improvement:.4}", sol.value));
         assert!(sol.value <= unconstrained.value + 1e-9);
     }
-    let _ = write_csv("appendix_b_second_moment.csv", "second_moment,game_cr,improvement_pct", &rows2);
+    let _ =
+        write_csv("appendix_b_second_moment.csv", "second_moment,game_cr,improvement_pct", &rows2);
     let path = write_csv("appendix_b.csv", "mean_s,game_cr,improvement_pct,regime", &rows);
     println!("written to {}", path.display());
 }

@@ -34,7 +34,10 @@ fn main() {
     );
 
     // Per-stop cost comparison on representative stop lengths.
-    println!("{:>9} {:>12} {:>12} {:>12} {:>10}", "stop (s)", "offline", "classic", "eco-idle", "saving %");
+    println!(
+        "{:>9} {:>12} {:>12} {:>12} {:>10}",
+        "stop (s)", "offline", "classic", "eco-idle", "saving %"
+    );
     let mut rows = Vec::new();
     for y in [2.0, 5.0, 10.0, 20.0, 28.0, 45.0, 90.0, 300.0] {
         let off = eco.offline_cost(y);

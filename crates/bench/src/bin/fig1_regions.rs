@@ -26,8 +26,7 @@ fn main() {
                 line.push('.');
                 continue;
             }
-            let stats = ConstrainedStats::new(b, mu.min(1.0 - q), q)
-                .expect("feasible grid point");
+            let stats = ConstrainedStats::new(b, mu.min(1.0 - q), q).expect("feasible grid point");
             let choice = stats.optimal_choice();
             line.push(match choice {
                 StrategyChoice::Det => 'D',
@@ -35,11 +34,7 @@ fn main() {
                 StrategyChoice::BDet { .. } => 'b',
                 StrategyChoice::NRand => 'N',
             });
-            rows.push(format!(
-                "{mu:.4},{q:.4},{},{:.6}",
-                choice.name(),
-                stats.worst_case_cr()
-            ));
+            rows.push(format!("{mu:.4},{q:.4},{},{:.6}", choice.name(), stats.worst_case_cr()));
         }
         println!("  q={q:4.2} |{line}|");
     }

@@ -34,9 +34,7 @@ fn run_panel(b: BreakEven, mu_frac: f64) {
         let det = stats.worst_case_cr_of(StrategyChoice::Det);
         let toi = stats.worst_case_cr_of(StrategyChoice::Toi);
         let nrand = stats.worst_case_cr_of(StrategyChoice::NRand);
-        let bdet = stats
-            .b_det_vertex()
-            .map(|v| v.cost / stats.expected_offline_cost());
+        let bdet = stats.b_det_vertex().map(|v| v.cost / stats.expected_offline_cost());
         let proposed = stats.worst_case_cr();
         let choice = stats.optimal_choice();
 

@@ -10,8 +10,8 @@ use drivesim::{Area, FleetConfig, VehicleTrace};
 use idling_bench::write_csv;
 use numeric::histogram::{Binning, Histogram};
 use stopmodel::dist::Exponential;
-use stopmodel::StopDistribution;
 use stopmodel::kstest::ks_test;
+use stopmodel::StopDistribution;
 
 const SEED: u64 = 2014;
 

@@ -18,7 +18,8 @@ fn main() {
     let fleet = synthesize_nrel_like_fleet(SEED);
     let mut rows = Vec::new();
 
-    for (label, b) in [("SSV (B = 28 s)", BreakEven::SSV), ("no SSS (B = 47 s)", BreakEven::CONVENTIONAL)]
+    for (label, b) in
+        [("SSV (B = 28 s)", BreakEven::SSV), ("no SSS (B = 47 s)", BreakEven::CONVENTIONAL)]
     {
         println!("\n=== Figure 4 {label} ===");
         let mut proposed_wins_total = 0usize;
@@ -26,10 +27,8 @@ fn main() {
         let mut proposed_means = Vec::new();
 
         for (area, traces) in fleet.by_area() {
-            let stops: Vec<Vec<f64>> =
-                traces.iter().map(VehicleTrace::stop_lengths).collect();
-            let report = evaluate_fleet(&stops, b, &Strategy::ALL)
-                .expect("fleet is non-empty");
+            let stops: Vec<Vec<f64>> = traces.iter().map(VehicleTrace::stop_lengths).collect();
+            let report = evaluate_fleet(&stops, b, &Strategy::ALL).expect("fleet is non-empty");
             println!("\n{} ({} vehicles):", area.name(), report.num_vehicles());
             print!("{report}");
             for s in &report.summaries {
@@ -43,8 +42,7 @@ fn main() {
                     s.wins
                 ));
             }
-            let proposed =
-                report.summary_of(Strategy::Proposed).expect("proposed evaluated");
+            let proposed = report.summary_of(Strategy::Proposed).expect("proposed evaluated");
             proposed_wins_total += proposed.wins;
             total_vehicles += report.num_vehicles();
             proposed_means.push((area, proposed.mean_cr));
@@ -81,7 +79,11 @@ fn main() {
         }
         println!(
             "  (paper: {})",
-            if b == BreakEven::SSV { "CA=1.11 Chi=1.32 Atl=1.10" } else { "CA=1.35 Chi=1.42 Atl=1.35" }
+            if b == BreakEven::SSV {
+                "CA=1.11 Chi=1.32 Atl=1.10"
+            } else {
+                "CA=1.35 Chi=1.42 Atl=1.35"
+            }
         );
         // Shape check: wins are the overwhelming majority, and more at
         // B=28 than the paper's own drop at B=47 would suggest is needed.

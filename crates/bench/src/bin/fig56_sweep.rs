@@ -11,10 +11,10 @@
 //! Output: tables on stdout and `target/figures/fig5.csv` / `fig6.csv`.
 
 use drivesim::Area;
-use idling_bench::{area_mixture, fmt_cr, stats_of, worst_case_cr, write_csv};
+use idling_bench::{area_mixture, fmt_cr, stats_of, worker_threads, worst_case_cr, write_csv};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use skirental::analysis::empirical_cr;
+use skirental::fleet_eval::evaluate_fleet_parallel;
 use skirental::{BreakEven, Strategy};
 use stopmodel::dist::Scaled;
 use stopmodel::StopDistribution;
@@ -30,10 +30,7 @@ fn main() {
 }
 
 fn run_figure(fig: u32, b: BreakEven) {
-    println!(
-        "\n=== Figure {fig}: worst-case CR vs mean stop length (B = {} s) ===",
-        b.seconds()
-    );
+    println!("\n=== Figure {fig}: worst-case CR vs mean stop length (B = {} s) ===", b.seconds());
     println!(
         "{:>8}  {:>7} {:>7} {:>7} {:>7} {:>7} | {:>9} {:>9}",
         "mean(s)", "DET", "TOI", "N-Rand", "MOM-R", "Prop", "emp.Prop", "choice"
@@ -44,10 +41,9 @@ fn run_figure(fig: u32, b: BreakEven) {
     let mut rows = Vec::new();
     let mut rng = StdRng::seed_from_u64(SEED + u64::from(fig));
 
-    let sweep: Vec<f64> = [
-        5.0, 10.0, 15.0, 20.0, 28.0, 40.0, 55.0, 75.0, 100.0, 140.0, 200.0, 300.0, 400.0, 500.0,
-    ]
-    .to_vec();
+    let sweep: Vec<f64> =
+        [5.0, 10.0, 15.0, 20.0, 28.0, 40.0, 55.0, 75.0, 100.0, 140.0, 200.0, 300.0, 400.0, 500.0]
+            .to_vec();
     let mut det_curve = Vec::new();
     let mut toi_curve = Vec::new();
     for &mean in &sweep {
@@ -57,14 +53,16 @@ fn run_figure(fig: u32, b: BreakEven) {
             strategies.iter().map(|&s| worst_case_cr(s, &stats, dist.mean())).collect();
 
         // Empirical cross-check of the proposed strategy: worst CR across
-        // a fleet of vehicles sampling this distribution.
-        let mut emp_worst: f64 = 0.0;
-        for _ in 0..VEHICLES {
-            let stops: Vec<f64> =
-                (0..STOPS_PER_VEHICLE).map(|_| dist.sample(&mut rng)).collect();
-            let policy = Strategy::Proposed.build(&stops, b).expect("non-empty");
-            emp_worst = emp_worst.max(empirical_cr(policy.as_ref(), &stops).expect("non-empty"));
-        }
+        // a fleet of vehicles sampling this distribution. Sampling stays
+        // on the shared RNG stream (reproducible output); evaluation is
+        // sharded over worker threads with deterministic, order-preserving
+        // results for any thread count.
+        let vehicles: Vec<Vec<f64>> = (0..VEHICLES)
+            .map(|_| (0..STOPS_PER_VEHICLE).map(|_| dist.sample(&mut rng)).collect())
+            .collect();
+        let report = evaluate_fleet_parallel(&vehicles, b, &[Strategy::Proposed], worker_threads())
+            .expect("non-empty fleet");
+        let emp_worst = report.summary_of(Strategy::Proposed).expect("evaluated").worst_cr;
 
         println!(
             "{mean:8.1}  {} {} {} {} {} | {emp_worst:9.4} {:>9}",
@@ -100,10 +98,7 @@ fn run_figure(fig: u32, b: BreakEven) {
     // …DET degrades and TOI improves as traffic worsens (overall trend;
     // the analytic curves may have small local dips as the scaled body
     // crosses B).
-    assert!(
-        det_curve.last() > det_curve.first(),
-        "DET should trend upward with mean stop length"
-    );
+    assert!(det_curve.last() > det_curve.first(), "DET should trend upward with mean stop length");
     assert!(
         toi_curve.last() < toi_curve.first(),
         "TOI should trend downward with mean stop length"

@@ -10,11 +10,12 @@
 //! Output: table on stdout and `target/figures/fleet_savings.csv`.
 
 use drivesim::{Area, FleetConfig};
-use idling_bench::write_csv;
+use idling_bench::{worker_threads, write_csv};
 use powertrain::savings::AnnualProjection;
 use powertrain::{DriveOutcome, StopStartController, VehicleSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use skirental::parallel::chunked_map;
 use skirental::policy::{Nev, Policy, Toi};
 use skirental::ConstrainedStats;
 
@@ -26,10 +27,7 @@ const NATIONAL_FLEET: u64 = 250_000_000;
 fn main() {
     let spec = VehicleSpec::stop_start_vehicle();
     let b = spec.break_even();
-    println!(
-        "Fleet savings projection ({} synthetic vehicles per area, {b})\n",
-        VEHICLES_PER_AREA
-    );
+    println!("Fleet savings projection ({} synthetic vehicles per area, {b})\n", VEHICLES_PER_AREA);
     println!(
         "{:<11} {:>11} {:>11} {:>11}   (dollars per vehicle-year on stops)",
         "area", "NEV", "TOI", "Proposed"
@@ -40,27 +38,33 @@ fn main() {
     let mut vehicles_total = 0u64;
     for area in Area::ALL {
         let fleet = FleetConfig::new(area).vehicles(VEHICLES_PER_AREA).synthesize(SEED);
+        // Vehicles are independent (each controller run is seeded from the
+        // vehicle id, not a shared stream), so the fleet shards cleanly
+        // over worker threads with deterministic results.
+        let per_vehicle_proj: Vec<[AnnualProjection; 3]> =
+            chunked_map(&fleet, worker_threads(), |_, trace| {
+                let stops = trace.stop_lengths();
+                let days = f64::from(trace.days);
+                let proposed =
+                    ConstrainedStats::from_samples(&stops, b).expect("non-empty").optimal_policy();
+                let policies: [&dyn Policy; 3] = [&Nev::new(b), &Toi::new(b), &proposed];
+                policies.map(|policy| {
+                    let mut rng = StdRng::seed_from_u64(SEED ^ u64::from(trace.vehicle_id));
+                    let out: DriveOutcome = StopStartController::new(policy, spec)
+                        .drive(&stops, &mut rng)
+                        .expect("valid trace");
+                    AnnualProjection::from_outcome(&out, days)
+                })
+            });
         let mut area_proj = [AnnualProjection::default(); 3];
-        for trace in &fleet {
-            let stops = trace.stop_lengths();
-            let days = f64::from(trace.days);
-            let proposed = ConstrainedStats::from_samples(&stops, b)
-                .expect("non-empty")
-                .optimal_policy();
-            let policies: [&dyn Policy; 3] = [&Nev::new(b), &Toi::new(b), &proposed];
-            for (i, policy) in policies.iter().enumerate() {
-                let mut rng = StdRng::seed_from_u64(SEED ^ u64::from(trace.vehicle_id));
-                let out: DriveOutcome = StopStartController::new(*policy, spec)
-                    .drive(&stops, &mut rng)
-                    .expect("valid trace");
-                let proj = AnnualProjection::from_outcome(&out, days);
+        for vehicle in per_vehicle_proj {
+            for (i, proj) in vehicle.into_iter().enumerate() {
                 area_proj[i] = area_proj[i] + proj;
                 totals[i] = totals[i] + proj;
             }
         }
         vehicles_total += VEHICLES_PER_AREA as u64;
-        let per_vehicle =
-            |p: &AnnualProjection| p.dollars / VEHICLES_PER_AREA as f64;
+        let per_vehicle = |p: &AnnualProjection| p.dollars / VEHICLES_PER_AREA as f64;
         println!(
             "{:<11} {:>11.2} {:>11.2} {:>11.2}",
             area.name(),

@@ -12,7 +12,9 @@ use idling_bench::write_csv;
 const SEED: u64 = 2014;
 
 fn main() {
-    println!("Table 1: Stops Per Day in 3 Locations (synthetic fleet, paper targets in brackets)\n");
+    println!(
+        "Table 1: Stops Per Day in 3 Locations (synthetic fleet, paper targets in brackets)\n"
+    );
     println!(
         "{:<11} {:>8} {:>8} {:>8} {:>10}   paper: mean/std/P",
         "Location", "Vehicles", "Mean", "Std", "P<=mu+2s"

@@ -8,12 +8,12 @@
 
 use drivesim::diurnal::DiurnalProfile;
 use drivesim::{Area, FleetConfig, StopCause, VehicleProfile};
-use idling_bench::write_csv;
+use idling_bench::{worker_threads, write_csv};
 use numeric::stats::RunningStats;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use skirental::analysis::bootstrap_cr_ci;
-use skirental::{BreakEven, ConstrainedStats};
+use skirental::analysis::bootstrap_cr_ci_parallel;
+use skirental::{BreakEven, StopSummary};
 
 const SEED: u64 = 2014;
 
@@ -74,12 +74,14 @@ fn main() {
         }
 
         // Bootstrap CI of the proposed policy's CR on a typical vehicle.
+        // Resamples are sharded over worker threads; the per-resample
+        // seeding makes the CI identical for any thread count.
         let stops = fleet[0].stop_lengths();
-        let policy = ConstrainedStats::from_samples(&stops, b)
-            .expect("non-empty")
-            .optimal_policy();
+        let summary = StopSummary::new(&stops).expect("non-empty");
+        let policy = summary.constrained_stats(b).expect("feasible").optimal_policy();
         let mut rng = StdRng::seed_from_u64(SEED);
-        let ci = bootstrap_cr_ci(&policy, &stops, 400, 0.95, &mut rng).expect("non-empty");
+        let ci = bootstrap_cr_ci_parallel(&policy, &stops, 400, 0.95, &mut rng, worker_threads())
+            .expect("non-empty");
         println!(
             "    vehicle 0 proposed CR {:.3} (95% bootstrap CI [{:.3}, {:.3}], {} stops)\n",
             ci.point,
@@ -112,10 +114,6 @@ fn main() {
     let night: usize = hourly[0..5].iter().sum();
     assert!(rush > 3 * night, "diurnal profile not visible: rush {rush} vs night {night}");
 
-    let path = write_csv(
-        "workload_report.csv",
-        "area,cause,share_pct,mean_s,max_s",
-        &rows,
-    );
+    let path = write_csv("workload_report.csv", "area,cause,share_pct,mean_s,max_s", &rows);
     println!("\nwritten to {}", path.display());
 }

@@ -56,8 +56,7 @@ pub fn area_mixture(area: Area) -> Mixture {
     Mixture::new(vec![
         (
             p.weight_light,
-            Box::new(LogNormal::new(p.light_log_mu, p.light_log_sigma).expect("valid params"))
-                as _,
+            Box::new(LogNormal::new(p.light_log_mu, p.light_log_sigma).expect("valid params")) as _,
         ),
         (
             p.weight_sign,
@@ -108,16 +107,32 @@ pub fn worst_case_cr(strategy: Strategy, stats: &ConstrainedStats, full_mean: f6
         // A fixed threshold x chosen in hindsight still faces the same
         // adversary as b-DET at that x; with no commitment to a specific
         // x ahead of time, report the b-DET optimum as its best case.
-        Strategy::BayesOpt => stats
-            .b_det_vertex()
-            .map_or(stats.worst_case_cr_of(StrategyChoice::Det).min(
-                stats.worst_case_cr_of(StrategyChoice::Toi),
-            ), |v| {
+        Strategy::BayesOpt => stats.b_det_vertex().map_or(
+            stats
+                .worst_case_cr_of(StrategyChoice::Det)
+                .min(stats.worst_case_cr_of(StrategyChoice::Toi)),
+            |v| {
                 (v.cost / stats.expected_offline_cost())
                     .min(stats.worst_case_cr_of(StrategyChoice::Det))
                     .min(stats.worst_case_cr_of(StrategyChoice::Toi))
-            }),
+            },
+        ),
     }
+}
+
+/// Worker-thread count for the parallel harness binaries: the machine's
+/// available parallelism, overridable with the `IDLING_BENCH_THREADS`
+/// environment variable (useful for reproducing serial output or for
+/// timing scaling curves). Always at least 1.
+#[must_use]
+pub fn worker_threads() -> usize {
+    std::env::var("IDLING_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
 }
 
 /// Formats a CR for table output (`inf` for unbounded).
@@ -191,11 +206,7 @@ mod tests {
 
     #[test]
     fn csv_roundtrip() {
-        let p = write_csv(
-            "selftest.csv",
-            "a,b",
-            &["1,2".to_string(), "3,4".to_string()],
-        );
+        let p = write_csv("selftest.csv", "a,b", &["1,2".to_string(), "3,4".to_string()]);
         let content = std::fs::read_to_string(p).unwrap();
         assert!(content.contains("a,b") && content.contains("3,4"));
     }

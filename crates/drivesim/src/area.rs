@@ -154,8 +154,7 @@ impl AreaParams {
     #[must_use]
     pub fn lambda_std(&self, days: u32) -> f64 {
         assert!(days > 0, "need at least one day");
-        let var =
-            self.stops_per_day_std.powi(2) - self.stops_per_day_mean / f64::from(days);
+        let var = self.stops_per_day_std.powi(2) - self.stops_per_day_mean / f64::from(days);
         var.max(0.01).sqrt()
     }
 }

@@ -50,8 +50,8 @@ impl DiurnalProfile {
             *weight = match hour {
                 0..=4 => 0.2,
                 5..=6 => 1.0,
-                7..=8 => 4.0,  // morning rush
-                9..=15 => 2.0, // daytime
+                7..=8 => 4.0,   // morning rush
+                9..=15 => 2.0,  // daytime
                 16..=18 => 4.5, // evening rush
                 19..=21 => 1.5,
                 _ => 0.5,
@@ -93,8 +93,7 @@ impl DiurnalProfile {
     #[must_use]
     pub fn sample_day_arrivals(&self, day: u32, n: usize, rng: &mut dyn RngCore) -> Vec<f64> {
         let base = f64::from(day) * 86_400.0;
-        let mut times: Vec<f64> =
-            (0..n).map(|_| base + self.sample_time_of_day(rng)).collect();
+        let mut times: Vec<f64> = (0..n).map(|_| base + self.sample_time_of_day(rng)).collect();
         times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
         times
     }

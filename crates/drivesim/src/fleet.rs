@@ -303,8 +303,7 @@ mod tests {
         // The Figure-3 claim: a K-S test rejects the fitted exponential.
         for area in Area::ALL {
             let fleet = FleetConfig::new(area).vehicles(60).synthesize(5);
-            let stops: Vec<f64> =
-                fleet.iter().flat_map(VehicleTrace::stop_lengths).collect();
+            let stops: Vec<f64> = fleet.iter().flat_map(VehicleTrace::stop_lengths).collect();
             let null = Exponential::fit(&stops).unwrap();
             let r = ks_test(&stops, &null);
             assert!(r.rejects_at(0.001), "{area}: p = {}", r.p_value);

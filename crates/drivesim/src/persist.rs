@@ -42,7 +42,9 @@ pub enum ParseTraceError {
 impl fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::BadMetadata => write!(f, "missing or malformed 'vehicle,<id>,<area>,<days>' line"),
+            Self::BadMetadata => {
+                write!(f, "missing or malformed 'vehicle,<id>,<area>,<days>' line")
+            }
             Self::UnknownArea(a) => write!(f, "unknown area {a:?}"),
             Self::BadHeader => write!(f, "missing 'start_s,duration_s,cause' header"),
             Self::BadRow { line } => write!(f, "malformed event row at line {line}"),
@@ -236,10 +238,7 @@ mod tests {
             Err(ParseTraceError::BadHeader)
         );
         let base = "vehicle,1,Chicago,7\nstart_s,duration_s,cause\n";
-        assert_eq!(
-            from_csv(&format!("{base}1.0,2.0\n")),
-            Err(ParseTraceError::BadRow { line: 3 })
-        );
+        assert_eq!(from_csv(&format!("{base}1.0,2.0\n")), Err(ParseTraceError::BadRow { line: 3 }));
         assert_eq!(
             from_csv(&format!("{base}abc,2.0,stop_sign\n")),
             Err(ParseTraceError::BadRow { line: 3 })

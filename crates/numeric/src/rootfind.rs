@@ -194,10 +194,7 @@ mod tests {
 
     #[test]
     fn bisect_detects_missing_bracket() {
-        assert_eq!(
-            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9),
-            Err(FindRootError::NotBracketed)
-        );
+        assert_eq!(bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9), Err(FindRootError::NotBracketed));
     }
 
     #[test]
@@ -223,18 +220,12 @@ mod tests {
 
     #[test]
     fn brent_detects_missing_bracket() {
-        assert_eq!(
-            brent(|x| x * x + 1.0, -1.0, 1.0, 1e-9),
-            Err(FindRootError::NotBracketed)
-        );
+        assert_eq!(brent(|x| x * x + 1.0, -1.0, 1.0, 1e-9), Err(FindRootError::NotBracketed));
     }
 
     #[test]
     fn nonfinite_function_rejected() {
-        assert_eq!(
-            bisect(|_| f64::NAN, 0.0, 1.0, 1e-9),
-            Err(FindRootError::NonFiniteValue)
-        );
+        assert_eq!(bisect(|_| f64::NAN, 0.0, 1.0, 1e-9), Err(FindRootError::NonFiniteValue));
     }
 
     #[test]

@@ -59,10 +59,9 @@ impl fmt::Display for SolveError {
         match self {
             Self::Infeasible => write!(f, "linear program is infeasible"),
             Self::Unbounded => write!(f, "linear program is unbounded"),
-            Self::DimensionMismatch { constraint, got, expected } => write!(
-                f,
-                "constraint {constraint} has {got} coefficients, expected {expected}"
-            ),
+            Self::DimensionMismatch { constraint, got, expected } => {
+                write!(f, "constraint {constraint} has {got} coefficients, expected {expected}")
+            }
             Self::NonFiniteInput => write!(f, "non-finite coefficient in linear program"),
         }
     }
@@ -219,11 +218,8 @@ impl Tableau {
         let m = lp.constraints.len();
 
         // Count slack/surplus columns and normalize rows to rhs ≥ 0.
-        let mut norm: Vec<(Vec<f64>, Relation, f64)> = lp
-            .constraints
-            .iter()
-            .map(|c| (c.coeffs.clone(), c.relation, c.rhs))
-            .collect();
+        let mut norm: Vec<(Vec<f64>, Relation, f64)> =
+            lp.constraints.iter().map(|c| (c.coeffs.clone(), c.relation, c.rhs)).collect();
         for (coeffs, rel, rhs) in &mut norm {
             if *rhs < 0.0 {
                 for v in coeffs.iter_mut() {
@@ -237,16 +233,11 @@ impl Tableau {
                 };
             }
         }
-        let n_slack = norm
-            .iter()
-            .filter(|(_, rel, _)| matches!(rel, Relation::Le | Relation::Ge))
-            .count();
+        let n_slack =
+            norm.iter().filter(|(_, rel, _)| matches!(rel, Relation::Le | Relation::Ge)).count();
         // Every row gets an artificial except `≤` rows, whose slack can
         // start basic.
-        let n_art = norm
-            .iter()
-            .filter(|(_, rel, _)| !matches!(rel, Relation::Le))
-            .count();
+        let n_art = norm.iter().filter(|(_, rel, _)| !matches!(rel, Relation::Le)).count();
         let art_start = n_dec + n_slack;
         let n_total = art_start + n_art;
 
@@ -287,9 +278,8 @@ impl Tableau {
     fn solve(mut self) -> Result<Solution, SolveError> {
         // Phase 1: minimize the sum of artificial variables.
         if self.art_start < self.n_total {
-            let phase1_cost: Vec<f64> = (0..self.n_total)
-                .map(|j| if j >= self.art_start { 1.0 } else { 0.0 })
-                .collect();
+            let phase1_cost: Vec<f64> =
+                (0..self.n_total).map(|j| if j >= self.art_start { 1.0 } else { 0.0 }).collect();
             let obj = self.run_phase(&phase1_cost, self.n_total)?;
             if obj > EPS {
                 return Err(SolveError::Infeasible);
@@ -357,11 +347,7 @@ impl Tableau {
     }
 
     fn objective_value(&self, cost: &[f64]) -> f64 {
-        self.rows
-            .iter()
-            .enumerate()
-            .map(|(i, row)| cost[self.basis[i]] * row[self.n_total])
-            .sum()
+        self.rows.iter().enumerate().map(|(i, row)| cost[self.basis[i]] * row[self.n_total]).sum()
     }
 
     fn pivot(&mut self, row: usize, col: usize) {
@@ -433,8 +419,11 @@ mod tests {
         // min 2x + 3y  s.t. x + y ≥ 10, x ≥ 2 → (10, 0)? check: obj 20 at
         // (10,0); (2,8) gives 4+24=28. So (10,0), obj 20.
         let mut lp = LinearProgram::minimize(vec![2.0, 3.0]);
-        lp.constrain(vec![1.0, 1.0], Relation::Ge, 10.0)
-            .constrain(vec![1.0, 0.0], Relation::Ge, 2.0);
+        lp.constrain(vec![1.0, 1.0], Relation::Ge, 10.0).constrain(
+            vec![1.0, 0.0],
+            Relation::Ge,
+            2.0,
+        );
         let sol = lp.solve().unwrap();
         assert_sol(&sol, &[10.0, 0.0], 20.0);
     }
@@ -444,8 +433,11 @@ mod tests {
         // min x + y  s.t. x + 2y = 4, x ≤ 1 → x=1? obj at (0,2)=2; (1,1.5)=2.5.
         // min is (0,2) with obj 2.
         let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
-        lp.constrain(vec![1.0, 2.0], Relation::Eq, 4.0)
-            .constrain(vec![1.0, 0.0], Relation::Le, 1.0);
+        lp.constrain(vec![1.0, 2.0], Relation::Eq, 4.0).constrain(
+            vec![1.0, 0.0],
+            Relation::Le,
+            1.0,
+        );
         let sol = lp.solve().unwrap();
         assert_sol(&sol, &[0.0, 2.0], 2.0);
     }
@@ -462,8 +454,7 @@ mod tests {
     #[test]
     fn detects_infeasible() {
         let mut lp = LinearProgram::minimize(vec![1.0]);
-        lp.constrain(vec![1.0], Relation::Le, 1.0)
-            .constrain(vec![1.0], Relation::Ge, 2.0);
+        lp.constrain(vec![1.0], Relation::Le, 1.0).constrain(vec![1.0], Relation::Ge, 2.0);
         assert_eq!(lp.solve(), Err(SolveError::Infeasible));
     }
 
@@ -507,8 +498,11 @@ mod tests {
     fn redundant_equality_rows() {
         // x + y = 2 listed twice: feasible, redundant row must be handled.
         let mut lp = LinearProgram::minimize(vec![1.0, 0.0]);
-        lp.constrain(vec![1.0, 1.0], Relation::Eq, 2.0)
-            .constrain(vec![1.0, 1.0], Relation::Eq, 2.0);
+        lp.constrain(vec![1.0, 1.0], Relation::Eq, 2.0).constrain(
+            vec![1.0, 1.0],
+            Relation::Eq,
+            2.0,
+        );
         let sol = lp.solve().unwrap();
         assert_sol(&sol, &[0.0, 2.0], 0.0);
     }

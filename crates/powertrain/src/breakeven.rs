@@ -204,11 +204,7 @@ mod tests {
         // Paper: "minimum break-even interval B = 28 seconds for SSV".
         let total = bd.total_seconds();
         assert!((27.0..31.0).contains(&total), "total {total}");
-        assert!(approx_eq(
-            spec.break_even().seconds(),
-            total,
-            1e-12
-        ));
+        assert!(approx_eq(spec.break_even().seconds(), total, 1e-12));
     }
 
     #[test]

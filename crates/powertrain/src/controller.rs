@@ -197,8 +197,7 @@ impl<'a, P: Policy + ?Sized> StopStartController<'a, P> {
         let idle_rate_cc = self.spec.fuel().cc_per_s();
         let idle_rate_dollars = self.spec.idling_cost_per_s();
         let flat_wear_per_start = b_wear_dollars(&self.spec);
-        let starter_wear =
-            self.spec.break_even_breakdown().starter_s * idle_rate_dollars;
+        let starter_wear = self.spec.break_even_breakdown().starter_s * idle_rate_dollars;
 
         let mut out = DriveOutcome::default();
         let mut t = 0.0;
@@ -392,8 +391,7 @@ mod tests {
         let short_stops = [20.0, 20.0];
         let long_stops = [900.0, 900.0];
         let mut rng = StdRng::seed_from_u64(21);
-        let flat_short =
-            StopStartController::new(&p, s).drive(&short_stops, &mut rng).unwrap();
+        let flat_short = StopStartController::new(&p, s).drive(&short_stops, &mut rng).unwrap();
         let flat_long = StopStartController::new(&p, s).drive(&long_stops, &mut rng).unwrap();
         // Flat model: wear depends only on restart count.
         assert!(approx_eq(flat_short.wear_dollars, flat_long.wear_dollars, 1e-12));
@@ -421,13 +419,10 @@ mod tests {
         let s = spec();
         let p = NRand::new(s.break_even());
         // Arrivals at arbitrary (even overlapping) times.
-        let events =
-            [(100.0, 30.0), (500.0, 5.0), (501.0, 90.0), (2000.0, 12.0), (2000.0, 700.0)];
+        let events = [(100.0, 30.0), (500.0, 5.0), (501.0, 90.0), (2000.0, 12.0), (2000.0, 700.0)];
         let durations: Vec<f64> = events.iter().map(|&(_, d)| d).collect();
         let mut rng1 = StdRng::seed_from_u64(33);
-        let ts = StopStartController::new(&p, s)
-            .drive_timestamped(&events, &mut rng1)
-            .unwrap();
+        let ts = StopStartController::new(&p, s).drive_timestamped(&events, &mut rng1).unwrap();
         let mut rng2 = StdRng::seed_from_u64(33);
         let fixed = StopStartController::new(&p, s).drive(&durations, &mut rng2).unwrap();
         // Same RNG stream + same durations ⇒ identical cost ledger.
@@ -448,8 +443,7 @@ mod tests {
             .with_diurnal(DiurnalProfile::commuter())
             .synthesize(77)
             .remove(0);
-        let events: Vec<(f64, f64)> =
-            trace.iter().map(|e| (e.start_s, e.duration_s)).collect();
+        let events: Vec<(f64, f64)> = trace.iter().map(|e| (e.start_s, e.duration_s)).collect();
         let mut rng = StdRng::seed_from_u64(5);
         let out = StopStartController::new(&p, s).drive_timestamped(&events, &mut rng).unwrap();
         assert_eq!(out.stops as usize, trace.num_stops());

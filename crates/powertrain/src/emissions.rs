@@ -124,11 +124,7 @@ impl AddAssign for Emissions {
 
 impl fmt::Display for Emissions {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "THC {:.1} mg, NOx {:.2} mg, CO {:.0} mg",
-            self.thc_mg, self.nox_mg, self.co_mg
-        )
+        write!(f, "THC {:.1} mg, NOx {:.2} mg, CO {:.0} mg", self.thc_mg, self.nox_mg, self.co_mg)
     }
 }
 

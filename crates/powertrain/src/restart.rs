@@ -47,7 +47,10 @@ impl StarterModel {
             replacement_dollars.is_finite() && replacement_dollars >= 0.0,
             "replacement cost must be non-negative"
         );
-        assert!(labor_dollars.is_finite() && labor_dollars >= 0.0, "labor cost must be non-negative");
+        assert!(
+            labor_dollars.is_finite() && labor_dollars >= 0.0,
+            "labor cost must be non-negative"
+        );
         assert!(
             durability_starts.is_finite() && durability_starts > 0.0,
             "durability must be positive"
@@ -194,7 +197,11 @@ mod tests {
         // Paper: 0.5–4 cents/start ⇒ 19.38–155.04 s at 0.0258 cents/s.
         let min = StarterModel::conventional_paper_min();
         assert!(approx_eq(min.cost_per_start_dollars(), 0.005, 1e-12));
-        assert!(approx_eq(min.idle_equivalent_s(IDLE_RATE), 19.38, 1e-2), "min {}", min.idle_equivalent_s(IDLE_RATE));
+        assert!(
+            approx_eq(min.idle_equivalent_s(IDLE_RATE), 19.38, 1e-2),
+            "min {}",
+            min.idle_equivalent_s(IDLE_RATE)
+        );
         // The explicit price endpoints bracket the paper's quoted range.
         let cheap = StarterModel::conventional_cheap();
         let exp = StarterModel::conventional_expensive();

@@ -171,11 +171,7 @@ mod tests {
     fn projection_scales_week_to_year() {
         let (nev, _) = outcomes();
         let p = AnnualProjection::from_outcome(&nev, 7.0);
-        assert!(approx_eq(
-            p.fuel_gallons,
-            nev.fuel_cc / CC_PER_GALLON * 365.0 / 7.0,
-            1e-12
-        ));
+        assert!(approx_eq(p.fuel_gallons, nev.fuel_cc / CC_PER_GALLON * 365.0 / 7.0, 1e-12));
         assert!(approx_eq(p.co2_kg, p.fuel_gallons * CO2_KG_PER_GALLON, 1e-12));
         assert_eq!(p.vehicles, 1.0);
         assert_eq!(p.restarts, 0.0); // NEV never restarts
@@ -208,11 +204,7 @@ mod tests {
         // vehicles and longer idling shares).
         let (nev, _) = outcomes();
         let fleet = AnnualProjection::from_outcome(&nev, 7.0).scale_to_fleet(250_000_000);
-        assert!(
-            (1e8..2e10).contains(&fleet.fuel_gallons),
-            "{} gallons",
-            fleet.fuel_gallons
-        );
+        assert!((1e8..2e10).contains(&fleet.fuel_gallons), "{} gallons", fleet.fuel_gallons);
     }
 
     #[test]

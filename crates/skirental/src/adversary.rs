@@ -68,10 +68,7 @@ pub fn short_mass_adversary(moments: &ConstrainedMoments, x: f64) -> Result<Disc
 /// Returns [`Error::InfeasibleAdversary`] when `c ≤ B`, or when the short
 /// mass cannot be realized below `B` (requires `μ_B⁻ < (1 − q_B⁺)·B` or
 /// `μ_B⁻ = 0`).
-pub fn appendix_a_adversary(
-    moments: &ConstrainedMoments,
-    c: f64,
-) -> Result<Discrete, Error> {
+pub fn appendix_a_adversary(moments: &ConstrainedMoments, c: f64) -> Result<Discrete, Error> {
     let b = moments.break_even;
     let mu = moments.mu_b_minus;
     let q = moments.q_b_plus;
@@ -152,8 +149,7 @@ pub fn worst_distribution_lp(
     let costs: Vec<f64> = support.iter().map(|&y| policy.expected_cost(y)).collect();
     let mut lp = LinearProgram::maximize(costs.clone());
     // Short-stop partial mean.
-    let mu_row: Vec<f64> =
-        support.iter().map(|&y| if y < b { y } else { 0.0 }).collect();
+    let mu_row: Vec<f64> = support.iter().map(|&y| if y < b { y } else { 0.0 }).collect();
     lp.constrain(mu_row, Relation::Eq, moments.mu_b_minus);
     // Long-stop probability (only the point at B).
     let q_row: Vec<f64> = support.iter().map(|&y| if y >= b { 1.0 } else { 0.0 }).collect();
@@ -161,15 +157,10 @@ pub fn worst_distribution_lp(
     // Total probability.
     lp.constrain(vec![1.0; n], Relation::Eq, 1.0);
 
-    let sol = lp
-        .solve_max()
-        .map_err(|_| Error::InfeasibleAdversary { reason: "adversary LP failed" })?;
-    let atoms: Vec<(f64, f64)> = support
-        .iter()
-        .zip(&sol.x)
-        .filter(|&(_, &p)| p > 1e-12)
-        .map(|(&y, &p)| (y, p))
-        .collect();
+    let sol =
+        lp.solve_max().map_err(|_| Error::InfeasibleAdversary { reason: "adversary LP failed" })?;
+    let atoms: Vec<(f64, f64)> =
+        support.iter().zip(&sol.x).filter(|&(_, &p)| p > 1e-12).map(|(&y, &p)| (y, p)).collect();
     let dist = Discrete::new(atoms)
         .map_err(|_| Error::InfeasibleAdversary { reason: "LP produced no mass" })?;
     Ok((dist, sol.objective))
@@ -218,8 +209,7 @@ mod tests {
         let adv_cost = (x + 28.0) * (5.0 / x + 0.3);
         // Same moments (μ = 0.5·10 = 5, q = 0.3), but the short mass sits
         // below the threshold so it pays 10 instead of x + B.
-        let nice =
-            Discrete::new(vec![(10.0, 0.5), (0.0, 0.2), (28.0, 0.3)]).unwrap();
+        let nice = Discrete::new(vec![(10.0, 0.5), (0.0, 0.2), (28.0, 0.3)]).unwrap();
         let p = BDet::new(BreakEven::new(28.0).unwrap(), x).unwrap();
         let nice_cost = expected_cost_under_discrete(&p, &nice);
         assert!(nice_cost < adv_cost, "nice {nice_cost} vs adversary {adv_cost}");
@@ -262,11 +252,8 @@ mod tests {
                 // Expected cost of the threshold-c policy: stops below B pay
                 // their own length (they end before c); the atom at c pays
                 // c + B.
-                let cost_c: f64 = adv
-                    .atoms()
-                    .iter()
-                    .map(|&(v, p)| p * if v >= c { c + 28.0 } else { v })
-                    .sum();
+                let cost_c: f64 =
+                    adv.atoms().iter().map(|&(v, p)| p * if v >= c { c + 28.0 } else { v }).sum();
                 let det = Det::new(be);
                 let cost_det = expected_cost_under_discrete(&det, &adv);
                 assert!(

@@ -8,9 +8,11 @@
 //! continuous or atomic stop-length distribution.
 
 use crate::policy::Policy;
+use crate::summary::StopSummary;
 use crate::Error;
 use numeric::quadrature::integrate;
-use rand::RngCore;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
 use stopmodel::dist::{Discrete, StopDistribution};
 
 /// Sum of the policy's per-stop expected costs over a trace.
@@ -65,12 +67,23 @@ pub fn total_offline_cost(policy: &dyn Policy, stops: &[f64]) -> Result<f64, Err
 /// # Ok::<(), skirental::Error>(())
 /// ```
 pub fn empirical_cr(policy: &dyn Policy, stops: &[f64]) -> Result<f64, Error> {
-    let online = total_expected_cost(policy, stops)?;
-    let offline = total_offline_cost(policy, stops)?;
+    Ok(empirical_cr_with(policy, &StopSummary::new(stops)?))
+}
+
+/// [`empirical_cr`] on a precomputed [`StopSummary`] — the fast path the
+/// fleet machinery uses: the trace is sorted once per vehicle and every
+/// strategy's CR is then closed-form arithmetic on the prefix sums
+/// (via [`Policy::total_cost_on`]), O(log n) per policy instead of O(n).
+///
+/// Returns `1` when the offline total is zero (every stop has zero
+/// length — neither algorithm pays anything).
+#[must_use]
+pub fn empirical_cr_with(policy: &dyn Policy, summary: &StopSummary) -> f64 {
+    let offline = summary.offline_total(policy.break_even());
     if offline == 0.0 {
-        return Ok(1.0);
+        return 1.0;
     }
-    Ok(online / offline)
+    policy.total_cost_on(summary) / offline
 }
 
 /// Simulates the policy on a trace by drawing one concrete threshold per
@@ -183,20 +196,15 @@ pub fn bootstrap_cr_ci(
     rng: &mut dyn RngCore,
 ) -> Result<CrConfidenceInterval, Error> {
     assert!(resamples > 0, "need at least one resample");
-    assert!(
-        confidence > 0.0 && confidence < 1.0,
-        "confidence must be in (0,1), got {confidence}"
-    );
+    assert!(confidence > 0.0 && confidence < 1.0, "confidence must be in (0,1), got {confidence}");
     let point = empirical_cr(policy, stops)?;
-    let n = stops.len();
+    // Each stop's (online, offline) contribution is the same in every
+    // resample, so compute the pair once per stop and let each resample
+    // sum n table lookups instead of n policy evaluations.
+    let pairs = cost_pairs(policy, stops);
     let mut crs = Vec::with_capacity(resamples);
-    let mut pseudo = vec![0.0; n];
     for _ in 0..resamples {
-        for slot in pseudo.iter_mut() {
-            let idx = (stopmodel::uniform01(rng) * n as f64) as usize;
-            *slot = stops[idx.min(n - 1)];
-        }
-        crs.push(empirical_cr(policy, &pseudo)?);
+        crs.push(resample_cr(&pairs, rng));
     }
     crs.sort_by(|a, b| a.partial_cmp(b).expect("finite CRs"));
     let alpha = (1.0 - confidence) / 2.0;
@@ -206,6 +214,76 @@ pub fn bootstrap_cr_ci(
         hi: numeric::stats::quantile_sorted(&crs, 1.0 - alpha),
         confidence,
     })
+}
+
+/// Multithreaded percentile bootstrap: identical statistics to
+/// [`bootstrap_cr_ci`] but resamples are distributed over `threads`
+/// scoped threads via [`crate::parallel::chunked_map`].
+///
+/// A per-resample seed is drawn from `rng` up front, so the result is
+/// **bit-identical for every thread count** (including `threads = 1`);
+/// the resample stream differs from the serial [`bootstrap_cr_ci`], which
+/// draws indices directly from `rng`.
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyTrace`] if `stops` is empty.
+///
+/// # Panics
+///
+/// Panics if `resamples == 0`, `threads == 0`, or `confidence` is
+/// outside `(0, 1)`.
+pub fn bootstrap_cr_ci_parallel(
+    policy: &dyn Policy,
+    stops: &[f64],
+    resamples: usize,
+    confidence: f64,
+    rng: &mut dyn RngCore,
+    threads: usize,
+) -> Result<CrConfidenceInterval, Error> {
+    assert!(resamples > 0, "need at least one resample");
+    assert!(confidence > 0.0 && confidence < 1.0, "confidence must be in (0,1), got {confidence}");
+    let point = empirical_cr(policy, stops)?;
+    let pairs = cost_pairs(policy, stops);
+    // Seeds are drawn serially so each resample's randomness depends only
+    // on its index, never on which thread runs it.
+    let seeds: Vec<u64> = (0..resamples).map(|_| rng.next_u64()).collect();
+    let mut crs = crate::parallel::chunked_map(&seeds, threads, |_, &seed| {
+        let mut local = StdRng::seed_from_u64(seed);
+        resample_cr(&pairs, &mut local)
+    });
+    crs.sort_by(|a, b| a.partial_cmp(b).expect("finite CRs"));
+    let alpha = (1.0 - confidence) / 2.0;
+    Ok(CrConfidenceInterval {
+        point,
+        lo: numeric::stats::quantile_sorted(&crs, alpha),
+        hi: numeric::stats::quantile_sorted(&crs, 1.0 - alpha),
+        confidence,
+    })
+}
+
+/// Per-stop `(expected online, offline)` cost pairs in input order.
+fn cost_pairs(policy: &dyn Policy, stops: &[f64]) -> Vec<(f64, f64)> {
+    let b = policy.break_even();
+    stops.iter().map(|&y| (policy.expected_cost(y), b.offline_cost(y))).collect()
+}
+
+/// One bootstrap resample: draw `n` stops with replacement and return the
+/// pseudo-trace's CR from the precomputed cost pairs.
+fn resample_cr(pairs: &[(f64, f64)], rng: &mut dyn RngCore) -> f64 {
+    let n = pairs.len();
+    let (mut online, mut offline) = (0.0f64, 0.0f64);
+    for _ in 0..n {
+        let idx = (stopmodel::uniform01(rng) * n as f64) as usize;
+        let (on, off) = pairs[idx.min(n - 1)];
+        online += on;
+        offline += off;
+    }
+    if offline == 0.0 {
+        1.0
+    } else {
+        online / offline
+    }
 }
 
 /// Expected competitive ratio of a policy under a distribution (the
@@ -383,6 +461,41 @@ mod tests {
         let ci = bootstrap_cr_ci(&NRand::new(b), &stops, 200, 0.95, &mut rng).unwrap();
         assert!((ci.hi - ci.lo).abs() < 1e-9);
         assert!((ci.point - e_ratio()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_bootstrap_bit_identical_across_threads() {
+        let d = LogNormal::new(2.5, 1.0).unwrap();
+        let b = b28();
+        let mut rng = StdRng::seed_from_u64(21);
+        let stops: Vec<f64> = (0..300).map(|_| d.sample(&mut rng)).collect();
+        let p = Det::new(b);
+        let reference = {
+            let mut r = StdRng::seed_from_u64(77);
+            bootstrap_cr_ci_parallel(&p, &stops, 200, 0.95, &mut r, 1).unwrap()
+        };
+        for threads in [2, 4, 7, 64] {
+            let mut r = StdRng::seed_from_u64(77);
+            let ci = bootstrap_cr_ci_parallel(&p, &stops, 200, 0.95, &mut r, threads).unwrap();
+            assert_eq!(ci, reference, "threads = {threads}");
+        }
+        assert!(reference.lo <= reference.point && reference.point <= reference.hi);
+    }
+
+    #[test]
+    fn empirical_cr_with_matches_empirical_cr() {
+        let stops = [10.0, 100.0, 0.0, 28.0, 3.5];
+        let summary = StopSummary::new(&stops).unwrap();
+        for p in [
+            Box::new(Det::new(b28())) as Box<dyn Policy>,
+            Box::new(Nev::new(b28())),
+            Box::new(Toi::new(b28())),
+            Box::new(NRand::new(b28())),
+        ] {
+            let fast = empirical_cr_with(&p, &summary);
+            let slow = empirical_cr(&p, &stops).unwrap();
+            assert!(approx_eq(fast, slow, 1e-12), "{}: {fast} vs {slow}", p.name());
+        }
     }
 
     #[test]

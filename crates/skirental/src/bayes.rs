@@ -17,6 +17,7 @@
 //! (see `Strategy::BayesOpt` in [`crate::fleet_eval`]).
 
 use crate::cost::BreakEven;
+use crate::summary::StopSummary;
 use crate::{Error, Policy};
 use rand::RngCore;
 use stopmodel::StopDistribution;
@@ -112,10 +113,7 @@ impl BayesOpt {
     /// Bayes-optimal threshold for a *known* distribution (uses a
     /// 512-point grid; see [`optimal_threshold`]).
     #[must_use]
-    pub fn for_distribution<D: StopDistribution + ?Sized>(
-        dist: &D,
-        break_even: BreakEven,
-    ) -> Self {
+    pub fn for_distribution<D: StopDistribution + ?Sized>(dist: &D, break_even: BreakEven) -> Self {
         let (threshold, _) = optimal_threshold(dist, break_even, 512);
         Self { break_even, threshold }
     }
@@ -136,43 +134,18 @@ impl BayesOpt {
     ///
     /// Panics if a stop is negative or non-finite.
     pub fn for_samples(stops: &[f64], break_even: BreakEven) -> Result<Self, Error> {
-        if stops.is_empty() {
-            return Err(Error::EmptyTrace);
-        }
-        let b = break_even.seconds();
-        let mut sorted = stops.to_vec();
-        sorted.sort_by(|a, c| a.partial_cmp(c).expect("finite stops"));
-        assert!(sorted[0] >= 0.0, "stop lengths must be non-negative");
-        let n = sorted.len();
-        let total: f64 = sorted.iter().sum();
+        Ok(Self::for_summary(&StopSummary::new(stops)?, break_even))
+    }
 
-        // x = 0 (TOI): every positive stop pays B.
-        let positive = sorted.iter().filter(|&&y| y > 0.0).count() as f64;
-        let mut best_cost = positive * b;
-        let mut best_x = 0.0;
-        // x = ∞ (NEV): pay every stop in full.
-        if total < best_cost {
-            best_cost = total;
-            best_x = f64::INFINITY;
-        }
-        // x just above sorted[i]: stops ≤ sorted[i] are idled through,
-        // the rest pay (sorted[i] + B) each (the infimum over the open
-        // interval (sorted[i], next)).
-        let mut prefix = 0.0;
-        for (i, &y) in sorted.iter().enumerate() {
-            prefix += y;
-            if i + 1 < n && sorted[i + 1] == y {
-                continue; // same candidate; take the last duplicate
-            }
-            let longer = (n - i - 1) as f64;
-            let cost = prefix + longer * (y + b);
-            if cost < best_cost {
-                best_cost = cost;
-                // Nudge above y so `stop < threshold` includes it.
-                best_x = y + 1e-9 * y.max(1.0);
-            }
-        }
-        Ok(Self { break_even, threshold: best_x })
+    /// The in-sample optimal fixed threshold from a precomputed
+    /// [`StopSummary`] — the sweep reuses the summary's sorted order and
+    /// prefix sums, so it is O(n) with no re-sort (and O(1) extra
+    /// allocation). Equivalent to [`BayesOpt::for_samples`] on the same
+    /// trace.
+    #[must_use]
+    pub fn for_summary(summary: &StopSummary, break_even: BreakEven) -> Self {
+        let (threshold, _) = summary.hindsight(break_even);
+        Self { break_even, threshold }
     }
 
     /// The selected threshold (`∞` = never turn off).
@@ -210,6 +183,10 @@ impl Policy for BayesOpt {
         } else {
             0.0
         }
+    }
+
+    fn total_cost_on(&self, summary: &StopSummary) -> f64 {
+        summary.threshold_total_cost(self.threshold, self.break_even)
     }
 }
 
@@ -278,8 +255,7 @@ mod tests {
         // support — it assumes policies randomize within [0, B].)
         let (x, c) = optimal_threshold(&d, b28(), 512);
         assert!(
-            approx_eq(p.threshold(), x, 1e-6)
-                || (p.threshold().is_infinite() && x.is_infinite())
+            approx_eq(p.threshold(), x, 1e-6) || (p.threshold().is_infinite() && x.is_infinite())
         );
         let under = expected_threshold_cost(&d, b28(), p.threshold());
         assert!(approx_eq(under, c, 1e-6), "{under} vs {c}");

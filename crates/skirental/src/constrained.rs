@@ -24,6 +24,7 @@
 
 use crate::cost::BreakEven;
 use crate::policy::{BDet, Det, NRand, Policy, Toi};
+use crate::summary::StopSummary;
 use crate::{e_ratio, Error};
 use numeric::simplex::{LinearProgram, Relation};
 use rand::RngCore;
@@ -155,9 +156,7 @@ impl ConstrainedStats {
         if stops.is_empty() {
             return Err(Error::EmptyTrace);
         }
-        Ok(Self {
-            moments: ConstrainedMoments::from_samples(stops, break_even.seconds()),
-        })
+        Ok(Self { moments: ConstrainedMoments::from_samples(stops, break_even.seconds()) })
     }
 
     /// Analytic moments from a stop-length distribution.
@@ -531,7 +530,11 @@ pub fn moment_constrained_cr_game(
     let b = break_even.seconds();
     for c in constraints {
         assert!(c.power.is_finite() && c.power > 0.0, "moment power must be positive");
-        assert!(c.value.is_finite() && c.value > 0.0, "moment value must be positive, got {}", c.value);
+        assert!(
+            c.value.is_finite() && c.value > 0.0,
+            "moment value must be positive, got {}",
+            c.value
+        );
         assert!(
             c.value < (50.0 * b).powf(c.power),
             "moment E[y^{}] = {} exceeds the adversary support cap of (50B)^p",
@@ -593,12 +596,8 @@ pub fn moment_constrained_cr_game(
     lp.constrain(norm, Relation::Eq, 1.0);
 
     let sol = lp.solve().expect("moment-constrained CR game is feasible and bounded");
-    let threshold_distribution = xs
-        .iter()
-        .zip(&sol.x[..n_p])
-        .filter(|&(_, &p)| p > 1e-9)
-        .map(|(&x, &p)| (x, p))
-        .collect();
+    let threshold_distribution =
+        xs.iter().zip(&sol.x[..n_p]).filter(|&(_, &p)| p > 1e-9).map(|(&x, &p)| (x, p)).collect();
     MinimaxSolution { value: sol.objective, threshold_distribution }
 }
 
@@ -664,9 +663,9 @@ impl ProposedPolicy {
             StrategyChoice::Det => Inner::Det(Det::new(be)),
             StrategyChoice::Toi => Inner::Toi(Toi::new(be)),
             StrategyChoice::NRand => Inner::NRand(NRand::new(be)),
-            StrategyChoice::BDet { b } => Inner::BDet(
-                BDet::new(be, b.min(be.seconds())).expect("b* <= B by construction"),
-            ),
+            StrategyChoice::BDet { b } => {
+                Inner::BDet(BDet::new(be, b.min(be.seconds())).expect("b* <= B by construction"))
+            }
         };
         Self { stats, choice, inner }
     }
@@ -725,6 +724,10 @@ impl Policy for ProposedPolicy {
 
     fn threshold_cdf(&self, x: f64) -> f64 {
         self.as_policy().threshold_cdf(x)
+    }
+
+    fn total_cost_on(&self, summary: &StopSummary) -> f64 {
+        self.as_policy().total_cost_on(summary)
     }
 }
 
@@ -960,11 +963,7 @@ mod tests {
             1e-12
         ));
         // b = 0 degenerates to TOI.
-        assert!(approx_eq(
-            s.worst_case_cr_of(StrategyChoice::BDet { b: 0.0 }),
-            28.0 / off,
-            1e-12
-        ));
+        assert!(approx_eq(s.worst_case_cr_of(StrategyChoice::BDet { b: 0.0 }), 28.0 / off, 1e-12));
     }
 
     #[test]
@@ -1130,33 +1129,24 @@ mod tests {
         // first moment, that holds only for large values.
         let b = BreakEven::SSV;
         let unconstrained = moment_constrained_cr_game(b, &[], 48);
-        let small = moment_constrained_cr_game(
-            b,
-            &[MomentConstraint { power: 2.0, value: 25.0 }],
-            48,
-        );
+        let small =
+            moment_constrained_cr_game(b, &[MomentConstraint { power: 2.0, value: 25.0 }], 48);
         assert!(
             small.value < unconstrained.value - 0.05,
             "small second moment: {} vs {}",
             small.value,
             unconstrained.value
         );
-        let large = moment_constrained_cr_game(
-            b,
-            &[MomentConstraint { power: 2.0, value: 4000.0 }],
-            48,
-        );
+        let large =
+            moment_constrained_cr_game(b, &[MomentConstraint { power: 2.0, value: 4000.0 }], 48);
         assert!((large.value - unconstrained.value).abs() < 1e-6);
     }
 
     #[test]
     fn joint_moment_constraints_help_more_than_single() {
         let b = BreakEven::SSV;
-        let mean_only = moment_constrained_cr_game(
-            b,
-            &[MomentConstraint { power: 1.0, value: 5.0 }],
-            48,
-        );
+        let mean_only =
+            moment_constrained_cr_game(b, &[MomentConstraint { power: 1.0, value: 5.0 }], 48);
         let joint = moment_constrained_cr_game(
             b,
             &[

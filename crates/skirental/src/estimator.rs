@@ -11,10 +11,11 @@
 //! Until the first stop is observed the controller falls back to N-Rand,
 //! whose `e/(e−1)` guarantee needs no statistics at all.
 
-use crate::analysis::empirical_cr;
+use crate::analysis::empirical_cr_with;
 use crate::constrained::ConstrainedStats;
 use crate::cost::BreakEven;
 use crate::policy::{NRand, Policy};
+use crate::summary::StopSummary;
 use crate::Error;
 use rand::RngCore;
 use std::collections::VecDeque;
@@ -231,8 +232,9 @@ impl AdaptiveController {
 ///
 /// Returns [`Error::EmptyTrace`] if `stops` is empty.
 pub fn oracle_cr(stops: &[f64], break_even: BreakEven) -> Result<f64, Error> {
-    let policy = ConstrainedStats::from_samples(stops, break_even)?.optimal_policy();
-    empirical_cr(&policy, stops)
+    let summary = StopSummary::new(stops)?;
+    let policy = summary.constrained_stats(break_even)?.optimal_policy();
+    Ok(empirical_cr_with(&policy, &summary))
 }
 
 #[cfg(test)]
@@ -315,11 +317,7 @@ mod tests {
         let mut ctl = AdaptiveController::new(b28());
         let out = ctl.run(&stops, &mut rng).unwrap();
         let oracle = oracle_cr(&stops, b28()).unwrap();
-        assert!(
-            (out.cr - oracle).abs() < 0.08,
-            "adaptive {} vs oracle {oracle}",
-            out.cr
-        );
+        assert!((out.cr - oracle).abs() < 0.08, "adaptive {} vs oracle {oracle}", out.cr);
         assert_eq!(out.stops, 5000);
         assert!(out.cr >= 1.0 - 1e-9);
     }

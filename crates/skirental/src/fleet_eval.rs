@@ -7,11 +7,18 @@
 //! expected competitive ratio of eq. (5). The report aggregates, per
 //! strategy: the mean CR across vehicles, the worst (largest) CR, and the
 //! number of vehicles on which the strategy was the best performer.
+//!
+//! Each vehicle's trace is summarized **once** into a
+//! [`StopSummary`] (one sort + prefix sums) which is then shared by all
+//! strategies: fitting MOM-Rand, the proposed algorithm, and the
+//! hindsight baseline, as well as scoring every strategy's CR, are all
+//! O(log n) queries against the same summary. Fleets are sharded across
+//! threads with [`crate::parallel`].
 
-use crate::analysis::empirical_cr;
-use crate::constrained::ConstrainedStats;
+use crate::analysis::empirical_cr_with;
 use crate::cost::BreakEven;
 use crate::policy::{Det, MomRand, NRand, Nev, Policy, Toi};
+use crate::summary::StopSummary;
 use crate::Error;
 use std::fmt;
 
@@ -88,22 +95,32 @@ impl Strategy {
         stops: &[f64],
         break_even: BreakEven,
     ) -> Result<Box<dyn Policy + Send + Sync>, Error> {
-        if stops.is_empty() {
-            return Err(Error::EmptyTrace);
-        }
+        self.build_with(&StopSummary::new(stops)?, break_even)
+    }
+
+    /// [`Strategy::build`] from a precomputed [`StopSummary`] — the
+    /// data-driven strategies (MOM-Rand, Proposed, Bayes-OPT) read their
+    /// statistics straight off the summary's prefix sums instead of
+    /// rescanning (and, for Bayes-OPT, re-sorting) the trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidMoments`] / [`Error::InvalidMean`] if the
+    /// summary statistics fall outside a strategy's feasible region
+    /// (cannot happen for finite non-negative traces).
+    pub fn build_with(
+        &self,
+        summary: &StopSummary,
+        break_even: BreakEven,
+    ) -> Result<Box<dyn Policy + Send + Sync>, Error> {
         Ok(match self {
             Self::Nev => Box::new(Nev::new(break_even)),
             Self::Toi => Box::new(Toi::new(break_even)),
             Self::Det => Box::new(Det::new(break_even)),
             Self::NRand => Box::new(NRand::new(break_even)),
-            Self::MomRand => {
-                let mean = stops.iter().sum::<f64>() / stops.len() as f64;
-                Box::new(MomRand::new(break_even, mean)?)
-            }
-            Self::Proposed => {
-                Box::new(ConstrainedStats::from_samples(stops, break_even)?.optimal_policy())
-            }
-            Self::BayesOpt => Box::new(crate::bayes::BayesOpt::for_samples(stops, break_even)?),
+            Self::MomRand => Box::new(MomRand::new(break_even, summary.mean())?),
+            Self::Proposed => Box::new(summary.constrained_stats(break_even)?.optimal_policy()),
+            Self::BayesOpt => Box::new(crate::bayes::BayesOpt::for_summary(summary, break_even)),
         })
     }
 }
@@ -196,17 +213,20 @@ impl fmt::Display for FleetReport {
     }
 }
 
-/// Evaluates one vehicle against every strategy.
+/// Evaluates one vehicle against every strategy: one [`StopSummary`]
+/// build (sort + prefix sums), then closed-form fitting and scoring for
+/// each strategy.
 fn evaluate_vehicle(
     vi: usize,
     stops: &[f64],
     break_even: BreakEven,
     strategies: &[Strategy],
 ) -> Result<VehicleResult, Error> {
+    let summary = StopSummary::new(stops)?;
     let mut crs = Vec::with_capacity(strategies.len());
     for strat in strategies {
-        let policy = strat.build(stops, break_even)?;
-        crs.push(empirical_cr(policy.as_ref(), stops)?);
+        let policy = strat.build_with(&summary, break_even)?;
+        crs.push(empirical_cr_with(policy.as_ref(), &summary));
     }
     let best = crs
         .iter()
@@ -243,9 +263,10 @@ pub fn evaluate_fleet(
 }
 
 /// Parallel [`evaluate_fleet`]: vehicles are sharded across `threads` OS
-/// threads (scoped, no external dependencies). Produces bit-identical
-/// results to the sequential version — per-vehicle evaluation is
-/// deterministic and independent.
+/// threads via [`crate::parallel::try_chunked_map`]. Produces
+/// bit-identical results to the sequential version for every thread
+/// count — per-vehicle evaluation is deterministic and independent, and
+/// the shared runtime preserves input order.
 ///
 /// # Errors
 ///
@@ -264,32 +285,9 @@ pub fn evaluate_fleet_parallel(
     if vehicle_stops.is_empty() || strategies.is_empty() {
         return Err(Error::EmptyTrace);
     }
-    if threads == 1 || vehicle_stops.len() < 2 * threads {
-        return evaluate_fleet(vehicle_stops, break_even, strategies);
-    }
-    let chunk = vehicle_stops.len().div_ceil(threads);
-    let results: Vec<Result<Vec<VehicleResult>, Error>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = vehicle_stops
-            .chunks(chunk)
-            .enumerate()
-            .map(|(ci, shard)| {
-                scope.spawn(move || {
-                    shard
-                        .iter()
-                        .enumerate()
-                        .map(|(i, stops)| {
-                            evaluate_vehicle(ci * chunk + i, stops, break_even, strategies)
-                        })
-                        .collect()
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
-    });
-    let mut vehicles = Vec::with_capacity(vehicle_stops.len());
-    for shard in results {
-        vehicles.extend(shard?);
-    }
+    let vehicles = crate::parallel::try_chunked_map(vehicle_stops, threads, |vi, stops| {
+        evaluate_vehicle(vi, stops, break_even, strategies)
+    })?;
     Ok(summarize(strategies, vehicles))
 }
 
@@ -343,9 +341,7 @@ mod tests {
             (0.25, Box::new(Pareto::new(30.0, 1.2).unwrap()) as _),
         ])
         .unwrap();
-        (0..n_vehicles)
-            .map(|_| (0..stops_each).map(|_| dist.sample(&mut rng)).collect())
-            .collect()
+        (0..n_vehicles).map(|_| (0..stops_each).map(|_| dist.sample(&mut rng)).collect()).collect()
     }
 
     #[test]
@@ -444,8 +440,7 @@ mod tests {
         let vehicles = fleet(37, 60, 9); // odd count exercises chunking
         let seq = evaluate_fleet(&vehicles, b28(), &Strategy::ALL).unwrap();
         for threads in [1, 2, 4, 7, 64] {
-            let par =
-                evaluate_fleet_parallel(&vehicles, b28(), &Strategy::ALL, threads).unwrap();
+            let par = evaluate_fleet_parallel(&vehicles, b28(), &Strategy::ALL, threads).unwrap();
             assert_eq!(par, seq, "threads = {threads}");
         }
     }

@@ -33,6 +33,13 @@
 //!   baseline in the spirit of Fujiwara & Iwama.
 //! * [`estimator`] — online estimation of `(μ_B⁻, q_B⁺)` and the adaptive
 //!   proposed policy a deployed controller would run.
+//! * [`summary`] — sufficient statistics of a stop trace
+//!   ([`StopSummary`]): sort once, then answer every per-trace cost query
+//!   (empirical CR, constrained moments, hindsight-optimal threshold) in
+//!   O(log n).
+//! * [`parallel`] — deterministic chunked map-reduce on scoped threads,
+//!   shared by the fleet evaluator, the bootstrap resampler, and the
+//!   bench binaries.
 //! * [`theory`] — the paper's numbered equations as an executable index,
 //!   each cross-checked against the production implementation.
 //!
@@ -68,8 +75,10 @@ pub mod cost;
 pub mod estimator;
 pub mod fleet_eval;
 pub mod multislope;
+pub mod parallel;
 pub mod policy;
 pub mod risk;
+pub mod summary;
 pub mod theory;
 
 pub use constrained::{ConstrainedStats, StrategyChoice, VertexCosts};
@@ -77,6 +86,7 @@ pub use cost::BreakEven;
 pub use fleet_eval::{FleetReport, Strategy};
 pub use policy::Policy;
 pub use stopmodel::ConstrainedMoments;
+pub use summary::StopSummary;
 
 use std::fmt;
 

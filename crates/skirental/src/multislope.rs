@@ -62,8 +62,10 @@ impl MultiSlope {
         if states.len() < 2 {
             return Err(Error::InvalidSlopes { reason: "need at least two states" });
         }
-        let slopes: Vec<Slope> =
-            states.into_iter().map(|(rate, cumulative_cost)| Slope { rate, cumulative_cost }).collect();
+        let slopes: Vec<Slope> = states
+            .into_iter()
+            .map(|(rate, cumulative_cost)| Slope { rate, cumulative_cost })
+            .collect();
         if !slopes.iter().all(|s| s.rate.is_finite() && s.cumulative_cost.is_finite()) {
             return Err(Error::InvalidSlopes { reason: "rates and costs must be finite" });
         }
@@ -405,10 +407,7 @@ mod tests {
     #[test]
     fn validation_rejects_bad_systems() {
         // Too few states.
-        assert!(matches!(
-            MultiSlope::new(vec![(1.0, 0.0)]),
-            Err(Error::InvalidSlopes { .. })
-        ));
+        assert!(matches!(MultiSlope::new(vec![(1.0, 0.0)]), Err(Error::InvalidSlopes { .. })));
         // State 0 must be free.
         assert!(MultiSlope::new(vec![(1.0, 1.0), (0.0, 28.0)]).is_err());
         // Rates must decrease.
@@ -449,10 +448,7 @@ mod tests {
             for &y in &[0.0, 5.0, 14.0, 28.0, 100.0] {
                 let want = b28().online_cost(x, y);
                 let got = ms.scaled_schedule_cost(theta, y);
-                assert!(
-                    approx_eq(got, want, 1e-12),
-                    "theta={theta}, y={y}: {got} vs {want}"
-                );
+                assert!(approx_eq(got, want, 1e-12), "theta={theta}, y={y}: {got} vs {want}");
             }
         }
     }
@@ -462,10 +458,7 @@ mod tests {
         let ms = MultiSlope::eco_idle(b28());
         for yi in 0..300 {
             let y = yi as f64 * 0.5;
-            assert!(
-                approx_eq(ms.scaled_schedule_cost(1.0, y), ms.online_cost(y), 1e-9),
-                "y = {y}"
-            );
+            assert!(approx_eq(ms.scaled_schedule_cost(1.0, y), ms.online_cost(y), 1e-9), "y = {y}");
         }
     }
 

@@ -1,0 +1,162 @@
+//! Deterministic chunked map-reduce on scoped OS threads (std-only).
+//!
+//! The fleet experiments are embarrassingly parallel over vehicles,
+//! bootstrap resamples, and sweep grid points, but each call site used to
+//! hand-roll its own `std::thread::scope` sharding. This module extracts
+//! that pattern once, with two guarantees the experiments rely on:
+//!
+//! 1. **Input order is preserved.** Results come back in the order of the
+//!    input slice regardless of which worker computed them, so downstream
+//!    reductions see the same sequence a serial loop would.
+//! 2. **Bit-identical output for any thread count.** Each item's result
+//!    depends only on the item (and its index) — never on chunk
+//!    boundaries — so `threads = 1` and `threads = 64` produce the exact
+//!    same bytes. `tests/determinism.rs` locks this in for the fleet
+//!    evaluator and the parallel bootstrap.
+//!
+//! Work is split into `ceil(n / threads)`-sized contiguous chunks, one
+//! scoped thread per chunk (no work stealing — the per-item cost in this
+//! codebase is uniform enough that static sharding is within noise of a
+//! dynamic queue, and it keeps the module dependency-free). Small inputs
+//! (`n < 2·threads`) skip thread spawning entirely.
+
+/// Maps `f` over `items` on up to `threads` scoped threads, returning
+/// results in input order. `f` receives `(index, &item)` with `index`
+/// the item's position in `items`.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, or propagates a panic from `f`.
+pub fn chunked_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let res: Result<Vec<R>, std::convert::Infallible> =
+        try_chunked_map(items, threads, |i, item| Ok(f(i, item)));
+    match res {
+        Ok(v) => v,
+        Err(e) => match e {},
+    }
+}
+
+/// Fallible variant of [`chunked_map`]: maps `f` over `items` and returns
+/// the first error in **input order**, or all results in input order.
+///
+/// With `threads == 1` (or an input too small to shard) the map runs
+/// serially on the caller's thread and short-circuits at the first error;
+/// the sharded path evaluates every chunk but still reports the
+/// earliest-indexed error, so the observable `Err` value is independent
+/// of the thread count.
+///
+/// # Errors
+///
+/// Returns the error of the earliest-indexed item for which `f` fails.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, or propagates a panic from `f`.
+pub fn try_chunked_map<T, R, E, F>(items: &[T], threads: usize, f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    if threads == 1 || items.len() < 2 * threads {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let shards: Vec<Result<Vec<R>, E>> = std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, shard)| {
+                scope.spawn(move || {
+                    shard
+                        .iter()
+                        .enumerate()
+                        .map(|(i, item)| f(ci * chunk + i, item))
+                        .collect::<Result<Vec<R>, E>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for shard in shards {
+        out.extend(shard?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..103).collect();
+        for threads in [1, 2, 4, 7, 64] {
+            let out = chunked_map(&items, threads, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * x
+            });
+            assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>(), "t={threads}");
+        }
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        // Floating-point work whose result would change if chunking
+        // leaked into the per-item computation.
+        let items: Vec<f64> = (0..1000).map(|i| 1.0 + i as f64 * 0.37).collect();
+        let reference = chunked_map(&items, 1, |i, &x| (x.sin() + i as f64).to_bits());
+        for threads in [2, 3, 4, 7, 64] {
+            let out = chunked_map(&items, threads, |i, &x| (x.sin() + i as f64).to_bits());
+            assert_eq!(out, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn small_inputs_run_serially() {
+        let items = [1, 2, 3];
+        let out = chunked_map(&items, 64, |_, &x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn error_is_earliest_in_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 4, 7] {
+            let res: Result<Vec<usize>, usize> =
+                try_chunked_map(
+                    &items,
+                    threads,
+                    |_, &x| {
+                        if x == 13 || x == 77 {
+                            Err(x)
+                        } else {
+                            Ok(x)
+                        }
+                    },
+                );
+            assert_eq!(res, Err(13), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = chunked_map(&[1], 0, |_, &x: &i32| x);
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        let out: Vec<i32> = chunked_map(&[] as &[i32], 4, |_, &x| x);
+        assert!(out.is_empty());
+    }
+}

@@ -96,7 +96,7 @@ pub fn risk_profile<D: StopDistribution + ?Sized>(
 mod tests {
     use super::*;
     use crate::policy::{Det, NRand, Nev, Toi};
-    use crate::{ConstrainedStats, BreakEven};
+    use crate::{BreakEven, ConstrainedStats};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use stopmodel::dist::{LogNormal, Mixture, Pareto};
@@ -139,13 +139,16 @@ mod tests {
     #[test]
     fn toi_annoys_most() {
         // Shutting down immediately turns every just-short stop into an
-        // annoyance; DET, waiting 28 s, nearly never does on this body.
+        // annoyance; DET, waiting 28 s, rarely does on this body. Under
+        // this mixture the true ratio is ≈ 4.9 (P(y ≤ 3) ≈ 7.6 % vs
+        // P(28 ≤ y ≤ 31) ≈ 1.5 %), so assert a 3× separation to leave
+        // sampling headroom.
         let d = workload();
         let mut rng = StdRng::seed_from_u64(3);
         let toi = risk_profile(&Toi::new(b28()), &d, 20_000, 3.0, &mut rng);
         let det = risk_profile(&Det::new(b28()), &d, 20_000, 3.0, &mut rng);
         assert!(
-            toi.annoyance_fraction > 5.0 * det.annoyance_fraction.max(1e-4),
+            toi.annoyance_fraction > 3.0 * det.annoyance_fraction.max(1e-4),
             "TOI {} vs DET {}",
             toi.annoyance_fraction,
             det.annoyance_fraction

@@ -1,0 +1,394 @@
+//! Sufficient statistics of a stop trace for O(log n) cost queries.
+//!
+//! Every Figure-4 style evaluation in this crate reduces to a handful of
+//! order-statistics queries on the same trace: "how much stop time lies
+//! below a threshold?", "how many stops are at least this long?". The
+//! naive implementations rescan the trace per policy and per candidate
+//! threshold — an O(n·k) pattern that dominates fleet sweeps. A
+//! [`StopSummary`] sorts the trace **once** and keeps prefix sums (and
+//! prefix sums of squares), after which each query is a binary search
+//! plus O(1) arithmetic:
+//!
+//! * [`StopSummary::threshold_total_cost`] — exact total online cost of
+//!   any deterministic threshold policy on the trace;
+//! * [`StopSummary::offline_total`] — the offline optimum `Σ min(yᵢ, B)`;
+//! * [`StopSummary::constrained_stats`] — the paper's `(μ_B⁻, q_B⁺)`
+//!   plug-in pair for **any** break-even `B`, not just the one the trace
+//!   was collected under;
+//! * [`StopSummary::hindsight`] — the in-sample optimal fixed threshold
+//!   via one exact O(n) sweep over the pre-sorted data.
+//!
+//! The summary is deliberately break-even-agnostic: a fleet experiment
+//! builds one summary per vehicle and shares it across all six strategies
+//! and every candidate `B`. Policies exploit it through
+//! [`Policy::total_cost_on`](crate::policy::Policy::total_cost_on), whose
+//! per-policy closed forms turn an O(n) trace scan into O(log n).
+//!
+//! Numerical note: sums here accumulate in *sorted* order (ascending), so
+//! they can differ from input-order scans by a few ulps. All public
+//! invariants hold to 1e-9 relative accuracy against the naive scans (see
+//! `tests/summary_property.rs`); [`StopSummary::hindsight`] is
+//! bit-identical to the historical `BayesOpt::for_samples` sweep because
+//! that sweep also accumulated in sorted order.
+
+use crate::constrained::ConstrainedStats;
+use crate::cost::BreakEven;
+use crate::Error;
+
+/// Sorted stop-length trace with prefix sums: the sufficient statistics
+/// for every per-trace cost query in this crate.
+///
+/// Construction is O(n log n); all queries are O(log n) (or O(1) given a
+/// precomputed rank). The summary is never empty — [`StopSummary::new`]
+/// rejects empty traces — so totals and means are always well defined.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StopSummary {
+    /// Stop lengths in ascending order.
+    sorted: Vec<f64>,
+    /// `prefix[i] = Σ sorted[..i]`; length `n + 1`.
+    prefix: Vec<f64>,
+    /// `prefix_sq[i] = Σ sorted[..i]²`; length `n + 1`.
+    prefix_sq: Vec<f64>,
+    /// Number of strictly positive stops.
+    positive: usize,
+}
+
+impl StopSummary {
+    /// Sorts `stops` and precomputes prefix sums.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyTrace`] if `stops` is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any stop is negative or non-finite.
+    pub fn new(stops: &[f64]) -> Result<Self, Error> {
+        if stops.is_empty() {
+            return Err(Error::EmptyTrace);
+        }
+        assert!(
+            stops.iter().all(|y| y.is_finite() && *y >= 0.0),
+            "stop lengths must be finite and non-negative"
+        );
+        let mut sorted = stops.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite stops"));
+        let mut prefix = Vec::with_capacity(sorted.len() + 1);
+        let mut prefix_sq = Vec::with_capacity(sorted.len() + 1);
+        let (mut acc, mut acc_sq) = (0.0f64, 0.0f64);
+        prefix.push(0.0);
+        prefix_sq.push(0.0);
+        for &y in &sorted {
+            acc += y;
+            acc_sq += y * y;
+            prefix.push(acc);
+            prefix_sq.push(acc_sq);
+        }
+        let positive = sorted.iter().filter(|&&y| y > 0.0).count();
+        Ok(Self { sorted, prefix, prefix_sq, positive })
+    }
+
+    /// Number of stops in the trace.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always `false`: construction rejects empty traces.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The stop lengths in ascending order.
+    #[must_use]
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Number of strictly positive stops (TOI pays a restart on exactly
+    /// these).
+    #[must_use]
+    pub fn positive_count(&self) -> usize {
+        self.positive
+    }
+
+    /// Sum of all stop lengths.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.prefix[self.sorted.len()]
+    }
+
+    /// Mean stop length.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.total() / self.sorted.len() as f64
+    }
+
+    /// The longest stop.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty by construction")
+    }
+
+    /// Number of stops with `y < x`.
+    #[must_use]
+    pub fn count_below(&self, x: f64) -> usize {
+        self.sorted.partition_point(|&y| y < x)
+    }
+
+    /// Number of stops with `y ≤ x`.
+    #[must_use]
+    pub fn count_at_most(&self, x: f64) -> usize {
+        self.sorted.partition_point(|&y| y <= x)
+    }
+
+    /// Number of stops with `y ≥ x`.
+    #[must_use]
+    pub fn count_at_least(&self, x: f64) -> usize {
+        self.sorted.len() - self.count_below(x)
+    }
+
+    /// `Σ yᵢ` over stops with `yᵢ < x`.
+    #[must_use]
+    pub fn sum_below(&self, x: f64) -> f64 {
+        self.prefix[self.count_below(x)]
+    }
+
+    /// `Σ yᵢ` over stops with `yᵢ ≤ x`.
+    #[must_use]
+    pub fn sum_at_most(&self, x: f64) -> f64 {
+        self.prefix[self.count_at_most(x)]
+    }
+
+    /// `Σ yᵢ²` over stops with `yᵢ ≤ x`.
+    #[must_use]
+    pub fn sum_sq_at_most(&self, x: f64) -> f64 {
+        self.prefix_sq[self.count_at_most(x)]
+    }
+
+    /// Empirical partial mean `(1/n)·Σ_{yᵢ < x} yᵢ` — the plug-in `μ_x⁻`.
+    #[must_use]
+    pub fn partial_mean(&self, x: f64) -> f64 {
+        self.sum_below(x) / self.sorted.len() as f64
+    }
+
+    /// Empirical tail probability `(1/n)·#{yᵢ ≥ x}` — the plug-in `q_x⁺`.
+    #[must_use]
+    pub fn tail_prob(&self, x: f64) -> f64 {
+        self.count_at_least(x) as f64 / self.sorted.len() as f64
+    }
+
+    /// Total offline-optimal cost `Σ min(yᵢ, B)` for break-even `B`.
+    #[must_use]
+    pub fn offline_total(&self, break_even: BreakEven) -> f64 {
+        let b = break_even.seconds();
+        self.sum_below(b) + self.count_at_least(b) as f64 * b
+    }
+
+    /// Exact total online cost of the fixed threshold `x` on the trace:
+    /// `Σ cost_online(x, yᵢ)` with `cost_online(x, y) = y` if `y < x`,
+    /// else `x + B`. An infinite `x` (never turn off) costs
+    /// [`StopSummary::total`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is negative or NaN.
+    #[must_use]
+    pub fn threshold_total_cost(&self, x: f64, break_even: BreakEven) -> f64 {
+        assert!(x >= 0.0, "threshold must be non-negative, got {x}");
+        if x.is_infinite() {
+            return self.total();
+        }
+        self.sum_below(x) + self.count_at_least(x) as f64 * (x + break_even.seconds())
+    }
+
+    /// Plug-in constrained statistics `(μ_B⁻, q_B⁺)` for **any**
+    /// break-even `B` — equivalent to
+    /// [`ConstrainedStats::from_samples`] up to floating-point summation
+    /// order, but O(log n) once the summary exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidMoments`] if the pair falls outside the
+    /// feasible region by more than the 1e-12 relative slack (cannot
+    /// happen for exact arithmetic; guards against pathological rounding).
+    pub fn constrained_stats(&self, break_even: BreakEven) -> Result<ConstrainedStats, Error> {
+        let b = break_even.seconds();
+        ConstrainedStats::new(break_even, self.partial_mean(b), self.tail_prob(b))
+    }
+
+    /// The in-sample optimal fixed threshold and its exact total cost:
+    /// one O(n) sweep over the pre-sorted trace.
+    ///
+    /// The total cost of threshold `x` is piecewise linear and increasing
+    /// between sample values, so the optimum is `0` (TOI), just above one
+    /// of the observed stop lengths, or `∞` (NEV); all candidates are
+    /// evaluated exactly from the prefix sums. Returns `(x*, cost(x*))`
+    /// with `x* = ∞` encoding "never turn off". Finite optima are nudged
+    /// just above the winning sample so `y < x*` includes it.
+    #[must_use]
+    pub fn hindsight(&self, break_even: BreakEven) -> (f64, f64) {
+        let b = break_even.seconds();
+        let n = self.sorted.len();
+        // x = 0 (TOI): every positive stop pays B.
+        let mut best_cost = self.positive as f64 * b;
+        let mut best_x = 0.0;
+        // x = ∞ (NEV): pay every stop in full.
+        let total = self.total();
+        if total < best_cost {
+            best_cost = total;
+            best_x = f64::INFINITY;
+        }
+        // x just above sorted[i]: stops ≤ sorted[i] are idled through,
+        // the rest pay (sorted[i] + B) each (the infimum over the open
+        // interval (sorted[i], next)).
+        for (i, &y) in self.sorted.iter().enumerate() {
+            if i + 1 < n && self.sorted[i + 1] == y {
+                continue; // same candidate; take the last duplicate
+            }
+            let longer = (n - i - 1) as f64;
+            let cost = self.prefix[i + 1] + longer * (y + b);
+            if cost < best_cost {
+                best_cost = cost;
+                // Nudge above y so `stop < threshold` includes it.
+                best_x = y + 1e-9 * y.max(1.0);
+            }
+        }
+        (best_x, best_cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{BDet, Det, MixedThreshold, MomRand, NRand, Nev, Policy, Toi};
+    use numeric::approx_eq;
+
+    fn b28() -> BreakEven {
+        BreakEven::new(28.0).unwrap()
+    }
+
+    fn fixture() -> Vec<f64> {
+        vec![12.0, 0.0, 45.0, 28.0, 3.0, 90.0, 28.0, 7.5, 0.0, 15.0]
+    }
+
+    #[test]
+    fn empty_trace_rejected() {
+        assert!(matches!(StopSummary::new(&[]), Err(Error::EmptyTrace)));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_stop_rejected() {
+        let _ = StopSummary::new(&[1.0, -2.0]);
+    }
+
+    #[test]
+    fn counts_and_sums_match_naive() {
+        let stops = fixture();
+        let s = StopSummary::new(&stops).unwrap();
+        assert_eq!(s.len(), stops.len());
+        assert!(!s.is_empty());
+        assert_eq!(s.positive_count(), 8);
+        assert!(approx_eq(s.total(), stops.iter().sum::<f64>(), 1e-12));
+        assert_eq!(s.max(), 90.0);
+        for x in [0.0, 3.0, 7.5, 28.0, 28.5, 90.0, 1e9] {
+            assert_eq!(s.count_below(x), stops.iter().filter(|&&y| y < x).count(), "x={x}");
+            assert_eq!(s.count_at_most(x), stops.iter().filter(|&&y| y <= x).count(), "x={x}");
+            assert_eq!(s.count_at_least(x), stops.iter().filter(|&&y| y >= x).count(), "x={x}");
+            let below: f64 = stops.iter().filter(|&&y| y < x).sum();
+            assert!(approx_eq(s.sum_below(x), below, 1e-9), "x={x}");
+            let sq: f64 = stops.iter().filter(|&&y| y <= x).map(|&y| y * y).sum();
+            assert!(approx_eq(s.sum_sq_at_most(x), sq, 1e-9), "x={x}");
+        }
+    }
+
+    #[test]
+    fn offline_total_matches_break_even() {
+        let stops = fixture();
+        let s = StopSummary::new(&stops).unwrap();
+        let naive: f64 = stops.iter().map(|&y| b28().offline_cost(y)).sum();
+        assert!(approx_eq(s.offline_total(b28()), naive, 1e-9));
+    }
+
+    #[test]
+    fn threshold_total_cost_matches_online_cost_sum() {
+        let stops = fixture();
+        let s = StopSummary::new(&stops).unwrap();
+        for x in [0.0, 3.0, 12.0, 28.0, 60.0, 90.0, 200.0] {
+            let naive: f64 = stops.iter().map(|&y| b28().online_cost(x, y)).sum();
+            assert!(
+                approx_eq(s.threshold_total_cost(x, b28()), naive, 1e-9),
+                "x={x}: {} vs {naive}",
+                s.threshold_total_cost(x, b28())
+            );
+        }
+        assert!(approx_eq(
+            s.threshold_total_cost(f64::INFINITY, b28()),
+            stops.iter().sum::<f64>(),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn constrained_stats_match_from_samples() {
+        let stops = fixture();
+        let s = StopSummary::new(&stops).unwrap();
+        let via_summary = s.constrained_stats(b28()).unwrap();
+        let via_scan = ConstrainedStats::from_samples(&stops, b28()).unwrap();
+        assert!(approx_eq(via_summary.moments().mu_b_minus, via_scan.moments().mu_b_minus, 1e-12));
+        assert!(approx_eq(via_summary.moments().q_b_plus, via_scan.moments().q_b_plus, 1e-12));
+        // The summary is B-agnostic: any other break-even works too.
+        let b47 = BreakEven::CONVENTIONAL;
+        let alt = s.constrained_stats(b47).unwrap();
+        let alt_scan = ConstrainedStats::from_samples(&stops, b47).unwrap();
+        assert!(approx_eq(alt.moments().mu_b_minus, alt_scan.moments().mu_b_minus, 1e-12));
+    }
+
+    #[test]
+    fn hindsight_matches_bayes_for_samples() {
+        let stops = fixture();
+        let s = StopSummary::new(&stops).unwrap();
+        let (x, cost) = s.hindsight(b28());
+        let bayes = crate::bayes::BayesOpt::for_samples(&stops, b28()).unwrap();
+        assert_eq!(x, bayes.threshold());
+        assert!(approx_eq(cost, s.threshold_total_cost(x, b28()), 1e-9));
+        // And no fixed threshold beats it.
+        for i in 0..=1000 {
+            let alt = i as f64 * 0.1;
+            assert!(cost <= s.threshold_total_cost(alt, b28()) + 1e-9, "beaten by {alt}");
+        }
+        assert!(cost <= s.total() + 1e-9);
+    }
+
+    #[test]
+    fn hindsight_all_short_picks_nev() {
+        let s = StopSummary::new(&[1.0, 2.0, 3.0]).unwrap();
+        let (x, cost) = s.hindsight(b28());
+        assert!(x.is_infinite() || x > 3.0, "x={x}");
+        assert!(approx_eq(cost, 6.0, 1e-9));
+    }
+
+    #[test]
+    fn total_cost_on_defaults_and_overrides_agree() {
+        let stops = fixture();
+        let s = StopSummary::new(&stops).unwrap();
+        let b = b28();
+        let policies: Vec<Box<dyn Policy>> = vec![
+            Box::new(Nev::new(b)),
+            Box::new(Toi::new(b)),
+            Box::new(Det::new(b)),
+            Box::new(BDet::new(b, 10.0).unwrap()),
+            Box::new(NRand::new(b)),
+            Box::new(MomRand::new(b, 8.0).unwrap()),
+            Box::new(MomRand::new(b, 27.0).unwrap()),
+            Box::new(MixedThreshold::new(b, vec![(0.0, 1.0), (14.0, 2.0), (28.0, 1.0)]).unwrap()),
+        ];
+        for p in &policies {
+            let naive: f64 = stops.iter().map(|&y| p.expected_cost(y)).sum();
+            let fast = p.total_cost_on(&s);
+            assert!(approx_eq(fast, naive, 1e-9), "{}: fast {fast} vs naive {naive}", p.name());
+        }
+    }
+}

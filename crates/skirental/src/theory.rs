@@ -143,7 +143,12 @@ pub fn eq31_lagrange_multipliers(alpha: f64, beta: f64, gamma: f64, b: f64) -> (
 /// and the b-DET cost at the candidate `b` (the worst-case cost with the
 /// short mass at `{0, b}`, i.e. `μ₁ = 0`, `q₂ = μ_B⁻/b`).
 #[must_use]
-pub fn eq32_k_coefficients(mu_b_minus: f64, q_b_plus: f64, b: f64, b_det_b: f64) -> (f64, f64, f64) {
+pub fn eq32_k_coefficients(
+    mu_b_minus: f64,
+    q_b_plus: f64,
+    b: f64,
+    b_det_b: f64,
+) -> (f64, f64, f64) {
     let base = E / (E - 1.0) * eq13_expected_offline_cost(mu_b_minus, q_b_plus, b);
     let k_alpha = b - base;
     let k_beta = eq14_expected_det_cost(mu_b_minus, q_b_plus, b) - base;
@@ -277,11 +282,7 @@ mod tests {
             // α at ε→0 always pays B; β at B pays y (stop ends first);
             // the continuous part pays cont·e/(e−1)·y (scaled N-Rand).
             let c = alpha * B + beta * y + cont * e_ratio() * y;
-            assert!(
-                approx_eq(c, l1 + l2 * y, 1e-9),
-                "y={y}: C = {c} vs λ1+λ2y = {}",
-                l1 + l2 * y
-            );
+            assert!(approx_eq(c, l1 + l2 * y, 1e-9), "y={y}: C = {c} vs λ1+λ2y = {}", l1 + l2 * y);
         }
     }
 
@@ -290,9 +291,9 @@ mod tests {
         // The most negative K picks the vertex; cross-check against the
         // production solver on the three pure regions.
         let cases = [
-            (10.0, 0.01),   // DET region → K_β most negative
-            (0.05, 0.95),   // TOI region → K_α most negative
-            (0.56, 0.3),    // b-DET region → K_γ most negative
+            (10.0, 0.01), // DET region → K_β most negative
+            (0.05, 0.95), // TOI region → K_α most negative
+            (0.56, 0.3),  // b-DET region → K_γ most negative
         ];
         for (mu, q) in cases {
             let s = ConstrainedStats::new(be(), mu, q).unwrap();

@@ -1317,13 +1317,11 @@ mod tests {
     #[test]
     fn mixture_rejects_bad_weights() {
         assert!(Mixture::new(vec![]).is_err());
-        assert!(Mixture::new(vec![(
-            -1.0,
-            Box::new(Exponential::with_mean(1.0).unwrap()) as _
-        )])
-        .is_err());
-        assert!(Mixture::new(vec![(0.0, Box::new(Exponential::with_mean(1.0).unwrap()) as _)])
+        assert!(Mixture::new(vec![(-1.0, Box::new(Exponential::with_mean(1.0).unwrap()) as _)])
             .is_err());
+        assert!(
+            Mixture::new(vec![(0.0, Box::new(Exponential::with_mean(1.0).unwrap()) as _)]).is_err()
+        );
     }
 
     #[test]

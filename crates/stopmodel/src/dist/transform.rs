@@ -126,7 +126,11 @@ impl<D: StopDistribution> Truncated<D> {
         }
         let mass = inner.cdf(cap);
         if mass <= 1e-12 {
-            return Err(DistributionError::new("cap", cap, "inner distribution has no mass below cap"));
+            return Err(DistributionError::new(
+                "cap",
+                cap,
+                "inner distribution has no mass below cap",
+            ));
         }
         Ok(Self { inner, cap, mass })
     }
@@ -185,8 +189,7 @@ impl<D: StopDistribution> StopDistribution for Truncated<D> {
         if b > self.cap {
             0.0
         } else {
-            ((self.inner.cdf(self.cap) - self.inner.cdf(b)) / self.mass
-                + self.atom_adjustment(b))
+            ((self.inner.cdf(self.cap) - self.inner.cdf(b)) / self.mass + self.atom_adjustment(b))
                 .clamp(0.0, 1.0)
         }
     }

@@ -52,9 +52,15 @@ impl fmt::Display for FittedModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Exponential(d) => write!(f, "exponential(rate = {:.5})", d.rate()),
-            Self::LogNormal(d) => write!(f, "lognormal(mu = {:.3}, sigma = {:.3})", d.mu(), d.sigma()),
-            Self::Weibull(d) => write!(f, "weibull(shape = {:.3}, scale = {:.3})", d.shape(), d.scale()),
-            Self::Gamma(d) => write!(f, "gamma(shape = {:.3}, scale = {:.3})", d.shape(), d.scale()),
+            Self::LogNormal(d) => {
+                write!(f, "lognormal(mu = {:.3}, sigma = {:.3})", d.mu(), d.sigma())
+            }
+            Self::Weibull(d) => {
+                write!(f, "weibull(shape = {:.3}, scale = {:.3})", d.shape(), d.scale())
+            }
+            Self::Gamma(d) => {
+                write!(f, "gamma(shape = {:.3}, scale = {:.3})", d.shape(), d.scale())
+            }
         }
     }
 }
@@ -177,9 +183,7 @@ pub fn fit_best(samples: &[f64]) -> Result<Vec<FitReport>, DistributionError> {
     if reports.is_empty() {
         return Err(DistributionError::new("samples", samples.len() as f64, "no family fit"));
     }
-    reports.sort_by(|a, b| {
-        a.ks.statistic.partial_cmp(&b.ks.statistic).expect("finite statistics")
-    });
+    reports.sort_by(|a, b| a.ks.statistic.partial_cmp(&b.ks.statistic).expect("finite statistics"));
     Ok(reports)
 }
 
@@ -213,10 +217,7 @@ impl MixtureFit {
     #[must_use]
     pub fn to_mixture(&self) -> crate::dist::Mixture {
         crate::dist::Mixture::new(
-            self.components
-                .iter()
-                .map(|c| (c.weight, Box::new(c.dist) as _))
-                .collect(),
+            self.components.iter().map(|c| (c.weight, Box::new(c.dist) as _)).collect(),
         )
         .expect("EM weights are positive and normalized")
     }
@@ -307,8 +308,7 @@ pub fn fit_lognormal_mixture(
             let nk = nk.max(1e-12);
             weights[c] = nk / nf;
             let m = (0..n).map(|i| resp[i * k + c] * data[i]).sum::<f64>() / nk;
-            let v =
-                (0..n).map(|i| resp[i * k + c] * (data[i] - m).powi(2)).sum::<f64>() / nk;
+            let v = (0..n).map(|i| resp[i * k + c] * (data[i] - m).powi(2)).sum::<f64>() / nk;
             means[c] = m;
             sds[c] = v.sqrt().max(1e-3);
         }

@@ -33,10 +33,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             stats.moments().q_b_plus
         );
         let tip = match policy.choice() {
-            StrategyChoice::Det => format!(
-                "keep the engine running unless you've already waited {:.0} s",
-                b.seconds()
-            ),
+            StrategyChoice::Det => {
+                format!("keep the engine running unless you've already waited {:.0} s", b.seconds())
+            }
             StrategyChoice::Toi => "switch off as soon as you stop".to_string(),
             StrategyChoice::BDet { b: x } => {
                 format!("switch off once you've waited about {x:.0} s")

@@ -15,9 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let override_vehicles: Option<usize> =
         std::env::args().nth(1).map(|s| s.parse()).transpose()?;
 
-    for (label, b) in
-        [("stop-start vehicles, B = 28 s", BreakEven::SSV), ("no stop-start system, B = 47 s", BreakEven::CONVENTIONAL)]
-    {
+    for (label, b) in [
+        ("stop-start vehicles, B = 28 s", BreakEven::SSV),
+        ("no stop-start system, B = 47 s", BreakEven::CONVENTIONAL),
+    ] {
         println!("\n=== {label} ===");
         let mut proposed_wins = 0usize;
         let mut total = 0usize;

@@ -33,10 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         StrategyChoice::BDet { b } => println!("strategy: wait {b:.1} s, then shut off (b-DET)"),
         StrategyChoice::NRand => println!("strategy: randomized threshold (N-Rand)"),
     }
-    println!(
-        "guaranteed worst-case expected competitive ratio: {:.4}",
-        policy.worst_case_cr()
-    );
+    println!("guaranteed worst-case expected competitive ratio: {:.4}", policy.worst_case_cr());
 
     // 4. Use it: decide how long to idle at the next stop.
     let mut rng = StdRng::seed_from_u64(7);

@@ -74,11 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         f64::from(trace.days),
     );
     println!("\nannual savings of Proposed over NEV (this vehicle): {savings}");
-    let fleet = AnnualProjection {
-        vehicles: 1.0,
-        ..savings
-    }
-    .scale_to_fleet(50_000_000);
+    let fleet = AnnualProjection { vehicles: 1.0, ..savings }.scale_to_fleet(50_000_000);
     println!(
         "scaled to a 50M-vehicle fleet: {:.1}M gal fuel, ${:.0}M, {:.0}kt CO2 per year",
         fleet.fuel_gallons / 1e6,

@@ -21,8 +21,7 @@ fn chicago_like_mixture() -> Result<Mixture, Box<dyn std::error::Error>> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let b_seconds: f64 =
-        std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(28.0);
+    let b_seconds: f64 = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(28.0);
     let b = BreakEven::new(b_seconds)?;
     let base = chicago_like_mixture()?;
 

@@ -183,18 +183,12 @@ mod tests {
         assert_eq!(a.opt::<f64>("missing", "number").unwrap(), None);
         assert_eq!(a.opt_or::<u64>("seed", "integer", 7).unwrap(), 7);
         assert!(matches!(a.required::<f64>("nope", "number"), Err(ArgError::Required(_))));
-        assert!(matches!(
-            a.required::<u64>("q", "integer"),
-            Err(ArgError::BadValue { .. })
-        ));
+        assert!(matches!(a.required::<u64>("q", "integer"), Err(ArgError::BadValue { .. })));
     }
 
     #[test]
     fn rejects_second_positional() {
-        assert!(matches!(
-            parse(&["a", "b"]),
-            Err(ArgError::UnexpectedPositional(_))
-        ));
+        assert!(matches!(parse(&["a", "b"]), Err(ArgError::UnexpectedPositional(_))));
     }
 
     #[test]

@@ -9,9 +9,7 @@ use automotive_idling::drivesim::{persist, Area, FleetConfig, VehicleTrace};
 use automotive_idling::powertrain::savings::annual_savings;
 use automotive_idling::powertrain::{StopStartController, VehicleSpec};
 use automotive_idling::skirental::fleet_eval::evaluate_fleet;
-use automotive_idling::skirental::{
-    BreakEven, ConstrainedStats, Policy, Strategy, StrategyChoice,
-};
+use automotive_idling::skirental::{BreakEven, ConstrainedStats, Policy, Strategy, StrategyChoice};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
@@ -163,11 +161,8 @@ pub fn synthesize(args: &Args) -> CmdResult {
     let fleet = FleetConfig::new(area).vehicles(vehicles).days(days).synthesize(seed);
     let mut total_stops = 0;
     for trace in &fleet {
-        let path = dir.join(format!(
-            "{}_{:04}.csv",
-            area.name().to_ascii_lowercase(),
-            trace.vehicle_id
-        ));
+        let path =
+            dir.join(format!("{}_{:04}.csv", area.name().to_ascii_lowercase(), trace.vehicle_id));
         persist::save_csv(trace, &path).map_err(err)?;
         total_stops += trace.num_stops();
     }
@@ -201,21 +196,16 @@ pub fn simulate(args: &Args) -> CmdResult {
     };
     let seed = args.opt_or::<u64>("seed", "integer", 7).map_err(err)?;
     let mut rng = StdRng::seed_from_u64(seed);
-    let out = StopStartController::new(policy.as_ref(), spec)
-        .drive(&stops, &mut rng)
-        .map_err(err)?;
+    let out =
+        StopStartController::new(policy.as_ref(), spec).drive(&stops, &mut rng).map_err(err)?;
     let mut rng2 = StdRng::seed_from_u64(seed);
-    let baseline = StopStartController::new(
-        &automotive_idling::skirental::policy::Nev::new(b),
-        spec,
-    )
-    .drive(&stops, &mut rng2)
-    .map_err(err)?;
+    let baseline =
+        StopStartController::new(&automotive_idling::skirental::policy::Nev::new(b), spec)
+            .drive(&stops, &mut rng2)
+            .map_err(err)?;
     let days = persist::load_csv(&PathBuf::from(&path)).map_err(err)?.days;
     let savings = annual_savings(&baseline, &out, f64::from(days));
-    Ok(format!(
-        "{out}\nvs never-turning-off, projected annually: {savings}\n"
-    ))
+    Ok(format!("{out}\nvs never-turning-off, projected annually: {savings}\n"))
 }
 
 /// `idlectl fit --trace file.csv [--mixture K]`
@@ -229,8 +219,14 @@ pub fn fit(args: &Args) -> CmdResult {
     writeln!(out, "{:<44} {:>8} {:>11}", "model", "K-S D", "p-value").expect("w");
     let ranked = fit_best(&stops).map_err(err)?;
     for r in &ranked {
-        writeln!(out, "{:<44} {:>8.4} {:>11.3e}", r.model.to_string(), r.ks.statistic, r.ks.p_value)
-            .expect("w");
+        writeln!(
+            out,
+            "{:<44} {:>8.4} {:>11.3e}",
+            r.model.to_string(),
+            r.ks.statistic,
+            r.ks.p_value
+        )
+        .expect("w");
     }
     if let Some(k) = args.opt::<usize>("mixture", "component count").map_err(err)? {
         let fit = fit_lognormal_mixture(&stops, k, 300).map_err(err)?;
@@ -248,8 +244,7 @@ pub fn fit(args: &Args) -> CmdResult {
         }
         let mix = fit.to_mixture();
         let ks = automotive_idling::stopmodel::kstest::ks_test(&stops, &mix);
-        writeln!(out, "  mixture K-S D = {:.4} (p = {:.3e})", ks.statistic, ks.p_value)
-            .expect("w");
+        writeln!(out, "  mixture K-S D = {:.4} (p = {:.3e})", ks.statistic, ks.p_value).expect("w");
     }
     Ok(out)
 }
@@ -319,8 +314,7 @@ mod tests {
         }
 
         pub fn guard(name: &str) -> TempDirGuard {
-            let path =
-                std::env::temp_dir().join(format!("{name}_{}", std::process::id()));
+            let path = std::env::temp_dir().join(format!("{name}_{}", std::process::id()));
             std::fs::create_dir_all(&path).expect("can create temp dir");
             TempDirGuard { path }
         }
@@ -351,8 +345,7 @@ mod tests {
         let (_guard, file) = temp_trace();
         let eval = evaluate(&args(&["evaluate", "--trace", &file])).unwrap();
         assert!(eval.contains("Proposed") && eval.contains("best:"));
-        let eval_h =
-            evaluate(&args(&["evaluate", "--trace", &file, "--hindsight"])).unwrap();
+        let eval_h = evaluate(&args(&["evaluate", "--trace", &file, "--hindsight"])).unwrap();
         assert!(eval_h.contains("Bayes-OPT"));
         let pol = policy(&args(&["policy", "--trace", &file])).unwrap();
         assert!(pol.contains("statistics"));
@@ -373,8 +366,7 @@ mod tests {
 
     #[test]
     fn table_command() {
-        let out =
-            table(&args(&["table", "--area", "california", "--vehicles", "5"])).unwrap();
+        let out = table(&args(&["table", "--area", "california", "--vehicles", "5"])).unwrap();
         assert!(out.contains("California") && out.contains("Proposed"));
         assert!(table(&args(&["table", "--area", "mars"])).is_err());
     }

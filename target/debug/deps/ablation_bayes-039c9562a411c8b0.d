@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_bayes-039c9562a411c8b0.d: crates/bench/src/bin/ablation_bayes.rs
+
+/root/repo/target/debug/deps/ablation_bayes-039c9562a411c8b0: crates/bench/src/bin/ablation_bayes.rs
+
+crates/bench/src/bin/ablation_bayes.rs:

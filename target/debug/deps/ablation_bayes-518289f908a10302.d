@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_bayes-518289f908a10302.d: crates/bench/src/bin/ablation_bayes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_bayes-518289f908a10302.rmeta: crates/bench/src/bin/ablation_bayes.rs Cargo.toml
+
+crates/bench/src/bin/ablation_bayes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_estimator-85c53a86bb9e6f0c.d: crates/bench/src/bin/ablation_estimator.rs
+
+/root/repo/target/debug/deps/ablation_estimator-85c53a86bb9e6f0c: crates/bench/src/bin/ablation_estimator.rs
+
+crates/bench/src/bin/ablation_estimator.rs:

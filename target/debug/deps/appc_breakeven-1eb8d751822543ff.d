@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/appc_breakeven-1eb8d751822543ff.d: crates/bench/src/bin/appc_breakeven.rs Cargo.toml
+
+/root/repo/target/debug/deps/libappc_breakeven-1eb8d751822543ff.rmeta: crates/bench/src/bin/appc_breakeven.rs Cargo.toml
+
+crates/bench/src/bin/appc_breakeven.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/appc_breakeven-210b8ab76fc1f19e.d: crates/bench/src/bin/appc_breakeven.rs
+
+/root/repo/target/debug/deps/appc_breakeven-210b8ab76fc1f19e: crates/bench/src/bin/appc_breakeven.rs
+
+crates/bench/src/bin/appc_breakeven.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/appendix_b-6f79f1ff680e524f.d: crates/bench/src/bin/appendix_b.rs
+
+/root/repo/target/debug/deps/appendix_b-6f79f1ff680e524f: crates/bench/src/bin/appendix_b.rs
+
+crates/bench/src/bin/appendix_b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/automotive_idling-27f2a0950563b990.d: src/lib.rs
+
+/root/repo/target/debug/deps/automotive_idling-27f2a0950563b990: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/automotive_idling-61652fa9ccef4523.d: src/lib.rs
+
+/root/repo/target/debug/deps/libautomotive_idling-61652fa9ccef4523.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libautomotive_idling-61652fa9ccef4523.rmeta: src/lib.rs
+
+src/lib.rs:

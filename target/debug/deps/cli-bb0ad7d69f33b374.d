@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-bb0ad7d69f33b374.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-bb0ad7d69f33b374: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_idlectl=/root/repo/target/debug/idlectl

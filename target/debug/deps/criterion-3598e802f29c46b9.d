@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-3598e802f29c46b9.d: compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-3598e802f29c46b9: compat/criterion/src/lib.rs
+
+compat/criterion/src/lib.rs:

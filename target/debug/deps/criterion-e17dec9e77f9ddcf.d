@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-e17dec9e77f9ddcf.d: compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-e17dec9e77f9ddcf.rlib: compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-e17dec9e77f9ddcf.rmeta: compat/criterion/src/lib.rs
+
+compat/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-9a2c550c449199a5.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-9a2c550c449199a5: tests/determinism.rs
+
+tests/determinism.rs:

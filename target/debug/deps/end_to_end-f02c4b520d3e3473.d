@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-f02c4b520d3e3473.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-f02c4b520d3e3473: tests/end_to_end.rs
+
+tests/end_to_end.rs:

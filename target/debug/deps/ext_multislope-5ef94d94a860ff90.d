@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_multislope-5ef94d94a860ff90.d: crates/bench/src/bin/ext_multislope.rs
+
+/root/repo/target/debug/deps/ext_multislope-5ef94d94a860ff90: crates/bench/src/bin/ext_multislope.rs
+
+crates/bench/src/bin/ext_multislope.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_multislope-8a3c0428dfa90163.d: crates/bench/src/bin/ext_multislope.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_multislope-8a3c0428dfa90163.rmeta: crates/bench/src/bin/ext_multislope.rs Cargo.toml
+
+crates/bench/src/bin/ext_multislope.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

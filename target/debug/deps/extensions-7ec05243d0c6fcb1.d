@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-7ec05243d0c6fcb1.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-7ec05243d0c6fcb1: tests/extensions.rs
+
+tests/extensions.rs:

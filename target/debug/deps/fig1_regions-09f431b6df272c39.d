@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_regions-09f431b6df272c39.d: crates/bench/src/bin/fig1_regions.rs
+
+/root/repo/target/debug/deps/fig1_regions-09f431b6df272c39: crates/bench/src/bin/fig1_regions.rs
+
+crates/bench/src/bin/fig1_regions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_regions-7ad7b9f69c2bc5a6.d: crates/bench/src/bin/fig1_regions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_regions-7ad7b9f69c2bc5a6.rmeta: crates/bench/src/bin/fig1_regions.rs Cargo.toml
+
+crates/bench/src/bin/fig1_regions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

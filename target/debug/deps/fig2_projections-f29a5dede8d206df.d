@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_projections-f29a5dede8d206df.d: crates/bench/src/bin/fig2_projections.rs
+
+/root/repo/target/debug/deps/fig2_projections-f29a5dede8d206df: crates/bench/src/bin/fig2_projections.rs
+
+crates/bench/src/bin/fig2_projections.rs:

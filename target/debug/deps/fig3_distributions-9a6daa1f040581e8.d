@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_distributions-9a6daa1f040581e8.d: crates/bench/src/bin/fig3_distributions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_distributions-9a6daa1f040581e8.rmeta: crates/bench/src/bin/fig3_distributions.rs Cargo.toml
+
+crates/bench/src/bin/fig3_distributions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

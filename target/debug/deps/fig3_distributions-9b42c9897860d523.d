@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_distributions-9b42c9897860d523.d: crates/bench/src/bin/fig3_distributions.rs
+
+/root/repo/target/debug/deps/fig3_distributions-9b42c9897860d523: crates/bench/src/bin/fig3_distributions.rs
+
+crates/bench/src/bin/fig3_distributions.rs:

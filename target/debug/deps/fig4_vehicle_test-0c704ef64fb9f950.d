@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_vehicle_test-0c704ef64fb9f950.d: crates/bench/src/bin/fig4_vehicle_test.rs
+
+/root/repo/target/debug/deps/fig4_vehicle_test-0c704ef64fb9f950: crates/bench/src/bin/fig4_vehicle_test.rs
+
+crates/bench/src/bin/fig4_vehicle_test.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_vehicle_test-c8ecda8253096483.d: crates/bench/src/bin/fig4_vehicle_test.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_vehicle_test-c8ecda8253096483.rmeta: crates/bench/src/bin/fig4_vehicle_test.rs Cargo.toml
+
+crates/bench/src/bin/fig4_vehicle_test.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

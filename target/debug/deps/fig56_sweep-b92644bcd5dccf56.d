@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig56_sweep-b92644bcd5dccf56.d: crates/bench/src/bin/fig56_sweep.rs
+
+/root/repo/target/debug/deps/fig56_sweep-b92644bcd5dccf56: crates/bench/src/bin/fig56_sweep.rs
+
+crates/bench/src/bin/fig56_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet_savings-527892b82e26ee34.d: crates/bench/src/bin/fleet_savings.rs
+
+/root/repo/target/debug/deps/fleet_savings-527892b82e26ee34: crates/bench/src/bin/fleet_savings.rs
+
+crates/bench/src/bin/fleet_savings.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/game_frontier-b06dd613b9f2c254.d: crates/bench/src/bin/game_frontier.rs
+
+/root/repo/target/debug/deps/game_frontier-b06dd613b9f2c254: crates/bench/src/bin/game_frontier.rs
+
+crates/bench/src/bin/game_frontier.rs:

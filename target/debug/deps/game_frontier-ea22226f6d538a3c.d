@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/game_frontier-ea22226f6d538a3c.d: crates/bench/src/bin/game_frontier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgame_frontier-ea22226f6d538a3c.rmeta: crates/bench/src/bin/game_frontier.rs Cargo.toml
+
+crates/bench/src/bin/game_frontier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/idlectl-40dc99e948181aab.d: src/bin/idlectl/main.rs src/bin/idlectl/args.rs src/bin/idlectl/commands.rs
+
+/root/repo/target/debug/deps/idlectl-40dc99e948181aab: src/bin/idlectl/main.rs src/bin/idlectl/args.rs src/bin/idlectl/commands.rs
+
+src/bin/idlectl/main.rs:
+src/bin/idlectl/args.rs:
+src/bin/idlectl/commands.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/idlectl-da4fd70e0c199a52.d: src/bin/idlectl/main.rs src/bin/idlectl/args.rs src/bin/idlectl/commands.rs
+
+/root/repo/target/debug/deps/idlectl-da4fd70e0c199a52: src/bin/idlectl/main.rs src/bin/idlectl/args.rs src/bin/idlectl/commands.rs
+
+src/bin/idlectl/main.rs:
+src/bin/idlectl/args.rs:
+src/bin/idlectl/commands.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/idling_bench-5536b2c6b3ab64e0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libidling_bench-5536b2c6b3ab64e0.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libidling_bench-5536b2c6b3ab64e0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

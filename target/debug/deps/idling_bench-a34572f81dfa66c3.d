@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/idling_bench-a34572f81dfa66c3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/idling_bench-a34572f81dfa66c3: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

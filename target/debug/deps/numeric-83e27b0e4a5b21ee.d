@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/numeric-83e27b0e4a5b21ee.d: crates/numeric/src/lib.rs crates/numeric/src/histogram.rs crates/numeric/src/quadrature.rs crates/numeric/src/rootfind.rs crates/numeric/src/simplex.rs crates/numeric/src/special.rs crates/numeric/src/stats.rs
+
+/root/repo/target/debug/deps/libnumeric-83e27b0e4a5b21ee.rlib: crates/numeric/src/lib.rs crates/numeric/src/histogram.rs crates/numeric/src/quadrature.rs crates/numeric/src/rootfind.rs crates/numeric/src/simplex.rs crates/numeric/src/special.rs crates/numeric/src/stats.rs
+
+/root/repo/target/debug/deps/libnumeric-83e27b0e4a5b21ee.rmeta: crates/numeric/src/lib.rs crates/numeric/src/histogram.rs crates/numeric/src/quadrature.rs crates/numeric/src/rootfind.rs crates/numeric/src/simplex.rs crates/numeric/src/special.rs crates/numeric/src/stats.rs
+
+crates/numeric/src/lib.rs:
+crates/numeric/src/histogram.rs:
+crates/numeric/src/quadrature.rs:
+crates/numeric/src/rootfind.rs:
+crates/numeric/src/simplex.rs:
+crates/numeric/src/special.rs:
+crates/numeric/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/numeric-850cce3f221a40b1.d: crates/numeric/src/lib.rs crates/numeric/src/histogram.rs crates/numeric/src/quadrature.rs crates/numeric/src/rootfind.rs crates/numeric/src/simplex.rs crates/numeric/src/special.rs crates/numeric/src/stats.rs
+
+/root/repo/target/debug/deps/numeric-850cce3f221a40b1: crates/numeric/src/lib.rs crates/numeric/src/histogram.rs crates/numeric/src/quadrature.rs crates/numeric/src/rootfind.rs crates/numeric/src/simplex.rs crates/numeric/src/special.rs crates/numeric/src/stats.rs
+
+crates/numeric/src/lib.rs:
+crates/numeric/src/histogram.rs:
+crates/numeric/src/quadrature.rs:
+crates/numeric/src/rootfind.rs:
+crates/numeric/src/simplex.rs:
+crates/numeric/src/special.rs:
+crates/numeric/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-dbe41dffc5a24fe6.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-dbe41dffc5a24fe6: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/powertrain-070d626b43c3b7d0.d: crates/powertrain/src/lib.rs crates/powertrain/src/battery.rs crates/powertrain/src/breakeven.rs crates/powertrain/src/controller.rs crates/powertrain/src/emissions.rs crates/powertrain/src/engine.rs crates/powertrain/src/fuel.rs crates/powertrain/src/restart.rs crates/powertrain/src/savings.rs
+
+/root/repo/target/debug/deps/powertrain-070d626b43c3b7d0: crates/powertrain/src/lib.rs crates/powertrain/src/battery.rs crates/powertrain/src/breakeven.rs crates/powertrain/src/controller.rs crates/powertrain/src/emissions.rs crates/powertrain/src/engine.rs crates/powertrain/src/fuel.rs crates/powertrain/src/restart.rs crates/powertrain/src/savings.rs
+
+crates/powertrain/src/lib.rs:
+crates/powertrain/src/battery.rs:
+crates/powertrain/src/breakeven.rs:
+crates/powertrain/src/controller.rs:
+crates/powertrain/src/emissions.rs:
+crates/powertrain/src/engine.rs:
+crates/powertrain/src/fuel.rs:
+crates/powertrain/src/restart.rs:
+crates/powertrain/src/savings.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/powertrain-0ba45ac45ed23500.d: crates/powertrain/src/lib.rs crates/powertrain/src/battery.rs crates/powertrain/src/breakeven.rs crates/powertrain/src/controller.rs crates/powertrain/src/emissions.rs crates/powertrain/src/engine.rs crates/powertrain/src/fuel.rs crates/powertrain/src/restart.rs crates/powertrain/src/savings.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpowertrain-0ba45ac45ed23500.rmeta: crates/powertrain/src/lib.rs crates/powertrain/src/battery.rs crates/powertrain/src/breakeven.rs crates/powertrain/src/controller.rs crates/powertrain/src/emissions.rs crates/powertrain/src/engine.rs crates/powertrain/src/fuel.rs crates/powertrain/src/restart.rs crates/powertrain/src/savings.rs Cargo.toml
+
+crates/powertrain/src/lib.rs:
+crates/powertrain/src/battery.rs:
+crates/powertrain/src/breakeven.rs:
+crates/powertrain/src/controller.rs:
+crates/powertrain/src/emissions.rs:
+crates/powertrain/src/engine.rs:
+crates/powertrain/src/fuel.rs:
+crates/powertrain/src/restart.rs:
+crates/powertrain/src/savings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/powertrain-23619d0b6525a12d.d: crates/powertrain/src/lib.rs crates/powertrain/src/battery.rs crates/powertrain/src/breakeven.rs crates/powertrain/src/controller.rs crates/powertrain/src/emissions.rs crates/powertrain/src/engine.rs crates/powertrain/src/fuel.rs crates/powertrain/src/restart.rs crates/powertrain/src/savings.rs
+
+/root/repo/target/debug/deps/libpowertrain-23619d0b6525a12d.rlib: crates/powertrain/src/lib.rs crates/powertrain/src/battery.rs crates/powertrain/src/breakeven.rs crates/powertrain/src/controller.rs crates/powertrain/src/emissions.rs crates/powertrain/src/engine.rs crates/powertrain/src/fuel.rs crates/powertrain/src/restart.rs crates/powertrain/src/savings.rs
+
+/root/repo/target/debug/deps/libpowertrain-23619d0b6525a12d.rmeta: crates/powertrain/src/lib.rs crates/powertrain/src/battery.rs crates/powertrain/src/breakeven.rs crates/powertrain/src/controller.rs crates/powertrain/src/emissions.rs crates/powertrain/src/engine.rs crates/powertrain/src/fuel.rs crates/powertrain/src/restart.rs crates/powertrain/src/savings.rs
+
+crates/powertrain/src/lib.rs:
+crates/powertrain/src/battery.rs:
+crates/powertrain/src/breakeven.rs:
+crates/powertrain/src/controller.rs:
+crates/powertrain/src/emissions.rs:
+crates/powertrain/src/engine.rs:
+crates/powertrain/src/fuel.rs:
+crates/powertrain/src/restart.rs:
+crates/powertrain/src/savings.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property-cb5de45d75f2c7f3.d: tests/property.rs
+
+/root/repo/target/debug/deps/property-cb5de45d75f2c7f3: tests/property.rs
+
+tests/property.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-03dd039d1900ff17.d: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-03dd039d1900ff17.rlib: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-03dd039d1900ff17.rmeta: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

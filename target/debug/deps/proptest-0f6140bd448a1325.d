@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-0f6140bd448a1325.d: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-0f6140bd448a1325: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-2d32e6105d56b45e.d: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-2d32e6105d56b45e: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-6f9271c874bc996d.d: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-6f9271c874bc996d.rlib: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-6f9271c874bc996d.rmeta: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-7454d7c916d550c5.d: compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-7454d7c916d550c5: compat/serde/src/lib.rs
+
+compat/serde/src/lib.rs:

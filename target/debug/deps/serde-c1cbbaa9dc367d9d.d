@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-c1cbbaa9dc367d9d.d: compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-c1cbbaa9dc367d9d.rlib: compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-c1cbbaa9dc367d9d.rmeta: compat/serde/src/lib.rs
+
+compat/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-8207fa16471cc19c.d: compat/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-8207fa16471cc19c: compat/serde_derive/src/lib.rs
+
+compat/serde_derive/src/lib.rs:

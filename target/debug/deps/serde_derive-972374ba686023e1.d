@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-972374ba686023e1.d: compat/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-972374ba686023e1.so: compat/serde_derive/src/lib.rs
+
+compat/serde_derive/src/lib.rs:

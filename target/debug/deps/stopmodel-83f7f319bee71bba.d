@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/stopmodel-83f7f319bee71bba.d: crates/stopmodel/src/lib.rs crates/stopmodel/src/dist/mod.rs crates/stopmodel/src/dist/gamma.rs crates/stopmodel/src/dist/transform.rs crates/stopmodel/src/fit.rs crates/stopmodel/src/kstest.rs crates/stopmodel/src/moments.rs crates/stopmodel/src/sampling.rs
+
+/root/repo/target/debug/deps/stopmodel-83f7f319bee71bba: crates/stopmodel/src/lib.rs crates/stopmodel/src/dist/mod.rs crates/stopmodel/src/dist/gamma.rs crates/stopmodel/src/dist/transform.rs crates/stopmodel/src/fit.rs crates/stopmodel/src/kstest.rs crates/stopmodel/src/moments.rs crates/stopmodel/src/sampling.rs
+
+crates/stopmodel/src/lib.rs:
+crates/stopmodel/src/dist/mod.rs:
+crates/stopmodel/src/dist/gamma.rs:
+crates/stopmodel/src/dist/transform.rs:
+crates/stopmodel/src/fit.rs:
+crates/stopmodel/src/kstest.rs:
+crates/stopmodel/src/moments.rs:
+crates/stopmodel/src/sampling.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/stopmodel-e3df53c5624b7f62.d: crates/stopmodel/src/lib.rs crates/stopmodel/src/dist/mod.rs crates/stopmodel/src/dist/gamma.rs crates/stopmodel/src/dist/transform.rs crates/stopmodel/src/fit.rs crates/stopmodel/src/kstest.rs crates/stopmodel/src/moments.rs crates/stopmodel/src/sampling.rs
+
+/root/repo/target/debug/deps/libstopmodel-e3df53c5624b7f62.rlib: crates/stopmodel/src/lib.rs crates/stopmodel/src/dist/mod.rs crates/stopmodel/src/dist/gamma.rs crates/stopmodel/src/dist/transform.rs crates/stopmodel/src/fit.rs crates/stopmodel/src/kstest.rs crates/stopmodel/src/moments.rs crates/stopmodel/src/sampling.rs
+
+/root/repo/target/debug/deps/libstopmodel-e3df53c5624b7f62.rmeta: crates/stopmodel/src/lib.rs crates/stopmodel/src/dist/mod.rs crates/stopmodel/src/dist/gamma.rs crates/stopmodel/src/dist/transform.rs crates/stopmodel/src/fit.rs crates/stopmodel/src/kstest.rs crates/stopmodel/src/moments.rs crates/stopmodel/src/sampling.rs
+
+crates/stopmodel/src/lib.rs:
+crates/stopmodel/src/dist/mod.rs:
+crates/stopmodel/src/dist/gamma.rs:
+crates/stopmodel/src/dist/transform.rs:
+crates/stopmodel/src/fit.rs:
+crates/stopmodel/src/kstest.rs:
+crates/stopmodel/src/moments.rs:
+crates/stopmodel/src/sampling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/summary_property-2a9ad32a646ce8b9.d: tests/summary_property.rs
+
+/root/repo/target/debug/deps/summary_property-2a9ad32a646ce8b9: tests/summary_property.rs
+
+tests/summary_property.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_stops-59cc69dd2bf64196.d: crates/bench/src/bin/table1_stops.rs
+
+/root/repo/target/debug/deps/table1_stops-59cc69dd2bf64196: crates/bench/src/bin/table1_stops.rs
+
+crates/bench/src/bin/table1_stops.rs:

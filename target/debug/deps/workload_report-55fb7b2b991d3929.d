@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_report-55fb7b2b991d3929.d: crates/bench/src/bin/workload_report.rs
+
+/root/repo/target/debug/deps/workload_report-55fb7b2b991d3929: crates/bench/src/bin/workload_report.rs
+
+crates/bench/src/bin/workload_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_policy-aa952f31f43d6dac.d: examples/adaptive_policy.rs
+
+/root/repo/target/debug/examples/adaptive_policy-aa952f31f43d6dac: examples/adaptive_policy.rs
+
+examples/adaptive_policy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/driving_tips-5a36af71a3539326.d: examples/driving_tips.rs
+
+/root/repo/target/debug/examples/driving_tips-5a36af71a3539326: examples/driving_tips.rs
+
+examples/driving_tips.rs:

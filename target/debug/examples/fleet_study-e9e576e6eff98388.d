@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fleet_study-e9e576e6eff98388.d: examples/fleet_study.rs
+
+/root/repo/target/debug/examples/fleet_study-e9e576e6eff98388: examples/fleet_study.rs
+
+examples/fleet_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/model_selection-f8eaf416f4f5c2c9.d: examples/model_selection.rs
+
+/root/repo/target/debug/examples/model_selection-f8eaf416f4f5c2c9: examples/model_selection.rs
+
+examples/model_selection.rs:

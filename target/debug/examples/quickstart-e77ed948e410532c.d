@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e77ed948e410532c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e77ed948e410532c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sss_controller-5b89939bc9a46319.d: examples/sss_controller.rs
+
+/root/repo/target/debug/examples/sss_controller-5b89939bc9a46319: examples/sss_controller.rs
+
+examples/sss_controller.rs:

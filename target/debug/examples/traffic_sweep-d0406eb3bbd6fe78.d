@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/traffic_sweep-d0406eb3bbd6fe78.d: examples/traffic_sweep.rs
+
+/root/repo/target/debug/examples/traffic_sweep-d0406eb3bbd6fe78: examples/traffic_sweep.rs
+
+examples/traffic_sweep.rs:

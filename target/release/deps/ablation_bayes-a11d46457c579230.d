@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_bayes-a11d46457c579230.d: crates/bench/src/bin/ablation_bayes.rs
+
+/root/repo/target/release/deps/ablation_bayes-a11d46457c579230: crates/bench/src/bin/ablation_bayes.rs
+
+crates/bench/src/bin/ablation_bayes.rs:

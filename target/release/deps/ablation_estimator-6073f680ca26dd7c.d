@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_estimator-6073f680ca26dd7c.d: crates/bench/src/bin/ablation_estimator.rs
+
+/root/repo/target/release/deps/ablation_estimator-6073f680ca26dd7c: crates/bench/src/bin/ablation_estimator.rs
+
+crates/bench/src/bin/ablation_estimator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/appc_breakeven-c47ecc3f7fe186fd.d: crates/bench/src/bin/appc_breakeven.rs
+
+/root/repo/target/release/deps/appc_breakeven-c47ecc3f7fe186fd: crates/bench/src/bin/appc_breakeven.rs
+
+crates/bench/src/bin/appc_breakeven.rs:

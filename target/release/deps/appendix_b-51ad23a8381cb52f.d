@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/appendix_b-51ad23a8381cb52f.d: crates/bench/src/bin/appendix_b.rs
+
+/root/repo/target/release/deps/appendix_b-51ad23a8381cb52f: crates/bench/src/bin/appendix_b.rs
+
+crates/bench/src/bin/appendix_b.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/automotive_idling-8bed48196e6117eb.d: src/lib.rs
+
+/root/repo/target/release/deps/libautomotive_idling-8bed48196e6117eb.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libautomotive_idling-8bed48196e6117eb.rmeta: src/lib.rs
+
+src/lib.rs:

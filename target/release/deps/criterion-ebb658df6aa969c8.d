@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-ebb658df6aa969c8.d: compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-ebb658df6aa969c8.rlib: compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-ebb658df6aa969c8.rmeta: compat/criterion/src/lib.rs
+
+compat/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_multislope-ebf707f1f774387b.d: crates/bench/src/bin/ext_multislope.rs
+
+/root/repo/target/release/deps/ext_multislope-ebf707f1f774387b: crates/bench/src/bin/ext_multislope.rs
+
+crates/bench/src/bin/ext_multislope.rs:

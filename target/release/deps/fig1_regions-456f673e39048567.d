@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_regions-456f673e39048567.d: crates/bench/src/bin/fig1_regions.rs
+
+/root/repo/target/release/deps/fig1_regions-456f673e39048567: crates/bench/src/bin/fig1_regions.rs
+
+crates/bench/src/bin/fig1_regions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_projections-9ae5318b3fc78052.d: crates/bench/src/bin/fig2_projections.rs
+
+/root/repo/target/release/deps/fig2_projections-9ae5318b3fc78052: crates/bench/src/bin/fig2_projections.rs
+
+crates/bench/src/bin/fig2_projections.rs:

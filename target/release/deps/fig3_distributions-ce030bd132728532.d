@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_distributions-ce030bd132728532.d: crates/bench/src/bin/fig3_distributions.rs
+
+/root/repo/target/release/deps/fig3_distributions-ce030bd132728532: crates/bench/src/bin/fig3_distributions.rs
+
+crates/bench/src/bin/fig3_distributions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_vehicle_test-6e493de010572679.d: crates/bench/src/bin/fig4_vehicle_test.rs
+
+/root/repo/target/release/deps/fig4_vehicle_test-6e493de010572679: crates/bench/src/bin/fig4_vehicle_test.rs
+
+crates/bench/src/bin/fig4_vehicle_test.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig56_sweep-273b96494ada8aa5.d: crates/bench/src/bin/fig56_sweep.rs
+
+/root/repo/target/release/deps/fig56_sweep-273b96494ada8aa5: crates/bench/src/bin/fig56_sweep.rs
+
+crates/bench/src/bin/fig56_sweep.rs:

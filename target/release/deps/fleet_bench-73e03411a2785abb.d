@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fleet_bench-73e03411a2785abb.d: crates/bench/benches/fleet_bench.rs
+
+/root/repo/target/release/deps/fleet_bench-73e03411a2785abb: crates/bench/benches/fleet_bench.rs
+
+crates/bench/benches/fleet_bench.rs:

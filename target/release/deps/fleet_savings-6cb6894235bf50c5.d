@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fleet_savings-6cb6894235bf50c5.d: crates/bench/src/bin/fleet_savings.rs
+
+/root/repo/target/release/deps/fleet_savings-6cb6894235bf50c5: crates/bench/src/bin/fleet_savings.rs
+
+crates/bench/src/bin/fleet_savings.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/game_frontier-a919f352ce135f65.d: crates/bench/src/bin/game_frontier.rs
+
+/root/repo/target/release/deps/game_frontier-a919f352ce135f65: crates/bench/src/bin/game_frontier.rs
+
+crates/bench/src/bin/game_frontier.rs:

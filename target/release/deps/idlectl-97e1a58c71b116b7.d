@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/idlectl-97e1a58c71b116b7.d: src/bin/idlectl/main.rs src/bin/idlectl/args.rs src/bin/idlectl/commands.rs
+
+/root/repo/target/release/deps/idlectl-97e1a58c71b116b7: src/bin/idlectl/main.rs src/bin/idlectl/args.rs src/bin/idlectl/commands.rs
+
+src/bin/idlectl/main.rs:
+src/bin/idlectl/args.rs:
+src/bin/idlectl/commands.rs:

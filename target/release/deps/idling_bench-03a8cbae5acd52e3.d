@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/idling_bench-03a8cbae5acd52e3.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libidling_bench-03a8cbae5acd52e3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libidling_bench-03a8cbae5acd52e3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

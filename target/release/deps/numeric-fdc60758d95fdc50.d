@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/numeric-fdc60758d95fdc50.d: crates/numeric/src/lib.rs crates/numeric/src/histogram.rs crates/numeric/src/quadrature.rs crates/numeric/src/rootfind.rs crates/numeric/src/simplex.rs crates/numeric/src/special.rs crates/numeric/src/stats.rs
+
+/root/repo/target/release/deps/libnumeric-fdc60758d95fdc50.rlib: crates/numeric/src/lib.rs crates/numeric/src/histogram.rs crates/numeric/src/quadrature.rs crates/numeric/src/rootfind.rs crates/numeric/src/simplex.rs crates/numeric/src/special.rs crates/numeric/src/stats.rs
+
+/root/repo/target/release/deps/libnumeric-fdc60758d95fdc50.rmeta: crates/numeric/src/lib.rs crates/numeric/src/histogram.rs crates/numeric/src/quadrature.rs crates/numeric/src/rootfind.rs crates/numeric/src/simplex.rs crates/numeric/src/special.rs crates/numeric/src/stats.rs
+
+crates/numeric/src/lib.rs:
+crates/numeric/src/histogram.rs:
+crates/numeric/src/quadrature.rs:
+crates/numeric/src/rootfind.rs:
+crates/numeric/src/simplex.rs:
+crates/numeric/src/special.rs:
+crates/numeric/src/stats.rs:

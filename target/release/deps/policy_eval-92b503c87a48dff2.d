@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/policy_eval-92b503c87a48dff2.d: crates/bench/benches/policy_eval.rs
+
+/root/repo/target/release/deps/policy_eval-92b503c87a48dff2: crates/bench/benches/policy_eval.rs
+
+crates/bench/benches/policy_eval.rs:

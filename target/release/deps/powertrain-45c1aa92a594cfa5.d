@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/powertrain-45c1aa92a594cfa5.d: crates/powertrain/src/lib.rs crates/powertrain/src/battery.rs crates/powertrain/src/breakeven.rs crates/powertrain/src/controller.rs crates/powertrain/src/emissions.rs crates/powertrain/src/engine.rs crates/powertrain/src/fuel.rs crates/powertrain/src/restart.rs crates/powertrain/src/savings.rs
+
+/root/repo/target/release/deps/libpowertrain-45c1aa92a594cfa5.rlib: crates/powertrain/src/lib.rs crates/powertrain/src/battery.rs crates/powertrain/src/breakeven.rs crates/powertrain/src/controller.rs crates/powertrain/src/emissions.rs crates/powertrain/src/engine.rs crates/powertrain/src/fuel.rs crates/powertrain/src/restart.rs crates/powertrain/src/savings.rs
+
+/root/repo/target/release/deps/libpowertrain-45c1aa92a594cfa5.rmeta: crates/powertrain/src/lib.rs crates/powertrain/src/battery.rs crates/powertrain/src/breakeven.rs crates/powertrain/src/controller.rs crates/powertrain/src/emissions.rs crates/powertrain/src/engine.rs crates/powertrain/src/fuel.rs crates/powertrain/src/restart.rs crates/powertrain/src/savings.rs
+
+crates/powertrain/src/lib.rs:
+crates/powertrain/src/battery.rs:
+crates/powertrain/src/breakeven.rs:
+crates/powertrain/src/controller.rs:
+crates/powertrain/src/emissions.rs:
+crates/powertrain/src/engine.rs:
+crates/powertrain/src/fuel.rs:
+crates/powertrain/src/restart.rs:
+crates/powertrain/src/savings.rs:

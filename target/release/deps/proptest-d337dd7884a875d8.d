@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-d337dd7884a875d8.d: compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d337dd7884a875d8.rlib: compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d337dd7884a875d8.rmeta: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-82afb65f5a67ef10.d: compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-82afb65f5a67ef10.rlib: compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-82afb65f5a67ef10.rmeta: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/stopmodel-e458c301859d220a.d: crates/stopmodel/src/lib.rs crates/stopmodel/src/dist/mod.rs crates/stopmodel/src/dist/gamma.rs crates/stopmodel/src/dist/transform.rs crates/stopmodel/src/fit.rs crates/stopmodel/src/kstest.rs crates/stopmodel/src/moments.rs crates/stopmodel/src/sampling.rs
+
+/root/repo/target/release/deps/libstopmodel-e458c301859d220a.rlib: crates/stopmodel/src/lib.rs crates/stopmodel/src/dist/mod.rs crates/stopmodel/src/dist/gamma.rs crates/stopmodel/src/dist/transform.rs crates/stopmodel/src/fit.rs crates/stopmodel/src/kstest.rs crates/stopmodel/src/moments.rs crates/stopmodel/src/sampling.rs
+
+/root/repo/target/release/deps/libstopmodel-e458c301859d220a.rmeta: crates/stopmodel/src/lib.rs crates/stopmodel/src/dist/mod.rs crates/stopmodel/src/dist/gamma.rs crates/stopmodel/src/dist/transform.rs crates/stopmodel/src/fit.rs crates/stopmodel/src/kstest.rs crates/stopmodel/src/moments.rs crates/stopmodel/src/sampling.rs
+
+crates/stopmodel/src/lib.rs:
+crates/stopmodel/src/dist/mod.rs:
+crates/stopmodel/src/dist/gamma.rs:
+crates/stopmodel/src/dist/transform.rs:
+crates/stopmodel/src/fit.rs:
+crates/stopmodel/src/kstest.rs:
+crates/stopmodel/src/moments.rs:
+crates/stopmodel/src/sampling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_stops-086b215d7595ce05.d: crates/bench/src/bin/table1_stops.rs
+
+/root/repo/target/release/deps/table1_stops-086b215d7595ce05: crates/bench/src/bin/table1_stops.rs
+
+crates/bench/src/bin/table1_stops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/workload_report-2f9b0b0cfaad7b48.d: crates/bench/src/bin/workload_report.rs
+
+/root/repo/target/release/deps/workload_report-2f9b0b0cfaad7b48: crates/bench/src/bin/workload_report.rs
+
+crates/bench/src/bin/workload_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scratch_probe-1f5650f2bdffe268.d: examples/scratch_probe.rs
+
+/root/repo/target/release/examples/scratch_probe-1f5650f2bdffe268: examples/scratch_probe.rs
+
+examples/scratch_probe.rs:

@@ -5,10 +5,7 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 fn idlectl(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_idlectl"))
-        .args(args)
-        .output()
-        .expect("can spawn idlectl")
+    Command::new(env!("CARGO_BIN_EXE_idlectl")).args(args).output().expect("can spawn idlectl")
 }
 
 fn stdout(out: &Output) -> String {
@@ -75,7 +72,15 @@ fn synthesize_then_evaluate_then_simulate() {
     let dir = temp_dir("pipeline");
     let dir_s = dir.0.to_str().unwrap();
     let out = idlectl(&[
-        "synthesize", "--area", "atlanta", "--vehicles", "2", "--seed", "11", "--out", dir_s,
+        "synthesize",
+        "--area",
+        "atlanta",
+        "--vehicles",
+        "2",
+        "--seed",
+        "11",
+        "--out",
+        dir_s,
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let trace = dir.0.join("atlanta_0000.csv");

@@ -1,0 +1,46 @@
+//! Determinism guarantees of the shared parallel runtime: sharding work
+//! over scoped threads must never change results. Fleet evaluation and
+//! the bootstrap resampler are required to be **bit-identical** for any
+//! worker-thread count, so CSV artifacts and paper tables reproduce
+//! exactly on any machine.
+
+use automotive_idling::drivesim::{Area, FleetConfig, VehicleTrace};
+use automotive_idling::skirental::analysis::bootstrap_cr_ci_parallel;
+use automotive_idling::skirental::fleet_eval::{evaluate_fleet, evaluate_fleet_parallel};
+use automotive_idling::skirental::policy::Det;
+use automotive_idling::skirental::{BreakEven, Strategy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const THREADS: [usize; 5] = [1, 2, 4, 7, 64];
+
+#[test]
+fn fleet_eval_bit_identical_across_thread_counts() {
+    let traces = FleetConfig::new(Area::Chicago).vehicles(23).synthesize(9);
+    let stops: Vec<Vec<f64>> = traces.iter().map(VehicleTrace::stop_lengths).collect();
+    let b = BreakEven::SSV;
+    let reference = evaluate_fleet(&stops, b, &Strategy::ALL).unwrap();
+    for threads in THREADS {
+        let report = evaluate_fleet_parallel(&stops, b, &Strategy::ALL, threads).unwrap();
+        // PartialEq on f64 fields: any drift — even 1 ulp — fails here.
+        assert_eq!(report, reference, "fleet report drifted at {threads} threads");
+    }
+}
+
+#[test]
+fn bootstrap_ci_bit_identical_across_thread_counts() {
+    let traces = FleetConfig::new(Area::Atlanta).vehicles(1).days(14).synthesize(31);
+    let stops = traces[0].stop_lengths();
+    let b = BreakEven::SSV;
+    let policy = Det::new(b);
+    let reference = {
+        let mut rng = StdRng::seed_from_u64(123);
+        bootstrap_cr_ci_parallel(&policy, &stops, 300, 0.95, &mut rng, 1).unwrap()
+    };
+    for threads in THREADS {
+        let mut rng = StdRng::seed_from_u64(123);
+        let ci = bootstrap_cr_ci_parallel(&policy, &stops, 300, 0.95, &mut rng, threads).unwrap();
+        assert_eq!(ci, reference, "bootstrap CI drifted at {threads} threads");
+    }
+    assert!(reference.lo <= reference.point && reference.point <= reference.hi);
+}

@@ -18,9 +18,7 @@ fn policies(spec: &VehicleSpec, stops: &[f64]) -> Vec<Box<dyn Policy>> {
         Box::new(Det::new(b)),
         Box::new(BDet::new(b, 0.4 * b.seconds()).expect("valid threshold")),
         Box::new(NRand::new(b)),
-        Box::new(
-            ConstrainedStats::from_samples(stops, b).expect("non-empty").optimal_policy(),
-        ),
+        Box::new(ConstrainedStats::from_samples(stops, b).expect("non-empty").optimal_policy()),
     ]
 }
 
@@ -38,8 +36,7 @@ fn controller_ledger_equals_analytic_simulation() {
             .drive(&stops, &mut rng1)
             .expect("valid trace");
         let mut rng2 = StdRng::seed_from_u64(77);
-        let analytic =
-            simulate_total_cost(policy.as_ref(), &stops, &mut rng2).expect("non-empty");
+        let analytic = simulate_total_cost(policy.as_ref(), &stops, &mut rng2).expect("non-empty");
         assert!(
             (out.idle_equivalent_s - analytic).abs() < 1e-9,
             "{}: controller {} vs analytic {}",
@@ -142,10 +139,8 @@ fn conventional_vehicle_restarts_less() {
     let p_conv = Toi::new(conv.break_even());
     let mut rng1 = StdRng::seed_from_u64(41);
     let mut rng2 = StdRng::seed_from_u64(41);
-    let out_ssv =
-        StopStartController::new(&p_ssv, ssv).drive(&stops, &mut rng1).expect("valid");
-    let out_conv =
-        StopStartController::new(&p_conv, conv).drive(&stops, &mut rng2).expect("valid");
+    let out_ssv = StopStartController::new(&p_ssv, ssv).drive(&stops, &mut rng1).expect("valid");
+    let out_conv = StopStartController::new(&p_conv, conv).drive(&stops, &mut rng2).expect("valid");
     assert_eq!(out_ssv.restarts, out_conv.restarts);
     assert!(out_conv.idle_equivalent_s > out_ssv.idle_equivalent_s);
     // And the conventional wear bill includes the starter.

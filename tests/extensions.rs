@@ -70,11 +70,7 @@ fn adaptive_controller_approaches_oracle_on_synthetic_vehicle() {
     let mut ctl = AdaptiveController::new(b);
     let out = ctl.run(&stops, &mut rng).unwrap();
     let oracle = oracle_cr(&stops, b).unwrap();
-    assert!(
-        out.cr <= oracle + 0.25,
-        "adaptive {} should approach oracle {oracle}",
-        out.cr
-    );
+    assert!(out.cr <= oracle + 0.25, "adaptive {} should approach oracle {oracle}", out.cr);
     assert!(out.cr >= 1.0 - 1e-9);
 }
 
@@ -91,9 +87,8 @@ fn timestamped_controller_runs_diurnal_fleets() {
         let stops = trace.stop_lengths();
         let policy = ConstrainedStats::from_samples(&stops, b).unwrap().optimal_policy();
         let mut rng1 = StdRng::seed_from_u64(29);
-        let ts = StopStartController::new(&policy, spec)
-            .drive_timestamped(&events, &mut rng1)
-            .unwrap();
+        let ts =
+            StopStartController::new(&policy, spec).drive_timestamped(&events, &mut rng1).unwrap();
         let mut rng2 = StdRng::seed_from_u64(29);
         let fixed = StopStartController::new(&policy, spec).drive(&stops, &mut rng2).unwrap();
         assert!(
@@ -124,18 +119,15 @@ fn scenario_distributions_feed_fleet_machinery() {
     let b = BreakEven::SSV;
     let mut rng = StdRng::seed_from_u64(31);
     let dist = Scenario::Taxi.stop_distribution();
-    let vehicles: Vec<Vec<f64>> = (0..10)
-        .map(|_| (0..120).map(|_| dist.sample(&mut rng)).collect())
-        .collect();
+    let vehicles: Vec<Vec<f64>> =
+        (0..10).map(|_| (0..120).map(|_| dist.sample(&mut rng)).collect()).collect();
     let report = automotive_idling::skirental::fleet_eval::evaluate_fleet(
         &vehicles,
         b,
         &automotive_idling::skirental::Strategy::ALL,
     )
     .unwrap();
-    let proposed = report
-        .summary_of(automotive_idling::skirental::Strategy::Proposed)
-        .unwrap();
+    let proposed = report.summary_of(automotive_idling::skirental::Strategy::Proposed).unwrap();
     for s in &report.summaries {
         assert!(proposed.worst_cr <= s.worst_cr + 1e-9);
     }
@@ -144,19 +136,27 @@ fn scenario_distributions_feed_fleet_machinery() {
 #[test]
 fn proposed_choice_varies_across_real_vehicles() {
     // On heterogeneous fleets the proposed policy is not a constant rule:
-    // different vehicles get different vertices.
+    // different vehicles get different vertices. A single area over a full
+    // week concentrates every vehicle's (μ, q) estimate near the area mean
+    // (where DET wins), so mix all three metro areas and keep one recorded
+    // day per vehicle — the per-vehicle moment spread is then wide enough
+    // that at least two vertices win somewhere.
     let b = BreakEven::SSV;
-    let traces = FleetConfig::new(Area::Chicago).vehicles(80).synthesize(41);
     let mut choices = std::collections::BTreeSet::new();
-    for t in &traces {
-        let stats = ConstrainedStats::from_samples(&t.stop_lengths(), b).unwrap();
-        choices.insert(match stats.optimal_choice() {
-            StrategyChoice::Det => "DET",
-            StrategyChoice::Toi => "TOI",
-            StrategyChoice::BDet { .. } => "b-DET",
-            StrategyChoice::NRand => "N-Rand",
-        });
+    let mut total_stops = 0usize;
+    for area in Area::ALL {
+        let traces = FleetConfig::new(area).vehicles(30).days(1).synthesize(41);
+        total_stops += traces.iter().map(VehicleTrace::num_stops).sum::<usize>();
+        for t in &traces {
+            let stats = ConstrainedStats::from_samples(&t.stop_lengths(), b).unwrap();
+            choices.insert(match stats.optimal_choice() {
+                StrategyChoice::Det => "DET",
+                StrategyChoice::Toi => "TOI",
+                StrategyChoice::BDet { .. } => "b-DET",
+                StrategyChoice::NRand => "N-Rand",
+            });
+        }
     }
     assert!(choices.len() >= 2, "choices: {choices:?}");
-    let _ = traces.iter().map(VehicleTrace::num_stops).sum::<usize>();
+    assert!(total_stops > 0);
 }

@@ -6,7 +6,9 @@ use automotive_idling::drivesim::{Area, FleetConfig, Table1Row, VehicleTrace};
 use automotive_idling::numeric::special::ks_p_value;
 use automotive_idling::powertrain::VehicleSpec;
 use automotive_idling::skirental::fleet_eval::evaluate_fleet;
-use automotive_idling::skirental::{e_ratio, BreakEven, ConstrainedStats, Strategy, StrategyChoice};
+use automotive_idling::skirental::{
+    e_ratio, BreakEven, ConstrainedStats, Strategy, StrategyChoice,
+};
 use automotive_idling::stopmodel::dist::Exponential;
 use automotive_idling::stopmodel::kstest::ks_statistic;
 

@@ -1,0 +1,155 @@
+//! Property-based tests of the [`StopSummary`] sufficient-statistics
+//! engine: every O(log n) query must agree with the naive O(n) scan over
+//! the raw trace it summarizes, and every policy's closed-form
+//! `total_cost_on` override must agree with the per-stop default.
+
+use automotive_idling::skirental::analysis::{empirical_cr, empirical_cr_with};
+use automotive_idling::skirental::bayes::BayesOpt;
+use automotive_idling::skirental::policy::{BDet, Det, MomRand, NRand, Nev, Policy, Toi};
+use automotive_idling::skirental::{BreakEven, ConstrainedStats, StopSummary};
+use proptest::prelude::*;
+
+/// A non-empty vector of stop lengths, heavy on values near the paper's
+/// break-even points so both sides of B are exercised.
+fn stops_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..600.0, 1..200)
+}
+
+/// Relative-tolerance agreement check: summary sums accumulate in sorted
+/// order, naive scans in input order, so exact equality is not promised —
+/// 1e-9 relative is.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    #[test]
+    fn counting_queries_match_naive_scan(
+        stops in stops_strategy(),
+        x in 0.0f64..700.0,
+    ) {
+        let s = StopSummary::new(&stops).unwrap();
+        prop_assert_eq!(s.len(), stops.len());
+        prop_assert_eq!(s.count_below(x), stops.iter().filter(|&&y| y < x).count());
+        prop_assert_eq!(s.count_at_most(x), stops.iter().filter(|&&y| y <= x).count());
+        prop_assert_eq!(s.count_at_least(x), stops.iter().filter(|&&y| y >= x).count());
+        prop_assert_eq!(s.positive_count(), stops.iter().filter(|&&y| y > 0.0).count());
+    }
+
+    #[test]
+    fn sum_queries_match_naive_scan(
+        stops in stops_strategy(),
+        x in 0.0f64..700.0,
+    ) {
+        let s = StopSummary::new(&stops).unwrap();
+        let below: f64 = stops.iter().filter(|&&y| y < x).sum();
+        let at_most: f64 = stops.iter().filter(|&&y| y <= x).sum();
+        let sq_at_most: f64 = stops.iter().filter(|&&y| y <= x).map(|&y| y * y).sum();
+        prop_assert!(close(s.sum_below(x), below), "sum_below {} vs {below}", s.sum_below(x));
+        prop_assert!(close(s.sum_at_most(x), at_most));
+        prop_assert!(close(s.sum_sq_at_most(x), sq_at_most));
+        prop_assert!(close(s.total(), stops.iter().sum()));
+        prop_assert!(close(s.mean(), stops.iter().sum::<f64>() / stops.len() as f64));
+    }
+
+    #[test]
+    fn moment_queries_match_naive_scan(
+        stops in stops_strategy(),
+        b in 1.0f64..200.0,
+    ) {
+        let s = StopSummary::new(&stops).unwrap();
+        let n = stops.len() as f64;
+        let partial: f64 = stops.iter().filter(|&&y| y < b).sum::<f64>() / n;
+        let tail = stops.iter().filter(|&&y| y >= b).count() as f64 / n;
+        prop_assert!(close(s.partial_mean(b), partial));
+        prop_assert!(close(s.tail_prob(b), tail));
+
+        // constrained_stats must see exactly the same moments as the
+        // batch constructor that scans the raw trace.
+        let be = BreakEven::new(b).unwrap();
+        let from_summary = s.constrained_stats(be).unwrap();
+        let from_scan = ConstrainedStats::from_samples(&stops, be).unwrap();
+        prop_assert!(close(from_summary.moments().mu_b_minus, from_scan.moments().mu_b_minus));
+        prop_assert!(close(from_summary.moments().q_b_plus, from_scan.moments().q_b_plus));
+    }
+
+    #[test]
+    fn cost_queries_match_naive_scan(
+        stops in stops_strategy(),
+        b in 1.0f64..200.0,
+        x_frac in 0.0f64..3.0,
+    ) {
+        let be = BreakEven::new(b).unwrap();
+        let s = StopSummary::new(&stops).unwrap();
+        let offline: f64 = stops.iter().map(|&y| be.offline_cost(y)).sum();
+        prop_assert!(close(s.offline_total(be), offline));
+
+        let x = x_frac * b;
+        let fixed: f64 = stops.iter().map(|&y| be.online_cost(x, y)).sum();
+        prop_assert!(close(s.threshold_total_cost(x, be), fixed));
+
+        // "Never shut down" is the infinite threshold.
+        prop_assert!(close(s.threshold_total_cost(f64::INFINITY, be), s.total()));
+    }
+
+    #[test]
+    fn total_cost_on_overrides_match_per_stop_default(
+        stops in stops_strategy(),
+        b in 1.0f64..200.0,
+    ) {
+        let be = BreakEven::new(b).unwrap();
+        let s = StopSummary::new(&stops).unwrap();
+        let mean = s.mean();
+        let policies: Vec<Box<dyn Policy>> = vec![
+            Box::new(Nev::new(be)),
+            Box::new(Toi::new(be)),
+            Box::new(Det::new(be)),
+            Box::new(BDet::new(be, 0.4 * b).unwrap()),
+            Box::new(NRand::new(be)),
+            Box::new(MomRand::new(be, mean).unwrap()),
+            Box::new(ConstrainedStats::from_samples(&stops, be).unwrap().optimal_policy()),
+            Box::new(BayesOpt::for_summary(&s, be)),
+        ];
+        for p in &policies {
+            let naive: f64 = stops.iter().map(|&y| p.expected_cost(y)).sum();
+            let fast = p.total_cost_on(&s);
+            prop_assert!(close(fast, naive), "{}: {fast} vs {naive}", p.name());
+        }
+    }
+
+    #[test]
+    fn empirical_cr_with_matches_scan_path(
+        stops in stops_strategy(),
+        b in 1.0f64..200.0,
+    ) {
+        let be = BreakEven::new(b).unwrap();
+        let s = StopSummary::new(&stops).unwrap();
+        for p in [&Det::new(be) as &dyn Policy, &Toi::new(be), &NRand::new(be)] {
+            let scan = empirical_cr(p, &stops).unwrap();
+            let fast = empirical_cr_with(p, &s);
+            prop_assert!(close(fast, scan), "{}: {fast} vs {scan}", p.name());
+        }
+    }
+
+    #[test]
+    fn hindsight_never_beaten_by_probed_threshold(
+        stops in stops_strategy(),
+        b in 1.0f64..200.0,
+        probe_frac in 0.0f64..4.0,
+    ) {
+        let be = BreakEven::new(b).unwrap();
+        let s = StopSummary::new(&stops).unwrap();
+        let (best_x, best_cost) = s.hindsight(be);
+        prop_assert!(close(best_cost, s.threshold_total_cost(best_x, be)));
+        let probe = probe_frac * b;
+        prop_assert!(
+            best_cost <= s.threshold_total_cost(probe, be) + 1e-9,
+            "hindsight {best_cost} beaten by x = {probe}"
+        );
+        prop_assert!(best_cost <= s.threshold_total_cost(f64::INFINITY, be) + 1e-9);
+        prop_assert!(best_cost <= s.threshold_total_cost(0.0, be) + 1e-9);
+        // Hindsight is offline-optimal per stop, so it can never do
+        // better than the clairvoyant offline adversary.
+        prop_assert!(best_cost + 1e-9 >= s.offline_total(be));
+    }
+}
