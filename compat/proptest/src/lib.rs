@@ -374,7 +374,11 @@ macro_rules! prop_assert {
         $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
     };
     ($cond:expr, $($fmt:tt)+) => {
-        if !($cond) {
+        // `if cond {} else { fail }` rather than `if !cond { fail }`:
+        // with partially ordered operands (NaN) the negated form trips
+        // `clippy::neg_cmp_op_on_partial_ord` at every call site.
+        if $cond {
+        } else {
             return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
                 ::std::format!($($fmt)+),
             ));
@@ -425,7 +429,7 @@ mod tests {
         #[test]
         fn vec_sizes_in_range(v in prop::collection::vec(0.0f64..1.0, 2..6)) {
             prop_assert!(v.len() >= 2 && v.len() < 6);
-            prop_assert_eq!(v.len(), v.iter().count());
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
         }
 
         #[test]

@@ -1,0 +1,265 @@
+//! Fault-rate × policy sweep: how much competitive ratio survives a
+//! deteriorating sensor stream.
+//!
+//! Two experiments, both deterministic and sharded over the
+//! `skirental::parallel` runtime:
+//!
+//! 1. **Realistic fleet** — synthesized Chicago vehicles whose stop
+//!    *readings* pass through a composed [`FaultPlan`] (dropout, stuck-at
+//!    bursts, NaN/negative corruption) at rates {0, 1%, 5%, 20%}. Three
+//!    controllers drive every vehicle on identical true stops: the
+//!    adaptive controller with a perfect sensor (baseline), the
+//!    trust-gated [`DegradedController`], and an *unguarded* adaptive
+//!    controller that ingests any reading that would not crash it.
+//! 2. **Adversarial fixture** — 300 000 jittered sub-second stops, where a
+//!    stuck duration register (900 s bursts) makes the unguarded
+//!    estimator's window go `q̂ → 1` and pay the restart cost on every
+//!    tiny stop. The degraded controller must stay within the
+//!    distribution-free N-Rand bound `e/(e−1) + 0.05` at every fault
+//!    rate, while the unguarded controller blows through it at every
+//!    nonzero rate; at rate 0 the degraded controller must be
+//!    bit-identical to the plain [`AdaptiveController`].
+//!
+//! Output: tables on stdout, `target/figures/fault_sweep_fleet.csv` and
+//! `fault_sweep_adversarial.csv`.
+
+use drivesim::faults::{Fault, FaultPlan};
+use drivesim::{Area, FleetConfig};
+use idling_bench::{fmt_cr, worker_threads, write_csv};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use skirental::estimator::{realized_cr, AdaptiveController};
+use skirental::parallel::chunked_map;
+use skirental::{e_ratio, BreakEven, DegradedController};
+use stopmodel::uniform01;
+
+const SEED: u64 = 4102;
+const VEHICLES: usize = 24;
+const ESTIMATOR_WINDOW: usize = 50;
+const ADVERSARIAL_STOPS: usize = 300_000;
+const FAULT_RATES: [f64; 4] = [0.0, 0.01, 0.05, 0.20];
+
+/// Per-run cost sums plus degraded-mode diagnostics.
+#[derive(Debug, Clone, Copy, Default)]
+struct Sums {
+    clean_online: f64,
+    degraded_online: f64,
+    unguarded_online: f64,
+    offline: f64,
+    anomalies: u64,
+    readings: u64,
+    decisions_full: usize,
+    decisions_degraded: usize,
+    decisions_untrusted: usize,
+}
+
+impl Sums {
+    fn add(&mut self, other: &Sums) {
+        self.clean_online += other.clean_online;
+        self.degraded_online += other.degraded_online;
+        self.unguarded_online += other.unguarded_online;
+        self.offline += other.offline;
+        self.anomalies += other.anomalies;
+        self.readings += other.readings;
+        self.decisions_full += other.decisions_full;
+        self.decisions_degraded += other.decisions_degraded;
+        self.decisions_untrusted += other.decisions_untrusted;
+    }
+}
+
+/// A fault plan mixing dropout, stuck-at bursts, and outright garbage so
+/// the *total* corrupted-reading fraction is `rate`.
+fn plan_for(rate: f64, stuck_run: usize) -> FaultPlan {
+    FaultPlan::new(vec![
+        Fault::Dropout { rate: rate * 0.3 },
+        Fault::StuckAt { rate: rate * 0.5, run: stuck_run, value_s: 900.0 },
+        Fault::Corrupt { rate: rate * 0.2 },
+    ])
+    .unwrap_or_else(|e| unreachable!("valid plan for rate {rate}: {e}"))
+}
+
+/// The unguarded baseline: trusts every reading that does not crash it
+/// (non-finite/negative readings are silently dropped; plausible-looking
+/// garbage like a stuck 900 s register goes straight into the window).
+fn run_unguarded(b: BreakEven, stops: &[f64], observed: &[f64], rng: &mut StdRng) -> (f64, f64) {
+    let mut ctl = AdaptiveController::with_window(b, ESTIMATOR_WINDOW);
+    let mut online = 0.0;
+    let mut offline = 0.0;
+    for (&y, &r) in stops.iter().zip(observed) {
+        let x = ctl.decide(rng);
+        online += if x.is_infinite() { y } else { b.online_cost(x, y) };
+        offline += b.offline_cost(y);
+        let _ = ctl.try_observe(r); // a deployed naive path can do no better
+    }
+    (online, offline)
+}
+
+/// Runs all three controllers over one vehicle's true stops + readings.
+/// Identical per-controller seeds make the rate-0 column bit-comparable.
+fn run_vehicle(b: BreakEven, stops: &[f64], observed: &[f64], seed: u64) -> Sums {
+    let mut sums = Sums { readings: stops.len() as u64, ..Default::default() };
+
+    let mut ctl = AdaptiveController::with_window(b, ESTIMATOR_WINDOW);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let clean = ctl.run(stops, &mut rng).unwrap_or_else(|e| unreachable!("non-empty trace: {e}"));
+    sums.clean_online = clean.online_cost;
+    sums.offline = clean.offline_cost;
+
+    let mut deg = DegradedController::with_estimator_window(b, ESTIMATOR_WINDOW);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let out = deg
+        .run_observed(stops, observed, &mut rng)
+        .unwrap_or_else(|e| unreachable!("clean true stops: {e}"));
+    sums.degraded_online = out.online_cost;
+    sums.anomalies = out.anomalies.total();
+    sums.decisions_full = out.decisions_full;
+    sums.decisions_degraded = out.decisions_degraded;
+    sums.decisions_untrusted = out.decisions_untrusted;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (unguarded_online, _) = run_unguarded(b, stops, observed, &mut rng);
+    sums.unguarded_online = unguarded_online;
+    sums
+}
+
+fn sweep_fleet(b: BreakEven) -> Vec<String> {
+    println!(
+        "\n=== Fault sweep, synthesized Chicago fleet ({VEHICLES} vehicles, B = {} s) ===",
+        b.seconds()
+    );
+    println!(
+        "{:>6}  {:>8} {:>8} {:>8} | {:>8} {:>6} {:>6} {:>6}",
+        "rate", "clean", "degrade", "unguard", "anomaly", "%full", "%det", "%nrand"
+    );
+    let fleet = FleetConfig::new(Area::Chicago).vehicles(VEHICLES).synthesize(SEED);
+    let vehicles: Vec<Vec<f64>> = fleet.iter().map(drivesim::VehicleTrace::stop_lengths).collect();
+    let threads = worker_threads();
+    let mut rows = Vec::new();
+    let mut rate0 = None;
+    for &rate in &FAULT_RATES {
+        let plan = plan_for(rate, 40);
+        let per_vehicle = chunked_map(&vehicles, threads, |i, stops| {
+            let observed = plan.corrupt_observations(stops, SEED ^ ((i as u64 + 1) * 7919));
+            run_vehicle(b, stops, &observed, SEED + 1000 * i as u64)
+        });
+        let mut total = Sums::default();
+        for s in &per_vehicle {
+            total.add(s);
+        }
+        let cr_clean = realized_cr(total.clean_online, total.offline);
+        let cr_degraded = realized_cr(total.degraded_online, total.offline);
+        let cr_unguarded = realized_cr(total.unguarded_online, total.offline);
+        let n = total.readings as f64;
+        println!(
+            "{:>5.0}%  {} {} {} | {:7.2}% {:5.1}% {:5.1}% {:5.1}%",
+            rate * 100.0,
+            fmt_cr(cr_clean),
+            fmt_cr(cr_degraded),
+            fmt_cr(cr_unguarded),
+            total.anomalies as f64 / n * 100.0,
+            total.decisions_full as f64 / n * 100.0,
+            total.decisions_degraded as f64 / n * 100.0,
+            total.decisions_untrusted as f64 / n * 100.0,
+        );
+        rows.push(format!(
+            "{rate},{cr_clean:.6},{cr_degraded:.6},{cr_unguarded:.6},{},{},{},{}",
+            total.anomalies,
+            total.decisions_full,
+            total.decisions_degraded,
+            total.decisions_untrusted
+        ));
+        if rate == 0.0 {
+            rate0 = Some((cr_clean, cr_degraded, cr_unguarded));
+        }
+    }
+    let (cr_clean, cr_degraded, cr_unguarded) =
+        rate0.unwrap_or_else(|| unreachable!("rate 0 is in the sweep"));
+    assert_eq!(
+        cr_clean.to_bits(),
+        cr_degraded.to_bits(),
+        "fleet rate 0: degraded controller must be bit-identical to AdaptiveController"
+    );
+    assert_eq!(cr_clean.to_bits(), cr_unguarded.to_bits(), "fleet rate 0: unguarded too");
+    rows
+}
+
+fn sweep_adversarial(b: BreakEven) -> Vec<String> {
+    println!("\n=== Fault sweep, adversarial fixture ({ADVERSARIAL_STOPS} jittered sub-second stops) ===");
+    println!("bound: e/(e-1) + 0.05 = {:.4}", e_ratio() + 0.05);
+    println!(
+        "{:>6}  {:>8} {:>8} {:>8} | {:>8} {:>6} {:>6} {:>6}",
+        "rate", "clean", "degrade", "unguard", "anomaly", "%full", "%det", "%nrand"
+    );
+    // Jittered tiny stops: continuous values (no false stuck-at runs),
+    // offline cost 0.2–0.3 s per stop, so one mistaken shutdown costs
+    // ~112 stops' worth — maximal damage per poisoned decision.
+    let mut rng = StdRng::seed_from_u64(SEED + 7);
+    let stops: Vec<f64> = (0..ADVERSARIAL_STOPS).map(|_| 0.2 + 0.1 * uniform01(&mut rng)).collect();
+    let bound = e_ratio() + 0.05;
+    let mut rows = Vec::new();
+    // Shard the *rates*: each grid point is independent.
+    let results = chunked_map(&FAULT_RATES, worker_threads().min(FAULT_RATES.len()), |_, &rate| {
+        // Long freezes (400 readings ≫ the 50-stop estimator window) so
+        // the unguarded window saturates at q̂ = 1 → TOI → pays B per
+        // 0.25 s stop while frozen.
+        let plan = plan_for(rate, 400);
+        let observed = plan.corrupt_observations(&stops, SEED + 13);
+        run_vehicle(b, &stops, &observed, SEED + 31)
+    });
+    for (&rate, total) in FAULT_RATES.iter().zip(&results) {
+        let cr_clean = realized_cr(total.clean_online, total.offline);
+        let cr_degraded = realized_cr(total.degraded_online, total.offline);
+        let cr_unguarded = realized_cr(total.unguarded_online, total.offline);
+        let n = total.readings as f64;
+        println!(
+            "{:>5.0}%  {} {} {} | {:7.2}% {:5.1}% {:5.1}% {:5.1}%",
+            rate * 100.0,
+            fmt_cr(cr_clean),
+            fmt_cr(cr_degraded),
+            fmt_cr(cr_unguarded),
+            total.anomalies as f64 / n * 100.0,
+            total.decisions_full as f64 / n * 100.0,
+            total.decisions_degraded as f64 / n * 100.0,
+            total.decisions_untrusted as f64 / n * 100.0,
+        );
+        rows.push(format!(
+            "{rate},{cr_clean:.6},{cr_degraded:.6},{cr_unguarded:.6},{},{},{},{}",
+            total.anomalies,
+            total.decisions_full,
+            total.decisions_degraded,
+            total.decisions_untrusted
+        ));
+
+        if rate == 0.0 {
+            assert_eq!(
+                cr_clean.to_bits(),
+                cr_degraded.to_bits(),
+                "adversarial rate 0: degraded must be bit-identical to AdaptiveController"
+            );
+        } else {
+            assert!(
+                cr_unguarded > bound,
+                "rate {rate}: unguarded CR {cr_unguarded:.4} should blow the bound {bound:.4} \
+                 — the fixture is not adversarial enough"
+            );
+        }
+        assert!(
+            cr_degraded <= bound,
+            "rate {rate}: degraded CR {cr_degraded:.4} exceeds the N-Rand bound {bound:.4}"
+        );
+    }
+    rows
+}
+
+fn main() {
+    let b = BreakEven::SSV;
+    let header = "fault_rate,cr_clean,cr_degraded,cr_unguarded,anomalies,decisions_full,\
+                  decisions_degraded,decisions_untrusted";
+    let fleet_rows = sweep_fleet(b);
+    let path = write_csv("fault_sweep_fleet.csv", header, &fleet_rows);
+    println!("written to {}", path.display());
+    let adv_rows = sweep_adversarial(b);
+    let path = write_csv("fault_sweep_adversarial.csv", header, &adv_rows);
+    println!("written to {}", path.display());
+    println!("\nall fault-sweep assertions passed");
+}

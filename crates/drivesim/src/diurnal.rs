@@ -94,7 +94,7 @@ impl DiurnalProfile {
     pub fn sample_day_arrivals(&self, day: u32, n: usize, rng: &mut dyn RngCore) -> Vec<f64> {
         let base = f64::from(day) * 86_400.0;
         let mut times: Vec<f64> = (0..n).map(|_| base + self.sample_time_of_day(rng)).collect();
-        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        times.sort_by(f64::total_cmp);
         times
     }
 }

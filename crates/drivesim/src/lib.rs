@@ -32,17 +32,22 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod area;
 pub mod diurnal;
+pub mod faults;
 pub mod fleet;
 pub mod persist;
 pub mod random;
+pub mod sanitize;
 pub mod scenario;
 pub mod trace;
 pub mod trip;
 
 pub use area::{Area, AreaParams};
+pub use faults::{Fault, FaultPlan};
 pub use fleet::{synthesize_nrel_like_fleet, FleetConfig, NrelLikeFleet, Table1Row};
+pub use sanitize::{SanitizeReport, TraceSanitizer};
 pub use trace::{StopCause, StopEvent, VehicleTrace};
 pub use trip::VehicleProfile;

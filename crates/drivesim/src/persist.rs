@@ -35,8 +35,21 @@ pub enum ParseTraceError {
     },
     /// An unknown stop-cause tag.
     UnknownCause(String),
-    /// Events were not chronological or had negative durations.
-    InvalidEvents(String),
+    /// A start or duration field parsed but is NaN or ±∞.
+    NonFiniteField {
+        /// 1-based line number in the input.
+        line: usize,
+    },
+    /// A duration field is finite but negative.
+    NegativeDuration {
+        /// 1-based line number in the input.
+        line: usize,
+    },
+    /// A start timestamp is earlier than the previous event's.
+    OutOfOrder {
+        /// 1-based line number in the input.
+        line: usize,
+    },
 }
 
 impl fmt::Display for ParseTraceError {
@@ -49,7 +62,13 @@ impl fmt::Display for ParseTraceError {
             Self::BadHeader => write!(f, "missing 'start_s,duration_s,cause' header"),
             Self::BadRow { line } => write!(f, "malformed event row at line {line}"),
             Self::UnknownCause(c) => write!(f, "unknown stop cause {c:?}"),
-            Self::InvalidEvents(msg) => write!(f, "invalid events: {msg}"),
+            Self::NonFiniteField { line } => {
+                write!(f, "non-finite start or duration at line {line}")
+            }
+            Self::NegativeDuration { line } => write!(f, "negative duration at line {line}"),
+            Self::OutOfOrder { line } => {
+                write!(f, "start timestamp at line {line} decreases (events must be chronological)")
+            }
         }
     }
 }
@@ -135,17 +154,14 @@ pub fn from_csv(input: &str) -> Result<VehicleTrace, ParseTraceError> {
         let duration_s: f64 =
             cols[1].parse().map_err(|_| ParseTraceError::BadRow { line: i + 1 })?;
         let cause = parse_cause(cols[2].trim())?;
-        if !start_s.is_finite() || start_s < prev_start {
-            return Err(ParseTraceError::InvalidEvents(format!(
-                "event at line {} is out of order",
-                i + 1
-            )));
+        if !start_s.is_finite() || !duration_s.is_finite() {
+            return Err(ParseTraceError::NonFiniteField { line: i + 1 });
         }
-        if !duration_s.is_finite() || duration_s < 0.0 {
-            return Err(ParseTraceError::InvalidEvents(format!(
-                "negative duration at line {}",
-                i + 1
-            )));
+        if duration_s < 0.0 {
+            return Err(ParseTraceError::NegativeDuration { line: i + 1 });
+        }
+        if start_s < prev_start {
+            return Err(ParseTraceError::OutOfOrder { line: i + 1 });
         }
         prev_start = start_s;
         events.push(StopEvent { start_s, duration_s, cause });
@@ -250,16 +266,72 @@ mod tests {
     }
 
     #[test]
-    fn rejects_out_of_order_and_negative() {
+    fn rejects_out_of_order_and_negative_with_line_numbers() {
         let base = "vehicle,1,Chicago,7\nstart_s,duration_s,cause\n";
-        assert!(matches!(
+        assert_eq!(
             from_csv(&format!("{base}10.0,1.0,stop_sign\n5.0,1.0,stop_sign\n")),
-            Err(ParseTraceError::InvalidEvents(_))
-        ));
-        assert!(matches!(
+            Err(ParseTraceError::OutOfOrder { line: 4 })
+        );
+        assert_eq!(
             from_csv(&format!("{base}10.0,-1.0,stop_sign\n")),
-            Err(ParseTraceError::InvalidEvents(_))
-        ));
+            Err(ParseTraceError::NegativeDuration { line: 3 })
+        );
+    }
+
+    #[test]
+    fn rejects_non_finite_fields_with_line_numbers() {
+        // Rust's f64 parser happily accepts "NaN" and "inf", so these
+        // must be caught semantically, not lexically.
+        let base = "vehicle,1,Chicago,7\nstart_s,duration_s,cause\n";
+        for bad in ["NaN", "inf", "-inf", "infinity"] {
+            assert_eq!(
+                from_csv(&format!("{base}1.0,2.0,stop_sign\n5.0,{bad},stop_sign\n")),
+                Err(ParseTraceError::NonFiniteField { line: 4 }),
+                "duration {bad}"
+            );
+            assert_eq!(
+                from_csv(&format!("{base}{bad},2.0,stop_sign\n")),
+                Err(ParseTraceError::NonFiniteField { line: 3 }),
+                "start {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_file_roundtrip_fails_cleanly() {
+        // A valid exported trace corrupted in specific ways must come
+        // back as the matching typed error naming the right line — and
+        // repairing the corruption must restore the round-trip.
+        let t = sample_trace();
+        let good = to_csv(&t);
+        assert!(t.num_stops() >= 3, "fixture needs a few events");
+        let lines: Vec<&str> = good.lines().collect();
+
+        // Corrupt one duration to NaN.
+        let mut bad = lines.clone();
+        let victim = 4; // first data row is line 3 (1-based)
+        let start = bad[victim - 1].split(',').next().unwrap();
+        let nan_row = format!("{start},NaN,congestion");
+        bad[victim - 1] = &nan_row;
+        let joined = bad.join("\n");
+        assert_eq!(from_csv(&joined), Err(ParseTraceError::NonFiniteField { line: victim }));
+
+        // Swap two data rows to break chronology.
+        let mut swapped = lines.clone();
+        swapped.swap(2, 3);
+        let joined = swapped.join("\n");
+        assert_eq!(from_csv(&joined), Err(ParseTraceError::OutOfOrder { line: 4 }));
+
+        // Truncate a row mid-field.
+        let mut truncated = lines.clone();
+        let cut = &truncated[2][..truncated[2].rfind(',').unwrap()];
+        truncated[2] = cut;
+        let joined = truncated.join("\n");
+        assert_eq!(from_csv(&joined), Err(ParseTraceError::BadRow { line: 3 }));
+
+        // The untouched original still round-trips.
+        let back = from_csv(&good).unwrap();
+        assert_eq!(back.num_stops(), t.num_stops());
     }
 
     #[test]
@@ -277,7 +349,9 @@ mod tests {
             ParseTraceError::BadHeader,
             ParseTraceError::BadRow { line: 3 },
             ParseTraceError::UnknownCause("X".into()),
-            ParseTraceError::InvalidEvents("msg".into()),
+            ParseTraceError::NonFiniteField { line: 4 },
+            ParseTraceError::NegativeDuration { line: 5 },
+            ParseTraceError::OutOfOrder { line: 6 },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

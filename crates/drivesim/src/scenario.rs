@@ -61,6 +61,10 @@ impl Scenario {
     ///
     /// Never panics — the preset parameters are validated by tests.
     #[must_use]
+    // Compile-time-constant preset parameters; a construction failure here
+    // is a programming error caught by the preset tests, not a runtime
+    // condition worth plumbing a Result for.
+    #[allow(clippy::expect_used)]
     pub fn stop_distribution(&self) -> Mixture {
         let cap = |p: Pareto| Censored::new(p, 7200.0).expect("positive cap");
         match self {

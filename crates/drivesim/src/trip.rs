@@ -66,15 +66,15 @@ impl VehicleProfile {
             params: *params,
             stops_per_day: lambda,
             light: LogNormal::new(light_mu, params.light_log_sigma)
-                .expect("jittered parameters stay valid"),
+                .unwrap_or_else(|_| unreachable!("jittered parameters stay valid")),
             sign: LogNormal::new(sign_mu, params.sign_log_sigma)
-                .expect("jittered parameters stay valid"),
+                .unwrap_or_else(|_| unreachable!("jittered parameters stay valid")),
             congestion: Censored::new(
                 Pareto::new(params.congestion_scale, params.congestion_alpha)
-                    .expect("area parameters are valid"),
+                    .unwrap_or_else(|_| unreachable!("area parameters are valid")),
                 MAX_STOP_S,
             )
-            .expect("cap is positive"),
+            .unwrap_or_else(|_| unreachable!("cap is positive")),
             weights: [w_light, w_sign, w_cong],
         }
     }

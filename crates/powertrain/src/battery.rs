@@ -76,7 +76,8 @@ impl CycleLifeCurve {
     /// 31 % DoD.
     #[must_use]
     pub fn paper() -> Self {
-        Self::new(vec![(0.0175, 13_250.0), (0.31, 250.0)]).expect("paper anchors are valid")
+        Self::new(vec![(0.0175, 13_250.0), (0.31, 250.0)])
+            .unwrap_or_else(|_| unreachable!("paper anchors are valid"))
     }
 
     /// Cycles to failure at depth of discharge `dod` (clamped to the
@@ -89,7 +90,7 @@ impl CycleLifeCurve {
     pub fn cycles_at(&self, dod: f64) -> f64 {
         assert!(dod.is_finite() && dod >= 0.0, "DoD must be non-negative, got {dod}");
         let first = self.points[0];
-        let last = *self.points.last().expect("validated non-empty");
+        let last = *self.points.last().unwrap_or_else(|| unreachable!("validated non-empty"));
         if dod <= first.0 {
             return first.1;
         }
@@ -100,7 +101,7 @@ impl CycleLifeCurve {
             .points
             .windows(2)
             .find(|w| dod >= w[0].0 && dod <= w[1].0)
-            .expect("dod within anchor range");
+            .unwrap_or_else(|| unreachable!("dod within anchor range"));
         let t = (dod - seg[0].0) / (seg[1].0 - seg[0].0);
         (seg[0].1.ln() * (1.0 - t) + seg[1].1.ln() * t).exp()
     }
@@ -161,7 +162,7 @@ impl BatteryPack {
     #[must_use]
     pub fn typical_ssv() -> Self {
         Self::new(720.0, 230.0, 300.0, 0.6, CycleLifeCurve::paper())
-            .expect("typical parameters are valid")
+            .unwrap_or_else(|_| unreachable!("typical parameters are valid"))
     }
 
     /// Depth of discharge of one stop with the engine off for

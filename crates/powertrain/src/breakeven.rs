@@ -147,7 +147,7 @@ impl VehicleSpec {
     #[must_use]
     pub fn break_even(&self) -> BreakEven {
         BreakEven::new(self.break_even_breakdown().total_seconds())
-            .expect("component totals are positive")
+            .unwrap_or_else(|_| unreachable!("component totals are positive"))
     }
 }
 

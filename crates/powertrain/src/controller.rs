@@ -19,6 +19,33 @@ use std::fmt;
 /// restart in well under a second).
 pub const DEFAULT_CRANK_SECONDS: f64 = 0.7;
 
+/// What the controller does when a trace event is corrupt (non-finite or
+/// negative duration, non-finite or out-of-order start).
+///
+/// The default is [`FaultAction::Abort`] — the historical behavior, where
+/// a bad event surfaces as a [`TransitionError`] and kills the drive.
+/// Fleet-scale simulations over sensor-derived traces should pick
+/// [`FaultAction::SkipStop`] (or [`FaultAction::Resync`]) so one corrupted
+/// event costs one stop, not the whole vehicle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FaultAction {
+    /// Feed events through unchecked; corruption aborts the drive with a
+    /// [`TransitionError`].
+    #[default]
+    Abort,
+    /// Drop corrupt events (counted in [`DriveOutcome::faults_skipped`]);
+    /// no policy decision is made and no RNG is consumed for a skipped
+    /// stop.
+    SkipStop,
+    /// Like [`FaultAction::SkipStop`] for unusable durations, but an
+    /// out-of-order *start* with a valid duration is re-anchored to
+    /// immediately follow the previous stop (zero driving gap) and
+    /// counted in [`DriveOutcome::faults_resynced`] — the stop really
+    /// happened, only its timestamp is wrong.
+    Resync,
+}
+
 /// Accumulated outcome of driving a trace.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -42,6 +69,11 @@ pub struct DriveOutcome {
     /// Total cost in the paper's unit: seconds of idling
     /// (`idle_seconds + restarts·B`).
     pub idle_equivalent_s: f64,
+    /// Corrupt events dropped under [`FaultAction::SkipStop`] /
+    /// [`FaultAction::Resync`] (always `0` under [`FaultAction::Abort`]).
+    pub faults_skipped: u64,
+    /// Out-of-order events re-anchored under [`FaultAction::Resync`].
+    pub faults_resynced: u64,
 }
 
 impl fmt::Display for DriveOutcome {
@@ -73,6 +105,7 @@ pub struct StopStartController<'a, P: Policy + ?Sized> {
     crank_seconds: f64,
     inter_stop_drive_seconds: f64,
     battery_pack: Option<crate::battery::BatteryPack>,
+    fault_action: FaultAction,
 }
 
 impl<'a, P: Policy + ?Sized> StopStartController<'a, P> {
@@ -85,7 +118,16 @@ impl<'a, P: Policy + ?Sized> StopStartController<'a, P> {
             crank_seconds: DEFAULT_CRANK_SECONDS,
             inter_stop_drive_seconds: 60.0,
             battery_pack: None,
+            fault_action: FaultAction::default(),
         }
+    }
+
+    /// Sets how corrupt trace events are handled (see [`FaultAction`])
+    /// and returns `self`.
+    #[must_use]
+    pub fn fault_action(mut self, action: FaultAction) -> Self {
+        self.fault_action = action;
+        self
     }
 
     /// Switches battery accounting from the paper's flat per-start
@@ -141,15 +183,33 @@ impl<'a, P: Policy + ?Sized> StopStartController<'a, P> {
     /// # Errors
     ///
     /// Returns [`TransitionError`] if the internal state machine rejects a
-    /// transition — impossible for well-formed stops; a negative or NaN
-    /// stop length surfaces here as a time-monotonicity error.
+    /// transition — impossible for well-formed stops; under the default
+    /// [`FaultAction::Abort`], a negative or NaN stop length surfaces here
+    /// as a time-monotonicity error. Under [`FaultAction::SkipStop`] /
+    /// [`FaultAction::Resync`] such stops are dropped and counted in
+    /// [`DriveOutcome::faults_skipped`] instead.
     pub fn drive(
         &self,
         stops: &[f64],
         rng: &mut dyn RngCore,
     ) -> Result<DriveOutcome, TransitionError> {
         let gap = self.inter_stop_drive_seconds;
-        self.drive_inner(stops.iter().map(|&y| (gap, y)), rng)
+        if self.fault_action == FaultAction::Abort {
+            return self.drive_inner(stops.iter().map(|&y| (gap, y)), 0, 0, rng);
+        }
+        let mut skipped = 0u64;
+        let clean: Vec<(f64, f64)> = stops
+            .iter()
+            .filter_map(|&y| {
+                if y.is_finite() && y >= 0.0 {
+                    Some((gap, y))
+                } else {
+                    skipped += 1;
+                    None
+                }
+            })
+            .collect();
+        self.drive_inner(clean.into_iter(), skipped, 0, rng)
     }
 
     /// Drives a *timestamped* trace: driving intervals come from the
@@ -164,8 +224,12 @@ impl<'a, P: Policy + ?Sized> StopStartController<'a, P> {
     /// # Errors
     ///
     /// Returns [`TransitionError`] if the internal state machine rejects a
-    /// transition — a negative duration or out-of-order start surfaces
-    /// here.
+    /// transition — under the default [`FaultAction::Abort`], a corrupt
+    /// duration surfaces here. Under [`FaultAction::SkipStop`] /
+    /// [`FaultAction::Resync`] corrupt events (non-finite duration or
+    /// start, negative duration, start earlier than the previous accepted
+    /// event's) are dropped or re-anchored and counted in the outcome
+    /// instead, so injected garbage cannot kill a fleet drive.
     pub fn drive_timestamped(
         &self,
         events: &[(f64, f64)],
@@ -175,21 +239,60 @@ impl<'a, P: Policy + ?Sized> StopStartController<'a, P> {
         // a shutdown is part of the elapsed clock, so subtracting the
         // previous end may undershoot — clamp at zero.
         let mut prev_end = 0.0;
-        let gaps: Vec<(f64, f64)> = events
-            .iter()
-            .map(|&(start, duration)| {
+        let mut prev_start = f64::NEG_INFINITY;
+        let mut skipped = 0u64;
+        let mut resynced = 0u64;
+        let mut gaps: Vec<(f64, f64)> = Vec::with_capacity(events.len());
+        for &(start, duration) in events {
+            if self.fault_action == FaultAction::Abort {
+                // Historical behavior: no checks; corruption propagates
+                // into the state machine and aborts there.
                 let gap = (start - prev_end).max(0.0);
                 prev_end = start.max(prev_end) + duration;
-                (gap, duration)
-            })
-            .collect();
-        self.drive_inner(gaps.into_iter(), rng)
+                gaps.push((gap, duration));
+                continue;
+            }
+            let duration_ok = duration.is_finite() && duration >= 0.0;
+            if !duration_ok || !start.is_finite() {
+                // A garbage duration can be neither driven nor repaired,
+                // and a garbage timestamp with nothing to anchor it is
+                // equally unusable.
+                skipped += 1;
+                continue;
+            }
+            if start < prev_start {
+                match self.fault_action {
+                    FaultAction::SkipStop => {
+                        skipped += 1;
+                        continue;
+                    }
+                    FaultAction::Resync => {
+                        // The stop is real, only its timestamp is wrong:
+                        // re-anchor it right after the previous stop.
+                        resynced += 1;
+                        gaps.push((0.0, duration));
+                        prev_end += duration;
+                        continue;
+                    }
+                    FaultAction::Abort => unreachable!("handled above"),
+                }
+            }
+            let gap = (start - prev_end).max(0.0);
+            prev_end = start.max(prev_end) + duration;
+            prev_start = start;
+            gaps.push((gap, duration));
+        }
+        self.drive_inner(gaps.into_iter(), skipped, resynced, rng)
     }
 
     /// The shared simulation loop: `(driving_gap, stop_duration)` pairs.
+    /// `skipped`/`resynced` are fault counts from the caller's event
+    /// screening, carried into the outcome.
     fn drive_inner(
         &self,
         stops: impl Iterator<Item = (f64, f64)>,
+        skipped: u64,
+        resynced: u64,
         rng: &mut dyn RngCore,
     ) -> Result<DriveOutcome, TransitionError> {
         let mut machine = EngineStateMachine::new(0.0);
@@ -199,7 +302,11 @@ impl<'a, P: Policy + ?Sized> StopStartController<'a, P> {
         let flat_wear_per_start = b_wear_dollars(&self.spec);
         let starter_wear = self.spec.break_even_breakdown().starter_s * idle_rate_dollars;
 
-        let mut out = DriveOutcome::default();
+        let mut out = DriveOutcome {
+            faults_skipped: skipped,
+            faults_resynced: resynced,
+            ..Default::default()
+        };
         let mut t = 0.0;
         for (gap, y) in stops {
             // Drive to the stop.
@@ -456,5 +563,140 @@ mod tests {
         let s = spec();
         let p = Det::new(s.break_even());
         let _ = StopStartController::new(&p, s).crank_seconds(-1.0);
+    }
+
+    #[test]
+    fn abort_is_default_and_dies_on_garbage() {
+        let s = spec();
+        let p = Det::new(s.break_even());
+        let mut rng = StdRng::seed_from_u64(40);
+        let res = StopStartController::new(&p, s).drive(&[10.0, f64::NAN, 5.0], &mut rng);
+        assert!(res.is_err(), "Abort must keep the historical panic/abort behavior");
+        let mut rng = StdRng::seed_from_u64(40);
+        let res = StopStartController::new(&p, s).drive(&[10.0, -3.0, 5.0], &mut rng);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn skip_stop_survives_garbage_durations() {
+        let s = spec();
+        let p = Det::new(s.break_even());
+        let mut rng1 = StdRng::seed_from_u64(41);
+        let out = StopStartController::new(&p, s)
+            .fault_action(FaultAction::SkipStop)
+            .drive(&[10.0, f64::NAN, -3.0, f64::INFINITY, 5.0, 60.0], &mut rng1)
+            .unwrap();
+        assert_eq!(out.stops, 3);
+        assert_eq!(out.faults_skipped, 3);
+        assert_eq!(out.faults_resynced, 0);
+        // The ledger equals driving only the valid stops.
+        let mut rng2 = StdRng::seed_from_u64(41);
+        let clean = StopStartController::new(&p, s).drive(&[10.0, 5.0, 60.0], &mut rng2).unwrap();
+        assert!(approx_eq(out.idle_equivalent_s, clean.idle_equivalent_s, 1e-12));
+    }
+
+    #[test]
+    fn skip_stop_survives_nan_and_out_of_order_events() {
+        // The ISSUE's acceptance scenario: injected NaN + out-of-order
+        // events complete with anomaly counts where Abort dies.
+        let s = spec();
+        let p = Det::new(s.break_even());
+        let events = [
+            (100.0, 30.0),
+            (500.0, f64::NAN), // lost duration
+            (400.0, 5.0),      // delivered out of order
+            (f64::NAN, 9.0),   // lost timestamp
+            (900.0, 12.0),
+            (880.0, 2.0), // skewed backwards
+            (2000.0, 45.0),
+        ];
+        let mut rng = StdRng::seed_from_u64(42);
+        assert!(StopStartController::new(&p, s).drive_timestamped(&events, &mut rng).is_err());
+        let mut rng = StdRng::seed_from_u64(42);
+        let out = StopStartController::new(&p, s)
+            .fault_action(FaultAction::SkipStop)
+            .drive_timestamped(&events, &mut rng)
+            .unwrap();
+        // Out-of-order is judged against the last *accepted* event, so
+        // (400, 5) survives: its predecessor (500, NaN) was quarantined
+        // and the accepted anchor is still (100, 30).
+        assert_eq!(out.stops, 4);
+        assert_eq!(out.faults_skipped, 3);
+        assert_eq!(out.faults_resynced, 0);
+        assert!(out.idle_equivalent_s > 0.0);
+    }
+
+    #[test]
+    fn resync_keeps_out_of_order_stops() {
+        let s = spec();
+        let p = Det::new(s.break_even());
+        let events = [
+            (100.0, 30.0),
+            (90.0, 5.0),       // skewed backwards: real stop, bad clock
+            (500.0, f64::NAN), // garbage duration: still unusable
+            (900.0, 12.0),
+        ];
+        let mut rng = StdRng::seed_from_u64(43);
+        let out = StopStartController::new(&p, s)
+            .fault_action(FaultAction::Resync)
+            .drive_timestamped(&events, &mut rng)
+            .unwrap();
+        assert_eq!(out.stops, 3, "the skewed stop is kept");
+        assert_eq!(out.faults_resynced, 1);
+        assert_eq!(out.faults_skipped, 1);
+        // Resync pays for the extra stop: dearer than skipping it.
+        let mut rng = StdRng::seed_from_u64(43);
+        let skipped = StopStartController::new(&p, s)
+            .fault_action(FaultAction::SkipStop)
+            .drive_timestamped(&events, &mut rng)
+            .unwrap();
+        assert!(out.idle_equivalent_s > skipped.idle_equivalent_s);
+    }
+
+    #[test]
+    fn clean_trace_identical_across_fault_actions() {
+        let s = spec();
+        let p = NRand::new(s.break_even());
+        let events = [(100.0, 30.0), (500.0, 5.0), (501.0, 90.0), (2000.0, 12.0)];
+        let mut outs = Vec::new();
+        for action in [FaultAction::Abort, FaultAction::SkipStop, FaultAction::Resync] {
+            let mut rng = StdRng::seed_from_u64(44);
+            outs.push(
+                StopStartController::new(&p, s)
+                    .fault_action(action)
+                    .drive_timestamped(&events, &mut rng)
+                    .unwrap(),
+            );
+        }
+        assert_eq!(outs[0], outs[1]);
+        assert_eq!(outs[0], outs[2]);
+        assert_eq!(outs[0].faults_skipped, 0);
+    }
+
+    #[test]
+    fn faulted_fleet_trace_end_to_end() {
+        // A synthesized fleet trace through the fault injector and a
+        // fault-tolerant drive: completes with counts, never aborts.
+        use drivesim::faults::{Fault, FaultPlan};
+        use drivesim::{Area, FleetConfig};
+        let s = spec();
+        let p = Det::new(s.break_even());
+        let trace = FleetConfig::new(Area::Chicago).vehicles(1).synthesize(91).remove(0);
+        let events: Vec<(f64, f64)> = trace.iter().map(|e| (e.start_s, e.duration_s)).collect();
+        let plan = FaultPlan::new(vec![
+            Fault::ClockSkew { rate: 0.1, max_skew_s: 300.0 },
+            Fault::Corrupt { rate: 0.05 },
+            Fault::Duplicate { rate: 0.05 },
+        ])
+        .unwrap();
+        let corrupted = plan.apply(&events, 17);
+        let mut rng = StdRng::seed_from_u64(45);
+        let out = StopStartController::new(&p, s)
+            .fault_action(FaultAction::SkipStop)
+            .drive_timestamped(&corrupted, &mut rng)
+            .unwrap();
+        assert!(out.faults_skipped > 0, "injection should have produced anomalies");
+        assert!(out.stops > 0);
+        assert_eq!(out.stops + out.faults_skipped, corrupted.len() as u64);
     }
 }

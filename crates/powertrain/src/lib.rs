@@ -39,6 +39,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod battery;
 pub mod breakeven;
@@ -50,5 +51,5 @@ pub mod restart;
 pub mod savings;
 
 pub use breakeven::{BreakEvenBreakdown, VehicleKind, VehicleSpec};
-pub use controller::{DriveOutcome, StopStartController};
+pub use controller::{DriveOutcome, FaultAction, StopStartController};
 pub use engine::{EngineState, EngineStateMachine};

@@ -206,7 +206,7 @@ pub fn bootstrap_cr_ci(
     for _ in 0..resamples {
         crs.push(resample_cr(&pairs, rng));
     }
-    crs.sort_by(|a, b| a.partial_cmp(b).expect("finite CRs"));
+    crs.sort_by(f64::total_cmp);
     let alpha = (1.0 - confidence) / 2.0;
     Ok(CrConfidenceInterval {
         point,
@@ -252,7 +252,7 @@ pub fn bootstrap_cr_ci_parallel(
         let mut local = StdRng::seed_from_u64(seed);
         resample_cr(&pairs, &mut local)
     });
-    crs.sort_by(|a, b| a.partial_cmp(b).expect("finite CRs"));
+    crs.sort_by(f64::total_cmp);
     let alpha = (1.0 - confidence) / 2.0;
     Ok(CrConfidenceInterval {
         point,

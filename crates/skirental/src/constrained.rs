@@ -177,7 +177,8 @@ impl ConstrainedStats {
     /// The break-even interval.
     #[must_use]
     pub fn break_even(&self) -> BreakEven {
-        BreakEven::new(self.moments.break_even).expect("validated at construction")
+        BreakEven::new(self.moments.break_even)
+            .unwrap_or_else(|_| unreachable!("validated at construction"))
     }
 
     /// Expected offline cost `μ_B⁻ + q_B⁺·B` (eq. (13)) — the denominator
@@ -318,9 +319,10 @@ impl ConstrainedStats {
             StrategyChoice::Det => Box::new(Det::new(be)),
             StrategyChoice::Toi => Box::new(Toi::new(be)),
             StrategyChoice::NRand => Box::new(NRand::new(be)),
-            StrategyChoice::BDet { b } => {
-                Box::new(BDet::new(be, b.min(be.seconds())).expect("b* <= B by construction"))
-            }
+            StrategyChoice::BDet { b } => Box::new(
+                BDet::new(be, b.min(be.seconds()))
+                    .unwrap_or_else(|_| unreachable!("b* <= B by construction")),
+            ),
         }
     }
 
@@ -353,7 +355,7 @@ impl ConstrainedStats {
 
         let mut lp = LinearProgram::minimize(vec![k_alpha, k_beta, k_gamma]);
         lp.constrain(vec![1.0, 1.0, 1.0], Relation::Le, 1.0);
-        let sol = lp.solve().expect("vertex LP is bounded and feasible");
+        let sol = lp.solve().unwrap_or_else(|_| unreachable!("vertex LP is bounded and feasible"));
         LpSolution {
             alpha: sol.x[0],
             beta: sol.x[1],
@@ -434,9 +436,9 @@ impl ConstrainedStats {
             xs.push(v.b);
             ys.push(v.b);
         }
-        xs.sort_by(|a, c| a.partial_cmp(c).expect("finite"));
+        xs.sort_by(f64::total_cmp);
         xs.dedup();
-        ys.sort_by(|a, c| a.partial_cmp(c).expect("finite"));
+        ys.sort_by(f64::total_cmp);
         ys.dedup();
 
         let be = self.break_even();
@@ -469,7 +471,8 @@ impl ConstrainedStats {
         norm[..n_p].fill(1.0);
         lp.constrain(norm, numeric::simplex::Relation::Eq, 1.0);
 
-        let sol = lp.solve().expect("minimax game LP is feasible and bounded");
+        let sol =
+            lp.solve().unwrap_or_else(|_| unreachable!("minimax game LP is feasible and bounded"));
         let threshold_distribution = xs
             .iter()
             .zip(&sol.x[..n_p])
@@ -552,7 +555,7 @@ pub fn moment_constrained_cr_game(
     for &mult in &[1.5, 2.0, 3.0, 5.0, 10.0, 20.0, 50.0] {
         ys.push(mult * b);
     }
-    ys.sort_by(|a, c| a.partial_cmp(c).expect("finite"));
+    ys.sort_by(f64::total_cmp);
     ys.dedup();
 
     let n_p = xs.len();
@@ -595,7 +598,9 @@ pub fn moment_constrained_cr_game(
     norm[..n_p].fill(1.0);
     lp.constrain(norm, Relation::Eq, 1.0);
 
-    let sol = lp.solve().expect("moment-constrained CR game is feasible and bounded");
+    let sol = lp
+        .solve()
+        .unwrap_or_else(|_| unreachable!("moment-constrained CR game is feasible and bounded"));
     let threshold_distribution =
         xs.iter().zip(&sol.x[..n_p]).filter(|&(_, &p)| p > 1e-9).map(|(&x, &p)| (x, p)).collect();
     MinimaxSolution { value: sol.objective, threshold_distribution }
@@ -663,9 +668,10 @@ impl ProposedPolicy {
             StrategyChoice::Det => Inner::Det(Det::new(be)),
             StrategyChoice::Toi => Inner::Toi(Toi::new(be)),
             StrategyChoice::NRand => Inner::NRand(NRand::new(be)),
-            StrategyChoice::BDet { b } => {
-                Inner::BDet(BDet::new(be, b.min(be.seconds())).expect("b* <= B by construction"))
-            }
+            StrategyChoice::BDet { b } => Inner::BDet(
+                BDet::new(be, b.min(be.seconds()))
+                    .unwrap_or_else(|_| unreachable!("b* <= B by construction")),
+            ),
         };
         Self { stats, choice, inner }
     }

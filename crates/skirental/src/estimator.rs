@@ -70,16 +70,18 @@ impl MomentEstimator {
     ///
     /// # Panics
     ///
-    /// Panics if `y` is negative or non-finite.
+    /// Panics if `y` is negative or non-finite. Sensor-facing callers
+    /// should prefer [`MomentEstimator::try_observe`], which rejects such
+    /// readings with a typed error instead.
     pub fn observe(&mut self, y: f64) {
         assert!(y.is_finite() && y >= 0.0, "stop length must be finite and >= 0, got {y}");
-        if let Some(w) = self.window {
+        if let (Some(w), Some(&front)) = (self.window, self.buffer.front()) {
             if self.buffer.len() == w {
-                let old = self.buffer.pop_front().expect("window full");
-                if old >= self.break_even.seconds() {
+                self.buffer.pop_front();
+                if front >= self.break_even.seconds() {
                     self.long_count -= 1;
                 } else {
-                    self.short_sum -= old;
+                    self.short_sum -= front;
                 }
             }
         }
@@ -89,6 +91,31 @@ impl MomentEstimator {
         } else {
             self.short_sum += y;
         }
+    }
+
+    /// Non-panicking [`MomentEstimator::observe`]: rejects a negative or
+    /// non-finite reading with [`Error::InvalidStop`], leaving the
+    /// estimator state untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidStop`] if `y` is negative or non-finite.
+    pub fn try_observe(&mut self, y: f64) -> Result<(), Error> {
+        if !(y.is_finite() && y >= 0.0) {
+            return Err(Error::InvalidStop { bits: y.to_bits() });
+        }
+        self.observe(y);
+        Ok(())
+    }
+
+    /// Discards all observed history, returning the estimator to its
+    /// just-constructed state (window configuration is kept). The
+    /// degradation ladder uses this to forget statistics accumulated from
+    /// a sensor stream that later proved untrustworthy.
+    pub fn clear(&mut self) {
+        self.buffer.clear();
+        self.short_sum = 0.0;
+        self.long_count = 0;
     }
 
     /// Current constrained statistics, or `None` before the first stop.
@@ -105,8 +132,14 @@ impl MomentEstimator {
         let mu = (self.short_sum / n).clamp(0.0, mu_cap);
         Some(
             ConstrainedStats::new(self.break_even, mu, q)
-                .expect("clamped plug-in estimates are feasible"),
+                .unwrap_or_else(|_| unreachable!("clamped plug-in estimates are feasible")),
         )
+    }
+
+    /// The break-even interval this estimator classifies against.
+    #[must_use]
+    pub fn break_even(&self) -> BreakEven {
+        self.break_even
     }
 }
 
@@ -117,7 +150,11 @@ pub struct AdaptiveOutcome {
     pub online_cost: f64,
     /// Total offline-optimal cost.
     pub offline_cost: f64,
-    /// Realized competitive ratio (`1` when the offline cost is zero).
+    /// Realized competitive ratio. Convention for `offline_cost == 0`
+    /// (every stop had zero length): `1.0` if the online cost is also
+    /// zero, `f64::INFINITY` otherwise — a degenerate trace must not hide
+    /// real paid cost behind a perfect-looking ratio. The raw costs are
+    /// always carried alongside.
     pub cr: f64,
     /// Stops processed.
     pub stops: usize,
@@ -178,6 +215,13 @@ impl AdaptiveController {
         &self.estimator
     }
 
+    /// Discards the estimator's observed history (keeping the window
+    /// configuration), returning the controller to its cold-start state.
+    /// See [`MomentEstimator::clear`].
+    pub fn reset_estimator(&mut self) {
+        self.estimator.clear();
+    }
+
     /// Chooses the idle threshold for the *next* stop, from history alone.
     pub fn decide(&self, rng: &mut dyn RngCore) -> f64 {
         if self.estimator.len() >= self.min_history {
@@ -192,9 +236,21 @@ impl AdaptiveController {
     ///
     /// # Panics
     ///
-    /// Panics if `y` is negative or non-finite.
+    /// Panics if `y` is negative or non-finite. Sensor-facing callers
+    /// should prefer [`AdaptiveController::try_observe`].
     pub fn observe(&mut self, y: f64) {
         self.estimator.observe(y);
+    }
+
+    /// Non-panicking [`AdaptiveController::observe`]: rejects a negative
+    /// or non-finite reading with [`Error::InvalidStop`], leaving the
+    /// estimator untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidStop`] if `y` is negative or non-finite.
+    pub fn try_observe(&mut self, y: f64) -> Result<(), Error> {
+        self.estimator.try_observe(y)
     }
 
     /// Runs the full online loop over a trace: for each stop, decide →
@@ -219,9 +275,26 @@ impl AdaptiveController {
         Ok(AdaptiveOutcome {
             online_cost: online,
             offline_cost: offline,
-            cr: if offline == 0.0 { 1.0 } else { online / offline },
+            cr: realized_cr(online, offline),
             stops: stops.len(),
         })
+    }
+}
+
+/// The realized-competitive-ratio convention shared by every outcome in
+/// this crate: `online / offline`, with the `offline == 0` degenerate case
+/// mapped to `1.0` when nothing was paid and `+∞` when real cost was
+/// (see [`AdaptiveOutcome::cr`]).
+#[must_use]
+pub fn realized_cr(online_cost: f64, offline_cost: f64) -> f64 {
+    if offline_cost == 0.0 {
+        if online_cost == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        online_cost / offline_cost
     }
 }
 
@@ -383,5 +456,50 @@ mod tests {
     #[should_panic(expected = "window must be non-empty")]
     fn zero_window_rejected() {
         let _ = MomentEstimator::with_window(b28(), 0);
+    }
+
+    #[test]
+    fn zero_offline_with_paid_cost_is_infinite() {
+        // All stops have zero length, but a TOI-leaning controller that
+        // shuts off pays the restart; the ratio must not pretend 1.0.
+        assert_eq!(realized_cr(5.0, 0.0), f64::INFINITY);
+        assert_eq!(realized_cr(0.0, 0.0), 1.0);
+        assert!((realized_cr(3.0, 2.0) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_observe_rejects_garbage_and_leaves_state() {
+        let mut est = MomentEstimator::new(b28());
+        est.observe(10.0);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            let err = est.try_observe(bad).unwrap_err();
+            assert_eq!(err, Error::InvalidStop { bits: bad.to_bits() });
+            assert!(!err.to_string().is_empty());
+        }
+        assert_eq!(est.len(), 1, "rejected readings must not count");
+        est.try_observe(4.0).unwrap();
+        assert_eq!(est.len(), 2);
+
+        let mut ctl = AdaptiveController::new(b28());
+        assert!(ctl.try_observe(f64::NAN).is_err());
+        assert!(ctl.try_observe(7.0).is_ok());
+        assert_eq!(ctl.estimator().len(), 1);
+    }
+
+    #[test]
+    fn clear_resets_to_fresh_state() {
+        let mut est = MomentEstimator::with_window(b28(), 3);
+        for &y in &[5.0, 50.0, 8.0] {
+            est.observe(y);
+        }
+        est.clear();
+        assert!(est.is_empty());
+        assert!(est.stats().is_none());
+        assert_eq!(est.break_even().seconds(), 28.0);
+        // Refilling after clear behaves like a fresh estimator.
+        est.observe(2.0);
+        let s = est.stats().unwrap();
+        assert!(approx_eq(s.moments().mu_b_minus, 2.0, 1e-12));
+        assert_eq!(s.moments().q_b_plus, 0.0);
     }
 }

@@ -231,9 +231,9 @@ fn evaluate_vehicle(
     let best = crs
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("CRs are finite"))
+        .min_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
-        .expect("strategies non-empty");
+        .unwrap_or_else(|| unreachable!("strategies are non-empty, checked by the caller"));
     Ok(VehicleResult { vehicle: vi, crs, best })
 }
 

@@ -33,6 +33,9 @@
 //!   baseline in the spirit of Fujiwara & Iwama.
 //! * [`estimator`] — online estimation of `(μ_B⁻, q_B⁺)` and the adaptive
 //!   proposed policy a deployed controller would run.
+//! * [`degraded`] — the trust-gated degradation ladder wrapping the
+//!   adaptive controller: full proposed policy on healthy input, DET when
+//!   the estimate goes stale, N-Rand when the sensor stream is untrusted.
 //! * [`summary`] — sufficient statistics of a stop trace
 //!   ([`StopSummary`]): sort once, then answer every per-trace cost query
 //!   (empirical CR, constrained moments, hindsight-optimal threshold) in
@@ -66,12 +69,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod adversary;
 pub mod analysis;
 pub mod bayes;
 pub mod constrained;
 pub mod cost;
+pub mod degraded;
 pub mod estimator;
 pub mod fleet_eval;
 pub mod multislope;
@@ -83,6 +88,7 @@ pub mod theory;
 
 pub use constrained::{ConstrainedStats, StrategyChoice, VertexCosts};
 pub use cost::BreakEven;
+pub use degraded::{DegradationConfig, DegradedController, DegradedOutcome, TrustLevel};
 pub use fleet_eval::{FleetReport, Strategy};
 pub use policy::Policy;
 pub use stopmodel::ConstrainedMoments;
@@ -113,8 +119,26 @@ pub enum Error {
     },
     /// A negative or non-finite mean stop length.
     InvalidMean(f64),
+    /// A stop-length observation that is negative or non-finite.
+    ///
+    /// Produced by the non-panicking `try_observe` paths; the payload is
+    /// the raw bits of the offending reading so NaN payloads survive
+    /// equality comparisons.
+    InvalidStop {
+        /// The offending observation, as raw `f64` bits
+        /// (`f64::from_bits` recovers the value).
+        bits: u64,
+    },
     /// An operation that needs at least one stop received none.
     EmptyTrace,
+    /// Paired slices (true stops and sensor readings) whose lengths must
+    /// match did not.
+    MismatchedLengths {
+        /// Length of the true-stop slice.
+        stops: usize,
+        /// Length of the observation slice.
+        observations: usize,
+    },
     /// An adversary construction that is impossible for the given moments.
     InfeasibleAdversary {
         /// Human-readable reason.
@@ -141,7 +165,18 @@ impl fmt::Display for Error {
             Self::InvalidMean(m) => {
                 write!(f, "mean stop length must be non-negative and finite, got {m}")
             }
+            Self::InvalidStop { bits } => {
+                write!(
+                    f,
+                    "stop observation must be non-negative and finite, got {}",
+                    f64::from_bits(*bits)
+                )
+            }
             Self::EmptyTrace => write!(f, "stop trace must contain at least one stop"),
+            Self::MismatchedLengths { stops, observations } => write!(
+                f,
+                "need one observation per stop: {stops} stops but {observations} observations"
+            ),
             Self::InfeasibleAdversary { reason } => {
                 write!(f, "adversary distribution infeasible: {reason}")
             }
@@ -182,7 +217,9 @@ mod tests {
             Error::InvalidBreakEven(-1.0),
             Error::InvalidThreshold { threshold: 50.0, break_even: 28.0 },
             Error::InvalidMean(f64::NAN),
+            Error::InvalidStop { bits: f64::NAN.to_bits() },
             Error::EmptyTrace,
+            Error::MismatchedLengths { stops: 3, observations: 2 },
             Error::InfeasibleAdversary { reason: "q = 1" },
             Error::InvalidSlopes { reason: "dominated state" },
         ];

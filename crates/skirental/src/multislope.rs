@@ -75,7 +75,7 @@ impl MultiSlope {
         if slopes[0].rate <= 0.0 {
             return Err(Error::InvalidSlopes { reason: "state 0 must have positive rate" });
         }
-        if slopes.last().expect("non-empty").rate < 0.0 {
+        if slopes.last().is_some_and(|s| s.rate < 0.0) {
             return Err(Error::InvalidSlopes { reason: "rates must be non-negative" });
         }
         for w in slopes.windows(2) {
@@ -107,7 +107,7 @@ impl MultiSlope {
     #[must_use]
     pub fn classic(break_even: BreakEven) -> Self {
         Self::new(vec![(1.0, 0.0), (0.0, break_even.seconds())])
-            .expect("two-state system is always valid")
+            .unwrap_or_else(|_| unreachable!("two-state system is always valid"))
     }
 
     /// A three-state automotive example: full idle → eco-idle (A/C and
@@ -117,7 +117,7 @@ impl MultiSlope {
     pub fn eco_idle(break_even: BreakEven) -> Self {
         let b = break_even.seconds();
         Self::new(vec![(1.0, 0.0), (0.6, 0.1 * b), (0.02, b)])
-            .expect("eco-idle preset is a valid system")
+            .unwrap_or_else(|_| unreachable!("eco-idle preset is a valid system"))
     }
 
     /// The states, in order.
@@ -192,7 +192,8 @@ impl MultiSlope {
     #[must_use]
     pub fn worst_case_cr(&self, grid: usize) -> f64 {
         assert!(grid > 0, "grid must be non-empty");
-        let hi = 2.0 * self.breakpoints.last().expect("at least one breakpoint");
+        let hi = 2.0
+            * self.breakpoints.last().unwrap_or_else(|| unreachable!("breakpoints are non-empty"));
         let mut worst: f64 = 0.0;
         for i in 0..=grid {
             let y = hi * i as f64 / grid as f64;
@@ -270,7 +271,8 @@ impl MultiSlope {
         let thetas: Vec<f64> = (0..=grid).map(|i| i as f64 / grid as f64).collect();
         // Adversary support: all scaled switch points (the ratio's jump
         // points), the envelope breakpoints, and a tail probe.
-        let last_bp = *self.breakpoints.last().expect("at least one breakpoint");
+        let last_bp =
+            *self.breakpoints.last().unwrap_or_else(|| unreachable!("breakpoints are non-empty"));
         let mut ys: Vec<f64> = Vec::new();
         for &theta in &thetas {
             for &bp in &self.breakpoints {
@@ -283,7 +285,7 @@ impl MultiSlope {
         ys.extend(self.breakpoints.iter().copied());
         ys.push(2.0 * last_bp);
         ys.push(10.0 * last_bp);
-        ys.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        ys.sort_by(f64::total_cmp);
         ys.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
 
         // Variables: p_θ …, v. Objective: min v.
@@ -307,7 +309,9 @@ impl MultiSlope {
         norm[n] = 0.0;
         lp.constrain(norm, Relation::Eq, 1.0);
 
-        let sol = lp.solve().expect("randomized-envelope game is feasible and bounded");
+        let sol = lp
+            .solve()
+            .unwrap_or_else(|_| unreachable!("randomized-envelope game is feasible and bounded"));
         let weights = thetas
             .iter()
             .zip(&sol.x[..n])

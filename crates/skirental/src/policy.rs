@@ -363,7 +363,7 @@ impl MixedThreshold {
         }
         let mut atoms: Vec<(f64, f64)> =
             atoms.into_iter().filter(|&(_, w)| w > 0.0).map(|(x, w)| (x, w / total)).collect();
-        atoms.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite thresholds"));
+        atoms.sort_by(|a, b| a.0.total_cmp(&b.0));
         Ok(Self { break_even, atoms })
     }
 
@@ -396,7 +396,7 @@ impl Policy for MixedThreshold {
             }
             u -= p;
         }
-        self.atoms.last().expect("non-empty").0
+        self.atoms.last().unwrap_or_else(|| unreachable!("atoms non-empty by construction")).0
     }
 
     fn threshold_cdf(&self, x: f64) -> f64 {
@@ -583,8 +583,9 @@ impl Policy for MomRand {
         // inverse; bisect on [0, B].
         let u = stopmodel::uniform01(rng);
         let b = self.break_even.seconds();
-        numeric::rootfind::bisect(|x| self.threshold_cdf(x) - u, 0.0, b, 1e-10 * b)
-            .expect("threshold CDF is continuous and spans [0,1] on [0,B]")
+        numeric::rootfind::bisect(|x| self.threshold_cdf(x) - u, 0.0, b, 1e-10 * b).unwrap_or_else(
+            |_| unreachable!("threshold CDF is continuous and spans [0,1] on [0,B]"),
+        )
     }
 
     fn threshold_cdf(&self, x: f64) -> f64 {

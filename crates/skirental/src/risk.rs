@@ -79,12 +79,12 @@ pub fn risk_profile<D: StopDistribution + ?Sized>(
         stats.add(cr);
         crs.push(cr);
     }
-    crs.sort_by(|a, c| a.partial_cmp(c).expect("finite CRs"));
+    crs.sort_by(f64::total_cmp);
     RiskProfile {
         mean_cr: stats.mean(),
         median_cr: quantile_sorted(&crs, 0.5),
         p95_cr: quantile_sorted(&crs, 0.95),
-        max_cr: stats.max().expect("n > 0"),
+        max_cr: stats.max().unwrap_or_else(|| unreachable!("n > 0 is asserted above")),
         optimal_fraction: optimal as f64 / n as f64,
         annoyance_fraction: annoyances as f64 / n as f64,
         annoyance_window,

@@ -72,7 +72,7 @@ impl StopSummary {
             "stop lengths must be finite and non-negative"
         );
         let mut sorted = stops.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite stops"));
+        sorted.sort_by(f64::total_cmp);
         let mut prefix = Vec::with_capacity(sorted.len() + 1);
         let mut prefix_sq = Vec::with_capacity(sorted.len() + 1);
         let (mut acc, mut acc_sq) = (0.0f64, 0.0f64);
@@ -128,7 +128,7 @@ impl StopSummary {
     /// The longest stop.
     #[must_use]
     pub fn max(&self) -> f64 {
-        *self.sorted.last().expect("non-empty by construction")
+        *self.sorted.last().unwrap_or_else(|| unreachable!("non-empty by construction"))
     }
 
     /// Number of stops with `y < x`.

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_bayes-01cc4a4e910238e6.d: crates/bench/src/bin/ablation_bayes.rs
+
+/root/repo/target/debug/deps/ablation_bayes-01cc4a4e910238e6: crates/bench/src/bin/ablation_bayes.rs
+
+crates/bench/src/bin/ablation_bayes.rs:

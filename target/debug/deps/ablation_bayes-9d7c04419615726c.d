@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_bayes-9d7c04419615726c.d: crates/bench/src/bin/ablation_bayes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_bayes-9d7c04419615726c.rmeta: crates/bench/src/bin/ablation_bayes.rs Cargo.toml
+
+crates/bench/src/bin/ablation_bayes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_estimator-64abbd85ec053af8.d: crates/bench/src/bin/ablation_estimator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_estimator-64abbd85ec053af8.rmeta: crates/bench/src/bin/ablation_estimator.rs Cargo.toml
+
+crates/bench/src/bin/ablation_estimator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

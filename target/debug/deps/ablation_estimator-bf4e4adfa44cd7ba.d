@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_estimator-bf4e4adfa44cd7ba.d: crates/bench/src/bin/ablation_estimator.rs
+
+/root/repo/target/debug/deps/ablation_estimator-bf4e4adfa44cd7ba: crates/bench/src/bin/ablation_estimator.rs
+
+crates/bench/src/bin/ablation_estimator.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_lp-6b630a97e434501e.d: crates/bench/benches/ablation_lp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_lp-6b630a97e434501e.rmeta: crates/bench/benches/ablation_lp.rs Cargo.toml
+
+crates/bench/benches/ablation_lp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

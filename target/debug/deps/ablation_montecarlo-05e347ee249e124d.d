@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_montecarlo-05e347ee249e124d.d: crates/bench/benches/ablation_montecarlo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_montecarlo-05e347ee249e124d.rmeta: crates/bench/benches/ablation_montecarlo.rs Cargo.toml
+
+crates/bench/benches/ablation_montecarlo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

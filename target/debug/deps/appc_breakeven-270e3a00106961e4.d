@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/appc_breakeven-270e3a00106961e4.d: crates/bench/src/bin/appc_breakeven.rs Cargo.toml
+
+/root/repo/target/debug/deps/libappc_breakeven-270e3a00106961e4.rmeta: crates/bench/src/bin/appc_breakeven.rs Cargo.toml
+
+crates/bench/src/bin/appc_breakeven.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

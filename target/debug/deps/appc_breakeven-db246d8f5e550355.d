@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/appc_breakeven-db246d8f5e550355.d: crates/bench/src/bin/appc_breakeven.rs
+
+/root/repo/target/debug/deps/appc_breakeven-db246d8f5e550355: crates/bench/src/bin/appc_breakeven.rs
+
+crates/bench/src/bin/appc_breakeven.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/appendix_b-3f04b547df0dd193.d: crates/bench/src/bin/appendix_b.rs
+
+/root/repo/target/debug/deps/appendix_b-3f04b547df0dd193: crates/bench/src/bin/appendix_b.rs
+
+crates/bench/src/bin/appendix_b.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/appendix_b-8cc74bee6dab13f1.d: crates/bench/src/bin/appendix_b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libappendix_b-8cc74bee6dab13f1.rmeta: crates/bench/src/bin/appendix_b.rs Cargo.toml
+
+crates/bench/src/bin/appendix_b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

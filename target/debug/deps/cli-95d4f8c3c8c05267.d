@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-95d4f8c3c8c05267.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-95d4f8c3c8c05267.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_idlectl=placeholder:idlectl
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

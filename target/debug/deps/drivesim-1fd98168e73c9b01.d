@@ -1,15 +1,17 @@
-/root/repo/target/debug/deps/drivesim-1fd98168e73c9b01.d: crates/drivesim/src/lib.rs crates/drivesim/src/area.rs crates/drivesim/src/diurnal.rs crates/drivesim/src/fleet.rs crates/drivesim/src/persist.rs crates/drivesim/src/random.rs crates/drivesim/src/scenario.rs crates/drivesim/src/trace.rs crates/drivesim/src/trip.rs
+/root/repo/target/debug/deps/drivesim-1fd98168e73c9b01.d: crates/drivesim/src/lib.rs crates/drivesim/src/area.rs crates/drivesim/src/diurnal.rs crates/drivesim/src/faults.rs crates/drivesim/src/fleet.rs crates/drivesim/src/persist.rs crates/drivesim/src/random.rs crates/drivesim/src/sanitize.rs crates/drivesim/src/scenario.rs crates/drivesim/src/trace.rs crates/drivesim/src/trip.rs
 
-/root/repo/target/debug/deps/libdrivesim-1fd98168e73c9b01.rlib: crates/drivesim/src/lib.rs crates/drivesim/src/area.rs crates/drivesim/src/diurnal.rs crates/drivesim/src/fleet.rs crates/drivesim/src/persist.rs crates/drivesim/src/random.rs crates/drivesim/src/scenario.rs crates/drivesim/src/trace.rs crates/drivesim/src/trip.rs
+/root/repo/target/debug/deps/libdrivesim-1fd98168e73c9b01.rlib: crates/drivesim/src/lib.rs crates/drivesim/src/area.rs crates/drivesim/src/diurnal.rs crates/drivesim/src/faults.rs crates/drivesim/src/fleet.rs crates/drivesim/src/persist.rs crates/drivesim/src/random.rs crates/drivesim/src/sanitize.rs crates/drivesim/src/scenario.rs crates/drivesim/src/trace.rs crates/drivesim/src/trip.rs
 
-/root/repo/target/debug/deps/libdrivesim-1fd98168e73c9b01.rmeta: crates/drivesim/src/lib.rs crates/drivesim/src/area.rs crates/drivesim/src/diurnal.rs crates/drivesim/src/fleet.rs crates/drivesim/src/persist.rs crates/drivesim/src/random.rs crates/drivesim/src/scenario.rs crates/drivesim/src/trace.rs crates/drivesim/src/trip.rs
+/root/repo/target/debug/deps/libdrivesim-1fd98168e73c9b01.rmeta: crates/drivesim/src/lib.rs crates/drivesim/src/area.rs crates/drivesim/src/diurnal.rs crates/drivesim/src/faults.rs crates/drivesim/src/fleet.rs crates/drivesim/src/persist.rs crates/drivesim/src/random.rs crates/drivesim/src/sanitize.rs crates/drivesim/src/scenario.rs crates/drivesim/src/trace.rs crates/drivesim/src/trip.rs
 
 crates/drivesim/src/lib.rs:
 crates/drivesim/src/area.rs:
 crates/drivesim/src/diurnal.rs:
+crates/drivesim/src/faults.rs:
 crates/drivesim/src/fleet.rs:
 crates/drivesim/src/persist.rs:
 crates/drivesim/src/random.rs:
+crates/drivesim/src/sanitize.rs:
 crates/drivesim/src/scenario.rs:
 crates/drivesim/src/trace.rs:
 crates/drivesim/src/trip.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/drivesim-dcc99ad852491aec.d: crates/drivesim/src/lib.rs crates/drivesim/src/area.rs crates/drivesim/src/diurnal.rs crates/drivesim/src/faults.rs crates/drivesim/src/fleet.rs crates/drivesim/src/persist.rs crates/drivesim/src/random.rs crates/drivesim/src/sanitize.rs crates/drivesim/src/scenario.rs crates/drivesim/src/trace.rs crates/drivesim/src/trip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdrivesim-dcc99ad852491aec.rmeta: crates/drivesim/src/lib.rs crates/drivesim/src/area.rs crates/drivesim/src/diurnal.rs crates/drivesim/src/faults.rs crates/drivesim/src/fleet.rs crates/drivesim/src/persist.rs crates/drivesim/src/random.rs crates/drivesim/src/sanitize.rs crates/drivesim/src/scenario.rs crates/drivesim/src/trace.rs crates/drivesim/src/trip.rs Cargo.toml
+
+crates/drivesim/src/lib.rs:
+crates/drivesim/src/area.rs:
+crates/drivesim/src/diurnal.rs:
+crates/drivesim/src/faults.rs:
+crates/drivesim/src/fleet.rs:
+crates/drivesim/src/persist.rs:
+crates/drivesim/src/random.rs:
+crates/drivesim/src/sanitize.rs:
+crates/drivesim/src/scenario.rs:
+crates/drivesim/src/trace.rs:
+crates/drivesim/src/trip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

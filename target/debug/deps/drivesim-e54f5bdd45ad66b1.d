@@ -1,13 +1,15 @@
-/root/repo/target/debug/deps/drivesim-e54f5bdd45ad66b1.d: crates/drivesim/src/lib.rs crates/drivesim/src/area.rs crates/drivesim/src/diurnal.rs crates/drivesim/src/fleet.rs crates/drivesim/src/persist.rs crates/drivesim/src/random.rs crates/drivesim/src/scenario.rs crates/drivesim/src/trace.rs crates/drivesim/src/trip.rs Cargo.toml
+/root/repo/target/debug/deps/drivesim-e54f5bdd45ad66b1.d: crates/drivesim/src/lib.rs crates/drivesim/src/area.rs crates/drivesim/src/diurnal.rs crates/drivesim/src/faults.rs crates/drivesim/src/fleet.rs crates/drivesim/src/persist.rs crates/drivesim/src/random.rs crates/drivesim/src/sanitize.rs crates/drivesim/src/scenario.rs crates/drivesim/src/trace.rs crates/drivesim/src/trip.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdrivesim-e54f5bdd45ad66b1.rmeta: crates/drivesim/src/lib.rs crates/drivesim/src/area.rs crates/drivesim/src/diurnal.rs crates/drivesim/src/fleet.rs crates/drivesim/src/persist.rs crates/drivesim/src/random.rs crates/drivesim/src/scenario.rs crates/drivesim/src/trace.rs crates/drivesim/src/trip.rs Cargo.toml
+/root/repo/target/debug/deps/libdrivesim-e54f5bdd45ad66b1.rmeta: crates/drivesim/src/lib.rs crates/drivesim/src/area.rs crates/drivesim/src/diurnal.rs crates/drivesim/src/faults.rs crates/drivesim/src/fleet.rs crates/drivesim/src/persist.rs crates/drivesim/src/random.rs crates/drivesim/src/sanitize.rs crates/drivesim/src/scenario.rs crates/drivesim/src/trace.rs crates/drivesim/src/trip.rs Cargo.toml
 
 crates/drivesim/src/lib.rs:
 crates/drivesim/src/area.rs:
 crates/drivesim/src/diurnal.rs:
+crates/drivesim/src/faults.rs:
 crates/drivesim/src/fleet.rs:
 crates/drivesim/src/persist.rs:
 crates/drivesim/src/random.rs:
+crates/drivesim/src/sanitize.rs:
 crates/drivesim/src/scenario.rs:
 crates/drivesim/src/trace.rs:
 crates/drivesim/src/trip.rs:

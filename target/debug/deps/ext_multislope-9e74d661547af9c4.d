@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_multislope-9e74d661547af9c4.d: crates/bench/src/bin/ext_multislope.rs
+
+/root/repo/target/debug/deps/ext_multislope-9e74d661547af9c4: crates/bench/src/bin/ext_multislope.rs
+
+crates/bench/src/bin/ext_multislope.rs:

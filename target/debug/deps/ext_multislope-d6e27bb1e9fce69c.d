@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_multislope-d6e27bb1e9fce69c.d: crates/bench/src/bin/ext_multislope.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_multislope-d6e27bb1e9fce69c.rmeta: crates/bench/src/bin/ext_multislope.rs Cargo.toml
+
+crates/bench/src/bin/ext_multislope.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

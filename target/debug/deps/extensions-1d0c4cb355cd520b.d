@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-1d0c4cb355cd520b.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-1d0c4cb355cd520b.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_sweep-895db3b690d76536.d: crates/bench/src/bin/fault_sweep.rs
+
+/root/repo/target/debug/deps/fault_sweep-895db3b690d76536: crates/bench/src/bin/fault_sweep.rs
+
+crates/bench/src/bin/fault_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_regions-04874c479dff2a73.d: crates/bench/src/bin/fig1_regions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_regions-04874c479dff2a73.rmeta: crates/bench/src/bin/fig1_regions.rs Cargo.toml
+
+crates/bench/src/bin/fig1_regions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

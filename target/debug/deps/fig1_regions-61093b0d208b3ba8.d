@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_regions-61093b0d208b3ba8.d: crates/bench/src/bin/fig1_regions.rs
+
+/root/repo/target/debug/deps/fig1_regions-61093b0d208b3ba8: crates/bench/src/bin/fig1_regions.rs
+
+crates/bench/src/bin/fig1_regions.rs:

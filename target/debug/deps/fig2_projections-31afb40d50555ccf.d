@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_projections-31afb40d50555ccf.d: crates/bench/src/bin/fig2_projections.rs
+
+/root/repo/target/debug/deps/fig2_projections-31afb40d50555ccf: crates/bench/src/bin/fig2_projections.rs
+
+crates/bench/src/bin/fig2_projections.rs:

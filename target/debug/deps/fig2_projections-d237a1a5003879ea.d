@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_projections-d237a1a5003879ea.d: crates/bench/src/bin/fig2_projections.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_projections-d237a1a5003879ea.rmeta: crates/bench/src/bin/fig2_projections.rs Cargo.toml
+
+crates/bench/src/bin/fig2_projections.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

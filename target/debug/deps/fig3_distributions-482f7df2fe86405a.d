@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_distributions-482f7df2fe86405a.d: crates/bench/src/bin/fig3_distributions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_distributions-482f7df2fe86405a.rmeta: crates/bench/src/bin/fig3_distributions.rs Cargo.toml
+
+crates/bench/src/bin/fig3_distributions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

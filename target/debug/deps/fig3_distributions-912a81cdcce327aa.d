@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_distributions-912a81cdcce327aa.d: crates/bench/src/bin/fig3_distributions.rs
+
+/root/repo/target/debug/deps/fig3_distributions-912a81cdcce327aa: crates/bench/src/bin/fig3_distributions.rs
+
+crates/bench/src/bin/fig3_distributions.rs:

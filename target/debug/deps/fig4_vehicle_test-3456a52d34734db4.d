@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_vehicle_test-3456a52d34734db4.d: crates/bench/src/bin/fig4_vehicle_test.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_vehicle_test-3456a52d34734db4.rmeta: crates/bench/src/bin/fig4_vehicle_test.rs Cargo.toml
+
+crates/bench/src/bin/fig4_vehicle_test.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

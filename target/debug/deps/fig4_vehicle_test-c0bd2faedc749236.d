@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_vehicle_test-c0bd2faedc749236.d: crates/bench/src/bin/fig4_vehicle_test.rs
+
+/root/repo/target/debug/deps/fig4_vehicle_test-c0bd2faedc749236: crates/bench/src/bin/fig4_vehicle_test.rs
+
+crates/bench/src/bin/fig4_vehicle_test.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig56_sweep-c3191b5bdd8c12cb.d: crates/bench/src/bin/fig56_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig56_sweep-c3191b5bdd8c12cb.rmeta: crates/bench/src/bin/fig56_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig56_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

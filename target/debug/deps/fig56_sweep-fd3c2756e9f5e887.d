@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig56_sweep-fd3c2756e9f5e887.d: crates/bench/src/bin/fig56_sweep.rs
+
+/root/repo/target/debug/deps/fig56_sweep-fd3c2756e9f5e887: crates/bench/src/bin/fig56_sweep.rs
+
+crates/bench/src/bin/fig56_sweep.rs:

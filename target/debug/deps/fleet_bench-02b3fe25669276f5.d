@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fleet_bench-02b3fe25669276f5.d: crates/bench/benches/fleet_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet_bench-02b3fe25669276f5.rmeta: crates/bench/benches/fleet_bench.rs Cargo.toml
+
+crates/bench/benches/fleet_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fleet_savings-7ac0529e1ebe77f8.d: crates/bench/src/bin/fleet_savings.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet_savings-7ac0529e1ebe77f8.rmeta: crates/bench/src/bin/fleet_savings.rs Cargo.toml
+
+crates/bench/src/bin/fleet_savings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

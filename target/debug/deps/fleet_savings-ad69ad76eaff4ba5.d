@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet_savings-ad69ad76eaff4ba5.d: crates/bench/src/bin/fleet_savings.rs
+
+/root/repo/target/debug/deps/fleet_savings-ad69ad76eaff4ba5: crates/bench/src/bin/fleet_savings.rs
+
+crates/bench/src/bin/fleet_savings.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/game_frontier-adbe3f89893833e5.d: crates/bench/src/bin/game_frontier.rs
+
+/root/repo/target/debug/deps/game_frontier-adbe3f89893833e5: crates/bench/src/bin/game_frontier.rs
+
+crates/bench/src/bin/game_frontier.rs:

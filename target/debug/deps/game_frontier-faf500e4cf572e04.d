@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/game_frontier-faf500e4cf572e04.d: crates/bench/src/bin/game_frontier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgame_frontier-faf500e4cf572e04.rmeta: crates/bench/src/bin/game_frontier.rs Cargo.toml
+
+crates/bench/src/bin/game_frontier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/idlectl-c031f6cac15c71bb.d: src/bin/idlectl/main.rs src/bin/idlectl/args.rs src/bin/idlectl/commands.rs Cargo.toml
+
+/root/repo/target/debug/deps/libidlectl-c031f6cac15c71bb.rmeta: src/bin/idlectl/main.rs src/bin/idlectl/args.rs src/bin/idlectl/commands.rs Cargo.toml
+
+src/bin/idlectl/main.rs:
+src/bin/idlectl/args.rs:
+src/bin/idlectl/commands.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

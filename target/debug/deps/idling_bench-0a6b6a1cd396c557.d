@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/idling_bench-0a6b6a1cd396c557.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libidling_bench-0a6b6a1cd396c557.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/numeric-ed5b613cc75c272c.d: crates/numeric/src/lib.rs crates/numeric/src/histogram.rs crates/numeric/src/quadrature.rs crates/numeric/src/rootfind.rs crates/numeric/src/simplex.rs crates/numeric/src/special.rs crates/numeric/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnumeric-ed5b613cc75c272c.rmeta: crates/numeric/src/lib.rs crates/numeric/src/histogram.rs crates/numeric/src/quadrature.rs crates/numeric/src/rootfind.rs crates/numeric/src/simplex.rs crates/numeric/src/special.rs crates/numeric/src/stats.rs Cargo.toml
+
+crates/numeric/src/lib.rs:
+crates/numeric/src/histogram.rs:
+crates/numeric/src/quadrature.rs:
+crates/numeric/src/rootfind.rs:
+crates/numeric/src/simplex.rs:
+crates/numeric/src/special.rs:
+crates/numeric/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

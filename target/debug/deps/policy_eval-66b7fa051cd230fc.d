@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/policy_eval-66b7fa051cd230fc.d: crates/bench/benches/policy_eval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolicy_eval-66b7fa051cd230fc.rmeta: crates/bench/benches/policy_eval.rs Cargo.toml
+
+crates/bench/benches/policy_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

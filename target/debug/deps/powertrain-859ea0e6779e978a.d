@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/powertrain-859ea0e6779e978a.d: crates/powertrain/src/lib.rs crates/powertrain/src/battery.rs crates/powertrain/src/breakeven.rs crates/powertrain/src/controller.rs crates/powertrain/src/emissions.rs crates/powertrain/src/engine.rs crates/powertrain/src/fuel.rs crates/powertrain/src/restart.rs crates/powertrain/src/savings.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpowertrain-859ea0e6779e978a.rmeta: crates/powertrain/src/lib.rs crates/powertrain/src/battery.rs crates/powertrain/src/breakeven.rs crates/powertrain/src/controller.rs crates/powertrain/src/emissions.rs crates/powertrain/src/engine.rs crates/powertrain/src/fuel.rs crates/powertrain/src/restart.rs crates/powertrain/src/savings.rs Cargo.toml
+
+crates/powertrain/src/lib.rs:
+crates/powertrain/src/battery.rs:
+crates/powertrain/src/breakeven.rs:
+crates/powertrain/src/controller.rs:
+crates/powertrain/src/emissions.rs:
+crates/powertrain/src/engine.rs:
+crates/powertrain/src/fuel.rs:
+crates/powertrain/src/restart.rs:
+crates/powertrain/src/savings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

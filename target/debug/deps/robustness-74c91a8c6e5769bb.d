@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-74c91a8c6e5769bb.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-74c91a8c6e5769bb: tests/robustness.rs
+
+tests/robustness.rs:

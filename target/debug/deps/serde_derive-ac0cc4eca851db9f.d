@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-ac0cc4eca851db9f.d: compat/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-ac0cc4eca851db9f.so: compat/serde_derive/src/lib.rs
+
+compat/serde_derive/src/lib.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/skirental-07f665176548e6d9.d: crates/skirental/src/lib.rs crates/skirental/src/adversary.rs crates/skirental/src/analysis.rs crates/skirental/src/bayes.rs crates/skirental/src/constrained.rs crates/skirental/src/cost.rs crates/skirental/src/estimator.rs crates/skirental/src/fleet_eval.rs crates/skirental/src/multislope.rs crates/skirental/src/parallel.rs crates/skirental/src/policy.rs crates/skirental/src/risk.rs crates/skirental/src/summary.rs crates/skirental/src/theory.rs
+/root/repo/target/debug/deps/skirental-07f665176548e6d9.d: crates/skirental/src/lib.rs crates/skirental/src/adversary.rs crates/skirental/src/analysis.rs crates/skirental/src/bayes.rs crates/skirental/src/constrained.rs crates/skirental/src/cost.rs crates/skirental/src/degraded.rs crates/skirental/src/estimator.rs crates/skirental/src/fleet_eval.rs crates/skirental/src/multislope.rs crates/skirental/src/parallel.rs crates/skirental/src/policy.rs crates/skirental/src/risk.rs crates/skirental/src/summary.rs crates/skirental/src/theory.rs
 
-/root/repo/target/debug/deps/skirental-07f665176548e6d9: crates/skirental/src/lib.rs crates/skirental/src/adversary.rs crates/skirental/src/analysis.rs crates/skirental/src/bayes.rs crates/skirental/src/constrained.rs crates/skirental/src/cost.rs crates/skirental/src/estimator.rs crates/skirental/src/fleet_eval.rs crates/skirental/src/multislope.rs crates/skirental/src/parallel.rs crates/skirental/src/policy.rs crates/skirental/src/risk.rs crates/skirental/src/summary.rs crates/skirental/src/theory.rs
+/root/repo/target/debug/deps/skirental-07f665176548e6d9: crates/skirental/src/lib.rs crates/skirental/src/adversary.rs crates/skirental/src/analysis.rs crates/skirental/src/bayes.rs crates/skirental/src/constrained.rs crates/skirental/src/cost.rs crates/skirental/src/degraded.rs crates/skirental/src/estimator.rs crates/skirental/src/fleet_eval.rs crates/skirental/src/multislope.rs crates/skirental/src/parallel.rs crates/skirental/src/policy.rs crates/skirental/src/risk.rs crates/skirental/src/summary.rs crates/skirental/src/theory.rs
 
 crates/skirental/src/lib.rs:
 crates/skirental/src/adversary.rs:
@@ -8,6 +8,7 @@ crates/skirental/src/analysis.rs:
 crates/skirental/src/bayes.rs:
 crates/skirental/src/constrained.rs:
 crates/skirental/src/cost.rs:
+crates/skirental/src/degraded.rs:
 crates/skirental/src/estimator.rs:
 crates/skirental/src/fleet_eval.rs:
 crates/skirental/src/multislope.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/skirental-0ee57630a7255fd7.d: crates/skirental/src/lib.rs crates/skirental/src/adversary.rs crates/skirental/src/analysis.rs crates/skirental/src/bayes.rs crates/skirental/src/constrained.rs crates/skirental/src/cost.rs crates/skirental/src/degraded.rs crates/skirental/src/estimator.rs crates/skirental/src/fleet_eval.rs crates/skirental/src/multislope.rs crates/skirental/src/parallel.rs crates/skirental/src/policy.rs crates/skirental/src/risk.rs crates/skirental/src/summary.rs crates/skirental/src/theory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskirental-0ee57630a7255fd7.rmeta: crates/skirental/src/lib.rs crates/skirental/src/adversary.rs crates/skirental/src/analysis.rs crates/skirental/src/bayes.rs crates/skirental/src/constrained.rs crates/skirental/src/cost.rs crates/skirental/src/degraded.rs crates/skirental/src/estimator.rs crates/skirental/src/fleet_eval.rs crates/skirental/src/multislope.rs crates/skirental/src/parallel.rs crates/skirental/src/policy.rs crates/skirental/src/risk.rs crates/skirental/src/summary.rs crates/skirental/src/theory.rs Cargo.toml
+
+crates/skirental/src/lib.rs:
+crates/skirental/src/adversary.rs:
+crates/skirental/src/analysis.rs:
+crates/skirental/src/bayes.rs:
+crates/skirental/src/constrained.rs:
+crates/skirental/src/cost.rs:
+crates/skirental/src/degraded.rs:
+crates/skirental/src/estimator.rs:
+crates/skirental/src/fleet_eval.rs:
+crates/skirental/src/multislope.rs:
+crates/skirental/src/parallel.rs:
+crates/skirental/src/policy.rs:
+crates/skirental/src/risk.rs:
+crates/skirental/src/summary.rs:
+crates/skirental/src/theory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

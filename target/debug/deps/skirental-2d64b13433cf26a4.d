@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/skirental-2d64b13433cf26a4.d: crates/skirental/src/lib.rs crates/skirental/src/adversary.rs crates/skirental/src/analysis.rs crates/skirental/src/bayes.rs crates/skirental/src/constrained.rs crates/skirental/src/cost.rs crates/skirental/src/estimator.rs crates/skirental/src/fleet_eval.rs crates/skirental/src/multislope.rs crates/skirental/src/parallel.rs crates/skirental/src/policy.rs crates/skirental/src/risk.rs crates/skirental/src/summary.rs crates/skirental/src/theory.rs
+/root/repo/target/debug/deps/skirental-2d64b13433cf26a4.d: crates/skirental/src/lib.rs crates/skirental/src/adversary.rs crates/skirental/src/analysis.rs crates/skirental/src/bayes.rs crates/skirental/src/constrained.rs crates/skirental/src/cost.rs crates/skirental/src/degraded.rs crates/skirental/src/estimator.rs crates/skirental/src/fleet_eval.rs crates/skirental/src/multislope.rs crates/skirental/src/parallel.rs crates/skirental/src/policy.rs crates/skirental/src/risk.rs crates/skirental/src/summary.rs crates/skirental/src/theory.rs
 
-/root/repo/target/debug/deps/libskirental-2d64b13433cf26a4.rlib: crates/skirental/src/lib.rs crates/skirental/src/adversary.rs crates/skirental/src/analysis.rs crates/skirental/src/bayes.rs crates/skirental/src/constrained.rs crates/skirental/src/cost.rs crates/skirental/src/estimator.rs crates/skirental/src/fleet_eval.rs crates/skirental/src/multislope.rs crates/skirental/src/parallel.rs crates/skirental/src/policy.rs crates/skirental/src/risk.rs crates/skirental/src/summary.rs crates/skirental/src/theory.rs
+/root/repo/target/debug/deps/libskirental-2d64b13433cf26a4.rlib: crates/skirental/src/lib.rs crates/skirental/src/adversary.rs crates/skirental/src/analysis.rs crates/skirental/src/bayes.rs crates/skirental/src/constrained.rs crates/skirental/src/cost.rs crates/skirental/src/degraded.rs crates/skirental/src/estimator.rs crates/skirental/src/fleet_eval.rs crates/skirental/src/multislope.rs crates/skirental/src/parallel.rs crates/skirental/src/policy.rs crates/skirental/src/risk.rs crates/skirental/src/summary.rs crates/skirental/src/theory.rs
 
-/root/repo/target/debug/deps/libskirental-2d64b13433cf26a4.rmeta: crates/skirental/src/lib.rs crates/skirental/src/adversary.rs crates/skirental/src/analysis.rs crates/skirental/src/bayes.rs crates/skirental/src/constrained.rs crates/skirental/src/cost.rs crates/skirental/src/estimator.rs crates/skirental/src/fleet_eval.rs crates/skirental/src/multislope.rs crates/skirental/src/parallel.rs crates/skirental/src/policy.rs crates/skirental/src/risk.rs crates/skirental/src/summary.rs crates/skirental/src/theory.rs
+/root/repo/target/debug/deps/libskirental-2d64b13433cf26a4.rmeta: crates/skirental/src/lib.rs crates/skirental/src/adversary.rs crates/skirental/src/analysis.rs crates/skirental/src/bayes.rs crates/skirental/src/constrained.rs crates/skirental/src/cost.rs crates/skirental/src/degraded.rs crates/skirental/src/estimator.rs crates/skirental/src/fleet_eval.rs crates/skirental/src/multislope.rs crates/skirental/src/parallel.rs crates/skirental/src/policy.rs crates/skirental/src/risk.rs crates/skirental/src/summary.rs crates/skirental/src/theory.rs
 
 crates/skirental/src/lib.rs:
 crates/skirental/src/adversary.rs:
@@ -10,6 +10,7 @@ crates/skirental/src/analysis.rs:
 crates/skirental/src/bayes.rs:
 crates/skirental/src/constrained.rs:
 crates/skirental/src/cost.rs:
+crates/skirental/src/degraded.rs:
 crates/skirental/src/estimator.rs:
 crates/skirental/src/fleet_eval.rs:
 crates/skirental/src/multislope.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/skirental-c898c9a304b9bd0a.d: crates/skirental/src/lib.rs crates/skirental/src/adversary.rs crates/skirental/src/analysis.rs crates/skirental/src/bayes.rs crates/skirental/src/constrained.rs crates/skirental/src/cost.rs crates/skirental/src/estimator.rs crates/skirental/src/fleet_eval.rs crates/skirental/src/multislope.rs crates/skirental/src/parallel.rs crates/skirental/src/policy.rs crates/skirental/src/risk.rs crates/skirental/src/summary.rs crates/skirental/src/theory.rs Cargo.toml
+/root/repo/target/debug/deps/skirental-c898c9a304b9bd0a.d: crates/skirental/src/lib.rs crates/skirental/src/adversary.rs crates/skirental/src/analysis.rs crates/skirental/src/bayes.rs crates/skirental/src/constrained.rs crates/skirental/src/cost.rs crates/skirental/src/degraded.rs crates/skirental/src/estimator.rs crates/skirental/src/fleet_eval.rs crates/skirental/src/multislope.rs crates/skirental/src/parallel.rs crates/skirental/src/policy.rs crates/skirental/src/risk.rs crates/skirental/src/summary.rs crates/skirental/src/theory.rs Cargo.toml
 
-/root/repo/target/debug/deps/libskirental-c898c9a304b9bd0a.rmeta: crates/skirental/src/lib.rs crates/skirental/src/adversary.rs crates/skirental/src/analysis.rs crates/skirental/src/bayes.rs crates/skirental/src/constrained.rs crates/skirental/src/cost.rs crates/skirental/src/estimator.rs crates/skirental/src/fleet_eval.rs crates/skirental/src/multislope.rs crates/skirental/src/parallel.rs crates/skirental/src/policy.rs crates/skirental/src/risk.rs crates/skirental/src/summary.rs crates/skirental/src/theory.rs Cargo.toml
+/root/repo/target/debug/deps/libskirental-c898c9a304b9bd0a.rmeta: crates/skirental/src/lib.rs crates/skirental/src/adversary.rs crates/skirental/src/analysis.rs crates/skirental/src/bayes.rs crates/skirental/src/constrained.rs crates/skirental/src/cost.rs crates/skirental/src/degraded.rs crates/skirental/src/estimator.rs crates/skirental/src/fleet_eval.rs crates/skirental/src/multislope.rs crates/skirental/src/parallel.rs crates/skirental/src/policy.rs crates/skirental/src/risk.rs crates/skirental/src/summary.rs crates/skirental/src/theory.rs Cargo.toml
 
 crates/skirental/src/lib.rs:
 crates/skirental/src/adversary.rs:
@@ -8,6 +8,7 @@ crates/skirental/src/analysis.rs:
 crates/skirental/src/bayes.rs:
 crates/skirental/src/constrained.rs:
 crates/skirental/src/cost.rs:
+crates/skirental/src/degraded.rs:
 crates/skirental/src/estimator.rs:
 crates/skirental/src/fleet_eval.rs:
 crates/skirental/src/multislope.rs:

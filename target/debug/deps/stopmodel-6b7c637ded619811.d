@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/stopmodel-6b7c637ded619811.d: crates/stopmodel/src/lib.rs crates/stopmodel/src/dist/mod.rs crates/stopmodel/src/dist/gamma.rs crates/stopmodel/src/dist/transform.rs crates/stopmodel/src/fit.rs crates/stopmodel/src/kstest.rs crates/stopmodel/src/moments.rs crates/stopmodel/src/sampling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstopmodel-6b7c637ded619811.rmeta: crates/stopmodel/src/lib.rs crates/stopmodel/src/dist/mod.rs crates/stopmodel/src/dist/gamma.rs crates/stopmodel/src/dist/transform.rs crates/stopmodel/src/fit.rs crates/stopmodel/src/kstest.rs crates/stopmodel/src/moments.rs crates/stopmodel/src/sampling.rs Cargo.toml
+
+crates/stopmodel/src/lib.rs:
+crates/stopmodel/src/dist/mod.rs:
+crates/stopmodel/src/dist/gamma.rs:
+crates/stopmodel/src/dist/transform.rs:
+crates/stopmodel/src/fit.rs:
+crates/stopmodel/src/kstest.rs:
+crates/stopmodel/src/moments.rs:
+crates/stopmodel/src/sampling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/summary_property-312ae66faa033754.d: tests/summary_property.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsummary_property-312ae66faa033754.rmeta: tests/summary_property.rs Cargo.toml
+
+tests/summary_property.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

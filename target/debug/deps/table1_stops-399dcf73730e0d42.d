@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_stops-399dcf73730e0d42.d: crates/bench/src/bin/table1_stops.rs
+
+/root/repo/target/debug/deps/table1_stops-399dcf73730e0d42: crates/bench/src/bin/table1_stops.rs
+
+crates/bench/src/bin/table1_stops.rs:

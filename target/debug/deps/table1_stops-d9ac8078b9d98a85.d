@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_stops-d9ac8078b9d98a85.d: crates/bench/src/bin/table1_stops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_stops-d9ac8078b9d98a85.rmeta: crates/bench/src/bin/table1_stops.rs Cargo.toml
+
+crates/bench/src/bin/table1_stops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_report-5deb703eb66b7e78.d: crates/bench/src/bin/workload_report.rs
+
+/root/repo/target/debug/deps/workload_report-5deb703eb66b7e78: crates/bench/src/bin/workload_report.rs
+
+crates/bench/src/bin/workload_report.rs:

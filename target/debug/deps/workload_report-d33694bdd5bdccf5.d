@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workload_report-d33694bdd5bdccf5.d: crates/bench/src/bin/workload_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkload_report-d33694bdd5bdccf5.rmeta: crates/bench/src/bin/workload_report.rs Cargo.toml
+
+crates/bench/src/bin/workload_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

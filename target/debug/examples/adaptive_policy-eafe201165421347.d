@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_policy-eafe201165421347.d: examples/adaptive_policy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_policy-eafe201165421347.rmeta: examples/adaptive_policy.rs Cargo.toml
+
+examples/adaptive_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

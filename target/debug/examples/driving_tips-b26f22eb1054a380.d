@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/driving_tips-b26f22eb1054a380.d: examples/driving_tips.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdriving_tips-b26f22eb1054a380.rmeta: examples/driving_tips.rs Cargo.toml
+
+examples/driving_tips.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

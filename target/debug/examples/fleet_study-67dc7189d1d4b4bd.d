@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fleet_study-67dc7189d1d4b4bd.d: examples/fleet_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfleet_study-67dc7189d1d4b4bd.rmeta: examples/fleet_study.rs Cargo.toml
+
+examples/fleet_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/model_selection-c651c82be8d8544f.d: examples/model_selection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmodel_selection-c651c82be8d8544f.rmeta: examples/model_selection.rs Cargo.toml
+
+examples/model_selection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

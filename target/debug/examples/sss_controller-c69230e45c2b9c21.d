@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sss_controller-c69230e45c2b9c21.d: examples/sss_controller.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsss_controller-c69230e45c2b9c21.rmeta: examples/sss_controller.rs Cargo.toml
+
+examples/sss_controller.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

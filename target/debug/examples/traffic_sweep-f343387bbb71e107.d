@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/traffic_sweep-f343387bbb71e107.d: examples/traffic_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtraffic_sweep-f343387bbb71e107.rmeta: examples/traffic_sweep.rs Cargo.toml
+
+examples/traffic_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

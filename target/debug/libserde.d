@@ -1,0 +1,1 @@
+/root/repo/target/debug/libserde.rlib: /root/repo/compat/serde/src/lib.rs

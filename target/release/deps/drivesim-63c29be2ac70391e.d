@@ -1,15 +1,17 @@
-/root/repo/target/release/deps/drivesim-63c29be2ac70391e.d: crates/drivesim/src/lib.rs crates/drivesim/src/area.rs crates/drivesim/src/diurnal.rs crates/drivesim/src/fleet.rs crates/drivesim/src/persist.rs crates/drivesim/src/random.rs crates/drivesim/src/scenario.rs crates/drivesim/src/trace.rs crates/drivesim/src/trip.rs
+/root/repo/target/release/deps/drivesim-63c29be2ac70391e.d: crates/drivesim/src/lib.rs crates/drivesim/src/area.rs crates/drivesim/src/diurnal.rs crates/drivesim/src/faults.rs crates/drivesim/src/fleet.rs crates/drivesim/src/persist.rs crates/drivesim/src/random.rs crates/drivesim/src/sanitize.rs crates/drivesim/src/scenario.rs crates/drivesim/src/trace.rs crates/drivesim/src/trip.rs
 
-/root/repo/target/release/deps/libdrivesim-63c29be2ac70391e.rlib: crates/drivesim/src/lib.rs crates/drivesim/src/area.rs crates/drivesim/src/diurnal.rs crates/drivesim/src/fleet.rs crates/drivesim/src/persist.rs crates/drivesim/src/random.rs crates/drivesim/src/scenario.rs crates/drivesim/src/trace.rs crates/drivesim/src/trip.rs
+/root/repo/target/release/deps/libdrivesim-63c29be2ac70391e.rlib: crates/drivesim/src/lib.rs crates/drivesim/src/area.rs crates/drivesim/src/diurnal.rs crates/drivesim/src/faults.rs crates/drivesim/src/fleet.rs crates/drivesim/src/persist.rs crates/drivesim/src/random.rs crates/drivesim/src/sanitize.rs crates/drivesim/src/scenario.rs crates/drivesim/src/trace.rs crates/drivesim/src/trip.rs
 
-/root/repo/target/release/deps/libdrivesim-63c29be2ac70391e.rmeta: crates/drivesim/src/lib.rs crates/drivesim/src/area.rs crates/drivesim/src/diurnal.rs crates/drivesim/src/fleet.rs crates/drivesim/src/persist.rs crates/drivesim/src/random.rs crates/drivesim/src/scenario.rs crates/drivesim/src/trace.rs crates/drivesim/src/trip.rs
+/root/repo/target/release/deps/libdrivesim-63c29be2ac70391e.rmeta: crates/drivesim/src/lib.rs crates/drivesim/src/area.rs crates/drivesim/src/diurnal.rs crates/drivesim/src/faults.rs crates/drivesim/src/fleet.rs crates/drivesim/src/persist.rs crates/drivesim/src/random.rs crates/drivesim/src/sanitize.rs crates/drivesim/src/scenario.rs crates/drivesim/src/trace.rs crates/drivesim/src/trip.rs
 
 crates/drivesim/src/lib.rs:
 crates/drivesim/src/area.rs:
 crates/drivesim/src/diurnal.rs:
+crates/drivesim/src/faults.rs:
 crates/drivesim/src/fleet.rs:
 crates/drivesim/src/persist.rs:
 crates/drivesim/src/random.rs:
+crates/drivesim/src/sanitize.rs:
 crates/drivesim/src/scenario.rs:
 crates/drivesim/src/trace.rs:
 crates/drivesim/src/trip.rs:

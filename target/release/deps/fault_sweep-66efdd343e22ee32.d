@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_sweep-66efdd343e22ee32.d: crates/bench/src/bin/fault_sweep.rs
+
+/root/repo/target/release/deps/fault_sweep-66efdd343e22ee32: crates/bench/src/bin/fault_sweep.rs
+
+crates/bench/src/bin/fault_sweep.rs:
