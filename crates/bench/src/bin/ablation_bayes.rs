@@ -11,8 +11,8 @@
 //! Output: per-area tables on stdout and
 //! `target/figures/ablation_bayes.csv`.
 
+use bench::write_csv;
 use drivesim::{Area, FleetConfig, VehicleTrace};
-use idling_bench::write_csv;
 use skirental::fleet_eval::evaluate_fleet;
 use skirental::{BreakEven, Strategy};
 

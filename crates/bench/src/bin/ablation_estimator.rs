@@ -8,8 +8,8 @@
 //!
 //! Output: table on stdout and `target/figures/ablation_estimator.csv`.
 
+use bench::write_csv;
 use drivesim::{Area, FleetConfig};
-use idling_bench::write_csv;
 use skirental::analysis::empirical_cr;
 use skirental::{BreakEven, ConstrainedStats};
 

@@ -5,7 +5,7 @@
 //! Output: the component table on stdout and
 //! `target/figures/appc_breakeven.csv`.
 
-use idling_bench::write_csv;
+use bench::write_csv;
 use powertrain::breakeven::{VehicleKind, VehicleSpec};
 use powertrain::emissions::{restart_equivalent_idle_seconds, Emissions};
 use powertrain::fuel::{idle_rate_from_displacement, IdleFuelModel};

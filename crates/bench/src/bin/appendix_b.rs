@@ -16,7 +16,7 @@
 //!
 //! Output: table on stdout and `target/figures/appendix_b.csv`.
 
-use idling_bench::write_csv;
+use bench::write_csv;
 use skirental::constrained::{
     mean_constrained_cr_game, moment_constrained_cr_game, MomentConstraint,
 };

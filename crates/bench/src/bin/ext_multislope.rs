@@ -9,8 +9,8 @@
 //!
 //! Output: table on stdout and `target/figures/ext_multislope.csv`.
 
+use bench::write_csv;
 use drivesim::{Area, FleetConfig};
-use idling_bench::write_csv;
 use skirental::multislope::MultiSlope;
 use skirental::BreakEven;
 

@@ -23,9 +23,9 @@
 //! Output: tables on stdout, `target/figures/fault_sweep_fleet.csv` and
 //! `fault_sweep_adversarial.csv`.
 
+use bench::{csv_f64, csv_row, fmt_cr, worker_threads, write_csv, RunReporter};
 use drivesim::faults::{Fault, FaultPlan};
 use drivesim::{Area, FleetConfig};
-use idling_bench::{fmt_cr, worker_threads, write_csv};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use skirental::estimator::{realized_cr, AdaptiveController};
@@ -161,13 +161,7 @@ fn sweep_fleet(b: BreakEven) -> Vec<String> {
             total.decisions_degraded as f64 / n * 100.0,
             total.decisions_untrusted as f64 / n * 100.0,
         );
-        rows.push(format!(
-            "{rate},{cr_clean:.6},{cr_degraded:.6},{cr_unguarded:.6},{},{},{},{}",
-            total.anomalies,
-            total.decisions_full,
-            total.decisions_degraded,
-            total.decisions_untrusted
-        ));
+        rows.push(sweep_csv_row(rate, cr_clean, cr_degraded, cr_unguarded, &total));
         if rate == 0.0 {
             rate0 = Some((cr_clean, cr_degraded, cr_unguarded));
         }
@@ -222,13 +216,7 @@ fn sweep_adversarial(b: BreakEven) -> Vec<String> {
             total.decisions_degraded as f64 / n * 100.0,
             total.decisions_untrusted as f64 / n * 100.0,
         );
-        rows.push(format!(
-            "{rate},{cr_clean:.6},{cr_degraded:.6},{cr_unguarded:.6},{},{},{},{}",
-            total.anomalies,
-            total.decisions_full,
-            total.decisions_degraded,
-            total.decisions_untrusted
-        ));
+        rows.push(sweep_csv_row(rate, cr_clean, cr_degraded, cr_unguarded, total));
 
         if rate == 0.0 {
             assert_eq!(
@@ -251,7 +239,24 @@ fn sweep_adversarial(b: BreakEven) -> Vec<String> {
     rows
 }
 
+/// One sweep row, shared by both experiments: rate, the three CRs at six
+/// decimals, then the raw diagnostic counts.
+fn sweep_csv_row(rate: f64, clean: f64, degraded: f64, unguarded: f64, total: &Sums) -> String {
+    csv_row(
+        std::iter::once(rate.to_string()).chain([clean, degraded, unguarded].map(csv_f64)).chain([
+            total.anomalies.to_string(),
+            total.decisions_full.to_string(),
+            total.decisions_degraded.to_string(),
+            total.decisions_untrusted.to_string(),
+        ]),
+    )
+}
+
 fn main() {
+    let mut reporter = RunReporter::from_args("fault_sweep");
+    reporter.meta("seed", SEED);
+    reporter.meta("vehicles", VEHICLES);
+    reporter.meta("threads", worker_threads());
     let b = BreakEven::SSV;
     let header = "fault_rate,cr_clean,cr_degraded,cr_unguarded,anomalies,decisions_full,\
                   decisions_degraded,decisions_untrusted";
@@ -262,4 +267,5 @@ fn main() {
     let path = write_csv("fault_sweep_adversarial.csv", header, &adv_rows);
     println!("written to {}", path.display());
     println!("\nall fault-sweep assertions passed");
+    reporter.finish();
 }

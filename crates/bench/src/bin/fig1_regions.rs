@@ -5,7 +5,7 @@
 //! N = N-Rand) and `target/figures/fig1_surface.csv` with columns
 //! `mu_over_b,q,choice,worst_case_cr` for plotting both panels.
 
-use idling_bench::write_csv;
+use bench::write_csv;
 use skirental::{BreakEven, ConstrainedStats, StrategyChoice};
 
 fn main() {

@@ -6,7 +6,7 @@
 //! Output: one table per panel on stdout and
 //! `target/figures/fig2_panel_<mu>.csv` with per-strategy CR columns.
 
-use idling_bench::write_csv;
+use bench::write_csv;
 use skirental::{BreakEven, ConstrainedStats, StrategyChoice};
 
 fn main() {

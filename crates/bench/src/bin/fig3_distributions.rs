@@ -6,8 +6,8 @@
 //! results against the fitted exponential, and
 //! `target/figures/fig3_distributions.csv`.
 
+use bench::write_csv;
 use drivesim::{Area, FleetConfig, VehicleTrace};
-use idling_bench::write_csv;
 use numeric::histogram::{Binning, Histogram};
 use stopmodel::dist::Exponential;
 use stopmodel::kstest::ks_test;

@@ -7,8 +7,8 @@
 //! Output: per-area tables on stdout and
 //! `target/figures/fig4_vehicle_test.csv`.
 
+use bench::write_csv;
 use drivesim::{synthesize_nrel_like_fleet, VehicleTrace};
-use idling_bench::write_csv;
 use skirental::fleet_eval::evaluate_fleet;
 use skirental::{BreakEven, Strategy};
 

@@ -10,8 +10,11 @@
 //!
 //! Output: tables on stdout and `target/figures/fig5.csv` / `fig6.csv`.
 
+use bench::{
+    area_mixture, csv_f64, csv_row, fmt_cr, stats_of, worker_threads, worst_case_cr, write_csv,
+    RunReporter,
+};
 use drivesim::Area;
-use idling_bench::{area_mixture, fmt_cr, stats_of, worker_threads, worst_case_cr, write_csv};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use skirental::fleet_eval::evaluate_fleet_parallel;
@@ -24,9 +27,14 @@ const VEHICLES: usize = 40;
 const STOPS_PER_VEHICLE: usize = 200;
 
 fn main() {
+    let mut reporter = RunReporter::from_args("fig56_sweep");
+    reporter.meta("seed", SEED);
+    reporter.meta("vehicles", VEHICLES);
+    reporter.meta("threads", worker_threads());
     for (fig, b) in [(5u32, BreakEven::SSV), (6u32, BreakEven::CONVENTIONAL)] {
         run_figure(fig, b);
     }
+    reporter.finish();
 }
 
 fn run_figure(fig: u32, b: BreakEven) {
@@ -73,14 +81,10 @@ fn run_figure(fig: u32, b: BreakEven) {
             fmt_cr(crs[4]),
             stats.optimal_choice().name()
         );
-        rows.push(format!(
-            "{mean},{:.6},{:.6},{:.6},{:.6},{:.6},{emp_worst:.6},{}",
-            crs[0],
-            crs[1],
-            crs[2],
-            crs[3],
-            crs[4],
-            stats.optimal_choice().name()
+        rows.push(csv_row(
+            std::iter::once(mean.to_string())
+                .chain(crs.iter().map(|&c| csv_f64(c)))
+                .chain([csv_f64(emp_worst), stats.optimal_choice().name().to_string()]),
         ));
 
         // The figures' shape claims:

@@ -9,8 +9,8 @@
 //!
 //! Output: table on stdout and `target/figures/fleet_savings.csv`.
 
+use bench::{worker_threads, write_csv, RunReporter};
 use drivesim::{Area, FleetConfig};
-use idling_bench::{worker_threads, write_csv};
 use powertrain::savings::AnnualProjection;
 use powertrain::{DriveOutcome, StopStartController, VehicleSpec};
 use rand::rngs::StdRng;
@@ -25,6 +25,10 @@ const VEHICLES_PER_AREA: usize = 60;
 const NATIONAL_FLEET: u64 = 250_000_000;
 
 fn main() {
+    let mut reporter = RunReporter::from_args("fleet_savings");
+    reporter.meta("seed", SEED);
+    reporter.meta("vehicles_per_area", VEHICLES_PER_AREA);
+    reporter.meta("threads", worker_threads());
     let spec = VehicleSpec::stop_start_vehicle();
     let b = spec.break_even();
     println!("Fleet savings projection ({} synthetic vehicles per area, {b})\n", VEHICLES_PER_AREA);
@@ -113,4 +117,5 @@ fn main() {
         &rows,
     );
     println!("\nwritten to {}", path.display());
+    reporter.finish();
 }

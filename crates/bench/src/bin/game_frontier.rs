@@ -11,7 +11,7 @@
 //! Output: an ASCII improvement map and
 //! `target/figures/game_frontier.csv`.
 
-use idling_bench::write_csv;
+use bench::write_csv;
 use skirental::{BreakEven, ConstrainedStats};
 
 const GRID_PLANE: usize = 16; // (μ, q) sampling

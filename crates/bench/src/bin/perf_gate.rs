@@ -1,0 +1,323 @@
+//! Performance-regression gate for CI.
+//!
+//! Runs a fixed-seed, pinned-thread-count workload that exercises every
+//! instrumented layer (engine drives, the adaptive controller, the
+//! degradation ladder, the sanitizer, the parallel fleet evaluator),
+//! captures a [`RunReport`], and compares it against the checked-in
+//! `BENCH_BASELINE.json` at the repository root:
+//!
+//! * **wall clock** must be within `PERF_GATE_TOLERANCE` × the baseline
+//!   (default 4×, loose enough for machine-to-machine variance but tight
+//!   enough to catch an order-of-magnitude regression);
+//! * **deterministic counters and histograms** must match the baseline
+//!   *exactly* — the workload is seeded and the thread count pinned, so
+//!   any drift means behavior changed (a silent extra restart, a lost
+//!   observation, a policy flip), not noise;
+//! * **metric invariants** must hold on the fresh run regardless of the
+//!   baseline: the sanitizer drops nothing on clean input, engine stops
+//!   partition into restarts + idle-throughs, and the report round-trips
+//!   through its own JSON.
+//!
+//! Timing-derived values (latency-histogram buckets, `busy_micros`,
+//! utilization gauges) are compared by *event count* only.
+//!
+//! Exit status: `0` pass, `1` regression (each failure names the metric),
+//! `2` usage/configuration error. Regenerate the baseline after an
+//! intentional behavior change with `--write-baseline` (see
+//! EXPERIMENTS.md); `--report out.json` additionally writes the fresh
+//! report for artifact upload.
+
+use bench::RunReporter;
+use drivesim::faults::{Fault, FaultPlan};
+use drivesim::sanitize::TraceSanitizer;
+use drivesim::{Area, FleetConfig, VehicleTrace};
+use obsv::RunReport;
+use powertrain::{StopStartController, VehicleSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use skirental::analysis::bootstrap_cr_ci_parallel;
+use skirental::estimator::AdaptiveController;
+use skirental::fleet_eval::evaluate_fleet_parallel;
+use skirental::{BreakEven, ConstrainedStats, DegradedController, Strategy};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::{env, fs};
+
+const SEED: u64 = 20140601;
+/// Pinned worker-thread count: parallel-runtime counters (chunk counts,
+/// serial-vs-sharded path) depend on it, so the gate never uses the
+/// machine's core count.
+const THREADS: usize = 4;
+const VEHICLES: usize = 96;
+/// Bootstrap resamples in the parallel-bootstrap phase.
+const RESAMPLES: usize = 2000;
+/// Jittered sub-second stops in the long-stream phase.
+const STREAM_STOPS: usize = 1_000_000;
+const ESTIMATOR_WINDOW: usize = 50;
+/// Default wall-clock tolerance factor vs the baseline.
+const DEFAULT_TOLERANCE: f64 = 4.0;
+
+fn baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_BASELINE.json")
+}
+
+/// The measured workload. Everything is seeded; the only nondeterminism
+/// in the resulting report is wall-clock time and latency-bucket shapes.
+fn workload() {
+    let b = BreakEven::SSV;
+    let spec = VehicleSpec::stop_start_vehicle();
+    let fleet = FleetConfig::new(Area::Chicago).vehicles(VEHICLES).synthesize(SEED);
+    let vehicles: Vec<Vec<f64>> = fleet.iter().map(VehicleTrace::stop_lengths).collect();
+
+    // Engine drives under the proposed policy (powertrain counters).
+    for (i, stops) in vehicles.iter().enumerate() {
+        let policy =
+            ConstrainedStats::from_samples(stops, b).expect("non-empty trace").optimal_policy();
+        let mut rng = StdRng::seed_from_u64(SEED ^ (i as u64 + 1));
+        StopStartController::new(&policy, spec).drive(stops, &mut rng).expect("valid trace");
+    }
+
+    // Adaptive controller on clean readings (estimator counters).
+    for (i, stops) in vehicles.iter().enumerate() {
+        let mut ctl = AdaptiveController::with_window(b, ESTIMATOR_WINDOW);
+        let mut rng = StdRng::seed_from_u64(SEED + i as u64);
+        ctl.run(stops, &mut rng).expect("non-empty trace");
+    }
+
+    // Degradation ladder under a composed fault plan (trust transitions,
+    // anomaly counters).
+    let plan = FaultPlan::new(vec![
+        Fault::StuckAt { rate: 0.05, run: 40, value_s: 900.0 },
+        Fault::Corrupt { rate: 0.02 },
+    ])
+    .expect("valid fault plan");
+    for (i, stops) in vehicles.iter().enumerate() {
+        let observed = plan.corrupt_observations(stops, SEED ^ ((i as u64 + 1) * 7919));
+        let mut deg = DegradedController::with_estimator_window(b, ESTIMATOR_WINDOW);
+        let mut rng = StdRng::seed_from_u64(SEED + 31 + i as u64);
+        deg.run_observed(stops, &observed, &mut rng).expect("clean true stops");
+    }
+
+    // Sanitizer on known-clean durations (the zero-drop invariant).
+    for stops in &vehicles {
+        let (clean, report) = TraceSanitizer::default().sanitize_durations(stops);
+        assert_eq!(clean.len(), stops.len());
+        assert!(report.is_clean(), "synthesized stop lengths must sanitize clean");
+    }
+
+    // Parallel fleet evaluation on the pinned thread count.
+    evaluate_fleet_parallel(
+        &vehicles,
+        b,
+        &[Strategy::Det, Strategy::Toi, Strategy::NRand, Strategy::Proposed],
+        THREADS,
+    )
+    .expect("non-empty fleet");
+
+    // Parallel bootstrap on the densest trace — the heaviest single
+    // computation, so wall time reflects real per-item work.
+    let stops = vehicles.iter().max_by_key(|v| v.len()).expect("non-empty fleet");
+    let policy =
+        ConstrainedStats::from_samples(stops, b).expect("non-empty trace").optimal_policy();
+    let mut rng = StdRng::seed_from_u64(SEED + 97);
+    bootstrap_cr_ci_parallel(&policy, stops, RESAMPLES, 0.95, &mut rng, THREADS)
+        .expect("non-empty trace");
+
+    // Long jittered stream through the full ladder — the fault_sweep
+    // adversarial fixture at reduced size, so the gate's wall time is
+    // dominated by per-stop decision work rather than setup.
+    let mut rng = StdRng::seed_from_u64(SEED + 7);
+    let stream: Vec<f64> =
+        (0..STREAM_STOPS).map(|_| 0.2 + 0.1 * stopmodel::uniform01(&mut rng)).collect();
+    let observed = plan.corrupt_observations(&stream, SEED + 13);
+    let mut deg = DegradedController::with_estimator_window(b, ESTIMATOR_WINDOW);
+    let mut rng = StdRng::seed_from_u64(SEED + 131);
+    deg.run_observed(&stream, &observed, &mut rng).expect("clean true stops");
+}
+
+/// Whether a counter's value is timing-derived (excluded from exact
+/// comparison).
+fn timing_counter(name: &str) -> bool {
+    name.ends_with("busy_micros")
+}
+
+/// Whether a histogram holds latencies (bucket shape is noise; only the
+/// event count is deterministic).
+fn timing_histogram(name: &str) -> bool {
+    name.ends_with("_seconds")
+}
+
+/// Whether a gauge's value is timing-derived.
+fn timing_gauge(name: &str) -> bool {
+    name.ends_with("utilization")
+}
+
+/// Baseline-independent sanity checks on the fresh report.
+fn invariants(fresh: &RunReport) -> Vec<String> {
+    let m = &fresh.metrics;
+    let mut failures = Vec::new();
+    for class in ["non_finite", "negative", "out_of_order", "duplicate", "implausible", "stuck"] {
+        let name = format!("drivesim.sanitize.dropped.{class}");
+        let v = m.counter(&name);
+        if v != 0 {
+            failures.push(format!("{name}: {v} drops on clean input (expected 0)"));
+        }
+    }
+    if m.counter("drivesim.sanitize.events_in") != m.counter("drivesim.sanitize.events_clean") {
+        failures.push("drivesim.sanitize.events_clean: != events_in on clean input".to_string());
+    }
+    let stops = m.counter("powertrain.controller.stops");
+    let split = m.counter("powertrain.controller.restarts")
+        + m.counter("powertrain.controller.idled_through");
+    if stops != split {
+        failures.push(format!(
+            "powertrain.controller.stops: {stops} != restarts+idled_through {split}"
+        ));
+    }
+    if stops == 0 {
+        failures.push("powertrain.controller.stops: workload recorded no stops".to_string());
+    }
+    if m.counter("skirental.parallel.calls") == 0 {
+        failures
+            .push("skirental.parallel.calls: workload never hit the parallel runtime".to_string());
+    }
+    match RunReport::from_json(&fresh.to_json()) {
+        Ok(back) if &back == fresh => {}
+        Ok(_) => failures.push("report JSON: round-trip is not the identity".to_string()),
+        Err(e) => failures.push(format!("report JSON: does not re-parse: {e}")),
+    }
+    failures
+}
+
+/// Compares the fresh report against the baseline; returns one line per
+/// regression, each naming the offending metric.
+fn compare(fresh: &RunReport, baseline: &RunReport, tolerance: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    if fresh.wall_s > baseline.wall_s * tolerance {
+        failures.push(format!(
+            "wall_s: fresh {:.3} s exceeds baseline {:.3} s x tolerance {tolerance} \
+             (set PERF_GATE_TOLERANCE to override)",
+            fresh.wall_s, baseline.wall_s
+        ));
+    }
+    for (name, &base) in &baseline.metrics.counters {
+        if timing_counter(name) {
+            continue;
+        }
+        let got = fresh.metrics.counter(name);
+        if got != base {
+            failures.push(format!("counter {name}: fresh {got} != baseline {base}"));
+        }
+    }
+    for name in fresh.metrics.counters.keys() {
+        if !timing_counter(name) && !baseline.metrics.counters.contains_key(name) {
+            failures.push(format!(
+                "counter {name}: not in baseline (regenerate with --write-baseline)"
+            ));
+        }
+    }
+    for (name, base) in &baseline.metrics.histograms {
+        let Some(got) = fresh.metrics.histograms.get(name) else {
+            failures.push(format!("histogram {name}: missing from fresh run"));
+            continue;
+        };
+        if got.count() != base.count() {
+            failures.push(format!(
+                "histogram {name}: fresh count {} != baseline count {}",
+                got.count(),
+                base.count()
+            ));
+        } else if !timing_histogram(name)
+            && (got.counts != base.counts || got.sum_micros != base.sum_micros)
+        {
+            failures.push(format!("histogram {name}: bucket contents differ from baseline"));
+        }
+    }
+    for name in fresh.metrics.histograms.keys() {
+        if !baseline.metrics.histograms.contains_key(name) {
+            failures.push(format!(
+                "histogram {name}: not in baseline (regenerate with --write-baseline)"
+            ));
+        }
+    }
+    for (name, &base) in &baseline.metrics.gauges {
+        if timing_gauge(name) {
+            continue;
+        }
+        let got = fresh.metrics.gauges.get(name).copied();
+        if got != Some(base) {
+            failures.push(format!("gauge {name}: fresh {got:?} != baseline {base}"));
+        }
+    }
+    failures
+}
+
+fn main() -> ExitCode {
+    let write_baseline = env::args().skip(1).any(|a| a == "--write-baseline");
+    let mut reporter = RunReporter::from_args("perf_gate");
+    // The gate always measures, with or without `--report`.
+    obsv::global().reset();
+    obsv::global().enable();
+    reporter.meta("seed", SEED);
+    reporter.meta("threads", THREADS);
+    reporter.meta("vehicles", VEHICLES);
+
+    workload();
+
+    let fresh = reporter.capture();
+    reporter.finish();
+    let path = baseline_path();
+
+    if write_baseline {
+        if let Err(e) = fs::write(&path, fresh.to_json() + "\n") {
+            eprintln!("perf_gate: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("baseline written to {} (wall {:.3} s)", path.display(), fresh.wall_s);
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match fs::read_to_string(&path) {
+        Ok(text) => match RunReport::from_json(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("perf_gate: malformed baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        Err(e) => {
+            eprintln!(
+                "perf_gate: cannot read baseline {} ({e}); generate it with --write-baseline",
+                path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let tolerance = env::var("PERF_GATE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|t| t.is_finite() && *t > 0.0)
+        .unwrap_or(DEFAULT_TOLERANCE);
+
+    let mut failures = invariants(&fresh);
+    failures.extend(compare(&fresh, &baseline, tolerance));
+
+    if failures.is_empty() {
+        println!(
+            "perf gate PASS: wall {:.3} s (baseline {:.3} s, tolerance {tolerance}x), \
+             {} counters / {} histograms matched",
+            fresh.wall_s,
+            baseline.wall_s,
+            baseline.metrics.counters.len(),
+            baseline.metrics.histograms.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("perf gate FAIL ({} regression(s)):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

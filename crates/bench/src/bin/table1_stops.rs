@@ -6,8 +6,8 @@
 //! in the paper. Output: the table on stdout and
 //! `target/figures/table1_stops.csv`.
 
+use bench::write_csv;
 use drivesim::{Area, FleetConfig, Table1Row};
-use idling_bench::write_csv;
 
 const SEED: u64 = 2014;
 

@@ -6,9 +6,9 @@
 //!
 //! Output: tables on stdout and `target/figures/workload_report.csv`.
 
+use bench::{worker_threads, write_csv, RunReporter};
 use drivesim::diurnal::DiurnalProfile;
 use drivesim::{Area, FleetConfig, StopCause, VehicleProfile};
-use idling_bench::{worker_threads, write_csv};
 use numeric::stats::RunningStats;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -18,6 +18,9 @@ use skirental::{BreakEven, StopSummary};
 const SEED: u64 = 2014;
 
 fn main() {
+    let mut reporter = RunReporter::from_args("workload_report");
+    reporter.meta("seed", SEED);
+    reporter.meta("threads", worker_threads());
     let b = BreakEven::SSV;
     let mut rows = Vec::new();
 
@@ -116,4 +119,5 @@ fn main() {
 
     let path = write_csv("workload_report.csv", "area,cause,share_pct,mean_s,max_s", &rows);
     println!("\nwritten to {}", path.display());
+    reporter.finish();
 }

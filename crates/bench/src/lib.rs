@@ -10,11 +10,14 @@
 #![warn(missing_docs)]
 
 use drivesim::Area;
+use obsv::RunReport;
 use skirental::{e_ratio, BreakEven, ConstrainedStats, Strategy, StrategyChoice};
 use std::f64::consts::E;
+use std::fmt::Display;
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::time::Instant;
 use stopmodel::dist::{LogNormal, Mixture, Pareto};
 
 /// Directory CSV outputs are written to.
@@ -39,6 +42,102 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
         writeln!(f, "{row}").expect("can write CSV");
     }
     path
+}
+
+/// Formats one float CSV field at six decimals — the precision every
+/// figure series uses (plot input, not round-trip storage).
+#[must_use]
+pub fn csv_f64(x: f64) -> String {
+    format!("{x:.6}")
+}
+
+/// Joins already-formatted fields into one CSV row. The shared row
+/// builder for the sweep binaries, so label + float-series + counts rows
+/// are assembled one way everywhere.
+#[must_use]
+pub fn csv_row(fields: impl IntoIterator<Item = String>) -> String {
+    fields.into_iter().collect::<Vec<_>>().join(",")
+}
+
+/// Handles the harness binaries' shared `--report <out.json>` flag.
+///
+/// Constructed at the top of `main`: when the flag is present the
+/// process-wide [`obsv::global`] metrics registry is reset and enabled, so
+/// the whole run records; [`RunReporter::finish`] then snapshots it into a
+/// [`RunReport`] and writes deterministic JSON to the requested path.
+/// Without the flag everything is a no-op and the registry stays disabled
+/// (a few relaxed atomic loads per instrumented operation).
+pub struct RunReporter {
+    bin: &'static str,
+    path: Option<PathBuf>,
+    meta: Vec<(String, String)>,
+    start: Instant,
+}
+
+impl RunReporter {
+    /// Parses `--report <path>` / `--report=<path>` from the process
+    /// arguments (last occurrence wins).
+    #[must_use]
+    pub fn from_args(bin: &'static str) -> Self {
+        let mut path = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--report" {
+                path = args.next().map(PathBuf::from);
+            } else if let Some(p) = a.strip_prefix("--report=") {
+                path = Some(PathBuf::from(p));
+            }
+        }
+        Self::to_path(bin, path)
+    }
+
+    /// A reporter writing to an explicit destination (`None` disables it);
+    /// the programmatic entry point `perf_gate` uses.
+    #[must_use]
+    pub fn to_path(bin: &'static str, path: Option<PathBuf>) -> Self {
+        if path.is_some() {
+            obsv::global().reset();
+            obsv::global().enable();
+        }
+        Self { bin, path, meta: Vec::new(), start: Instant::now() }
+    }
+
+    /// Whether a report will be written.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Attaches one metadata entry (seed, thread count, …).
+    pub fn meta(&mut self, key: &str, value: impl Display) {
+        self.meta.push((key.to_string(), value.to_string()));
+    }
+
+    /// Builds the report from the elapsed wall time and a snapshot of the
+    /// global registry (without writing anything).
+    #[must_use]
+    pub fn capture(&self) -> RunReport {
+        let mut report =
+            RunReport::new(self.bin, self.start.elapsed().as_secs_f64(), obsv::global().snapshot());
+        for (k, v) in &self.meta {
+            report = report.with_meta(k, v);
+        }
+        report
+    }
+
+    /// Snapshots the registry and writes the report JSON. No-op when the
+    /// run was started without `--report`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report file cannot be written (same recovery story as
+    /// [`write_csv`]: none).
+    pub fn finish(self) {
+        let Some(path) = self.path.as_ref() else { return };
+        let report = self.capture();
+        fs::write(path, report.to_json() + "\n").expect("can write run report");
+        println!("run report written to {}", path.display());
+    }
 }
 
 /// The area-level stop-length mixture (lights + signs + congestion) built

@@ -38,6 +38,7 @@ pub mod area;
 pub mod diurnal;
 pub mod faults;
 pub mod fleet;
+mod obs;
 pub mod persist;
 pub mod random;
 pub mod sanitize;

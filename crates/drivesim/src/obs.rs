@@ -1,0 +1,40 @@
+//! Crate-internal observability handles against [`obsv::global`].
+//!
+//! Only the sanitization boundary is instrumented: it is the single choke
+//! point between raw sensor streams and the panic-on-garbage analysis
+//! crates, so per-class drop counters here give a run-level view of input
+//! quality without touching the synthesis hot paths.
+
+use obsv::Counter;
+use std::sync::OnceLock;
+
+pub(crate) struct Metrics {
+    pub sanitize_calls: Counter,
+    pub events_in: Counter,
+    pub events_clean: Counter,
+    pub dropped_non_finite: Counter,
+    pub dropped_negative: Counter,
+    pub dropped_out_of_order: Counter,
+    pub dropped_duplicate: Counter,
+    pub dropped_implausible: Counter,
+    pub dropped_stuck: Counter,
+}
+
+static METRICS: OnceLock<Metrics> = OnceLock::new();
+
+pub(crate) fn metrics() -> &'static Metrics {
+    METRICS.get_or_init(|| {
+        let r = obsv::global();
+        Metrics {
+            sanitize_calls: r.counter("drivesim.sanitize.calls"),
+            events_in: r.counter("drivesim.sanitize.events_in"),
+            events_clean: r.counter("drivesim.sanitize.events_clean"),
+            dropped_non_finite: r.counter("drivesim.sanitize.dropped.non_finite"),
+            dropped_negative: r.counter("drivesim.sanitize.dropped.negative"),
+            dropped_out_of_order: r.counter("drivesim.sanitize.dropped.out_of_order"),
+            dropped_duplicate: r.counter("drivesim.sanitize.dropped.duplicate"),
+            dropped_implausible: r.counter("drivesim.sanitize.dropped.implausible"),
+            dropped_stuck: r.counter("drivesim.sanitize.dropped.stuck"),
+        }
+    })
+}

@@ -212,6 +212,16 @@ impl TraceSanitizer {
             clean.push((start, duration));
         }
         report.clean_events = clean.len() as u64;
+        let m = crate::obs::metrics();
+        m.sanitize_calls.inc();
+        m.events_in.add(report.input_events);
+        m.events_clean.add(report.clean_events);
+        m.dropped_non_finite.add(report.non_finite);
+        m.dropped_negative.add(report.negative);
+        m.dropped_out_of_order.add(report.out_of_order);
+        m.dropped_duplicate.add(report.duplicate);
+        m.dropped_implausible.add(report.implausible);
+        m.dropped_stuck.add(report.stuck);
         (clean, report)
     }
 

@@ -1,0 +1,67 @@
+//! Std-only, zero-dependency observability for the idling-reduction stack.
+//!
+//! Every other crate in the workspace may depend on this one, so it pulls
+//! in nothing: counters, gauges, and histograms are plain atomics, span
+//! timers are `std::time::Instant` pairs, and the machine-readable
+//! [`RunReport`] is emitted and parsed by a built-in minimal JSON module
+//! (the workspace's vendored `serde` stand-in is a no-op marker, so hand
+//! rolling the few dozen lines is the only way to actually serialize).
+//!
+//! # Design
+//!
+//! * A [`MetricsRegistry`] owns named metrics and hands out cheaply
+//!   clonable handles ([`Counter`], [`Gauge`], [`Histogram`], [`Timer`]).
+//!   Handles stay valid forever — [`MetricsRegistry::reset`] zeroes values
+//!   in place, it never invalidates a handle.
+//! * The process-wide [`global`] registry starts **disabled**: every
+//!   recording operation on a disabled registry is one relaxed atomic load
+//!   and a branch, so instrumented library code costs nothing measurable
+//!   unless a harness binary opts in with [`MetricsRegistry::enable`].
+//!   Criterion's naive-vs-summary groups lock this in.
+//! * Histograms use fixed, caller-supplied bucket bounds and accumulate
+//!   their sum in fixed-point microunits (`u64`), so snapshot **merge is
+//!   exactly associative and commutative** — a property the proptest suite
+//!   checks — where floating-point summation would not be.
+//! * [`MetricsRegistry::snapshot`] captures everything into sorted
+//!   `BTreeMap`s; [`RunReport`] wraps a snapshot with run metadata and
+//!   wall-clock time and round-trips through a stable JSON encoding used
+//!   by the bench binaries' `--report` flag and the CI perf gate.
+//!
+//! # Example
+//!
+//! ```
+//! use obsv::MetricsRegistry;
+//!
+//! let registry = MetricsRegistry::new(); // local registries start enabled
+//! let restarts = registry.counter("engine.restarts");
+//! let stop_len = registry.histogram("engine.stop_length_s", &[5.0, 30.0, 120.0]);
+//! restarts.inc();
+//! stop_len.record(17.0);
+//!
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counters["engine.restarts"], 1);
+//! assert_eq!(snap.histograms["engine.stop_length_s"].count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod json;
+mod metrics;
+mod report;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, Span, Timer};
+pub use report::{HistogramSnapshot, MetricsSnapshot, ReportError, RunReport, REPORT_VERSION};
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// The process-wide registry instrumented library code records into.
+///
+/// Starts **disabled** — recording is a near-free no-op until a binary
+/// calls `obsv::global().enable()`.
+pub fn global() -> &'static MetricsRegistry {
+    GLOBAL.get_or_init(MetricsRegistry::disabled)
+}

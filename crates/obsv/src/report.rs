@@ -1,0 +1,379 @@
+//! Snapshot types and the machine-readable [`RunReport`].
+
+use crate::json::{ParseError, Value};
+use crate::metrics::SUM_SCALE;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Schema version stamped into every report; bump on breaking layout
+/// changes so the perf gate can reject stale baselines with a clear
+/// message instead of a key-mismatch puzzle.
+pub const REPORT_VERSION: u64 = 1;
+
+/// An immutable capture of one histogram's state.
+///
+/// `counts[i]` is the number of recorded values `v` with
+/// `bounds[i-1] < v <= bounds[i]` (first bucket: `v <= bounds[0]`; last
+/// bucket: `v > bounds[last]`), so `counts.len() == bounds.len() + 1`.
+/// The sum is kept in fixed-point microunits, which makes [`merge`]
+/// exactly associative and commutative — integer addition, no
+/// floating-point reassociation error.
+///
+/// [`merge`]: HistogramSnapshot::merge
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Ascending bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts (one more than `bounds`).
+    pub counts: Vec<u64>,
+    /// Sum of recorded values, in microunits.
+    pub sum_micros: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean recorded value (`0.0` when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_micros as f64 / SUM_SCALE / n as f64
+        }
+    }
+
+    /// Combines two snapshots of histograms with identical bounds, or
+    /// `None` on a bounds mismatch. Exactly associative and commutative.
+    #[must_use]
+    pub fn merge(&self, other: &Self) -> Option<Self> {
+        if self.bounds != other.bounds || self.counts.len() != other.counts.len() {
+            return None;
+        }
+        Some(Self {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .zip(&other.counts)
+                .map(|(a, b)| a.saturating_add(*b))
+                .collect(),
+            sum_micros: self.sum_micros.saturating_add(other.sum_micros),
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        obj.insert(
+            "bounds".to_string(),
+            Value::Arr(self.bounds.iter().map(|&b| Value::float(b)).collect()),
+        );
+        obj.insert(
+            "counts".to_string(),
+            Value::Arr(self.counts.iter().map(|&c| Value::UInt(c)).collect()),
+        );
+        obj.insert("sum_micros".to_string(), Value::UInt(self.sum_micros));
+        Value::Obj(obj)
+    }
+
+    fn from_value(name: &str, v: &Value) -> Result<Self, ReportError> {
+        let obj = v.as_obj().ok_or_else(|| ReportError::shape(name, "histogram object"))?;
+        let bounds = obj
+            .get("bounds")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| ReportError::shape(name, "bounds array"))?
+            .iter()
+            .map(|b| b.as_f64().ok_or_else(|| ReportError::shape(name, "numeric bound")))
+            .collect::<Result<Vec<f64>, _>>()?;
+        let counts = obj
+            .get("counts")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| ReportError::shape(name, "counts array"))?
+            .iter()
+            .map(|c| c.as_u64().ok_or_else(|| ReportError::shape(name, "integer count")))
+            .collect::<Result<Vec<u64>, _>>()?;
+        if counts.len() != bounds.len() + 1 {
+            return Err(ReportError::shape(name, "counts.len() == bounds.len() + 1"));
+        }
+        let sum_micros = obj
+            .get("sum_micros")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ReportError::shape(name, "integer sum_micros"))?;
+        Ok(Self { bounds, counts, sum_micros })
+    }
+}
+
+/// All metric values of a registry at one instant, sorted by name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value by name (`0` when absent — an unexercised code path
+    /// never registers its metrics).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// A machine-readable record of one harness run: metadata, wall-clock
+/// time, and a full [`MetricsSnapshot`]. Serializes to deterministic,
+/// diff-stable JSON (sorted keys, shortest-round-trip floats).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Schema version ([`REPORT_VERSION`]).
+    pub version: u64,
+    /// The binary (or workload) that produced the report.
+    pub bin: String,
+    /// Free-form metadata: seed, thread count, git describe, …
+    pub meta: BTreeMap<String, String>,
+    /// Wall-clock duration of the measured section, seconds.
+    pub wall_s: f64,
+    /// The metric values.
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunReport {
+    /// Builds a report around a snapshot.
+    #[must_use]
+    pub fn new(bin: &str, wall_s: f64, metrics: MetricsSnapshot) -> Self {
+        Self {
+            version: REPORT_VERSION,
+            bin: bin.to_string(),
+            meta: BTreeMap::new(),
+            wall_s,
+            metrics,
+        }
+    }
+
+    /// Adds one metadata entry; returns `self` for chaining.
+    #[must_use]
+    pub fn with_meta(mut self, key: &str, value: impl fmt::Display) -> Self {
+        self.meta.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Serializes to a single-line JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut obj = BTreeMap::new();
+        obj.insert("version".to_string(), Value::UInt(self.version));
+        obj.insert("bin".to_string(), Value::Str(self.bin.clone()));
+        obj.insert(
+            "meta".to_string(),
+            Value::Obj(self.meta.iter().map(|(k, v)| (k.clone(), Value::Str(v.clone()))).collect()),
+        );
+        obj.insert("wall_s".to_string(), Value::float(self.wall_s));
+        obj.insert(
+            "counters".to_string(),
+            Value::Obj(
+                self.metrics.counters.iter().map(|(k, &v)| (k.clone(), Value::UInt(v))).collect(),
+            ),
+        );
+        obj.insert(
+            "gauges".to_string(),
+            Value::Obj(
+                self.metrics.gauges.iter().map(|(k, &v)| (k.clone(), Value::float(v))).collect(),
+            ),
+        );
+        obj.insert(
+            "histograms".to_string(),
+            Value::Obj(
+                self.metrics.histograms.iter().map(|(k, h)| (k.clone(), h.to_value())).collect(),
+            ),
+        );
+        Value::Obj(obj).to_string()
+    }
+
+    /// Parses a report previously emitted by [`RunReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReportError`] on malformed JSON, a missing or mistyped
+    /// field, or a schema version newer than this library understands.
+    pub fn from_json(input: &str) -> Result<Self, ReportError> {
+        let root = Value::parse(input)?;
+        let obj = root.as_obj().ok_or_else(|| ReportError::shape("<root>", "object"))?;
+        let version = obj
+            .get("version")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ReportError::shape("version", "integer"))?;
+        if version > REPORT_VERSION {
+            return Err(ReportError::Version { found: version, supported: REPORT_VERSION });
+        }
+        let bin = obj
+            .get("bin")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ReportError::shape("bin", "string"))?
+            .to_string();
+        let mut meta = BTreeMap::new();
+        if let Some(m) = obj.get("meta").and_then(Value::as_obj) {
+            for (k, v) in m {
+                meta.insert(
+                    k.clone(),
+                    v.as_str()
+                        .ok_or_else(|| ReportError::shape(k, "string meta value"))?
+                        .to_string(),
+                );
+            }
+        }
+        let wall_s = obj
+            .get("wall_s")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| ReportError::shape("wall_s", "number"))?;
+        let mut metrics = MetricsSnapshot::default();
+        if let Some(c) = obj.get("counters").and_then(Value::as_obj) {
+            for (k, v) in c {
+                metrics.counters.insert(
+                    k.clone(),
+                    v.as_u64().ok_or_else(|| ReportError::shape(k, "integer counter"))?,
+                );
+            }
+        }
+        if let Some(g) = obj.get("gauges").and_then(Value::as_obj) {
+            for (k, v) in g {
+                metrics.gauges.insert(
+                    k.clone(),
+                    v.as_f64().ok_or_else(|| ReportError::shape(k, "numeric gauge"))?,
+                );
+            }
+        }
+        if let Some(h) = obj.get("histograms").and_then(Value::as_obj) {
+            for (k, v) in h {
+                metrics.histograms.insert(k.clone(), HistogramSnapshot::from_value(k, v)?);
+            }
+        }
+        Ok(Self { version, bin, meta, wall_s, metrics })
+    }
+}
+
+/// Errors from parsing a [`RunReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReportError {
+    /// The document is not valid JSON.
+    Json(ParseError),
+    /// A field is missing or has the wrong type.
+    Shape {
+        /// The offending field.
+        field: String,
+        /// What was expected there.
+        expected: String,
+    },
+    /// The report was produced by a newer schema.
+    Version {
+        /// Version found in the document.
+        found: u64,
+        /// Highest version this library reads.
+        supported: u64,
+    },
+}
+
+impl ReportError {
+    fn shape(field: &str, expected: &str) -> Self {
+        Self::Shape { field: field.to_string(), expected: expected.to_string() }
+    }
+}
+
+impl From<ParseError> for ReportError {
+    fn from(e: ParseError) -> Self {
+        Self::Json(e)
+    }
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Json(e) => write!(f, "run report: {e}"),
+            Self::Shape { field, expected } => {
+                write!(f, "run report field {field:?}: expected {expected}")
+            }
+            Self::Version { found, supported } => {
+                write!(f, "run report version {found} is newer than supported {supported}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    fn sample_report() -> RunReport {
+        let r = MetricsRegistry::new();
+        r.counter("a.count").add(42);
+        r.gauge("a.util").set(0.375);
+        let h = r.histogram("a.lat", &[1.0, 10.0]);
+        h.record(0.5);
+        h.record(100.0);
+        RunReport::new("selftest", 1.25, r.snapshot())
+            .with_meta("seed", 2014)
+            .with_meta("threads", 4)
+    }
+
+    #[test]
+    fn json_roundtrip_is_identity() {
+        let report = sample_report();
+        let json = report.to_json();
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+        // Deterministic: re-emission is byte-identical.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn snapshot_counter_defaults_to_zero() {
+        let s = MetricsSnapshot::default();
+        assert_eq!(s.counter("never.registered"), 0);
+    }
+
+    #[test]
+    fn merge_requires_matching_bounds() {
+        let a = HistogramSnapshot { bounds: vec![1.0], counts: vec![1, 2], sum_micros: 10 };
+        let b = HistogramSnapshot { bounds: vec![2.0], counts: vec![3, 4], sum_micros: 20 };
+        assert!(a.merge(&b).is_none());
+        let c = a.merge(&a).unwrap();
+        assert_eq!(c.counts, vec![2, 4]);
+        assert_eq!(c.sum_micros, 20);
+        assert_eq!(c.count(), 6);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        let h = HistogramSnapshot { bounds: vec![1.0], counts: vec![0, 0], sum_micros: 0 };
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn rejects_future_versions_and_garbage() {
+        let mut report = sample_report();
+        report.version = REPORT_VERSION + 1;
+        let err = RunReport::from_json(&report.to_json()).unwrap_err();
+        assert!(matches!(err, ReportError::Version { .. }));
+        assert!(RunReport::from_json("not json").is_err());
+        assert!(RunReport::from_json("{}").is_err());
+        let e = RunReport::from_json(r#"{"version":1,"bin":3}"#).unwrap_err();
+        assert!(e.to_string().contains("bin"));
+    }
+
+    #[test]
+    fn counts_length_validated() {
+        let bad = r#"{"version":1,"bin":"x","wall_s":0.0,
+            "histograms":{"h":{"bounds":[1.0],"counts":[1],"sum_micros":0}}}"#;
+        assert!(RunReport::from_json(bad).is_err());
+    }
+}

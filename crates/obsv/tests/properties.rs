@@ -1,0 +1,84 @@
+//! Property tests for the metric primitives: the algebraic facts the
+//! perf gate and the report pipeline rely on.
+
+use obsv::{HistogramSnapshot, MetricsRegistry};
+use proptest::prelude::*;
+
+const BOUNDS: [f64; 4] = [1.0, 10.0, 100.0, 1000.0];
+
+/// Builds a snapshot by recording `values` into a fresh histogram.
+fn hist_of(values: &[f64]) -> HistogramSnapshot {
+    let r = MetricsRegistry::new();
+    let h = r.histogram("h", &BOUNDS);
+    for &v in values {
+        h.record(v);
+    }
+    r.snapshot().histograms["h"].clone()
+}
+
+fn values() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..5000.0, 0..60)
+}
+
+proptest! {
+    /// Merging is exactly associative and commutative — the fixed-point
+    /// integer sum means no floating-point reassociation error, so a
+    /// sharded run's merged histogram is independent of merge order.
+    #[test]
+    fn histogram_merge_associative_commutative(
+        a in values(),
+        b in values(),
+        c in values(),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let ab = ha.merge(&hb).unwrap();
+        let ba = hb.merge(&ha).unwrap();
+        prop_assert_eq!(&ab, &ba);
+        let ab_c = ab.merge(&hc).unwrap();
+        let a_bc = ha.merge(&hb.merge(&hc).unwrap()).unwrap();
+        prop_assert_eq!(&ab_c, &a_bc);
+        prop_assert_eq!(ab_c.count(), (a.len() + b.len() + c.len()) as u64);
+    }
+
+    /// A merged histogram equals the histogram of the concatenated
+    /// sample — merging loses nothing but ordering.
+    #[test]
+    fn histogram_merge_equals_concat(a in values(), b in values()) {
+        let merged = hist_of(&a).merge(&hist_of(&b)).unwrap();
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        prop_assert_eq!(merged, hist_of(&both));
+    }
+
+    /// Counter values observed across a snapshot sequence are monotone
+    /// non-decreasing: counters only ever add.
+    #[test]
+    fn counter_snapshots_monotone(increments in prop::collection::vec(0u64..1000, 1..40)) {
+        let r = MetricsRegistry::new();
+        let c = r.counter("events");
+        let mut previous = 0u64;
+        let mut expected = 0u64;
+        for inc in increments {
+            c.add(inc);
+            expected += inc;
+            let seen = r.snapshot().counters["events"];
+            prop_assert!(seen >= previous, "counter went backwards: {} < {}", seen, previous);
+            prop_assert_eq!(seen, expected);
+            previous = seen;
+        }
+    }
+
+    /// Histogram count/sum stay consistent under arbitrary input,
+    /// including the garbage-clamping path.
+    #[test]
+    fn histogram_count_tracks_records(values in prop::collection::vec(-100.0f64..5000.0, 0..80)) {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("h", &BOUNDS);
+        for &v in &values {
+            h.record(v);
+        }
+        let s = r.snapshot().histograms["h"].clone();
+        prop_assert_eq!(s.count(), values.len() as u64);
+        prop_assert_eq!(s.counts.iter().sum::<u64>(), values.len() as u64);
+    }
+}

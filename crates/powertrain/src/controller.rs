@@ -307,11 +307,13 @@ impl<'a, P: Policy + ?Sized> StopStartController<'a, P> {
             faults_resynced: resynced,
             ..Default::default()
         };
+        let m = crate::obs::metrics();
         let mut t = 0.0;
         for (gap, y) in stops {
             // Drive to the stop.
             t += gap;
             machine.apply(EngineEvent::VehicleStops, t)?;
+            m.stop_length_s.record(y);
 
             let x = self.policy.sample_threshold(rng);
             if y < x {
@@ -351,6 +353,13 @@ impl<'a, P: Policy + ?Sized> StopStartController<'a, P> {
         out.total_dollars = out.fuel_cc / idle_rate_cc * idle_rate_dollars
             + out.wear_dollars
             + out.emissions.nox_tax_dollars();
+        m.drives.inc();
+        m.stops.add(out.stops);
+        m.restarts.add(out.restarts);
+        m.idled_through.add(out.stops - out.restarts);
+        m.faults_skipped.add(out.faults_skipped);
+        m.faults_resynced.add(out.faults_resynced);
+        m.fuel_microcc.add((out.fuel_cc * crate::obs::FUEL_SCALE).round() as u64);
         Ok(out)
     }
 }

@@ -47,6 +47,7 @@ pub mod controller;
 pub mod emissions;
 pub mod engine;
 pub mod fuel;
+mod obs;
 pub mod restart;
 pub mod savings;
 

@@ -1,0 +1,47 @@
+//! Crate-internal observability handles against [`obsv::global`].
+//!
+//! The stop-start controller records per-stop stop lengths and per-drive
+//! outcome totals (restarts, skipped stops, fuel). Recording happens in
+//! [`crate::controller`] only — the cost-model math stays untouched.
+
+use obsv::{Counter, Histogram};
+use std::sync::OnceLock;
+
+/// Stop-length bucket bounds (seconds). 28 s and 47 s are the paper's two
+/// break-even intervals; the tail buckets capture heavy-tail parking stops.
+const STOP_LENGTH_BOUNDS_S: [f64; 10] = [1.0, 2.0, 5.0, 10.0, 20.0, 28.0, 47.0, 60.0, 120.0, 300.0];
+
+/// Fixed-point scale for the fuel counter: 1 count = 1 µcc, so integer
+/// accumulation stays exact across merged drives.
+pub(crate) const FUEL_SCALE: f64 = 1e6;
+
+pub(crate) struct Metrics {
+    pub drives: Counter,
+    pub stops: Counter,
+    pub restarts: Counter,
+    /// Stops the policy idled through (no shutdown).
+    pub idled_through: Counter,
+    pub faults_skipped: Counter,
+    pub faults_resynced: Counter,
+    /// Total fuel burned, in µcc (see [`FUEL_SCALE`]).
+    pub fuel_microcc: Counter,
+    pub stop_length_s: Histogram,
+}
+
+static METRICS: OnceLock<Metrics> = OnceLock::new();
+
+pub(crate) fn metrics() -> &'static Metrics {
+    METRICS.get_or_init(|| {
+        let r = obsv::global();
+        Metrics {
+            drives: r.counter("powertrain.controller.drives"),
+            stops: r.counter("powertrain.controller.stops"),
+            restarts: r.counter("powertrain.controller.restarts"),
+            idled_through: r.counter("powertrain.controller.idled_through"),
+            faults_skipped: r.counter("powertrain.controller.faults_skipped"),
+            faults_resynced: r.counter("powertrain.controller.faults_resynced"),
+            fuel_microcc: r.counter("powertrain.controller.fuel_microcc"),
+            stop_length_s: r.histogram("powertrain.stop_length_s", &STOP_LENGTH_BOUNDS_S),
+        }
+    })
+}

@@ -1,6 +1,6 @@
 //! Average-case (distribution-aware) fixed-threshold baseline.
 //!
-//! Fujiwara & Iwama's average-case analysis (cited by the paper as [10])
+//! Fujiwara & Iwama's average-case analysis (the paper's reference \[10\])
 //! asks a different question than competitive analysis: if the stop-length
 //! distribution `q(y)` is *known*, which fixed threshold minimizes the
 //! expected cost `E(x) = μ_x⁻ + (x + B)·P(y ≥ x)`? This module computes

@@ -35,6 +35,7 @@
 
 use crate::cost::BreakEven;
 use crate::estimator::{realized_cr, AdaptiveController, MomentEstimator};
+use crate::obs;
 use crate::policy::{NRand, Policy};
 use crate::Error;
 use rand::RngCore;
@@ -295,6 +296,8 @@ impl DegradedController {
     /// counted. Never panics, for any `f64`. Trust transitions happen
     /// here.
     pub fn observe(&mut self, reading: f64) {
+        let m = obs::metrics();
+        m.degraded_readings.inc();
         let class = self.classify(reading);
         match class {
             ReadingClass::Valid => {
@@ -305,10 +308,22 @@ impl DegradedController {
             }
             anomaly => {
                 match anomaly {
-                    ReadingClass::NonFinite => self.counts.non_finite += 1,
-                    ReadingClass::Negative => self.counts.negative += 1,
-                    ReadingClass::Implausible => self.counts.implausible += 1,
-                    ReadingClass::Stuck => self.counts.stuck += 1,
+                    ReadingClass::NonFinite => {
+                        self.counts.non_finite += 1;
+                        m.anomaly_non_finite.inc();
+                    }
+                    ReadingClass::Negative => {
+                        self.counts.negative += 1;
+                        m.anomaly_negative.inc();
+                    }
+                    ReadingClass::Implausible => {
+                        self.counts.implausible += 1;
+                        m.anomaly_implausible.inc();
+                    }
+                    ReadingClass::Stuck => {
+                        self.counts.stuck += 1;
+                        m.anomaly_stuck.inc();
+                    }
                     ReadingClass::Valid => unreachable!("valid handled above"),
                 }
                 self.since_valid += 1;
@@ -358,6 +373,7 @@ impl DegradedController {
     }
 
     fn update_trust(&mut self) {
+        let before = self.level;
         let wants_untrusted = self.anomalies_in_window >= self.config.demote_at;
         let wants_degraded = self.anomalies_in_window >= self.config.degrade_at
             || self.since_valid > self.config.stale_after;
@@ -385,6 +401,16 @@ impl DegradedController {
                 } else {
                     self.level = TrustLevel::Full;
                 }
+            }
+        }
+        if before != self.level {
+            let m = obs::metrics();
+            match (before, self.level) {
+                (TrustLevel::Full, TrustLevel::Degraded) => m.trans_full_to_degraded.inc(),
+                (TrustLevel::Degraded, TrustLevel::Full) => m.trans_degraded_to_full.inc(),
+                (_, TrustLevel::Untrusted) => m.trans_demotions.inc(),
+                (TrustLevel::Untrusted, _) => m.trans_promotions.inc(),
+                _ => unreachable!("no other transition exists in the ladder"),
             }
         }
     }
@@ -451,10 +477,12 @@ impl DegradedController {
             offline += b.offline_cost(y);
             self.observe(reading);
         }
+        let cr = realized_cr(online, offline);
+        obs::metrics().record_cr(cr);
         Ok(DegradedOutcome {
             online_cost: online,
             offline_cost: offline,
-            cr: realized_cr(online, offline),
+            cr,
             stops: stops.len(),
             anomalies: self.counts.minus(&counts_before),
             decisions_full: decisions[0],

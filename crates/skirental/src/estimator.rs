@@ -14,6 +14,7 @@
 use crate::analysis::empirical_cr_with;
 use crate::constrained::ConstrainedStats;
 use crate::cost::BreakEven;
+use crate::obs;
 use crate::policy::{NRand, Policy};
 use crate::summary::StopSummary;
 use crate::Error;
@@ -75,6 +76,7 @@ impl MomentEstimator {
     /// readings with a typed error instead.
     pub fn observe(&mut self, y: f64) {
         assert!(y.is_finite() && y >= 0.0, "stop length must be finite and >= 0, got {y}");
+        obs::metrics().observations_accepted.inc();
         if let (Some(w), Some(&front)) = (self.window, self.buffer.front()) {
             if self.buffer.len() == w {
                 self.buffer.pop_front();
@@ -102,6 +104,7 @@ impl MomentEstimator {
     /// Returns [`Error::InvalidStop`] if `y` is negative or non-finite.
     pub fn try_observe(&mut self, y: f64) -> Result<(), Error> {
         if !(y.is_finite() && y >= 0.0) {
+            obs::metrics().observations_rejected.inc();
             return Err(Error::InvalidStop { bits: y.to_bits() });
         }
         self.observe(y);
@@ -223,13 +226,28 @@ impl AdaptiveController {
     }
 
     /// Chooses the idle threshold for the *next* stop, from history alone.
+    ///
+    /// When the [`obsv::global`] registry is enabled, each decision
+    /// records its latency (`skirental.estimator.decide_seconds`), the
+    /// drawn threshold, and which of the four vertex policies was
+    /// selected (`skirental.policy.*`); instrumentation consumes no RNG
+    /// and does not alter the draw.
     pub fn decide(&self, rng: &mut dyn RngCore) -> f64 {
-        if self.estimator.len() >= self.min_history {
-            if let Some(stats) = self.estimator.stats() {
-                return stats.optimal_policy().sample_threshold(rng);
-            }
-        }
-        self.cold_start.sample_threshold(rng)
+        let m = obs::metrics();
+        let span = m.decide_seconds.start();
+        let x = if let Some(stats) =
+            (self.estimator.len() >= self.min_history).then(|| self.estimator.stats()).flatten()
+        {
+            let policy = stats.optimal_policy();
+            m.count_choice(policy.choice());
+            policy.sample_threshold(rng)
+        } else {
+            m.decisions_cold_start.inc();
+            self.cold_start.sample_threshold(rng)
+        };
+        m.threshold_s.record(x);
+        span.finish();
+        x
     }
 
     /// Records a completed stop.
@@ -272,12 +290,9 @@ impl AdaptiveController {
             offline += b.offline_cost(y);
             self.observe(y);
         }
-        Ok(AdaptiveOutcome {
-            online_cost: online,
-            offline_cost: offline,
-            cr: realized_cr(online, offline),
-            stops: stops.len(),
-        })
+        let cr = realized_cr(online, offline);
+        obs::metrics().record_cr(cr);
+        Ok(AdaptiveOutcome { online_cost: online, offline_cost: offline, cr, stops: stops.len() })
     }
 }
 

@@ -80,6 +80,7 @@ pub mod degraded;
 pub mod estimator;
 pub mod fleet_eval;
 pub mod multislope;
+mod obs;
 pub mod parallel;
 pub mod policy;
 pub mod risk;

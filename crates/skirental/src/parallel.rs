@@ -19,6 +19,16 @@
 //! codebase is uniform enough that static sharding is within noise of a
 //! dynamic queue, and it keeps the module dependency-free). Small inputs
 //! (`n < 2·threads`) skip thread spawning entirely.
+//!
+//! When the [`obsv::global`] registry is enabled, each call records chunk
+//! wall times (`skirental.parallel.chunk_seconds`), item/chunk counters,
+//! and a thread-utilization gauge (busy time over `threads × wall`).
+//! Instrumentation never touches the per-item computation, so the
+//! bit-identical guarantee is unaffected; with the registry disabled the
+//! overhead is a handful of relaxed atomic loads per call.
+
+use crate::obs;
+use std::time::Instant;
 
 /// Maps `f` over `items` on up to `threads` scoped threads, returning
 /// results in input order. `f` receives `(index, &item)` with `index`
@@ -65,10 +75,22 @@ where
     F: Fn(usize, &T) -> Result<R, E> + Sync,
 {
     assert!(threads > 0, "need at least one thread");
+    let m = obs::metrics();
+    m.parallel_calls.inc();
+    m.parallel_items.add(items.len() as u64);
     if threads == 1 || items.len() < 2 * threads {
+        m.parallel_serial_calls.inc();
         return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
     }
     let chunk = items.len().div_ceil(threads);
+    m.parallel_chunks.add(items.len().div_ceil(chunk) as u64);
+    m.parallel_threads.set(threads as f64);
+    // Utilization = Σ chunk busy time / (threads × wall). Busy time goes
+    // through a shared counter so concurrent calls stay approximately
+    // right; the clock is only read when the registry is enabled.
+    let instrumented = m.parallel_calls.is_enabled();
+    let busy_before = m.parallel_busy_micros.get();
+    let wall_start = instrumented.then(Instant::now);
     let shards: Vec<Result<Vec<R>, E>> = std::thread::scope(|scope| {
         let f = &f;
         let handles: Vec<_> = items
@@ -76,11 +98,18 @@ where
             .enumerate()
             .map(|(ci, shard)| {
                 scope.spawn(move || {
-                    shard
+                    let chunk_start = instrumented.then(Instant::now);
+                    let out = shard
                         .iter()
                         .enumerate()
                         .map(|(i, item)| f(ci * chunk + i, item))
-                        .collect::<Result<Vec<R>, E>>()
+                        .collect::<Result<Vec<R>, E>>();
+                    if let Some(start) = chunk_start {
+                        let secs = start.elapsed().as_secs_f64();
+                        m.parallel_chunk_seconds.record_seconds(secs);
+                        m.parallel_busy_micros.add((secs * 1e6) as u64);
+                    }
+                    out
                 })
             })
             .collect();
@@ -89,6 +118,13 @@ where
             .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .collect()
     });
+    if let Some(start) = wall_start {
+        let wall = start.elapsed().as_secs_f64();
+        if wall > 0.0 {
+            let busy = m.parallel_busy_micros.get().saturating_sub(busy_before) as f64 / 1e6;
+            m.parallel_utilization.set(busy / (threads as f64 * wall));
+        }
+    }
     let mut out = Vec::with_capacity(items.len());
     for shard in shards {
         out.extend(shard?);

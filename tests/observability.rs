@@ -1,0 +1,101 @@
+//! Cross-crate observability integration: the counters the `obsv` global
+//! registry records while the degradation ladder runs must agree with the
+//! counts the ladder itself reports, and the whole snapshot must survive
+//! the RunReport JSON round trip.
+//!
+//! Everything lives in one `#[test]` because the registry is process-wide:
+//! parallel test threads would otherwise interleave their increments.
+
+use obsv::RunReport;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use skirental::{BreakEven, DegradedController};
+
+/// A reading stream with every anomaly class the ladder classifies:
+/// NaN/∞ (non-finite), negatives, implausibly long readings, and a long
+/// stuck-at run, interleaved with clean readings so the ladder demotes,
+/// recovers, and demotes again.
+fn faulted_readings(stops: &[f64]) -> Vec<f64> {
+    stops
+        .iter()
+        .enumerate()
+        .map(|(i, &y)| match i % 97 {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => -3.0,
+            3 => 1e7,
+            10..=29 => 900.0, // stuck run, long enough to demote
+            _ => y,
+        })
+        .collect()
+}
+
+#[test]
+fn ladder_counters_match_outcome_and_report_roundtrips() {
+    let registry = obsv::global();
+    registry.reset();
+    registry.enable();
+
+    let b = BreakEven::SSV;
+    let stops: Vec<f64> = (0..2000).map(|i| 4.0 + (i % 13) as f64).collect();
+    let observed = faulted_readings(&stops);
+
+    let mut ladder = DegradedController::with_estimator_window(b, 50);
+    let mut rng = StdRng::seed_from_u64(2014);
+    let outcome = ladder.run_observed(&stops, &observed, &mut rng).expect("clean true stops");
+
+    let snap = registry.snapshot();
+    registry.disable();
+
+    // Reading and per-class anomaly counters mirror the ladder's own
+    // tallies exactly.
+    assert_eq!(snap.counter("skirental.degraded.readings"), stops.len() as u64);
+    assert_eq!(
+        snap.counter("skirental.degraded.anomalies.non_finite"),
+        outcome.anomalies.non_finite
+    );
+    assert_eq!(snap.counter("skirental.degraded.anomalies.negative"), outcome.anomalies.negative);
+    assert_eq!(
+        snap.counter("skirental.degraded.anomalies.implausible"),
+        outcome.anomalies.implausible
+    );
+    assert_eq!(snap.counter("skirental.degraded.anomalies.stuck"), outcome.anomalies.stuck);
+    assert!(outcome.anomalies.total() > 0, "fixture produced no anomalies");
+
+    // Trust transitions: demotions-to-Untrusted equal the ladder's count,
+    // and every demotion the fixture forces is matched by a recovery
+    // (the stream returns to clean data after each burst), so the level
+    // flow in and out of Untrusted balances up to the final state.
+    let demotions = snap.counter("skirental.degraded.transitions.demotions");
+    let promotions = snap.counter("skirental.degraded.transitions.promotions");
+    assert_eq!(demotions, outcome.demotions);
+    assert!(demotions > 0, "fixture never demoted");
+    let ended_untrusted = u64::from(ladder.trust() == skirental::TrustLevel::Untrusted);
+    assert_eq!(demotions - promotions, ended_untrusted, "unbalanced Untrusted transitions");
+
+    // Full↔Degraded hysteresis fired both ways or not at all; either way
+    // the counters exist in the snapshot (registered at first use).
+    assert!(snap.counters.contains_key("skirental.degraded.transitions.full_to_degraded"));
+    assert!(snap.counters.contains_key("skirental.degraded.transitions.degraded_to_full"));
+
+    // The decision split the outcome reports matches the total number of
+    // stops — every stop produced exactly one decision.
+    assert_eq!(
+        outcome.decisions_full + outcome.decisions_degraded + outcome.decisions_untrusted,
+        stops.len()
+    );
+
+    // The realized-CR histogram saw this run (finite CR).
+    assert!(outcome.cr.is_finite());
+    let cr_hist = snap.histograms.get("skirental.realized_cr").expect("registered");
+    assert!(cr_hist.count() >= 1);
+
+    // And the whole snapshot survives the report round trip byte-for-byte.
+    let report = RunReport::new("observability-test", 0.5, snap)
+        .with_meta("seed", 2014)
+        .with_meta("stops", stops.len());
+    let json = report.to_json();
+    let back = RunReport::from_json(&json).expect("own JSON re-parses");
+    assert_eq!(back, report);
+    assert_eq!(back.to_json(), json, "re-emission must be byte-identical");
+}

@@ -1,5 +1,5 @@
 //! The paper's headline claims, asserted end to end on the synthetic
-//! reproduction (a fast, reduced-size version of what the `idling-bench`
+//! reproduction (a fast, reduced-size version of what the `bench`
 //! harness binaries print in full).
 
 use automotive_idling::drivesim::{Area, FleetConfig, Table1Row, VehicleTrace};
