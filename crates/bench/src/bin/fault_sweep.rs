@@ -136,9 +136,13 @@ fn sweep_fleet(b: BreakEven) -> Vec<String> {
     let threads = worker_threads();
     let mut rows = Vec::new();
     let mut rate0 = None;
-    for &rate in &FAULT_RATES {
+    let vehicle_count = vehicles.len();
+    for (ri, &rate) in FAULT_RATES.iter().enumerate() {
         let plan = plan_for(rate, 40);
         let per_vehicle = chunked_map(&vehicles, threads, |i, stops| {
+            // Unique trace stream per (rate, vehicle) cell; no-op unless
+            // the run was started with --trace.
+            obsv::tracer::set_stream((ri * vehicle_count + i) as u64);
             let observed = plan.corrupt_observations(stops, SEED ^ ((i as u64 + 1) * 7919));
             run_vehicle(b, stops, &observed, SEED + 1000 * i as u64)
         });
@@ -192,7 +196,9 @@ fn sweep_adversarial(b: BreakEven) -> Vec<String> {
     let bound = e_ratio() + 0.05;
     let mut rows = Vec::new();
     // Shard the *rates*: each grid point is independent.
-    let results = chunked_map(&FAULT_RATES, worker_threads().min(FAULT_RATES.len()), |_, &rate| {
+    let results = chunked_map(&FAULT_RATES, worker_threads().min(FAULT_RATES.len()), |i, &rate| {
+        // Trace streams offset past the fleet sweep's id space.
+        obsv::tracer::set_stream(1_000_000 + i as u64);
         // Long freezes (400 readings ≫ the 50-stop estimator window) so
         // the unguarded window saturates at q̂ = 1 → TOI → pays B per
         // 0.25 s stop while frozen.

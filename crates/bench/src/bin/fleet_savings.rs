@@ -40,13 +40,16 @@ fn main() {
     let mut rows = Vec::new();
     let mut totals = [AnnualProjection::default(); 3];
     let mut vehicles_total = 0u64;
-    for area in Area::ALL {
+    for (ai, area) in Area::ALL.into_iter().enumerate() {
         let fleet = FleetConfig::new(area).vehicles(VEHICLES_PER_AREA).synthesize(SEED);
         // Vehicles are independent (each controller run is seeded from the
         // vehicle id, not a shared stream), so the fleet shards cleanly
         // over worker threads with deterministic results.
         let per_vehicle_proj: Vec<[AnnualProjection; 3]> =
-            chunked_map(&fleet, worker_threads(), |_, trace| {
+            chunked_map(&fleet, worker_threads(), |i, trace| {
+                // Unique trace stream per (area, vehicle); no-op without
+                // --trace.
+                obsv::tracer::set_stream((ai * VEHICLES_PER_AREA + i) as u64);
                 let stops = trace.stop_lengths();
                 let days = f64::from(trace.days);
                 let proposed =

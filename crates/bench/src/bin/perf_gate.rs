@@ -25,7 +25,9 @@
 //! `2` usage/configuration error. Regenerate the baseline after an
 //! intentional behavior change with `--write-baseline` (see
 //! EXPERIMENTS.md); `--report out.json` additionally writes the fresh
-//! report for artifact upload.
+//! report for artifact upload, and `--trace out.jsonl` records the full
+//! decision trace of the workload (each phase runs under its own stream
+//! id, so the JSONL is deterministic and `trace_diff`-able across runs).
 
 use bench::RunReporter;
 use drivesim::faults::{Fault, FaultPlan};
@@ -69,8 +71,13 @@ fn workload() {
     let fleet = FleetConfig::new(Area::Chicago).vehicles(VEHICLES).synthesize(SEED);
     let vehicles: Vec<Vec<f64>> = fleet.iter().map(VehicleTrace::stop_lengths).collect();
 
+    // Each phase runs under a disjoint trace-stream id space so a traced
+    // gate run keys every record uniquely (set_stream resets the per-
+    // stream seq counter; it is a no-op without --trace).
+
     // Engine drives under the proposed policy (powertrain counters).
     for (i, stops) in vehicles.iter().enumerate() {
+        obsv::tracer::set_stream(i as u64);
         let policy =
             ConstrainedStats::from_samples(stops, b).expect("non-empty trace").optimal_policy();
         let mut rng = StdRng::seed_from_u64(SEED ^ (i as u64 + 1));
@@ -79,6 +86,7 @@ fn workload() {
 
     // Adaptive controller on clean readings (estimator counters).
     for (i, stops) in vehicles.iter().enumerate() {
+        obsv::tracer::set_stream(100_000 + i as u64);
         let mut ctl = AdaptiveController::with_window(b, ESTIMATOR_WINDOW);
         let mut rng = StdRng::seed_from_u64(SEED + i as u64);
         ctl.run(stops, &mut rng).expect("non-empty trace");
@@ -92,6 +100,7 @@ fn workload() {
     ])
     .expect("valid fault plan");
     for (i, stops) in vehicles.iter().enumerate() {
+        obsv::tracer::set_stream(200_000 + i as u64);
         let observed = plan.corrupt_observations(stops, SEED ^ ((i as u64 + 1) * 7919));
         let mut deg = DegradedController::with_estimator_window(b, ESTIMATOR_WINDOW);
         let mut rng = StdRng::seed_from_u64(SEED + 31 + i as u64);
@@ -126,6 +135,7 @@ fn workload() {
     // Long jittered stream through the full ladder — the fault_sweep
     // adversarial fixture at reduced size, so the gate's wall time is
     // dominated by per-stop decision work rather than setup.
+    obsv::tracer::set_stream(900_000);
     let mut rng = StdRng::seed_from_u64(SEED + 7);
     let stream: Vec<f64> =
         (0..STREAM_STOPS).map(|_| 0.2 + 0.1 * stopmodel::uniform01(&mut rng)).collect();

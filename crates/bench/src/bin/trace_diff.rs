@@ -1,0 +1,110 @@
+//! First-divergence diff of two decision-trace JSONL files.
+//!
+//! Traces of the same seeded workload are byte-identical, so two traces
+//! that should agree either match everywhere or have a *first* line
+//! where the runs stopped making the same decisions — and that line
+//! names the stream, stop, and event where behavior forked. Usage:
+//!
+//! ```text
+//! trace_diff <a.jsonl> <b.jsonl> [--context N]
+//! ```
+//!
+//! Streams both files (constant memory, works on million-stop traces)
+//! and prints the first diverging event with up to `N` preceding common
+//! lines of context (default 3), decoding each line into its
+//! human-readable form when it parses as a trace event.
+//!
+//! Exit status, mirroring `perf_gate`: `0` identical, `1` divergence
+//! found, `2` usage or I/O error.
+
+use obsv::{first_divergence, TraceRecord};
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+/// Renders one side of the divergence: the raw line plus its decoded
+/// description when it parses.
+fn render(label: &str, line: Option<&str>) {
+    match line {
+        None => println!("  {label}: <end of trace>"),
+        Some(text) => {
+            println!("  {label}: {text}");
+            if let Ok(rec) = TraceRecord::from_json_line(text) {
+                println!(
+                    "     = stream {} stop {} seq {}: {}",
+                    rec.stream,
+                    rec.stop,
+                    rec.seq,
+                    rec.event.describe()
+                );
+            }
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: trace_diff <a.jsonl> <b.jsonl> [--context N]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut paths = Vec::new();
+    let mut context = 3usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--context" {
+            match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => context = n,
+                None => return usage(),
+            }
+        } else if let Some(v) = a.strip_prefix("--context=") {
+            match v.parse() {
+                Ok(n) => context = n,
+                Err(_) => return usage(),
+            }
+        } else {
+            paths.push(a);
+        }
+    }
+    let [path_a, path_b] = paths.as_slice() else {
+        return usage();
+    };
+
+    let open = |path: &str| -> Result<BufReader<File>, ExitCode> {
+        File::open(path).map(BufReader::new).map_err(|e| {
+            eprintln!("trace_diff: cannot open {path}: {e}");
+            ExitCode::from(2)
+        })
+    };
+    let a = match open(path_a) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    let b = match open(path_b) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+
+    match first_divergence(a, b, context) {
+        Ok(None) => {
+            println!("traces identical: {path_a} == {path_b}");
+            ExitCode::SUCCESS
+        }
+        Ok(Some(d)) => {
+            println!("traces diverge at line {}:", d.line);
+            if !d.context.is_empty() {
+                println!("  common context before divergence:");
+                for line in &d.context {
+                    println!("    {line}");
+                }
+            }
+            render(&format!("left  ({path_a})"), d.left.as_deref());
+            render(&format!("right ({path_b})"), d.right.as_deref());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("trace_diff: I/O error while comparing: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

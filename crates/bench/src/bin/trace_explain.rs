@@ -1,0 +1,151 @@
+//! Per-stop explainability: renders one stop's decision from a trace as
+//! a human-readable causal chain.
+//!
+//! ```text
+//! trace_explain <trace.jsonl>                      # summarize streams
+//! trace_explain <trace.jsonl> --stream S --stop N  # explain one stop
+//! ```
+//!
+//! Without `--stop` the bin prints a per-stream summary (stops covered,
+//! event counts) so you can find the stop you care about — typically the
+//! one `trace_diff` just named. With `--stream`/`--stop` it replays that
+//! stop's events in `seq` order as the pipeline saw them: injected
+//! faults → sanitizer verdicts → estimator state → vertex choice →
+//! realized cost, ending with the chosen bound against the realized
+//! online/offline split.
+//!
+//! Exit status: `0` rendered, `1` stop not present in the trace, `2`
+//! usage/I-O/parse error.
+
+use obsv::event::parse_jsonl;
+use obsv::{TraceEvent, TraceRecord};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: trace_explain <trace.jsonl> [--stream S] [--stop N]");
+    ExitCode::from(2)
+}
+
+/// Per-stream roll-up for the no-`--stop` overview.
+#[derive(Default)]
+struct StreamSummary {
+    events: u64,
+    decisions: u64,
+    max_stop: u64,
+}
+
+fn overview(records: &[TraceRecord]) {
+    let mut streams: BTreeMap<u64, StreamSummary> = BTreeMap::new();
+    for r in records {
+        let s = streams.entry(r.stream).or_default();
+        s.events += 1;
+        s.max_stop = s.max_stop.max(r.stop);
+        if matches!(r.event, TraceEvent::StopDecision { .. }) {
+            s.decisions += 1;
+        }
+    }
+    println!("{} events across {} streams:", records.len(), streams.len());
+    println!("{:>10} {:>10} {:>10} {:>10}", "stream", "events", "decisions", "last stop");
+    for (id, s) in &streams {
+        println!("{:>10} {:>10} {:>10} {:>10}", id, s.events, s.decisions, s.max_stop);
+    }
+    println!("\nexplain one stop with: trace_explain <trace.jsonl> --stream S --stop N");
+}
+
+fn explain(records: &[TraceRecord], stream: u64, stop: u64) -> ExitCode {
+    let events: Vec<&TraceRecord> =
+        records.iter().filter(|r| r.stream == stream && r.stop == stop).collect();
+    if events.is_empty() {
+        eprintln!("trace_explain: no events for stream {stream} stop {stop} in this trace");
+        return ExitCode::FAILURE;
+    }
+    println!("stream {stream}, stop {stop} — {} event(s), causal order:", events.len());
+    let mut bound = None;
+    let mut realized = None;
+    for r in &events {
+        println!("  [seq {:>4}] {}", r.seq, r.event.describe());
+        match &r.event {
+            TraceEvent::StopDecision { chosen_cost_bound, .. } => bound = *chosen_cost_bound,
+            TraceEvent::StopCost { online_s, offline_s, .. } => {
+                realized = Some((*online_s, *offline_s));
+            }
+            _ => {}
+        }
+    }
+    if let Some((online, offline)) = realized {
+        let ratio = if offline > 0.0 { online / offline } else { f64::NAN };
+        match bound {
+            Some(bound) => println!(
+                "  outcome: realized online {online:.4} s vs offline {offline:.4} s \
+                 (ratio {ratio:.4}; decision carried worst-case bound {bound:.4})"
+            ),
+            None => println!(
+                "  outcome: realized online {online:.4} s vs offline {offline:.4} s \
+                 (ratio {ratio:.4})"
+            ),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut path = None;
+    let mut stream = None;
+    let mut stop = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let parse_u64 = |v: Option<String>| v.and_then(|v| v.parse::<u64>().ok());
+        if a == "--stream" {
+            match parse_u64(args.next()) {
+                Some(v) => stream = Some(v),
+                None => return usage(),
+            }
+        } else if a == "--stop" {
+            match parse_u64(args.next()) {
+                Some(v) => stop = Some(v),
+                None => return usage(),
+            }
+        } else if let Some(v) = a.strip_prefix("--stream=") {
+            match v.parse() {
+                Ok(v) => stream = Some(v),
+                Err(_) => return usage(),
+            }
+        } else if let Some(v) = a.strip_prefix("--stop=") {
+            match v.parse() {
+                Ok(v) => stop = Some(v),
+                Err(_) => return usage(),
+            }
+        } else if path.is_none() {
+            path = Some(a);
+        } else {
+            return usage();
+        }
+    }
+    let Some(path) = path else {
+        return usage();
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_explain: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let records = match parse_jsonl(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trace_explain: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match stop {
+        Some(stop) => explain(&records, stream.unwrap_or(0), stop),
+        None => {
+            overview(&records);
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -59,47 +59,69 @@ pub fn csv_row(fields: impl IntoIterator<Item = String>) -> String {
     fields.into_iter().collect::<Vec<_>>().join(",")
 }
 
-/// Handles the harness binaries' shared `--report <out.json>` flag.
+/// Handles the harness binaries' shared `--report <out.json>` and
+/// `--trace <out.jsonl>` flags.
 ///
-/// Constructed at the top of `main`: when the flag is present the
+/// Constructed at the top of `main`: when `--report` is present the
 /// process-wide [`obsv::global`] metrics registry is reset and enabled, so
 /// the whole run records; [`RunReporter::finish`] then snapshots it into a
 /// [`RunReport`] and writes deterministic JSON to the requested path.
-/// Without the flag everything is a no-op and the registry stays disabled
-/// (a few relaxed atomic loads per instrumented operation).
+/// When `--trace` is present the process-wide decision tracer
+/// ([`obsv::tracer::global`]) is cleared and enabled, and `finish` drains
+/// it in canonical `(stream, stop, seq)` order into a JSONL file that is
+/// byte-identical for any worker-thread count.
+/// Without the flags everything is a no-op and both recorders stay
+/// disabled (a few relaxed atomic loads per instrumented operation).
 pub struct RunReporter {
     bin: &'static str,
     path: Option<PathBuf>,
+    trace_path: Option<PathBuf>,
     meta: Vec<(String, String)>,
     start: Instant,
 }
 
 impl RunReporter {
-    /// Parses `--report <path>` / `--report=<path>` from the process
-    /// arguments (last occurrence wins).
+    /// Parses `--report <path>` / `--report=<path>` and `--trace <path>` /
+    /// `--trace=<path>` from the process arguments (last occurrence wins).
     #[must_use]
     pub fn from_args(bin: &'static str) -> Self {
         let mut path = None;
+        let mut trace = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             if a == "--report" {
                 path = args.next().map(PathBuf::from);
             } else if let Some(p) = a.strip_prefix("--report=") {
                 path = Some(PathBuf::from(p));
+            } else if a == "--trace" {
+                trace = args.next().map(PathBuf::from);
+            } else if let Some(p) = a.strip_prefix("--trace=") {
+                trace = Some(PathBuf::from(p));
             }
         }
-        Self::to_path(bin, path)
+        Self::to_paths(bin, path, trace)
     }
 
     /// A reporter writing to an explicit destination (`None` disables it);
     /// the programmatic entry point `perf_gate` uses.
     #[must_use]
     pub fn to_path(bin: &'static str, path: Option<PathBuf>) -> Self {
+        Self::to_paths(bin, path, None)
+    }
+
+    /// A reporter with explicit report and trace destinations (`None`
+    /// disables either output independently).
+    #[must_use]
+    pub fn to_paths(bin: &'static str, path: Option<PathBuf>, trace_path: Option<PathBuf>) -> Self {
         if path.is_some() {
             obsv::global().reset();
             obsv::global().enable();
         }
-        Self { bin, path, meta: Vec::new(), start: Instant::now() }
+        if trace_path.is_some() {
+            obsv::tracer::global().clear();
+            obsv::tracer::global().enable();
+        }
+        Self { bin, path, trace_path, meta: Vec::new(), start: Instant::now() }
     }
 
     /// Whether a report will be written.
@@ -114,7 +136,12 @@ impl RunReporter {
     }
 
     /// Builds the report from the elapsed wall time and a snapshot of the
-    /// global registry (without writing anything).
+    /// global registry (without writing anything). Provenance metadata is
+    /// stamped automatically so every report is self-describing:
+    /// `crate_version` (of the `bench` harness) and `config_fingerprint`
+    /// (see [`RunReport::config_fingerprint`]) join the caller-supplied
+    /// entries. `perf_gate` compares only metric values, so provenance
+    /// never breaks a baseline comparison.
     #[must_use]
     pub fn capture(&self) -> RunReport {
         let mut report =
@@ -122,21 +149,39 @@ impl RunReporter {
         for (k, v) in &self.meta {
             report = report.with_meta(k, v);
         }
-        report
+        report = report.with_meta("crate_version", env!("CARGO_PKG_VERSION"));
+        let fp = report.config_fingerprint();
+        report.with_meta("config_fingerprint", fp)
     }
 
-    /// Snapshots the registry and writes the report JSON. No-op when the
-    /// run was started without `--report`.
+    /// Snapshots the registry and writes the report JSON and/or the
+    /// decision-trace JSONL. No-op when the run was started without
+    /// `--report` / `--trace`.
     ///
     /// # Panics
     ///
-    /// Panics if the report file cannot be written (same recovery story as
+    /// Panics if an output file cannot be written (same recovery story as
     /// [`write_csv`]: none).
     pub fn finish(self) {
-        let Some(path) = self.path.as_ref() else { return };
-        let report = self.capture();
-        fs::write(path, report.to_json() + "\n").expect("can write run report");
-        println!("run report written to {}", path.display());
+        if let Some(path) = self.path.as_ref() {
+            let report = self.capture();
+            fs::write(path, report.to_json() + "\n").expect("can write run report");
+            println!("run report written to {}", path.display());
+        }
+        if let Some(path) = self.trace_path.as_ref() {
+            let tracer = obsv::tracer::global();
+            let records = tracer.drain_sorted();
+            let dropped = tracer.dropped();
+            tracer.disable();
+            fs::write(path, obsv::event::to_jsonl(&records)).expect("can write trace");
+            if dropped > 0 {
+                eprintln!(
+                    "warning: trace ring buffers overflowed, {dropped} oldest events dropped \
+                     (trace is incomplete; raise obsv::tracer capacity)"
+                );
+            }
+            println!("decision trace written to {} ({} events)", path.display(), records.len());
+        }
     }
 }
 

@@ -234,19 +234,32 @@ impl FaultPlan {
 
 /// Applies one injector over the stream. In aligned mode the event count
 /// is preserved (dropout ⇒ NaN duration, duplicate/skew ⇒ no-op).
+///
+/// When the decision tracer is active, every event the injector actually
+/// corrupts records a `FaultApplied` against its input index. Tracing
+/// consumes no RNG — the draw pattern is identical with and without it.
 fn apply_one(
     fault: Fault,
     stream: &[(f64, f64)],
     aligned: bool,
     rng: &mut StdRng,
 ) -> Vec<(f64, f64)> {
+    let fired = |index: usize, name: &str| {
+        if obsv::tracer::active() {
+            obsv::tracer::record(obsv::TraceEvent::FaultApplied {
+                event_index: index as u64,
+                fault: name.to_string(),
+            });
+        }
+    };
     let mut out = Vec::with_capacity(stream.len());
     // Stuck-at run state: remaining frozen readings.
     let mut frozen = 0usize;
-    for &(start, duration) in stream {
+    for (i, &(start, duration)) in stream.iter().enumerate() {
         match fault {
             Fault::Dropout { rate } => {
                 if uniform01(rng) < rate {
+                    fired(i, "dropout");
                     if aligned {
                         out.push((start, f64::NAN));
                     }
@@ -257,11 +270,13 @@ fn apply_one(
             Fault::Duplicate { rate } => {
                 out.push((start, duration));
                 if uniform01(rng) < rate && !aligned {
+                    fired(i, "duplicate");
                     out.push((start, duration));
                 }
             }
             Fault::ClockSkew { rate, max_skew_s } => {
                 let start = if uniform01(rng) < rate && !aligned {
+                    fired(i, "clock_skew");
                     start + (2.0 * uniform01(rng) - 1.0) * max_skew_s
                 } else {
                     start
@@ -269,11 +284,17 @@ fn apply_one(
                 out.push((start, duration));
             }
             Fault::Censor { rate, cap_s } => {
-                let duration = if uniform01(rng) < rate { duration.min(cap_s) } else { duration };
+                let duration = if uniform01(rng) < rate {
+                    fired(i, "censor");
+                    duration.min(cap_s)
+                } else {
+                    duration
+                };
                 out.push((start, duration));
             }
             Fault::Noise { rate, sigma_s } => {
                 let duration = if uniform01(rng) < rate {
+                    fired(i, "noise");
                     duration + sigma_s * standard_normal(rng)
                 } else {
                     duration
@@ -283,9 +304,11 @@ fn apply_one(
             Fault::StuckAt { rate, run, value_s } => {
                 if frozen > 0 {
                     frozen -= 1;
+                    fired(i, "stuck_at");
                     out.push((start, value_s));
                 } else if uniform01(rng) < rate / run as f64 {
                     frozen = run - 1;
+                    fired(i, "stuck_at");
                     out.push((start, value_s));
                 } else {
                     out.push((start, duration));
@@ -293,6 +316,7 @@ fn apply_one(
             }
             Fault::Corrupt { rate } => {
                 let duration = if uniform01(rng) < rate {
+                    fired(i, "corrupt");
                     match rng.next_u64() % 3 {
                         0 => f64::NAN,
                         1 => f64::INFINITY,

@@ -174,25 +174,42 @@ impl TraceSanitizer {
         let mut prev_start = f64::NEG_INFINITY;
         // Current run of identical accepted durations (for stuck-at).
         let mut run_len = 0usize;
-        for &(start, duration) in events {
+        // Trace only the *dropped* events (absence of a verdict means the
+        // event passed), so a clean stream stays trace-silent.
+        let drop_verdict = |index: usize, class: &str, start: f64, duration: f64| {
+            if obsv::tracer::active() {
+                obsv::tracer::record(obsv::TraceEvent::SanitizeVerdict {
+                    event_index: index as u64,
+                    class: class.to_string(),
+                    start_s: start,
+                    duration_s: duration,
+                });
+            }
+        };
+        for (i, &(start, duration)) in events.iter().enumerate() {
             if !start.is_finite() || !duration.is_finite() {
                 report.non_finite += 1;
+                drop_verdict(i, "non_finite", start, duration);
                 continue;
             }
             if start < 0.0 || duration < 0.0 {
                 report.negative += 1;
+                drop_verdict(i, "negative", start, duration);
                 continue;
             }
             if duration > self.max_duration_s {
                 report.implausible += 1;
+                drop_verdict(i, "implausible", start, duration);
                 continue;
             }
             if start < prev_start {
                 report.out_of_order += 1;
+                drop_verdict(i, "out_of_order", start, duration);
                 continue;
             }
             if !clean.is_empty() && (start - prev_start) <= self.duplicate_eps_s {
                 report.duplicate += 1;
+                drop_verdict(i, "duplicate", start, duration);
                 continue;
             }
             if let Some(max_run) = self.max_stuck_run {
@@ -201,6 +218,7 @@ impl TraceSanitizer {
                 if run_len > 0 && clean[clean.len() - 1].1.total_cmp(&duration).is_eq() {
                     if run_len >= max_run {
                         report.stuck += 1;
+                        drop_verdict(i, "stuck", start, duration);
                         continue;
                     }
                     run_len += 1;

@@ -1,0 +1,115 @@
+//! First-divergence comparison of two JSONL trace streams.
+//!
+//! Traces of the same seeded workload are byte-identical, so the useful
+//! diff of two traces is not a full edit script but the *first* line
+//! where they disagree plus enough preceding context to see what state
+//! the pipeline shared up to that point. [`first_divergence`] streams
+//! both inputs line by line in constant memory, which matters for the
+//! million-stop sweep traces.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead};
+
+/// The first point where two traces disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// 1-based line number of the first differing line.
+    pub line: usize,
+    /// Up to `context` lines common to both traces immediately before
+    /// the divergence, oldest first.
+    pub context: Vec<String>,
+    /// The left trace's line, or `None` if it ended first.
+    pub left: Option<String>,
+    /// The right trace's line, or `None` if it ended first.
+    pub right: Option<String>,
+}
+
+/// Streams two line-oriented readers and returns the first line where
+/// they differ, or `Ok(None)` when they are identical to the last byte
+/// (ignoring only the line terminator convention of [`BufRead::lines`]).
+/// One trace being a strict prefix of the other counts as a divergence
+/// with the missing side `None`.
+///
+/// # Errors
+///
+/// Propagates any I/O error from either reader.
+pub fn first_divergence<A: BufRead, B: BufRead>(
+    a: A,
+    b: B,
+    context: usize,
+) -> io::Result<Option<Divergence>> {
+    let mut recent: VecDeque<String> = VecDeque::with_capacity(context + 1);
+    let mut left_lines = a.lines();
+    let mut right_lines = b.lines();
+    let mut line = 0usize;
+    loop {
+        line += 1;
+        let left = left_lines.next().transpose()?;
+        let right = right_lines.next().transpose()?;
+        match (left, right) {
+            (None, None) => return Ok(None),
+            (l, r) if l == r => {
+                if context > 0 {
+                    if recent.len() == context {
+                        recent.pop_front();
+                    }
+                    // l == r and both are Some here (the (None, None) arm
+                    // ran first), so unwrap-free extraction:
+                    if let Some(text) = l {
+                        recent.push_back(text);
+                    }
+                }
+            }
+            (l, r) => {
+                return Ok(Some(Divergence {
+                    line,
+                    context: recent.into_iter().collect(),
+                    left: l,
+                    right: r,
+                }))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn diff(a: &str, b: &str, ctx: usize) -> Option<Divergence> {
+        first_divergence(Cursor::new(a), Cursor::new(b), ctx).unwrap()
+    }
+
+    #[test]
+    fn identical_streams_have_no_divergence() {
+        assert_eq!(diff("a\nb\nc\n", "a\nb\nc\n", 3), None);
+        assert_eq!(diff("", "", 3), None);
+    }
+
+    #[test]
+    fn first_differing_line_is_reported_with_context() {
+        let d = diff("a\nb\nc\nd\n", "a\nb\nX\nd\n", 2).unwrap();
+        assert_eq!(d.line, 3);
+        assert_eq!(d.context, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(d.left.as_deref(), Some("c"));
+        assert_eq!(d.right.as_deref(), Some("X"));
+    }
+
+    #[test]
+    fn context_window_is_bounded() {
+        let d = diff("1\n2\n3\n4\n5\nx\n", "1\n2\n3\n4\n5\ny\n", 2).unwrap();
+        assert_eq!(d.line, 6);
+        assert_eq!(d.context, vec!["4".to_string(), "5".to_string()]);
+        let d0 = diff("a\nx\n", "a\ny\n", 0).unwrap();
+        assert!(d0.context.is_empty());
+    }
+
+    #[test]
+    fn prefix_counts_as_divergence() {
+        let d = diff("a\nb\n", "a\n", 3).unwrap();
+        assert_eq!(d.line, 2);
+        assert_eq!(d.left.as_deref(), Some("b"));
+        assert_eq!(d.right, None);
+    }
+}

@@ -1,0 +1,552 @@
+//! Typed decision-trace events and their JSONL encoding.
+//!
+//! A [`TraceEvent`] is one tick of the online decision pipeline: a policy
+//! vertex selection, an estimator update, a trust-ladder transition, a
+//! sanitizer verdict, an injected fault firing, or the realized cost of a
+//! stop. Events are deliberately **timestamp-free** — they are ordered by
+//! the logical indices carried in the surrounding [`TraceRecord`]
+//! (`stream`, `stop`, `seq`), never by wall-clock time, so a trace of a
+//! seeded workload is byte-identical run to run and across worker-thread
+//! counts.
+//!
+//! Serialization is one sorted-key JSON object per line (JSONL), emitted
+//! and parsed by [`crate::json`]. Non-finite floats encode as `null`
+//! (JSON has no NaN/∞ literals); optional statistics that are absent —
+//! e.g. a cold-start decision with no estimate yet — also encode as
+//! `null`, so re-emitting a parsed line reproduces it byte for byte.
+
+use crate::json::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One structured event in a decision trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// The controller chose an idle threshold for the upcoming stop.
+    StopDecision {
+        /// Selected vertex policy (`"DET"`, `"TOI"`, `"b-DET"`,
+        /// `"N-Rand"`), or the static policy's name outside the adaptive
+        /// path.
+        vertex: String,
+        /// The drawn threshold, seconds.
+        threshold_b: f64,
+        /// Estimated `μ_B⁻` behind the decision; `None` on cold start.
+        mu_b_minus: Option<f64>,
+        /// Estimated `q_B⁺` behind the decision; `None` on cold start.
+        q_b_plus: Option<f64>,
+        /// Guaranteed worst-case expected cost of the chosen vertex;
+        /// `None` when no statistics were available.
+        chosen_cost_bound: Option<f64>,
+    },
+    /// The realized cost of one stop, after its true length was revealed.
+    StopCost {
+        /// The threshold that was in effect, seconds.
+        threshold_b: f64,
+        /// True stop length, seconds.
+        stop_s: f64,
+        /// Realized online cost, idle-equivalent seconds.
+        online_s: f64,
+        /// Offline-optimal cost of the same stop, idle-equivalent seconds.
+        offline_s: f64,
+        /// Whether the engine was shut off and restarted.
+        restarted: bool,
+    },
+    /// The degradation ladder moved between trust levels.
+    LadderTransition {
+        /// Level before the transition (`"Full"`, `"Degraded"`,
+        /// `"Untrusted"`).
+        from: String,
+        /// Level after the transition.
+        to: String,
+        /// Anomalies currently in the sliding window.
+        anomalies_in_window: u64,
+        /// Consecutive valid readings at transition time.
+        clean_streak: u64,
+    },
+    /// The trace sanitizer quarantined one event. Accepted events are not
+    /// recorded — absence of a verdict means the event passed.
+    SanitizeVerdict {
+        /// Index of the event in the raw input stream.
+        event_index: u64,
+        /// Anomaly class (`"non_finite"`, `"negative"`, `"implausible"`,
+        /// `"out_of_order"`, `"duplicate"`, `"stuck"`).
+        class: String,
+        /// The quarantined event's start, seconds (NaN encodes as null).
+        start_s: f64,
+        /// The quarantined event's duration, seconds.
+        duration_s: f64,
+    },
+    /// The moment estimator consumed (or rejected) one reading.
+    EstimatorUpdate {
+        /// The reading, seconds.
+        observed_s: f64,
+        /// Whether the reading entered the estimate.
+        accepted: bool,
+        /// Observations contributing to the estimate afterwards.
+        len: u64,
+        /// `μ̂_B⁻` afterwards; `None` while the estimator is empty.
+        mu_b_minus: Option<f64>,
+        /// `q̂_B⁺` afterwards; `None` while the estimator is empty.
+        q_b_plus: Option<f64>,
+    },
+    /// A fault injector fired on one event of the stream it corrupts.
+    FaultApplied {
+        /// Index of the event in the injector's input stream.
+        event_index: u64,
+        /// Fault class (`"dropout"`, `"duplicate"`, `"clock_skew"`,
+        /// `"censor"`, `"noise"`, `"stuck_at"`, `"corrupt"`).
+        fault: String,
+    },
+}
+
+impl TraceEvent {
+    /// The event's `type` tag as it appears in the JSONL encoding.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::StopDecision { .. } => "stop_decision",
+            Self::StopCost { .. } => "stop_cost",
+            Self::LadderTransition { .. } => "ladder_transition",
+            Self::SanitizeVerdict { .. } => "sanitize_verdict",
+            Self::EstimatorUpdate { .. } => "estimator_update",
+            Self::FaultApplied { .. } => "fault_applied",
+        }
+    }
+
+    /// A human-readable one-line rendering, used by the `trace_explain`
+    /// causal chain.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        fn opt(x: Option<f64>) -> String {
+            x.map_or_else(|| "—".to_string(), |v| format!("{v:.4}"))
+        }
+        match self {
+            Self::StopDecision { vertex, threshold_b, mu_b_minus, q_b_plus, chosen_cost_bound } => {
+                if mu_b_minus.is_none() && q_b_plus.is_none() {
+                    format!(
+                        "decision: vertex {vertex} (no estimator statistics), \
+                         threshold {threshold_b:.4} s"
+                    )
+                } else {
+                    format!(
+                        "decision: vertex {vertex}, threshold {threshold_b:.4} s \
+                         (μ̂_B⁻ = {}, q̂_B⁺ = {}, worst-case cost bound {} s)",
+                        opt(*mu_b_minus),
+                        opt(*q_b_plus),
+                        opt(*chosen_cost_bound)
+                    )
+                }
+            }
+            Self::StopCost { threshold_b, stop_s, online_s, offline_s, restarted } => {
+                let action = if *restarted { "shut off + restarted" } else { "idled through" };
+                format!(
+                    "realized: stop {stop_s:.4} s vs threshold {threshold_b:.4} s → {action} \
+                     (online {online_s:.4} s, offline {offline_s:.4} s)"
+                )
+            }
+            Self::LadderTransition { from, to, anomalies_in_window, clean_streak } => format!(
+                "trust: {from} → {to} ({anomalies_in_window} anomalies in window, \
+                 clean streak {clean_streak})"
+            ),
+            Self::SanitizeVerdict { event_index, class, start_s, duration_s } => format!(
+                "sanitizer: dropped event #{event_index} as {class} \
+                 (start {start_s:.4} s, duration {duration_s:.4} s)"
+            ),
+            Self::EstimatorUpdate { observed_s, accepted, len, mu_b_minus, q_b_plus } => {
+                let verdict = if *accepted { "accepted" } else { "rejected" };
+                format!(
+                    "estimator: {verdict} reading {observed_s:.4} s \
+                     (n = {len}, μ̂_B⁻ = {}, q̂_B⁺ = {})",
+                    opt(*mu_b_minus),
+                    opt(*q_b_plus)
+                )
+            }
+            Self::FaultApplied { event_index, fault } => {
+                format!("fault: {fault} fired on event #{event_index}")
+            }
+        }
+    }
+}
+
+/// One recorded event plus the logical coordinates that order it.
+///
+/// Traces are totally ordered by `(stream, stop, seq)`: `stream` is the
+/// unit of sequential work (one vehicle, one sweep cell), `stop` the
+/// stop index within the stream, and `seq` a per-stream monotonic
+/// counter. Because each stream is processed sequentially on a single
+/// worker thread, this key is independent of how streams were sharded
+/// over threads — the foundation of the byte-identical-trace guarantee.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// The stream (vehicle / work item) the event belongs to.
+    pub stream: u64,
+    /// Stop index within the stream, set by `tracer::begin_stop`.
+    pub stop: u64,
+    /// Per-stream monotonic sequence number.
+    pub seq: u64,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    /// The merge key: records sort by `(stream, stop, seq)`.
+    #[must_use]
+    pub fn key(&self) -> (u64, u64, u64) {
+        (self.stream, self.stop, self.seq)
+    }
+
+    /// The packed `stop_id` (`stream << 32 | stop`) the trace format is
+    /// specified against; [`TraceRecord::key`] is its unpacked form.
+    #[must_use]
+    pub fn stop_id(&self) -> u64 {
+        (self.stream << 32) | (self.stop & 0xffff_ffff)
+    }
+
+    /// Encodes the record as one sorted-key JSON object (no trailing
+    /// newline). Deterministic: the same record always produces the same
+    /// bytes.
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut obj = BTreeMap::new();
+        obj.insert("stream".to_string(), Value::UInt(self.stream));
+        obj.insert("stop".to_string(), Value::UInt(self.stop));
+        obj.insert("seq".to_string(), Value::UInt(self.seq));
+        obj.insert("type".to_string(), Value::Str(self.event.kind().to_string()));
+        match &self.event {
+            TraceEvent::StopDecision {
+                vertex,
+                threshold_b,
+                mu_b_minus,
+                q_b_plus,
+                chosen_cost_bound,
+            } => {
+                obj.insert("vertex".to_string(), Value::Str(vertex.clone()));
+                obj.insert("threshold_b".to_string(), Value::float(*threshold_b));
+                obj.insert("mu_b_minus".to_string(), opt_float(*mu_b_minus));
+                obj.insert("q_b_plus".to_string(), opt_float(*q_b_plus));
+                obj.insert("chosen_cost_bound".to_string(), opt_float(*chosen_cost_bound));
+            }
+            TraceEvent::StopCost { threshold_b, stop_s, online_s, offline_s, restarted } => {
+                obj.insert("threshold_b".to_string(), Value::float(*threshold_b));
+                obj.insert("stop_s".to_string(), Value::float(*stop_s));
+                obj.insert("online_s".to_string(), Value::float(*online_s));
+                obj.insert("offline_s".to_string(), Value::float(*offline_s));
+                obj.insert("restarted".to_string(), Value::Bool(*restarted));
+            }
+            TraceEvent::LadderTransition { from, to, anomalies_in_window, clean_streak } => {
+                obj.insert("from".to_string(), Value::Str(from.clone()));
+                obj.insert("to".to_string(), Value::Str(to.clone()));
+                obj.insert("anomalies_in_window".to_string(), Value::UInt(*anomalies_in_window));
+                obj.insert("clean_streak".to_string(), Value::UInt(*clean_streak));
+            }
+            TraceEvent::SanitizeVerdict { event_index, class, start_s, duration_s } => {
+                obj.insert("event_index".to_string(), Value::UInt(*event_index));
+                obj.insert("class".to_string(), Value::Str(class.clone()));
+                obj.insert("start_s".to_string(), Value::float(*start_s));
+                obj.insert("duration_s".to_string(), Value::float(*duration_s));
+            }
+            TraceEvent::EstimatorUpdate { observed_s, accepted, len, mu_b_minus, q_b_plus } => {
+                obj.insert("observed_s".to_string(), Value::float(*observed_s));
+                obj.insert("accepted".to_string(), Value::Bool(*accepted));
+                obj.insert("len".to_string(), Value::UInt(*len));
+                obj.insert("mu_b_minus".to_string(), opt_float(*mu_b_minus));
+                obj.insert("q_b_plus".to_string(), opt_float(*q_b_plus));
+            }
+            TraceEvent::FaultApplied { event_index, fault } => {
+                obj.insert("event_index".to_string(), Value::UInt(*event_index));
+                obj.insert("fault".to_string(), Value::Str(fault.clone()));
+            }
+        }
+        Value::Obj(obj).to_string()
+    }
+
+    /// Parses one JSONL line back into a record.
+    ///
+    /// Re-encoding the result reproduces the input byte for byte (the
+    /// encoding is canonical: sorted keys, shortest-round-trip floats,
+    /// `null` for non-finite/absent values).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventError`] on malformed JSON, an unknown `type` tag,
+    /// or a missing/ill-typed field.
+    pub fn from_json_line(line: &str) -> Result<Self, EventError> {
+        let value = Value::parse(line).map_err(|e| EventError { message: e.to_string() })?;
+        let obj = value.as_obj().ok_or_else(|| err("trace line is not a JSON object"))?;
+        let stream = req_u64(obj, "stream")?;
+        let stop = req_u64(obj, "stop")?;
+        let seq = req_u64(obj, "seq")?;
+        let kind = req_str(obj, "type")?;
+        let event = match kind.as_str() {
+            "stop_decision" => TraceEvent::StopDecision {
+                vertex: req_str(obj, "vertex")?,
+                threshold_b: req_f64(obj, "threshold_b")?,
+                mu_b_minus: opt_f64(obj, "mu_b_minus"),
+                q_b_plus: opt_f64(obj, "q_b_plus"),
+                chosen_cost_bound: opt_f64(obj, "chosen_cost_bound"),
+            },
+            "stop_cost" => TraceEvent::StopCost {
+                threshold_b: req_f64(obj, "threshold_b")?,
+                stop_s: req_f64(obj, "stop_s")?,
+                online_s: req_f64(obj, "online_s")?,
+                offline_s: req_f64(obj, "offline_s")?,
+                restarted: req_bool(obj, "restarted")?,
+            },
+            "ladder_transition" => TraceEvent::LadderTransition {
+                from: req_str(obj, "from")?,
+                to: req_str(obj, "to")?,
+                anomalies_in_window: req_u64(obj, "anomalies_in_window")?,
+                clean_streak: req_u64(obj, "clean_streak")?,
+            },
+            "sanitize_verdict" => TraceEvent::SanitizeVerdict {
+                event_index: req_u64(obj, "event_index")?,
+                class: req_str(obj, "class")?,
+                start_s: req_f64(obj, "start_s")?,
+                duration_s: req_f64(obj, "duration_s")?,
+            },
+            "estimator_update" => TraceEvent::EstimatorUpdate {
+                observed_s: req_f64(obj, "observed_s")?,
+                accepted: req_bool(obj, "accepted")?,
+                len: req_u64(obj, "len")?,
+                mu_b_minus: opt_f64(obj, "mu_b_minus"),
+                q_b_plus: opt_f64(obj, "q_b_plus"),
+            },
+            "fault_applied" => TraceEvent::FaultApplied {
+                event_index: req_u64(obj, "event_index")?,
+                fault: req_str(obj, "fault")?,
+            },
+            other => return Err(err(&format!("unknown trace event type {other:?}"))),
+        };
+        Ok(Self { stream, stop, seq, event })
+    }
+}
+
+/// Serializes records as JSONL: one line per record plus a trailing
+/// newline (empty input produces an empty string).
+#[must_use]
+pub fn to_jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSONL document into records, skipping blank lines.
+///
+/// # Errors
+///
+/// Returns [`EventError`] naming the 1-based line number of the first
+/// malformed line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRecord>, EventError> {
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = TraceRecord::from_json_line(line)
+            .map_err(|e| err(&format!("line {}: {}", i + 1, e.message)))?;
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+/// A malformed trace line (bad JSON, unknown type, missing field).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for EventError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace event error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EventError {}
+
+fn err(message: &str) -> EventError {
+    EventError { message: message.to_string() }
+}
+
+fn opt_float(x: Option<f64>) -> Value {
+    x.map_or(Value::Null, Value::float)
+}
+
+fn req_u64(obj: &BTreeMap<String, Value>, key: &str) -> Result<u64, EventError> {
+    obj.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| err(&format!("missing or non-integer field {key:?}")))
+}
+
+fn req_f64(obj: &BTreeMap<String, Value>, key: &str) -> Result<f64, EventError> {
+    obj.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| err(&format!("missing or non-numeric field {key:?}")))
+}
+
+/// Optional float: an absent key or `null` is `None` (on the wire `null`
+/// doubles as the encoding of NaN, so optional fields never carry NaN).
+fn opt_f64(obj: &BTreeMap<String, Value>, key: &str) -> Option<f64> {
+    match obj.get(key) {
+        None | Some(Value::Null) => None,
+        Some(v) => v.as_f64(),
+    }
+}
+
+fn req_str(obj: &BTreeMap<String, Value>, key: &str) -> Result<String, EventError> {
+    obj.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| err(&format!("missing or non-string field {key:?}")))
+}
+
+fn req_bool(obj: &BTreeMap<String, Value>, key: &str) -> Result<bool, EventError> {
+    match obj.get(key) {
+        Some(Value::Bool(b)) => Ok(*b),
+        _ => Err(err(&format!("missing or non-boolean field {key:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord {
+                stream: 3,
+                stop: 7,
+                seq: 21,
+                event: TraceEvent::StopDecision {
+                    vertex: "b-DET".to_string(),
+                    threshold_b: 12.25,
+                    mu_b_minus: Some(5.5),
+                    q_b_plus: Some(0.125),
+                    chosen_cost_bound: Some(17.75),
+                },
+            },
+            TraceRecord {
+                stream: 3,
+                stop: 7,
+                seq: 22,
+                event: TraceEvent::StopCost {
+                    threshold_b: 12.25,
+                    stop_s: 40.0,
+                    online_s: 40.25,
+                    offline_s: 28.0,
+                    restarted: true,
+                },
+            },
+            TraceRecord {
+                stream: 0,
+                stop: 0,
+                seq: 0,
+                event: TraceEvent::LadderTransition {
+                    from: "Full".to_string(),
+                    to: "Untrusted".to_string(),
+                    anomalies_in_window: 9,
+                    clean_streak: 0,
+                },
+            },
+            TraceRecord {
+                stream: 1,
+                stop: 4,
+                seq: 2,
+                event: TraceEvent::SanitizeVerdict {
+                    event_index: 4,
+                    class: "non_finite".to_string(),
+                    start_s: 60.0,
+                    duration_s: f64::NAN,
+                },
+            },
+            TraceRecord {
+                stream: 1,
+                stop: 5,
+                seq: 3,
+                event: TraceEvent::EstimatorUpdate {
+                    observed_s: 8.5,
+                    accepted: true,
+                    len: 41,
+                    mu_b_minus: None,
+                    q_b_plus: None,
+                },
+            },
+            TraceRecord {
+                stream: 2,
+                stop: 9,
+                seq: 1,
+                event: TraceEvent::FaultApplied { event_index: 9, fault: "stuck_at".to_string() },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_roundtrip_is_byte_identical() {
+        for rec in sample_records() {
+            let line = rec.to_json_line();
+            let back = TraceRecord::from_json_line(&line).unwrap();
+            assert_eq!(back.to_json_line(), line, "re-emission drifted for {line}");
+            assert_eq!(back.key(), rec.key());
+            assert_eq!(back.event.kind(), rec.event.kind());
+        }
+    }
+
+    #[test]
+    fn jsonl_document_roundtrip() {
+        let records = sample_records();
+        let doc = to_jsonl(&records);
+        let back = parse_jsonl(&doc).unwrap();
+        assert_eq!(to_jsonl(&back), doc);
+        assert_eq!(back.len(), records.len());
+    }
+
+    #[test]
+    fn nan_encodes_as_null_and_stays_null() {
+        let rec = &sample_records()[3];
+        let line = rec.to_json_line();
+        assert!(line.contains("\"duration_s\":null"), "{line}");
+        let back = TraceRecord::from_json_line(&line).unwrap();
+        match back.event {
+            TraceEvent::SanitizeVerdict { duration_s, .. } => assert!(duration_s.is_nan()),
+            _ => panic!("wrong variant"),
+        }
+        assert_eq!(back.to_json_line(), line);
+    }
+
+    #[test]
+    fn stop_id_packs_stream_and_stop() {
+        let rec = &sample_records()[0];
+        assert_eq!(rec.stop_id(), (3 << 32) | 7);
+        assert_eq!(rec.key(), (3, 7, 21));
+    }
+
+    #[test]
+    fn parse_errors_name_the_line() {
+        let doc = "{\"seq\":0,\"stop\":0,\"stream\":0,\"type\":\"stop_cost\"}\nnot json\n";
+        let e = parse_jsonl(doc).unwrap_err();
+        assert!(e.message.contains("line 1"), "{e}");
+        let e2 =
+            parse_jsonl("{\"type\":\"mystery\",\"seq\":0,\"stop\":0,\"stream\":0}").unwrap_err();
+        assert!(e2.message.contains("mystery"), "{e2}");
+        assert!(!e2.to_string().is_empty());
+    }
+
+    #[test]
+    fn describe_is_human_readable() {
+        for rec in sample_records() {
+            let text = rec.event.describe();
+            assert!(!text.is_empty());
+        }
+        let cold = TraceEvent::StopDecision {
+            vertex: "N-Rand".to_string(),
+            threshold_b: 3.0,
+            mu_b_minus: None,
+            q_b_plus: None,
+            chosen_cost_bound: None,
+        };
+        assert!(cold.describe().contains("no estimator statistics"));
+    }
+}

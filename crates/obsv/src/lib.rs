@@ -26,6 +26,12 @@
 //!   `BTreeMap`s; [`RunReport`] wraps a snapshot with run metadata and
 //!   wall-clock time and round-trips through a stable JSON encoding used
 //!   by the bench binaries' `--report` flag and the CI perf gate.
+//! * The decision-trace layer ([`event`], [`tracer`], [`diff`]) follows
+//!   the same disabled-by-default pattern for *per-stop* records: typed
+//!   tick-indexed events ([`TraceEvent`]) land in the bounded sharded
+//!   [`Tracer`] and serialize to a canonical JSONL that is byte-identical
+//!   across thread counts, so [`first_divergence`] can pinpoint exactly
+//!   where two runs stopped agreeing.
 //!
 //! # Example
 //!
@@ -47,12 +53,18 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod diff;
+pub mod event;
 pub mod json;
 mod metrics;
 mod report;
+pub mod tracer;
 
+pub use diff::{first_divergence, Divergence};
+pub use event::{EventError, TraceEvent, TraceRecord};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, Span, Timer};
 pub use report::{HistogramSnapshot, MetricsSnapshot, ReportError, RunReport, REPORT_VERSION};
+pub use tracer::Tracer;
 
 use std::sync::OnceLock;
 

@@ -165,6 +165,38 @@ impl RunReport {
         self
     }
 
+    /// A 64-bit FNV-1a fingerprint (16 hex digits) over the report's
+    /// identity: `bin` plus every sorted meta pair except a previously
+    /// stamped `config_fingerprint` itself. Two runs of the same binary
+    /// with the same configuration metadata (seed, threads, tolerance, …)
+    /// fingerprint identically regardless of their measured values, so
+    /// the fingerprint answers "are these two reports comparable?"
+    /// without the comparison logic having to enumerate meta keys.
+    #[must_use]
+    pub fn config_fingerprint(&self) -> String {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+            // NUL-separate fields so ("ab","c") ≠ ("a","bc").
+            h ^= 0;
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        eat(self.bin.as_bytes());
+        for (k, v) in &self.meta {
+            if k == "config_fingerprint" {
+                continue;
+            }
+            eat(k.as_bytes());
+            eat(v.as_bytes());
+        }
+        format!("{h:016x}")
+    }
+
     /// Serializes to a single-line JSON document.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -368,6 +400,29 @@ mod tests {
         assert!(RunReport::from_json("{}").is_err());
         let e = RunReport::from_json(r#"{"version":1,"bin":3}"#).unwrap_err();
         assert!(e.to_string().contains("bin"));
+    }
+
+    #[test]
+    fn config_fingerprint_ignores_measurements_and_itself() {
+        let a = sample_report();
+        let mut b = sample_report();
+        b.wall_s = 99.0;
+        b.metrics.counters.insert("a.count".to_string(), 7);
+        assert_eq!(a.config_fingerprint(), b.config_fingerprint());
+        assert_eq!(a.config_fingerprint().len(), 16);
+
+        // Stamping the fingerprint into meta does not change it.
+        let fp = a.config_fingerprint();
+        let stamped = a.clone().with_meta("config_fingerprint", &fp);
+        assert_eq!(stamped.config_fingerprint(), fp);
+
+        // But real configuration differences do change it, and field
+        // boundaries matter: ("ab","c") ≠ ("a","bc").
+        let c = sample_report().with_meta("seed", 2015);
+        assert_ne!(a.config_fingerprint(), c.config_fingerprint());
+        let d1 = RunReport::new("x", 0.0, MetricsSnapshot::default()).with_meta("ab", "c");
+        let d2 = RunReport::new("x", 0.0, MetricsSnapshot::default()).with_meta("a", "bc");
+        assert_ne!(d1.config_fingerprint(), d2.config_fingerprint());
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! Bounded, sharded recorder for decision-trace events.
+//!
+//! The [`Tracer`] follows the same disabled-by-default pattern as
+//! [`crate::MetricsRegistry`]: instrumentation sites guard with
+//! [`active`] — a single relaxed atomic load — so a disabled tracer
+//! costs one load and a predictable branch, consumes no RNG, and
+//! perturbs no floating-point state. Enabling it changes *what is
+//! recorded*, never *what is computed*, preserving the workspace-wide
+//! bit-identical thread-count guarantee.
+//!
+//! # Determinism model
+//!
+//! Worker threads tag their records with logical coordinates instead of
+//! timestamps: [`set_stream`] names the sequential work item (one
+//! vehicle, one sweep cell) and resets the per-thread `stop`/`seq`
+//! counters, [`begin_stop`] advances the stop index, and every
+//! [`record`] call stamps the next `seq`. Records land in one of a
+//! fixed number of mutex-guarded shards keyed by `stream`, and
+//! [`Tracer::drain_sorted`] merges shards by `(stream, stop, seq)` —
+//! a total order independent of thread interleaving. Two requirements
+//! for byte-identical traces across thread counts:
+//!
+//! 1. each stream id is processed by exactly one thread per run (the
+//!    `skirental::parallel::chunked_map` global item index satisfies
+//!    this; reusing one stream id on two threads interleaves their
+//!    `seq` counters nondeterministically), and
+//! 2. no shard overflows — overflow drops the *oldest* records in that
+//!    shard and counts them in [`Tracer::dropped`], and which records
+//!    are oldest depends on arrival order. A trace with
+//!    `dropped() == 0` is complete and deterministic; raise the
+//!    capacity with [`Tracer::set_capacity`] when a workload overflows.
+
+use crate::event::{TraceEvent, TraceRecord};
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// Number of independent buffer shards; records shard by `stream % SHARDS`.
+const SHARDS: usize = 16;
+
+/// Default per-shard ring-buffer capacity (records). 16 shards × 8192 ≈
+/// 131k records before anything is dropped.
+pub const DEFAULT_SHARD_CAPACITY: usize = 8192;
+
+/// A bounded multi-shard event recorder.
+///
+/// The process-wide instance lives behind [`global`] and starts
+/// disabled; tests that need isolation can hold a local
+/// [`Tracer::new`] and [`Tracer::push`] into it directly.
+pub struct Tracer {
+    enabled: AtomicBool,
+    shard_capacity: AtomicUsize,
+    dropped: AtomicU64,
+    shards: [Mutex<VecDeque<TraceRecord>>; SHARDS],
+}
+
+impl Tracer {
+    /// A tracer that records immediately (for local/test use).
+    #[must_use]
+    pub fn new() -> Self {
+        let t = Self::disabled();
+        t.enable();
+        t
+    }
+
+    /// A tracer that starts disabled — the state of [`global`] at startup.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Tracer {
+            enabled: AtomicBool::new(false),
+            shard_capacity: AtomicUsize::new(DEFAULT_SHARD_CAPACITY),
+            dropped: AtomicU64::new(0),
+            shards: std::array::from_fn(|_| Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Starts recording.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Stops recording; buffered records remain until [`Tracer::clear`].
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether [`Tracer::push`] currently records.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Sets the per-shard ring capacity (records). A capacity of zero is
+    /// clamped to one. Existing buffered records are not trimmed until
+    /// the next push into a full shard.
+    pub fn set_capacity(&self, per_shard: usize) {
+        self.shard_capacity.store(per_shard.max(1), Ordering::Relaxed);
+    }
+
+    /// Current per-shard ring capacity (records).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity.load(Ordering::Relaxed)
+    }
+
+    /// Records one event if enabled; otherwise a no-op. When the target
+    /// shard is full the oldest record in that shard is dropped and the
+    /// [`Tracer::dropped`] counter incremented.
+    pub fn push(&self, record: TraceRecord) {
+        if !self.is_enabled() {
+            return;
+        }
+        let cap = self.capacity();
+        let shard = &self.shards[(record.stream % SHARDS as u64) as usize];
+        let mut q = shard.lock().unwrap_or_else(PoisonError::into_inner);
+        while q.len() >= cap {
+            q.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        q.push_back(record);
+    }
+
+    /// Records dropped to ring-buffer overflow since the last
+    /// [`Tracer::clear`]. A nonzero value means the trace is incomplete
+    /// and its byte layout may depend on thread scheduling.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of records currently buffered across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len()).sum()
+    }
+
+    /// Whether no records are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discards all buffered records and zeroes the dropped counter.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap_or_else(PoisonError::into_inner).clear();
+        }
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+
+    /// Removes and returns all buffered records in the canonical trace
+    /// order: ascending `(stream, stop, seq)`, ties (only possible under
+    /// stream-id misuse) broken by the serialized line so the output is
+    /// still a total order.
+    #[must_use]
+    pub fn drain_sorted(&self) -> Vec<TraceRecord> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.lock().unwrap_or_else(PoisonError::into_inner).drain(..));
+        }
+        out.sort_by(|a, b| {
+            a.key().cmp(&b.key()).then_with(|| a.to_json_line().cmp(&b.to_json_line()))
+        });
+        out
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+static GLOBAL_TRACER: OnceLock<Tracer> = OnceLock::new();
+
+/// The process-wide tracer. Starts disabled; sweep bins enable it when
+/// `--trace <path>` is passed (see `bench::RunReporter`).
+#[must_use]
+pub fn global() -> &'static Tracer {
+    GLOBAL_TRACER.get_or_init(Tracer::disabled)
+}
+
+/// Whether the global tracer is recording. Instrumentation sites guard
+/// on this before building an event so the disabled path costs one
+/// relaxed load.
+#[must_use]
+pub fn active() -> bool {
+    global().is_enabled()
+}
+
+#[derive(Clone, Copy)]
+struct Ctx {
+    stream: u64,
+    stop: u64,
+    seq: u64,
+}
+
+thread_local! {
+    static CTX: Cell<Ctx> = const { Cell::new(Ctx { stream: 0, stop: 0, seq: 0 }) };
+}
+
+/// Binds this thread to a stream (work item) and resets its `stop` and
+/// `seq` counters. Call at the start of each sequential work item — e.g.
+/// first thing inside a `chunked_map` closure, passing the global item
+/// index — so records are keyed by work item, not by worker thread.
+/// No-op while the tracer is inactive.
+pub fn set_stream(stream: u64) {
+    if !active() {
+        return;
+    }
+    CTX.with(|c| c.set(Ctx { stream, stop: 0, seq: 0 }));
+}
+
+/// Sets the stop index subsequent records are attributed to. No-op while
+/// the tracer is inactive.
+pub fn begin_stop(stop: u64) {
+    if !active() {
+        return;
+    }
+    CTX.with(|c| {
+        let mut ctx = c.get();
+        ctx.stop = stop;
+        c.set(ctx);
+    });
+}
+
+/// Records one event against the thread's current `(stream, stop)`
+/// context, stamping the next per-stream sequence number. No-op while
+/// the tracer is inactive — call sites typically guard with [`active`]
+/// to also skip building the event.
+pub fn record(event: TraceEvent) {
+    if !active() {
+        return;
+    }
+    let (stream, stop, seq) = CTX.with(|c| {
+        let mut ctx = c.get();
+        let at = (ctx.stream, ctx.stop, ctx.seq);
+        ctx.seq += 1;
+        c.set(ctx);
+        at
+    });
+    global().push(TraceRecord { stream, stop, seq, event });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fault(stream: u64, seq: u64, index: u64) -> TraceRecord {
+        TraceRecord {
+            stream,
+            stop: 0,
+            seq,
+            event: TraceEvent::FaultApplied { event_index: index, fault: "noise".to_string() },
+        }
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let t = Tracer::new();
+        t.set_capacity(4);
+        for i in 0..10 {
+            t.push(fault(0, i, i)); // all stream 0 → one shard
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        let kept = t.drain_sorted();
+        let seqs: Vec<u64> = kept.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "newest records survive");
+        t.clear();
+        assert_eq!(t.dropped(), 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.push(fault(0, 0, 0));
+        assert!(t.is_empty());
+        t.enable();
+        t.push(fault(0, 0, 0));
+        assert_eq!(t.len(), 1);
+        t.disable();
+        t.push(fault(0, 1, 1));
+        assert_eq!(t.len(), 1, "disable stops recording but keeps the buffer");
+    }
+
+    #[test]
+    fn drain_sorted_merges_shards_by_key() {
+        let t = Tracer::new();
+        // Streams land in different shards; push out of order.
+        t.push(fault(17, 0, 0));
+        t.push(fault(1, 1, 1));
+        t.push(fault(1, 0, 0));
+        t.push(fault(0, 0, 0));
+        let keys: Vec<(u64, u64, u64)> = t.drain_sorted().iter().map(TraceRecord::key).collect();
+        assert_eq!(keys, vec![(0, 0, 0), (1, 0, 0), (1, 0, 1), (17, 0, 0)]);
+        assert!(t.is_empty(), "drain removes records");
+    }
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let t = Tracer::new();
+        t.set_capacity(0);
+        assert_eq!(t.capacity(), 1);
+        t.push(fault(0, 0, 0));
+        t.push(fault(0, 1, 1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.dropped(), 1);
+    }
+}

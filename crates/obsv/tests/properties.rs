@@ -1,7 +1,8 @@
 //! Property tests for the metric primitives: the algebraic facts the
-//! perf gate and the report pipeline rely on.
+//! perf gate and the report pipeline rely on — and for the decision-trace
+//! JSONL encoding, which `trace_diff` requires to be byte-canonical.
 
-use obsv::{HistogramSnapshot, MetricsRegistry};
+use obsv::{HistogramSnapshot, MetricsRegistry, TraceEvent, TraceRecord};
 use proptest::prelude::*;
 
 const BOUNDS: [f64; 4] = [1.0, 10.0, 100.0, 1000.0];
@@ -18,6 +19,69 @@ fn hist_of(values: &[f64]) -> HistogramSnapshot {
 
 fn values() -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(0.0f64..5000.0, 0..60)
+}
+
+/// An arbitrary trace record: `kind` selects the variant, the float /
+/// integer / flag inputs fill its fields (the vendored proptest has no
+/// `prop_oneof`, so variant selection is an explicit index + match).
+/// Odd `opts` bits drive the `Option<f64>` fields to `None`, and one
+/// float is occasionally forced non-finite to cover the NaN↔null path.
+#[allow(clippy::too_many_arguments)]
+fn record_of(
+    kind: usize,
+    stream: u64,
+    stop: u64,
+    seq: u64,
+    f1: f64,
+    f2: f64,
+    f3: f64,
+    n: u64,
+    opts: u8,
+    flag: bool,
+) -> TraceRecord {
+    let names = ["DET", "TOI", "b-DET", "N-Rand"];
+    let name = names[(n % 4) as usize].to_string();
+    let opt1 = (opts & 1 != 0).then_some(f2);
+    let opt2 = (opts & 2 != 0).then_some(f3);
+    // Exercise the non-finite → null encoding on a required field.
+    let f1 = if opts & 4 != 0 { f64::NAN } else { f1 };
+    let event = match kind {
+        0 => TraceEvent::StopDecision {
+            vertex: name,
+            threshold_b: f1,
+            mu_b_minus: opt1,
+            q_b_plus: opt2,
+            chosen_cost_bound: (opts & 8 != 0).then_some(f2 + f3),
+        },
+        1 => TraceEvent::StopCost {
+            threshold_b: f1,
+            stop_s: f2,
+            online_s: f3,
+            offline_s: f2.min(f3),
+            restarted: flag,
+        },
+        2 => TraceEvent::LadderTransition {
+            from: name,
+            to: names[((n + 1) % 4) as usize].to_string(),
+            anomalies_in_window: n,
+            clean_streak: n / 3,
+        },
+        3 => TraceEvent::SanitizeVerdict {
+            event_index: n,
+            class: "non_finite".to_string(),
+            start_s: f1,
+            duration_s: f2,
+        },
+        4 => TraceEvent::EstimatorUpdate {
+            observed_s: f1,
+            accepted: flag,
+            len: n,
+            mu_b_minus: opt1,
+            q_b_plus: opt2,
+        },
+        _ => TraceEvent::FaultApplied { event_index: n, fault: name },
+    };
+    TraceRecord { stream, stop, seq, event }
 }
 
 proptest! {
@@ -66,6 +130,31 @@ proptest! {
             prop_assert_eq!(seen, expected);
             previous = seen;
         }
+    }
+
+    /// Decision-trace JSONL round-trips byte-identically: encode → parse
+    /// → re-encode reproduces the exact line, for every event variant,
+    /// optional-field combination, and the NaN↔null required-float path.
+    /// This is the canonical-encoding property `trace_diff` relies on.
+    #[test]
+    fn trace_jsonl_roundtrip_is_byte_identical(
+        kind in 0usize..6,
+        stream in 0u64..1_000_000,
+        stop in 0u64..100_000,
+        seq in 0u64..100_000,
+        f1 in -10.0f64..5000.0,
+        f2 in 0.0f64..5000.0,
+        f3 in 0.0f64..5000.0,
+        n in 0u64..100_000,
+        opts in 0u8..16,
+        flag in 0u8..2,
+    ) {
+        let rec = record_of(kind, stream, stop, seq, f1, f2, f3, n, opts, flag == 1);
+        let line = rec.to_json_line();
+        let back = TraceRecord::from_json_line(&line).expect("own encoding re-parses");
+        prop_assert_eq!(back.to_json_line(), line);
+        prop_assert_eq!(back.key(), rec.key());
+        prop_assert_eq!(back.event.kind(), rec.event.kind());
     }
 
     /// Histogram count/sum stay consistent under arbitrary input,

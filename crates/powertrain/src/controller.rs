@@ -315,7 +315,17 @@ impl<'a, P: Policy + ?Sized> StopStartController<'a, P> {
             machine.apply(EngineEvent::VehicleStops, t)?;
             m.stop_length_s.record(y);
 
+            obsv::tracer::begin_stop(out.stops);
             let x = self.policy.sample_threshold(rng);
+            if obsv::tracer::active() {
+                obsv::tracer::record(obsv::TraceEvent::StopDecision {
+                    vertex: self.policy.name().to_string(),
+                    threshold_b: x,
+                    mu_b_minus: None,
+                    q_b_plus: None,
+                    chosen_cost_bound: None,
+                });
+            }
             if y < x {
                 // The stop ends before the threshold: idle through it.
                 t += y;
@@ -344,6 +354,15 @@ impl<'a, P: Policy + ?Sized> StopStartController<'a, P> {
                 };
                 out.emissions += Emissions::idling_for(x) + Emissions::one_restart();
                 out.idle_equivalent_s += x + b;
+            }
+            if obsv::tracer::active() {
+                obsv::tracer::record(obsv::TraceEvent::StopCost {
+                    threshold_b: x,
+                    stop_s: y,
+                    online_s: if y < x { y } else { x + b },
+                    offline_s: self.spec.break_even().offline_cost(y),
+                    restarted: y >= x,
+                });
             }
             out.stops += 1;
         }

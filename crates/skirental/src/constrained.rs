@@ -701,6 +701,23 @@ impl ProposedPolicy {
         self.stats.worst_case_cr()
     }
 
+    /// The decision-trace event for a threshold drawn from this policy:
+    /// the selected vertex, the `(μ_B⁻, q_B⁺)` statistics it was derived
+    /// from, and its worst-case cost bound. Instrumentation sites share
+    /// this so every `StopDecision` in a trace carries the same payload
+    /// shape.
+    #[must_use]
+    pub fn trace_decision(&self, threshold_b: f64) -> obsv::TraceEvent {
+        let m = self.stats.moments();
+        obsv::TraceEvent::StopDecision {
+            vertex: self.choice.name().to_string(),
+            threshold_b,
+            mu_b_minus: Some(m.mu_b_minus),
+            q_b_plus: Some(m.q_b_plus),
+            chosen_cost_bound: Some(self.worst_case_cost()),
+        }
+    }
+
     fn as_policy(&self) -> &dyn Policy {
         match &self.inner {
             Inner::Det(p) => p,

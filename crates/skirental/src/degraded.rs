@@ -53,6 +53,18 @@ pub enum TrustLevel {
     Untrusted,
 }
 
+impl TrustLevel {
+    /// The level's name as it appears in decision traces and reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Full => "Full",
+            Self::Degraded => "Degraded",
+            Self::Untrusted => "Untrusted",
+        }
+    }
+}
+
 /// Per-class counts of quarantined sensor readings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -286,8 +298,36 @@ impl DegradedController {
     pub fn decide(&self, rng: &mut dyn RngCore) -> f64 {
         match self.level {
             TrustLevel::Full => self.inner.decide(rng),
-            TrustLevel::Degraded => self.break_even.seconds(),
-            TrustLevel::Untrusted => self.fallback.sample_threshold(rng),
+            TrustLevel::Degraded => {
+                let x = self.break_even.seconds();
+                // Statistics are untrusted here, so the decision event
+                // carries none (DET's distribution-free guarantee is
+                // CR ≤ 2; `chosen_cost_bound` is reserved for the
+                // statistics-derived expected-cost bound).
+                if obsv::tracer::active() {
+                    obsv::tracer::record(obsv::TraceEvent::StopDecision {
+                        vertex: "DET".to_string(),
+                        threshold_b: x,
+                        mu_b_minus: None,
+                        q_b_plus: None,
+                        chosen_cost_bound: None,
+                    });
+                }
+                x
+            }
+            TrustLevel::Untrusted => {
+                let x = self.fallback.sample_threshold(rng);
+                if obsv::tracer::active() {
+                    obsv::tracer::record(obsv::TraceEvent::StopDecision {
+                        vertex: self.fallback.name().to_string(),
+                        threshold_b: x,
+                        mu_b_minus: None,
+                        q_b_plus: None,
+                        chosen_cost_bound: None,
+                    });
+                }
+                x
+            }
         }
     }
 
@@ -412,6 +452,14 @@ impl DegradedController {
                 (TrustLevel::Untrusted, _) => m.trans_promotions.inc(),
                 _ => unreachable!("no other transition exists in the ladder"),
             }
+            if obsv::tracer::active() {
+                obsv::tracer::record(obsv::TraceEvent::LadderTransition {
+                    from: before.name().to_string(),
+                    to: self.level.name().to_string(),
+                    anomalies_in_window: self.anomalies_in_window as u64,
+                    clean_streak: self.clean_streak as u64,
+                });
+            }
         }
     }
 
@@ -466,15 +514,27 @@ impl DegradedController {
         let mut online = 0.0;
         let mut offline = 0.0;
         let mut decisions = [0usize; 3];
-        for (&y, &reading) in stops.iter().zip(observed) {
+        for (i, (&y, &reading)) in stops.iter().zip(observed).enumerate() {
+            obsv::tracer::begin_stop(i as u64);
             let x = self.decide(rng);
             decisions[match self.level {
                 TrustLevel::Full => 0,
                 TrustLevel::Degraded => 1,
                 TrustLevel::Untrusted => 2,
             }] += 1;
-            online += if x.is_infinite() { y } else { b.online_cost(x, y) };
-            offline += b.offline_cost(y);
+            let cost = if x.is_infinite() { y } else { b.online_cost(x, y) };
+            online += cost;
+            let off = b.offline_cost(y);
+            offline += off;
+            if obsv::tracer::active() {
+                obsv::tracer::record(obsv::TraceEvent::StopCost {
+                    threshold_b: x,
+                    stop_s: y,
+                    online_s: cost,
+                    offline_s: off,
+                    restarted: !x.is_infinite() && y >= x,
+                });
+            }
             self.observe(reading);
         }
         let cr = realized_cr(online, offline);

@@ -93,6 +93,16 @@ impl MomentEstimator {
         } else {
             self.short_sum += y;
         }
+        if obsv::tracer::active() {
+            let (mu_b_minus, q_b_plus) = self.trace_moments();
+            obsv::tracer::record(obsv::TraceEvent::EstimatorUpdate {
+                observed_s: y,
+                accepted: true,
+                len: self.buffer.len() as u64,
+                mu_b_minus,
+                q_b_plus,
+            });
+        }
     }
 
     /// Non-panicking [`MomentEstimator::observe`]: rejects a negative or
@@ -105,10 +115,32 @@ impl MomentEstimator {
     pub fn try_observe(&mut self, y: f64) -> Result<(), Error> {
         if !(y.is_finite() && y >= 0.0) {
             obs::metrics().observations_rejected.inc();
+            if obsv::tracer::active() {
+                let (mu_b_minus, q_b_plus) = self.trace_moments();
+                obsv::tracer::record(obsv::TraceEvent::EstimatorUpdate {
+                    observed_s: y,
+                    accepted: false,
+                    len: self.buffer.len() as u64,
+                    mu_b_minus,
+                    q_b_plus,
+                });
+            }
             return Err(Error::InvalidStop { bits: y.to_bits() });
         }
         self.observe(y);
         Ok(())
+    }
+
+    /// The current plug-in moments as trace-event payload (`None` before
+    /// the first observation).
+    fn trace_moments(&self) -> (Option<f64>, Option<f64>) {
+        match self.stats() {
+            Some(s) => {
+                let m = s.moments();
+                (Some(m.mu_b_minus), Some(m.q_b_plus))
+            }
+            None => (None, None),
+        }
     }
 
     /// Discards all observed history, returning the estimator to its
@@ -230,8 +262,11 @@ impl AdaptiveController {
     /// When the [`obsv::global`] registry is enabled, each decision
     /// records its latency (`skirental.estimator.decide_seconds`), the
     /// drawn threshold, and which of the four vertex policies was
-    /// selected (`skirental.policy.*`); instrumentation consumes no RNG
-    /// and does not alter the draw.
+    /// selected (`skirental.policy.*`); when the decision tracer
+    /// ([`obsv::tracer`]) is active, a per-stop `StopDecision` event
+    /// captures the chosen vertex together with the estimator state
+    /// behind it. Instrumentation consumes no RNG and does not alter
+    /// the draw.
     pub fn decide(&self, rng: &mut dyn RngCore) -> f64 {
         let m = obs::metrics();
         let span = m.decide_seconds.start();
@@ -240,10 +275,24 @@ impl AdaptiveController {
         {
             let policy = stats.optimal_policy();
             m.count_choice(policy.choice());
-            policy.sample_threshold(rng)
+            let x = policy.sample_threshold(rng);
+            if obsv::tracer::active() {
+                obsv::tracer::record(policy.trace_decision(x));
+            }
+            x
         } else {
             m.decisions_cold_start.inc();
-            self.cold_start.sample_threshold(rng)
+            let x = self.cold_start.sample_threshold(rng);
+            if obsv::tracer::active() {
+                obsv::tracer::record(obsv::TraceEvent::StopDecision {
+                    vertex: self.cold_start.name().to_string(),
+                    threshold_b: x,
+                    mu_b_minus: None,
+                    q_b_plus: None,
+                    chosen_cost_bound: None,
+                });
+            }
+            x
         };
         m.threshold_s.record(x);
         span.finish();
@@ -284,10 +333,22 @@ impl AdaptiveController {
         let b = self.estimator.break_even;
         let mut online = 0.0;
         let mut offline = 0.0;
-        for &y in stops {
+        for (i, &y) in stops.iter().enumerate() {
+            obsv::tracer::begin_stop(i as u64);
             let x = self.decide(rng);
-            online += if x.is_infinite() { y } else { b.online_cost(x, y) };
-            offline += b.offline_cost(y);
+            let cost = if x.is_infinite() { y } else { b.online_cost(x, y) };
+            online += cost;
+            let off = b.offline_cost(y);
+            offline += off;
+            if obsv::tracer::active() {
+                obsv::tracer::record(obsv::TraceEvent::StopCost {
+                    threshold_b: x,
+                    stop_s: y,
+                    online_s: cost,
+                    offline_s: off,
+                    restarted: !x.is_infinite() && y >= x,
+                });
+            }
             self.observe(y);
         }
         let cr = realized_cr(online, offline);

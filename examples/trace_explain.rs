@@ -1,0 +1,79 @@
+//! Walks one simulated stop end-to-end with decision tracing enabled:
+//! a faulted sensor stream runs through the degradation ladder while the
+//! global tracer records every fault injection, estimator update, ladder
+//! transition, vertex choice, and realized cost — then the example
+//! replays a single stop's causal chain, exactly what the `trace_explain`
+//! bin renders from a `--trace` JSONL file.
+//!
+//! Run with: `cargo run --example trace_explain`
+
+use automotive_idling::drivesim::faults::{Fault, FaultPlan};
+use automotive_idling::skirental::{BreakEven, DegradedController};
+use obsv::TraceEvent;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let seed = 2014;
+    let b = BreakEven::SSV;
+
+    // A small workload: mixed stop lengths, a stuck-at sensor fault.
+    let stops: Vec<f64> = (0..400).map(|i| 4.0 + (i % 13) as f64 * 5.0).collect();
+    let plan = FaultPlan::new(vec![Fault::StuckAt { rate: 0.2, run: 30, value_s: 900.0 }])
+        .expect("valid fault plan");
+    let observed = plan.corrupt_observations(&stops, seed);
+
+    // Record everything: enable the process-wide tracer (the same switch
+    // the sweep bins flip for --trace) and tag this run as stream 0.
+    let tracer = obsv::tracer::global();
+    tracer.clear();
+    tracer.enable();
+    obsv::tracer::set_stream(0);
+
+    let mut ladder = DegradedController::with_estimator_window(b, 50);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let outcome = ladder.run_observed(&stops, &observed, &mut rng).expect("clean true stops");
+
+    tracer.disable();
+    let records = tracer.drain_sorted();
+    println!(
+        "traced {} events over {} stops (realized CR {:.3}, {} anomalies quarantined)\n",
+        records.len(),
+        outcome.stops,
+        outcome.cr,
+        outcome.anomalies.total()
+    );
+
+    // Pick an interesting stop: the last one that saw a ladder
+    // transition, falling back to stop 0 on a fully clean run.
+    let focus = records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::LadderTransition { .. }))
+        .map(|r| r.stop)
+        .next_back()
+        .unwrap_or(0);
+
+    println!("stop {focus}, causal chain (observation → estimator → decision → cost):");
+    let mut bound = None;
+    let mut realized = None;
+    for r in records.iter().filter(|r| r.stop == focus) {
+        println!("  [seq {:>3}] {}", r.seq, r.event.describe());
+        match &r.event {
+            TraceEvent::StopDecision { chosen_cost_bound, .. } => bound = *chosen_cost_bound,
+            TraceEvent::StopCost { online_s, offline_s, .. } => {
+                realized = Some((*online_s, *offline_s));
+            }
+            _ => {}
+        }
+    }
+    if let Some((online, offline)) = realized {
+        println!("\n  realized online {online:.3} s vs offline-optimal {offline:.3} s");
+        if let Some(bound) = bound {
+            println!("  the decision's worst-case cost bound was {bound:.3} s");
+        }
+    }
+    println!(
+        "\n(the sweep bins write this as JSONL via --trace; inspect with the \
+         trace_explain and trace_diff bins)"
+    );
+}

@@ -6,7 +6,9 @@
 
 use automotive_idling::drivesim::{Area, FleetConfig, VehicleTrace};
 use automotive_idling::skirental::analysis::bootstrap_cr_ci_parallel;
+use automotive_idling::skirental::estimator::AdaptiveController;
 use automotive_idling::skirental::fleet_eval::{evaluate_fleet, evaluate_fleet_parallel};
+use automotive_idling::skirental::parallel::chunked_map;
 use automotive_idling::skirental::policy::Det;
 use automotive_idling::skirental::{BreakEven, Strategy};
 use rand::rngs::StdRng;
@@ -43,4 +45,47 @@ fn bootstrap_ci_bit_identical_across_thread_counts() {
         assert_eq!(ci, reference, "bootstrap CI drifted at {threads} threads");
     }
     assert!(reference.lo <= reference.point && reference.point <= reference.hi);
+}
+
+/// The serialized decision trace of a sharded workload is **byte**
+/// identical for any worker-thread count: records are keyed by logical
+/// `(stream, stop, seq)` coordinates, never by thread or arrival order.
+///
+/// Uses the process-wide tracer (like a `--trace` bin run would); safe
+/// here because the other tests in this binary drive no instrumented
+/// per-stop call sites, so nothing else records into it.
+#[test]
+fn decision_traces_bit_identical_across_thread_counts() {
+    let traces = FleetConfig::new(Area::Chicago).vehicles(8).synthesize(77);
+    let vehicles: Vec<Vec<f64>> = traces.iter().map(VehicleTrace::stop_lengths).collect();
+    let b = BreakEven::SSV;
+    let tracer = obsv::tracer::global();
+
+    let trace_with = |threads: usize| -> String {
+        tracer.clear();
+        tracer.enable();
+        let outcomes = chunked_map(&vehicles, threads, |i, stops| {
+            obsv::tracer::set_stream(i as u64);
+            let mut ctl = AdaptiveController::with_window(b, 50);
+            let mut rng = StdRng::seed_from_u64(500 + i as u64);
+            ctl.run(stops, &mut rng).unwrap()
+        });
+        tracer.disable();
+        assert_eq!(outcomes.len(), vehicles.len());
+        let records = tracer.drain_sorted();
+        assert_eq!(tracer.dropped(), 0, "workload must fit the ring buffers");
+        assert!(!records.is_empty(), "instrumentation recorded nothing");
+        obsv::event::to_jsonl(&records)
+    };
+
+    let reference = trace_with(1);
+    for threads in [2, 8] {
+        let jsonl = trace_with(threads);
+        assert_eq!(jsonl, reference, "trace bytes drifted at {threads} threads");
+    }
+    tracer.clear();
+
+    // And the reference parses back into as many records as it has lines.
+    let parsed = obsv::event::parse_jsonl(&reference).unwrap();
+    assert_eq!(parsed.len(), reference.lines().count());
 }

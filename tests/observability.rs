@@ -6,7 +6,9 @@
 //! Everything lives in one `#[test]` because the registry is process-wide:
 //! parallel test threads would otherwise interleave their increments.
 
-use obsv::RunReport;
+use std::io::Cursor;
+
+use obsv::{RunReport, TraceEvent, TraceRecord, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use skirental::{BreakEven, DegradedController};
@@ -98,4 +100,89 @@ fn ladder_counters_match_outcome_and_report_roundtrips() {
     let back = RunReport::from_json(&json).expect("own JSON re-parses");
     assert_eq!(back, report);
     assert_eq!(back.to_json(), json, "re-emission must be byte-identical");
+}
+
+/// `first_divergence` (the engine behind the `trace_diff` bin) pins a
+/// single mutated event to its exact line, with the preceding context.
+///
+/// Uses a *local* `Tracer` — the registry test above shares this process
+/// and must not see stray global-tracer state.
+#[test]
+fn trace_diff_localizes_single_event_divergence() {
+    let tracer = Tracer::new();
+    for stop in 0..8u64 {
+        tracer.push(TraceRecord {
+            stream: 0,
+            stop,
+            seq: 0,
+            event: TraceEvent::StopDecision {
+                vertex: "DET".to_string(),
+                threshold_b: 6.0,
+                mu_b_minus: None,
+                q_b_plus: None,
+                chosen_cost_bound: None,
+            },
+        });
+        tracer.push(TraceRecord {
+            stream: 0,
+            stop,
+            seq: 1,
+            event: TraceEvent::StopCost {
+                threshold_b: 6.0,
+                stop_s: 4.0 + stop as f64,
+                online_s: 4.0 + stop as f64,
+                offline_s: 4.0 + stop as f64,
+                restarted: false,
+            },
+        });
+    }
+    let records = tracer.drain_sorted();
+    let baseline = obsv::event::to_jsonl(&records);
+
+    // Identical traces: no divergence.
+    let same = obsv::first_divergence(
+        Cursor::new(baseline.as_bytes()),
+        Cursor::new(baseline.as_bytes()),
+        3,
+    )
+    .expect("in-memory read");
+    assert!(same.is_none(), "identical traces must not diverge");
+
+    // Mutate exactly one mid-trace event (stop 5's cost record, line 12:
+    // two lines per stop) as a divergent run would produce it.
+    let mut mutated_records = records.clone();
+    if let TraceEvent::StopCost { restarted, online_s, .. } = &mut mutated_records[11].event {
+        *restarted = true;
+        *online_s += 6.0;
+    } else {
+        panic!("fixture layout changed: expected a StopCost at index 11");
+    }
+    let mutated = obsv::event::to_jsonl(&mutated_records);
+
+    let d = obsv::first_divergence(
+        Cursor::new(baseline.as_bytes()),
+        Cursor::new(mutated.as_bytes()),
+        3,
+    )
+    .expect("in-memory read")
+    .expect("mutation must be detected");
+    assert_eq!(d.line, 12, "divergence pinned to the mutated line");
+    let base_lines: Vec<&str> = baseline.lines().collect();
+    assert_eq!(d.context, base_lines[8..11], "context is the 3 preceding common lines");
+    assert_eq!(d.left.as_deref(), Some(base_lines[11]));
+    assert_eq!(d.right.as_deref(), Some(mutated.lines().nth(11).unwrap()));
+    assert_ne!(d.left, d.right);
+
+    // A truncated trace diverges at the end-of-file boundary instead.
+    let truncated: String = base_lines[..10].iter().map(|l| format!("{l}\n")).collect();
+    let d = obsv::first_divergence(
+        Cursor::new(baseline.as_bytes()),
+        Cursor::new(truncated.as_bytes()),
+        3,
+    )
+    .expect("in-memory read")
+    .expect("missing tail must be detected");
+    assert_eq!(d.line, 11);
+    assert_eq!(d.left.as_deref(), Some(base_lines[10]));
+    assert_eq!(d.right, None, "short side ended");
 }
