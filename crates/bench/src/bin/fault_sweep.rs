@@ -22,6 +22,12 @@
 //!
 //! Output: tables on stdout, `target/figures/fault_sweep_fleet.csv` and
 //! `fault_sweep_adversarial.csv`.
+//!
+//! With `--drift` a third, opt-in scenario runs: a diurnal shift of the
+//! true distribution overlapped by a frozen duration register on an
+//! unguarded stream (see [`sweep_drift`]), written to
+//! `fault_sweep_drift.csv` — the fixture behind the streaming monitor's
+//! drift/vertex-mismatch alarms (`monitor --replay`, EXPERIMENTS.md).
 
 use bench::{csv_f64, csv_row, fmt_cr, worker_threads, write_csv, RunReporter};
 use drivesim::faults::{Fault, FaultPlan};
@@ -38,6 +44,17 @@ const VEHICLES: usize = 24;
 const ESTIMATOR_WINDOW: usize = 50;
 const ADVERSARIAL_STOPS: usize = 300_000;
 const FAULT_RATES: [f64; 4] = [0.0, 0.01, 0.05, 0.20];
+
+/// `--drift` scenario geometry: a diurnal shift of the true stop-length
+/// distribution overlapped by a frozen duration register, on one
+/// unguarded adaptive stream.
+const DRIFT_STOPS: usize = 4000;
+const DRIFT_SHIFT_START: usize = 1500;
+const DRIFT_SHIFT_END: usize = 2500;
+const DRIFT_FREEZE_START: usize = 1700;
+const DRIFT_FREEZE_END: usize = 2700;
+/// Trace stream id of the drift scenario (past both sweeps' id spaces).
+const DRIFT_STREAM: u64 = 2_000_000;
 
 /// Per-run cost sums plus degraded-mode diagnostics.
 #[derive(Debug, Clone, Copy, Default)]
@@ -245,6 +262,119 @@ fn sweep_adversarial(b: BreakEven) -> Vec<String> {
     rows
 }
 
+/// The `--drift` scenario: one unguarded adaptive stream whose true
+/// stop-length distribution shifts mid-run (the "diurnal" shift: short
+/// commute stops → longer midday stops) while, inside the shift, the
+/// sensor's duration register freezes at 900 s in bursts. The streaming
+/// monitor should catch both — a `drift` alarm on the estimator moments
+/// and a `vertex_mismatch` alarm once the poisoned estimator starts
+/// playing TOI against a windowed true-stop argmin of DET — *inside* the
+/// shift window, before the realized fleet CR regresses.
+///
+/// Runs with the tracer/monitor state the reporter set up: pass `--trace`
+/// to record a replayable trace, `--monitor` to raise the alarms live.
+fn sweep_drift(b: BreakEven) -> Vec<String> {
+    println!("\n=== Drift scenario: diurnal shift + frozen duration register ===");
+    println!(
+        "stops {DRIFT_STOPS}, true-distribution shift in [{DRIFT_SHIFT_START}, {DRIFT_SHIFT_END}), \
+         sensor freeze (900 s bursts) in [{DRIFT_FREEZE_START}, {DRIFT_FREEZE_END}), \
+         stream {DRIFT_STREAM}"
+    );
+    let mut rng = StdRng::seed_from_u64(SEED + 77);
+    let stops: Vec<f64> = (0..DRIFT_STOPS)
+        .map(|i| {
+            let u = uniform01(&mut rng);
+            if (DRIFT_SHIFT_START..DRIFT_SHIFT_END).contains(&i) {
+                10.0 + 8.0 * u // midday: longer stops, still under B
+            } else {
+                2.0 + 6.0 * u // commute: short stops
+            }
+        })
+        .collect();
+    let observed: Vec<f64> = stops
+        .iter()
+        .enumerate()
+        .map(|(i, &y)| {
+            // Frozen register, refreshed in bursts so the stuck value
+            // keeps re-entering a sliding estimator window.
+            if (DRIFT_FREEZE_START..DRIFT_FREEZE_END).contains(&i) && i % 12 < 10 {
+                900.0
+            } else {
+                y
+            }
+        })
+        .collect();
+
+    obsv::tracer::set_stream(DRIFT_STREAM);
+    let mut ctl = AdaptiveController::with_window(b, ESTIMATOR_WINDOW);
+    let mut rng = StdRng::seed_from_u64(SEED + 78);
+    // (online, offline) per phase: pre-shift, shift, post-shift.
+    let mut phases = [(0.0f64, 0.0f64); 3];
+    for (i, (&y, &r)) in stops.iter().zip(&observed).enumerate() {
+        obsv::tracer::begin_stop(i as u64);
+        let x = ctl.decide(&mut rng);
+        let online = if x.is_infinite() { y } else { b.online_cost(x, y) };
+        let offline = b.offline_cost(y);
+        if obsv::tracer::observing() {
+            obsv::tracer::emit(obsv::TraceEvent::StopCost {
+                threshold_b: x,
+                stop_s: y,
+                online_s: online,
+                offline_s: offline,
+                restarted: !x.is_infinite() && y >= x,
+            });
+        }
+        let p = if i < DRIFT_SHIFT_START {
+            0
+        } else if i < DRIFT_SHIFT_END {
+            1
+        } else {
+            2
+        };
+        phases[p].0 += online;
+        phases[p].1 += offline;
+        let _ = ctl.try_observe(r); // unguarded: the frozen reading goes in
+    }
+
+    let names = ["pre_shift", "shift", "post_shift"];
+    let mut rows = Vec::new();
+    for (name, (online, offline)) in names.iter().zip(&phases) {
+        let cr = realized_cr(*online, *offline);
+        println!("{name:>10}: realized CR {}", fmt_cr(cr));
+        rows.push(csv_row([(*name).to_string(), csv_f64(cr), csv_f64(*online), csv_f64(*offline)]));
+    }
+
+    // Self-check when the streaming monitor is live: both alarm classes
+    // must land inside the injected shift window.
+    if obsv::monitor::active() {
+        let report = obsv::monitor::global().report();
+        let s = report
+            .streams
+            .get(&DRIFT_STREAM)
+            .unwrap_or_else(|| unreachable!("monitor saw the drift stream"));
+        let in_window =
+            |stop: u64| (DRIFT_SHIFT_START as u64..DRIFT_SHIFT_END as u64).contains(&stop);
+        assert!(
+            s.alarms.iter().any(|a| a.alarm == "drift" && in_window(a.stop)),
+            "no drift alarm inside the shift window: {:?}",
+            s.alarms
+        );
+        assert!(
+            s.alarms.iter().any(|a| a.alarm == "vertex_mismatch" && in_window(a.stop)),
+            "no vertex-mismatch alarm inside the shift window: {:?}",
+            s.alarms
+        );
+        println!(
+            "monitor: {} alarms on the drift stream ({} drift, {} vertex_mismatch, {} cr_bound)",
+            s.alarms.len(),
+            s.alarms.iter().filter(|a| a.alarm == "drift").count(),
+            s.alarms.iter().filter(|a| a.alarm == "vertex_mismatch").count(),
+            s.alarms.iter().filter(|a| a.alarm == "cr_bound").count(),
+        );
+    }
+    rows
+}
+
 /// One sweep row, shared by both experiments: rate, the three CRs at six
 /// decimals, then the raw diagnostic counts.
 fn sweep_csv_row(rate: f64, clean: f64, degraded: f64, unguarded: f64, total: &Sums) -> String {
@@ -272,6 +402,12 @@ fn main() {
     let adv_rows = sweep_adversarial(b);
     let path = write_csv("fault_sweep_adversarial.csv", header, &adv_rows);
     println!("written to {}", path.display());
+    // Opt-in: the default run stays byte-identical to earlier releases.
+    if std::env::args().any(|a| a == "--drift") {
+        let drift_rows = sweep_drift(b);
+        let path = write_csv("fault_sweep_drift.csv", "phase,cr,online_s,offline_s", &drift_rows);
+        println!("written to {}", path.display());
+    }
     println!("\nall fault-sweep assertions passed");
     reporter.finish();
 }

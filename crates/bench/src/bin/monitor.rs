@@ -1,0 +1,454 @@
+//! Live trace-tailing dashboard for the streaming CR-regret monitor.
+//!
+//! ```text
+//! monitor --replay <trace.jsonl> [--report out.json] [--expect-clean]
+//!                                [--break-even B] [--window W]
+//! monitor --live [--frame N]
+//! ```
+//!
+//! `--replay` feeds a recorded decision trace through a fresh
+//! [`obsv::Monitor`] and renders a plain-text dashboard: one row per
+//! stream with cumulative and windowed realized CR, the CR bound carried
+//! by the latest decision, trust-ladder level, Page-Hinkley detector
+//! state, alarm count, and an ASCII sparkline of the windowed-CR history;
+//! then the alarm log and the trust-ladder occupancy. Replaying a trace
+//! recorded with `--monitor` re-derives the same alarms instead of
+//! double-counting the recorded ones.
+//!
+//! `--report` additionally writes an [`obsv::RunReport`] whose `monitor`
+//! section holds the full per-stream aggregates (the dashboard truncates
+//! for readability; the report never does). `--expect-clean` exits `1`
+//! if any alarm fired — CI replays the perf-gate trace this way so a
+//! drifting baseline fails loudly next to the perf numbers.
+//!
+//! `--live` skips the trace file and wraps a small seeded drift scenario
+//! (diurnal shift + frozen duration register, the shape `fault_sweep
+//! --drift` uses) around the process-wide monitor, printing a dashboard
+//! frame every `--frame` stops (default 500) — a self-contained demo of
+//! alarms firing mid-run.
+//!
+//! Exit status: `0` clean, `1` alarms under `--expect-clean`, `2`
+//! usage/I-O/parse error.
+
+use bench::fmt_cr;
+use obsv::event::parse_jsonl;
+use obsv::{Monitor, MonitorConfig, MonitorReport, TraceEvent, TraceRecord};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use skirental::estimator::{realized_cr, AdaptiveController};
+use skirental::BreakEven;
+use std::collections::{BTreeMap, VecDeque};
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Dashboard truncation: streams shown in the table / alarms in the log.
+const MAX_ROWS: usize = 16;
+const MAX_ALARM_LINES: usize = 40;
+/// Sparkline width, columns.
+const SPARK_COLS: usize = 40;
+/// Sparkline intensity ramp, low CR → high CR.
+const RAMP: &[u8] = b".:-=+*#%@";
+
+/// Live-demo scenario (compact cousin of `fault_sweep --drift`).
+const LIVE_STOPS: usize = 3000;
+const LIVE_SHIFT: std::ops::Range<usize> = 1000..2000;
+const LIVE_FREEZE: std::ops::Range<usize> = 1150..2150;
+const LIVE_STREAM: u64 = 42;
+const LIVE_SEED: u64 = 9001;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: monitor --replay <trace.jsonl> [--report out.json] [--expect-clean]\n\
+         \x20                                     [--break-even B] [--window W] [--warmup N]\n\
+         \x20                                     [--mu-lambda L] [--q-lambda L]\n\
+         \x20                                     [--ignore-stream S]...\n\
+         \x20      monitor --live [--frame N]"
+    );
+    ExitCode::from(2)
+}
+
+/// Downsamples `series` to at most `cols` columns (chunk maxima, so
+/// spikes survive) and maps each to the intensity ramp, scaled from CR 1
+/// (every realized CR is ≥ 1) to the series maximum. Non-finite windows
+/// (offline cost still zero) render as `!`.
+fn sparkline(series: &[f64], cols: usize) -> String {
+    if series.is_empty() {
+        return String::new();
+    }
+    let chunk = series.len().div_ceil(cols);
+    let points: Vec<f64> =
+        series.chunks(chunk).map(|c| c.iter().copied().fold(f64::NEG_INFINITY, f64::max)).collect();
+    let top = points.iter().copied().filter(|v| v.is_finite()).fold(1.0f64, f64::max);
+    points
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                '!'
+            } else if top <= 1.0 {
+                RAMP[0] as char
+            } else {
+                let t = ((v - 1.0) / (top - 1.0)).clamp(0.0, 1.0);
+                let idx = (t * (RAMP.len() - 1) as f64).round() as usize;
+                RAMP[idx] as char
+            }
+        })
+        .collect()
+}
+
+/// Recomputes each stream's windowed-CR history from its `stop_cost`
+/// records — the same ledger the monitor keeps, unrolled over time so
+/// the dashboard can draw it.
+fn cr_series(records: &[TraceRecord], window: usize) -> BTreeMap<u64, Vec<f64>> {
+    let mut ledgers: BTreeMap<u64, VecDeque<(f64, f64)>> = BTreeMap::new();
+    let mut series: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+    for r in records {
+        if let TraceEvent::StopCost { online_s, offline_s, .. } = r.event {
+            let ledger = ledgers.entry(r.stream).or_default();
+            ledger.push_back((online_s, offline_s));
+            if ledger.len() > window {
+                ledger.pop_front();
+            }
+            let (mut online, mut offline) = (0.0, 0.0);
+            for (on, off) in ledger.iter() {
+                online += on;
+                offline += off;
+            }
+            series.entry(r.stream).or_default().push(realized_cr(online, offline));
+        }
+    }
+    series
+}
+
+fn render_dashboard(report: &MonitorReport, series: &BTreeMap<u64, Vec<f64>>) {
+    println!(
+        "{:>10} {:>6} {:>7} {:>7} {:>7} {:<10} {:>8} {:>7} {:>6}  windowed CR (oldest → newest)",
+        "stream", "stops", "cum CR", "win CR", "bound", "trust", "μ-PH", "q-PH", "alarms",
+    );
+    // Streams with alarms first (most first), then by id — the
+    // interesting rows survive truncation.
+    let mut order: Vec<_> = report.streams.iter().collect();
+    order.sort_by(|(ia, a), (ib, b)| b.alarms.len().cmp(&a.alarms.len()).then(ia.cmp(ib)));
+    for (stream, s) in order.iter().take(MAX_ROWS) {
+        let bound = s.bound_cr.map_or("      -".to_string(), fmt_cr);
+        let spark = series.get(stream).map_or(String::new(), |v| sparkline(v, SPARK_COLS));
+        println!(
+            "{:>10} {:>6} {} {} {} {:<10} {:>8.2} {:>7.3} {:>6}  {}",
+            stream,
+            s.stops,
+            fmt_cr(s.cumulative_cr()),
+            fmt_cr(s.windowed_cr()),
+            bound,
+            s.trust,
+            s.mu_stat,
+            s.q_stat,
+            s.alarms.len(),
+            spark
+        );
+    }
+    if order.len() > MAX_ROWS {
+        println!(
+            "  … {} more streams (all streams are in the --report output)",
+            order.len() - MAX_ROWS
+        );
+    }
+
+    let mut occupancy: BTreeMap<&str, u64> = BTreeMap::new();
+    for s in report.streams.values() {
+        *occupancy.entry(s.trust.as_str()).or_default() += 1;
+    }
+    let occupancy: Vec<String> =
+        occupancy.iter().map(|(level, n)| format!("{n} {level}")).collect();
+    println!("trust-ladder occupancy: {}", occupancy.join(", "));
+
+    let total = report.total_alarms();
+    if total == 0 {
+        println!("alarm log: empty");
+        return;
+    }
+    println!(
+        "alarm log ({total}: {} drift, {} vertex_mismatch, {} cr_bound):",
+        report.alarms_of("drift"),
+        report.alarms_of("vertex_mismatch"),
+        report.alarms_of("cr_bound"),
+    );
+    let mut shown = 0usize;
+    'log: for (stream, s) in &report.streams {
+        for a in &s.alarms {
+            if shown == MAX_ALARM_LINES {
+                println!("  … and {} more", total as usize - shown);
+                break 'log;
+            }
+            println!(
+                "  stream {:>10} stop {:>6}  {:<16} {} (observed {:.4}, limit {:.4})",
+                stream, a.stop, a.alarm, a.detail, a.observed, a.limit
+            );
+            shown += 1;
+        }
+    }
+}
+
+/// Writes the run report carrying the monitor section, stamped with the
+/// same provenance metadata `bench::RunReporter` uses.
+fn write_report(
+    path: &str,
+    source: &str,
+    events: usize,
+    wall_s: f64,
+    report: MonitorReport,
+) -> ExitCode {
+    let run = obsv::RunReport::new("monitor", wall_s, obsv::MetricsSnapshot::default())
+        .with_meta("trace", source)
+        .with_meta("events", events)
+        .with_meta("crate_version", env!("CARGO_PKG_VERSION"))
+        .with_monitor(report);
+    let fp = run.config_fingerprint();
+    let run = run.with_meta("config_fingerprint", fp);
+    match std::fs::write(path, run.to_json() + "\n") {
+        Ok(()) => {
+            println!("monitor report written to {path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("monitor: cannot write {path}: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn replay(
+    path: &str,
+    config: MonitorConfig,
+    report_path: Option<String>,
+    expect_clean: bool,
+    ignore: &[u64],
+) -> ExitCode {
+    let start = Instant::now();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("monitor: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut records = match parse_jsonl(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("monitor: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !ignore.is_empty() {
+        let before = records.len();
+        records.retain(|r| !ignore.contains(&r.stream));
+        println!(
+            "ignoring {} stream(s): {} of {before} events dropped",
+            ignore.len(),
+            before - records.len()
+        );
+    }
+
+    let monitor = Monitor::new(config);
+    let derived = monitor.replay(&records);
+    let report = monitor.report();
+    println!(
+        "=== streaming CR-regret monitor — replay of {path} ===\n\
+         {} events, {} streams, window {}, B = {} s, {} alarm(s) derived",
+        records.len(),
+        report.streams.len(),
+        config.window,
+        config.break_even_s,
+        derived.len(),
+    );
+    render_dashboard(&report, &cr_series(&records, config.window));
+
+    let clean = report.total_alarms() == 0;
+    if let Some(out) = report_path {
+        let code = write_report(&out, path, records.len(), start.elapsed().as_secs_f64(), report);
+        if code != ExitCode::SUCCESS {
+            return code;
+        }
+    }
+    if expect_clean && !clean {
+        eprintln!("monitor: alarms fired but --expect-clean was set");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs the built-in drift demo against the process-wide monitor,
+/// printing a dashboard frame every `frame` stops.
+fn live(config: MonitorConfig, frame: usize, report_path: Option<String>) -> ExitCode {
+    let start = Instant::now();
+    let monitor = obsv::monitor::global();
+    monitor.set_config(config);
+    monitor.enable();
+
+    println!(
+        "=== streaming CR-regret monitor — live drift demo ===\n\
+         {LIVE_STOPS} stops on stream {LIVE_STREAM}, distribution shift in \
+         [{}, {}), sensor freeze in [{}, {}), frame every {frame} stops",
+        LIVE_SHIFT.start, LIVE_SHIFT.end, LIVE_FREEZE.start, LIVE_FREEZE.end
+    );
+
+    let b = BreakEven::SSV;
+    let mut dist_rng = StdRng::seed_from_u64(LIVE_SEED);
+    let mut policy_rng = StdRng::seed_from_u64(LIVE_SEED + 1);
+    let mut ctl = AdaptiveController::with_window(b, 50);
+    let mut ledger: VecDeque<(f64, f64)> = VecDeque::new();
+    let mut series = Vec::new();
+    let mut alarms_seen = 0usize;
+
+    obsv::tracer::set_stream(LIVE_STREAM);
+    for i in 0..LIVE_STOPS {
+        obsv::tracer::begin_stop(i as u64);
+        let u = stopmodel::uniform01(&mut dist_rng);
+        let y = if LIVE_SHIFT.contains(&i) { 10.0 + 8.0 * u } else { 2.0 + 6.0 * u };
+        let observed = if LIVE_FREEZE.contains(&i) && i % 12 < 10 { 900.0 } else { y };
+        let x = ctl.decide(&mut policy_rng);
+        let online = if x.is_infinite() { y } else { b.online_cost(x, y) };
+        let offline = b.offline_cost(y);
+        if obsv::tracer::observing() {
+            obsv::tracer::emit(TraceEvent::StopCost {
+                threshold_b: x,
+                stop_s: y,
+                online_s: online,
+                offline_s: offline,
+                restarted: !x.is_infinite() && y >= x,
+            });
+        }
+        ledger.push_back((online, offline));
+        if ledger.len() > config.window {
+            ledger.pop_front();
+        }
+        let (mut on, mut off) = (0.0, 0.0);
+        for (o, f) in &ledger {
+            on += o;
+            off += f;
+        }
+        series.push(realized_cr(on, off));
+        let _ = ctl.try_observe(observed);
+
+        if (i + 1) % frame == 0 || i + 1 == LIVE_STOPS {
+            let report = monitor.report();
+            let s = &report.streams[&LIVE_STREAM];
+            println!(
+                "[stop {:>5}] win CR {} | μ-PH {:>7.2} q-PH {:>6.3} | {} alarm(s)  {}",
+                i + 1,
+                fmt_cr(realized_cr(on, off)),
+                s.mu_stat,
+                s.q_stat,
+                s.alarms.len(),
+                sparkline(&series, SPARK_COLS),
+            );
+            for a in &s.alarms[alarms_seen..] {
+                println!(
+                    "    ALARM [{}] at stop {}: {} (observed {:.4}, limit {:.4})",
+                    a.alarm, a.stop, a.detail, a.observed, a.limit
+                );
+            }
+            alarms_seen = s.alarms.len();
+        }
+    }
+
+    let report = monitor.report();
+    monitor.disable();
+    monitor.reset();
+    println!("\nfinal state:");
+    render_dashboard(&report, &BTreeMap::from([(LIVE_STREAM, series)]));
+    if let Some(out) = report_path {
+        return write_report(&out, "--live", LIVE_STOPS, start.elapsed().as_secs_f64(), report);
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut trace = None;
+    let mut is_live = false;
+    let mut report = None;
+    let mut expect_clean = false;
+    let mut frame = 500usize;
+    let mut ignore: Vec<u64> = Vec::new();
+    let mut config = MonitorConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let take = |v: Option<String>, rest: &mut dyn Iterator<Item = String>| match v {
+            Some(v) => Some(v),
+            None => rest.next(),
+        };
+        if a == "--replay" || a == "--trace" {
+            trace = args.next();
+            if trace.is_none() {
+                return usage();
+            }
+        } else if let Some(v) = a.strip_prefix("--replay=").or(a.strip_prefix("--trace=")) {
+            trace = Some(v.to_string());
+        } else if a == "--live" {
+            is_live = true;
+        } else if a == "--report" || a.starts_with("--report=") {
+            report = take(a.strip_prefix("--report=").map(str::to_string), &mut args);
+            if report.is_none() {
+                return usage();
+            }
+        } else if a == "--expect-clean" {
+            expect_clean = true;
+        } else if a == "--break-even" || a.starts_with("--break-even=") {
+            match take(a.strip_prefix("--break-even=").map(str::to_string), &mut args)
+                .and_then(|v| v.parse().ok())
+            {
+                Some(v) => config.break_even_s = v,
+                None => return usage(),
+            }
+        } else if a == "--window" || a.starts_with("--window=") {
+            match take(a.strip_prefix("--window=").map(str::to_string), &mut args)
+                .and_then(|v| v.parse().ok())
+            {
+                Some(v) => config.window = v,
+                None => return usage(),
+            }
+        } else if a == "--ignore-stream" || a.starts_with("--ignore-stream=") {
+            match take(a.strip_prefix("--ignore-stream=").map(str::to_string), &mut args)
+                .and_then(|v| v.parse().ok())
+            {
+                Some(v) => ignore.push(v),
+                None => return usage(),
+            }
+        } else if a == "--q-lambda" || a.starts_with("--q-lambda=") {
+            match take(a.strip_prefix("--q-lambda=").map(str::to_string), &mut args)
+                .and_then(|v| v.parse().ok())
+            {
+                Some(v) => config.q_lambda = v,
+                None => return usage(),
+            }
+        } else if a == "--mu-lambda" || a.starts_with("--mu-lambda=") {
+            match take(a.strip_prefix("--mu-lambda=").map(str::to_string), &mut args)
+                .and_then(|v| v.parse().ok())
+            {
+                Some(v) => config.mu_lambda = v,
+                None => return usage(),
+            }
+        } else if a == "--warmup" || a.starts_with("--warmup=") {
+            match take(a.strip_prefix("--warmup=").map(str::to_string), &mut args)
+                .and_then(|v| v.parse().ok())
+            {
+                Some(v) => config.warmup = v,
+                None => return usage(),
+            }
+        } else if a == "--frame" || a.starts_with("--frame=") {
+            match take(a.strip_prefix("--frame=").map(str::to_string), &mut args)
+                .and_then(|v| v.parse().ok())
+            {
+                Some(v) if v > 0 => frame = v,
+                _ => return usage(),
+            }
+        } else {
+            return usage();
+        }
+    }
+
+    match (trace, is_live) {
+        (Some(path), false) => replay(&path, config, report, expect_clean, &ignore),
+        (None, true) => live(config, frame, report),
+        _ => usage(),
+    }
+}

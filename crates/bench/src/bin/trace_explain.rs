@@ -4,6 +4,7 @@
 //! ```text
 //! trace_explain <trace.jsonl>                      # summarize streams
 //! trace_explain <trace.jsonl> --stream S --stop N  # explain one stop
+//! trace_explain <trace.jsonl> --alarms-only        # list monitor alarms
 //! ```
 //!
 //! Without `--stop` the bin prints a per-stream summary (stops covered,
@@ -12,7 +13,11 @@
 //! stop's events in `seq` order as the pipeline saw them: injected
 //! faults → sanitizer verdicts → estimator state → vertex choice →
 //! realized cost, ending with the chosen bound against the realized
-//! online/offline split.
+//! online/offline split. Streaming-monitor alarms recorded in the trace
+//! interleave at their `seq` positions, so an alarm appears exactly
+//! between the events that raised it. `--alarms-only` instead lists
+//! every `monitor_alarm` record across all streams — the quickest path
+//! from "the monitor fired" to the stop worth explaining.
 //!
 //! Exit status: `0` rendered, `1` stop not present in the trace, `2`
 //! usage/I-O/parse error.
@@ -23,8 +28,30 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: trace_explain <trace.jsonl> [--stream S] [--stop N]");
+    eprintln!("usage: trace_explain <trace.jsonl> [--stream S] [--stop N] [--alarms-only]");
     ExitCode::from(2)
+}
+
+/// Lists every recorded `monitor_alarm` across all streams, in trace
+/// order (stream, stop, seq).
+fn alarms_only(records: &[TraceRecord]) {
+    let alarms: Vec<&TraceRecord> =
+        records.iter().filter(|r| matches!(r.event, TraceEvent::MonitorAlarm { .. })).collect();
+    if alarms.is_empty() {
+        println!("no monitor alarms in this trace (was it recorded with --monitor?)");
+        return;
+    }
+    println!("{} monitor alarm(s):", alarms.len());
+    for r in &alarms {
+        println!(
+            "  stream {:>10} stop {:>6} [seq {:>4}] {}",
+            r.stream,
+            r.stop,
+            r.seq,
+            r.event.describe()
+        );
+    }
+    println!("\nexplain one with: trace_explain <trace.jsonl> --stream S --stop N");
 }
 
 /// Per-stream roll-up for the no-`--stop` overview.
@@ -93,10 +120,13 @@ fn main() -> ExitCode {
     let mut path = None;
     let mut stream = None;
     let mut stop = None;
+    let mut alarms = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let parse_u64 = |v: Option<String>| v.and_then(|v| v.parse::<u64>().ok());
-        if a == "--stream" {
+        if a == "--alarms-only" {
+            alarms = true;
+        } else if a == "--stream" {
             match parse_u64(args.next()) {
                 Some(v) => stream = Some(v),
                 None => return usage(),
@@ -141,6 +171,13 @@ fn main() -> ExitCode {
         }
     };
 
+    if alarms {
+        if stream.is_some() || stop.is_some() {
+            return usage();
+        }
+        alarms_only(&records);
+        return ExitCode::SUCCESS;
+    }
     match stop {
         Some(stop) => explain(&records, stream.unwrap_or(0), stop),
         None => {

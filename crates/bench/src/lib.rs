@@ -69,13 +69,18 @@ pub fn csv_row(fields: impl IntoIterator<Item = String>) -> String {
 /// When `--trace` is present the process-wide decision tracer
 /// ([`obsv::tracer::global`]) is cleared and enabled, and `finish` drains
 /// it in canonical `(stream, stop, seq)` order into a JSONL file that is
-/// byte-identical for any worker-thread count.
-/// Without the flags everything is a no-op and both recorders stay
+/// byte-identical for any worker-thread count. When `--monitor` is
+/// present the process-wide streaming monitor ([`obsv::monitor::global`])
+/// is reset and enabled — alarms interleave into the trace (if any) and
+/// the aggregated [`obsv::MonitorReport`] rides in the run report's
+/// `monitor` section (if any).
+/// Without the flags everything is a no-op and all recorders stay
 /// disabled (a few relaxed atomic loads per instrumented operation).
 pub struct RunReporter {
     bin: &'static str,
     path: Option<PathBuf>,
     trace_path: Option<PathBuf>,
+    monitor: bool,
     meta: Vec<(String, String)>,
     start: Instant,
 }
@@ -87,6 +92,7 @@ impl RunReporter {
     pub fn from_args(bin: &'static str) -> Self {
         let mut path = None;
         let mut trace = None;
+        let mut monitor = false;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             if a == "--report" {
@@ -97,9 +103,15 @@ impl RunReporter {
                 trace = args.next().map(PathBuf::from);
             } else if let Some(p) = a.strip_prefix("--trace=") {
                 trace = Some(PathBuf::from(p));
+            } else if a == "--monitor" {
+                monitor = true;
             }
         }
-        Self::to_paths(bin, path, trace)
+        let mut reporter = Self::to_paths(bin, path, trace);
+        if monitor {
+            reporter.enable_monitor();
+        }
+        reporter
     }
 
     /// A reporter writing to an explicit destination (`None` disables it);
@@ -121,7 +133,16 @@ impl RunReporter {
             obsv::tracer::global().clear();
             obsv::tracer::global().enable();
         }
-        Self { bin, path, trace_path, meta: Vec::new(), start: Instant::now() }
+        Self { bin, path, trace_path, monitor: false, meta: Vec::new(), start: Instant::now() }
+    }
+
+    /// Resets and enables the process-wide streaming monitor
+    /// ([`obsv::monitor::global`]); its aggregated report is attached to
+    /// the run report by [`RunReporter::capture`].
+    pub fn enable_monitor(&mut self) {
+        obsv::monitor::global().reset();
+        obsv::monitor::global().enable();
+        self.monitor = true;
     }
 
     /// Whether a report will be written.
@@ -148,6 +169,9 @@ impl RunReporter {
             RunReport::new(self.bin, self.start.elapsed().as_secs_f64(), obsv::global().snapshot());
         for (k, v) in &self.meta {
             report = report.with_meta(k, v);
+        }
+        if self.monitor {
+            report = report.with_monitor(obsv::monitor::global().report());
         }
         report = report.with_meta("crate_version", env!("CARGO_PKG_VERSION"));
         let fp = report.config_fingerprint();

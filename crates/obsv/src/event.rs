@@ -97,6 +97,25 @@ pub enum TraceEvent {
         /// `"censor"`, `"noise"`, `"stuck_at"`, `"corrupt"`).
         fault: String,
     },
+    /// The streaming monitor raised an alarm on this stream (see
+    /// `crate::monitor`). Recorded immediately after the event that
+    /// tripped it, at the next `seq` positions, so alarms interleave
+    /// deterministically with the causal chain.
+    MonitorAlarm {
+        /// Alarm class (`"drift"`, `"vertex_mismatch"`, `"cr_bound"`).
+        alarm: String,
+        /// What specifically tripped (`"mu_b_minus"`, `"q_b_plus"`,
+        /// `"played TOI, windowed argmin DET"`, …).
+        detail: String,
+        /// The statistic that crossed the limit (Page-Hinkley statistic,
+        /// mismatch streak length, windowed realized CR).
+        observed: f64,
+        /// The limit it crossed (λ, streak threshold, bound × margin).
+        limit: f64,
+        /// Detector population: observations consumed (drift) or the
+        /// configured window length (mismatch / CR bound).
+        window_len: u64,
+    },
 }
 
 impl TraceEvent {
@@ -110,6 +129,7 @@ impl TraceEvent {
             Self::SanitizeVerdict { .. } => "sanitize_verdict",
             Self::EstimatorUpdate { .. } => "estimator_update",
             Self::FaultApplied { .. } => "fault_applied",
+            Self::MonitorAlarm { .. } => "monitor_alarm",
         }
     }
 
@@ -164,6 +184,10 @@ impl TraceEvent {
             Self::FaultApplied { event_index, fault } => {
                 format!("fault: {fault} fired on event #{event_index}")
             }
+            Self::MonitorAlarm { alarm, detail, observed, limit, window_len } => format!(
+                "ALARM [{alarm}]: {detail} \
+                 (observed {observed:.4} > limit {limit:.4}, n = {window_len})"
+            ),
         }
     }
 }
@@ -256,6 +280,13 @@ impl TraceRecord {
                 obj.insert("event_index".to_string(), Value::UInt(*event_index));
                 obj.insert("fault".to_string(), Value::Str(fault.clone()));
             }
+            TraceEvent::MonitorAlarm { alarm, detail, observed, limit, window_len } => {
+                obj.insert("alarm".to_string(), Value::Str(alarm.clone()));
+                obj.insert("detail".to_string(), Value::Str(detail.clone()));
+                obj.insert("observed".to_string(), Value::float(*observed));
+                obj.insert("limit".to_string(), Value::float(*limit));
+                obj.insert("window_len".to_string(), Value::UInt(*window_len));
+            }
         }
         Value::Obj(obj).to_string()
     }
@@ -314,6 +345,13 @@ impl TraceRecord {
             "fault_applied" => TraceEvent::FaultApplied {
                 event_index: req_u64(obj, "event_index")?,
                 fault: req_str(obj, "fault")?,
+            },
+            "monitor_alarm" => TraceEvent::MonitorAlarm {
+                alarm: req_str(obj, "alarm")?,
+                detail: req_str(obj, "detail")?,
+                observed: req_f64(obj, "observed")?,
+                limit: req_f64(obj, "limit")?,
+                window_len: req_u64(obj, "window_len")?,
             },
             other => return Err(err(&format!("unknown trace event type {other:?}"))),
         };
@@ -479,6 +517,18 @@ mod tests {
                 stop: 9,
                 seq: 1,
                 event: TraceEvent::FaultApplied { event_index: 9, fault: "stuck_at".to_string() },
+            },
+            TraceRecord {
+                stream: 4,
+                stop: 120,
+                seq: 5,
+                event: TraceEvent::MonitorAlarm {
+                    alarm: "drift".to_string(),
+                    detail: "q_b_plus".to_string(),
+                    observed: 2.625,
+                    limit: 2.0,
+                    window_len: 73,
+                },
             },
         ]
     }

@@ -32,6 +32,12 @@
 //!   [`Tracer`] and serialize to a canonical JSONL that is byte-identical
 //!   across thread counts, so [`first_divergence`] can pinpoint exactly
 //!   where two runs stopped agreeing.
+//! * The streaming [`monitor`] consumes the same instrumentation sites
+//!   *online*: a per-stream realized-CR ledger, Page-Hinkley drift
+//!   detectors on the estimator moments, a four-vertex argmin mismatch
+//!   detector, and a CR-bound-violation alarm, all surfaced as typed
+//!   [`TraceEvent::MonitorAlarm`] records and a [`MonitorReport`] section
+//!   of the [`RunReport`].
 //!
 //! # Example
 //!
@@ -57,12 +63,14 @@ pub mod diff;
 pub mod event;
 pub mod json;
 mod metrics;
+pub mod monitor;
 mod report;
 pub mod tracer;
 
 pub use diff::{first_divergence, Divergence};
 pub use event::{EventError, TraceEvent, TraceRecord};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, Span, Timer};
+pub use monitor::{AlarmRecord, Monitor, MonitorConfig, MonitorReport, PageHinkley, StreamSummary};
 pub use report::{HistogramSnapshot, MetricsSnapshot, ReportError, RunReport, REPORT_VERSION};
 pub use tracer::Tracer;
 

@@ -2,6 +2,7 @@
 
 use crate::json::{ParseError, Value};
 use crate::metrics::SUM_SCALE;
+use crate::monitor::{AlarmRecord, MonitorReport, StreamSummary};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -143,6 +144,10 @@ pub struct RunReport {
     pub wall_s: f64,
     /// The metric values.
     pub metrics: MetricsSnapshot,
+    /// Streaming-monitor aggregates, present only when the run had the
+    /// monitor enabled (`--monitor`). Absent ≠ empty: `None` omits the
+    /// key entirely, so pre-monitor reports re-emit byte-identically.
+    pub monitor: Option<MonitorReport>,
 }
 
 impl RunReport {
@@ -155,6 +160,7 @@ impl RunReport {
             meta: BTreeMap::new(),
             wall_s,
             metrics,
+            monitor: None,
         }
     }
 
@@ -162,6 +168,13 @@ impl RunReport {
     #[must_use]
     pub fn with_meta(mut self, key: &str, value: impl fmt::Display) -> Self {
         self.meta.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Attaches a streaming-monitor report; returns `self` for chaining.
+    #[must_use]
+    pub fn with_monitor(mut self, monitor: MonitorReport) -> Self {
+        self.monitor = Some(monitor);
         self
     }
 
@@ -226,6 +239,9 @@ impl RunReport {
                 self.metrics.histograms.iter().map(|(k, h)| (k.clone(), h.to_value())).collect(),
             ),
         );
+        if let Some(monitor) = &self.monitor {
+            obj.insert("monitor".to_string(), monitor_to_value(monitor));
+        }
         Value::Obj(obj).to_string()
     }
 
@@ -287,8 +303,135 @@ impl RunReport {
                 metrics.histograms.insert(k.clone(), HistogramSnapshot::from_value(k, v)?);
             }
         }
-        Ok(Self { version, bin, meta, wall_s, metrics })
+        let monitor = match obj.get("monitor") {
+            Some(v) => Some(monitor_from_value(v)?),
+            None => None,
+        };
+        Ok(Self { version, bin, meta, wall_s, metrics, monitor })
     }
+}
+
+fn monitor_to_value(monitor: &MonitorReport) -> Value {
+    let mut streams = BTreeMap::new();
+    for (stream, s) in &monitor.streams {
+        streams.insert(stream.to_string(), summary_to_value(s));
+    }
+    let mut obj = BTreeMap::new();
+    obj.insert("streams".to_string(), Value::Obj(streams));
+    Value::Obj(obj)
+}
+
+fn summary_to_value(s: &StreamSummary) -> Value {
+    let mut obj = BTreeMap::new();
+    obj.insert("stops".to_string(), Value::UInt(s.stops));
+    obj.insert("online_s".to_string(), Value::float(s.online_s));
+    obj.insert("offline_s".to_string(), Value::float(s.offline_s));
+    obj.insert("windowed_online_s".to_string(), Value::float(s.windowed_online_s));
+    obj.insert("windowed_offline_s".to_string(), Value::float(s.windowed_offline_s));
+    obj.insert(
+        "last_vertex".to_string(),
+        s.last_vertex.as_ref().map_or(Value::Null, |v| Value::Str(v.clone())),
+    );
+    obj.insert("bound_cr".to_string(), s.bound_cr.map_or(Value::Null, Value::float));
+    obj.insert("mu_stat".to_string(), Value::float(s.mu_stat));
+    obj.insert("q_stat".to_string(), Value::float(s.q_stat));
+    obj.insert("trust".to_string(), Value::Str(s.trust.clone()));
+    obj.insert("transitions".to_string(), Value::UInt(s.transitions));
+    obj.insert(
+        "alarms".to_string(),
+        Value::Arr(
+            s.alarms
+                .iter()
+                .map(|a| {
+                    let mut alarm = BTreeMap::new();
+                    alarm.insert("stop".to_string(), Value::UInt(a.stop));
+                    alarm.insert("alarm".to_string(), Value::Str(a.alarm.clone()));
+                    alarm.insert("detail".to_string(), Value::Str(a.detail.clone()));
+                    alarm.insert("observed".to_string(), Value::float(a.observed));
+                    alarm.insert("limit".to_string(), Value::float(a.limit));
+                    Value::Obj(alarm)
+                })
+                .collect(),
+        ),
+    );
+    Value::Obj(obj)
+}
+
+fn monitor_from_value(v: &Value) -> Result<MonitorReport, ReportError> {
+    let obj = v.as_obj().ok_or_else(|| ReportError::shape("monitor", "object"))?;
+    let mut streams = BTreeMap::new();
+    if let Some(m) = obj.get("streams").and_then(Value::as_obj) {
+        for (k, sv) in m {
+            let stream = k
+                .parse::<u64>()
+                .map_err(|_| ReportError::shape("monitor.streams", "integer stream key"))?;
+            streams.insert(stream, summary_from_value(k, sv)?);
+        }
+    }
+    Ok(MonitorReport { streams })
+}
+
+fn summary_from_value(name: &str, v: &Value) -> Result<StreamSummary, ReportError> {
+    let obj = v.as_obj().ok_or_else(|| ReportError::shape(name, "stream summary object"))?;
+    let num = |key: &str| {
+        obj.get(key).and_then(Value::as_f64).ok_or_else(|| ReportError::shape(key, "number"))
+    };
+    let int = |key: &str| {
+        obj.get(key).and_then(Value::as_u64).ok_or_else(|| ReportError::shape(key, "integer"))
+    };
+    let mut alarms = Vec::new();
+    if let Some(arr) = obj.get("alarms").and_then(Value::as_arr) {
+        for av in arr {
+            let a = av.as_obj().ok_or_else(|| ReportError::shape("alarms", "alarm object"))?;
+            let field_f64 = |key: &str| {
+                a.get(key).and_then(Value::as_f64).ok_or_else(|| ReportError::shape(key, "number"))
+            };
+            alarms.push(AlarmRecord {
+                stop: a
+                    .get("stop")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| ReportError::shape("stop", "integer"))?,
+                alarm: a
+                    .get("alarm")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| ReportError::shape("alarm", "string"))?
+                    .to_string(),
+                detail: a
+                    .get("detail")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| ReportError::shape("detail", "string"))?
+                    .to_string(),
+                observed: field_f64("observed")?,
+                limit: field_f64("limit")?,
+            });
+        }
+    }
+    Ok(StreamSummary {
+        stops: int("stops")?,
+        online_s: num("online_s")?,
+        offline_s: num("offline_s")?,
+        windowed_online_s: num("windowed_online_s")?,
+        windowed_offline_s: num("windowed_offline_s")?,
+        last_vertex: match obj.get("last_vertex") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(
+                v.as_str().ok_or_else(|| ReportError::shape("last_vertex", "string"))?.to_string(),
+            ),
+        },
+        bound_cr: match obj.get("bound_cr") {
+            None | Some(Value::Null) => None,
+            Some(v) => v.as_f64(),
+        },
+        mu_stat: num("mu_stat")?,
+        q_stat: num("q_stat")?,
+        trust: obj
+            .get("trust")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ReportError::shape("trust", "string"))?
+            .to_string(),
+        transitions: int("transitions")?,
+        alarms,
+    })
 }
 
 /// Errors from parsing a [`RunReport`].
@@ -423,6 +566,53 @@ mod tests {
         let d1 = RunReport::new("x", 0.0, MetricsSnapshot::default()).with_meta("ab", "c");
         let d2 = RunReport::new("x", 0.0, MetricsSnapshot::default()).with_meta("a", "bc");
         assert_ne!(d1.config_fingerprint(), d2.config_fingerprint());
+    }
+
+    #[test]
+    fn monitor_section_roundtrips_and_is_optional() {
+        // Without a monitor section the key is absent entirely.
+        let plain = sample_report();
+        assert!(!plain.to_json().contains("\"monitor\""));
+
+        let mut monitor = MonitorReport::default();
+        monitor.streams.insert(
+            7,
+            StreamSummary {
+                stops: 120,
+                online_s: 840.5,
+                offline_s: 512.25,
+                windowed_online_s: 61.0,
+                windowed_offline_s: 40.0,
+                last_vertex: Some("TOI".to_string()),
+                bound_cr: Some(1.582),
+                mu_stat: 0.25,
+                q_stat: 1.75,
+                trust: "Degraded".to_string(),
+                transitions: 3,
+                alarms: vec![AlarmRecord {
+                    stop: 77,
+                    alarm: "drift".to_string(),
+                    detail: "q_b_plus".to_string(),
+                    observed: 2.5,
+                    limit: 2.0,
+                }],
+            },
+        );
+        monitor.streams.insert(9, StreamSummary::default());
+        let report = sample_report().with_monitor(monitor.clone());
+        let json = report.to_json();
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.to_json(), json, "re-emission must be byte-identical");
+        let back_monitor = back.monitor.unwrap();
+        assert_eq!(back_monitor.total_alarms(), 1);
+        assert_eq!(back_monitor.alarms_of("drift"), 1);
+        assert_eq!(back_monitor.streams[&9].last_vertex, None);
+        assert_eq!(back_monitor.streams[&9].bound_cr, None);
+
+        // The monitor section is configuration-independent measurement
+        // data: it must not perturb the config fingerprint.
+        assert_eq!(report.config_fingerprint(), sample_report().config_fingerprint());
     }
 
     #[test]

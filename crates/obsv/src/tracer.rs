@@ -200,22 +200,41 @@ thread_local! {
     static CTX: Cell<Ctx> = const { Cell::new(Ctx { stream: 0, stop: 0, seq: 0 }) };
 }
 
+/// Whether any event consumer is on — the tracer *or* the streaming
+/// monitor (`crate::monitor`). Instrumentation sites guard event
+/// construction on this and hand the event to [`emit`]; the disabled
+/// path costs two relaxed loads.
+#[must_use]
+pub fn observing() -> bool {
+    active() || crate::monitor::active()
+}
+
+/// The `(stream, stop)` coordinates the calling thread currently records
+/// against (set by [`set_stream`] / [`begin_stop`]).
+#[must_use]
+pub fn current() -> (u64, u64) {
+    CTX.with(|c| {
+        let ctx = c.get();
+        (ctx.stream, ctx.stop)
+    })
+}
+
 /// Binds this thread to a stream (work item) and resets its `stop` and
 /// `seq` counters. Call at the start of each sequential work item — e.g.
 /// first thing inside a `chunked_map` closure, passing the global item
 /// index — so records are keyed by work item, not by worker thread.
-/// No-op while the tracer is inactive.
+/// No-op while neither the tracer nor the monitor is active.
 pub fn set_stream(stream: u64) {
-    if !active() {
+    if !observing() {
         return;
     }
     CTX.with(|c| c.set(Ctx { stream, stop: 0, seq: 0 }));
 }
 
 /// Sets the stop index subsequent records are attributed to. No-op while
-/// the tracer is inactive.
+/// neither the tracer nor the monitor is active.
 pub fn begin_stop(stop: u64) {
-    if !active() {
+    if !observing() {
         return;
     }
     CTX.with(|c| {
@@ -241,6 +260,25 @@ pub fn record(event: TraceEvent) {
         at
     });
     global().push(TraceRecord { stream, stop, seq, event });
+}
+
+/// Records one event *and* feeds it to the streaming monitor
+/// (`crate::monitor`) when that is active; alarms the monitor raises are
+/// recorded immediately after the event, at the next `seq` positions, so
+/// they interleave deterministically with the causal chain. Call sites
+/// guard with [`observing`] so the event is only built when someone
+/// consumes it; either consumer may be off independently.
+pub fn emit(event: TraceEvent) {
+    let alarms = if crate::monitor::active() {
+        let (stream, stop) = current();
+        crate::monitor::global().observe(stream, stop, &event)
+    } else {
+        Vec::new()
+    };
+    record(event);
+    for alarm in alarms {
+        record(alarm);
+    }
 }
 
 #[cfg(test)]

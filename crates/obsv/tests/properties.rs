@@ -2,7 +2,10 @@
 //! perf gate and the report pipeline rely on — and for the decision-trace
 //! JSONL encoding, which `trace_diff` requires to be byte-canonical.
 
-use obsv::{HistogramSnapshot, MetricsRegistry, TraceEvent, TraceRecord};
+use obsv::{
+    AlarmRecord, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, Monitor, MonitorConfig,
+    MonitorReport, PageHinkley, RunReport, StreamSummary, TraceEvent, TraceRecord,
+};
 use proptest::prelude::*;
 
 const BOUNDS: [f64; 4] = [1.0, 10.0, 100.0, 1000.0];
@@ -79,7 +82,14 @@ fn record_of(
             mu_b_minus: opt1,
             q_b_plus: opt2,
         },
-        _ => TraceEvent::FaultApplied { event_index: n, fault: name },
+        5 => TraceEvent::FaultApplied { event_index: n, fault: name },
+        _ => TraceEvent::MonitorAlarm {
+            alarm: name,
+            detail: names[((n + 2) % 4) as usize].to_string(),
+            observed: f1,
+            limit: f2,
+            window_len: n,
+        },
     };
     TraceRecord { stream, stop, seq, event }
 }
@@ -138,7 +148,7 @@ proptest! {
     /// This is the canonical-encoding property `trace_diff` relies on.
     #[test]
     fn trace_jsonl_roundtrip_is_byte_identical(
-        kind in 0usize..6,
+        kind in 0usize..7,
         stream in 0u64..1_000_000,
         stop in 0u64..100_000,
         seq in 0u64..100_000,
@@ -169,5 +179,151 @@ proptest! {
         let s = r.snapshot().histograms["h"].clone();
         prop_assert_eq!(s.count(), values.len() as u64);
         prop_assert_eq!(s.counts.iter().sum::<u64>(), values.len() as u64);
+    }
+
+    /// A Page-Hinkley detector never fires on a constant stream: the
+    /// running mean locks onto the value exactly (incremental mean of a
+    /// constant is the constant, no rounding), both cumulative deviations
+    /// drift monotonically by exactly `∓δ`, and the statistic stays `0`.
+    #[test]
+    fn page_hinkley_constant_stream_never_fires(
+        value in -1000.0f64..1000.0,
+        delta in 0.01f64..5.0,
+        lambda in 0.1f64..100.0,
+        warmup in 0usize..20,
+        len in 1usize..300,
+    ) {
+        let mut ph = PageHinkley::with_warmup(delta, lambda, warmup);
+        for _ in 0..len {
+            prop_assert!(!ph.observe(value), "fired on a constant stream");
+        }
+        prop_assert_eq!(ph.statistic(), 0.0);
+        prop_assert_eq!(ph.mean(), value);
+    }
+
+    /// After a mean shift of `s` with tolerance `δ = s/4` and threshold
+    /// `λ = 2s`, the detector fires within 30 post-shift observations:
+    /// each step accumulates at least `s·(n₀/(n₀+k) − 1/4)` of evidence,
+    /// which crosses `2s` well inside the budget for `n₀ = 50`.
+    #[test]
+    fn page_hinkley_fires_within_budget_after_shift(
+        base in -100.0f64..100.0,
+        shift in 1.0f64..100.0,
+        up in 0u8..2,
+    ) {
+        let s = if up == 1 { shift } else { -shift };
+        let mut ph = PageHinkley::with_warmup(shift / 4.0, 2.0 * shift, 10);
+        for _ in 0..50 {
+            prop_assert!(!ph.observe(base), "fired before the shift");
+        }
+        let mut fired = false;
+        for k in 0..30 {
+            if ph.observe(base + s) {
+                fired = true;
+                let _ = k;
+                break;
+            }
+        }
+        prop_assert!(fired, "no alarm within 30 observations of a {}-sized shift", shift);
+    }
+
+    /// The monitor's windowed ledger matches an offline recomputation
+    /// from the same cost sequence to the last bit: same window contents,
+    /// same left-to-right summation order, same `∞`-convention for the
+    /// zero-offline edge (`0/0 → 1`).
+    #[test]
+    fn windowed_ledger_matches_offline_recomputation(
+        costs in prop::collection::vec((0.0f64..1000.0, 0.0f64..1000.0), 1..100),
+        window in 1usize..20,
+        zero_offline in 0u8..2,
+    ) {
+        let config = MonitorConfig { window, ..MonitorConfig::default() };
+        let monitor = Monitor::new(config);
+        let mut costs = costs;
+        if zero_offline == 1 {
+            // Exercise the ∞-convention: an all-zero window.
+            costs.fill((0.0, 0.0));
+        }
+        for (i, &(online, offline)) in costs.iter().enumerate() {
+            monitor.observe(7, i as u64, &TraceEvent::StopCost {
+                threshold_b: 1.0,
+                stop_s: offline,
+                online_s: online,
+                offline_s: offline,
+                restarted: false,
+            });
+        }
+        let report = monitor.report();
+        let s = &report.streams[&7];
+
+        // Offline recomputation, same order and association.
+        let tail = &costs[costs.len().saturating_sub(window)..];
+        let (mut online, mut offline) = (0.0f64, 0.0f64);
+        for &(on, off) in tail {
+            online += on;
+            offline += off;
+        }
+        let expected_cr = if offline > 0.0 {
+            online / offline
+        } else if online == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        };
+        prop_assert_eq!(s.windowed_online_s.to_bits(), online.to_bits());
+        prop_assert_eq!(s.windowed_offline_s.to_bits(), offline.to_bits());
+        prop_assert_eq!(s.windowed_cr().to_bits(), expected_cr.to_bits());
+        prop_assert_eq!(s.stops, costs.len() as u64);
+    }
+
+    /// A run report carrying a monitor section round-trips through the
+    /// hand-rolled JSON writer byte-identically — same canonical-encoding
+    /// property the metrics sections already guarantee, extended to the
+    /// per-stream summaries and alarm lists (including NaN↔null floats).
+    #[test]
+    fn monitor_report_json_roundtrip_is_byte_identical(
+        streams in prop::collection::vec(
+            (0u64..1000, 0.0f64..5000.0, 0.0f64..5000.0, 0u64..500, 0u8..16),
+            0..5,
+        ),
+        observed in 0.0f64..100.0,
+    ) {
+        let mut monitor = MonitorReport::default();
+        for &(id, online, offline, stops, opts) in &streams {
+            let mut s = StreamSummary {
+                stops,
+                online_s: online,
+                offline_s: offline,
+                windowed_online_s: online / 2.0,
+                windowed_offline_s: offline / 2.0,
+                transitions: stops / 7,
+                ..StreamSummary::default()
+            };
+            if opts & 1 != 0 {
+                s.last_vertex = Some("DET".to_string());
+            }
+            if opts & 2 != 0 {
+                s.bound_cr = Some(1.0 + observed);
+            }
+            // Exercise the non-finite → null path on a required float.
+            s.mu_stat = if opts & 4 != 0 { f64::NAN } else { observed };
+            if opts & 8 != 0 {
+                s.trust = "Degraded".to_string();
+                s.alarms.push(AlarmRecord {
+                    stop: stops,
+                    alarm: "drift".to_string(),
+                    detail: "mu_b_minus".to_string(),
+                    observed,
+                    limit: 2.0 * observed,
+                });
+            }
+            monitor.streams.insert(id, s);
+        }
+        let report = RunReport::new("proptest", 1.0, MetricsSnapshot::default())
+            .with_meta("seed", 7)
+            .with_monitor(monitor);
+        let json = report.to_json();
+        let back = RunReport::from_json(&json).expect("own encoding re-parses");
+        prop_assert_eq!(back.to_json(), json);
     }
 }

@@ -317,8 +317,8 @@ impl<'a, P: Policy + ?Sized> StopStartController<'a, P> {
 
             obsv::tracer::begin_stop(out.stops);
             let x = self.policy.sample_threshold(rng);
-            if obsv::tracer::active() {
-                obsv::tracer::record(obsv::TraceEvent::StopDecision {
+            if obsv::tracer::observing() {
+                obsv::tracer::emit(obsv::TraceEvent::StopDecision {
                     vertex: self.policy.name().to_string(),
                     threshold_b: x,
                     mu_b_minus: None,
@@ -355,8 +355,8 @@ impl<'a, P: Policy + ?Sized> StopStartController<'a, P> {
                 out.emissions += Emissions::idling_for(x) + Emissions::one_restart();
                 out.idle_equivalent_s += x + b;
             }
-            if obsv::tracer::active() {
-                obsv::tracer::record(obsv::TraceEvent::StopCost {
+            if obsv::tracer::observing() {
+                obsv::tracer::emit(obsv::TraceEvent::StopCost {
                     threshold_b: x,
                     stop_s: y,
                     online_s: if y < x { y } else { x + b },

@@ -777,6 +777,30 @@ mod tests {
     }
 
     #[test]
+    fn monitor_vertex_argmin_mirrors_optimal_choice() {
+        // The streaming monitor reimplements the four-vertex argmin
+        // (`obsv` cannot depend on this crate); pin the two to each other
+        // over a dense grid of the feasible (μ, q) region, including the
+        // boundaries where the b-DET vertex appears and disappears.
+        let b = 28.0;
+        for qi in 0..=40 {
+            let q = f64::from(qi) / 40.0;
+            for mi in 0..=40 {
+                let mu = (1.0 - q) * b * f64::from(mi) / 40.0;
+                let s = stats(b, mu, q);
+                let choice = s.optimal_choice();
+                let (name, cost) = obsv::monitor::vertex_argmin(mu, q, b);
+                assert_eq!(choice.name(), name, "diverged at mu={mu} q={q}");
+                assert!(
+                    approx_eq(cost, s.worst_case_cost(), 1e-9),
+                    "cost diverged at mu={mu} q={q}: {cost} vs {}",
+                    s.worst_case_cost()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn bdet_vertex_requires_condition_36() {
         // μ/B >= (1−q)²/q → no b-DET.
         // With B=28, q=0.5: cap is 0.5·28 = 14 for condition.

@@ -126,6 +126,12 @@ pub struct DegradationConfig {
     /// Whether demotion to [`TrustLevel::Untrusted`] clears the wrapped
     /// estimator, forgetting statistics learned from the bad stream.
     pub reset_on_demote: bool,
+    /// Whether a `drift` alarm from the streaming monitor
+    /// (`obsv::monitor`) also forces at least [`TrustLevel::Degraded`]
+    /// for the next [`DegradationConfig::window`] readings. Off by
+    /// default, and inert unless the monitor is enabled, so clean runs
+    /// stay bit-identical to the unwrapped controller.
+    pub drift_degrades: bool,
 }
 
 impl Default for DegradationConfig {
@@ -139,6 +145,7 @@ impl Default for DegradationConfig {
             stuck_run: 8,
             max_plausible_s: f64::INFINITY,
             reset_on_demote: true,
+            drift_degrades: false,
         }
     }
 }
@@ -209,6 +216,9 @@ pub struct DegradedController {
     run_len: usize,
     counts: AnomalyCounts,
     demotions: u64,
+    /// Readings left on a monitor-drift degradation hold
+    /// ([`DegradationConfig::drift_degrades`]); `0` when clear.
+    drift_holdoff: usize,
 }
 
 impl DegradedController {
@@ -245,6 +255,7 @@ impl DegradedController {
             run_len: 0,
             counts: AnomalyCounts::default(),
             demotions: 0,
+            drift_holdoff: 0,
         }
     }
 
@@ -304,8 +315,8 @@ impl DegradedController {
                 // carries none (DET's distribution-free guarantee is
                 // CR ≤ 2; `chosen_cost_bound` is reserved for the
                 // statistics-derived expected-cost bound).
-                if obsv::tracer::active() {
-                    obsv::tracer::record(obsv::TraceEvent::StopDecision {
+                if obsv::tracer::observing() {
+                    obsv::tracer::emit(obsv::TraceEvent::StopDecision {
                         vertex: "DET".to_string(),
                         threshold_b: x,
                         mu_b_minus: None,
@@ -317,8 +328,8 @@ impl DegradedController {
             }
             TrustLevel::Untrusted => {
                 let x = self.fallback.sample_threshold(rng);
-                if obsv::tracer::active() {
-                    obsv::tracer::record(obsv::TraceEvent::StopDecision {
+                if obsv::tracer::observing() {
+                    obsv::tracer::emit(obsv::TraceEvent::StopDecision {
                         vertex: self.fallback.name().to_string(),
                         threshold_b: x,
                         mu_b_minus: None,
@@ -371,7 +382,15 @@ impl DegradedController {
                 self.push_recent(true);
             }
         }
+        // Poll the streaming monitor *after* the estimator saw the reading
+        // (a drift alarm raised by this very update is caught immediately)
+        // and *before* the trust decision. Behind the config flag and a
+        // relaxed load, so the default path is untouched.
+        if self.config.drift_degrades && obsv::monitor::take_drift_pending() {
+            self.drift_holdoff = self.config.window;
+        }
         self.update_trust();
+        self.drift_holdoff = self.drift_holdoff.saturating_sub(1);
     }
 
     fn classify(&mut self, reading: f64) -> ReadingClass {
@@ -416,7 +435,8 @@ impl DegradedController {
         let before = self.level;
         let wants_untrusted = self.anomalies_in_window >= self.config.demote_at;
         let wants_degraded = self.anomalies_in_window >= self.config.degrade_at
-            || self.since_valid > self.config.stale_after;
+            || self.since_valid > self.config.stale_after
+            || self.drift_holdoff > 0;
         match self.level {
             TrustLevel::Untrusted => {
                 // Hysteresis: only a sustained clean run re-promotes, and
@@ -452,8 +472,8 @@ impl DegradedController {
                 (TrustLevel::Untrusted, _) => m.trans_promotions.inc(),
                 _ => unreachable!("no other transition exists in the ladder"),
             }
-            if obsv::tracer::active() {
-                obsv::tracer::record(obsv::TraceEvent::LadderTransition {
+            if obsv::tracer::observing() {
+                obsv::tracer::emit(obsv::TraceEvent::LadderTransition {
                     from: before.name().to_string(),
                     to: self.level.name().to_string(),
                     anomalies_in_window: self.anomalies_in_window as u64,
@@ -526,8 +546,8 @@ impl DegradedController {
             online += cost;
             let off = b.offline_cost(y);
             offline += off;
-            if obsv::tracer::active() {
-                obsv::tracer::record(obsv::TraceEvent::StopCost {
+            if obsv::tracer::observing() {
+                obsv::tracer::emit(obsv::TraceEvent::StopCost {
                     threshold_b: x,
                     stop_s: y,
                     online_s: cost,
@@ -602,6 +622,54 @@ mod tests {
         assert_eq!(d.decisions_degraded + d.decisions_untrusted, 0);
         assert_eq!(d.anomalies.total(), 0);
         assert_eq!(wrapped.trust(), TrustLevel::Full);
+    }
+
+    #[test]
+    fn clean_run_is_bit_identical_with_drift_flag_off() {
+        let stops = mixed_stops(3000, 7);
+        let mut plain = AdaptiveController::with_window(b28(), 100);
+        let mut off = DegradedController::with_estimator_window(b28(), 100)
+            .config(DegradationConfig { drift_degrades: false, ..DegradationConfig::default() });
+        // The flag is also inert while the monitor is disabled (the
+        // default process state): no poll, no holdoff, no divergence.
+        let mut on = DegradedController::with_estimator_window(b28(), 100)
+            .config(DegradationConfig { drift_degrades: true, ..DegradationConfig::default() });
+        let mut rng_a = StdRng::seed_from_u64(41);
+        let mut rng_b = StdRng::seed_from_u64(41);
+        let mut rng_c = StdRng::seed_from_u64(41);
+        let a = plain.run(&stops, &mut rng_a).unwrap();
+        let b = off.run(&stops, &mut rng_b).unwrap();
+        let c = on.run(&stops, &mut rng_c).unwrap();
+        assert_eq!(a.online_cost.to_bits(), b.online_cost.to_bits());
+        assert_eq!(a.cr.to_bits(), b.cr.to_bits());
+        assert_eq!(a.online_cost.to_bits(), c.online_cost.to_bits());
+        assert_eq!(a.cr.to_bits(), c.cr.to_bits());
+        assert_eq!(b.decisions_full, stops.len());
+        assert_eq!(c.decisions_full, stops.len());
+    }
+
+    #[test]
+    fn drift_holdoff_forces_degraded_until_it_expires() {
+        // Exercise the holdoff path directly (the monitor-driven set is
+        // integration-tested with the process-global monitor): a pending
+        // holdoff forces Degraded on otherwise clean readings, then
+        // expires after `window` readings.
+        let mut ctl = DegradedController::new(b28()).config(DegradationConfig {
+            window: 5,
+            drift_degrades: true,
+            ..DegradationConfig::default()
+        });
+        for y in [5.0, 9.0, 3.5] {
+            ctl.observe(y);
+        }
+        assert_eq!(ctl.trust(), TrustLevel::Full);
+        ctl.drift_holdoff = 3;
+        for i in 0..3 {
+            ctl.observe(4.0 + 0.1 * f64::from(i));
+            assert_eq!(ctl.trust(), TrustLevel::Degraded, "holdoff reading {i}");
+        }
+        ctl.observe(6.5);
+        assert_eq!(ctl.trust(), TrustLevel::Full, "holdoff expired");
     }
 
     #[test]

@@ -93,9 +93,9 @@ impl MomentEstimator {
         } else {
             self.short_sum += y;
         }
-        if obsv::tracer::active() {
+        if obsv::tracer::observing() {
             let (mu_b_minus, q_b_plus) = self.trace_moments();
-            obsv::tracer::record(obsv::TraceEvent::EstimatorUpdate {
+            obsv::tracer::emit(obsv::TraceEvent::EstimatorUpdate {
                 observed_s: y,
                 accepted: true,
                 len: self.buffer.len() as u64,
@@ -115,9 +115,9 @@ impl MomentEstimator {
     pub fn try_observe(&mut self, y: f64) -> Result<(), Error> {
         if !(y.is_finite() && y >= 0.0) {
             obs::metrics().observations_rejected.inc();
-            if obsv::tracer::active() {
+            if obsv::tracer::observing() {
                 let (mu_b_minus, q_b_plus) = self.trace_moments();
-                obsv::tracer::record(obsv::TraceEvent::EstimatorUpdate {
+                obsv::tracer::emit(obsv::TraceEvent::EstimatorUpdate {
                     observed_s: y,
                     accepted: false,
                     len: self.buffer.len() as u64,
@@ -276,15 +276,15 @@ impl AdaptiveController {
             let policy = stats.optimal_policy();
             m.count_choice(policy.choice());
             let x = policy.sample_threshold(rng);
-            if obsv::tracer::active() {
-                obsv::tracer::record(policy.trace_decision(x));
+            if obsv::tracer::observing() {
+                obsv::tracer::emit(policy.trace_decision(x));
             }
             x
         } else {
             m.decisions_cold_start.inc();
             let x = self.cold_start.sample_threshold(rng);
-            if obsv::tracer::active() {
-                obsv::tracer::record(obsv::TraceEvent::StopDecision {
+            if obsv::tracer::observing() {
+                obsv::tracer::emit(obsv::TraceEvent::StopDecision {
                     vertex: self.cold_start.name().to_string(),
                     threshold_b: x,
                     mu_b_minus: None,
@@ -340,8 +340,8 @@ impl AdaptiveController {
             online += cost;
             let off = b.offline_cost(y);
             offline += off;
-            if obsv::tracer::active() {
-                obsv::tracer::record(obsv::TraceEvent::StopCost {
+            if obsv::tracer::observing() {
+                obsv::tracer::emit(obsv::TraceEvent::StopCost {
                     threshold_b: x,
                     stop_s: y,
                     online_s: cost,

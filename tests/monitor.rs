@@ -1,0 +1,123 @@
+//! Cross-crate integration for the streaming CR-regret monitor: a
+//! drift-injected run must raise drift and vertex-mismatch alarms inside
+//! the injected window, the alarms must land in the decision trace as
+//! `monitor_alarm` records, replaying that trace through a fresh monitor
+//! must re-derive exactly the same alarms, and the windowed realized-CR
+//! ledger must match an offline recomputation bit for bit.
+//!
+//! Everything lives in one `#[test]` because the tracer and monitor are
+//! process-wide: parallel test threads would interleave their streams.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use skirental::estimator::{realized_cr, AdaptiveController};
+use skirental::BreakEven;
+use std::collections::VecDeque;
+
+const STOPS: usize = 3000;
+const SHIFT: std::ops::Range<usize> = 1000..2000;
+const FREEZE: std::ops::Range<usize> = 1150..2150;
+const STREAM: u64 = 9;
+
+#[test]
+fn drift_run_alarms_in_window_replays_identically_and_ledger_is_bit_exact() {
+    let tracer = obsv::tracer::global();
+    tracer.clear();
+    // One stream lands in one shard; ~4 events per stop needs more than
+    // the default 8192-record ring for a complete (hence replayable) trace.
+    tracer.set_capacity(32 * 1024);
+    tracer.enable();
+    let monitor = obsv::monitor::global();
+    monitor.reset();
+    monitor.enable();
+    let config = monitor.config();
+
+    // Diurnal shift of the true distribution plus a frozen duration
+    // register feeding the estimator — the `fault_sweep --drift` shape.
+    let b = BreakEven::SSV;
+    let mut dist_rng = StdRng::seed_from_u64(401);
+    let mut policy_rng = StdRng::seed_from_u64(402);
+    let mut ctl = AdaptiveController::with_window(b, 50);
+    let mut ledger: VecDeque<(f64, f64)> = VecDeque::new();
+
+    obsv::tracer::set_stream(STREAM);
+    for i in 0..STOPS {
+        obsv::tracer::begin_stop(i as u64);
+        let u = stopmodel::uniform01(&mut dist_rng);
+        let y = if SHIFT.contains(&i) { 10.0 + 8.0 * u } else { 2.0 + 6.0 * u };
+        let observed = if FREEZE.contains(&i) && i % 12 < 10 { 900.0 } else { y };
+        let x = ctl.decide(&mut policy_rng);
+        let online = if x.is_infinite() { y } else { b.online_cost(x, y) };
+        let offline = b.offline_cost(y);
+        obsv::tracer::emit(obsv::TraceEvent::StopCost {
+            threshold_b: x,
+            stop_s: y,
+            online_s: online,
+            offline_s: offline,
+            restarted: !x.is_infinite() && y >= x,
+        });
+        ledger.push_back((online, offline));
+        if ledger.len() > config.window {
+            ledger.pop_front();
+        }
+        let _ = ctl.try_observe(observed);
+    }
+
+    let records = tracer.drain_sorted();
+    assert_eq!(tracer.dropped(), 0, "trace must be complete for replay to be exact");
+    tracer.disable();
+    tracer.set_capacity(obsv::tracer::DEFAULT_SHARD_CAPACITY);
+    let report = monitor.report();
+    monitor.disable();
+    monitor.reset();
+
+    // Both alarm classes fire, with stop indices inside the shift window.
+    let s = &report.streams[&STREAM];
+    let in_window = |stop: u64| (SHIFT.start as u64..SHIFT.end as u64).contains(&stop);
+    assert!(
+        s.alarms.iter().any(|a| a.alarm == "drift" && in_window(a.stop)),
+        "no drift alarm inside the injected window: {:?}",
+        s.alarms
+    );
+    assert!(
+        s.alarms.iter().any(|a| a.alarm == "vertex_mismatch" && in_window(a.stop)),
+        "no vertex-mismatch alarm inside the injected window: {:?}",
+        s.alarms
+    );
+
+    // The alarms landed in the trace as monitor_alarm records, one per
+    // report entry, interleaved at the stop that raised them.
+    let recorded: Vec<&obsv::TraceRecord> = records
+        .iter()
+        .filter(|r| matches!(r.event, obsv::TraceEvent::MonitorAlarm { .. }))
+        .collect();
+    assert_eq!(recorded.len(), s.alarms.len(), "trace and report disagree on alarm count");
+    for (rec, alarm) in recorded.iter().zip(&s.alarms) {
+        assert_eq!(rec.stream, STREAM);
+        assert_eq!(rec.stop, alarm.stop, "alarm recorded at the wrong stop");
+    }
+
+    // Replay determinism: a fresh monitor fed the recorded trace derives
+    // the same alarms, event for event (recorded `monitor_alarm` records
+    // are skipped, not double-counted).
+    let fresh = obsv::Monitor::new(config);
+    let derived = fresh.replay(&records);
+    assert_eq!(derived.len(), recorded.len(), "replay derived a different alarm set");
+    for (d, r) in derived.iter().zip(&recorded) {
+        assert_eq!(d.stream, r.stream);
+        assert_eq!(d.stop, r.stop);
+        assert_eq!(d.event, r.event, "replayed alarm differs from the recorded one");
+    }
+    assert_eq!(fresh.report().streams[&STREAM].alarms, s.alarms);
+
+    // Windowed realized-CR ledger matches the offline recomputation —
+    // same window contents, same summation order, so bit-exact.
+    let (mut online, mut offline) = (0.0f64, 0.0f64);
+    for (on, off) in &ledger {
+        online += on;
+        offline += off;
+    }
+    assert_eq!(s.windowed_online_s.to_bits(), online.to_bits());
+    assert_eq!(s.windowed_offline_s.to_bits(), offline.to_bits());
+    assert_eq!(s.windowed_cr().to_bits(), realized_cr(online, offline).to_bits());
+}
