@@ -1,0 +1,92 @@
+//! Criterion group `batch_vs_scalar`: the structure-of-arrays decision
+//! kernel (`skirental::batch::BatchStore::decide_batch`) against an
+//! equivalent loop of scalar `AdaptiveController::decide` calls, at
+//! per-shard sizes 1, 64, and 4096 lanes.
+//!
+//! Both sides are measured on warm estimators (past `min_history`, so
+//! the four-vertex argmin — not the cold-start draw — is what's timed)
+//! seeded with the same mixed short/long history. The batch path is
+//! bit-identical to the scalar path; this group exists to show what the
+//! flat SoA loop buys per decision once per-call dispatch, `dyn
+//! RngCore`, and per-stop bookkeeping are gone.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use skirental::batch::{BatchStore, CounterRng, VertexKind};
+use skirental::estimator::AdaptiveController;
+use skirental::BreakEven;
+
+const SEED: u64 = 20_140_601;
+const SHARD_SIZES: [usize; 3] = [1, 64, 4096];
+
+/// Deterministic mixed history: mostly short stops with a long tail, so
+/// warm lanes land on a non-trivial argmin (not all-TOI or all-DET).
+fn history(lane: usize, len: usize) -> Vec<f64> {
+    use rand::RngCore;
+    let mut rng = CounterRng::for_stream(SEED ^ 0xA5A5, lane as u64);
+    (0..len)
+        .map(|_| {
+            let u = rng.next_u64();
+            let unit = (u >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            if u % 5 == 0 {
+                40.0 + unit * 300.0
+            } else {
+                unit * 27.0
+            }
+        })
+        .collect()
+}
+
+fn bench_batch_vs_scalar(c: &mut Criterion) {
+    let b = BreakEven::SSV;
+    let mut g = c.benchmark_group("batch_vs_scalar");
+
+    for lanes in SHARD_SIZES {
+        // Warm SoA store + per-lane counter RNGs.
+        let mut store = BatchStore::new(b, lanes).min_history(3);
+        for lane in 0..lanes {
+            for y in history(lane, 32) {
+                store.observe(lane, y);
+            }
+        }
+        let rngs: Vec<CounterRng> =
+            (0..lanes).map(|i| CounterRng::for_stream(SEED, i as u64)).collect();
+        let mut thresholds = vec![0.0f64; lanes];
+        let mut vertices = vec![VertexKind::ColdStart; lanes];
+
+        g.bench_function(format!("decide_batch_{lanes}_lanes"), |bencher| {
+            bencher.iter(|| {
+                // Clone the RNG vec so every iteration replays the same
+                // counters — decide_batch itself is what's timed, and the
+                // copy is lanes × 16 bytes of memcpy.
+                let mut r = rngs.clone();
+                store.decide_batch(&mut r, &mut thresholds, &mut vertices).unwrap();
+                black_box(&thresholds);
+            });
+        });
+
+        // Matching scalar controllers with identical warm state.
+        let controllers: Vec<AdaptiveController> = (0..lanes)
+            .map(|lane| {
+                let mut ctl = AdaptiveController::new(b).min_history(3);
+                for y in history(lane, 32) {
+                    ctl.observe(y);
+                }
+                ctl
+            })
+            .collect();
+
+        g.bench_function(format!("scalar_decide_loop_{lanes}_lanes"), |bencher| {
+            bencher.iter(|| {
+                let mut r = rngs.clone();
+                for (lane, ctl) in controllers.iter().enumerate() {
+                    thresholds[lane] = ctl.decide(&mut r[lane]);
+                }
+                black_box(&thresholds);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_batch_vs_scalar);
+criterion_main!(benches);

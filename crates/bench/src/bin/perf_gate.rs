@@ -16,7 +16,16 @@
 //! * **metric invariants** must hold on the fresh run regardless of the
 //!   baseline: the sanitizer drops nothing on clean input, engine stops
 //!   partition into restarts + idle-throughs, and the report round-trips
-//!   through its own JSON.
+//!   through its own JSON;
+//! * **batched-decision throughput** must clear two floors: the fresh
+//!   structure-of-arrays batch path (`skirental::batch`, sharded over the
+//!   pinned thread count) must decide at least [`MIN_BATCH_SPEEDUP`] × as
+//!   many stops per second as the fresh scalar reference on the same
+//!   seeded workload (machine-independent, so a CI box can't mask a
+//!   batch-path regression), and at least the baseline's recorded
+//!   `batch_stops_per_sec` / `PERF_GATE_TOLERANCE` (the absolute floor).
+//!   The two paths' outcomes are asserted **bit-identical** before any
+//!   timing is trusted.
 //!
 //! Timing-derived values (latency-histogram buckets, `busy_micros`,
 //! utilization gauges) are compared by *event count* only.
@@ -38,11 +47,13 @@ use powertrain::{StopStartController, VehicleSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use skirental::analysis::bootstrap_cr_ci_parallel;
+use skirental::batch::{run_fleet_batch, run_fleet_scalar, BatchConfig};
 use skirental::estimator::AdaptiveController;
 use skirental::fleet_eval::evaluate_fleet_parallel;
 use skirental::{BreakEven, ConstrainedStats, DegradedController, Strategy};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 use std::{env, fs};
 
 const SEED: u64 = 20140601;
@@ -58,14 +69,34 @@ const STREAM_STOPS: usize = 1_000_000;
 const ESTIMATOR_WINDOW: usize = 50;
 /// Default wall-clock tolerance factor vs the baseline.
 const DEFAULT_TOLERANCE: f64 = 4.0;
+/// Stops per vehicle in the batched-throughput phase.
+const BATCH_STOPS_PER_VEHICLE: usize = 2_000;
+/// Timed repetitions per path in the throughput phase (best rep wins, so
+/// a one-off scheduler hiccup can't fail the gate).
+const BATCH_REPS: usize = 3;
+/// Relative floor: fresh batch stops/s must be at least this multiple of
+/// the fresh scalar path's stops/s on the same workload.
+const MIN_BATCH_SPEEDUP: f64 = 5.0;
+/// Trace-stream base for the throughput phase: the scalar reference
+/// streams per-stop records here; batch shard digests follow above it.
+const BATCH_STREAM_BASE: u64 = 940_000;
+
+/// Measured stop-decision throughput of the two engines.
+struct BatchThroughput {
+    /// Stops decided per second by `run_fleet_batch` at [`THREADS`].
+    batch_sps: f64,
+    /// Stops decided per second by the serial scalar reference.
+    scalar_sps: f64,
+}
 
 fn baseline_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_BASELINE.json")
 }
 
 /// The measured workload. Everything is seeded; the only nondeterminism
-/// in the resulting report is wall-clock time and latency-bucket shapes.
-fn workload() {
+/// in the resulting report is wall-clock time, latency-bucket shapes,
+/// and the returned throughput measurements.
+fn workload() -> BatchThroughput {
     let b = BreakEven::SSV;
     let spec = VehicleSpec::stop_start_vehicle();
     let fleet = FleetConfig::new(Area::Chicago).vehicles(VEHICLES).synthesize(SEED);
@@ -143,6 +174,92 @@ fn workload() {
     let mut deg = DegradedController::with_estimator_window(b, ESTIMATOR_WINDOW);
     let mut rng = StdRng::seed_from_u64(SEED + 131);
     deg.run_observed(&stream, &observed, &mut rng).expect("clean true stops");
+
+    batch_phase()
+}
+
+/// Batched-decision throughput phase: the same seeded equal-length fleet
+/// through the scalar per-vehicle controller (serial) and the
+/// structure-of-arrays batch engine (sharded over [`THREADS`]), timed.
+/// Outcomes must be bit-identical — a fast wrong answer is a gate
+/// failure, not a throughput win.
+fn batch_phase() -> BatchThroughput {
+    let b = BreakEven::SSV;
+    // Equal-length jittered traces so every shard carries the same work:
+    // uniform 0..120 s stops straddle the 28 s break-even (~3/4 short),
+    // which keeps all four vertices live in the argmin.
+    let mut rng = StdRng::seed_from_u64(SEED + 211);
+    let fleet: Vec<Vec<f64>> = (0..VEHICLES)
+        .map(|_| {
+            (0..BATCH_STOPS_PER_VEHICLE).map(|_| 120.0 * stopmodel::uniform01(&mut rng)).collect()
+        })
+        .collect();
+    let cfg = BatchConfig {
+        window: Some(ESTIMATOR_WINDOW),
+        min_history: 3,
+        seed: SEED,
+        trace_stream_base: BATCH_STREAM_BASE + 1_000,
+    };
+    let total_stops = (VEHICLES * BATCH_STOPS_PER_VEHICLE) as f64;
+
+    // Scalar reference: per-vehicle controller, serial, per-stop
+    // instrumentation — the path every release before the batch engine
+    // shipped was measured on.
+    obsv::tracer::set_stream(BATCH_STREAM_BASE);
+    let mut scalar_best = f64::INFINITY;
+    let mut scalar = Vec::new();
+    for _ in 0..BATCH_REPS {
+        let t = Instant::now();
+        scalar = run_fleet_scalar(&fleet, b, &cfg).expect("non-empty fleet");
+        scalar_best = scalar_best.min(t.elapsed().as_secs_f64());
+    }
+
+    // Batch engine at the pinned thread count.
+    let mut batch_best = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..BATCH_REPS {
+        let t = Instant::now();
+        let r = run_fleet_batch(&fleet, b, &cfg, THREADS).expect("non-empty fleet");
+        batch_best = batch_best.min(t.elapsed().as_secs_f64());
+        report = Some(r);
+    }
+    let report = report.expect("BATCH_REPS >= 1");
+    assert_eq!(report.outcomes, scalar, "batch path must be bit-identical to the scalar reference");
+    BatchThroughput { batch_sps: total_stops / batch_best, scalar_sps: total_stops / scalar_best }
+}
+
+/// Gates the batched-decision throughput: the relative ≥
+/// [`MIN_BATCH_SPEEDUP`]× floor against the fresh scalar path, and the
+/// absolute `batch_stops_per_sec` floor recorded in the baseline
+/// (divided by `tolerance` for machine-to-machine variance).
+fn throughput_gate(tp: &BatchThroughput, baseline: &RunReport, tolerance: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    let speedup = tp.batch_sps / tp.scalar_sps;
+    // NaN (a broken measurement) must fail the floor, not slip past it.
+    if speedup.is_nan() || speedup < MIN_BATCH_SPEEDUP {
+        failures.push(format!(
+            "batch_speedup: batch path {:.0} stops/s is only {speedup:.2}x the scalar path \
+             {:.0} stops/s (floor {MIN_BATCH_SPEEDUP}x)",
+            tp.batch_sps, tp.scalar_sps
+        ));
+    }
+    match baseline.meta.get("batch_stops_per_sec").map(|v| v.parse::<f64>()) {
+        Some(Ok(floor)) if floor.is_finite() && floor > 0.0 => {
+            if tp.batch_sps < floor / tolerance {
+                failures.push(format!(
+                    "batch_stops_per_sec: fresh {:.0} below baseline {floor:.0} / tolerance \
+                     {tolerance} (set PERF_GATE_TOLERANCE to override)",
+                    tp.batch_sps
+                ));
+            }
+        }
+        _ => failures.push(
+            "batch_stops_per_sec: baseline records no throughput floor \
+             (regenerate with --write-baseline)"
+                .to_string(),
+        ),
+    }
+    failures
 }
 
 /// Whether a counter's value is timing-derived (excluded from exact
@@ -272,7 +389,12 @@ fn main() -> ExitCode {
     reporter.meta("threads", THREADS);
     reporter.meta("vehicles", VEHICLES);
 
-    workload();
+    let throughput = workload();
+    // Measured throughputs ride in meta: `compare` ignores meta, so they
+    // never trip exact-match checks, but `--write-baseline` records them
+    // as the floor for future runs.
+    reporter.meta("batch_stops_per_sec", format!("{:.0}", throughput.batch_sps));
+    reporter.meta("scalar_stops_per_sec", format!("{:.0}", throughput.scalar_sps));
 
     let fresh = reporter.capture();
     reporter.finish();
@@ -312,15 +434,20 @@ fn main() -> ExitCode {
 
     let mut failures = invariants(&fresh);
     failures.extend(compare(&fresh, &baseline, tolerance));
+    failures.extend(throughput_gate(&throughput, &baseline, tolerance));
 
     if failures.is_empty() {
         println!(
             "perf gate PASS: wall {:.3} s (baseline {:.3} s, tolerance {tolerance}x), \
-             {} counters / {} histograms matched",
+             {} counters / {} histograms matched, batch {:.0} stops/s \
+             ({:.1}x scalar {:.0} stops/s)",
             fresh.wall_s,
             baseline.wall_s,
             baseline.metrics.counters.len(),
-            baseline.metrics.histograms.len()
+            baseline.metrics.histograms.len(),
+            throughput.batch_sps,
+            throughput.batch_sps / throughput.scalar_sps,
+            throughput.scalar_sps
         );
         ExitCode::SUCCESS
     } else {

@@ -16,6 +16,7 @@
 //! `null`, so re-emitting a parsed line reproduces it byte for byte.
 
 use crate::json::Value;
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -26,8 +27,10 @@ pub enum TraceEvent {
     StopDecision {
         /// Selected vertex policy (`"DET"`, `"TOI"`, `"b-DET"`,
         /// `"N-Rand"`), or the static policy's name outside the adaptive
-        /// path.
-        vertex: String,
+        /// path. `Cow` so hot emitters pass their `&'static str` policy
+        /// names without a per-stop `String` allocation (parsed lines
+        /// carry the owned form).
+        vertex: Cow<'static, str>,
         /// The drawn threshold, seconds.
         threshold_b: f64,
         /// Estimated `μ_B⁻` behind the decision; `None` on cold start.
@@ -97,6 +100,31 @@ pub enum TraceEvent {
         /// `"censor"`, `"noise"`, `"stuck_at"`, `"corrupt"`).
         fault: String,
     },
+    /// One shard's digest from the batched decision engine. The batch
+    /// path amortizes tracing to a single event per shard: decision
+    /// counts by vertex plus an order-sensitive hash of every
+    /// `(threshold bits, vertex)` pair, so two runs can be compared for
+    /// bit-identity without recording per-stop events.
+    BatchShardDigest {
+        /// Global index of the shard's first vehicle.
+        shard: u64,
+        /// Vehicles in the shard.
+        vehicles: u64,
+        /// Total decisions the shard made.
+        decisions: u64,
+        /// FNV-1a over `(threshold.to_bits(), vertex)` in decision order.
+        threshold_hash: u64,
+        /// Cold-start (insufficient-history) decisions.
+        cold_start: u64,
+        /// DET decisions.
+        det: u64,
+        /// TOI decisions.
+        toi: u64,
+        /// b-DET decisions.
+        b_det: u64,
+        /// N-Rand decisions (estimator-backed).
+        n_rand: u64,
+    },
     /// The streaming monitor raised an alarm on this stream (see
     /// `crate::monitor`). Recorded immediately after the event that
     /// tripped it, at the next `seq` positions, so alarms interleave
@@ -129,6 +157,7 @@ impl TraceEvent {
             Self::SanitizeVerdict { .. } => "sanitize_verdict",
             Self::EstimatorUpdate { .. } => "estimator_update",
             Self::FaultApplied { .. } => "fault_applied",
+            Self::BatchShardDigest { .. } => "batch_shard_digest",
             Self::MonitorAlarm { .. } => "monitor_alarm",
         }
     }
@@ -184,6 +213,21 @@ impl TraceEvent {
             Self::FaultApplied { event_index, fault } => {
                 format!("fault: {fault} fired on event #{event_index}")
             }
+            Self::BatchShardDigest {
+                shard,
+                vehicles,
+                decisions,
+                threshold_hash,
+                cold_start,
+                det,
+                toi,
+                b_det,
+                n_rand,
+            } => format!(
+                "batch shard @{shard}: {vehicles} vehicles, {decisions} decisions \
+                 (cold {cold_start}, DET {det}, TOI {toi}, b-DET {b_det}, N-Rand {n_rand}), \
+                 threshold hash {threshold_hash:#018x}"
+            ),
             Self::MonitorAlarm { alarm, detail, observed, limit, window_len } => format!(
                 "ALARM [{alarm}]: {detail} \
                  (observed {observed:.4} > limit {limit:.4}, n = {window_len})"
@@ -244,7 +288,7 @@ impl TraceRecord {
                 q_b_plus,
                 chosen_cost_bound,
             } => {
-                obj.insert("vertex".to_string(), Value::Str(vertex.clone()));
+                obj.insert("vertex".to_string(), Value::Str(vertex.to_string()));
                 obj.insert("threshold_b".to_string(), Value::float(*threshold_b));
                 obj.insert("mu_b_minus".to_string(), opt_float(*mu_b_minus));
                 obj.insert("q_b_plus".to_string(), opt_float(*q_b_plus));
@@ -280,6 +324,27 @@ impl TraceRecord {
                 obj.insert("event_index".to_string(), Value::UInt(*event_index));
                 obj.insert("fault".to_string(), Value::Str(fault.clone()));
             }
+            TraceEvent::BatchShardDigest {
+                shard,
+                vehicles,
+                decisions,
+                threshold_hash,
+                cold_start,
+                det,
+                toi,
+                b_det,
+                n_rand,
+            } => {
+                obj.insert("shard".to_string(), Value::UInt(*shard));
+                obj.insert("vehicles".to_string(), Value::UInt(*vehicles));
+                obj.insert("decisions".to_string(), Value::UInt(*decisions));
+                obj.insert("threshold_hash".to_string(), Value::UInt(*threshold_hash));
+                obj.insert("cold_start".to_string(), Value::UInt(*cold_start));
+                obj.insert("det".to_string(), Value::UInt(*det));
+                obj.insert("toi".to_string(), Value::UInt(*toi));
+                obj.insert("b_det".to_string(), Value::UInt(*b_det));
+                obj.insert("n_rand".to_string(), Value::UInt(*n_rand));
+            }
             TraceEvent::MonitorAlarm { alarm, detail, observed, limit, window_len } => {
                 obj.insert("alarm".to_string(), Value::Str(alarm.clone()));
                 obj.insert("detail".to_string(), Value::Str(detail.clone()));
@@ -310,7 +375,7 @@ impl TraceRecord {
         let kind = req_str(obj, "type")?;
         let event = match kind.as_str() {
             "stop_decision" => TraceEvent::StopDecision {
-                vertex: req_str(obj, "vertex")?,
+                vertex: req_str(obj, "vertex")?.into(),
                 threshold_b: req_f64(obj, "threshold_b")?,
                 mu_b_minus: opt_f64(obj, "mu_b_minus"),
                 q_b_plus: opt_f64(obj, "q_b_plus"),
@@ -345,6 +410,17 @@ impl TraceRecord {
             "fault_applied" => TraceEvent::FaultApplied {
                 event_index: req_u64(obj, "event_index")?,
                 fault: req_str(obj, "fault")?,
+            },
+            "batch_shard_digest" => TraceEvent::BatchShardDigest {
+                shard: req_u64(obj, "shard")?,
+                vehicles: req_u64(obj, "vehicles")?,
+                decisions: req_u64(obj, "decisions")?,
+                threshold_hash: req_u64(obj, "threshold_hash")?,
+                cold_start: req_u64(obj, "cold_start")?,
+                det: req_u64(obj, "det")?,
+                toi: req_u64(obj, "toi")?,
+                b_det: req_u64(obj, "b_det")?,
+                n_rand: req_u64(obj, "n_rand")?,
             },
             "monitor_alarm" => TraceEvent::MonitorAlarm {
                 alarm: req_str(obj, "alarm")?,
@@ -459,7 +535,7 @@ mod tests {
                 stop: 7,
                 seq: 21,
                 event: TraceEvent::StopDecision {
-                    vertex: "b-DET".to_string(),
+                    vertex: "b-DET".into(),
                     threshold_b: 12.25,
                     mu_b_minus: Some(5.5),
                     q_b_plus: Some(0.125),
@@ -517,6 +593,22 @@ mod tests {
                 stop: 9,
                 seq: 1,
                 event: TraceEvent::FaultApplied { event_index: 9, fault: "stuck_at".to_string() },
+            },
+            TraceRecord {
+                stream: 5,
+                stop: 0,
+                seq: 0,
+                event: TraceEvent::BatchShardDigest {
+                    shard: 24,
+                    vehicles: 12,
+                    decisions: 4800,
+                    threshold_hash: 0xdead_beef_cafe_f00d,
+                    cold_start: 12,
+                    det: 3000,
+                    toi: 900,
+                    b_det: 488,
+                    n_rand: 400,
+                },
             },
             TraceRecord {
                 stream: 4,
@@ -591,7 +683,7 @@ mod tests {
             assert!(!text.is_empty());
         }
         let cold = TraceEvent::StopDecision {
-            vertex: "N-Rand".to_string(),
+            vertex: "N-Rand".into(),
             threshold_b: 3.0,
             mu_b_minus: None,
             q_b_plus: None,

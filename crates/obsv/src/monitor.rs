@@ -625,7 +625,7 @@ impl Monitor {
             TraceEvent::StopDecision {
                 vertex, mu_b_minus, q_b_plus, chosen_cost_bound, ..
             } => {
-                state.last_vertex = Some(vertex.clone());
+                state.last_vertex = Some(vertex.to_string());
                 if let (Some(mu), Some(q)) = (mu_b_minus, q_b_plus) {
                     state.bound_live = true;
                     if let Some(bound) = chosen_cost_bound {
@@ -634,7 +634,7 @@ impl Monitor {
                     }
                     if state.stop_window.len() >= config.window {
                         if let Some(expected) = state.windowed_vertex(config.break_even_s) {
-                            if expected != vertex.as_str() {
+                            if expected != vertex.as_ref() {
                                 state.mismatch_streak += 1;
                                 if state.mismatch_streak >= config.mismatch_streak
                                     && !state.mismatch_latched

@@ -50,7 +50,7 @@ fn record_of(
     let f1 = if opts & 4 != 0 { f64::NAN } else { f1 };
     let event = match kind {
         0 => TraceEvent::StopDecision {
-            vertex: name,
+            vertex: name.into(),
             threshold_b: f1,
             mu_b_minus: opt1,
             q_b_plus: opt2,

@@ -46,6 +46,47 @@ pub enum FaultAction {
     Resync,
 }
 
+/// Errors from the batched (pre-decided) drive entry point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchDriveError {
+    /// `drive_decided` needs exactly one threshold per stop.
+    MismatchedThresholds {
+        /// Number of stops supplied.
+        stops: usize,
+        /// Number of thresholds supplied.
+        thresholds: usize,
+    },
+    /// The engine state machine rejected a transition (e.g. a corrupt
+    /// stop or threshold under [`FaultAction::Abort`]).
+    Transition(TransitionError),
+}
+
+impl fmt::Display for BatchDriveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MismatchedThresholds { stops, thresholds } => {
+                write!(f, "need one threshold per stop: {stops} stops but {thresholds} thresholds")
+            }
+            Self::Transition(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BatchDriveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Transition(e) => Some(e),
+            Self::MismatchedThresholds { .. } => None,
+        }
+    }
+}
+
+impl From<TransitionError> for BatchDriveError {
+    fn from(e: TransitionError) -> Self {
+        Self::Transition(e)
+    }
+}
+
 /// Accumulated outcome of driving a trace.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -285,6 +326,70 @@ impl<'a, P: Policy + ?Sized> StopStartController<'a, P> {
         self.drive_inner(gaps.into_iter(), skipped, resynced, rng)
     }
 
+    /// Drives a trace whose thresholds were already decided — the
+    /// batched entry point. Where [`Self::drive`] draws one threshold
+    /// per stop from the policy, this pairs `stops[i]` with
+    /// `thresholds[i]` (e.g. produced shard-at-a-time by
+    /// `skirental::batch::BatchStore::decide_batch`) and runs the same
+    /// state machine and cost ledger; no RNG is consumed. Trace events
+    /// record the vertex as `"batched"`.
+    ///
+    /// Under [`FaultAction::SkipStop`] / [`FaultAction::Resync`] a
+    /// corrupt stop is dropped *together with its threshold*, so the
+    /// pairing never slips.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchDriveError::MismatchedThresholds`] if the slices differ in
+    /// length (nothing is driven); [`BatchDriveError::Transition`] if
+    /// the state machine rejects a transition, exactly as in
+    /// [`Self::drive`] — a non-finite or negative threshold surfaces
+    /// here as a time-monotonicity error.
+    pub fn drive_decided(
+        &self,
+        stops: &[f64],
+        thresholds: &[f64],
+    ) -> Result<DriveOutcome, BatchDriveError> {
+        if stops.len() != thresholds.len() {
+            return Err(BatchDriveError::MismatchedThresholds {
+                stops: stops.len(),
+                thresholds: thresholds.len(),
+            });
+        }
+        let gap = self.inter_stop_drive_seconds;
+        let mut skipped = 0u64;
+        let pairs: Vec<(f64, f64)> = if self.fault_action == FaultAction::Abort {
+            stops.iter().zip(thresholds).map(|(&y, &x)| (y, x)).collect()
+        } else {
+            stops
+                .iter()
+                .zip(thresholds)
+                .filter_map(|(&y, &x)| {
+                    if y.is_finite() && y >= 0.0 {
+                        Some((y, x))
+                    } else {
+                        skipped += 1;
+                        None
+                    }
+                })
+                .collect()
+        };
+        let pairs = &pairs;
+        let mut next = 0usize;
+        let out = self.drive_core(
+            pairs.iter().map(|&(y, _)| (gap, y)),
+            skipped,
+            0,
+            "batched",
+            &mut |_| {
+                let x = pairs[next].1;
+                next += 1;
+                x
+            },
+        )?;
+        Ok(out)
+    }
+
     /// The shared simulation loop: `(driving_gap, stop_duration)` pairs.
     /// `skipped`/`resynced` are fault counts from the caller's event
     /// screening, carried into the outcome.
@@ -294,6 +399,22 @@ impl<'a, P: Policy + ?Sized> StopStartController<'a, P> {
         skipped: u64,
         resynced: u64,
         rng: &mut dyn RngCore,
+    ) -> Result<DriveOutcome, TransitionError> {
+        self.drive_core(stops, skipped, resynced, self.policy.name(), &mut |_| {
+            self.policy.sample_threshold(rng)
+        })
+    }
+
+    /// The simulation loop behind both the policy-sampled and the
+    /// pre-decided paths: `decide(stop_index)` supplies the threshold,
+    /// `vertex` labels trace events.
+    fn drive_core(
+        &self,
+        stops: impl Iterator<Item = (f64, f64)>,
+        skipped: u64,
+        resynced: u64,
+        vertex: &'static str,
+        decide: &mut dyn FnMut(u64) -> f64,
     ) -> Result<DriveOutcome, TransitionError> {
         let mut machine = EngineStateMachine::new(0.0);
         let b = self.spec.break_even().seconds();
@@ -316,10 +437,10 @@ impl<'a, P: Policy + ?Sized> StopStartController<'a, P> {
             m.stop_length_s.record(y);
 
             obsv::tracer::begin_stop(out.stops);
-            let x = self.policy.sample_threshold(rng);
+            let x = decide(out.stops);
             if obsv::tracer::observing() {
                 obsv::tracer::emit(obsv::TraceEvent::StopDecision {
-                    vertex: self.policy.name().to_string(),
+                    vertex: vertex.into(),
                     threshold_b: x,
                     mu_b_minus: None,
                     q_b_plus: None,
@@ -699,6 +820,60 @@ mod tests {
         assert_eq!(outs[0], outs[1]);
         assert_eq!(outs[0], outs[2]);
         assert_eq!(outs[0].faults_skipped, 0);
+    }
+
+    #[test]
+    fn decided_matches_policy_sampled_drive() {
+        // Precomputing the thresholds with the same policy and seed and
+        // replaying them through drive_decided reproduces drive()'s
+        // ledger exactly — the contract the batched fleet path rests on.
+        let s = spec();
+        let p = NRand::new(s.break_even());
+        let stops: Vec<f64> = (0..200).map(|i| (i % 77) as f64 + 0.25).collect();
+        let mut rng = StdRng::seed_from_u64(46);
+        let thresholds: Vec<f64> = stops.iter().map(|_| p.sample_threshold(&mut rng)).collect();
+        let ctl = StopStartController::new(&p, s);
+        let mut rng = StdRng::seed_from_u64(46);
+        let sampled = ctl.drive(&stops, &mut rng).unwrap();
+        let decided = ctl.drive_decided(&stops, &thresholds).unwrap();
+        assert_eq!(decided, sampled);
+    }
+
+    #[test]
+    fn decided_rejects_mismatched_thresholds() {
+        let s = spec();
+        let p = Det::new(s.break_even());
+        let ctl = StopStartController::new(&p, s);
+        let err = ctl.drive_decided(&[10.0, 20.0], &[5.0]).unwrap_err();
+        assert_eq!(err, BatchDriveError::MismatchedThresholds { stops: 2, thresholds: 1 });
+        assert!(err.to_string().contains("one threshold per stop"));
+        assert!(std::error::Error::source(&err).is_none());
+    }
+
+    #[test]
+    fn decided_skip_stop_drops_threshold_with_its_stop() {
+        let s = spec();
+        let p = Det::new(s.break_even());
+        let b = s.break_even().seconds();
+        let ctl = StopStartController::new(&p, s).fault_action(FaultAction::SkipStop);
+        // The NaN stop and its threshold drop together, so the long
+        // stop still pairs with the restart threshold.
+        let out = ctl.drive_decided(&[10.0, f64::NAN, 100.0], &[b, 0.0, b]).unwrap();
+        assert_eq!(out.stops, 2);
+        assert_eq!(out.faults_skipped, 1);
+        assert_eq!(out.restarts, 1);
+        let clean = ctl.drive_decided(&[10.0, 100.0], &[b, b]).unwrap();
+        assert!(approx_eq(out.idle_equivalent_s, clean.idle_equivalent_s, 1e-12));
+    }
+
+    #[test]
+    fn decided_corrupt_threshold_surfaces_as_transition_error() {
+        let s = spec();
+        let p = Det::new(s.break_even());
+        let ctl = StopStartController::new(&p, s);
+        let err = ctl.drive_decided(&[100.0], &[f64::NAN]).unwrap_err();
+        assert!(matches!(err, BatchDriveError::Transition(_)));
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]

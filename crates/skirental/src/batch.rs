@@ -1,0 +1,1082 @@
+//! Batched structure-of-arrays decision engine: per-stop decisions for a
+//! whole shard of vehicles per call, at memory bandwidth.
+//!
+//! The per-stop decision of the adaptive controller is a four-vertex
+//! argmin over closed-form worst-case costs — embarrassingly
+//! data-parallel across vehicles. The scalar path
+//! ([`crate::estimator::AdaptiveController`]) walks vehicles one
+//! `decide` at a time through a virtual `&mut dyn RngCore`, a span
+//! timer, and (when tracing) a per-stop event; this module evaluates a
+//! whole shard per call instead:
+//!
+//! * [`BatchStore`] holds the per-vehicle sufficient statistics
+//!   `(n, Σy·1{y<B}, Σy², #{y ≥ B})` as parallel arrays (plus a flat
+//!   ring buffer in sliding-window mode), so the decision loop streams
+//!   over contiguous memory with no pointer chasing;
+//! * [`BatchStore::decide_batch`] computes one threshold per lane in a
+//!   flat, allocation-free inner loop: the four vertex costs are
+//!   evaluated as straight-line lane arithmetic (the infeasible b-DET
+//!   lane is masked with `+∞` rather than branched around) and the
+//!   argmin preserves the scalar tie order DET → TOI → b-DET → N-Rand;
+//! * [`CounterRng`] is a counter-based per-vehicle generator (SplitMix64
+//!   finalizer over `key + ctr·γ`): the kernel computes the next draw as
+//!   a pure function of the lane's `(key, ctr)` state and advances the
+//!   counter **only when the selected vertex actually consumes a draw**,
+//!   which is exactly how the scalar policies consume a `dyn RngCore` —
+//!   so batch and scalar paths see identical draws.
+//!
+//! **Bit-identity.** Every floating-point expression in the kernel is
+//! copied verbatim from the scalar path (`MomentEstimator::stats`,
+//! `ConstrainedStats::vertex_costs`/`b_det_vertex`/`optimal_choice`,
+//! `NRand::sample_threshold`, `stopmodel::uniform01`), so a batch run
+//! produces bit-for-bit the thresholds, vertex choices, and cost sums of
+//! the equivalent per-vehicle [`run_fleet_scalar`] reference — pinned by
+//! `tests/batch.rs` across cold start, windowed, min-history, and
+//! ladder-handoff regimes, and across 1/2/8 worker threads.
+//!
+//! **Observability amortization.** The batch path records no per-stop
+//! metric or span: each shard flushes bulk counters once
+//! (`skirental.batch.*` plus the shared `skirental.policy.*` vertex
+//! tallies), and when the decision tracer is active it emits a single
+//! [`obsv::TraceEvent::BatchShardDigest`] per shard instead of per-stop
+//! events. With the registry disabled the whole shard costs one relaxed
+//! load.
+
+use crate::cost::BreakEven;
+use crate::estimator::{realized_cr, AdaptiveController, AdaptiveOutcome};
+use crate::obs;
+use crate::{e_ratio, Error};
+use rand::RngCore;
+use std::f64::consts::E;
+
+/// Weyl increment of SplitMix64 (the golden ratio in 2⁻⁶⁴ fixed point).
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// SplitMix64 finalizer: bijective avalanche mix of one `u64`.
+#[inline(always)]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A counter-based random-number generator: the `i`-th output is the
+/// SplitMix64 finalizer applied to `key + i·γ`, a pure function of the
+/// `(key, ctr)` state.
+///
+/// Unlike a mutable-state generator, the batch kernel can *peek* the
+/// next draw without committing it, then advance the counter only for
+/// lanes whose selected vertex consumed randomness — matching how the
+/// scalar policies consume a `&mut dyn RngCore` (deterministic vertices
+/// draw nothing; N-Rand and the cold start draw exactly one `u64`).
+/// It also implements [`rand::RngCore`], so the *same* per-vehicle
+/// stream can drive the scalar [`AdaptiveController`] for bit-identity
+/// checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterRng {
+    key: u64,
+    ctr: u64,
+}
+
+impl CounterRng {
+    /// A generator for logical stream `stream` (e.g. a global vehicle
+    /// index) under `seed`. Two finalizer rounds decorrelate adjacent
+    /// stream ids.
+    #[must_use]
+    pub fn for_stream(seed: u64, stream: u64) -> Self {
+        let key = mix64(mix64(seed ^ GOLDEN_GAMMA).wrapping_add(stream.wrapping_mul(GOLDEN_GAMMA)));
+        Self { key, ctr: 0 }
+    }
+
+    /// The `(key, counter)` state, for diagnostics and state-identity
+    /// assertions.
+    #[must_use]
+    pub fn state(&self) -> (u64, u64) {
+        (self.key, self.ctr)
+    }
+
+    /// The output at counter position `ctr` for `key` — the pure
+    /// function both the kernel and [`RngCore::next_u64`] evaluate.
+    #[inline(always)]
+    fn value_at(key: u64, ctr: u64) -> u64 {
+        mix64(key.wrapping_add(ctr.wrapping_mul(GOLDEN_GAMMA)))
+    }
+}
+
+impl RngCore for CounterRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let v = Self::value_at(self.key, self.ctr);
+        self.ctr = self.ctr.wrapping_add(1);
+        v
+    }
+}
+
+/// Which decision the batch kernel made for a lane — the four vertex
+/// strategies plus the N-Rand cold start (insufficient history).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum VertexKind {
+    /// Fewer than `min_history` observations: distribution-free N-Rand.
+    ColdStart = 0,
+    /// Deterministic threshold at `B`.
+    Det = 1,
+    /// Turn off immediately.
+    Toi = 2,
+    /// Deterministic threshold at `b* = √(μ_B⁻·B/q_B⁺)`.
+    BDet = 3,
+    /// The e/(e−1) randomized strategy.
+    NRand = 4,
+}
+
+impl VertexKind {
+    /// Short display name matching the paper's legends (cold start
+    /// renders as the N-Rand fallback it plays).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::ColdStart => "N-Rand",
+            Self::Det => "DET",
+            Self::Toi => "TOI",
+            Self::BDet => "b-DET",
+            Self::NRand => "N-Rand",
+        }
+    }
+}
+
+/// Per-vertex decision counts of a shard (or an aggregate over shards).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VertexTally {
+    /// Cold-start (insufficient-history) decisions.
+    pub cold_start: u64,
+    /// DET decisions.
+    pub det: u64,
+    /// TOI decisions.
+    pub toi: u64,
+    /// b-DET decisions.
+    pub b_det: u64,
+    /// N-Rand decisions (estimator-backed, not cold start).
+    pub n_rand: u64,
+}
+
+impl VertexTally {
+    #[inline]
+    fn count(&mut self, v: VertexKind) {
+        match v {
+            VertexKind::ColdStart => self.cold_start += 1,
+            VertexKind::Det => self.det += 1,
+            VertexKind::Toi => self.toi += 1,
+            VertexKind::BDet => self.b_det += 1,
+            VertexKind::NRand => self.n_rand += 1,
+        }
+    }
+
+    /// Total decisions tallied.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.cold_start + self.det + self.toi + self.b_det + self.n_rand
+    }
+
+    /// Element-wise sum.
+    #[must_use]
+    pub fn merged(&self, other: &Self) -> Self {
+        Self {
+            cold_start: self.cold_start + other.cold_start,
+            det: self.det + other.det,
+            toi: self.toi + other.toi,
+            b_det: self.b_det + other.b_det,
+            n_rand: self.n_rand + other.n_rand,
+        }
+    }
+}
+
+/// One lane decision: threshold, vertex, and the lane's advanced RNG
+/// counter. Returned by the shared kernel so the batched loop and the
+/// per-lane straggler path are the same code (and therefore the same
+/// floating-point expressions).
+#[derive(Debug, Clone, Copy)]
+struct LaneDecision {
+    threshold: f64,
+    vertex: VertexKind,
+    ctr: u64,
+}
+
+/// The per-lane decision kernel. `#[inline(always)]` so the flat loop in
+/// [`BatchStore::decide_batch`] sees straight-line lane arithmetic with
+/// no call — the b-DET feasibility conditions reduce to an `+∞` cost
+/// mask and the argmin to a chain of compare-selects.
+///
+/// Every expression mirrors the scalar path bit for bit:
+/// `MomentEstimator::stats` (the `μ̂` clamp), `vertex_costs`,
+/// `b_det_vertex` (condition (36), `b* ≤ B`), `optimal_choice` (tie
+/// order DET → TOI → b-DET → N-Rand with strict `<`), and the policy
+/// samplers (`Det → B`, `Toi → 0`, `BDet → b*`, `N-Rand` inverse CDF on
+/// one 53-bit uniform draw).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn decide_kernel(
+    b: f64,
+    min_history: usize,
+    n: u32,
+    short_sum: f64,
+    long_count: u32,
+    key: u64,
+    ctr: u64,
+) -> LaneDecision {
+    // Peek the next draw unconditionally — pure function of (key, ctr),
+    // committed below only if the selected vertex consumes randomness.
+    let bits = CounterRng::value_at(key, ctr);
+    // `stopmodel::uniform01`: top 53 bits of one u64 draw.
+    let u = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    // `NRand::sample_threshold`: x = B·ln(1 + u(e−1)).
+    let nrand_x = b * (1.0 + u * (E - 1.0)).ln();
+
+    if (n as usize) < min_history {
+        return LaneDecision { threshold: nrand_x, vertex: VertexKind::ColdStart, ctr: ctr + 1 };
+    }
+
+    // `MomentEstimator::stats`: plug-in moments with the window-residue
+    // clamp.
+    let nf = f64::from(n);
+    let q = f64::from(long_count) / nf;
+    let mu_cap = (1.0 - q) * b;
+    let mu = (short_sum / nf).clamp(0.0, mu_cap);
+
+    // `ConstrainedStats::vertex_costs`.
+    let offline = mu + q * b;
+    let n_rand_cost = e_ratio() * offline;
+    let toi_cost = b;
+    let det_cost = mu + 2.0 * q * b;
+
+    // `ConstrainedStats::b_det_vertex`, as an ∞-masked lane instead of
+    // an Option: infeasible regimes can never win the strict-< argmin.
+    let b_star = (mu * b / q).sqrt();
+    let b_det_feasible =
+        mu > 0.0 && q > 0.0 && q < 1.0 && mu / b < (1.0 - q) * (1.0 - q) / q && b_star <= b;
+    let b_det_cost =
+        if b_det_feasible { (mu.sqrt() + (q * b).sqrt()).powi(2) } else { f64::INFINITY };
+
+    // `ConstrainedStats::optimal_choice`: tie order DET → TOI → b-DET →
+    // N-Rand, strict `<` replacement.
+    let mut vertex = VertexKind::Det;
+    let mut best_cost = det_cost;
+    if toi_cost < best_cost {
+        vertex = VertexKind::Toi;
+        best_cost = toi_cost;
+    }
+    if b_det_cost < best_cost {
+        vertex = VertexKind::BDet;
+        best_cost = b_det_cost;
+    }
+    if n_rand_cost < best_cost {
+        vertex = VertexKind::NRand;
+    }
+
+    // Sample: only N-Rand consumes the peeked draw (`ProposedPolicy`
+    // delegates to the vertex policy, and Det/Toi/BDet ignore the RNG).
+    match vertex {
+        VertexKind::Det => LaneDecision { threshold: b, vertex, ctr },
+        VertexKind::Toi => LaneDecision { threshold: 0.0, vertex, ctr },
+        VertexKind::BDet => LaneDecision { threshold: b_star.min(b), vertex, ctr },
+        VertexKind::NRand | VertexKind::ColdStart => {
+            LaneDecision { threshold: nrand_x, vertex, ctr: ctr + 1 }
+        }
+    }
+}
+
+/// Structure-of-arrays store of per-vehicle estimator state.
+///
+/// Lane `i` carries the sufficient statistics of vehicle `i` in the
+/// shard: observation count `n`, short-stop sum `Σy·1{y<B}`, raw second
+/// moment `Σy²` (diagnostics; not used by the decision kernel), long
+/// count `#{y ≥ B}`, and — in sliding-window mode — a segment of the
+/// flat ring buffer. All arrays are allocated once at construction;
+/// observing and deciding never allocate.
+#[derive(Debug, Clone)]
+pub struct BatchStore {
+    break_even: BreakEven,
+    window: Option<usize>,
+    min_history: usize,
+    lanes: usize,
+    count: Vec<u32>,
+    short_sum: Vec<f64>,
+    sum_sq: Vec<f64>,
+    long_count: Vec<u32>,
+    /// Window mode: lane `i` owns `ring[i·w .. (i+1)·w]`.
+    ring: Vec<f64>,
+    /// Window mode: index of the oldest element within each lane segment.
+    head: Vec<u32>,
+}
+
+impl BatchStore {
+    /// A store of `lanes` vehicles over their full history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    #[must_use]
+    pub fn new(break_even: BreakEven, lanes: usize) -> Self {
+        assert!(lanes > 0, "batch store needs at least one lane");
+        Self {
+            break_even,
+            window: None,
+            min_history: 1,
+            lanes,
+            count: vec![0; lanes],
+            short_sum: vec![0.0; lanes],
+            sum_sq: vec![0.0; lanes],
+            long_count: vec![0; lanes],
+            ring: Vec::new(),
+            head: Vec::new(),
+        }
+    }
+
+    /// A store of `lanes` vehicles over a sliding window of the last
+    /// `window` stops each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0` or `window == 0`.
+    #[must_use]
+    pub fn with_window(break_even: BreakEven, lanes: usize, window: usize) -> Self {
+        assert!(window > 0, "window must be non-empty");
+        let mut s = Self::new(break_even, lanes);
+        s.window = Some(window);
+        s.ring = vec![0.0; lanes * window];
+        s.head = vec![0; lanes];
+        s
+    }
+
+    /// Requires `n` observed stops per lane before trusting the
+    /// estimate (before that, N-Rand cold start); returns `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn min_history(mut self, n: usize) -> Self {
+        assert!(n > 0, "min history must be positive");
+        self.min_history = n;
+        self
+    }
+
+    /// Number of lanes (vehicles) in the store.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The break-even interval the store classifies against.
+    #[must_use]
+    pub fn break_even(&self) -> BreakEven {
+        self.break_even
+    }
+
+    /// Observations currently contributing to lane `i`'s estimate.
+    #[must_use]
+    pub fn lane_len(&self, lane: usize) -> usize {
+        self.count[lane] as usize
+    }
+
+    /// Lane `i`'s raw second moment `Σy²` over the contributing stops
+    /// (windowed when the store is windowed). Diagnostics only — the
+    /// decision kernel never reads it.
+    #[must_use]
+    pub fn lane_sum_sq(&self, lane: usize) -> f64 {
+        self.sum_sq[lane]
+    }
+
+    /// Lane `i`'s plug-in moments `(μ̂_B⁻, q̂_B⁺)`, or `None` before the
+    /// first observation. Matches `MomentEstimator::stats` bit for bit.
+    #[must_use]
+    pub fn lane_moments(&self, lane: usize) -> Option<(f64, f64)> {
+        let n = self.count[lane];
+        if n == 0 {
+            return None;
+        }
+        let nf = f64::from(n);
+        let q = f64::from(self.long_count[lane]) / nf;
+        let mu_cap = (1.0 - q) * self.break_even.seconds();
+        let mu = (self.short_sum[lane] / nf).clamp(0.0, mu_cap);
+        Some((mu, q))
+    }
+
+    /// Discards lane `i`'s observed history (window configuration kept),
+    /// mirroring `MomentEstimator::clear` — the degradation-ladder
+    /// handoff that forgets statistics from an untrusted stream.
+    pub fn clear_lane(&mut self, lane: usize) {
+        self.count[lane] = 0;
+        self.short_sum[lane] = 0.0;
+        self.sum_sq[lane] = 0.0;
+        self.long_count[lane] = 0;
+        if !self.head.is_empty() {
+            self.head[lane] = 0;
+        }
+    }
+
+    /// Records one completed stop on lane `i`, mirroring
+    /// `MomentEstimator::observe` arithmetic exactly (evict-then-push in
+    /// window mode, same add/subtract order on the running sums).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is negative or non-finite, or `lane` is out of
+    /// range.
+    pub fn observe(&mut self, lane: usize, y: f64) {
+        assert!(y.is_finite() && y >= 0.0, "stop length must be finite and >= 0, got {y}");
+        let b = self.break_even.seconds();
+        if let Some(w) = self.window {
+            let seg = lane * w;
+            if self.count[lane] as usize == w {
+                let head = self.head[lane] as usize;
+                let front = self.ring[seg + head];
+                if front >= b {
+                    self.long_count[lane] -= 1;
+                } else {
+                    self.short_sum[lane] -= front;
+                }
+                self.sum_sq[lane] -= front * front;
+                self.ring[seg + head] = y;
+                self.head[lane] = ((head + 1) % w) as u32;
+            } else {
+                let pos = (self.head[lane] as usize + self.count[lane] as usize) % w;
+                self.ring[seg + pos] = y;
+                self.count[lane] += 1;
+            }
+        } else {
+            self.count[lane] += 1;
+        }
+        if y >= b {
+            self.long_count[lane] += 1;
+        } else {
+            self.short_sum[lane] += y;
+        }
+        self.sum_sq[lane] += y * y;
+    }
+
+    /// Records one completed stop per lane (`ys[i]` on lane `i`),
+    /// validating shape and values **before** mutating any lane.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ShardShapeMismatch`] if `ys.len() != self.lanes()`;
+    /// [`Error::InvalidStop`] (naming the first offender) if any reading
+    /// is negative or non-finite — the store is untouched in both cases.
+    pub fn observe_batch(&mut self, ys: &[f64]) -> Result<(), Error> {
+        if ys.len() != self.lanes {
+            return Err(Error::ShardShapeMismatch {
+                lanes: self.lanes,
+                slot: "observations",
+                len: ys.len(),
+            });
+        }
+        for &y in ys {
+            if !(y.is_finite() && y >= 0.0) {
+                return Err(Error::InvalidStop { bits: y.to_bits() });
+            }
+        }
+        for (lane, &y) in ys.iter().enumerate() {
+            self.observe(lane, y);
+        }
+        Ok(())
+    }
+
+    /// Decides one lane — the shared kernel, for stragglers of ragged
+    /// shards. Identical expressions (and therefore bits) to the batched
+    /// loop.
+    #[must_use]
+    pub fn decide_lane(&self, lane: usize, rng: &mut CounterRng) -> (f64, VertexKind) {
+        let d = decide_kernel(
+            self.break_even.seconds(),
+            self.min_history,
+            self.count[lane],
+            self.short_sum[lane],
+            self.long_count[lane],
+            rng.key,
+            rng.ctr,
+        );
+        rng.ctr = d.ctr;
+        (d.threshold, d.vertex)
+    }
+
+    /// Decides every lane in one flat pass: `thresholds[i]` and
+    /// `vertices[i]` receive lane `i`'s decision, `rngs[i]` advances by
+    /// exactly the number of draws the scalar policy would consume
+    /// (1 for N-Rand / cold start, 0 for the deterministic vertices).
+    ///
+    /// Zero allocation, no per-lane calls, no metric or trace writes —
+    /// callers flush observability per shard.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ShardShapeMismatch`] naming the first slice whose length
+    /// differs from [`BatchStore::lanes`]; no lane is decided and no RNG
+    /// advanced.
+    pub fn decide_batch(
+        &self,
+        rngs: &mut [CounterRng],
+        thresholds: &mut [f64],
+        vertices: &mut [VertexKind],
+    ) -> Result<(), Error> {
+        if rngs.len() != self.lanes {
+            return Err(Error::ShardShapeMismatch {
+                lanes: self.lanes,
+                slot: "rngs",
+                len: rngs.len(),
+            });
+        }
+        if thresholds.len() != self.lanes {
+            return Err(Error::ShardShapeMismatch {
+                lanes: self.lanes,
+                slot: "thresholds",
+                len: thresholds.len(),
+            });
+        }
+        if vertices.len() != self.lanes {
+            return Err(Error::ShardShapeMismatch {
+                lanes: self.lanes,
+                slot: "vertices",
+                len: vertices.len(),
+            });
+        }
+        let b = self.break_even.seconds();
+        let min_history = self.min_history;
+        // Flat zipped loop over the parallel arrays: no bounds checks,
+        // no indirection — the kernel inlines to lane arithmetic.
+        for ((((&n, &short_sum), &long_count), rng), (threshold, vertex)) in self
+            .count
+            .iter()
+            .zip(&self.short_sum)
+            .zip(&self.long_count)
+            .zip(rngs.iter_mut())
+            .zip(thresholds.iter_mut().zip(vertices.iter_mut()))
+        {
+            let d = decide_kernel(b, min_history, n, short_sum, long_count, rng.key, rng.ctr);
+            *threshold = d.threshold;
+            *vertex = d.vertex;
+            rng.ctr = d.ctr;
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of a batched (or scalar-reference) adaptive fleet run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Sliding window per vehicle (`None` = full history).
+    pub window: Option<usize>,
+    /// Stops required before trusting the estimate (N-Rand before).
+    pub min_history: usize,
+    /// Seed of the per-vehicle counter RNG streams (keyed by *global*
+    /// vehicle index, so results are independent of shard boundaries).
+    pub seed: u64,
+    /// Base stream id for per-shard trace digests when the decision
+    /// tracer is active.
+    pub trace_stream_base: u64,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self { window: None, min_history: 1, seed: 0, trace_stream_base: 0 }
+    }
+}
+
+/// Per-shard summary of a batched fleet run: decision counts by vertex
+/// and an order-sensitive FNV-1a digest of every `(threshold bits,
+/// vertex)` pair the shard produced. Two runs of the same shard with the
+/// same config hash identically; any single-bit threshold drift changes
+/// the digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardDigest {
+    /// Global index of the shard's first vehicle.
+    pub base: usize,
+    /// Vehicles in the shard.
+    pub vehicles: usize,
+    /// Total decisions made.
+    pub decisions: u64,
+    /// FNV-1a over `(threshold.to_bits(), vertex)` in decision order.
+    pub threshold_hash: u64,
+    /// Decision counts by vertex.
+    pub tally: VertexTally,
+}
+
+/// Result of a batched adaptive fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetBatchReport {
+    /// Per-vehicle outcomes, in input order — bit-identical to the
+    /// scalar reference ([`run_fleet_scalar`]) for any thread count.
+    pub outcomes: Vec<AdaptiveOutcome>,
+    /// Per-shard digests (shard layout depends on the thread count; the
+    /// aggregate [`FleetBatchReport::vertex_totals`] does not).
+    pub digests: Vec<ShardDigest>,
+}
+
+impl FleetBatchReport {
+    /// Total decisions across all shards.
+    #[must_use]
+    pub fn total_decisions(&self) -> u64 {
+        self.digests.iter().map(|d| d.decisions).sum()
+    }
+
+    /// Vertex decision counts aggregated over shards — independent of
+    /// the shard layout, so comparable across thread counts.
+    #[must_use]
+    pub fn vertex_totals(&self) -> VertexTally {
+        self.digests.iter().fold(VertexTally::default(), |acc, d| acc.merged(&d.tally))
+    }
+
+    /// Fleet-aggregate realized CR: total online cost over total
+    /// offline cost (same degenerate-zero convention as
+    /// [`realized_cr`]).
+    #[must_use]
+    pub fn fleet_cr(&self) -> f64 {
+        let online: f64 = self.outcomes.iter().map(|o| o.online_cost).sum();
+        let offline: f64 = self.outcomes.iter().map(|o| o.offline_cost).sum();
+        realized_cr(online, offline)
+    }
+
+    /// Largest per-vehicle realized CR.
+    #[must_use]
+    pub fn worst_cr(&self) -> f64 {
+        self.outcomes.iter().map(|o| o.cr).fold(1.0, f64::max)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline(always)]
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// One shard's worth of work for [`run_fleet_batch`]: time-major batched
+/// decide/observe over the shard's vehicles, per-vehicle cost ledgers,
+/// one metrics flush and (optionally) one trace digest at the end.
+fn process_shard(
+    base: usize,
+    shard: &[Vec<f64>],
+    break_even: BreakEven,
+    cfg: &BatchConfig,
+) -> Result<(Vec<AdaptiveOutcome>, ShardDigest), Error> {
+    let lanes = shard.len();
+    let mut store = match cfg.window {
+        Some(w) => BatchStore::with_window(break_even, lanes, w),
+        None => BatchStore::new(break_even, lanes),
+    }
+    .min_history(cfg.min_history);
+
+    let mut rngs: Vec<CounterRng> =
+        (0..lanes).map(|i| CounterRng::for_stream(cfg.seed, (base + i) as u64)).collect();
+    let mut thresholds = vec![0.0_f64; lanes];
+    let mut vertices = vec![VertexKind::ColdStart; lanes];
+    let mut online = vec![0.0_f64; lanes];
+    let mut offline = vec![0.0_f64; lanes];
+
+    // Every lane is live for the common prefix; stragglers of ragged
+    // shards run one lane at a time through the same kernel.
+    let common_len = shard.iter().map(Vec::len).min().unwrap_or(0);
+    let max_len = shard.iter().map(Vec::len).max().unwrap_or(0);
+    let mut tally = VertexTally::default();
+    let mut hash = FNV_OFFSET;
+    let mut observations = 0u64;
+
+    let settle = |lane: usize,
+                  y: f64,
+                  x: f64,
+                  v: VertexKind,
+                  online: &mut [f64],
+                  offline: &mut [f64],
+                  store: &mut BatchStore,
+                  tally: &mut VertexTally,
+                  hash: &mut u64| {
+        // Same cost expression as `AdaptiveController::run` (the batch
+        // vertices never draw an infinite threshold, but keeping the
+        // guard keeps the expression — and its FP result — identical).
+        let cost = if x.is_infinite() { y } else { break_even.online_cost(x, y) };
+        online[lane] += cost;
+        offline[lane] += break_even.offline_cost(y);
+        tally.count(v);
+        *hash = fnv1a(*hash, &x.to_bits().to_le_bytes());
+        *hash = fnv1a(*hash, &[v as u8]);
+        store.observe(lane, y);
+    };
+
+    // Time-major so one `decide_batch` serves every lane per step;
+    // `t` indexes the ragged per-lane traces, which an iterator over
+    // `shard` can't express.
+    #[allow(clippy::needless_range_loop)]
+    for t in 0..common_len {
+        store.decide_batch(&mut rngs, &mut thresholds, &mut vertices)?;
+        for lane in 0..lanes {
+            let y = shard[lane][t];
+            settle(
+                lane,
+                y,
+                thresholds[lane],
+                vertices[lane],
+                &mut online,
+                &mut offline,
+                &mut store,
+                &mut tally,
+                &mut hash,
+            );
+            observations += 1;
+        }
+    }
+    for t in common_len..max_len {
+        for lane in 0..lanes {
+            if t < shard[lane].len() {
+                let (x, v) = store.decide_lane(lane, &mut rngs[lane]);
+                let y = shard[lane][t];
+                settle(lane, y, x, v, &mut online, &mut offline, &mut store, &mut tally, &mut hash);
+                observations += 1;
+            }
+        }
+    }
+
+    let m = obs::metrics();
+    m.flush_batch_shard(lanes as u64, tally.total(), observations, &tally);
+
+    let outcomes: Vec<AdaptiveOutcome> = (0..lanes)
+        .map(|i| {
+            let cr = realized_cr(online[i], offline[i]);
+            m.record_cr(cr);
+            AdaptiveOutcome {
+                online_cost: online[i],
+                offline_cost: offline[i],
+                cr,
+                stops: shard[i].len(),
+            }
+        })
+        .collect();
+
+    let digest = ShardDigest {
+        base,
+        vehicles: lanes,
+        decisions: tally.total(),
+        threshold_hash: hash,
+        tally,
+    };
+    if obsv::tracer::observing() {
+        obsv::tracer::set_stream(cfg.trace_stream_base + base as u64);
+        obsv::tracer::emit(obsv::TraceEvent::BatchShardDigest {
+            shard: base as u64,
+            vehicles: lanes as u64,
+            decisions: digest.decisions,
+            threshold_hash: digest.threshold_hash,
+            cold_start: tally.cold_start,
+            det: tally.det,
+            toi: tally.toi,
+            b_det: tally.b_det,
+            n_rand: tally.n_rand,
+        });
+    }
+    Ok((outcomes, digest))
+}
+
+/// Runs the honest adaptive online loop over a whole fleet through the
+/// batched engine: vehicles are sharded contiguously across `threads`
+/// worker threads ([`crate::parallel::try_shard_map`]), each shard is
+/// decided time-major through [`BatchStore::decide_batch`], and
+/// observability is flushed once per shard.
+///
+/// Per-vehicle outcomes are **bit-identical** to [`run_fleet_scalar`]
+/// with the same config, for any thread count: the per-vehicle RNG
+/// streams are keyed by global vehicle index and each lane's estimator
+/// state and cost ledger evolve independently of shard boundaries.
+///
+/// # Errors
+///
+/// [`Error::EmptyTrace`] if the fleet is empty or any vehicle's trace
+/// is.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or a stop length is negative or non-finite
+/// (matching the scalar controller's contract).
+pub fn run_fleet_batch(
+    vehicle_stops: &[Vec<f64>],
+    break_even: BreakEven,
+    cfg: &BatchConfig,
+    threads: usize,
+) -> Result<FleetBatchReport, Error> {
+    assert!(threads > 0, "need at least one thread");
+    if vehicle_stops.is_empty() || vehicle_stops.iter().any(Vec::is_empty) {
+        return Err(Error::EmptyTrace);
+    }
+    let shards = crate::parallel::try_shard_map(vehicle_stops, threads, |base, shard| {
+        process_shard(base, shard, break_even, cfg)
+    })?;
+    let mut outcomes = Vec::with_capacity(vehicle_stops.len());
+    let mut digests = Vec::with_capacity(shards.len());
+    for (shard_outcomes, digest) in shards {
+        outcomes.extend(shard_outcomes);
+        digests.push(digest);
+    }
+    Ok(FleetBatchReport { outcomes, digests })
+}
+
+/// The scalar reference for [`run_fleet_batch`]: one
+/// [`AdaptiveController`] per vehicle, driven serially through the
+/// `&mut dyn RngCore` path with the *same* per-vehicle [`CounterRng`]
+/// streams. Exists so tests, benches, and the perf gate can compare the
+/// batch engine against the exact per-vehicle semantics it replaces.
+///
+/// # Errors
+///
+/// [`Error::EmptyTrace`] if the fleet is empty or any vehicle's trace
+/// is.
+pub fn run_fleet_scalar(
+    vehicle_stops: &[Vec<f64>],
+    break_even: BreakEven,
+    cfg: &BatchConfig,
+) -> Result<Vec<AdaptiveOutcome>, Error> {
+    if vehicle_stops.is_empty() {
+        return Err(Error::EmptyTrace);
+    }
+    let mut outcomes = Vec::with_capacity(vehicle_stops.len());
+    for (i, stops) in vehicle_stops.iter().enumerate() {
+        let mut ctl = match cfg.window {
+            Some(w) => AdaptiveController::with_window(break_even, w),
+            None => AdaptiveController::new(break_even),
+        }
+        .min_history(cfg.min_history);
+        let mut rng = CounterRng::for_stream(cfg.seed, i as u64);
+        outcomes.push(ctl.run(stops, &mut rng)?);
+    }
+    Ok(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::MomentEstimator;
+
+    fn b28() -> BreakEven {
+        BreakEven::new(28.0).unwrap()
+    }
+
+    #[test]
+    fn counter_rng_matches_its_pure_function() {
+        let mut rng = CounterRng::for_stream(7, 3);
+        let (key, _) = rng.state();
+        for i in 0..100 {
+            assert_eq!(rng.next_u64(), CounterRng::value_at(key, i));
+        }
+        assert_eq!(rng.state(), (key, 100));
+    }
+
+    #[test]
+    fn counter_rng_streams_differ() {
+        let a: Vec<u64> = {
+            let mut r = CounterRng::for_stream(1, 0);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = CounterRng::for_stream(1, 1);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn store_moments_match_scalar_estimator() {
+        let stops = [3.0, 40.0, 7.0, 28.0, 12.0, 100.0, 0.5];
+        for window in [None, Some(3), Some(5)] {
+            let mut est = match window {
+                Some(w) => MomentEstimator::with_window(b28(), w),
+                None => MomentEstimator::new(b28()),
+            };
+            let mut store = match window {
+                Some(w) => BatchStore::with_window(b28(), 2, w),
+                None => BatchStore::new(b28(), 2),
+            };
+            for &y in &stops {
+                est.observe(y);
+                store.observe(0, y);
+            }
+            let s = est.stats().unwrap();
+            let (mu, q) = store.lane_moments(0).unwrap();
+            assert_eq!(mu.to_bits(), s.moments().mu_b_minus.to_bits(), "window {window:?}");
+            assert_eq!(q.to_bits(), s.moments().q_b_plus.to_bits(), "window {window:?}");
+            assert_eq!(store.lane_len(0), est.len());
+            // The untouched lane stays empty.
+            assert!(store.lane_moments(1).is_none());
+        }
+    }
+
+    #[test]
+    fn decide_batch_rejects_mismatched_shapes() {
+        let store = BatchStore::new(b28(), 3);
+        let mut rngs: Vec<CounterRng> = (0..3).map(|i| CounterRng::for_stream(0, i)).collect();
+        let mut short_rngs = rngs.clone();
+        short_rngs.pop();
+        let mut thresholds = vec![0.0; 3];
+        let mut vertices = vec![VertexKind::ColdStart; 3];
+
+        let err = store.decide_batch(&mut short_rngs, &mut thresholds, &mut vertices).unwrap_err();
+        assert_eq!(err, Error::ShardShapeMismatch { lanes: 3, slot: "rngs", len: 2 });
+
+        let mut short_thresholds = vec![0.0; 2];
+        let err = store.decide_batch(&mut rngs, &mut short_thresholds, &mut vertices).unwrap_err();
+        assert_eq!(err, Error::ShardShapeMismatch { lanes: 3, slot: "thresholds", len: 2 });
+        // Rejected calls must not advance any RNG.
+        assert!(rngs.iter().all(|r| r.state().1 == 0));
+
+        let mut short_vertices = vec![VertexKind::ColdStart; 4];
+        let err = store.decide_batch(&mut rngs, &mut thresholds, &mut short_vertices).unwrap_err();
+        assert_eq!(err, Error::ShardShapeMismatch { lanes: 3, slot: "vertices", len: 4 });
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn observe_batch_validates_before_mutating() {
+        let mut store = BatchStore::new(b28(), 2);
+        assert_eq!(
+            store.observe_batch(&[1.0]),
+            Err(Error::ShardShapeMismatch { lanes: 2, slot: "observations", len: 1 })
+        );
+        assert_eq!(
+            store.observe_batch(&[1.0, f64::NAN]),
+            Err(Error::InvalidStop { bits: f64::NAN.to_bits() })
+        );
+        // Nothing entered either lane.
+        assert_eq!(store.lane_len(0), 0);
+        assert_eq!(store.lane_len(1), 0);
+        store.observe_batch(&[1.0, 50.0]).unwrap();
+        assert_eq!(store.lane_len(0), 1);
+        let (mu, q) = store.lane_moments(1).unwrap();
+        assert_eq!(mu, 0.0);
+        assert_eq!(q, 1.0);
+    }
+
+    #[test]
+    fn cold_start_consumes_exactly_one_draw() {
+        let store = BatchStore::new(b28(), 1).min_history(5);
+        let mut rng = CounterRng::for_stream(9, 0);
+        let (x, v) = store.decide_lane(0, &mut rng);
+        assert_eq!(v, VertexKind::ColdStart);
+        assert!((0.0..=28.0).contains(&x));
+        assert_eq!(rng.state().1, 1);
+    }
+
+    #[test]
+    fn deterministic_vertices_consume_no_draws() {
+        // All-long history → TOI; threshold 0, RNG untouched.
+        let mut store = BatchStore::new(b28(), 1);
+        for _ in 0..10 {
+            store.observe(0, 500.0);
+        }
+        let mut rng = CounterRng::for_stream(2, 0);
+        let (x, v) = store.decide_lane(0, &mut rng);
+        assert_eq!(v, VertexKind::Toi);
+        assert_eq!(x, 0.0);
+        assert_eq!(rng.state().1, 0);
+    }
+
+    #[test]
+    fn clear_lane_returns_to_cold_start() {
+        let mut store = BatchStore::with_window(b28(), 2, 4);
+        for _ in 0..6 {
+            store.observe(0, 500.0);
+        }
+        store.clear_lane(0);
+        assert_eq!(store.lane_len(0), 0);
+        assert!(store.lane_moments(0).is_none());
+        assert_eq!(store.lane_sum_sq(0), 0.0);
+        let mut rng = CounterRng::for_stream(3, 0);
+        let (_, v) = store.decide_lane(0, &mut rng);
+        assert_eq!(v, VertexKind::ColdStart);
+        // Refill behaves like a fresh lane.
+        store.observe(0, 2.0);
+        assert_eq!(store.lane_moments(0), Some((2.0, 0.0)));
+    }
+
+    #[test]
+    fn sum_sq_tracks_window() {
+        let mut store = BatchStore::with_window(b28(), 1, 2);
+        store.observe(0, 3.0);
+        store.observe(0, 4.0);
+        assert_eq!(store.lane_sum_sq(0), 25.0);
+        store.observe(0, 5.0); // evicts the 3
+        assert_eq!(store.lane_sum_sq(0), 41.0);
+    }
+
+    #[test]
+    fn fleet_batch_matches_scalar_bitwise() {
+        // Mixed-regime traces: short, long, and alternating stops with
+        // ragged lengths.
+        let fleet: Vec<Vec<f64>> = (0..13)
+            .map(|i| {
+                let mut r = CounterRng::for_stream(77, i as u64);
+                (0..(40 + 17 * i))
+                    .map(|_| {
+                        let u = (r.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                        if u < 0.3 {
+                            40.0 + 100.0 * u
+                        } else {
+                            30.0 * u
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        for cfg in [
+            BatchConfig::default(),
+            BatchConfig { window: Some(10), min_history: 3, seed: 5, trace_stream_base: 0 },
+        ] {
+            let scalar = run_fleet_scalar(&fleet, b28(), &cfg).unwrap();
+            for threads in [1, 2, 8] {
+                let batch = run_fleet_batch(&fleet, b28(), &cfg, threads).unwrap();
+                assert_eq!(batch.outcomes.len(), scalar.len());
+                for (got, want) in batch.outcomes.iter().zip(&scalar) {
+                    assert_eq!(got.online_cost.to_bits(), want.online_cost.to_bits());
+                    assert_eq!(got.offline_cost.to_bits(), want.offline_cost.to_bits());
+                    assert_eq!(got.cr.to_bits(), want.cr.to_bits());
+                    assert_eq!(got.stops, want.stops);
+                }
+                assert_eq!(
+                    batch.total_decisions(),
+                    fleet.iter().map(Vec::len).sum::<usize>() as u64
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vertex_totals_shard_layout_independent() {
+        let fleet: Vec<Vec<f64>> =
+            (0..16).map(|i| (0..50).map(|t| ((i * 53 + t * 7) % 90) as f64).collect()).collect();
+        let cfg = BatchConfig { window: Some(20), ..BatchConfig::default() };
+        let one = run_fleet_batch(&fleet, b28(), &cfg, 1).unwrap();
+        let eight = run_fleet_batch(&fleet, b28(), &cfg, 8).unwrap();
+        assert_eq!(one.vertex_totals(), eight.vertex_totals());
+        assert_eq!(one.fleet_cr().to_bits(), eight.fleet_cr().to_bits());
+        assert_eq!(one.worst_cr().to_bits(), eight.worst_cr().to_bits());
+    }
+
+    #[test]
+    fn fleet_batch_rejects_empty() {
+        let cfg = BatchConfig::default();
+        assert_eq!(run_fleet_batch(&[], b28(), &cfg, 2), Err(Error::EmptyTrace));
+        assert_eq!(run_fleet_batch(&[vec![1.0], vec![]], b28(), &cfg, 2), Err(Error::EmptyTrace));
+        assert!(run_fleet_scalar(&[], b28(), &cfg).is_err());
+    }
+
+    #[test]
+    fn vertex_names_match_paper() {
+        assert_eq!(VertexKind::Det.name(), "DET");
+        assert_eq!(VertexKind::Toi.name(), "TOI");
+        assert_eq!(VertexKind::BDet.name(), "b-DET");
+        assert_eq!(VertexKind::NRand.name(), "N-Rand");
+        assert_eq!(VertexKind::ColdStart.name(), "N-Rand");
+    }
+}

@@ -710,7 +710,7 @@ impl ProposedPolicy {
     pub fn trace_decision(&self, threshold_b: f64) -> obsv::TraceEvent {
         let m = self.stats.moments();
         obsv::TraceEvent::StopDecision {
-            vertex: self.choice.name().to_string(),
+            vertex: self.choice.name().into(),
             threshold_b,
             mu_b_minus: Some(m.mu_b_minus),
             q_b_plus: Some(m.q_b_plus),

@@ -317,7 +317,7 @@ impl DegradedController {
                 // statistics-derived expected-cost bound).
                 if obsv::tracer::observing() {
                     obsv::tracer::emit(obsv::TraceEvent::StopDecision {
-                        vertex: "DET".to_string(),
+                        vertex: "DET".into(),
                         threshold_b: x,
                         mu_b_minus: None,
                         q_b_plus: None,
@@ -330,7 +330,7 @@ impl DegradedController {
                 let x = self.fallback.sample_threshold(rng);
                 if obsv::tracer::observing() {
                     obsv::tracer::emit(obsv::TraceEvent::StopDecision {
-                        vertex: self.fallback.name().to_string(),
+                        vertex: self.fallback.name().into(),
                         threshold_b: x,
                         mu_b_minus: None,
                         q_b_plus: None,

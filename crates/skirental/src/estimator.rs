@@ -285,7 +285,7 @@ impl AdaptiveController {
             let x = self.cold_start.sample_threshold(rng);
             if obsv::tracer::observing() {
                 obsv::tracer::emit(obsv::TraceEvent::StopDecision {
-                    vertex: self.cold_start.name().to_string(),
+                    vertex: self.cold_start.name().into(),
                     threshold_b: x,
                     mu_b_minus: None,
                     q_b_plus: None,

@@ -22,6 +22,9 @@
 //!   the closed form against a general LP solve.
 //! * [`analysis`] — evaluating policies on stop traces: expected cost,
 //!   empirical competitive ratio (eq. (5)), and Monte-Carlo simulation.
+//! * [`batch`] — the structure-of-arrays batched decision engine:
+//!   per-stop decisions for a whole shard of vehicles per call,
+//!   bit-identical to the scalar adaptive controller.
 //! * [`adversary`] — worst-case distribution constructions from the
 //!   paper's proofs (Appendix A, the b-DET two-point argument).
 //! * [`fleet_eval`] — the Figure-4 machinery: per-vehicle CR for every
@@ -73,6 +76,7 @@
 
 pub mod adversary;
 pub mod analysis;
+pub mod batch;
 pub mod bayes;
 pub mod constrained;
 pub mod cost;
@@ -150,6 +154,17 @@ pub enum Error {
         /// Human-readable reason.
         reason: &'static str,
     },
+    /// A batched-shard API received a parallel array whose length does
+    /// not match the store's lane count.
+    ShardShapeMismatch {
+        /// Lanes (vehicles) in the batch store.
+        lanes: usize,
+        /// Which slot was mis-sized (`"rngs"`, `"thresholds"`,
+        /// `"vertices"`, or `"observations"`).
+        slot: &'static str,
+        /// The offending slice's length.
+        len: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -184,6 +199,10 @@ impl fmt::Display for Error {
             Self::InvalidSlopes { reason } => {
                 write!(f, "invalid multislope system: {reason}")
             }
+            Self::ShardShapeMismatch { lanes, slot, len } => write!(
+                f,
+                "batched shard arrays need one slot per lane: {slot} has {len} for {lanes} lanes"
+            ),
         }
     }
 }
@@ -223,6 +242,7 @@ mod tests {
             Error::MismatchedLengths { stops: 3, observations: 2 },
             Error::InfeasibleAdversary { reason: "q = 1" },
             Error::InvalidSlopes { reason: "dominated state" },
+            Error::ShardShapeMismatch { lanes: 4, slot: "thresholds", len: 3 },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -39,6 +39,10 @@ pub(crate) struct Metrics {
     policy_toi: Counter,
     policy_b_det: Counter,
     policy_n_rand: Counter,
+    // batched decision engine (per-shard amortized flushes)
+    pub batch_shards: Counter,
+    pub batch_vehicles: Counter,
+    pub batch_decisions: Counter,
     // degradation ladder
     pub degraded_readings: Counter,
     pub anomaly_non_finite: Counter,
@@ -70,6 +74,29 @@ impl Metrics {
             self.realized_cr.record(cr);
         }
     }
+
+    /// Bulk flush of one batched shard's worth of decisions: shard/lane
+    /// counters plus the same `skirental.policy.*` /
+    /// `skirental.estimator.*` tallies the scalar path increments one
+    /// stop at a time — so dashboards see identical totals whichever
+    /// engine served the fleet.
+    pub fn flush_batch_shard(
+        &self,
+        vehicles: u64,
+        decisions: u64,
+        observations: u64,
+        tally: &crate::batch::VertexTally,
+    ) {
+        self.batch_shards.inc();
+        self.batch_vehicles.add(vehicles);
+        self.batch_decisions.add(decisions);
+        self.observations_accepted.add(observations);
+        self.decisions_cold_start.add(tally.cold_start);
+        self.policy_det.add(tally.det);
+        self.policy_toi.add(tally.toi);
+        self.policy_b_det.add(tally.b_det);
+        self.policy_n_rand.add(tally.n_rand);
+    }
 }
 
 static METRICS: OnceLock<Metrics> = OnceLock::new();
@@ -96,6 +123,9 @@ pub(crate) fn metrics() -> &'static Metrics {
             policy_toi: r.counter("skirental.policy.toi"),
             policy_b_det: r.counter("skirental.policy.b_det"),
             policy_n_rand: r.counter("skirental.policy.n_rand"),
+            batch_shards: r.counter("skirental.batch.shards"),
+            batch_vehicles: r.counter("skirental.batch.vehicles"),
+            batch_decisions: r.counter("skirental.batch.decisions"),
             degraded_readings: r.counter("skirental.degraded.readings"),
             anomaly_non_finite: r.counter("skirental.degraded.anomalies.non_finite"),
             anomaly_negative: r.counter("skirental.degraded.anomalies.negative"),

@@ -132,6 +132,114 @@ where
     Ok(out)
 }
 
+/// Maps `f` over contiguous **shards** of `items` on up to `threads`
+/// scoped threads, returning one result per shard in input order. `f`
+/// receives `(base, shard)` where `base` is the index of the shard's
+/// first item in `items`.
+///
+/// Unlike [`chunked_map`], which calls `f` once per item and therefore
+/// shards *items*, this shards *calls*: callers that amortize work
+/// across a whole shard (the batched decision engine flushes metrics
+/// and evaluates its SoA kernel per shard, not per vehicle) get one
+/// `f` invocation per chunk. The shard layout — `ceil(n / threads)`
+/// items per shard — is the same as [`chunked_map`]'s, and results
+/// concatenate in input order. Bit-identical output across thread
+/// counts is the *caller's* responsibility: `f` must derive per-item
+/// state from global indices (`base + i`), never from shard boundaries.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, or propagates a panic from `f`.
+pub fn shard_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let res: Result<Vec<R>, std::convert::Infallible> =
+        try_shard_map(items, threads, |base, shard| Ok(f(base, shard)));
+    match res {
+        Ok(v) => v,
+        Err(e) => match e {},
+    }
+}
+
+/// Fallible variant of [`shard_map`]: returns the error of the shard
+/// with the earliest base index for which `f` fails, or all shard
+/// results in input order.
+///
+/// With `threads == 1` the map runs serially on the caller's thread
+/// (still as one shard per `ceil(n / threads)` items — i.e. a single
+/// shard) and short-circuits at the first error; the threaded path
+/// evaluates every shard but reports the earliest-based error, so the
+/// observable `Err` is independent of the thread count **when `f`'s
+/// error for a given shard layout is deterministic**.
+///
+/// # Errors
+///
+/// Returns the error of the earliest-based shard for which `f` fails.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, or propagates a panic from `f`.
+pub fn try_shard_map<T, R, E, F>(items: &[T], threads: usize, f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &[T]) -> Result<R, E> + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    if items.is_empty() {
+        return Ok(Vec::new());
+    }
+    let m = obs::metrics();
+    m.parallel_calls.inc();
+    m.parallel_items.add(items.len() as u64);
+    let chunk = items.len().div_ceil(threads);
+    let shard_count = items.len().div_ceil(chunk);
+    m.parallel_chunks.add(shard_count as u64);
+    if threads == 1 || shard_count == 1 {
+        m.parallel_serial_calls.inc();
+        return Ok(vec![f(0, items)?]);
+    }
+    m.parallel_threads.set(threads as f64);
+    let instrumented = m.parallel_calls.is_enabled();
+    let busy_before = m.parallel_busy_micros.get();
+    let wall_start = instrumented.then(Instant::now);
+    let shards: Vec<Result<R, E>> = std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, shard)| {
+                scope.spawn(move || {
+                    let chunk_start = instrumented.then(Instant::now);
+                    let out = f(ci * chunk, shard);
+                    if let Some(start) = chunk_start {
+                        let secs = start.elapsed().as_secs_f64();
+                        m.parallel_chunk_seconds.record_seconds(secs);
+                        m.parallel_busy_micros.add((secs * 1e6) as u64);
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    });
+    if let Some(start) = wall_start {
+        let wall = start.elapsed().as_secs_f64();
+        if wall > 0.0 {
+            let busy = m.parallel_busy_micros.get().saturating_sub(busy_before) as f64 / 1e6;
+            m.parallel_utilization.set(busy / (threads as f64 * wall));
+        }
+    }
+    shards.into_iter().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,5 +305,42 @@ mod tests {
     fn empty_input_ok() {
         let out: Vec<i32> = chunked_map(&[] as &[i32], 4, |_, &x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn shard_map_covers_input_in_order() {
+        let items: Vec<usize> = (0..103).collect();
+        for threads in [1, 2, 4, 7, 64] {
+            let shards = shard_map(&items, threads, |base, shard| {
+                // Every shard sees its global base index.
+                assert_eq!(shard[0], base, "t={threads}");
+                (base, shard.to_vec())
+            });
+            let flat: Vec<usize> = shards.into_iter().flat_map(|(_, s)| s).collect();
+            assert_eq!(flat, items, "t={threads}");
+        }
+    }
+
+    #[test]
+    fn shard_map_empty_input_ok() {
+        let out: Vec<usize> = shard_map(&[] as &[i32], 4, |base, _| base);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn try_shard_map_reports_earliest_shard_error() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [2, 4, 7] {
+            let res: Result<Vec<()>, usize> =
+                try_shard_map(&items, threads, |base, _| if base > 0 { Err(base) } else { Ok(()) });
+            let first_failing_base = items.len().div_ceil(threads);
+            assert_eq!(res, Err(first_failing_base), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn shard_map_zero_threads_rejected() {
+        let _ = shard_map(&[1], 0, |_, s: &[i32]| s.len());
     }
 }

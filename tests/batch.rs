@@ -1,0 +1,232 @@
+//! Batch-vs-scalar bit-identity: the structure-of-arrays decision
+//! engine (`skirental::batch`) must reproduce the scalar
+//! `AdaptiveController` exactly — same RNG draws, same thresholds, same
+//! vertex choices, same estimator state — across every controller
+//! regime: cold start, sliding window, the min-history boundary, and
+//! the degraded-ladder handoff (mid-trace estimator reset).
+//!
+//! Property-based: random traces, window/min-history/seed
+//! configurations, and reset points. Assertions compare `f64` **bits**,
+//! not approximate values — one ulp of drift fails.
+
+use automotive_idling::skirental::batch::{
+    run_fleet_batch, run_fleet_scalar, BatchConfig, BatchStore, CounterRng, VertexKind,
+};
+use automotive_idling::skirental::constrained::StrategyChoice;
+use automotive_idling::skirental::estimator::AdaptiveController;
+use automotive_idling::skirental::BreakEven;
+use proptest::prelude::*;
+
+fn b28() -> BreakEven {
+    BreakEven::new(28.0).unwrap()
+}
+
+/// Stop lengths straddling the break-even (28 s): mostly short, some
+/// long, some exactly at the boundary. (The vendored proptest has no
+/// `prop_oneof!`; a weighted mixture via `prop_map` does the same job.)
+fn stop_length() -> impl Strategy<Value = f64> {
+    (0u32..6, 0.0f64..1.0).prop_map(|(arm, u)| match arm {
+        0..=2 => u * 27.9,
+        3..=4 => 28.0 + u * 172.0,
+        _ => 28.0,
+    })
+}
+
+fn stops_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(stop_length(), 1..120)
+}
+
+/// `Option<window>` stand-in for `prop::option::of`: roughly half the
+/// cases run unwindowed.
+fn window_strategy(max: usize) -> impl Strategy<Value = Option<usize>> {
+    (0u32..2, 1usize..max).prop_map(|(flag, w)| (flag == 1).then_some(w))
+}
+
+/// The scalar controller's vertex for its next decision, derived the
+/// same way `AdaptiveController::decide` does: cold start below
+/// `min_history`, else the four-vertex argmin.
+fn scalar_vertex(ctl: &AdaptiveController, min_history: usize) -> VertexKind {
+    if ctl.estimator().len() < min_history {
+        return VertexKind::ColdStart;
+    }
+    match ctl
+        .estimator()
+        .stats()
+        .expect("min_history >= 1 guarantees a non-empty estimator here")
+        .optimal_choice()
+    {
+        StrategyChoice::Det => VertexKind::Det,
+        StrategyChoice::Toi => VertexKind::Toi,
+        StrategyChoice::BDet { .. } => VertexKind::BDet,
+        StrategyChoice::NRand => VertexKind::NRand,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lane-by-lane replay: every threshold, vertex choice, RNG state,
+    /// and estimator statistic matches the scalar controller bit for
+    /// bit, including across a mid-trace estimator reset (the
+    /// degraded-ladder handoff).
+    #[test]
+    fn lane_replays_scalar_controller_bitwise(
+        stops in stops_strategy(),
+        window in window_strategy(60),
+        min_history in 1usize..10,
+        seed in 0u64..1_000,
+        reset_frac in 0.0f64..1.0,
+    ) {
+        let b = b28();
+        let mut ctl = match window {
+            Some(w) => AdaptiveController::with_window(b, w),
+            None => AdaptiveController::new(b),
+        }
+        .min_history(min_history);
+        let mut store = match window {
+            Some(w) => BatchStore::with_window(b, 1, w),
+            None => BatchStore::new(b, 1),
+        }
+        .min_history(min_history);
+        let mut scalar_rng = CounterRng::for_stream(seed, 0);
+        let mut batch_rng = CounterRng::for_stream(seed, 0);
+        // Exercise the ladder handoff: both sides forget their history
+        // at the same stop.
+        let reset_at = (reset_frac * stops.len() as f64) as usize;
+
+        for (i, &y) in stops.iter().enumerate() {
+            if i == reset_at && i > 0 {
+                ctl.reset_estimator();
+                store.clear_lane(0);
+            }
+            let expected = scalar_vertex(&ctl, min_history);
+            let xs = ctl.decide(&mut scalar_rng);
+            let (xb, v) = store.decide_lane(0, &mut batch_rng);
+            prop_assert!(
+                xs.to_bits() == xb.to_bits(),
+                "threshold drifted at stop {} ({} vs {})", i, xs, xb
+            );
+            prop_assert!(v == expected, "vertex drifted at stop {}: {:?} vs {:?}", i, v, expected);
+            prop_assert!(
+                scalar_rng.state() == batch_rng.state(),
+                "RNG consumption drifted at stop {}", i
+            );
+            ctl.observe(y);
+            store.observe(0, y);
+            prop_assert_eq!(store.lane_len(0), ctl.estimator().len());
+            match (store.lane_moments(0), ctl.estimator().stats()) {
+                (Some((mu, q)), Some(s)) => {
+                    prop_assert_eq!(mu.to_bits(), s.moments().mu_b_minus.to_bits());
+                    prop_assert_eq!(q.to_bits(), s.moments().q_b_plus.to_bits());
+                }
+                (None, None) => {}
+                (got, want) => prop_assert!(
+                    false,
+                    "estimator emptiness drifted at stop {}: {:?} vs stats={}",
+                    i, got, want.is_some()
+                ),
+            }
+        }
+    }
+
+    /// The batched kernel (whole-shard `decide_batch`) and the straggler
+    /// path (`decide_lane`) are the same code: deciding a multi-lane
+    /// store both ways gives identical thresholds, vertices, and RNG
+    /// states.
+    #[test]
+    fn decide_batch_equals_decide_lane(
+        per_lane in prop::collection::vec(stops_strategy(), 1..8),
+        window in window_strategy(40),
+        seed in 0u64..1_000,
+    ) {
+        let b = b28();
+        let lanes = per_lane.len();
+        let build = || match window {
+            Some(w) => BatchStore::with_window(b, lanes, w),
+            None => BatchStore::new(b, lanes),
+        };
+        let mut store_a = build();
+        let mut store_b = build();
+        let mut rngs_a: Vec<CounterRng> =
+            (0..lanes).map(|i| CounterRng::for_stream(seed, i as u64)).collect();
+        let mut rngs_b = rngs_a.clone();
+        let mut thresholds = vec![0.0f64; lanes];
+        let mut vertices = vec![VertexKind::ColdStart; lanes];
+
+        let rounds = per_lane.iter().map(Vec::len).min().unwrap_or(0);
+        // Time-major like the shard runner; `t` indexes every lane's
+        // trace, not just one iterable.
+        #[allow(clippy::needless_range_loop)]
+        for t in 0..rounds {
+            store_a.decide_batch(&mut rngs_a, &mut thresholds, &mut vertices).unwrap();
+            for lane in 0..lanes {
+                let (x, v) = store_b.decide_lane(lane, &mut rngs_b[lane]);
+                prop_assert_eq!(thresholds[lane].to_bits(), x.to_bits());
+                prop_assert_eq!(vertices[lane], v);
+                prop_assert_eq!(rngs_a[lane].state(), rngs_b[lane].state());
+                let y = per_lane[lane][t];
+                store_a.observe(lane, y);
+                store_b.observe(lane, y);
+            }
+        }
+    }
+
+    /// Whole-fleet outcomes through the sharded batch runner are
+    /// bit-identical to the serial scalar reference at 1, 2, and 8
+    /// worker threads.
+    #[test]
+    fn fleet_outcomes_bit_identical_at_1_2_8_threads(
+        fleet in prop::collection::vec(stops_strategy(), 1..12),
+        window in window_strategy(50),
+        min_history in 1usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = BatchConfig { window, min_history, seed, trace_stream_base: 0 };
+        let scalar = run_fleet_scalar(&fleet, b28(), &cfg).unwrap();
+        for threads in [1usize, 2, 8] {
+            let batch = run_fleet_batch(&fleet, b28(), &cfg, threads).unwrap();
+            prop_assert_eq!(batch.outcomes.len(), scalar.len());
+            for (i, (got, want)) in batch.outcomes.iter().zip(&scalar).enumerate() {
+                prop_assert!(
+                    got.online_cost.to_bits() == want.online_cost.to_bits(),
+                    "online cost drifted for vehicle {} at {} threads", i, threads
+                );
+                prop_assert_eq!(got.offline_cost.to_bits(), want.offline_cost.to_bits());
+                prop_assert_eq!(got.cr.to_bits(), want.cr.to_bits());
+                prop_assert_eq!(got.stops, want.stops);
+            }
+        }
+    }
+}
+
+/// Deterministic pin of the min-history boundary: the first
+/// `min_history` decisions are cold-start draws (each consuming one
+/// counter tick), and the very next decision switches to the
+/// estimator-backed argmin in both engines.
+#[test]
+fn min_history_boundary_switches_in_lockstep() {
+    let b = b28();
+    for min_history in [1usize, 2, 5] {
+        let mut ctl = AdaptiveController::new(b).min_history(min_history);
+        let mut store = BatchStore::new(b, 1).min_history(min_history);
+        let mut scalar_rng = CounterRng::for_stream(11, 0);
+        let mut batch_rng = CounterRng::for_stream(11, 0);
+        // All-long stops → warm decisions are TOI (deterministic).
+        for i in 0..(min_history + 3) {
+            let xs = ctl.decide(&mut scalar_rng);
+            let (xb, v) = store.decide_lane(0, &mut batch_rng);
+            assert_eq!(xs.to_bits(), xb.to_bits(), "stop {i}, min_history {min_history}");
+            if i < min_history {
+                assert_eq!(v, VertexKind::ColdStart);
+            } else {
+                assert_eq!(v, VertexKind::Toi);
+                assert_eq!(xb, 0.0);
+            }
+            assert_eq!(scalar_rng.state(), batch_rng.state());
+            ctl.observe(400.0);
+            store.observe(0, 400.0);
+        }
+        // Cold start consumed exactly one draw per decision; TOI none.
+        assert_eq!(batch_rng.state().1, min_history as u64);
+    }
+}

@@ -6,6 +6,7 @@
 
 use automotive_idling::drivesim::{Area, FleetConfig, VehicleTrace};
 use automotive_idling::skirental::analysis::bootstrap_cr_ci_parallel;
+use automotive_idling::skirental::batch::{run_fleet_batch, run_fleet_scalar, BatchConfig};
 use automotive_idling::skirental::estimator::AdaptiveController;
 use automotive_idling::skirental::fleet_eval::{evaluate_fleet, evaluate_fleet_parallel};
 use automotive_idling::skirental::parallel::chunked_map;
@@ -45,6 +46,30 @@ fn bootstrap_ci_bit_identical_across_thread_counts() {
         assert_eq!(ci, reference, "bootstrap CI drifted at {threads} threads");
     }
     assert!(reference.lo <= reference.point && reference.point <= reference.hi);
+}
+
+/// The sharded structure-of-arrays batch engine reproduces the scalar
+/// per-vehicle controller **bit for bit** at every worker-thread count:
+/// per-vehicle RNG streams are keyed by global vehicle index, so shard
+/// boundaries cannot influence a single draw.
+#[test]
+fn batch_engine_bit_identical_across_thread_counts() {
+    let traces = FleetConfig::new(Area::Chicago).vehicles(23).synthesize(41);
+    let stops: Vec<Vec<f64>> = traces.iter().map(VehicleTrace::stop_lengths).collect();
+    let b = BreakEven::SSV;
+    let cfg = BatchConfig {
+        window: Some(50),
+        min_history: 3,
+        seed: 20_140_601,
+        ..BatchConfig::default()
+    };
+    let reference = run_fleet_scalar(&stops, b, &cfg).unwrap();
+    for threads in THREADS {
+        let report = run_fleet_batch(&stops, b, &cfg, threads).unwrap();
+        // AdaptiveOutcome is PartialEq over raw f64s: 1 ulp of drift fails.
+        assert_eq!(report.outcomes, reference, "batch outcomes drifted at {threads} threads");
+        assert_eq!(report.total_decisions(), stops.iter().map(Vec::len).sum::<usize>() as u64);
+    }
 }
 
 /// The serialized decision trace of a sharded workload is **byte**

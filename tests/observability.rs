@@ -116,7 +116,7 @@ fn trace_diff_localizes_single_event_divergence() {
             stop,
             seq: 0,
             event: TraceEvent::StopDecision {
-                vertex: "DET".to_string(),
+                vertex: "DET".into(),
                 threshold_b: 6.0,
                 mu_b_minus: None,
                 q_b_plus: None,
