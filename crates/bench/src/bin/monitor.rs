@@ -21,6 +21,13 @@
 //! if any alarm fired — CI replays the perf-gate trace this way so a
 //! drifting baseline fails loudly next to the perf numbers.
 //!
+//! `--ignore-stream S` drops one stream id before replay; `--ignore-from
+//! R.json` instead reads the declarative ignored-streams list the
+//! harness that recorded the trace stamped into its own run report (the
+//! `monitor.ignored_streams` meta key, comma-separated stream ids), so
+//! CI never hardcodes harness-internal stream ids next to the harness
+//! that defines them.
+//!
 //! `--live` skips the trace file and wraps a small seeded drift scenario
 //! (diurnal shift + frozen duration register, the shape `fault_sweep
 //! --drift` uses) around the process-wide monitor, printing a dashboard
@@ -61,7 +68,7 @@ fn usage() -> ExitCode {
         "usage: monitor --replay <trace.jsonl> [--report out.json] [--expect-clean]\n\
          \x20                                     [--break-even B] [--window W] [--warmup N]\n\
          \x20                                     [--mu-lambda L] [--q-lambda L]\n\
-         \x20                                     [--ignore-stream S]...\n\
+         \x20                                     [--ignore-stream S]... [--ignore-from R.json]\n\
          \x20      monitor --live [--frame N]"
     );
     ExitCode::from(2)
@@ -91,6 +98,28 @@ fn sparkline(series: &[f64], cols: usize) -> String {
                 let idx = (t * (RAMP.len() - 1) as f64).round() as usize;
                 RAMP[idx] as char
             }
+        })
+        .collect()
+}
+
+/// Reads the `monitor.ignored_streams` meta key of a run report — the
+/// declarative ignored-streams list a harness (e.g. `perf_gate`) stamps
+/// next to its trace, so CI replays don't hardcode stream ids. The key
+/// holds comma-separated stream ids; a report without the key declares
+/// nothing ignored.
+fn ignored_streams_from_report(path: &str) -> Result<Vec<u64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let report = obsv::RunReport::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let Some(raw) = report.meta.get("monitor.ignored_streams") else {
+        return Ok(Vec::new());
+    };
+    raw.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse::<u64>().map_err(|_| {
+                format!("{path}: monitor.ignored_streams entry {s:?} is not a stream id")
+            })
         })
         .collect()
 }
@@ -411,6 +440,20 @@ fn main() -> ExitCode {
                 .and_then(|v| v.parse().ok())
             {
                 Some(v) => ignore.push(v),
+                None => return usage(),
+            }
+        } else if a == "--ignore-from" || a.starts_with("--ignore-from=") {
+            match take(a.strip_prefix("--ignore-from=").map(str::to_string), &mut args) {
+                Some(path) => match ignored_streams_from_report(&path) {
+                    Ok(mut streams) => {
+                        println!("{} ignored stream(s) declared by {path}", streams.len());
+                        ignore.append(&mut streams);
+                    }
+                    Err(e) => {
+                        eprintln!("monitor: {e}");
+                        return ExitCode::from(2);
+                    }
+                },
                 None => return usage(),
             }
         } else if a == "--q-lambda" || a.starts_with("--q-lambda=") {

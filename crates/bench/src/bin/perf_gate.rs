@@ -388,6 +388,12 @@ fn main() -> ExitCode {
     reporter.meta("seed", SEED);
     reporter.meta("threads", THREADS);
     reporter.meta("vehicles", VEHICLES);
+    // Streams the CR-regret monitor must skip when replaying this run's
+    // trace: the fault-injection ladder fixture (900000) and the scalar
+    // throughput reference (940000) intentionally trip drift alarms.
+    // `monitor --ignore-from <this report>` reads this list, so the CI
+    // replay step doesn't hardcode harness-internal stream ids.
+    reporter.meta("monitor.ignored_streams", format!("900000,{BATCH_STREAM_BASE}"));
 
     let throughput = workload();
     // Measured throughputs ride in meta: `compare` ignores meta, so they

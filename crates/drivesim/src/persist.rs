@@ -11,6 +11,20 @@
 //! 371.2041,12.5000,traffic_light
 //! ...
 //! ```
+//!
+//! [`to_csv_checked`] / [`save_csv_checked`] append an optional
+//! integrity footer — the last line, covering every byte before it:
+//!
+//! ```text
+//! footer,<rows>,crc32,<8 hex digits>
+//! ```
+//!
+//! The row count catches truncation (the classic tail-loss failure a
+//! plain CSV silently absorbs) and the CRC-32 catches bit rot, using
+//! the same polynomial as the crash-safe snapshot/journal frames
+//! ([`numeric::crc32`]). [`from_csv`] verifies the footer when present
+//! and still accepts footer-less files, so existing exports keep
+//! loading.
 
 use crate::area::Area;
 use crate::trace::{StopCause, StopEvent, VehicleTrace};
@@ -50,6 +64,31 @@ pub enum ParseTraceError {
         /// 1-based line number in the input.
         line: usize,
     },
+    /// A `footer,...` line is malformed, or rows follow it (the footer
+    /// must be the last non-empty line).
+    BadFooter {
+        /// 1-based line number of the offending footer line.
+        line: usize,
+    },
+    /// The footer's row count disagrees with the rows actually present —
+    /// the file was truncated (or rows were inserted).
+    Truncated {
+        /// 1-based line number of the footer.
+        line: usize,
+        /// Rows the footer says the file holds.
+        expected_rows: usize,
+        /// Rows actually parsed.
+        found_rows: usize,
+    },
+    /// The footer's CRC-32 does not match the bytes before it.
+    FooterChecksum {
+        /// 1-based line number of the footer.
+        line: usize,
+        /// Checksum recorded in the footer.
+        expected: u32,
+        /// Checksum of the bytes actually present.
+        found: u32,
+    },
 }
 
 impl fmt::Display for ParseTraceError {
@@ -68,6 +107,27 @@ impl fmt::Display for ParseTraceError {
             Self::NegativeDuration { line } => write!(f, "negative duration at line {line}"),
             Self::OutOfOrder { line } => {
                 write!(f, "start timestamp at line {line} decreases (events must be chronological)")
+            }
+            Self::BadFooter { line } => {
+                write!(
+                    f,
+                    "malformed integrity footer at line {line} (want \
+                     'footer,<rows>,crc32,<8 hex digits>' as the last non-empty line)"
+                )
+            }
+            Self::Truncated { line, expected_rows, found_rows } => {
+                write!(
+                    f,
+                    "footer at line {line} declares {expected_rows} row(s) but {found_rows} \
+                     are present — file truncated?"
+                )
+            }
+            Self::FooterChecksum { line, expected, found } => {
+                write!(
+                    f,
+                    "footer at line {line} carries CRC-32 {expected:#010x} but the preceding \
+                     bytes hash to {found:#010x} — file corrupted"
+                )
             }
         }
     }
@@ -116,12 +176,93 @@ pub fn to_csv(trace: &VehicleTrace) -> String {
     out
 }
 
-/// Parses a trace from the CSV format produced by [`to_csv`].
+/// Serializes a trace like [`to_csv`] and appends the integrity footer
+/// (row count + CRC-32 of every preceding byte).
+#[must_use]
+pub fn to_csv_checked(trace: &VehicleTrace) -> String {
+    let mut out = to_csv(trace);
+    let crc = numeric::crc32::crc32(out.as_bytes());
+    out.push_str(&format!("footer,{},crc32,{crc:08x}\n", trace.events.len()));
+    out
+}
+
+/// A parsed-but-unverified integrity footer.
+struct Footer {
+    /// 1-based line number of the footer line.
+    line: usize,
+    expected_rows: usize,
+    expected_crc: u32,
+}
+
+/// Splits a trailing `footer,...` line off `input`, returning the body
+/// (every byte before the footer line) and the parsed footer. Inputs
+/// without a footer come back unchanged. The footer must be the last
+/// non-empty line; only blank lines may follow it.
+fn split_footer(input: &str) -> Result<(&str, Option<Footer>), ParseTraceError> {
+    let mut footer: Option<(usize, Footer)> = None;
+    let mut offset = 0usize;
+    for (i, raw) in input.split_inclusive('\n').enumerate() {
+        let line = raw.trim_end_matches(['\n', '\r']);
+        if let Some((at, _)) = &footer {
+            if !line.trim().is_empty() {
+                // Rows after the footer: it cannot vouch for them.
+                return Err(ParseTraceError::BadFooter { line: *at });
+            }
+        } else if line.starts_with("footer,") {
+            let bad = ParseTraceError::BadFooter { line: i + 1 };
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 4 || fields[2] != "crc32" || fields[3].len() != 8 {
+                return Err(bad);
+            }
+            let expected_rows = fields[1].parse().map_err(|_| bad.clone())?;
+            let expected_crc = u32::from_str_radix(fields[3], 16).map_err(|_| bad)?;
+            footer = Some((i + 1, Footer { line: i + 1, expected_rows, expected_crc }));
+        }
+        if footer.is_none() {
+            offset += raw.len();
+        }
+    }
+    match footer {
+        Some((_, f)) => Ok((&input[..offset], Some(f))),
+        None => Ok((input, None)),
+    }
+}
+
+/// Parses a trace from the CSV format produced by [`to_csv`] or
+/// [`to_csv_checked`]. When the integrity footer is present it is
+/// verified: a row-count mismatch is [`ParseTraceError::Truncated`], a
+/// checksum mismatch [`ParseTraceError::FooterChecksum`].
 ///
 /// # Errors
 ///
 /// Returns [`ParseTraceError`] describing the first problem encountered.
 pub fn from_csv(input: &str) -> Result<VehicleTrace, ParseTraceError> {
+    let (body, footer) = split_footer(input)?;
+    let trace = parse_body(body)?;
+    if let Some(f) = footer {
+        // Row count first: a truncated body fails both checks, and
+        // "rows are missing" is the actionable diagnosis.
+        if trace.events.len() != f.expected_rows {
+            return Err(ParseTraceError::Truncated {
+                line: f.line,
+                expected_rows: f.expected_rows,
+                found_rows: trace.events.len(),
+            });
+        }
+        let found = numeric::crc32::crc32(body.as_bytes());
+        if found != f.expected_crc {
+            return Err(ParseTraceError::FooterChecksum {
+                line: f.line,
+                expected: f.expected_crc,
+                found,
+            });
+        }
+    }
+    Ok(trace)
+}
+
+/// The footer-less parser: metadata line, header, data rows.
+fn parse_body(input: &str) -> Result<VehicleTrace, ParseTraceError> {
     let mut lines = input.lines().enumerate();
     let (_, meta) = lines.next().ok_or(ParseTraceError::BadMetadata)?;
     let fields: Vec<&str> = meta.split(',').collect();
@@ -176,6 +317,15 @@ pub fn from_csv(input: &str) -> Result<VehicleTrace, ParseTraceError> {
 /// Returns any underlying I/O error.
 pub fn save_csv(trace: &VehicleTrace, path: &Path) -> std::io::Result<()> {
     fs::write(path, to_csv(trace))
+}
+
+/// Writes a trace to `path` as CSV with the integrity footer.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn save_csv_checked(trace: &VehicleTrace, path: &Path) -> std::io::Result<()> {
+    fs::write(path, to_csv_checked(trace))
 }
 
 /// Reads a trace from a CSV file.
@@ -342,6 +492,97 @@ mod tests {
     }
 
     #[test]
+    fn checked_roundtrip_preserves_everything() {
+        let t = sample_trace();
+        let csv = to_csv_checked(&t);
+        let last = csv.lines().last().unwrap();
+        assert!(last.starts_with(&format!("footer,{},crc32,", t.num_stops())), "{last}");
+        let back = from_csv(&csv).unwrap();
+        assert_eq!(back.num_stops(), t.num_stops());
+        assert_eq!(back.vehicle_id, t.vehicle_id);
+
+        // Footer-less output still loads (backward compatibility), and
+        // an empty trace carries a valid footer too.
+        assert_eq!(from_csv(&to_csv(&t)).unwrap().num_stops(), t.num_stops());
+        let empty = VehicleTrace::new(3, Area::Atlanta, 2, vec![]);
+        assert_eq!(from_csv(&to_csv_checked(&empty)).unwrap().num_stops(), 0);
+    }
+
+    #[test]
+    fn checked_file_roundtrip() {
+        let t = sample_trace();
+        let dir = std::env::temp_dir().join("drivesim_persist_checked_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        save_csv_checked(&t, &path).unwrap();
+        assert_eq!(load_csv(&path).unwrap().num_stops(), t.num_stops());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn footer_detects_truncation_with_typed_error() {
+        let t = sample_trace();
+        assert!(t.num_stops() >= 3, "fixture needs a few events");
+        let csv = to_csv_checked(&t);
+        let mut lines: Vec<&str> = csv.lines().collect();
+        let footer_line = lines.len(); // 1-based position after removal below
+                                       // Drop one data row; the surviving footer must call it out.
+        lines.remove(lines.len() - 2);
+        let truncated = lines.join("\n") + "\n";
+        assert_eq!(
+            from_csv(&truncated),
+            Err(ParseTraceError::Truncated {
+                line: footer_line - 1,
+                expected_rows: t.num_stops(),
+                found_rows: t.num_stops() - 1,
+            })
+        );
+    }
+
+    #[test]
+    fn footer_detects_bit_rot() {
+        let t = sample_trace();
+        let csv = to_csv_checked(&t);
+        // Same shape, one digit changed: row count passes, CRC must not.
+        let rotted = csv.replacen(".5", ".6", 1);
+        if rotted == csv {
+            // Fixture had no ".5"; flip a different digit.
+            let rotted = csv.replacen('1', "2", 1);
+            assert!(matches!(
+                from_csv(&rotted),
+                Err(ParseTraceError::FooterChecksum { .. } | ParseTraceError::BadMetadata)
+            ));
+            return;
+        }
+        assert!(matches!(from_csv(&rotted), Err(ParseTraceError::FooterChecksum { .. })));
+    }
+
+    #[test]
+    fn malformed_or_misplaced_footer_rejected() {
+        let base = "vehicle,1,Chicago,7\nstart_s,duration_s,cause\n1.0,2.0,congestion\n";
+        for bad in [
+            "footer,1\n",                // too few fields
+            "footer,x,crc32,00000000\n", // unparsable row count
+            "footer,1,md5,00000000\n",   // wrong algorithm tag
+            "footer,1,crc32,zzzzzzzz\n", // non-hex digest
+            "footer,1,crc32,1234\n",     // wrong digest width
+        ] {
+            assert_eq!(
+                from_csv(&format!("{base}{bad}")),
+                Err(ParseTraceError::BadFooter { line: 4 }),
+                "footer {bad:?}"
+            );
+        }
+        // Rows after the footer: it cannot vouch for them.
+        let crc = numeric::crc32::crc32(base.as_bytes());
+        let misplaced = format!("{base}footer,1,crc32,{crc:08x}\n3.0,1.0,congestion\n");
+        assert_eq!(from_csv(&misplaced), Err(ParseTraceError::BadFooter { line: 4 }));
+        // Blank lines after the footer are fine.
+        let ok = format!("{base}footer,1,crc32,{crc:08x}\n\n");
+        assert_eq!(from_csv(&ok).unwrap().num_stops(), 1);
+    }
+
+    #[test]
     fn error_display_nonempty() {
         let errs: Vec<ParseTraceError> = vec![
             ParseTraceError::BadMetadata,
@@ -352,6 +593,9 @@ mod tests {
             ParseTraceError::NonFiniteField { line: 4 },
             ParseTraceError::NegativeDuration { line: 5 },
             ParseTraceError::OutOfOrder { line: 6 },
+            ParseTraceError::BadFooter { line: 7 },
+            ParseTraceError::Truncated { line: 8, expected_rows: 9, found_rows: 4 },
+            ParseTraceError::FooterChecksum { line: 9, expected: 1, found: 2 },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -1,0 +1,357 @@
+//! The framed binary container shared by snapshots and the journal.
+//!
+//! Every persisted record is one **frame**:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "FLST"
+//! 4       2     format version (little-endian u16, currently 1)
+//! 6       1     frame kind (see [`FrameKind`])
+//! 7       1     reserved (zero)
+//! 8       4     payload length (little-endian u32)
+//! 12      n     payload
+//! 12+n    4     CRC-32 (IEEE) over bytes [0, 12+n)
+//! ```
+//!
+//! All integers are little-endian. The checksum covers the header *and*
+//! the payload, so a bit flip anywhere in the frame — including the
+//! length field itself — fails verification. Frames are concatenated
+//! back to back with no padding; a reader walks the file frame by frame
+//! and distinguishes a **torn tail** (the expected artifact of a crash
+//! mid-append: the last frame runs out of bytes or fails its checksum,
+//! with nothing valid after it) from **mid-stream corruption** (damage
+//! followed by further valid frames, which is never a crash artifact
+//! and always an error).
+
+use crate::error::PersistError;
+use numeric::crc32;
+
+/// The four magic bytes opening every frame.
+pub const MAGIC: [u8; 4] = *b"FLST";
+
+/// The current format version.
+pub const VERSION: u16 = 1;
+
+/// Bytes of the fixed frame header (before the payload).
+pub const HEADER_LEN: usize = 12;
+
+/// Bytes of the trailing checksum.
+pub const TRAILER_LEN: usize = 4;
+
+/// Sanity cap on a single frame's payload, so a crafted length field
+/// cannot demand an absurd allocation (corrupted lengths are already
+/// caught by the checksum).
+pub const MAX_PAYLOAD: u32 = 1 << 28;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// A full fleet snapshot ([`crate::state::FleetState`]).
+    Snapshot = 1,
+    /// The journal's opening configuration echo.
+    JournalHeader = 2,
+    /// One step's observations, one `f64` per lane.
+    Observations = 3,
+    /// A scalar controller snapshot ([`skirental::degraded::LadderState`]).
+    ScalarSnapshot = 4,
+}
+
+impl FrameKind {
+    /// Decodes a kind byte.
+    #[must_use]
+    pub fn from_u8(kind: u8) -> Option<Self> {
+        match kind {
+            1 => Some(Self::Snapshot),
+            2 => Some(Self::JournalHeader),
+            3 => Some(Self::Observations),
+            4 => Some(Self::ScalarSnapshot),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded frame: its kind, payload, and location in the file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// The frame's kind byte (validated against [`FrameKind`] by the
+    /// journal/snapshot readers, which know which kinds they accept).
+    pub kind: u8,
+    /// The payload bytes.
+    pub payload: Vec<u8>,
+    /// Byte offset of the frame's header in the file.
+    pub offset: u64,
+    /// Total encoded length (header + payload + checksum).
+    pub len: u64,
+}
+
+/// Encodes one frame.
+#[must_use]
+pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.push(kind as u8);
+    out.push(0);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32::crc32(&out).to_le_bytes());
+    out
+}
+
+/// Decodes the frame starting at `offset`, verifying magic, version,
+/// length, and checksum.
+///
+/// # Errors
+///
+/// [`PersistError::TruncatedFrame`], [`PersistError::BadMagic`],
+/// [`PersistError::UnsupportedVersion`], or
+/// [`PersistError::ChecksumMismatch`] — each naming `offset`.
+pub fn decode_frame_at(bytes: &[u8], offset: u64) -> Result<Frame, PersistError> {
+    let start = offset as usize;
+    let rest = &bytes[start..];
+    if rest.len() < HEADER_LEN {
+        return Err(PersistError::TruncatedFrame {
+            offset,
+            needed: HEADER_LEN as u64,
+            available: rest.len() as u64,
+        });
+    }
+    if rest[0..4] != MAGIC {
+        return Err(PersistError::BadMagic { offset });
+    }
+    let version = u16::from_le_bytes([rest[4], rest[5]]);
+    if version != VERSION {
+        return Err(PersistError::UnsupportedVersion { offset, version });
+    }
+    let kind = rest[6];
+    let payload_len = u32::from_le_bytes([rest[8], rest[9], rest[10], rest[11]]);
+    let payload_len = payload_len.min(MAX_PAYLOAD) as usize;
+    let total = HEADER_LEN + payload_len + TRAILER_LEN;
+    if rest.len() < total {
+        return Err(PersistError::TruncatedFrame {
+            offset,
+            needed: total as u64,
+            available: rest.len() as u64,
+        });
+    }
+    let body = &rest[..HEADER_LEN + payload_len];
+    let stored = u32::from_le_bytes([
+        rest[HEADER_LEN + payload_len],
+        rest[HEADER_LEN + payload_len + 1],
+        rest[HEADER_LEN + payload_len + 2],
+        rest[HEADER_LEN + payload_len + 3],
+    ]);
+    let computed = crc32::crc32(body);
+    if stored != computed {
+        return Err(PersistError::ChecksumMismatch { offset, stored, computed });
+    }
+    Ok(Frame {
+        kind,
+        payload: rest[HEADER_LEN..HEADER_LEN + payload_len].to_vec(),
+        offset,
+        len: total as u64,
+    })
+}
+
+/// The result of walking a file frame by frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameScan {
+    /// The valid frames, in file order.
+    pub frames: Vec<Frame>,
+    /// Bytes of the clean prefix (everything before the first damage;
+    /// the whole file when undamaged).
+    pub clean_len: u64,
+    /// The error that stopped the walk at the file's tail, if any —
+    /// `None` for a cleanly terminated file. A `Some` here means the
+    /// trailing bytes look like a torn write (no valid frame follows
+    /// the damage).
+    pub torn_tail: Option<PersistError>,
+}
+
+/// Finds the next offset at which the frame magic occurs, strictly after
+/// `from`.
+fn next_magic(bytes: &[u8], from: usize) -> Option<usize> {
+    let mut i = from + 1;
+    while i + MAGIC.len() <= bytes.len() {
+        if bytes[i..i + MAGIC.len()] == MAGIC {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Walks `bytes` frame by frame. Damage at the **tail** (nothing valid
+/// after it) is reported in [`FrameScan::torn_tail`] and the clean
+/// prefix returned; damage **mid-stream** (any later offset decodes to a
+/// valid frame) is a hard [`PersistError::CorruptMidStream`].
+///
+/// # Errors
+///
+/// [`PersistError::CorruptMidStream`] naming both the damaged offset and
+/// the offset where valid frames resume.
+pub fn scan_frames(bytes: &[u8]) -> Result<FrameScan, PersistError> {
+    let mut frames = Vec::new();
+    let mut offset = 0u64;
+    while (offset as usize) < bytes.len() {
+        match decode_frame_at(bytes, offset) {
+            Ok(frame) => {
+                offset += frame.len;
+                frames.push(frame);
+            }
+            Err(e) => {
+                // Distinguish torn tail from mid-stream damage: is there
+                // any *valid* frame after the damaged region?
+                let mut probe = offset as usize;
+                while let Some(r) = next_magic(bytes, probe) {
+                    if decode_frame_at(bytes, r as u64).is_ok() {
+                        return Err(PersistError::CorruptMidStream {
+                            offset,
+                            resync_offset: r as u64,
+                        });
+                    }
+                    probe = r;
+                }
+                return Ok(FrameScan { frames, clean_len: offset, torn_tail: Some(e) });
+            }
+        }
+    }
+    Ok(FrameScan { frames, clean_len: offset, torn_tail: None })
+}
+
+/// Lenient resync probe: the next offset strictly after `from` at which
+/// the frame magic occurs. Readers that tolerate damage (the snapshot
+/// scanner, the fault injector's frame addressing) use this to skip past
+/// an unreadable region.
+pub(crate) fn next_frame_probe(bytes: &[u8], from: usize) -> Option<usize> {
+    next_magic(bytes, from)
+}
+
+/// The `(offset, total_len)` of every frame-shaped region in `bytes`,
+/// scanning leniently (damaged regions are skipped by resyncing on the
+/// magic). Fault injectors use this to address "frame #k" in a file
+/// without trusting it to be fully clean.
+#[must_use]
+pub fn frame_offsets(bytes: &[u8]) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        match decode_frame_at(bytes, offset as u64) {
+            Ok(frame) => {
+                out.push((frame.offset, frame.len));
+                offset += frame.len as usize;
+            }
+            Err(_) => match next_magic(bytes, offset) {
+                Some(r) => offset = r,
+                None => break,
+            },
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_frames() -> Vec<u8> {
+        let mut buf = encode_frame(FrameKind::JournalHeader, b"header");
+        buf.extend_from_slice(&encode_frame(FrameKind::Observations, b"step zero"));
+        buf
+    }
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let buf = encode_frame(FrameKind::Snapshot, b"payload bytes");
+        let frame = decode_frame_at(&buf, 0).unwrap();
+        assert_eq!(frame.kind, FrameKind::Snapshot as u8);
+        assert_eq!(frame.payload, b"payload bytes");
+        assert_eq!(frame.len as usize, buf.len());
+    }
+
+    #[test]
+    fn scan_walks_concatenated_frames() {
+        let buf = two_frames();
+        let scan = scan_frames(&buf).unwrap();
+        assert_eq!(scan.frames.len(), 2);
+        assert_eq!(scan.clean_len as usize, buf.len());
+        assert!(scan.torn_tail.is_none());
+        assert_eq!(frame_offsets(&buf).len(), 2);
+    }
+
+    #[test]
+    fn torn_tail_is_reported_not_fatal() {
+        let mut buf = two_frames();
+        let cut = buf.len() - 5;
+        buf.truncate(cut);
+        let scan = scan_frames(&buf).unwrap();
+        assert_eq!(scan.frames.len(), 1);
+        assert!(matches!(scan.torn_tail, Some(PersistError::TruncatedFrame { .. })));
+    }
+
+    #[test]
+    fn bit_flip_in_last_frame_is_a_tail_condition() {
+        let mut buf = two_frames();
+        let n = buf.len();
+        buf[n - 6] ^= 0x40; // payload of the final frame
+        let scan = scan_frames(&buf).unwrap();
+        assert_eq!(scan.frames.len(), 1);
+        assert!(matches!(scan.torn_tail, Some(PersistError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn bit_flip_mid_stream_is_fatal() {
+        let mut buf = two_frames();
+        buf[HEADER_LEN + 2] ^= 0x01; // payload of the first frame
+        let err = scan_frames(&buf).unwrap_err();
+        match err {
+            PersistError::CorruptMidStream { offset, resync_offset } => {
+                assert_eq!(offset, 0);
+                assert!(resync_offset > 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_bump_detected() {
+        let mut buf = encode_frame(FrameKind::Snapshot, b"x");
+        buf[4] = 2;
+        // Recompute the checksum so only the version differs.
+        let body_len = buf.len() - TRAILER_LEN;
+        let crc = crc32::crc32(&buf[..body_len]).to_le_bytes();
+        buf[body_len..].copy_from_slice(&crc);
+        let err = decode_frame_at(&buf, 0).unwrap_err();
+        assert_eq!(err, PersistError::UnsupportedVersion { offset: 0, version: 2 });
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut buf = encode_frame(FrameKind::Snapshot, b"x");
+        buf[0] = b'X';
+        assert_eq!(decode_frame_at(&buf, 0).unwrap_err(), PersistError::BadMagic { offset: 0 });
+    }
+
+    #[test]
+    fn frame_kind_codec() {
+        for kind in [
+            FrameKind::Snapshot,
+            FrameKind::JournalHeader,
+            FrameKind::Observations,
+            FrameKind::ScalarSnapshot,
+        ] {
+            assert_eq!(FrameKind::from_u8(kind as u8), Some(kind));
+        }
+        assert_eq!(FrameKind::from_u8(0), None);
+        assert_eq!(FrameKind::from_u8(99), None);
+    }
+
+    #[test]
+    fn empty_file_scans_clean() {
+        let scan = scan_frames(&[]).unwrap();
+        assert!(scan.frames.is_empty());
+        assert!(scan.torn_tail.is_none());
+        assert_eq!(scan.clean_len, 0);
+    }
+}

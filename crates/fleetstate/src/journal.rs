@@ -1,0 +1,426 @@
+//! The write-ahead journal of per-stop observations.
+//!
+//! The journal is a redo log: every block of stop durations is appended
+//! (and flushed) *before* the decision engine processes it, so any state
+//! a crash destroys can be recomputed by replaying the journal tail on
+//! top of the latest valid snapshot. One
+//! [`crate::format::FrameKind::JournalHeader`] frame opens the file with
+//! a configuration echo; each subsequent
+//! [`crate::format::FrameKind::Observations`] frame carries one step —
+//! the step index and one stop duration per lane, as raw IEEE-754 bits.
+//!
+//! Reading tolerates exactly the damage a crash can cause: a torn final
+//! frame is dropped cleanly, and a byte-identical duplicate of the
+//! previous frame (a retried append that was interrupted after the write
+//! but before the bookkeeping) is skipped and counted. Everything else —
+//! mid-stream damage, skipped steps, contradictory duplicates — is a
+//! typed error.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::error::{io_err, PersistError};
+use crate::format::{encode_frame, scan_frames, Frame, FrameKind};
+use crate::state::{decode_config, encode_config, FleetConfig, Reader};
+
+/// An open journal being appended to.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+    config: FleetConfig,
+    /// The step index the next appended frame must carry.
+    next_step: u64,
+    /// Frames written through this handle (header included).
+    frames_written: u64,
+}
+
+impl Journal {
+    /// Creates (truncating any existing file) a journal at `path` and
+    /// writes its header frame.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on filesystem failure.
+    pub fn create(path: &Path, config: &FleetConfig) -> Result<Self, PersistError> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| io_err(path, &e))?;
+        let mut payload = Vec::new();
+        encode_config(&mut payload, config);
+        let frame = encode_frame(FrameKind::JournalHeader, &payload);
+        file.write_all(&frame).map_err(|e| io_err(path, &e))?;
+        file.sync_data().map_err(|e| io_err(path, &e))?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            file,
+            config: *config,
+            next_step: 0,
+            frames_written: 1,
+        })
+    }
+
+    /// Reopens an existing journal for appending after recovery. The
+    /// caller has already truncated the file to its clean prefix and
+    /// knows how many steps it holds.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on filesystem failure.
+    pub fn reopen(
+        path: &Path,
+        config: &FleetConfig,
+        steps_recorded: u64,
+        frames_on_disk: u64,
+    ) -> Result<Self, PersistError> {
+        let file = OpenOptions::new().append(true).open(path).map_err(|e| io_err(path, &e))?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            file,
+            config: *config,
+            next_step: steps_recorded,
+            frames_written: frames_on_disk,
+        })
+    }
+
+    /// Appends one step of observations (one stop duration per lane) and
+    /// flushes it to disk. Must be called *before* the engine processes
+    /// the step — that ordering is what makes the journal a redo log.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::NonContiguousStep`] if `step` is not the next
+    /// expected step, [`PersistError::BadPayload`] if the row width does
+    /// not match the fleet, or [`PersistError::Io`] on write failure.
+    pub fn append_step(&mut self, step: u64, row: &[f64]) -> Result<(), PersistError> {
+        if step != self.next_step {
+            return Err(PersistError::NonContiguousStep {
+                offset: 0,
+                expected: self.next_step,
+                found: step,
+            });
+        }
+        if row.len() != self.config.lanes {
+            return Err(PersistError::BadPayload {
+                offset: 0,
+                what: "observation row width does not match the fleet",
+            });
+        }
+        let mut payload = Vec::with_capacity(8 + row.len() * 8);
+        payload.extend_from_slice(&step.to_le_bytes());
+        for &y in row {
+            payload.extend_from_slice(&y.to_bits().to_le_bytes());
+        }
+        let frame = encode_frame(FrameKind::Observations, &payload);
+        self.file.write_all(&frame).map_err(|e| io_err(&self.path, &e))?;
+        self.file.sync_data().map_err(|e| io_err(&self.path, &e))?;
+        self.next_step += 1;
+        self.frames_written += 1;
+        Ok(())
+    }
+
+    /// Appends a whole block of steps as one write + one flush —
+    /// `rows[t]` becomes step `first_step + t`. The redo-log ordering
+    /// contract is per *block*: callers journal the block, then process
+    /// it. A crash mid-write leaves a torn tail that recovery drops
+    /// cleanly, losing only unprocessed observations.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Journal::append_step`]; nothing is written on a
+    /// validation failure.
+    pub fn append_block(&mut self, first_step: u64, rows: &[Vec<f64>]) -> Result<(), PersistError> {
+        if first_step != self.next_step {
+            return Err(PersistError::NonContiguousStep {
+                offset: 0,
+                expected: self.next_step,
+                found: first_step,
+            });
+        }
+        if rows.iter().any(|row| row.len() != self.config.lanes) {
+            return Err(PersistError::BadPayload {
+                offset: 0,
+                what: "observation row width does not match the fleet",
+            });
+        }
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let mut buf = Vec::with_capacity(
+            rows.len() * (crate::format::HEADER_LEN + crate::format::TRAILER_LEN + 8)
+                + rows.len() * self.config.lanes * 8,
+        );
+        let mut payload = Vec::with_capacity(8 + self.config.lanes * 8);
+        for (t, row) in rows.iter().enumerate() {
+            payload.clear();
+            payload.extend_from_slice(&(first_step + t as u64).to_le_bytes());
+            for &y in row {
+                payload.extend_from_slice(&y.to_bits().to_le_bytes());
+            }
+            buf.extend_from_slice(&encode_frame(FrameKind::Observations, &payload));
+        }
+        self.file.write_all(&buf).map_err(|e| io_err(&self.path, &e))?;
+        self.file.sync_data().map_err(|e| io_err(&self.path, &e))?;
+        self.next_step += rows.len() as u64;
+        self.frames_written += rows.len() as u64;
+        Ok(())
+    }
+
+    /// Steps recorded so far (equivalently: the step index the next
+    /// append must carry).
+    #[must_use]
+    pub fn steps_recorded(&self) -> u64 {
+        self.next_step
+    }
+
+    /// Frames written to the file, header included.
+    #[must_use]
+    pub fn frames_written(&self) -> u64 {
+        self.frames_written
+    }
+}
+
+/// A fully parsed journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalContents {
+    /// The configuration echo from the header frame.
+    pub config: FleetConfig,
+    /// One row of observations per recorded step, in step order.
+    pub steps: Vec<Vec<f64>>,
+    /// Whether a torn tail was dropped.
+    pub torn_tail: bool,
+    /// Byte-identical duplicate frames skipped during the walk.
+    pub duplicates_skipped: u64,
+    /// Bytes of the clean prefix — truncate the file here before
+    /// appending again.
+    pub clean_len: u64,
+    /// Valid frames in the clean prefix (header included, duplicates
+    /// included).
+    pub frames: u64,
+}
+
+fn decode_observations(frame: &Frame, lanes: usize) -> Result<(u64, Vec<f64>), PersistError> {
+    let mut r = Reader::new(&frame.payload, frame.offset);
+    let step = r.u64()?;
+    let mut row = Vec::with_capacity(lanes);
+    for _ in 0..lanes {
+        row.push(r.f64()?);
+    }
+    r.finish()?;
+    Ok((step, row))
+}
+
+/// Parses journal bytes: header first, then observation frames in strict
+/// step order. A byte-identical consecutive duplicate frame is skipped
+/// and counted; a torn tail is dropped and flagged.
+///
+/// # Errors
+///
+/// [`PersistError::MissingJournalHeader`] if the file does not open with
+/// a header frame, [`PersistError::CorruptMidStream`] on damage followed
+/// by valid frames, [`PersistError::UnknownFrameKind`] on a foreign
+/// frame, [`PersistError::NonContiguousStep`] on a skipped or
+/// contradictory step, or [`PersistError::BadPayload`] on a malformed
+/// payload.
+pub fn parse_journal(bytes: &[u8]) -> Result<JournalContents, PersistError> {
+    let scan = scan_frames(bytes)?;
+    let mut frames = scan.frames.iter();
+    let header = match frames.next() {
+        Some(f) if f.kind == FrameKind::JournalHeader as u8 => f,
+        _ => return Err(PersistError::MissingJournalHeader),
+    };
+    let config = {
+        let mut r = Reader::new(&header.payload, header.offset);
+        let c = decode_config(&mut r)?;
+        r.finish()?;
+        c
+    };
+    let mut steps: Vec<Vec<f64>> = Vec::new();
+    let mut duplicates_skipped = 0u64;
+    let mut prev: Option<&Frame> = Some(header);
+    for frame in frames {
+        if frame.kind != FrameKind::Observations as u8 {
+            return Err(PersistError::UnknownFrameKind { offset: frame.offset, kind: frame.kind });
+        }
+        // A retried append interrupted between the write and the
+        // bookkeeping leaves the previous frame repeated verbatim.
+        if let Some(p) = prev {
+            if p.kind == frame.kind && p.payload == frame.payload {
+                duplicates_skipped += 1;
+                prev = Some(frame);
+                continue;
+            }
+        }
+        let (step, row) = decode_observations(frame, config.lanes)?;
+        if step != steps.len() as u64 {
+            return Err(PersistError::NonContiguousStep {
+                offset: frame.offset,
+                expected: steps.len() as u64,
+                found: step,
+            });
+        }
+        steps.push(row);
+        prev = Some(frame);
+    }
+    Ok(JournalContents {
+        config,
+        steps,
+        torn_tail: scan.torn_tail.is_some(),
+        duplicates_skipped,
+        clean_len: scan.clean_len,
+        frames: scan.frames.len() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::frame_offsets;
+
+    fn cfg() -> FleetConfig {
+        FleetConfig {
+            lanes: 3,
+            break_even: 28.0,
+            window: None,
+            min_history: 2,
+            seed: 1,
+            trace_stream_base: 0,
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("fleetstate-journal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn write_then_parse_roundtrip() {
+        let path = tmp("roundtrip");
+        let mut j = Journal::create(&path, &cfg()).unwrap();
+        j.append_step(0, &[1.0, 2.0, 3.0]).unwrap();
+        j.append_step(1, &[4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(j.steps_recorded(), 2);
+        assert_eq!(j.frames_written(), 3);
+        let bytes = std::fs::read(&path).unwrap();
+        let parsed = parse_journal(&bytes).unwrap();
+        assert_eq!(parsed.config, cfg());
+        assert_eq!(parsed.steps, vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert!(!parsed.torn_tail);
+        assert_eq!(parsed.duplicates_skipped, 0);
+        assert_eq!(parsed.clean_len as usize, bytes.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_enforces_contiguity_and_width() {
+        let path = tmp("contiguity");
+        let mut j = Journal::create(&path, &cfg()).unwrap();
+        assert!(matches!(
+            j.append_step(5, &[1.0, 2.0, 3.0]),
+            Err(PersistError::NonContiguousStep { expected: 0, found: 5, .. })
+        ));
+        assert!(matches!(j.append_step(0, &[1.0]), Err(PersistError::BadPayload { .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_dropped_cleanly() {
+        let path = tmp("torn");
+        let mut j = Journal::create(&path, &cfg()).unwrap();
+        j.append_step(0, &[1.0, 2.0, 3.0]).unwrap();
+        j.append_step(1, &[4.0, 5.0, 6.0]).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let cut = bytes.len() - 7;
+        bytes.truncate(cut);
+        let parsed = parse_journal(&bytes).unwrap();
+        assert_eq!(parsed.steps.len(), 1);
+        assert!(parsed.torn_tail);
+        assert!(parsed.clean_len < cut as u64);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn duplicate_frame_skipped_and_counted() {
+        let path = tmp("dup");
+        let mut j = Journal::create(&path, &cfg()).unwrap();
+        j.append_step(0, &[1.0, 2.0, 3.0]).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let offsets = frame_offsets(&bytes);
+        let (off, len) = offsets[1];
+        let dup = bytes[off as usize..(off + len) as usize].to_vec();
+        bytes.extend_from_slice(&dup);
+        let parsed = parse_journal(&bytes).unwrap();
+        assert_eq!(parsed.steps.len(), 1);
+        assert_eq!(parsed.duplicates_skipped, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn skipped_step_is_an_error() {
+        let path = tmp("skip");
+        let mut j = Journal::create(&path, &cfg()).unwrap();
+        j.append_step(0, &[1.0, 2.0, 3.0]).unwrap();
+        j.append_step(1, &[4.0, 5.0, 6.0]).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Splice out the middle observation frame so steps jump 0 -> skip.
+        let offsets = frame_offsets(&bytes);
+        let (off, len) = offsets[1];
+        let mut spliced = bytes[..off as usize].to_vec();
+        spliced.extend_from_slice(&bytes[(off + len) as usize..]);
+        assert!(matches!(
+            parse_journal(&spliced),
+            Err(PersistError::NonContiguousStep { expected: 0, found: 1, .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let frame = encode_frame(FrameKind::Observations, &[0u8; 8]);
+        assert!(matches!(parse_journal(&frame), Err(PersistError::MissingJournalHeader)));
+        assert!(matches!(parse_journal(&[]), Err(PersistError::MissingJournalHeader)));
+    }
+
+    #[test]
+    fn append_block_matches_per_step_appends() {
+        let (pa, pb) = (tmp("block-a"), tmp("block-b"));
+        let rows = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0], vec![7.0, 8.0, 9.0]];
+        let mut a = Journal::create(&pa, &cfg()).unwrap();
+        for (t, row) in rows.iter().enumerate() {
+            a.append_step(t as u64, row).unwrap();
+        }
+        let mut b = Journal::create(&pb, &cfg()).unwrap();
+        b.append_block(0, &rows).unwrap();
+        assert_eq!(std::fs::read(&pa).unwrap(), std::fs::read(&pb).unwrap());
+        assert_eq!(a.steps_recorded(), b.steps_recorded());
+        assert_eq!(a.frames_written(), b.frames_written());
+        // Contiguity and width are enforced before anything is written.
+        assert!(matches!(
+            b.append_block(7, &rows),
+            Err(PersistError::NonContiguousStep { expected: 3, found: 7, .. })
+        ));
+        assert!(matches!(b.append_block(3, &[vec![1.0]]), Err(PersistError::BadPayload { .. })));
+        assert_eq!(std::fs::read(&pa).unwrap(), std::fs::read(&pb).unwrap());
+        std::fs::remove_file(&pa).ok();
+        std::fs::remove_file(&pb).ok();
+    }
+
+    #[test]
+    fn reopen_resumes_appending() {
+        let path = tmp("reopen");
+        let mut j = Journal::create(&path, &cfg()).unwrap();
+        j.append_step(0, &[1.0, 2.0, 3.0]).unwrap();
+        drop(j);
+        let mut j = Journal::reopen(&path, &cfg(), 1, 2).unwrap();
+        j.append_step(1, &[4.0, 5.0, 6.0]).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let parsed = parse_journal(&bytes).unwrap();
+        assert_eq!(parsed.steps.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,543 @@
+//! The resumable batched fleet runner and its journaled wrapper.
+//!
+//! [`FleetRunner`] re-hosts the batched decision engine
+//! ([`skirental::batch::BatchStore`]) in a form whose *complete* state
+//! can be exported and restored: per-lane estimator state, RNG stream
+//! positions, and cost ledgers. Lane arithmetic is lane-local and RNG
+//! streams are keyed by global vehicle index, so results are
+//! bit-identical for any thread count and across any
+//! export/restore/replay boundary — a resumed run's decision trace is
+//! byte-for-byte the trace the uninterrupted run would have written.
+//!
+//! [`PersistentFleet`] wraps a runner with a write-ahead [`Journal`] and
+//! periodic snapshots: observations are journaled (and flushed) *before*
+//! the engine processes them, so a crash at any instant loses nothing
+//! that cannot be replayed.
+
+use std::path::{Path, PathBuf};
+
+use skirental::batch::{
+    flush_shard_observability, BatchStore, CounterRng, VertexKind, VertexTally,
+};
+use skirental::BreakEven;
+
+use crate::error::{io_err, PersistError};
+use crate::journal::Journal;
+use crate::recovery::{recover_fleet, RecoveryOutcome};
+use crate::snapshot::append_snapshot;
+use crate::state::{FleetConfig, FleetState, LaneSnapshot};
+
+/// One contiguous shard of the fleet: its own store, RNG streams,
+/// decision scratch, and cost ledgers.
+struct ShardState {
+    /// Global index of the shard's first lane.
+    base: usize,
+    store: BatchStore,
+    rngs: Vec<CounterRng>,
+    thresholds: Vec<f64>,
+    vertices: Vec<VertexKind>,
+    online: Vec<f64>,
+    offline: Vec<f64>,
+}
+
+impl ShardState {
+    fn lanes(&self) -> usize {
+        self.rngs.len()
+    }
+}
+
+/// A resumable batched fleet: every piece of state that decisions depend
+/// on can be exported as a [`FleetState`] and restored bit-identically.
+pub struct FleetRunner {
+    config: FleetConfig,
+    break_even: BreakEven,
+    /// Stops per vehicle processed so far.
+    step: u64,
+    shards: Vec<ShardState>,
+}
+
+fn make_store(config: &FleetConfig, break_even: BreakEven, lanes: usize) -> BatchStore {
+    match config.window {
+        Some(w) => BatchStore::with_window(break_even, lanes, w),
+        None => BatchStore::new(break_even, lanes),
+    }
+    .min_history(config.min_history)
+}
+
+fn validate_config(config: &FleetConfig) -> Result<BreakEven, PersistError> {
+    if config.lanes == 0 {
+        return Err(PersistError::ConfigMismatch { what: "lanes (must be positive)" });
+    }
+    if config.window == Some(0) {
+        return Err(PersistError::ConfigMismatch { what: "window (must be positive)" });
+    }
+    Ok(BreakEven::new(config.break_even)?)
+}
+
+impl FleetRunner {
+    /// A cold-start fleet at step zero.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::ConfigMismatch`] on a degenerate configuration or
+    /// [`PersistError::Engine`] on an invalid break-even.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(config: &FleetConfig, threads: usize) -> Result<Self, PersistError> {
+        assert!(threads > 0, "need at least one thread");
+        let break_even = validate_config(config)?;
+        let shard_size = config.lanes.div_ceil(threads);
+        let shards = (0..config.lanes)
+            .step_by(shard_size)
+            .map(|base| {
+                let n = shard_size.min(config.lanes - base);
+                ShardState {
+                    base,
+                    store: make_store(config, break_even, n),
+                    rngs: (0..n)
+                        .map(|i| CounterRng::for_stream(config.seed, (base + i) as u64))
+                        .collect(),
+                    thresholds: vec![0.0; n],
+                    vertices: vec![VertexKind::ColdStart; n],
+                    online: vec![0.0; n],
+                    offline: vec![0.0; n],
+                }
+            })
+            .collect();
+        Ok(Self { config: *config, break_even, step: 0, shards })
+    }
+
+    /// Restores a fleet from a snapshot, resuming at the snapshot's
+    /// step. The thread count need not match the run that wrote the
+    /// snapshot — lane state is partition-independent.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::BadPayload`] if the snapshot's lane list does not
+    /// match its own configuration, or [`PersistError::Engine`] if the
+    /// engine rejects a lane's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn from_state(state: &FleetState, threads: usize) -> Result<Self, PersistError> {
+        if state.lanes.len() != state.config.lanes {
+            return Err(PersistError::BadPayload {
+                offset: 0,
+                what: "snapshot lane list does not match its configuration",
+            });
+        }
+        let mut runner = Self::new(&state.config, threads)?;
+        runner.step = state.step;
+        for shard in &mut runner.shards {
+            for i in 0..shard.lanes() {
+                let snap = &state.lanes[shard.base + i];
+                shard.store.restore_lane(i, &snap.lane)?;
+                shard.rngs[i] = CounterRng::from_state(snap.rng_key, snap.rng_ctr);
+                shard.online[i] = snap.online;
+                shard.offline[i] = snap.offline;
+            }
+        }
+        Ok(runner)
+    }
+
+    /// Exports the fleet's complete state, lanes in global order.
+    #[must_use]
+    pub fn export_state(&self) -> FleetState {
+        let mut lanes = Vec::with_capacity(self.config.lanes);
+        for shard in &self.shards {
+            for i in 0..shard.lanes() {
+                let (rng_key, rng_ctr) = shard.rngs[i].state();
+                lanes.push(LaneSnapshot {
+                    lane: shard.store.export_lane(i),
+                    rng_key,
+                    rng_ctr,
+                    online: shard.online[i],
+                    offline: shard.offline[i],
+                });
+            }
+        }
+        FleetState { config: self.config, step: self.step, lanes }
+    }
+
+    /// The configuration this fleet runs under.
+    #[must_use]
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Stops per vehicle processed so far.
+    #[must_use]
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Total `(online, offline)` cost across the fleet so far.
+    #[must_use]
+    pub fn totals(&self) -> (f64, f64) {
+        let mut on = 0.0;
+        let mut off = 0.0;
+        for shard in &self.shards {
+            on += shard.online.iter().sum::<f64>();
+            off += shard.offline.iter().sum::<f64>();
+        }
+        (on, off)
+    }
+
+    /// Processes a block of steps, time-major: `rows[t][i]` is lane
+    /// `i`'s stop duration at step `self.step() + t`. With `emit` set
+    /// (and a tracer active), every stop emits a
+    /// [`obsv::TraceEvent::StopCost`] on stream
+    /// `trace_stream_base + lane` at the stop's global step index —
+    /// replay after recovery passes `emit = false` so the merged
+    /// pre-crash + post-recovery trace equals the uninterrupted one.
+    ///
+    /// The whole block is validated before any lane mutates, so a
+    /// failed call leaves the fleet untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::BadPayload`] on a row of the wrong width or
+    /// [`PersistError::Engine`] on a negative/non-finite stop.
+    pub fn run_block(&mut self, rows: &[Vec<f64>], emit: bool) -> Result<(), PersistError> {
+        for row in rows {
+            if row.len() != self.config.lanes {
+                return Err(PersistError::BadPayload {
+                    offset: 0,
+                    what: "observation row width does not match the fleet",
+                });
+            }
+            for &y in row {
+                if !(y.is_finite() && y >= 0.0) {
+                    return Err(skirental::Error::InvalidStop { bits: y.to_bits() }.into());
+                }
+            }
+        }
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let step0 = self.step;
+        let break_even = self.break_even;
+        let trace_base = self.config.trace_stream_base;
+        if self.shards.len() == 1 {
+            let shard = &mut self.shards[0];
+            process_block(shard, rows, step0, break_even, trace_base, emit)?;
+        } else {
+            let results: Vec<Result<(), skirental::Error>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .map(|shard| {
+                        scope.spawn(move || {
+                            process_block(shard, rows, step0, break_even, trace_base, emit)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                    .collect()
+            });
+            for r in results {
+                r?;
+            }
+        }
+        self.step += rows.len() as u64;
+        Ok(())
+    }
+}
+
+/// Runs one shard through a block of steps: decide the shard's lanes in
+/// one flat pass per step, settle costs with expressions identical to
+/// the engine's reference loop, observe, and flush observability once.
+fn process_block(
+    shard: &mut ShardState,
+    rows: &[Vec<f64>],
+    step0: u64,
+    break_even: BreakEven,
+    trace_base: u64,
+    emit: bool,
+) -> Result<(), skirental::Error> {
+    let lanes = shard.lanes();
+    let mut tally = VertexTally::default();
+    let mut observations = 0u64;
+    let tracing = emit && obsv::tracer::observing();
+    for (t, row) in rows.iter().enumerate() {
+        shard.store.decide_batch(&mut shard.rngs, &mut shard.thresholds, &mut shard.vertices)?;
+        let step = step0 + t as u64;
+        for lane in 0..lanes {
+            let y = row[shard.base + lane];
+            let x = shard.thresholds[lane];
+            // Same cost expression (and therefore bits) as the engine's
+            // reference loop in `process_shard`.
+            let cost = if x.is_infinite() { y } else { break_even.online_cost(x, y) };
+            let off = break_even.offline_cost(y);
+            shard.online[lane] += cost;
+            shard.offline[lane] += off;
+            tally.count(shard.vertices[lane]);
+            shard.store.observe(lane, y);
+            observations += 1;
+            if tracing {
+                // One record per (lane, step): stream identifies the
+                // lane, stop the step, so the merged sort order is
+                // independent of thread count and crash boundaries.
+                obsv::tracer::set_stream(trace_base + (shard.base + lane) as u64);
+                obsv::tracer::begin_stop(step);
+                obsv::tracer::emit(obsv::TraceEvent::StopCost {
+                    threshold_b: x,
+                    stop_s: y,
+                    online_s: cost,
+                    offline_s: off,
+                    restarted: !x.is_infinite() && y >= x,
+                });
+            }
+        }
+    }
+    flush_shard_observability(lanes as u64, tally.total(), observations, &tally);
+    Ok(())
+}
+
+/// A [`FleetRunner`] wrapped with crash safety: a write-ahead journal of
+/// every observation and periodic full snapshots.
+pub struct PersistentFleet {
+    runner: FleetRunner,
+    journal: Journal,
+    snapshot_path: PathBuf,
+    /// Snapshot cadence in steps (`0` = never snapshot automatically).
+    snapshot_every: u64,
+}
+
+/// The journal file's name inside a persistence directory.
+pub const JOURNAL_FILE: &str = "fleet.journal";
+
+/// The snapshot file's name inside a persistence directory.
+pub const SNAPSHOT_FILE: &str = "fleet.snapshots";
+
+impl PersistentFleet {
+    /// Starts a fresh persistent fleet in `dir` (created if missing),
+    /// truncating any previous journal/snapshot files there.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on filesystem failure, or the
+    /// [`FleetRunner::new`] errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn create(
+        dir: &Path,
+        config: &FleetConfig,
+        threads: usize,
+        snapshot_every: u64,
+    ) -> Result<Self, PersistError> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, &e))?;
+        let runner = FleetRunner::new(config, threads)?;
+        let journal = Journal::create(&dir.join(JOURNAL_FILE), config)?;
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        if snapshot_path.exists() {
+            std::fs::remove_file(&snapshot_path).map_err(|e| io_err(&snapshot_path, &e))?;
+        }
+        Ok(Self { runner, journal, snapshot_path, snapshot_every })
+    }
+
+    /// Recovers a persistent fleet from `dir`: latest valid snapshot
+    /// plus journal-tail replay (see [`crate::recovery::recover_fleet`]).
+    /// The journal is truncated to its clean prefix and reopened for
+    /// appending, so processing continues where the journal ends.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`crate::recovery::recover_fleet`] can return.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn recover(
+        dir: &Path,
+        config: &FleetConfig,
+        threads: usize,
+        snapshot_every: u64,
+    ) -> Result<(Self, RecoveryOutcome), PersistError> {
+        let journal_path = dir.join(JOURNAL_FILE);
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        let (runner, outcome) = recover_fleet(&journal_path, &snapshot_path, config, threads)?;
+        let journal =
+            Journal::reopen(&journal_path, config, outcome.resumed_step, outcome.journal_frames)?;
+        Ok((Self { runner, journal, snapshot_path, snapshot_every }, outcome))
+    }
+
+    /// Journals a block of steps, then processes it — in that order, so
+    /// the journal is a redo log: a crash at any instant between the two
+    /// loses nothing. Crossing a `snapshot_every` boundary triggers a
+    /// snapshot after the block.
+    ///
+    /// # Errors
+    ///
+    /// Journal append errors ([`PersistError::Io`] among them) or the
+    /// [`FleetRunner::run_block`] errors.
+    pub fn run_block(&mut self, rows: &[Vec<f64>], emit: bool) -> Result<(), PersistError> {
+        let before = self.runner.step();
+        self.journal.append_block(before, rows)?;
+        crate::obs::metrics().journal_frames.add(rows.len() as u64);
+        self.runner.run_block(rows, emit)?;
+        let after = self.runner.step();
+        if self.snapshot_every > 0 && after / self.snapshot_every > before / self.snapshot_every {
+            self.snapshot()?;
+        }
+        Ok(())
+    }
+
+    /// Takes a snapshot of the current state now, appending it to the
+    /// snapshot file and emitting a checkpoint trace event (on the
+    /// configuration's meta stream) plus `persist.*` counters.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on filesystem failure.
+    pub fn snapshot(&mut self) -> Result<(), PersistError> {
+        let state = self.runner.export_state();
+        let bytes = append_snapshot(&self.snapshot_path, &state)?;
+        let m = crate::obs::metrics();
+        m.snapshots_written.inc();
+        m.snapshot_bytes.add(bytes);
+        if obsv::tracer::observing() {
+            obsv::tracer::set_stream(self.runner.config.meta_stream());
+            obsv::tracer::begin_stop(state.step);
+            obsv::tracer::emit(obsv::TraceEvent::Checkpoint {
+                step: state.step,
+                lanes: state.config.lanes as u64,
+                journal_frames: self.journal.frames_written(),
+                bytes,
+            });
+        }
+        Ok(())
+    }
+
+    /// The wrapped runner.
+    #[must_use]
+    pub fn runner(&self) -> &FleetRunner {
+        &self.runner
+    }
+
+    /// The journal handle.
+    #[must_use]
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(lanes: usize, window: Option<usize>) -> FleetConfig {
+        FleetConfig {
+            lanes,
+            break_even: 28.0,
+            window,
+            min_history: 4,
+            seed: 20_140_601,
+            trace_stream_base: 0,
+        }
+    }
+
+    /// Deterministic synthetic stop rows (no RNG: persistence tests pin
+    /// bytes, so the inputs must be reproducible from arithmetic alone).
+    fn rows(lanes: usize, steps: usize, phase: u64) -> Vec<Vec<f64>> {
+        (0..steps)
+            .map(|t| {
+                (0..lanes)
+                    .map(|i| {
+                        let k = (phase + t as u64 * 31 + i as u64 * 7) % 97;
+                        0.5 + (k as f64) * 0.9
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn thread_count_does_not_change_state() {
+        let config = cfg(7, Some(5));
+        let block = rows(7, 40, 3);
+        let mut a = FleetRunner::new(&config, 1).unwrap();
+        let mut b = FleetRunner::new(&config, 3).unwrap();
+        a.run_block(&block, false).unwrap();
+        b.run_block(&block, false).unwrap();
+        let (sa, sb) = (a.export_state(), b.export_state());
+        assert_eq!(sa, sb);
+        assert_eq!(crate::state::encode_fleet_state(&sa), crate::state::encode_fleet_state(&sb));
+    }
+
+    #[test]
+    fn export_restore_replay_is_bit_identical() {
+        let config = cfg(5, None);
+        let block = rows(5, 60, 11);
+        // Uninterrupted reference.
+        let mut whole = FleetRunner::new(&config, 2).unwrap();
+        whole.run_block(&block, false).unwrap();
+        // Cut at step 23, export, restore at a different thread count,
+        // replay the tail.
+        let mut first = FleetRunner::new(&config, 1).unwrap();
+        first.run_block(&block[..23], false).unwrap();
+        let mid = first.export_state();
+        let mut resumed = FleetRunner::from_state(&mid, 4).unwrap();
+        resumed.run_block(&block[23..], false).unwrap();
+        assert_eq!(
+            crate::state::encode_fleet_state(&whole.export_state()),
+            crate::state::encode_fleet_state(&resumed.export_state())
+        );
+    }
+
+    #[test]
+    fn run_block_rejects_bad_rows_without_mutation() {
+        let config = cfg(3, None);
+        let mut r = FleetRunner::new(&config, 1).unwrap();
+        let before = crate::state::encode_fleet_state(&r.export_state());
+        assert!(matches!(
+            r.run_block(&[vec![1.0, 2.0]], false),
+            Err(PersistError::BadPayload { .. })
+        ));
+        assert!(matches!(
+            r.run_block(&[vec![1.0, f64::NAN, 2.0]], false),
+            Err(PersistError::Engine(_))
+        ));
+        assert_eq!(before, crate::state::encode_fleet_state(&r.export_state()));
+        assert_eq!(r.step(), 0);
+    }
+
+    #[test]
+    fn persistent_fleet_writes_journal_and_snapshots() {
+        let dir = std::env::temp_dir()
+            .join("fleetstate-runner-tests")
+            .join(format!("persist-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let config = cfg(4, Some(6));
+        let mut fleet = PersistentFleet::create(&dir, &config, 2, 16).unwrap();
+        for chunk in rows(4, 48, 5).chunks(8) {
+            fleet.run_block(chunk, false).unwrap();
+        }
+        assert_eq!(fleet.runner().step(), 48);
+        assert_eq!(fleet.journal().steps_recorded(), 48);
+        let bytes = std::fs::read(dir.join(JOURNAL_FILE)).unwrap();
+        let parsed = crate::journal::parse_journal(&bytes).unwrap();
+        assert_eq!(parsed.steps.len(), 48);
+        let snaps = std::fs::read(dir.join(SNAPSHOT_FILE)).unwrap();
+        let scan = crate::snapshot::scan_snapshots(&snaps, &config);
+        assert_eq!(scan.states.iter().map(|s| s.step).collect::<Vec<_>>(), vec![16, 32, 48]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn validate_config_rejects_degenerate_fleets() {
+        let bad_lanes = FleetConfig { lanes: 0, ..cfg(1, None) };
+        assert!(FleetRunner::new(&bad_lanes, 1).is_err());
+        let bad_window = FleetConfig { window: Some(0), ..cfg(1, None) };
+        assert!(FleetRunner::new(&bad_window, 1).is_err());
+        let bad_b = FleetConfig { break_even: -1.0, ..cfg(1, None) };
+        assert!(matches!(FleetRunner::new(&bad_b, 1), Err(PersistError::Engine(_))));
+    }
+}

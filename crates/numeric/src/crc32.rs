@@ -1,0 +1,127 @@
+//! CRC-32 (IEEE 802.3) checksums for corruption detection.
+//!
+//! The crash-safe persistence layer (`fleetstate`) and the drive-trace CSV
+//! footer (`drivesim::persist`) both need a cheap, dependency-free
+//! integrity check. This is the standard reflected CRC-32 with polynomial
+//! `0xEDB8_8320` (the bit-reversed `0x04C1_1DB7`), initial value
+//! `0xFFFF_FFFF`, and final XOR `0xFFFF_FFFF` — the same variant used by
+//! gzip, PNG, and cksum-style tooling, so values are easy to cross-check
+//! with external tools.
+//!
+//! # Example
+//!
+//! ```
+//! // The canonical CRC-32 check value.
+//! assert_eq!(numeric::crc32::crc32(b"123456789"), 0xCBF4_3926);
+//! ```
+
+/// Byte-at-a-time lookup table for the reflected polynomial `0xEDB8_8320`,
+/// built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Streaming CRC-32 hasher; feed bytes with [`Hasher::update`] and read
+/// the digest with [`Hasher::finalize`].
+#[derive(Debug, Clone)]
+pub struct Hasher {
+    state: u32,
+}
+
+impl Hasher {
+    /// A fresh hasher (initial state `0xFFFF_FFFF`).
+    #[must_use]
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorbs `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            let idx = ((self.state ^ u32::from(b)) & 0xFF) as usize;
+            self.state = (self.state >> 8) ^ TABLE[idx];
+        }
+    }
+
+    /// The CRC-32 of everything absorbed so far (applies the final XOR;
+    /// the hasher itself is unchanged and may keep absorbing).
+    #[must_use]
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut h = Hasher::new();
+    h.update(bytes);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_value() {
+        // The standard check vector for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut h = Hasher::new();
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), crc32(data));
+    }
+
+    #[test]
+    fn finalize_is_nondestructive() {
+        let mut h = Hasher::new();
+        h.update(b"abc");
+        let first = h.finalize();
+        assert_eq!(h.finalize(), first);
+        h.update(b"def");
+        assert_eq!(h.finalize(), crc32(b"abcdef"));
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = vec![0x5Au8; 64];
+        let clean = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                data[byte] ^= 1 << bit;
+                assert_ne!(crc32(&data), clean, "flip at {byte}:{bit} undetected");
+                data[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

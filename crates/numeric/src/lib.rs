@@ -17,6 +17,8 @@
 //!   Figure-3 stop-length distribution plots.
 //! * [`stats`] — streaming and batch summary statistics (Welford variance,
 //!   quantiles, min/max) used throughout the fleet experiments.
+//! * [`crc32`] — CRC-32 (IEEE) checksums shared by the crash-safe state
+//!   snapshots and the drive-trace CSV integrity footer.
 //!
 //! # Example
 //!
@@ -31,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crc32;
 pub mod histogram;
 pub mod quadrature;
 pub mod rootfind;

@@ -125,6 +125,35 @@ pub enum TraceEvent {
         /// N-Rand decisions (estimator-backed).
         n_rand: u64,
     },
+    /// The persistence layer wrote one state snapshot (checkpoint) of a
+    /// running fleet.
+    Checkpoint {
+        /// Fleet step (stops per vehicle processed) the snapshot captures.
+        step: u64,
+        /// Lanes (vehicles) captured.
+        lanes: u64,
+        /// Journal frames written so far (including the header).
+        journal_frames: u64,
+        /// Encoded snapshot frame size, bytes.
+        bytes: u64,
+    },
+    /// The persistence layer recovered a fleet from disk: latest valid
+    /// snapshot plus journal-tail replay.
+    Recovery {
+        /// Fleet step the recovered state resumes from.
+        resumed_step: u64,
+        /// Step of the snapshot used (`0` when recovery cold-started).
+        snapshot_step: u64,
+        /// Journal observation frames replayed on top of the snapshot.
+        frames_replayed: u64,
+        /// Whether a torn (partially-written) trailing frame was
+        /// discarded as a clean crash artifact.
+        torn_tail_dropped: bool,
+        /// Byte-identical duplicate frames skipped (write retries).
+        duplicates_skipped: u64,
+        /// Corrupt snapshot frames rejected before one verified.
+        snapshots_rejected: u64,
+    },
     /// The streaming monitor raised an alarm on this stream (see
     /// `crate::monitor`). Recorded immediately after the event that
     /// tripped it, at the next `seq` positions, so alarms interleave
@@ -158,6 +187,8 @@ impl TraceEvent {
             Self::EstimatorUpdate { .. } => "estimator_update",
             Self::FaultApplied { .. } => "fault_applied",
             Self::BatchShardDigest { .. } => "batch_shard_digest",
+            Self::Checkpoint { .. } => "checkpoint",
+            Self::Recovery { .. } => "recovery",
             Self::MonitorAlarm { .. } => "monitor_alarm",
         }
     }
@@ -227,6 +258,24 @@ impl TraceEvent {
                 "batch shard @{shard}: {vehicles} vehicles, {decisions} decisions \
                  (cold {cold_start}, DET {det}, TOI {toi}, b-DET {b_det}, N-Rand {n_rand}), \
                  threshold hash {threshold_hash:#018x}"
+            ),
+            Self::Checkpoint { step, lanes, journal_frames, bytes } => format!(
+                "checkpoint: snapshot at step {step} ({lanes} lanes, \
+                 {journal_frames} journal frames, {bytes} bytes)"
+            ),
+            Self::Recovery {
+                resumed_step,
+                snapshot_step,
+                frames_replayed,
+                torn_tail_dropped,
+                duplicates_skipped,
+                snapshots_rejected,
+            } => format!(
+                "recovery: resumed at step {resumed_step} \
+                 (snapshot at {snapshot_step} + {frames_replayed} frames replayed, \
+                 torn tail dropped: {torn_tail_dropped}, \
+                 {duplicates_skipped} duplicates skipped, \
+                 {snapshots_rejected} snapshots rejected)"
             ),
             Self::MonitorAlarm { alarm, detail, observed, limit, window_len } => format!(
                 "ALARM [{alarm}]: {detail} \
@@ -345,6 +394,27 @@ impl TraceRecord {
                 obj.insert("b_det".to_string(), Value::UInt(*b_det));
                 obj.insert("n_rand".to_string(), Value::UInt(*n_rand));
             }
+            TraceEvent::Checkpoint { step, lanes, journal_frames, bytes } => {
+                obj.insert("step".to_string(), Value::UInt(*step));
+                obj.insert("lanes".to_string(), Value::UInt(*lanes));
+                obj.insert("journal_frames".to_string(), Value::UInt(*journal_frames));
+                obj.insert("bytes".to_string(), Value::UInt(*bytes));
+            }
+            TraceEvent::Recovery {
+                resumed_step,
+                snapshot_step,
+                frames_replayed,
+                torn_tail_dropped,
+                duplicates_skipped,
+                snapshots_rejected,
+            } => {
+                obj.insert("resumed_step".to_string(), Value::UInt(*resumed_step));
+                obj.insert("snapshot_step".to_string(), Value::UInt(*snapshot_step));
+                obj.insert("frames_replayed".to_string(), Value::UInt(*frames_replayed));
+                obj.insert("torn_tail_dropped".to_string(), Value::Bool(*torn_tail_dropped));
+                obj.insert("duplicates_skipped".to_string(), Value::UInt(*duplicates_skipped));
+                obj.insert("snapshots_rejected".to_string(), Value::UInt(*snapshots_rejected));
+            }
             TraceEvent::MonitorAlarm { alarm, detail, observed, limit, window_len } => {
                 obj.insert("alarm".to_string(), Value::Str(alarm.clone()));
                 obj.insert("detail".to_string(), Value::Str(detail.clone()));
@@ -421,6 +491,20 @@ impl TraceRecord {
                 toi: req_u64(obj, "toi")?,
                 b_det: req_u64(obj, "b_det")?,
                 n_rand: req_u64(obj, "n_rand")?,
+            },
+            "checkpoint" => TraceEvent::Checkpoint {
+                step: req_u64(obj, "step")?,
+                lanes: req_u64(obj, "lanes")?,
+                journal_frames: req_u64(obj, "journal_frames")?,
+                bytes: req_u64(obj, "bytes")?,
+            },
+            "recovery" => TraceEvent::Recovery {
+                resumed_step: req_u64(obj, "resumed_step")?,
+                snapshot_step: req_u64(obj, "snapshot_step")?,
+                frames_replayed: req_u64(obj, "frames_replayed")?,
+                torn_tail_dropped: req_bool(obj, "torn_tail_dropped")?,
+                duplicates_skipped: req_u64(obj, "duplicates_skipped")?,
+                snapshots_rejected: req_u64(obj, "snapshots_rejected")?,
             },
             "monitor_alarm" => TraceEvent::MonitorAlarm {
                 alarm: req_str(obj, "alarm")?,
@@ -608,6 +692,30 @@ mod tests {
                     toi: 900,
                     b_det: 488,
                     n_rand: 400,
+                },
+            },
+            TraceRecord {
+                stream: 6,
+                stop: 0,
+                seq: 1,
+                event: TraceEvent::Checkpoint {
+                    step: 48,
+                    lanes: 96,
+                    journal_frames: 49,
+                    bytes: 44_212,
+                },
+            },
+            TraceRecord {
+                stream: 6,
+                stop: 0,
+                seq: 2,
+                event: TraceEvent::Recovery {
+                    resumed_step: 57,
+                    snapshot_step: 48,
+                    frames_replayed: 9,
+                    torn_tail_dropped: true,
+                    duplicates_skipped: 1,
+                    snapshots_rejected: 0,
                 },
             },
             TraceRecord {

@@ -88,11 +88,20 @@ impl CounterRng {
         Self { key, ctr: 0 }
     }
 
-    /// The `(key, counter)` state, for diagnostics and state-identity
-    /// assertions.
+    /// The `(key, counter)` state, for diagnostics, state-identity
+    /// assertions, and crash-safe persistence.
     #[must_use]
     pub fn state(&self) -> (u64, u64) {
         (self.key, self.ctr)
+    }
+
+    /// Reconstructs a generator from a persisted `(key, counter)` pair
+    /// (the inverse of [`CounterRng::state`]): the restored generator
+    /// produces exactly the draws the original would have from that
+    /// point on, which is what makes snapshot-resume bit-identical.
+    #[must_use]
+    pub fn from_state(key: u64, ctr: u64) -> Self {
+        Self { key, ctr }
     }
 
     /// The output at counter position `ctr` for `key` — the pure
@@ -163,8 +172,9 @@ pub struct VertexTally {
 }
 
 impl VertexTally {
+    /// Tallies one decision.
     #[inline]
-    fn count(&mut self, v: VertexKind) {
+    pub fn count(&mut self, v: VertexKind) {
         match v {
             VertexKind::ColdStart => self.cold_start += 1,
             VertexKind::Det => self.det += 1,
@@ -287,6 +297,34 @@ fn decide_kernel(
     }
 }
 
+/// A full copy of one lane's estimator state, as exported by
+/// [`BatchStore::export_lane`] and re-installed by
+/// [`BatchStore::restore_lane`] — the unit of crash-safe persistence for
+/// the batched engine.
+///
+/// The ring carries the lane's **entire** window segment (including
+/// never-written slots, which are zero from construction), so a
+/// restored store is byte-identical to the original in memory, not just
+/// behaviorally equivalent: re-exporting and re-encoding it reproduces
+/// the same snapshot bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneState {
+    /// Observations currently contributing to the estimate.
+    pub count: u32,
+    /// Running short-stop sum `Σy·1{y<B}` (raw, unclamped).
+    pub short_sum: f64,
+    /// Running raw second moment `Σy²`.
+    pub sum_sq: f64,
+    /// Long-stop count `#{y ≥ B}`.
+    pub long_count: u32,
+    /// Window mode: index of the oldest element in the ring segment
+    /// (zero in full-history mode).
+    pub head: u32,
+    /// Window mode: the lane's full ring segment, oldest slot at
+    /// `head` (empty in full-history mode).
+    pub ring: Vec<f64>,
+}
+
 /// Structure-of-arrays store of per-vehicle estimator state.
 ///
 /// Lane `i` carries the sufficient statistics of vehicle `i` in the
@@ -369,6 +407,18 @@ impl BatchStore {
         self.lanes
     }
 
+    /// The sliding window (`None` = full history), as configured.
+    #[must_use]
+    pub fn window(&self) -> Option<usize> {
+        self.window
+    }
+
+    /// Stops required per lane before the estimate is trusted.
+    #[must_use]
+    pub fn required_history(&self) -> usize {
+        self.min_history
+    }
+
     /// The break-even interval the store classifies against.
     #[must_use]
     pub fn break_even(&self) -> BreakEven {
@@ -415,6 +465,92 @@ impl BatchStore {
         if !self.head.is_empty() {
             self.head[lane] = 0;
         }
+    }
+
+    /// Exports lane `i`'s complete state for persistence (the inverse of
+    /// [`BatchStore::restore_lane`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    #[must_use]
+    pub fn export_lane(&self, lane: usize) -> LaneState {
+        assert!(lane < self.lanes, "lane {lane} out of range for {} lanes", self.lanes);
+        let ring = match self.window {
+            Some(w) => self.ring[lane * w..(lane + 1) * w].to_vec(),
+            None => Vec::new(),
+        };
+        LaneState {
+            count: self.count[lane],
+            short_sum: self.short_sum[lane],
+            sum_sq: self.sum_sq[lane],
+            long_count: self.long_count[lane],
+            head: if self.head.is_empty() { 0 } else { self.head[lane] },
+            ring,
+        }
+    }
+
+    /// Installs a previously exported [`LaneState`] into lane `i`,
+    /// validating it against this store's configuration. On success the
+    /// lane is byte-identical to the lane [`BatchStore::export_lane`]
+    /// read, including unused ring slots.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidPersistedState`] if the state's shape or
+    /// invariants don't fit this store: ring length differing from the
+    /// configured window, count exceeding the window, head out of
+    /// range, long count exceeding the observation count, or non-finite
+    /// running sums. The lane is untouched on error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn restore_lane(&mut self, lane: usize, state: &LaneState) -> Result<(), Error> {
+        assert!(lane < self.lanes, "lane {lane} out of range for {} lanes", self.lanes);
+        match self.window {
+            Some(w) => {
+                if state.ring.len() != w {
+                    return Err(Error::InvalidPersistedState {
+                        reason: "ring length differs from the configured window",
+                    });
+                }
+                if state.count as usize > w {
+                    return Err(Error::InvalidPersistedState {
+                        reason: "observation count exceeds the window",
+                    });
+                }
+                if state.head as usize >= w {
+                    return Err(Error::InvalidPersistedState {
+                        reason: "ring head outside the window",
+                    });
+                }
+            }
+            None => {
+                if !state.ring.is_empty() || state.head != 0 {
+                    return Err(Error::InvalidPersistedState {
+                        reason: "ring state present for a full-history store",
+                    });
+                }
+            }
+        }
+        if state.long_count > state.count {
+            return Err(Error::InvalidPersistedState {
+                reason: "long count exceeds observation count",
+            });
+        }
+        if !state.short_sum.is_finite() || !state.sum_sq.is_finite() {
+            return Err(Error::InvalidPersistedState { reason: "non-finite running sum" });
+        }
+        self.count[lane] = state.count;
+        self.short_sum[lane] = state.short_sum;
+        self.sum_sq[lane] = state.sum_sq;
+        self.long_count[lane] = state.long_count;
+        if let Some(w) = self.window {
+            self.head[lane] = state.head;
+            self.ring[lane * w..(lane + 1) * w].copy_from_slice(&state.ring);
+        }
+        Ok(())
     }
 
     /// Records one completed stop on lane `i`, mirroring
@@ -643,6 +779,21 @@ impl FleetBatchReport {
     pub fn worst_cr(&self) -> f64 {
         self.outcomes.iter().map(|o| o.cr).fold(1.0, f64::max)
     }
+}
+
+/// Flushes one batched shard's worth of observability counters
+/// (`skirental.batch.*` plus the shared `skirental.policy.*` vertex
+/// tallies) — the same bulk flush [`run_fleet_batch`] performs per
+/// shard, exposed for external batch drivers (such as the crash-safe
+/// fleet runner) so dashboards see identical totals whichever engine
+/// served the fleet.
+pub fn flush_shard_observability(
+    vehicles: u64,
+    decisions: u64,
+    observations: u64,
+    tally: &VertexTally,
+) {
+    obs::metrics().flush_batch_shard(vehicles, decisions, observations, tally);
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -1069,6 +1220,71 @@ mod tests {
         assert_eq!(run_fleet_batch(&[], b28(), &cfg, 2), Err(Error::EmptyTrace));
         assert_eq!(run_fleet_batch(&[vec![1.0], vec![]], b28(), &cfg, 2), Err(Error::EmptyTrace));
         assert!(run_fleet_scalar(&[], b28(), &cfg).is_err());
+    }
+
+    #[test]
+    fn lane_roundtrip_is_lossless() {
+        let mut store = BatchStore::with_window(b28(), 2, 4).min_history(2);
+        for &y in &[3.0, 50.0, 7.0, 28.0, 12.0, 100.0] {
+            store.observe(0, y);
+        }
+        let state = store.export_lane(0);
+        let mut fresh = BatchStore::with_window(b28(), 2, 4).min_history(2);
+        fresh.restore_lane(0, &state).unwrap();
+        assert_eq!(fresh.export_lane(0), state);
+        assert_eq!(fresh.lane_moments(0), store.lane_moments(0));
+        // Identical decisions and future evolution after restore.
+        let mut a = CounterRng::for_stream(11, 0);
+        let mut b = CounterRng::for_stream(11, 0);
+        assert_eq!(store.decide_lane(0, &mut a), fresh.decide_lane(0, &mut b));
+        store.observe(0, 9.0);
+        fresh.observe(0, 9.0);
+        assert_eq!(store.export_lane(0), fresh.export_lane(0));
+    }
+
+    #[test]
+    fn restore_lane_rejects_invalid_states() {
+        let mut store = BatchStore::with_window(b28(), 1, 4);
+        let good = store.export_lane(0);
+        let cases: Vec<(LaneState, &str)> = vec![
+            (LaneState { ring: vec![0.0; 3], ..good.clone() }, "ring length"),
+            (LaneState { count: 5, ..good.clone() }, "count exceeds window"),
+            (LaneState { head: 4, ..good.clone() }, "head out of range"),
+            (LaneState { count: 2, long_count: 3, ..good.clone() }, "long > count"),
+            (LaneState { short_sum: f64::NAN, ..good.clone() }, "non-finite sum"),
+        ];
+        for (bad, what) in cases {
+            let err = store.restore_lane(0, &bad).unwrap_err();
+            assert!(
+                matches!(err, Error::InvalidPersistedState { .. }),
+                "{what}: unexpected {err:?}"
+            );
+        }
+        // Full-history store rejects ring-bearing state.
+        let mut flat = BatchStore::new(b28(), 1);
+        assert!(matches!(flat.restore_lane(0, &good), Err(Error::InvalidPersistedState { .. })));
+        assert!(flat.restore_lane(0, &LaneState { ring: Vec::new(), ..good }).is_ok());
+    }
+
+    #[test]
+    fn from_state_resumes_rng_stream() {
+        let mut rng = CounterRng::for_stream(5, 42);
+        for _ in 0..7 {
+            rng.next_u64();
+        }
+        let (key, ctr) = rng.state();
+        let mut resumed = CounterRng::from_state(key, ctr);
+        for _ in 0..10 {
+            assert_eq!(resumed.next_u64(), rng.next_u64());
+        }
+    }
+
+    #[test]
+    fn store_config_getters() {
+        let store = BatchStore::with_window(b28(), 3, 7).min_history(4);
+        assert_eq!(store.window(), Some(7));
+        assert_eq!(store.required_history(), 4);
+        assert_eq!(BatchStore::new(b28(), 1).window(), None);
     }
 
     #[test]

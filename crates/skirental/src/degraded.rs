@@ -34,7 +34,7 @@
 //! anomalies are quarantined and counted, never observed.
 
 use crate::cost::BreakEven;
-use crate::estimator::{realized_cr, AdaptiveController, MomentEstimator};
+use crate::estimator::{realized_cr, AdaptiveController, ControllerState, MomentEstimator};
 use crate::obs;
 use crate::policy::{NRand, Policy};
 use crate::Error;
@@ -190,6 +190,40 @@ pub struct DegradedOutcome {
     pub demotions: u64,
 }
 
+/// A full copy of a [`DegradedController`]'s mutable state — ladder
+/// position, hysteresis counters, anomaly window, stuck-at tracker, and
+/// the wrapped controller's state — as exported by
+/// [`DegradedController::export_state`] and re-installed by
+/// [`DegradedController::from_state`]. The configuration itself is not
+/// carried: the restoring caller supplies it (and the restore validates
+/// the state against it), matching how the batched engine re-derives
+/// per-lane configuration from its own construction parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LadderState {
+    /// The wrapped adaptive controller's state.
+    pub controller: ControllerState,
+    /// Current trust level.
+    pub level: TrustLevel,
+    /// The anomaly window's classifications, oldest first
+    /// (`true` = anomaly).
+    pub recent: Vec<bool>,
+    /// Consecutive valid readings ending at the present.
+    pub clean_streak: usize,
+    /// Consecutive invalid readings ending at the present.
+    pub since_valid: usize,
+    /// Bit pattern of the last structurally-valid reading, for stuck-at
+    /// detection.
+    pub last_bits: Option<u64>,
+    /// Length of the current bit-identical run.
+    pub run_len: usize,
+    /// Cumulative quarantine counts.
+    pub counts: AnomalyCounts,
+    /// Demotions to [`TrustLevel::Untrusted`] since construction.
+    pub demotions: u64,
+    /// Readings left on a monitor-drift degradation hold.
+    pub drift_holdoff: usize,
+}
+
 enum ReadingClass {
     Valid,
     NonFinite,
@@ -300,6 +334,75 @@ impl DegradedController {
     #[must_use]
     pub fn estimator(&self) -> &MomentEstimator {
         self.inner.estimator()
+    }
+
+    /// Exports the ladder's complete mutable state for persistence (the
+    /// inverse of [`DegradedController::from_state`]).
+    #[must_use]
+    pub fn export_state(&self) -> LadderState {
+        LadderState {
+            controller: self.inner.export_state(),
+            level: self.level,
+            recent: self.recent.iter().copied().collect(),
+            clean_streak: self.clean_streak,
+            since_valid: self.since_valid,
+            last_bits: self.last_bits,
+            run_len: self.run_len,
+            counts: self.counts,
+            demotions: self.demotions,
+            drift_holdoff: self.drift_holdoff,
+        }
+    }
+
+    /// Reconstructs a controller from a persisted [`LadderState`] under
+    /// the given configuration, validating the state against it. The
+    /// windowed anomaly count is re-derived from the persisted window
+    /// contents rather than stored separately, so it can never disagree.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidPersistedState`] if the anomaly window is longer
+    /// than the configured window, the stuck-at tracker is inconsistent
+    /// (a run length without a last reading, or vice versa), or the
+    /// wrapped controller state fails
+    /// [`AdaptiveController::from_state`] validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` itself is inconsistent (same contract as
+    /// [`DegradedController::config`]).
+    pub fn from_state(
+        break_even: BreakEven,
+        config: DegradationConfig,
+        state: &LadderState,
+    ) -> Result<Self, Error> {
+        let config = config.validate();
+        if state.recent.len() > config.window {
+            return Err(Error::InvalidPersistedState {
+                reason: "anomaly window longer than configured",
+            });
+        }
+        if state.last_bits.is_none() != (state.run_len == 0) {
+            return Err(Error::InvalidPersistedState { reason: "stuck-at tracker inconsistent" });
+        }
+        let inner = AdaptiveController::from_state(break_even, &state.controller)?;
+        let anomalies_in_window = state.recent.iter().filter(|&&a| a).count();
+        Ok(Self {
+            inner,
+            fallback: NRand::new(break_even),
+            break_even,
+            config,
+            level: state.level,
+            recent: state.recent.iter().copied().collect(),
+            anomalies_in_window,
+            clean_streak: state.clean_streak,
+            since_valid: state.since_valid,
+            last_bits: state.last_bits,
+            run_len: state.run_len,
+            counts: state.counts,
+            demotions: state.demotions,
+            drift_holdoff: state.drift_holdoff,
+        })
     }
 
     /// Chooses the idle threshold for the next stop according to the
@@ -786,6 +889,74 @@ mod tests {
         let out = ctl.run_observed(&[1.0, 2.0], &[f64::NAN, -3.0], &mut rng).unwrap();
         assert_eq!(out.anomalies.non_finite, 1);
         assert_eq!(out.anomalies.negative, 1);
+    }
+
+    #[test]
+    fn ladder_state_roundtrip_mid_handoff() {
+        // Freeze the ladder mid-demotion-recovery: Untrusted with a
+        // partial clean streak, then check a restored controller evolves
+        // identically to the original.
+        let cfg = DegradationConfig {
+            window: 20,
+            degrade_at: 1,
+            demote_at: 3,
+            promote_after: 10,
+            ..DegradationConfig::default()
+        };
+        let mut ctl = DegradedController::new(b28()).config(cfg);
+        for y in [5.0, 9.0, 3.5] {
+            ctl.observe(y);
+        }
+        for _ in 0..3 {
+            ctl.observe(f64::NAN);
+        }
+        for i in 0..6 {
+            ctl.observe(4.0 + 0.01 * f64::from(i));
+        }
+        assert_eq!(ctl.trust(), TrustLevel::Untrusted, "mid-hysteresis");
+        let state = ctl.export_state();
+        let mut restored = DegradedController::from_state(b28(), cfg, &state).unwrap();
+        assert_eq!(restored.export_state(), state);
+        assert_eq!(restored.trust(), ctl.trust());
+        // Identical evolution from the cut: same promotions, decisions,
+        // and counters.
+        let mut rng_a = StdRng::seed_from_u64(17);
+        let mut rng_b = StdRng::seed_from_u64(17);
+        for i in 0..30 {
+            let y = 4.0 + 0.02 * f64::from(i);
+            assert_eq!(ctl.decide(&mut rng_a).to_bits(), restored.decide(&mut rng_b).to_bits());
+            ctl.observe(y);
+            restored.observe(y);
+        }
+        assert_eq!(ctl.export_state(), restored.export_state());
+        assert_eq!(ctl.trust(), TrustLevel::Full, "both re-promoted in lockstep");
+    }
+
+    #[test]
+    fn ladder_from_state_rejects_inconsistencies() {
+        let cfg = DegradationConfig { window: 5, ..DegradationConfig::default() };
+        let mut ctl = DegradedController::new(b28()).config(cfg);
+        for y in [5.0, 9.0] {
+            ctl.observe(y);
+        }
+        let good = ctl.export_state();
+        assert!(matches!(
+            DegradedController::from_state(
+                b28(),
+                cfg,
+                &LadderState { recent: vec![false; 6], ..good.clone() }
+            ),
+            Err(Error::InvalidPersistedState { .. })
+        ));
+        assert!(matches!(
+            DegradedController::from_state(
+                b28(),
+                cfg,
+                &LadderState { last_bits: None, run_len: 2, ..good.clone() }
+            ),
+            Err(Error::InvalidPersistedState { .. })
+        ));
+        assert!(DegradedController::from_state(b28(), cfg, &good).is_ok());
     }
 
     #[test]

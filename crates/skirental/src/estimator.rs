@@ -178,6 +178,121 @@ impl MomentEstimator {
     }
 }
 
+/// A full copy of a [`MomentEstimator`]'s mutable state, as exported by
+/// [`MomentEstimator::export_state`] and re-installed by
+/// [`MomentEstimator::from_state`] — the unit of crash-safe persistence
+/// for the scalar estimator.
+///
+/// The short-stop sum is carried **raw** (unclamped): sliding-window
+/// subtraction leaves an O(ε) residue in the running sum, and restoring
+/// the clamped value instead would diverge from an uninterrupted run on
+/// the next eviction. Round-tripping the raw sum keeps resumed decisions
+/// bit-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimatorState {
+    /// Sliding window (`None` = full history), as configured.
+    pub window: Option<usize>,
+    /// The buffered stops, oldest first.
+    pub buffer: Vec<f64>,
+    /// Raw running short-stop sum `Σy·1{y<B}` (unclamped).
+    pub short_sum: f64,
+    /// Long-stop count `#{y ≥ B}`.
+    pub long_count: usize,
+}
+
+impl MomentEstimator {
+    /// Exports the estimator's complete mutable state for persistence
+    /// (the inverse of [`MomentEstimator::from_state`]).
+    #[must_use]
+    pub fn export_state(&self) -> EstimatorState {
+        EstimatorState {
+            window: self.window,
+            buffer: self.buffer.iter().copied().collect(),
+            short_sum: self.short_sum,
+            long_count: self.long_count,
+        }
+    }
+
+    /// Reconstructs an estimator from a persisted [`EstimatorState`],
+    /// validating its invariants against `break_even`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidPersistedState`] if the state is inconsistent: a
+    /// zero window, a buffer longer than the window, a non-finite or
+    /// negative buffered stop, a non-finite short-stop sum, or a long
+    /// count that disagrees with the buffer's actual `y ≥ B` census.
+    pub fn from_state(break_even: BreakEven, state: &EstimatorState) -> Result<Self, Error> {
+        if state.window == Some(0) {
+            return Err(Error::InvalidPersistedState { reason: "window must be non-empty" });
+        }
+        if let Some(w) = state.window {
+            if state.buffer.len() > w {
+                return Err(Error::InvalidPersistedState {
+                    reason: "buffer longer than the configured window",
+                });
+            }
+        }
+        if state.buffer.iter().any(|y| !(y.is_finite() && *y >= 0.0)) {
+            return Err(Error::InvalidPersistedState {
+                reason: "buffered stop is negative or non-finite",
+            });
+        }
+        if !state.short_sum.is_finite() {
+            return Err(Error::InvalidPersistedState { reason: "non-finite short-stop sum" });
+        }
+        let long = state.buffer.iter().filter(|&&y| y >= break_even.seconds()).count();
+        if long != state.long_count {
+            return Err(Error::InvalidPersistedState {
+                reason: "long count disagrees with the buffered stops",
+            });
+        }
+        Ok(Self {
+            break_even,
+            window: state.window,
+            buffer: state.buffer.iter().copied().collect(),
+            short_sum: state.short_sum,
+            long_count: state.long_count,
+        })
+    }
+}
+
+/// A full copy of an [`AdaptiveController`]'s mutable state (estimator
+/// state plus the cold-start gate), for crash-safe persistence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerState {
+    /// The wrapped estimator's state.
+    pub estimator: EstimatorState,
+    /// Stops required before trusting the estimate.
+    pub min_history: usize,
+}
+
+impl AdaptiveController {
+    /// Exports the controller's complete mutable state for persistence
+    /// (the inverse of [`AdaptiveController::from_state`]).
+    #[must_use]
+    pub fn export_state(&self) -> ControllerState {
+        ControllerState { estimator: self.estimator.export_state(), min_history: self.min_history }
+    }
+
+    /// Reconstructs a controller from a persisted [`ControllerState`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidPersistedState`] if `min_history` is zero or the
+    /// estimator state fails [`MomentEstimator::from_state`] validation.
+    pub fn from_state(break_even: BreakEven, state: &ControllerState) -> Result<Self, Error> {
+        if state.min_history == 0 {
+            return Err(Error::InvalidPersistedState { reason: "min history must be positive" });
+        }
+        Ok(Self {
+            estimator: MomentEstimator::from_state(break_even, &state.estimator)?,
+            cold_start: NRand::new(break_even),
+            min_history: state.min_history,
+        })
+    }
+}
+
 /// Summary of an adaptive run over a trace.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdaptiveOutcome {
@@ -560,6 +675,73 @@ mod tests {
         assert!(ctl.try_observe(f64::NAN).is_err());
         assert!(ctl.try_observe(7.0).is_ok());
         assert_eq!(ctl.estimator().len(), 1);
+    }
+
+    #[test]
+    fn estimator_state_roundtrip() {
+        let mut est = MomentEstimator::with_window(b28(), 3);
+        for &y in &[5.0, 50.0, 8.0, 2.0] {
+            est.observe(y);
+        }
+        let state = est.export_state();
+        let mut restored = MomentEstimator::from_state(b28(), &state).unwrap();
+        assert_eq!(restored.export_state(), state);
+        let sa = est.stats().unwrap();
+        let sb = restored.stats().unwrap();
+        let (a, b) = (sa.moments(), sb.moments());
+        assert_eq!(a.mu_b_minus.to_bits(), b.mu_b_minus.to_bits());
+        assert_eq!(a.q_b_plus.to_bits(), b.q_b_plus.to_bits());
+        // Future evolution is identical (same raw sums, same evictions).
+        est.observe(44.0);
+        restored.observe(44.0);
+        assert_eq!(est.export_state(), restored.export_state());
+    }
+
+    #[test]
+    fn estimator_from_state_rejects_inconsistencies() {
+        let mut est = MomentEstimator::with_window(b28(), 3);
+        est.observe(5.0);
+        est.observe(50.0);
+        let good = est.export_state();
+        let cases = [
+            EstimatorState { window: Some(0), ..good.clone() },
+            EstimatorState { window: Some(1), ..good.clone() },
+            EstimatorState { buffer: vec![5.0, f64::NAN], ..good.clone() },
+            EstimatorState { buffer: vec![5.0, -1.0], ..good.clone() },
+            EstimatorState { short_sum: f64::INFINITY, ..good.clone() },
+            EstimatorState { long_count: 2, ..good.clone() },
+        ];
+        for bad in cases {
+            assert!(
+                matches!(
+                    MomentEstimator::from_state(b28(), &bad),
+                    Err(Error::InvalidPersistedState { .. })
+                ),
+                "accepted {bad:?}"
+            );
+        }
+        assert!(MomentEstimator::from_state(b28(), &good).is_ok());
+    }
+
+    #[test]
+    fn controller_state_roundtrip_resumes_decisions() {
+        let mut ctl = AdaptiveController::with_window(b28(), 5).min_history(3);
+        let mut rng = StdRng::seed_from_u64(7);
+        let stops = [3.0, 40.0, 7.0, 28.0, 12.0];
+        ctl.run(&stops, &mut rng).unwrap();
+        let state = ctl.export_state();
+        let restored = AdaptiveController::from_state(b28(), &state).unwrap();
+        assert_eq!(restored.export_state(), state);
+        // Same RNG stream position → same decisions.
+        let mut r1 = crate::batch::CounterRng::for_stream(1, 0);
+        let mut r2 = r1;
+        for _ in 0..10 {
+            assert_eq!(ctl.decide(&mut r1).to_bits(), restored.decide(&mut r2).to_bits());
+        }
+        assert!(matches!(
+            AdaptiveController::from_state(b28(), &ControllerState { min_history: 0, ..state }),
+            Err(Error::InvalidPersistedState { .. })
+        ));
     }
 
     #[test]

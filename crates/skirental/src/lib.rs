@@ -154,6 +154,13 @@ pub enum Error {
         /// Human-readable reason.
         reason: &'static str,
     },
+    /// A persisted state blob (lane export, estimator state, ladder
+    /// state) that violates the invariants of the component it would be
+    /// restored into. The component is left untouched.
+    InvalidPersistedState {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
     /// A batched-shard API received a parallel array whose length does
     /// not match the store's lane count.
     ShardShapeMismatch {
@@ -199,6 +206,9 @@ impl fmt::Display for Error {
             Self::InvalidSlopes { reason } => {
                 write!(f, "invalid multislope system: {reason}")
             }
+            Self::InvalidPersistedState { reason } => {
+                write!(f, "persisted state invalid: {reason}")
+            }
             Self::ShardShapeMismatch { lanes, slot, len } => write!(
                 f,
                 "batched shard arrays need one slot per lane: {slot} has {len} for {lanes} lanes"
@@ -242,6 +252,7 @@ mod tests {
             Error::MismatchedLengths { stops: 3, observations: 2 },
             Error::InfeasibleAdversary { reason: "q = 1" },
             Error::InvalidSlopes { reason: "dominated state" },
+            Error::InvalidPersistedState { reason: "ring head outside the window" },
             Error::ShardShapeMismatch { lanes: 4, slot: "thresholds", len: 3 },
         ];
         for e in errs {

@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 
 pub use drivesim;
+pub use fleetstate;
 pub use numeric;
 pub use powertrain;
 pub use skirental;
