@@ -1,0 +1,90 @@
+//! Criterion group `daemon_rtt`: request→decision round-trip time
+//! through a live in-process `fleetd` over its unix socket, at shard
+//! sizes 1 / 64 / 4096 lanes.
+//!
+//! Each measured iteration is one `Submit` of a single step for the
+//! whole fleet: encode, socket write, engine dequeue, journaled block
+//! run, decision encode, socket read, decode. Small fleets expose the
+//! fixed per-frame + per-syscall floor; the 4096-lane point shows how
+//! the protocol amortises it. Tracing is off so the wire and engine —
+//! not the tracer — dominate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fleetd::client::Client;
+use fleetd::proto::Reply;
+use fleetd::server::{serve, ServeOptions};
+use fleetstate::FleetConfig;
+
+const SEED: u64 = 20_140_601;
+const SHARD_SIZES: [usize; 3] = [1, 64, 4096];
+
+fn config(lanes: usize) -> FleetConfig {
+    FleetConfig {
+        lanes,
+        break_even: 28.0,
+        window: Some(50),
+        min_history: 3,
+        seed: SEED,
+        trace_stream_base: 0,
+    }
+}
+
+/// One seeded step for `lanes` vehicles, 0..120 s.
+fn row(step: u64, lanes: usize) -> Vec<Vec<f64>> {
+    vec![(0..lanes as u64)
+        .map(|lane| {
+            let mut x = step
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(lane.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x ^= x >> 27;
+            120.0 * ((x >> 11) as f64 / (1u64 << 53) as f64)
+        })
+        .collect()]
+}
+
+fn bench_daemon_rtt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("daemon_rtt");
+    g.sample_size(20);
+
+    for lanes in SHARD_SIZES {
+        let scratch =
+            std::env::temp_dir().join(format!("daemon-rtt-{}-{lanes}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&scratch);
+        std::fs::create_dir_all(&scratch).expect("scratch dir");
+        let socket = scratch.join("fleetd.sock");
+        let options = ServeOptions {
+            dir: scratch.join("fleet"),
+            config: config(lanes),
+            threads: 2,
+            snapshot_every: 0,
+            queue_capacity: 64,
+            emit_trace: false,
+            engine_delay_ms: 0,
+            recover: false,
+        };
+        let started = serve(&options, &socket, None).expect("daemon starts");
+        let mut client = Client::connect_unix(&socket).expect("daemon accepts");
+        client.hello("daemon-rtt").expect("handshake");
+
+        let mut step = 0u64;
+        g.bench_function(format!("submit_1step_{lanes}_lanes"), |bencher| {
+            bencher.iter(|| {
+                let reply =
+                    client.submit(u64::MAX, black_box(&row(step, lanes))).expect("submit succeeds");
+                assert!(matches!(reply, Reply::Decisions { .. }));
+                step += 1;
+                black_box(reply)
+            });
+        });
+
+        drop(client);
+        started.handle.stop();
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_daemon_rtt);
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! ```text
 //! monitor --replay <trace.jsonl> [--report out.json] [--expect-clean]
 //!                                [--break-even B] [--window W]
-//! monitor --live [--frame N]
+//! monitor --live [--frame N] [--source PATH]
 //! ```
 //!
 //! `--replay` feeds a recorded decision trace through a fresh
@@ -13,7 +13,8 @@
 //! state, alarm count, and an ASCII sparkline of the windowed-CR history;
 //! then the alarm log and the trust-ladder occupancy. Replaying a trace
 //! recorded with `--monitor` re-derives the same alarms instead of
-//! double-counting the recorded ones.
+//! double-counting the recorded ones. The rendering itself lives in
+//! [`obsv::dashboard`], shared with the `fleetctl tail` console.
 //!
 //! `--report` additionally writes an [`obsv::RunReport`] whose `monitor`
 //! section holds the full per-stream aggregates (the dashboard truncates
@@ -28,33 +29,31 @@
 //! CI never hardcodes harness-internal stream ids next to the harness
 //! that defines them.
 //!
-//! `--live` skips the trace file and wraps a small seeded drift scenario
-//! (diurnal shift + frozen duration register, the shape `fault_sweep
-//! --drift` uses) around the process-wide monitor, printing a dashboard
-//! frame every `--frame` stops (default 500) — a self-contained demo of
-//! alarms firing mid-run.
+//! `--live` tails a feed of trace records through a fresh monitor,
+//! printing a frame every `--frame` stops (default 500) and every alarm
+//! the moment it derives. Without `--source` the feed is a built-in
+//! seeded drift scenario (diurnal shift + frozen duration register, the
+//! shape `fault_sweep --drift` uses) — a self-contained demo of alarms
+//! firing mid-run. With `--source PATH` the feed is external JSONL trace
+//! lines read from a unix socket, FIFO, or file at `PATH` (e.g. a
+//! `fleetctl tail --jsonl-to` pipe, or `mkfifo` + any producer); both
+//! paths share the same feed-drain loop, so the demo exercises exactly
+//! the code the socket path runs.
 //!
 //! Exit status: `0` clean, `1` alarms under `--expect-clean`, `2`
 //! usage/I-O/parse error.
 
-use bench::fmt_cr;
+use obsv::dashboard::{cr_series, fmt_cr, render_dashboard, sparkline, SPARK_COLS};
 use obsv::event::parse_jsonl;
 use obsv::{Monitor, MonitorConfig, MonitorReport, TraceEvent, TraceRecord};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use skirental::estimator::{realized_cr, AdaptiveController};
+use skirental::estimator::AdaptiveController;
 use skirental::BreakEven;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
+use std::io::BufRead;
 use std::process::ExitCode;
 use std::time::Instant;
-
-/// Dashboard truncation: streams shown in the table / alarms in the log.
-const MAX_ROWS: usize = 16;
-const MAX_ALARM_LINES: usize = 40;
-/// Sparkline width, columns.
-const SPARK_COLS: usize = 40;
-/// Sparkline intensity ramp, low CR → high CR.
-const RAMP: &[u8] = b".:-=+*#%@";
 
 /// Live-demo scenario (compact cousin of `fault_sweep --drift`).
 const LIVE_STOPS: usize = 3000;
@@ -63,43 +62,21 @@ const LIVE_FREEZE: std::ops::Range<usize> = 1150..2150;
 const LIVE_STREAM: u64 = 42;
 const LIVE_SEED: u64 = 9001;
 
+/// Records retained for sparkline recomputation in live mode. Alarms and
+/// per-stream aggregates come from the stateful monitor and are never
+/// truncated; this only bounds the memory of the drawing ledger when
+/// tailing a long-lived socket.
+const LIVE_RETAIN: usize = 200_000;
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: monitor --replay <trace.jsonl> [--report out.json] [--expect-clean]\n\
          \x20                                     [--break-even B] [--window W] [--warmup N]\n\
          \x20                                     [--mu-lambda L] [--q-lambda L]\n\
          \x20                                     [--ignore-stream S]... [--ignore-from R.json]\n\
-         \x20      monitor --live [--frame N]"
+         \x20      monitor --live [--frame N] [--source <socket|fifo|file>]"
     );
     ExitCode::from(2)
-}
-
-/// Downsamples `series` to at most `cols` columns (chunk maxima, so
-/// spikes survive) and maps each to the intensity ramp, scaled from CR 1
-/// (every realized CR is ≥ 1) to the series maximum. Non-finite windows
-/// (offline cost still zero) render as `!`.
-fn sparkline(series: &[f64], cols: usize) -> String {
-    if series.is_empty() {
-        return String::new();
-    }
-    let chunk = series.len().div_ceil(cols);
-    let points: Vec<f64> =
-        series.chunks(chunk).map(|c| c.iter().copied().fold(f64::NEG_INFINITY, f64::max)).collect();
-    let top = points.iter().copied().filter(|v| v.is_finite()).fold(1.0f64, f64::max);
-    points
-        .iter()
-        .map(|&v| {
-            if !v.is_finite() {
-                '!'
-            } else if top <= 1.0 {
-                RAMP[0] as char
-            } else {
-                let t = ((v - 1.0) / (top - 1.0)).clamp(0.0, 1.0);
-                let idx = (t * (RAMP.len() - 1) as f64).round() as usize;
-                RAMP[idx] as char
-            }
-        })
-        .collect()
 }
 
 /// Reads the `monitor.ignored_streams` meta key of a run report — the
@@ -122,98 +99,6 @@ fn ignored_streams_from_report(path: &str) -> Result<Vec<u64>, String> {
             })
         })
         .collect()
-}
-
-/// Recomputes each stream's windowed-CR history from its `stop_cost`
-/// records — the same ledger the monitor keeps, unrolled over time so
-/// the dashboard can draw it.
-fn cr_series(records: &[TraceRecord], window: usize) -> BTreeMap<u64, Vec<f64>> {
-    let mut ledgers: BTreeMap<u64, VecDeque<(f64, f64)>> = BTreeMap::new();
-    let mut series: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
-    for r in records {
-        if let TraceEvent::StopCost { online_s, offline_s, .. } = r.event {
-            let ledger = ledgers.entry(r.stream).or_default();
-            ledger.push_back((online_s, offline_s));
-            if ledger.len() > window {
-                ledger.pop_front();
-            }
-            let (mut online, mut offline) = (0.0, 0.0);
-            for (on, off) in ledger.iter() {
-                online += on;
-                offline += off;
-            }
-            series.entry(r.stream).or_default().push(realized_cr(online, offline));
-        }
-    }
-    series
-}
-
-fn render_dashboard(report: &MonitorReport, series: &BTreeMap<u64, Vec<f64>>) {
-    println!(
-        "{:>10} {:>6} {:>7} {:>7} {:>7} {:<10} {:>8} {:>7} {:>6}  windowed CR (oldest → newest)",
-        "stream", "stops", "cum CR", "win CR", "bound", "trust", "μ-PH", "q-PH", "alarms",
-    );
-    // Streams with alarms first (most first), then by id — the
-    // interesting rows survive truncation.
-    let mut order: Vec<_> = report.streams.iter().collect();
-    order.sort_by(|(ia, a), (ib, b)| b.alarms.len().cmp(&a.alarms.len()).then(ia.cmp(ib)));
-    for (stream, s) in order.iter().take(MAX_ROWS) {
-        let bound = s.bound_cr.map_or("      -".to_string(), fmt_cr);
-        let spark = series.get(stream).map_or(String::new(), |v| sparkline(v, SPARK_COLS));
-        println!(
-            "{:>10} {:>6} {} {} {} {:<10} {:>8.2} {:>7.3} {:>6}  {}",
-            stream,
-            s.stops,
-            fmt_cr(s.cumulative_cr()),
-            fmt_cr(s.windowed_cr()),
-            bound,
-            s.trust,
-            s.mu_stat,
-            s.q_stat,
-            s.alarms.len(),
-            spark
-        );
-    }
-    if order.len() > MAX_ROWS {
-        println!(
-            "  … {} more streams (all streams are in the --report output)",
-            order.len() - MAX_ROWS
-        );
-    }
-
-    let mut occupancy: BTreeMap<&str, u64> = BTreeMap::new();
-    for s in report.streams.values() {
-        *occupancy.entry(s.trust.as_str()).or_default() += 1;
-    }
-    let occupancy: Vec<String> =
-        occupancy.iter().map(|(level, n)| format!("{n} {level}")).collect();
-    println!("trust-ladder occupancy: {}", occupancy.join(", "));
-
-    let total = report.total_alarms();
-    if total == 0 {
-        println!("alarm log: empty");
-        return;
-    }
-    println!(
-        "alarm log ({total}: {} drift, {} vertex_mismatch, {} cr_bound):",
-        report.alarms_of("drift"),
-        report.alarms_of("vertex_mismatch"),
-        report.alarms_of("cr_bound"),
-    );
-    let mut shown = 0usize;
-    'log: for (stream, s) in &report.streams {
-        for a in &s.alarms {
-            if shown == MAX_ALARM_LINES {
-                println!("  … and {} more", total as usize - shown);
-                break 'log;
-            }
-            println!(
-                "  stream {:>10} stop {:>6}  {:<16} {} (observed {:.4}, limit {:.4})",
-                stream, a.stop, a.alarm, a.detail, a.observed, a.limit
-            );
-            shown += 1;
-        }
-    }
 }
 
 /// Writes the run report carrying the monitor section, stamped with the
@@ -288,7 +173,7 @@ fn replay(
         config.break_even_s,
         derived.len(),
     );
-    render_dashboard(&report, &cr_series(&records, config.window));
+    print!("{}", render_dashboard(&report, &cr_series(&records, config.window)));
 
     let clean = report.total_alarms() == 0;
     if let Some(out) = report_path {
@@ -304,39 +189,123 @@ fn replay(
     ExitCode::SUCCESS
 }
 
-/// Runs the built-in drift demo against the process-wide monitor,
-/// printing a dashboard frame every `frame` stops.
-fn live(config: MonitorConfig, frame: usize, report_path: Option<String>) -> ExitCode {
-    let start = Instant::now();
-    let monitor = obsv::monitor::global();
-    monitor.set_config(config);
-    monitor.enable();
+/// A source of trace-record batches for the live loop. The demo and the
+/// socket/FIFO tail differ only in where records come from; everything
+/// downstream (monitor replay, alarm surfacing, frame rendering) is the
+/// one [`live`] implementation.
+enum LiveFeed {
+    /// Built-in seeded drift scenario, generated on the fly.
+    Demo(DemoFeed),
+    /// External JSONL trace lines from a socket, FIFO, or file.
+    Source { path: String, reader: Box<dyn BufRead>, line: u64 },
+}
 
-    println!(
-        "=== streaming CR-regret monitor — live drift demo ===\n\
-         {LIVE_STOPS} stops on stream {LIVE_STREAM}, distribution shift in \
-         [{}, {}), sensor freeze in [{}, {}), frame every {frame} stops",
-        LIVE_SHIFT.start, LIVE_SHIFT.end, LIVE_FREEZE.start, LIVE_FREEZE.end
-    );
+impl LiveFeed {
+    /// Opens `path` as a live source: unix sockets are connected to,
+    /// anything else (FIFO or regular file) is opened for reading. A
+    /// FIFO blocks until a producer appears — exactly the tail behavior
+    /// wanted — and the feed ends when every producer closes it.
+    fn open(path: &str) -> Result<Self, String> {
+        let meta =
+            std::fs::metadata(path).map_err(|e| format!("cannot stat source {path}: {e}"))?;
+        let reader: Box<dyn BufRead> = {
+            #[cfg(unix)]
+            {
+                use std::os::unix::fs::FileTypeExt;
+                if meta.file_type().is_socket() {
+                    let stream = std::os::unix::net::UnixStream::connect(path)
+                        .map_err(|e| format!("cannot connect to socket {path}: {e}"))?;
+                    Box::new(std::io::BufReader::new(stream))
+                } else {
+                    let file = std::fs::File::open(path)
+                        .map_err(|e| format!("cannot open source {path}: {e}"))?;
+                    Box::new(std::io::BufReader::new(file))
+                }
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = &meta;
+                let file = std::fs::File::open(path)
+                    .map_err(|e| format!("cannot open source {path}: {e}"))?;
+                Box::new(std::io::BufReader::new(file))
+            }
+        };
+        Ok(LiveFeed::Source { path: path.to_string(), reader, line: 0 })
+    }
 
-    let b = BreakEven::SSV;
-    let mut dist_rng = StdRng::seed_from_u64(LIVE_SEED);
-    let mut policy_rng = StdRng::seed_from_u64(LIVE_SEED + 1);
-    let mut ctl = AdaptiveController::with_window(b, 50);
-    let mut ledger: VecDeque<(f64, f64)> = VecDeque::new();
-    let mut series = Vec::new();
-    let mut alarms_seen = 0usize;
+    /// Yields the next batch of at most `max` records, or `None` when the
+    /// feed is exhausted (demo finished, or the source hit EOF).
+    fn next_batch(&mut self, max: usize) -> Result<Option<Vec<TraceRecord>>, String> {
+        match self {
+            LiveFeed::Demo(demo) => Ok(demo.next_batch(max)),
+            LiveFeed::Source { path, reader, line } => {
+                let mut batch = Vec::new();
+                let mut buf = String::new();
+                while batch.len() < max {
+                    buf.clear();
+                    let n = reader
+                        .read_line(&mut buf)
+                        .map_err(|e| format!("read error on {path}: {e}"))?;
+                    if n == 0 {
+                        break;
+                    }
+                    *line += 1;
+                    let trimmed = buf.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    let record = TraceRecord::from_json_line(trimmed)
+                        .map_err(|e| format!("{path}:{line}: {e}"))?;
+                    batch.push(record);
+                }
+                Ok(if batch.is_empty() { None } else { Some(batch) })
+            }
+        }
+    }
 
-    obsv::tracer::set_stream(LIVE_STREAM);
-    for i in 0..LIVE_STOPS {
-        obsv::tracer::begin_stop(i as u64);
-        let u = stopmodel::uniform01(&mut dist_rng);
-        let y = if LIVE_SHIFT.contains(&i) { 10.0 + 8.0 * u } else { 2.0 + 6.0 * u };
-        let observed = if LIVE_FREEZE.contains(&i) && i % 12 < 10 { 900.0 } else { y };
-        let x = ctl.decide(&mut policy_rng);
-        let online = if x.is_infinite() { y } else { b.online_cost(x, y) };
-        let offline = b.offline_cost(y);
-        if obsv::tracer::observing() {
+    fn describe(&self) -> String {
+        match self {
+            LiveFeed::Demo(_) => format!(
+                "built-in drift demo: {LIVE_STOPS} stops on stream {LIVE_STREAM}, \
+                 distribution shift in [{}, {}), sensor freeze in [{}, {})",
+                LIVE_SHIFT.start, LIVE_SHIFT.end, LIVE_FREEZE.start, LIVE_FREEZE.end
+            ),
+            LiveFeed::Source { path, .. } => format!("tailing {path}"),
+        }
+    }
+}
+
+/// The built-in drift scenario as a record generator: an adaptive
+/// controller run against a shifting stop distribution with a frozen
+/// duration register mid-run, captured through the global tracer so the
+/// feed carries the controller's full causal chain (`stop_decision`,
+/// `estimator_update`, ladder transitions) next to the `stop_cost`
+/// records — exactly what a live socket source would carry.
+struct DemoFeed {
+    records: Vec<TraceRecord>,
+    next: usize,
+}
+
+impl DemoFeed {
+    fn new() -> Self {
+        let tracer = obsv::tracer::global();
+        tracer.set_capacity(1 << 16);
+        tracer.clear();
+        tracer.enable();
+
+        let b = BreakEven::SSV;
+        let mut dist_rng = StdRng::seed_from_u64(LIVE_SEED);
+        let mut policy_rng = StdRng::seed_from_u64(LIVE_SEED + 1);
+        let mut ctl = AdaptiveController::with_window(b, 50);
+        obsv::tracer::set_stream(LIVE_STREAM);
+        for i in 0..LIVE_STOPS {
+            obsv::tracer::begin_stop(i as u64);
+            let u = stopmodel::uniform01(&mut dist_rng);
+            let y = if LIVE_SHIFT.contains(&i) { 10.0 + 8.0 * u } else { 2.0 + 6.0 * u };
+            let observed = if LIVE_FREEZE.contains(&i) && i % 12 < 10 { 900.0 } else { y };
+            let x = ctl.decide(&mut policy_rng);
+            let online = if x.is_infinite() { y } else { b.online_cost(x, y) };
+            let offline = b.offline_cost(y);
             obsv::tracer::emit(TraceEvent::StopCost {
                 threshold_b: x,
                 stop_s: y,
@@ -344,48 +313,114 @@ fn live(config: MonitorConfig, frame: usize, report_path: Option<String>) -> Exi
                 offline_s: offline,
                 restarted: !x.is_infinite() && y >= x,
             });
+            let _ = ctl.try_observe(observed);
         }
-        ledger.push_back((online, offline));
-        if ledger.len() > config.window {
-            ledger.pop_front();
-        }
-        let (mut on, mut off) = (0.0, 0.0);
-        for (o, f) in &ledger {
-            on += o;
-            off += f;
-        }
-        series.push(realized_cr(on, off));
-        let _ = ctl.try_observe(observed);
+        tracer.disable();
+        DemoFeed { records: tracer.drain_sorted(), next: 0 }
+    }
 
-        if (i + 1) % frame == 0 || i + 1 == LIVE_STOPS {
-            let report = monitor.report();
-            let s = &report.streams[&LIVE_STREAM];
-            println!(
-                "[stop {:>5}] win CR {} | μ-PH {:>7.2} q-PH {:>6.3} | {} alarm(s)  {}",
-                i + 1,
-                fmt_cr(realized_cr(on, off)),
-                s.mu_stat,
-                s.q_stat,
-                s.alarms.len(),
-                sparkline(&series, SPARK_COLS),
-            );
-            for a in &s.alarms[alarms_seen..] {
+    fn next_batch(&mut self, max: usize) -> Option<Vec<TraceRecord>> {
+        if self.next >= self.records.len() {
+            return None;
+        }
+        let end = (self.next + max).min(self.records.len());
+        let batch = self.records[self.next..end].to_vec();
+        self.next = end;
+        Some(batch)
+    }
+}
+
+/// Streams shown per frame line before truncation (the final dashboard
+/// shows up to [`obsv::dashboard::MAX_ROWS`]).
+const FRAME_STREAMS: usize = 4;
+
+/// Drains a live feed through a fresh monitor, printing a frame every
+/// `frame` stop-cost records plus every alarm as it derives, then the
+/// final dashboard. One implementation for both the demo and `--source`.
+fn live(
+    mut feed: LiveFeed,
+    config: MonitorConfig,
+    frame: usize,
+    report_path: Option<String>,
+) -> ExitCode {
+    let start = Instant::now();
+    let monitor = Monitor::new(config);
+    println!(
+        "=== streaming CR-regret monitor — live ===\n\
+         {}, frame every {frame} stops",
+        feed.describe()
+    );
+
+    let mut records: Vec<TraceRecord> = Vec::new();
+    let mut events = 0usize;
+    let mut stops = 0usize;
+    let mut since_frame = 0usize;
+    let mut touched: BTreeMap<u64, ()> = BTreeMap::new();
+    loop {
+        let batch = match feed.next_batch(frame) {
+            Ok(Some(b)) => b,
+            Ok(None) => break,
+            Err(e) => {
+                eprintln!("monitor: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let stops_in_batch =
+            batch.iter().filter(|r| matches!(r.event, TraceEvent::StopCost { .. })).count();
+        events += batch.len();
+        stops += stops_in_batch;
+        since_frame += stops_in_batch;
+        for alarm in monitor.replay(&batch) {
+            if let TraceEvent::MonitorAlarm { alarm: kind, detail, observed, limit, .. } =
+                &alarm.event
+            {
                 println!(
-                    "    ALARM [{}] at stop {}: {} (observed {:.4}, limit {:.4})",
-                    a.alarm, a.stop, a.detail, a.observed, a.limit
+                    "    ALARM [{kind}] stream {} at stop {}: {detail} \
+                     (observed {observed:.4}, limit {limit:.4})",
+                    alarm.stream, alarm.stop
                 );
             }
-            alarms_seen = s.alarms.len();
+        }
+        for r in &batch {
+            if matches!(r.event, TraceEvent::StopCost { .. }) {
+                touched.insert(r.stream, ());
+            }
+        }
+        records.extend(batch);
+        if records.len() > LIVE_RETAIN {
+            let cut = records.len() - LIVE_RETAIN;
+            records.drain(..cut);
+        }
+
+        if since_frame >= frame {
+            since_frame = 0;
+            let report = monitor.report();
+            let series = cr_series(&records, monitor.config().window);
+            for stream in touched.keys().take(FRAME_STREAMS) {
+                let Some(s) = report.streams.get(stream) else { continue };
+                let win = series.get(stream).and_then(|v| v.last().copied());
+                println!(
+                    "[{stops:>6} stops] stream {stream:>6}: win CR {} | μ-PH {:>7.2} \
+                     q-PH {:>6.3} | {} alarm(s)  {}",
+                    win.map_or("      -".to_string(), fmt_cr),
+                    s.mu_stat,
+                    s.q_stat,
+                    s.alarms.len(),
+                    series.get(stream).map_or(String::new(), |v| sparkline(v, SPARK_COLS)),
+                );
+            }
+            if touched.len() > FRAME_STREAMS {
+                println!("    … {} more active streams", touched.len() - FRAME_STREAMS);
+            }
+            touched.clear();
         }
     }
 
     let report = monitor.report();
-    monitor.disable();
-    monitor.reset();
-    println!("\nfinal state:");
-    render_dashboard(&report, &BTreeMap::from([(LIVE_STREAM, series)]));
+    println!("\nfinal state ({events} events, {stops} stops):");
+    print!("{}", render_dashboard(&report, &cr_series(&records, monitor.config().window)));
     if let Some(out) = report_path {
-        return write_report(&out, "--live", LIVE_STOPS, start.elapsed().as_secs_f64(), report);
+        return write_report(&out, "--live", events, start.elapsed().as_secs_f64(), report);
     }
     ExitCode::SUCCESS
 }
@@ -393,6 +428,7 @@ fn live(config: MonitorConfig, frame: usize, report_path: Option<String>) -> Exi
 fn main() -> ExitCode {
     let mut trace = None;
     let mut is_live = false;
+    let mut source: Option<String> = None;
     let mut report = None;
     let mut expect_clean = false;
     let mut frame = 500usize;
@@ -414,6 +450,11 @@ fn main() -> ExitCode {
             trace = Some(v.to_string());
         } else if a == "--live" {
             is_live = true;
+        } else if a == "--source" || a.starts_with("--source=") {
+            source = take(a.strip_prefix("--source=").map(str::to_string), &mut args);
+            if source.is_none() {
+                return usage();
+            }
         } else if a == "--report" || a.starts_with("--report=") {
             report = take(a.strip_prefix("--report=").map(str::to_string), &mut args);
             if report.is_none() {
@@ -491,7 +532,19 @@ fn main() -> ExitCode {
 
     match (trace, is_live) {
         (Some(path), false) => replay(&path, config, report, expect_clean, &ignore),
-        (None, true) => live(config, frame, report),
+        (None, true) => {
+            let feed = match source {
+                None => LiveFeed::Demo(DemoFeed::new()),
+                Some(path) => match LiveFeed::open(&path) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        eprintln!("monitor: {e}");
+                        return ExitCode::from(2);
+                    }
+                },
+            };
+            live(feed, config, frame, report)
+        }
         _ => usage(),
     }
 }

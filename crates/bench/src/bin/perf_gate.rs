@@ -228,6 +228,72 @@ fn batch_phase() -> BatchThroughput {
     BatchThroughput { batch_sps: total_stops / batch_best, scalar_sps: total_stops / scalar_best }
 }
 
+/// Decision throughput through the full daemon path: an in-process
+/// `fleetd` on a unix socket, one client streaming seeded blocks —
+/// frame codec, socket hops, bounded queue, write-ahead journal, and
+/// the sharded engine all on the clock. Recorded in meta as
+/// `daemon_decisions_per_sec` (observability only — no floor yet; a
+/// future baseline refresh can promote it to a gate).
+fn daemon_phase() -> f64 {
+    const DAEMON_LANES: usize = 2_048;
+    const DAEMON_BLOCKS: usize = 24;
+    const DAEMON_BLOCK_STEPS: usize = 8;
+    // The daemon drives the same engine and persistence layers the
+    // gated workload does; recording its counters would shift the
+    // exact-match comparison. This phase is timing-only.
+    obsv::global().disable();
+    let scratch = std::env::temp_dir().join(format!("perf-gate-daemon-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&scratch);
+    fs::create_dir_all(&scratch).expect("scratch dir");
+    let socket = scratch.join("fleetd.sock");
+    let options = fleetd::server::ServeOptions {
+        dir: scratch.join("fleet"),
+        config: fleetstate::FleetConfig {
+            lanes: DAEMON_LANES,
+            break_even: BreakEven::SSV.seconds(),
+            window: Some(ESTIMATOR_WINDOW),
+            min_history: 3,
+            seed: SEED,
+            trace_stream_base: 960_000,
+        },
+        threads: THREADS,
+        snapshot_every: 0,
+        queue_capacity: 64,
+        emit_trace: false,
+        engine_delay_ms: 0,
+        recover: false,
+    };
+    let started = fleetd::server::serve(&options, &socket, None).expect("daemon starts");
+    let mut client = fleetd::client::Client::connect_unix(&socket).expect("daemon accepts");
+    client.hello("perf-gate").expect("handshake");
+
+    let mut rng = StdRng::seed_from_u64(SEED + 307);
+    let blocks: Vec<Vec<Vec<f64>>> = (0..DAEMON_BLOCKS)
+        .map(|_| {
+            (0..DAEMON_BLOCK_STEPS)
+                .map(|_| {
+                    (0..DAEMON_LANES).map(|_| 120.0 * stopmodel::uniform01(&mut rng)).collect()
+                })
+                .collect()
+        })
+        .collect();
+
+    let t = Instant::now();
+    let mut step = 0u64;
+    for block in &blocks {
+        match client.submit(step, block).expect("submit succeeds") {
+            fleetd::proto::Reply::Decisions { steps, .. } => step += u64::from(steps),
+            other => panic!("daemon phase: unexpected reply {other:?}"),
+        }
+    }
+    let elapsed = t.elapsed().as_secs_f64();
+    drop(client);
+    started.handle.stop();
+    let _ = fs::remove_dir_all(&scratch);
+    obsv::global().enable();
+    (DAEMON_LANES * DAEMON_BLOCKS * DAEMON_BLOCK_STEPS) as f64 / elapsed
+}
+
 /// Gates the batched-decision throughput: the relative ≥
 /// [`MIN_BATCH_SPEEDUP`]× floor against the fresh scalar path, and the
 /// absolute `batch_stops_per_sec` floor recorded in the baseline
@@ -401,6 +467,10 @@ fn main() -> ExitCode {
     // as the floor for future runs.
     reporter.meta("batch_stops_per_sec", format!("{:.0}", throughput.batch_sps));
     reporter.meta("scalar_stops_per_sec", format!("{:.0}", throughput.scalar_sps));
+    // Daemon-path throughput rides in meta for observability only — no
+    // floor yet, so baselines written before the daemon existed stay
+    // valid and machines see the number before a gate pins it.
+    reporter.meta("daemon_decisions_per_sec", format!("{:.0}", daemon_phase()));
 
     let fresh = reporter.capture();
     reporter.finish();

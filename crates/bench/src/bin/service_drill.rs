@@ -1,0 +1,538 @@
+//! CI service drill: prove the daemon's crash story end to end.
+//!
+//! The drill starts a real `fleetd` process on a unix socket, drives a
+//! seeded multi-vehicle load-generator session against it, SIGKILLs the
+//! daemon mid-ingest, restarts it with `--recover`, resumes the
+//! session from the recovered step, and then asserts — against an
+//! uninterrupted in-process golden run of the same workload — that
+//!
+//! 1. the final estimator state is **byte-identical**,
+//! 2. the full event history served by `ReplayEvents` is
+//!    **byte-identical** as canonical JSONL, and
+//! 3. a burst of concurrent submissions against a tiny queue gets
+//!    explicit `Busy` backpressure, not blocking or data loss.
+//!
+//! The recorded trace is written next to the report so CI can push it
+//! through `monitor --replay --expect-clean`. On failure, artifacts
+//! (golden + recovered traces, the first divergence, both state dumps)
+//! land in `--artifact-dir` for upload.
+//!
+//! ```text
+//! service_drill [--fleetd PATH] [--vehicles N] [--blocks N]
+//!               [--steps-per-block N] [--kill-after N]
+//!               [--artifact-dir DIR] [--report out.json]
+//! ```
+
+use bench::RunReporter;
+use fleetd::client::{Client, SessionRecorder};
+use fleetd::proto::Reply;
+use fleetstate::{FleetConfig, FleetRunner};
+use obsv::{Monitor, MonitorConfig};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitCode};
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 20140608;
+const BREAK_EVEN: f64 = 28.0;
+const ESTIMATOR_WINDOW: usize = 50;
+const MIN_HISTORY: usize = 3;
+/// Engine threads, pinned on both the golden run and the daemon so the
+/// comparison never depends on machine shape.
+const THREADS: usize = 2;
+/// Snapshot cadence (steps) — small, so the kill lands between
+/// snapshots and recovery exercises snapshot + journal-tail replay.
+const SNAPSHOT_EVERY: u64 = 16;
+/// Daemon queue depth during the drill: small enough that the
+/// backpressure burst reliably sees `Busy`.
+const QUEUE_CAPACITY: usize = 2;
+/// Engine throttle (ms) making the backpressure burst deterministic.
+const ENGINE_DELAY_MS: u64 = 15;
+/// Concurrent clients in the backpressure burst.
+const BURST_CLIENTS: usize = 6;
+
+struct Options {
+    fleetd: Option<PathBuf>,
+    vehicles: usize,
+    blocks: usize,
+    steps_per_block: usize,
+    kill_after: usize,
+    artifact_dir: PathBuf,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: service_drill [--fleetd PATH] [--vehicles N] [--blocks N]\n\
+         \x20                    [--steps-per-block N] [--kill-after N]\n\
+         \x20                    [--artifact-dir DIR] [--report out.json]"
+    );
+    ExitCode::from(2)
+}
+
+fn config(vehicles: usize) -> FleetConfig {
+    FleetConfig {
+        lanes: vehicles,
+        break_even: BREAK_EVEN,
+        window: Some(ESTIMATOR_WINDOW),
+        min_history: MIN_HISTORY,
+        seed: SEED,
+        trace_stream_base: 0,
+    }
+}
+
+/// The seeded workload row for one global step: uniform-ish 0..120 s
+/// stops from a splitmix-style hash of (step, lane), straddling the
+/// 28 s break-even. Pure function of the step, so the session can
+/// resume from ANY recovered step without replaying generator state.
+fn row(step: u64, vehicles: usize) -> Vec<f64> {
+    (0..vehicles as u64)
+        .map(|lane| {
+            let mut x = step
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(lane.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+                .wrapping_add(SEED);
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x ^= x >> 27;
+            120.0 * ((x >> 11) as f64 / (1u64 << 53) as f64)
+        })
+        .collect()
+}
+
+fn rows(first_step: u64, steps: usize, vehicles: usize) -> Vec<Vec<f64>> {
+    (0..steps).map(|t| row(first_step + t as u64, vehicles)).collect()
+}
+
+/// Locates the `fleetd` binary: explicit flag, or a sibling of this
+/// executable (both live in `target/<profile>/`).
+fn find_fleetd(explicit: Option<&Path>) -> Result<PathBuf, String> {
+    if let Some(path) = explicit {
+        return if path.exists() {
+            Ok(path.to_path_buf())
+        } else {
+            Err(format!("--fleetd {}: not found", path.display()))
+        };
+    }
+    let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir = me.parent().ok_or("current_exe has no parent")?;
+    for candidate in [dir.join("fleetd"), dir.join("../fleetd")] {
+        if candidate.exists() {
+            return Ok(candidate);
+        }
+    }
+    Err(format!(
+        "fleetd binary not found next to {} — build it (cargo build -p fleetd) or pass --fleetd",
+        me.display()
+    ))
+}
+
+fn spawn_daemon(
+    fleetd: &Path,
+    socket: &Path,
+    dir: &Path,
+    vehicles: usize,
+    recover: bool,
+) -> Result<Child, String> {
+    let mut cmd = Command::new(fleetd);
+    cmd.arg("--socket")
+        .arg(socket)
+        .arg("--dir")
+        .arg(dir)
+        .arg("--lanes")
+        .arg(vehicles.to_string())
+        .arg("--break-even")
+        .arg(BREAK_EVEN.to_string())
+        .arg("--window")
+        .arg(ESTIMATOR_WINDOW.to_string())
+        .arg("--min-history")
+        .arg(MIN_HISTORY.to_string())
+        .arg("--seed")
+        .arg(SEED.to_string())
+        .arg("--threads")
+        .arg(THREADS.to_string())
+        .arg("--snapshot-every")
+        .arg(SNAPSHOT_EVERY.to_string())
+        .arg("--queue")
+        .arg(QUEUE_CAPACITY.to_string())
+        .arg("--engine-delay-ms")
+        .arg(ENGINE_DELAY_MS.to_string());
+    if recover {
+        cmd.arg("--recover");
+    }
+    cmd.spawn().map_err(|e| format!("spawn {}: {e}", fleetd.display()))
+}
+
+/// Waits until the daemon answers a handshake (the socket file existing
+/// is not enough — it must be accepting).
+fn await_daemon(socket: &Path, child: &mut Child) -> Result<(FleetConfig, u64), String> {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Some(status) = child.try_wait().map_err(|e| e.to_string())? {
+            return Err(format!("daemon exited during startup: {status}"));
+        }
+        if socket.exists() {
+            if let Ok(mut client) = Client::connect_unix(socket) {
+                if let Ok((cfg, step, _)) = client.hello("drill-probe") {
+                    return Ok((cfg, step));
+                }
+            }
+        }
+        if Instant::now() > deadline {
+            return Err("daemon did not come up within 30 s".to_string());
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Submits steps `[from, to)` in blocks, asserting decisions come back.
+fn drive(
+    client: &mut Client,
+    from: u64,
+    to: u64,
+    block: usize,
+    vehicles: usize,
+) -> Result<u64, String> {
+    let mut step = from;
+    while step < to {
+        let steps = ((to - step) as usize).min(block);
+        match client.submit(step, &rows(step, steps, vehicles)) {
+            Ok(Reply::Decisions { first_step, steps: got, .. }) => {
+                if first_step != step || got as usize != steps {
+                    return Err(format!(
+                        "decisions for steps {first_step}+{got}, wanted {step}+{steps}"
+                    ));
+                }
+                step += steps as u64;
+            }
+            Ok(Reply::Busy { .. }) => {
+                // The drill's own queue pressure; retry the same block.
+                std::thread::sleep(Duration::from_millis(ENGINE_DELAY_MS));
+            }
+            Ok(other) => return Err(format!("unexpected reply {other:?}")),
+            Err(e) => return Err(format!("submit at step {step}: {e}")),
+        }
+    }
+    Ok(step)
+}
+
+/// The uninterrupted reference: same workload through an in-process
+/// engine with tracing on. Returns (state bytes, lane-trace JSONL).
+fn golden(vehicles: usize, total_steps: u64, block: usize) -> Result<(Vec<u8>, String), String> {
+    let tracer = obsv::tracer::global();
+    tracer.set_capacity((vehicles * 8).max(1 << 16));
+    tracer.enable();
+    tracer.clear();
+    let cfg = config(vehicles);
+    let mut runner = FleetRunner::new(&cfg, THREADS).map_err(|e| e.to_string())?;
+    let mut step = 0u64;
+    while step < total_steps {
+        let steps = ((total_steps - step) as usize).min(block);
+        runner.run_block(&rows(step, steps, vehicles), true).map_err(|e| e.to_string())?;
+        step += steps as u64;
+    }
+    let meta = cfg.meta_stream();
+    let records: Vec<_> = tracer.drain_sorted().into_iter().filter(|r| r.stream < meta).collect();
+    tracer.disable();
+    let state = fleetstate::encode_fleet_state(&runner.export_state());
+    Ok((state, obsv::event::to_jsonl(&records)))
+}
+
+fn write_artifact(dir: &Path, name: &str, bytes: &[u8]) {
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join(name);
+    if let Err(e) = std::fs::write(&path, bytes) {
+        eprintln!("service_drill: cannot write artifact {}: {e}", path.display());
+    } else {
+        eprintln!("service_drill: artifact {}", path.display());
+    }
+}
+
+fn first_divergence_artifact(dir: &Path, golden: &str, recovered: &str) {
+    let div = obsv::first_divergence(
+        std::io::BufReader::new(golden.as_bytes()),
+        std::io::BufReader::new(recovered.as_bytes()),
+        3,
+    );
+    let text = match div {
+        Ok(Some(d)) => format!(
+            "first divergence at line {}\ncontext:\n{}\ngolden   : {}\nrecovered: {}\n",
+            d.line,
+            d.context.join("\n"),
+            d.left.unwrap_or_else(|| "<absent>".to_string()),
+            d.right.unwrap_or_else(|| "<absent>".to_string()),
+        ),
+        Ok(None) => "traces identical (divergence must be elsewhere)\n".to_string(),
+        Err(e) => format!("divergence scan failed: {e}\n"),
+    };
+    write_artifact(dir, "first_divergence.txt", text.as_bytes());
+}
+
+#[allow(clippy::too_many_lines)]
+fn run(opts: &Options, reporter: &mut RunReporter) -> Result<(), String> {
+    let vehicles = opts.vehicles;
+    let block = opts.steps_per_block;
+    let total_steps = (opts.blocks * block) as u64;
+    let kill_step = (opts.kill_after * block) as u64;
+
+    let scratch = std::env::temp_dir().join(format!("service-drill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).map_err(|e| e.to_string())?;
+    let socket = scratch.join("fleetd.sock");
+    let state_dir = scratch.join("fleet");
+    let fleetd = find_fleetd(opts.fleetd.as_deref())?;
+    eprintln!(
+        "service_drill: {vehicles} vehicles × {total_steps} steps, kill after step {kill_step}; \
+         daemon {}",
+        fleetd.display()
+    );
+
+    // Phase 0 — the uninterrupted golden run.
+    let t0 = Instant::now();
+    let (golden_state, golden_trace) = golden(vehicles, total_steps, block)?;
+    eprintln!("service_drill: golden run in {:.2} s", t0.elapsed().as_secs_f64());
+
+    // Phase 1 — live session up to the kill point, then SIGKILL while a
+    // submit is in flight (the journal may keep a torn tail; recovery
+    // must shrug it off).
+    let mut child = spawn_daemon(&fleetd, &socket, &state_dir, vehicles, false)?;
+    await_daemon(&socket, &mut child)?;
+    let mut client = Client::connect_unix(&socket).map_err(|e| e.to_string())?;
+    client.hello("drill-load").map_err(|e| e.to_string())?;
+    drive(&mut client, 0, kill_step, block, vehicles)?;
+
+    let killer = std::thread::spawn(move || {
+        // Land inside the next block's journal-append/process window.
+        std::thread::sleep(Duration::from_millis(ENGINE_DELAY_MS / 2));
+        child.kill().map_err(|e| e.to_string())?;
+        child.wait().map_err(|e| e.to_string())
+    });
+    // This submit races the SIGKILL: both a torn error and a served
+    // reply are legitimate outcomes.
+    let midflight = client.submit(kill_step, &rows(kill_step, block, vehicles));
+    let status = killer.join().map_err(|_| "killer thread panicked")??;
+    eprintln!(
+        "service_drill: daemon killed ({status}); mid-flight submit {}",
+        match &midflight {
+            Ok(_) => "was served".to_string(),
+            Err(e) => format!("failed as expected ({e})"),
+        }
+    );
+
+    // Phase 2 — restart with --recover and resume from wherever the
+    // journal's clean prefix ends (mid-block is legal under SIGKILL).
+    let mut child = spawn_daemon(&fleetd, &socket, &state_dir, vehicles, true)?;
+    let (_, resumed) = await_daemon(&socket, &mut child)?;
+    if resumed < kill_step || resumed > kill_step + block as u64 {
+        return Err(format!(
+            "recovered step {resumed} outside [{kill_step}, {}]",
+            kill_step + block as u64
+        ));
+    }
+    reporter.meta("drill.resumed_step", resumed);
+    let mut client = Client::connect_unix(&socket).map_err(|e| e.to_string())?;
+    client.hello("drill-resume").map_err(|e| e.to_string())?;
+    drive(&mut client, resumed, total_steps, block, vehicles)?;
+
+    // Phase 3 — byte-compare state and full event history.
+    let recovered_state = client.export_state().map_err(|e| e.to_string())?;
+    let replayed = client.replay_events().map_err(|e| e.to_string())?;
+    let mut recorder = SessionRecorder::new();
+    recorder.absorb(replayed);
+    let meta = config(vehicles).meta_stream();
+    let lane_records = recorder.records_below_stream(meta);
+    let recovered_trace = obsv::event::to_jsonl(&lane_records);
+    reporter.meta("drill.events_replayed", recorder.len());
+
+    let state_ok = recovered_state == golden_state;
+    let trace_ok = recovered_trace == golden_trace;
+    if !state_ok || !trace_ok {
+        write_artifact(&opts.artifact_dir, "golden_trace.jsonl", golden_trace.as_bytes());
+        write_artifact(&opts.artifact_dir, "recovered_trace.jsonl", recovered_trace.as_bytes());
+        write_artifact(&opts.artifact_dir, "golden_state.bin", &golden_state);
+        write_artifact(&opts.artifact_dir, "recovered_state.bin", &recovered_state);
+        first_divergence_artifact(&opts.artifact_dir, &golden_trace, &recovered_trace);
+        let _ = client.shutdown();
+        let _ = child.wait();
+        return Err(format!(
+            "recovery broke byte-identity: state {} ({} vs {} bytes), trace {}",
+            if state_ok { "ok" } else { "DIVERGED" },
+            recovered_state.len(),
+            golden_state.len(),
+            if trace_ok { "ok" } else { "DIVERGED" },
+        ));
+    }
+    eprintln!(
+        "service_drill: state ({} bytes) and trace ({} lane events) byte-identical",
+        recovered_state.len(),
+        lane_records.len()
+    );
+
+    // The recorded trace is also this run's monitor input: a local
+    // replay must be alarm-free, and the file is left for CI to push
+    // through `monitor --replay --expect-clean` independently.
+    let monitor = Monitor::new(MonitorConfig {
+        break_even_s: BREAK_EVEN,
+        window: ESTIMATOR_WINDOW,
+        ..MonitorConfig::default()
+    });
+    let alarms = monitor.replay(&lane_records);
+    reporter.meta("drill.monitor_alarms", alarms.len());
+    if !alarms.is_empty() {
+        for a in alarms.iter().take(5) {
+            eprintln!("service_drill: ALARM {}", a.event.describe());
+        }
+        write_artifact(&opts.artifact_dir, "recovered_trace.jsonl", recovered_trace.as_bytes());
+        let _ = client.shutdown();
+        let _ = child.wait();
+        return Err(format!("monitor raised {} alarms on the recovered trace", alarms.len()));
+    }
+    write_artifact(&opts.artifact_dir, "session_trace.jsonl", recovered_trace.as_bytes());
+
+    // Phase 4 — backpressure burst: concurrent submits against the
+    // 2-deep queue must see explicit Busy, and every client must
+    // eventually be served without corrupting the engine (the state
+    // comparison above already pinned the pre-burst state).
+    let before = client.stats().map_err(|e| e.to_string())?;
+    let burst_base = total_steps;
+    let outcomes = std::thread::scope(|scope| -> Result<Vec<bool>, String> {
+        let handles: Vec<_> = (0..BURST_CLIENTS)
+            .map(|_| {
+                let socket = socket.clone();
+                scope.spawn(move || -> Result<bool, String> {
+                    let mut c = Client::connect_unix(&socket).map_err(|e| e.to_string())?;
+                    let mut saw_busy = false;
+                    loop {
+                        match c
+                            .submit(u64::MAX, &rows(burst_base, 1, vehicles))
+                            .map_err(|e| e.to_string())?
+                        {
+                            Reply::Decisions { .. } => return Ok(saw_busy),
+                            Reply::Busy { .. } => {
+                                saw_busy = true;
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            other => return Err(format!("burst: unexpected {other:?}")),
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().map_err(|_| "burst thread panicked".to_string())?)
+            .collect()
+    })?;
+    let after = client.stats().map_err(|e| e.to_string())?;
+    let rejected = after.busy_rejections - before.busy_rejections;
+    reporter.meta("drill.busy_rejections", rejected);
+    if outcomes.iter().filter(|b| **b).count() == 0 || rejected == 0 {
+        let _ = client.shutdown();
+        let _ = child.wait();
+        return Err(format!(
+            "backpressure burst saw no Busy replies ({BURST_CLIENTS} clients, queue \
+             {QUEUE_CAPACITY}, {rejected} rejections)"
+        ));
+    }
+    eprintln!(
+        "service_drill: burst served {BURST_CLIENTS}/{BURST_CLIENTS} with {rejected} explicit \
+         Busy rejections"
+    );
+
+    // Graceful close; scratch is only kept while something failed.
+    client.shutdown().map_err(|e| e.to_string())?;
+    let status = child.wait().map_err(|e| e.to_string())?;
+    if !status.success() {
+        return Err(format!("daemon exited uncleanly after shutdown: {status}"));
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut opts = Options {
+        fleetd: None,
+        vehicles: 10_000,
+        blocks: 12,
+        steps_per_block: 4,
+        kill_after: 6,
+        artifact_dir: PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/service_drill"),
+    };
+    let mut reporter = RunReporter::from_args("service_drill");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let take = |v: Option<String>, rest: &mut dyn Iterator<Item = String>| match v {
+            Some(v) => Some(v),
+            None => rest.next(),
+        };
+        if a == "--fleetd" || a.starts_with("--fleetd=") {
+            match take(a.strip_prefix("--fleetd=").map(str::to_string), &mut args) {
+                Some(v) => opts.fleetd = Some(PathBuf::from(v)),
+                None => return usage(),
+            }
+        } else if a == "--vehicles" || a.starts_with("--vehicles=") {
+            match take(a.strip_prefix("--vehicles=").map(str::to_string), &mut args)
+                .and_then(|v| v.parse().ok())
+            {
+                Some(v) if v > 0 => opts.vehicles = v,
+                _ => return usage(),
+            }
+        } else if a == "--blocks" || a.starts_with("--blocks=") {
+            match take(a.strip_prefix("--blocks=").map(str::to_string), &mut args)
+                .and_then(|v| v.parse().ok())
+            {
+                Some(v) if v > 0 => opts.blocks = v,
+                _ => return usage(),
+            }
+        } else if a == "--steps-per-block" || a.starts_with("--steps-per-block=") {
+            match take(a.strip_prefix("--steps-per-block=").map(str::to_string), &mut args)
+                .and_then(|v| v.parse().ok())
+            {
+                Some(v) if v > 0 => opts.steps_per_block = v,
+                _ => return usage(),
+            }
+        } else if a == "--kill-after" || a.starts_with("--kill-after=") {
+            match take(a.strip_prefix("--kill-after=").map(str::to_string), &mut args)
+                .and_then(|v| v.parse().ok())
+            {
+                Some(v) => opts.kill_after = v,
+                None => return usage(),
+            }
+        } else if a == "--artifact-dir" || a.starts_with("--artifact-dir=") {
+            match take(a.strip_prefix("--artifact-dir=").map(str::to_string), &mut args) {
+                Some(v) => opts.artifact_dir = PathBuf::from(v),
+                None => return usage(),
+            }
+        } else if a == "--report" || a.starts_with("--report=") {
+            // Parsed by RunReporter::from_args; consume the value form.
+            if a == "--report" && args.next().is_none() {
+                return usage();
+            }
+        } else {
+            return usage();
+        }
+    }
+    if opts.kill_after >= opts.blocks {
+        eprintln!("service_drill: --kill-after must be < --blocks");
+        return usage();
+    }
+
+    reporter.meta("seed", SEED);
+    reporter.meta("vehicles", opts.vehicles);
+    reporter.meta("total_steps", opts.blocks * opts.steps_per_block);
+    reporter.meta("kill_after_step", opts.kill_after * opts.steps_per_block);
+
+    let t = Instant::now();
+    match run(&opts, &mut reporter) {
+        Ok(()) => {
+            eprintln!("service_drill: PASS in {:.2} s", t.elapsed().as_secs_f64());
+            reporter.meta("drill.result", "pass");
+            reporter.finish();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("service_drill: FAIL: {e}");
+            reporter.meta("drill.result", "fail");
+            reporter.finish();
+            ExitCode::FAILURE
+        }
+    }
+}

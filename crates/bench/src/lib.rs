@@ -303,14 +303,12 @@ pub fn worker_threads() -> usize {
         })
 }
 
-/// Formats a CR for table output (`inf` for unbounded).
+/// Formats a CR for table output (`inf` for unbounded). Delegates to
+/// the shared dashboard module so every console formats CRs the same
+/// way.
 #[must_use]
 pub fn fmt_cr(cr: f64) -> String {
-    if cr.is_infinite() {
-        "    inf".to_string()
-    } else {
-        format!("{cr:7.4}")
-    }
+    obsv::dashboard::fmt_cr(cr)
 }
 
 /// Builds a `ConstrainedStats` from a distribution, panicking only on

@@ -1,0 +1,259 @@
+//! `fleetctl` — the daemon's control and console client.
+//!
+//! ```text
+//! fleetctl status   --socket PATH             daemon counters
+//! fleetctl snapshot --socket PATH             force a snapshot now
+//! fleetctl state    --socket PATH --out FILE  export estimator state bytes
+//! fleetctl replay   --socket PATH [--out F]   full canonical event history
+//! fleetctl tail     --socket PATH [...]       live TUI console
+//! fleetctl shutdown --socket PATH             graceful stop
+//! ```
+//!
+//! `tail` subscribes to the daemon's event stream and runs a local
+//! [`obsv::Monitor`] over it — the same drift/CR analysis as the
+//! offline `monitor` bin, rendered with the shared
+//! [`obsv::dashboard`] (alarm log, windowed-CR sparklines, ladder
+//! occupancy). `--record FILE` additionally captures every event as
+//! canonical JSONL so the session can be byte-compared against an
+//! offline journal replay.
+
+use fleetd::client::{Client, SessionRecorder};
+use fleetd::proto::StatsInfo;
+use obsv::dashboard::{cr_series, render_dashboard};
+use obsv::{Monitor, MonitorConfig, TraceEvent, TraceRecord};
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: fleetctl COMMAND --socket PATH [options]\n\
+         \n\
+         commands:\n\
+         \x20 status                      print daemon counters\n\
+         \x20 snapshot                    force a snapshot now\n\
+         \x20 state --out FILE            export estimator state bytes\n\
+         \x20 replay [--out FILE]         full canonical event history (JSONL)\n\
+         \x20 tail [--record FILE] [--frame-every N] [--max-batches N]\n\
+         \x20      [--window N] [--plain]  live monitor console\n\
+         \x20 shutdown                    stop the daemon gracefully\n\
+         \n\
+         --tcp ADDR may replace --socket PATH for any command."
+    );
+    ExitCode::from(2)
+}
+
+struct Cli {
+    command: String,
+    socket: Option<PathBuf>,
+    tcp: Option<String>,
+    out: Option<PathBuf>,
+    record: Option<PathBuf>,
+    frame_every: u64,
+    max_batches: u64,
+    window: usize,
+    plain: bool,
+}
+
+fn parse() -> Option<Cli> {
+    let mut args = std::env::args().skip(1);
+    let mut cli = Cli {
+        command: String::new(),
+        socket: None,
+        tcp: None,
+        out: None,
+        record: None,
+        frame_every: 20,
+        max_batches: 0,
+        window: 64,
+        plain: false,
+    };
+    while let Some(a) = args.next() {
+        let value = |a: &str, key: &str, rest: &mut dyn Iterator<Item = String>| {
+            a.strip_prefix(&format!("{key}=")).map(str::to_string).or_else(|| rest.next())
+        };
+        if a == "--socket" || a.starts_with("--socket=") {
+            cli.socket = Some(PathBuf::from(value(&a, "--socket", &mut args)?));
+        } else if a == "--tcp" || a.starts_with("--tcp=") {
+            cli.tcp = Some(value(&a, "--tcp", &mut args)?);
+        } else if a == "--out" || a.starts_with("--out=") {
+            cli.out = Some(PathBuf::from(value(&a, "--out", &mut args)?));
+        } else if a == "--record" || a.starts_with("--record=") {
+            cli.record = Some(PathBuf::from(value(&a, "--record", &mut args)?));
+        } else if a == "--frame-every" || a.starts_with("--frame-every=") {
+            cli.frame_every = value(&a, "--frame-every", &mut args)?.parse().ok()?;
+        } else if a == "--max-batches" || a.starts_with("--max-batches=") {
+            cli.max_batches = value(&a, "--max-batches", &mut args)?.parse().ok()?;
+        } else if a == "--window" || a.starts_with("--window=") {
+            cli.window = value(&a, "--window", &mut args)?.parse().ok()?;
+        } else if a == "--plain" {
+            cli.plain = true;
+        } else if !a.starts_with('-') && cli.command.is_empty() {
+            // The command may appear before or after the flags.
+            cli.command = a;
+        } else {
+            return None;
+        }
+    }
+    if cli.command.is_empty() || (cli.socket.is_none() && cli.tcp.is_none()) {
+        return None;
+    }
+    Some(cli)
+}
+
+fn connect(cli: &Cli) -> Result<Client, String> {
+    match (&cli.socket, &cli.tcp) {
+        (Some(path), _) => Client::connect_unix(path).map_err(|e| e.to_string()),
+        (None, Some(addr)) => Client::connect_tcp(addr).map_err(|e| e.to_string()),
+        (None, None) => Err("no --socket or --tcp".to_string()),
+    }
+}
+
+fn print_stats(info: &StatsInfo) {
+    println!("step              {}", info.step);
+    println!("lanes             {}", info.lanes);
+    println!("queue             {}/{}", info.queue_depth, info.queue_capacity);
+    println!("connections       {}", info.connections);
+    println!("subscribers       {}", info.subscribers);
+    println!("busy rejections   {}", info.busy_rejections);
+    println!("blocks ingested   {}", info.blocks_ingested);
+    println!("journal frames    {}", info.journal_frames);
+    println!("online cost       {:.3}", info.online_total);
+    println!("offline cost      {:.3}", info.offline_total);
+    let cr = obsv::dashboard::realized_cr(info.online_total, info.offline_total);
+    println!("realized CR       {}", obsv::dashboard::fmt_cr(cr).trim_start());
+}
+
+/// One live console session: subscribe, analyze each batch with a
+/// local monitor, redraw the dashboard every `frame_every` batches.
+fn tail(cli: &Cli) -> Result<(), String> {
+    let mut client = connect(cli)?;
+    let (config, step, client_id) = client.hello("fleetctl-tail").map_err(|e| e.to_string())?;
+    eprintln!(
+        "tailing fleet of {} lanes from step {step} as client {client_id} (window {})",
+        config.lanes, cli.window
+    );
+    let monitor = Monitor::new(MonitorConfig {
+        break_even_s: config.break_even,
+        window: cli.window,
+        ..MonitorConfig::default()
+    });
+    let mut recorder = cli.record.as_ref().map(|_| SessionRecorder::new());
+    let mut retained: Vec<TraceRecord> = Vec::new();
+    let mut batches: u64 = 0;
+    let max_batches = cli.max_batches;
+    let frame_every = cli.frame_every.max(1);
+    let plain = cli.plain;
+    let mut recorder_ref = recorder.take();
+    client
+        .subscribe(|batch| {
+            batches += 1;
+            let alarms = monitor.replay(&batch);
+            for alarm in &alarms {
+                if let TraceEvent::MonitorAlarm { .. } = &alarm.event {
+                    eprintln!("ALARM {}", alarm.event.describe());
+                }
+            }
+            if let Some(recorder) = recorder_ref.as_mut() {
+                recorder.absorb(batch.clone());
+            }
+            retained.extend(batch);
+            if retained.len() > RETAIN_CAP {
+                let excess = retained.len() - RETAIN_CAP;
+                retained.drain(..excess);
+            }
+            if batches % frame_every == 0 {
+                draw(&monitor, &retained, cli.window, plain);
+            }
+            max_batches == 0 || batches < max_batches
+        })
+        .map_err(|e| e.to_string())?;
+    recorder = recorder_ref;
+    // Final frame + capture flush.
+    draw(&monitor, &retained, cli.window, plain);
+    eprintln!("stream ended after {batches} batches");
+    if let (Some(path), Some(recorder)) = (&cli.record, &recorder) {
+        std::fs::write(path, recorder.to_jsonl())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        eprintln!("recorded {} events to {}", recorder.len(), path.display());
+    }
+    Ok(())
+}
+
+/// Sparkline ledger cap — enough for a long session's windowed CR
+/// without unbounded growth.
+const RETAIN_CAP: usize = 200_000;
+
+fn draw(monitor: &Monitor, retained: &[TraceRecord], window: usize, plain: bool) {
+    let report = monitor.report();
+    let series = cr_series(retained, window);
+    let body = render_dashboard(&report, &series);
+    if plain {
+        println!("{body}");
+    } else {
+        // ANSI: clear screen, home cursor, draw the frame.
+        print!("\x1b[2J\x1b[H{body}");
+        let _ = std::io::stdout().flush();
+    }
+}
+
+fn run(cli: &Cli) -> Result<(), String> {
+    match cli.command.as_str() {
+        "status" => {
+            let mut client = connect(cli)?;
+            client.hello("fleetctl").map_err(|e| e.to_string())?;
+            let info = client.stats().map_err(|e| e.to_string())?;
+            print_stats(&info);
+            Ok(())
+        }
+        "snapshot" => {
+            let mut client = connect(cli)?;
+            let ack = client.snapshot().map_err(|e| e.to_string())?;
+            println!("{ack}");
+            Ok(())
+        }
+        "state" => {
+            let out = cli.out.as_ref().ok_or("state needs --out FILE")?;
+            let mut client = connect(cli)?;
+            let bytes = client.export_state().map_err(|e| e.to_string())?;
+            std::fs::write(out, &bytes).map_err(|e| format!("write {}: {e}", out.display()))?;
+            println!("{} bytes to {}", bytes.len(), out.display());
+            Ok(())
+        }
+        "replay" => {
+            let mut client = connect(cli)?;
+            let records = client.replay_events().map_err(|e| e.to_string())?;
+            let jsonl = obsv::event::to_jsonl(&records);
+            match &cli.out {
+                Some(path) => {
+                    std::fs::write(path, jsonl)
+                        .map_err(|e| format!("write {}: {e}", path.display()))?;
+                    eprintln!("{} events to {}", records.len(), path.display());
+                }
+                None => print!("{jsonl}"),
+            }
+            Ok(())
+        }
+        "tail" => tail(cli),
+        "shutdown" => {
+            let mut client = connect(cli)?;
+            let ack = client.shutdown().map_err(|e| e.to_string())?;
+            println!("{ack}");
+            Ok(())
+        }
+        _ => Err(format!("unknown command `{}`", cli.command)),
+    }
+}
+
+fn main() -> ExitCode {
+    let Some(cli) = parse() else {
+        return usage();
+    };
+    match run(&cli) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fleetctl: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Fleet decision daemon for the idling-reduction stack.
+//!
+//! `fleetd` turns the batch engine ([`skirental::batch`] sharded
+//! estimators under a [`fleetstate::PersistentFleet`] write-ahead
+//! journal) into a long-running service: clients stream per-step idle
+//! observations for a fleet of vehicles over a unix socket (TCP
+//! optional) and get back, per vehicle, the stop/start threshold and
+//! the four-vertex policy ([`skirental::batch::VertexKind`]) that
+//! produced it.
+//!
+//! The crate splits into three layers:
+//!
+//! * [`proto`] — the wire format: length-prefixed, CRC-framed binary
+//!   messages following the `fleetstate::format` conventions (magic,
+//!   version, kind, length, payload, CRC-32). Decoding arbitrary bytes
+//!   never panics; every failure is a typed, offset-carrying
+//!   [`proto::WireError`].
+//! * [`server`] — the daemon: a single engine thread owning the
+//!   journaled fleet, a bounded ingest queue with explicit
+//!   [`proto::Reply::Busy`] backpressure, and per-connection threads.
+//!   Because every block is journaled before it is processed, a
+//!   SIGKILL at any instant loses nothing: restart with recovery and
+//!   the estimator state `(μ̂_B⁻, q̂_B⁺)` is bit-identical.
+//! * [`client`] — a thin blocking client used by `fleetctl`, the
+//!   load generator, and the CI service drill; includes a session
+//!   recorder that captures every event batch as canonical JSONL so a
+//!   live session is byte-identically replayable offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, SessionRecorder};
+pub use proto::{Reply, Request, StatsInfo, WireError};
+pub use server::{serve, ServeOptions, ServerHandle, Started};

@@ -1,0 +1,918 @@
+//! The `fleetd` wire protocol: length-prefixed, CRC-framed binary
+//! messages over a byte stream.
+//!
+//! Every message is one **frame**, mirroring the
+//! [`fleetstate::format`] container conventions with
+//! its own magic so the two can never be confused:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "FLTD"
+//! 4       2     protocol version (little-endian u16, currently 1)
+//! 6       1     message kind (see [`Request`] / [`Reply`] kind bytes)
+//! 7       1     reserved (zero)
+//! 8       4     payload length (little-endian u32)
+//! 12      n     payload
+//! 12+n    4     CRC-32 (IEEE) over bytes [0, 12+n)
+//! ```
+//!
+//! All integers are little-endian; floats are IEEE-754 bit patterns.
+//! Request kinds live in `[1, 63]`, reply kinds in `[64, 127]`, so a
+//! stray reply can never parse as a request. The decoder is total:
+//! arbitrary bytes produce a typed, offset-carrying [`WireError`] —
+//! never a panic, never an unbounded allocation (`payload length` is
+//! capped at [`MAX_PAYLOAD`] *before* any buffer is sized).
+
+use fleetstate::FleetConfig;
+use numeric::crc32;
+use skirental::batch::VertexKind;
+use std::io::{Read, Write};
+
+/// The four magic bytes opening every protocol frame.
+pub const MAGIC: [u8; 4] = *b"FLTD";
+
+/// The current protocol version.
+pub const VERSION: u16 = 1;
+
+/// Bytes of the fixed frame header (before the payload).
+pub const HEADER_LEN: usize = 12;
+
+/// Bytes of the trailing checksum.
+pub const TRAILER_LEN: usize = 4;
+
+/// Hard cap on a frame's payload: a 4096-step block for a 262k-vehicle
+/// fleet still fits, while a crafted length field cannot demand an
+/// absurd allocation.
+pub const MAX_PAYLOAD: u32 = 1 << 26;
+
+/// Cap on string fields (client names, error messages).
+const MAX_STRING: u32 = 1 << 16;
+
+/// Why decoding a frame or payload failed. Every variant names the byte
+/// offset (within the frame buffer handed to the decoder) at which the
+/// problem was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ends before the frame does.
+    Truncated {
+        /// Offset where more bytes were needed.
+        offset: u64,
+        /// Bytes the frame claims to need from offset 0.
+        needed: u64,
+        /// Bytes actually available.
+        available: u64,
+    },
+    /// The first four bytes are not the protocol magic.
+    BadMagic {
+        /// Offset of the expected magic (always 0 for a frame decode).
+        offset: u64,
+    },
+    /// A frame from a different protocol version.
+    UnsupportedVersion {
+        /// Offset of the version field.
+        offset: u64,
+        /// The version the header claims.
+        version: u16,
+    },
+    /// The payload length field exceeds [`MAX_PAYLOAD`].
+    OversizedPayload {
+        /// Offset of the length field.
+        offset: u64,
+        /// The length the header claims.
+        len: u32,
+    },
+    /// The frame's CRC-32 does not match its contents.
+    ChecksumMismatch {
+        /// Offset of the stored checksum.
+        offset: u64,
+        /// The checksum stored in the frame.
+        stored: u32,
+        /// The checksum computed over the frame's bytes.
+        computed: u32,
+    },
+    /// A structurally valid frame whose kind byte is not a message this
+    /// decoder accepts.
+    UnknownKind {
+        /// Offset of the kind byte.
+        offset: u64,
+        /// The kind byte the header carries.
+        kind: u8,
+    },
+    /// A CRC-valid frame whose payload does not decode.
+    BadPayload {
+        /// Offset (within the frame) where decoding failed.
+        offset: u64,
+        /// What was wrong.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated { offset, needed, available } => write!(
+                f,
+                "truncated frame at offset {offset}: needs {needed} bytes, {available} available"
+            ),
+            Self::BadMagic { offset } => write!(f, "bad magic at offset {offset}"),
+            Self::UnsupportedVersion { offset, version } => {
+                write!(f, "unsupported protocol version {version} at offset {offset}")
+            }
+            Self::OversizedPayload { offset, len } => {
+                write!(f, "oversized payload length {len} at offset {offset}")
+            }
+            Self::ChecksumMismatch { offset, stored, computed } => write!(
+                f,
+                "checksum mismatch at offset {offset}: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            Self::UnknownKind { offset, kind } => {
+                write!(f, "unknown message kind {kind} at offset {offset}")
+            }
+            Self::BadPayload { offset, what } => {
+                write!(f, "bad payload at offset {offset}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------
+// Payload reader (total: every access bounds-checked).
+// ---------------------------------------------------------------------
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, at: 0 }
+    }
+
+    fn err(&self, what: &'static str) -> WireError {
+        WireError::BadPayload { offset: self.at as u64, what }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.at.checked_add(n).ok_or(self.err("length overflow"))?;
+        if end > self.bytes.len() {
+            return Err(self.err("payload ends early"));
+        }
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()?;
+        if len > MAX_STRING {
+            return Err(self.err("string too long"));
+        }
+        let bytes = self.take(len as usize)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.err("string is not UTF-8"))
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.at != self.bytes.len() {
+            Err(WireError::BadPayload { offset: self.at as u64, what: "trailing payload bytes" })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    let bytes = &s.as_bytes()[..s.len().min(MAX_STRING as usize)];
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+fn put_config(out: &mut Vec<u8>, config: &FleetConfig) {
+    put_u32(out, config.lanes as u32);
+    put_f64(out, config.break_even);
+    put_u32(out, config.window.map_or(0, |w| w as u32));
+    put_u32(out, config.min_history as u32);
+    put_u64(out, config.seed);
+    put_u64(out, config.trace_stream_base);
+}
+
+fn read_config(r: &mut Reader<'_>) -> Result<FleetConfig, WireError> {
+    let lanes = r.u32()? as usize;
+    let break_even = r.f64()?;
+    let window = match r.u32()? {
+        0 => None,
+        w => Some(w as usize),
+    };
+    let min_history = r.u32()? as usize;
+    let seed = r.u64()?;
+    let trace_stream_base = r.u64()?;
+    Ok(FleetConfig { lanes, break_even, window, min_history, seed, trace_stream_base })
+}
+
+// ---------------------------------------------------------------------
+// Messages.
+// ---------------------------------------------------------------------
+
+/// A client → daemon message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Handshake: identify the client, learn the fleet configuration and
+    /// current step.
+    Hello {
+        /// A short client name (for session trace events).
+        name: String,
+    },
+    /// Ingest a block of observations, time-major: `rows[t][lane]` is
+    /// lane `lane`'s stop duration at step `first_step + t`. Answered
+    /// with [`Reply::Decisions`], [`Reply::Busy`] (backpressure), or
+    /// [`Reply::Error`].
+    Submit {
+        /// The step the client believes the block starts at
+        /// (`u64::MAX` = don't check). The daemon rejects a mismatch so
+        /// a resumed client can't silently double-feed.
+        first_step: u64,
+        /// The observation rows.
+        rows: Vec<Vec<f64>>,
+    },
+    /// Serving statistics. Answered with [`Reply::Stats`].
+    Stats,
+    /// The complete fleet state ([`fleetstate::encode_fleet_state`]
+    /// bytes) — the byte-comparison oracle drills use. Answered with
+    /// [`Reply::State`].
+    ExportState,
+    /// Switch this connection into an event tail: the daemon pushes
+    /// [`Reply::Events`] frames (never `last`) until the connection
+    /// closes. No further requests are read.
+    Subscribe,
+    /// Replay the complete journal through a fresh engine, regenerating
+    /// the canonical event history of the whole session. Answered with a
+    /// sequence of [`Reply::Events`] frames, the final one marked
+    /// `last`.
+    ReplayEvents,
+    /// Take a snapshot now. Answered with [`Reply::Ack`].
+    Snapshot,
+    /// Gracefully stop the daemon. Answered with [`Reply::Ack`], then
+    /// the daemon exits.
+    Shutdown,
+}
+
+/// Serving statistics carried by [`Reply::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StatsInfo {
+    /// Steps processed per lane so far.
+    pub step: u64,
+    /// Vehicles in the fleet.
+    pub lanes: u32,
+    /// Ingest blocks currently queued.
+    pub queue_depth: u32,
+    /// Ingest queue capacity (blocks).
+    pub queue_capacity: u32,
+    /// Connections accepted so far.
+    pub connections: u32,
+    /// Live event subscribers.
+    pub subscribers: u32,
+    /// Submits rejected with [`Reply::Busy`] so far.
+    pub busy_rejections: u64,
+    /// Blocks ingested so far.
+    pub blocks_ingested: u64,
+    /// Journal frames written so far.
+    pub journal_frames: u64,
+    /// Total online cost across the fleet.
+    pub online_total: f64,
+    /// Total offline (clairvoyant) cost across the fleet.
+    pub offline_total: f64,
+}
+
+/// A daemon → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Handshake answer: the fleet configuration, the current step, and
+    /// the id the daemon assigned this client (its session trace events
+    /// ride stream `meta_stream + 1 + client_id`).
+    HelloAck {
+        /// The daemon's fleet configuration.
+        config: FleetConfig,
+        /// Steps processed per lane so far.
+        step: u64,
+        /// This connection's client id.
+        client_id: u64,
+    },
+    /// The decisions for a submitted block, lane-major: index
+    /// `lane * steps + t` holds lane `lane`'s decision at block-relative
+    /// step `t`.
+    Decisions {
+        /// First step the block covered.
+        first_step: u64,
+        /// Steps in the block.
+        steps: u32,
+        /// Lanes in the fleet.
+        lanes: u32,
+        /// Idle-threshold decisions, seconds (`+inf` = never restart).
+        thresholds: Vec<f64>,
+        /// The vertex each decision came from.
+        vertices: Vec<VertexKind>,
+    },
+    /// Explicit backpressure: the ingest queue is full, nothing was
+    /// journaled or processed — resubmit later.
+    Busy {
+        /// Blocks queued at rejection time.
+        queued: u32,
+        /// The queue's capacity.
+        capacity: u32,
+    },
+    /// Serving statistics.
+    Stats(StatsInfo),
+    /// The complete fleet state, [`fleetstate::encode_fleet_state`]
+    /// bytes.
+    State(Vec<u8>),
+    /// A batch of trace events as canonical JSONL (one record per
+    /// line). Subscribe tails never set `last`; replay answers end with
+    /// `last = true`.
+    Events {
+        /// Whether this is the final frame of a replay answer.
+        last: bool,
+        /// Canonical JSONL, possibly empty.
+        jsonl: String,
+    },
+    /// Command acknowledged.
+    Ack {
+        /// Human-readable detail (e.g. the snapshot step).
+        info: String,
+    },
+    /// The request failed; nothing changed.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+const KIND_HELLO: u8 = 1;
+const KIND_SUBMIT: u8 = 2;
+const KIND_STATS: u8 = 3;
+const KIND_EXPORT_STATE: u8 = 4;
+const KIND_SUBSCRIBE: u8 = 5;
+const KIND_REPLAY_EVENTS: u8 = 6;
+const KIND_SNAPSHOT: u8 = 7;
+const KIND_SHUTDOWN: u8 = 8;
+
+const KIND_HELLO_ACK: u8 = 64;
+const KIND_DECISIONS: u8 = 65;
+const KIND_BUSY: u8 = 66;
+const KIND_STATS_REPLY: u8 = 67;
+const KIND_STATE: u8 = 68;
+const KIND_EVENTS: u8 = 69;
+const KIND_ACK: u8 = 70;
+const KIND_ERROR: u8 = 71;
+
+impl Request {
+    fn kind(&self) -> u8 {
+        match self {
+            Self::Hello { .. } => KIND_HELLO,
+            Self::Submit { .. } => KIND_SUBMIT,
+            Self::Stats => KIND_STATS,
+            Self::ExportState => KIND_EXPORT_STATE,
+            Self::Subscribe => KIND_SUBSCRIBE,
+            Self::ReplayEvents => KIND_REPLAY_EVENTS,
+            Self::Snapshot => KIND_SNAPSHOT,
+            Self::Shutdown => KIND_SHUTDOWN,
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Self::Hello { name } => put_string(&mut out, name),
+            Self::Submit { first_step, rows } => {
+                put_u64(&mut out, *first_step);
+                put_u32(&mut out, rows.len() as u32);
+                put_u32(&mut out, rows.first().map_or(0, |r| r.len() as u32));
+                for row in rows {
+                    for &y in row {
+                        put_f64(&mut out, y);
+                    }
+                }
+            }
+            Self::Stats
+            | Self::ExportState
+            | Self::Subscribe
+            | Self::ReplayEvents
+            | Self::Snapshot
+            | Self::Shutdown => {}
+        }
+        out
+    }
+
+    fn decode_payload(kind: u8, payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(payload);
+        let req = match kind {
+            KIND_HELLO => Self::Hello { name: r.string()? },
+            KIND_SUBMIT => {
+                let first_step = r.u64()?;
+                let steps = r.u32()? as usize;
+                let lanes = r.u32()? as usize;
+                let cells = steps
+                    .checked_mul(lanes)
+                    .and_then(|c| c.checked_mul(8))
+                    .ok_or(r.err("block size overflow"))?;
+                if cells != payload.len().saturating_sub(16) {
+                    return Err(r.err("block size does not match payload length"));
+                }
+                let mut rows = Vec::with_capacity(steps);
+                for _ in 0..steps {
+                    let mut row = Vec::with_capacity(lanes);
+                    for _ in 0..lanes {
+                        row.push(r.f64()?);
+                    }
+                    rows.push(row);
+                }
+                Self::Submit { first_step, rows }
+            }
+            KIND_STATS => Self::Stats,
+            KIND_EXPORT_STATE => Self::ExportState,
+            KIND_SUBSCRIBE => Self::Subscribe,
+            KIND_REPLAY_EVENTS => Self::ReplayEvents,
+            KIND_SNAPSHOT => Self::Snapshot,
+            KIND_SHUTDOWN => Self::Shutdown,
+            other => return Err(WireError::UnknownKind { offset: 6, kind: other }),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl Reply {
+    fn kind(&self) -> u8 {
+        match self {
+            Self::HelloAck { .. } => KIND_HELLO_ACK,
+            Self::Decisions { .. } => KIND_DECISIONS,
+            Self::Busy { .. } => KIND_BUSY,
+            Self::Stats(_) => KIND_STATS_REPLY,
+            Self::State(_) => KIND_STATE,
+            Self::Events { .. } => KIND_EVENTS,
+            Self::Ack { .. } => KIND_ACK,
+            Self::Error { .. } => KIND_ERROR,
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Self::HelloAck { config, step, client_id } => {
+                put_config(&mut out, config);
+                put_u64(&mut out, *step);
+                put_u64(&mut out, *client_id);
+            }
+            Self::Decisions { first_step, steps, lanes, thresholds, vertices } => {
+                put_u64(&mut out, *first_step);
+                put_u32(&mut out, *steps);
+                put_u32(&mut out, *lanes);
+                for &x in thresholds {
+                    put_f64(&mut out, x);
+                }
+                for &v in vertices {
+                    out.push(v as u8);
+                }
+            }
+            Self::Busy { queued, capacity } => {
+                put_u32(&mut out, *queued);
+                put_u32(&mut out, *capacity);
+            }
+            Self::Stats(s) => {
+                put_u64(&mut out, s.step);
+                put_u32(&mut out, s.lanes);
+                put_u32(&mut out, s.queue_depth);
+                put_u32(&mut out, s.queue_capacity);
+                put_u32(&mut out, s.connections);
+                put_u32(&mut out, s.subscribers);
+                put_u64(&mut out, s.busy_rejections);
+                put_u64(&mut out, s.blocks_ingested);
+                put_u64(&mut out, s.journal_frames);
+                put_f64(&mut out, s.online_total);
+                put_f64(&mut out, s.offline_total);
+            }
+            Self::State(bytes) => out.extend_from_slice(bytes),
+            Self::Events { last, jsonl } => {
+                out.push(u8::from(*last));
+                put_u32(&mut out, jsonl.len() as u32);
+                out.extend_from_slice(jsonl.as_bytes());
+            }
+            Self::Ack { info } => put_string(&mut out, info),
+            Self::Error { message } => put_string(&mut out, message),
+        }
+        out
+    }
+
+    fn decode_payload(kind: u8, payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(payload);
+        let reply = match kind {
+            KIND_HELLO_ACK => {
+                Self::HelloAck { config: read_config(&mut r)?, step: r.u64()?, client_id: r.u64()? }
+            }
+            KIND_DECISIONS => {
+                let first_step = r.u64()?;
+                let steps = r.u32()?;
+                let lanes = r.u32()?;
+                let cells = (steps as usize)
+                    .checked_mul(lanes as usize)
+                    .ok_or(r.err("decision count overflow"))?;
+                if cells.checked_mul(9).ok_or(r.err("decision count overflow"))?
+                    != payload.len().saturating_sub(16)
+                {
+                    return Err(r.err("decision count does not match payload length"));
+                }
+                let mut thresholds = Vec::with_capacity(cells);
+                for _ in 0..cells {
+                    thresholds.push(r.f64()?);
+                }
+                let mut vertices = Vec::with_capacity(cells);
+                for _ in 0..cells {
+                    let code = r.u8()?;
+                    vertices.push(
+                        VertexKind::from_u8(code).ok_or(r.err("unknown vertex discriminant"))?,
+                    );
+                }
+                Self::Decisions { first_step, steps, lanes, thresholds, vertices }
+            }
+            KIND_BUSY => Self::Busy { queued: r.u32()?, capacity: r.u32()? },
+            KIND_STATS_REPLY => Self::Stats(StatsInfo {
+                step: r.u64()?,
+                lanes: r.u32()?,
+                queue_depth: r.u32()?,
+                queue_capacity: r.u32()?,
+                connections: r.u32()?,
+                subscribers: r.u32()?,
+                busy_rejections: r.u64()?,
+                blocks_ingested: r.u64()?,
+                journal_frames: r.u64()?,
+                online_total: r.f64()?,
+                offline_total: r.f64()?,
+            }),
+            KIND_STATE => {
+                let bytes = payload.to_vec();
+                return Ok(Self::State(bytes));
+            }
+            KIND_EVENTS => {
+                let last = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(r.err("last flag is not 0 or 1")),
+                };
+                let len = r.u32()?;
+                let bytes = r.take(len as usize)?;
+                let jsonl = String::from_utf8(bytes.to_vec())
+                    .map_err(|_| WireError::BadPayload { offset: 5, what: "jsonl is not UTF-8" })?;
+                Self::Events { last, jsonl }
+            }
+            KIND_ACK => Self::Ack { info: r.string()? },
+            KIND_ERROR => Self::Error { message: r.string()? },
+            other => return Err(WireError::UnknownKind { offset: 6, kind: other }),
+        };
+        r.finish()?;
+        Ok(reply)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing.
+// ---------------------------------------------------------------------
+
+fn encode_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.push(kind);
+    out.push(0);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32::crc32(&out).to_le_bytes());
+    out
+}
+
+/// Decodes the frame header alone: `(kind, payload_len)`. Used by stream
+/// readers to learn how many more bytes to read before the full frame
+/// can be verified.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`], [`WireError::BadMagic`],
+/// [`WireError::UnsupportedVersion`], or [`WireError::OversizedPayload`].
+pub fn decode_header(bytes: &[u8]) -> Result<(u8, u32), WireError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(WireError::Truncated {
+            offset: bytes.len() as u64,
+            needed: HEADER_LEN as u64,
+            available: bytes.len() as u64,
+        });
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(WireError::BadMagic { offset: 0 });
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != VERSION {
+        return Err(WireError::UnsupportedVersion { offset: 4, version });
+    }
+    let len = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    if len > MAX_PAYLOAD {
+        return Err(WireError::OversizedPayload { offset: 8, len });
+    }
+    Ok((bytes[6], len))
+}
+
+/// Verifies a complete frame buffer (header + payload + checksum) and
+/// returns `(kind, payload)`.
+///
+/// # Errors
+///
+/// Any [`decode_header`] error, [`WireError::Truncated`] if the buffer
+/// is shorter than the frame, or [`WireError::ChecksumMismatch`].
+pub fn decode_frame(bytes: &[u8]) -> Result<(u8, &[u8]), WireError> {
+    let (kind, len) = decode_header(bytes)?;
+    let total = HEADER_LEN + len as usize + TRAILER_LEN;
+    if bytes.len() < total {
+        return Err(WireError::Truncated {
+            offset: bytes.len() as u64,
+            needed: total as u64,
+            available: bytes.len() as u64,
+        });
+    }
+    let body = &bytes[..HEADER_LEN + len as usize];
+    let at = HEADER_LEN + len as usize;
+    let stored = u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]);
+    let computed = crc32::crc32(body);
+    if stored != computed {
+        return Err(WireError::ChecksumMismatch { offset: at as u64, stored, computed });
+    }
+    Ok((kind, &bytes[HEADER_LEN..at]))
+}
+
+/// Encodes a request as one frame.
+#[must_use]
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    encode_frame(req.kind(), &req.payload())
+}
+
+/// Decodes a complete request frame.
+///
+/// # Errors
+///
+/// Any [`decode_frame`] error, [`WireError::UnknownKind`], or
+/// [`WireError::BadPayload`].
+pub fn decode_request(bytes: &[u8]) -> Result<Request, WireError> {
+    let (kind, payload) = decode_frame(bytes)?;
+    Request::decode_payload(kind, payload)
+}
+
+/// Encodes a reply as one frame.
+#[must_use]
+pub fn encode_reply(reply: &Reply) -> Vec<u8> {
+    encode_frame(reply.kind(), &reply.payload())
+}
+
+/// Decodes a complete reply frame.
+///
+/// # Errors
+///
+/// Any [`decode_frame`] error, [`WireError::UnknownKind`], or
+/// [`WireError::BadPayload`].
+pub fn decode_reply(bytes: &[u8]) -> Result<Reply, WireError> {
+    let (kind, payload) = decode_frame(bytes)?;
+    Reply::decode_payload(kind, payload)
+}
+
+// ---------------------------------------------------------------------
+// Stream I/O.
+// ---------------------------------------------------------------------
+
+/// Reads one complete frame from a stream: header first (to size the
+/// rest), then payload + checksum. Returns the whole frame buffer;
+/// `Ok(None)` on clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// `std::io::Error` on transport failure; a [`WireError`] from the
+/// header (wrapped as `InvalidData`) aborts before reading the body, so
+/// garbage cannot make the reader wait for gigabytes.
+pub fn read_frame<R: Read>(stream: &mut R) -> std::io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut got = 0usize;
+    while got < HEADER_LEN {
+        let n = stream.read(&mut header[got..])?;
+        if n == 0 {
+            if got == 0 {
+                return Ok(None);
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-frame",
+            ));
+        }
+        got += n;
+    }
+    let (_, len) = decode_header(&header)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut frame = vec![0u8; HEADER_LEN + len as usize + TRAILER_LEN];
+    frame[..HEADER_LEN].copy_from_slice(&header);
+    stream.read_exact(&mut frame[HEADER_LEN..])?;
+    Ok(Some(frame))
+}
+
+/// Writes one already-encoded frame to a stream and flushes it.
+///
+/// # Errors
+///
+/// `std::io::Error` on transport failure.
+pub fn write_frame<W: Write>(stream: &mut W, frame: &[u8]) -> std::io::Result<()> {
+    stream.write_all(frame)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Hello { name: "drill".to_string() },
+            Request::Submit {
+                first_step: 7,
+                rows: vec![vec![1.0, 2.5, f64::INFINITY], vec![0.0, 4.25, 9.75]],
+            },
+            Request::Submit { first_step: u64::MAX, rows: Vec::new() },
+            Request::Stats,
+            Request::ExportState,
+            Request::Subscribe,
+            Request::ReplayEvents,
+            Request::Snapshot,
+            Request::Shutdown,
+        ]
+    }
+
+    fn sample_replies() -> Vec<Reply> {
+        let config = FleetConfig {
+            lanes: 3,
+            break_even: 28.0,
+            window: Some(8),
+            min_history: 4,
+            seed: 99,
+            trace_stream_base: 1000,
+        };
+        vec![
+            Reply::HelloAck { config, step: 41, client_id: 2 },
+            Reply::Decisions {
+                first_step: 41,
+                steps: 2,
+                lanes: 3,
+                thresholds: vec![28.0, f64::INFINITY, 0.0, 1.5, 2.5, 3.5],
+                vertices: vec![
+                    VertexKind::ColdStart,
+                    VertexKind::Det,
+                    VertexKind::Toi,
+                    VertexKind::BDet,
+                    VertexKind::NRand,
+                    VertexKind::Det,
+                ],
+            },
+            Reply::Busy { queued: 8, capacity: 8 },
+            Reply::Stats(StatsInfo {
+                step: 41,
+                lanes: 3,
+                queue_depth: 1,
+                queue_capacity: 8,
+                connections: 4,
+                subscribers: 1,
+                busy_rejections: 2,
+                blocks_ingested: 20,
+                journal_frames: 41,
+                online_total: 123.5,
+                offline_total: 100.25,
+            }),
+            Reply::State(vec![1, 2, 3, 250]),
+            Reply::Events { last: true, jsonl: "{\"a\":1}\n".to_string() },
+            Reply::Events { last: false, jsonl: String::new() },
+            Reply::Ack { info: "snapshot at step 41".to_string() },
+            Reply::Error { message: "step mismatch".to_string() },
+        ]
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        for req in sample_requests() {
+            let frame = encode_request(&req);
+            assert_eq!(decode_request(&frame).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        for reply in sample_replies() {
+            let frame = encode_reply(&reply);
+            assert_eq!(decode_reply(&frame).unwrap(), reply, "{reply:?}");
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_is_typed() {
+        let frame = encode_request(&Request::Submit {
+            first_step: 3,
+            rows: vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+        });
+        for cut in 0..frame.len() {
+            let err = decode_request(&frame[..cut]).unwrap_err();
+            assert!(
+                matches!(err, WireError::Truncated { .. }),
+                "cut {cut}: expected Truncated, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_rejected() {
+        let frame = encode_reply(&Reply::Busy { queued: 1, capacity: 2 });
+        // Payload flip → checksum mismatch.
+        let mut bad = frame.clone();
+        bad[HEADER_LEN] ^= 0x10;
+        assert!(matches!(decode_reply(&bad), Err(WireError::ChecksumMismatch { .. })));
+        // Magic flip → bad magic before anything else.
+        let mut bad = frame.clone();
+        bad[0] ^= 0x01;
+        assert!(matches!(decode_reply(&bad), Err(WireError::BadMagic { offset: 0 })));
+        // Version flip → unsupported version.
+        let mut bad = frame;
+        bad[4] = 9;
+        assert!(matches!(
+            decode_reply(&bad),
+            Err(WireError::UnsupportedVersion { version: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut frame = encode_request(&Request::Stats);
+        frame[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_request(&frame),
+            Err(WireError::OversizedPayload { len: u32::MAX, .. })
+        ));
+    }
+
+    #[test]
+    fn request_reply_kind_spaces_disjoint() {
+        let frame = encode_reply(&Reply::Ack { info: String::new() });
+        assert!(matches!(decode_request(&frame), Err(WireError::UnknownKind { .. })));
+        let frame = encode_request(&Request::Stats);
+        assert!(matches!(decode_reply(&frame), Err(WireError::UnknownKind { .. })));
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &encode_request(&Request::Hello { name: "x".into() })).unwrap();
+        write_frame(&mut buf, &encode_request(&Request::Stats)).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let f1 = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(decode_request(&f1).unwrap(), Request::Hello { name: "x".into() });
+        let f2 = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(decode_request(&f2).unwrap(), Request::Stats);
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn mid_frame_eof_is_unexpected_eof() {
+        let frame = encode_request(&Request::Stats);
+        let mut cursor = std::io::Cursor::new(frame[..5].to_vec());
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -1,0 +1,706 @@
+//! The daemon: listener threads, bounded ingest queue, and the single
+//! engine thread that owns the journaled fleet.
+//!
+//! # Architecture
+//!
+//! ```text
+//! clients ──► connection threads ──► bounded job queue ──► engine thread
+//!                  │   ▲                 (try_send →            │
+//!                  │   └─ replies ◄──────  Busy on full)        │
+//!                  └─ Subscribe: event batches ◄── broadcast ◄──┘
+//! ```
+//!
+//! * One **engine thread** owns the [`fleetstate::PersistentFleet`]:
+//!   every block is journaled before it is processed (write-ahead), so a
+//!   SIGKILL at any instant recovers `(μ̂_B⁻, q̂_B⁺)` bit-identically.
+//!   Being the only thread that touches the engine, it needs no locks
+//!   and keeps the canonical trace deterministic.
+//! * **Connection threads** (one per client) decode request frames and
+//!   either answer directly (stats snapshots of shared atomics) or hand
+//!   an `EngineJob` to the queue. The queue is a
+//!   `std::sync::mpsc::sync_channel` with fixed capacity: a full queue
+//!   answers [`Reply::Busy`] immediately — explicit backpressure, the
+//!   client decides whether to retry — rather than buffering without
+//!   bound or stalling the socket.
+//! * **Subscribers** register a bounded channel; after each block the
+//!   engine drains the global tracer and broadcasts the batch. A
+//!   subscriber that falls behind its channel capacity is dropped (a
+//!   tail is a *view*; the journal, not the tail, is the record).
+//!
+//! # Trace streams
+//!
+//! With tracing on, the daemon lays out streams as: `base + lane` for
+//! per-lane decision records, `base + lanes` (the meta stream) for
+//! checkpoint/recovery events, and `base + lanes + 1 + client_id` for
+//! per-connection [`obsv::TraceEvent::Session`] events. Offline tooling
+//! compares lane streams only, so session chatter never perturbs the
+//! byte-identical replay contract.
+
+use crate::proto::{self, Reply, Request, StatsInfo};
+use fleetstate::{FleetConfig, PersistentFleet, RecoveryOutcome, JOURNAL_FILE};
+use obsv::{TraceEvent, TraceRecord};
+use std::io::{Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+/// Records per [`Reply::Events`] frame when chunking a replay answer.
+const EVENTS_CHUNK: usize = 4096;
+
+/// Bounded batches a subscriber may fall behind before it is dropped.
+const SUBSCRIBER_QUEUE: usize = 64;
+
+/// How often the accept loop polls the shutdown flag.
+const ACCEPT_POLL: std::time::Duration = std::time::Duration::from_millis(25);
+
+/// Everything configurable about a daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Persistence directory (journal + snapshots).
+    pub dir: PathBuf,
+    /// The fleet configuration.
+    pub config: FleetConfig,
+    /// Engine shard threads.
+    pub threads: usize,
+    /// Snapshot cadence in steps (`0` = only on explicit request).
+    pub snapshot_every: u64,
+    /// Ingest queue capacity, blocks. A full queue answers
+    /// [`Reply::Busy`].
+    pub queue_capacity: usize,
+    /// Emit canonical trace events through the global tracer (enables
+    /// subscribe tails and `--record`; costs a per-stop record).
+    pub emit_trace: bool,
+    /// Debug throttle: sleep this long before each ingested block.
+    /// Drills use it (with a tiny queue) to make backpressure
+    /// deterministic; production leaves it 0.
+    pub engine_delay_ms: u64,
+    /// Recover from an existing journal instead of starting fresh.
+    pub recover: bool,
+}
+
+impl ServeOptions {
+    /// Defaults for a fresh daemon: 2 engine threads, queue of 64
+    /// blocks, snapshots every 4096 steps, tracing on.
+    #[must_use]
+    pub fn new(dir: &Path, config: FleetConfig) -> Self {
+        Self {
+            dir: dir.to_path_buf(),
+            config,
+            threads: 2,
+            snapshot_every: 4096,
+            queue_capacity: 64,
+            emit_trace: true,
+            engine_delay_ms: 0,
+            recover: false,
+        }
+    }
+}
+
+/// A job handed to the engine thread. Replies travel back over the
+/// per-request channel; a dropped receiver (client gone) is ignored.
+enum EngineJob {
+    Submit { client: u64, first_step: u64, rows: Vec<Vec<f64>>, reply: SyncSender<Reply> },
+    ExportState { reply: SyncSender<Reply> },
+    Snapshot { reply: SyncSender<Reply> },
+    Replay { client: u64, reply: SyncSender<Reply> },
+    Shutdown { reply: SyncSender<Reply> },
+}
+
+/// Counters shared between the engine, connections, and stats replies.
+struct Shared {
+    /// Immutable after startup; connections read it lock-free.
+    config: FleetConfig,
+    step: AtomicU64,
+    queue_depth: AtomicUsize,
+    connections: AtomicU32,
+    subscribers: AtomicU32,
+    busy_rejections: AtomicU64,
+    blocks_ingested: AtomicU64,
+    shutdown: AtomicBool,
+    /// Bit totals of the fleet cost ledgers, updated after each block.
+    online_bits: AtomicU64,
+    offline_bits: AtomicU64,
+    journal_frames: AtomicU64,
+}
+
+impl Shared {
+    fn new(config: FleetConfig) -> Self {
+        Self {
+            config,
+            step: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            connections: AtomicU32::new(0),
+            subscribers: AtomicU32::new(0),
+            busy_rejections: AtomicU64::new(0),
+            blocks_ingested: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            online_bits: AtomicU64::new(0),
+            offline_bits: AtomicU64::new(0),
+            journal_frames: AtomicU64::new(0),
+        }
+    }
+}
+
+type Subscribers = Arc<Mutex<Vec<(u64, SyncSender<Arc<Vec<TraceRecord>>>)>>>;
+
+/// A running daemon: join it, or stop it programmatically.
+pub struct ServerHandle {
+    engine: Option<JoinHandle<()>>,
+    accept: Vec<JoinHandle<()>>,
+    jobs: SyncSender<EngineJob>,
+    shared: Arc<Shared>,
+    /// The unix socket path (removed on graceful stop).
+    socket_path: Option<PathBuf>,
+}
+
+impl ServerHandle {
+    /// Signals shutdown and waits for the engine and accept loops to
+    /// finish. Detached connection threads exit when their clients
+    /// disconnect.
+    pub fn stop(mut self) {
+        let (tx, _rx) = std::sync::mpsc::sync_channel(1);
+        let _ = self.jobs.send(EngineJob::Shutdown { reply: tx });
+        self.join_inner();
+    }
+
+    /// Waits for the daemon to stop (e.g. a client sent `Shutdown`).
+    pub fn wait(mut self) {
+        self.join_inner();
+    }
+
+    /// Whether the daemon has been told to shut down.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn join_inner(&mut self) {
+        if let Some(engine) = self.engine.take() {
+            let _ = engine.join();
+        }
+        for h in self.accept.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(path) = self.socket_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// What [`serve`] reports about daemon startup.
+pub struct Started {
+    /// The running daemon.
+    pub handle: ServerHandle,
+    /// The recovery outcome when `recover` was set.
+    pub recovery: Option<RecoveryOutcome>,
+}
+
+/// Starts the daemon: opens (or recovers) the persistent fleet in
+/// `options.dir`, binds `socket_path` (an existing socket file is
+/// replaced — the expected leftover of a SIGKILL), optionally binds a
+/// TCP listener, and spawns the engine + accept threads.
+///
+/// # Errors
+///
+/// [`fleetstate::PersistError`] (stringified) on persistence failure or
+/// `std::io::Error` text on bind failure.
+pub fn serve(
+    options: &ServeOptions,
+    socket_path: &Path,
+    tcp_addr: Option<&str>,
+) -> Result<Started, String> {
+    if options.emit_trace {
+        let tracer = obsv::tracer::global();
+        // Capacity covers the largest block between drains; the engine
+        // drains after every block.
+        tracer.set_capacity((options.config.lanes * 8).max(1 << 16));
+        tracer.enable();
+    }
+    let (fleet, recovery) = if options.recover {
+        let (fleet, outcome) = PersistentFleet::recover(
+            &options.dir,
+            &options.config,
+            options.threads,
+            options.snapshot_every,
+        )
+        .map_err(|e| format!("recover {}: {e}", options.dir.display()))?;
+        (fleet, Some(outcome))
+    } else {
+        let journal = options.dir.join(JOURNAL_FILE);
+        if options.dir.exists() && journal.exists() {
+            return Err(format!(
+                "{} already holds a journal; pass recover to resume it (or point the daemon at a fresh directory)",
+                options.dir.display()
+            ));
+        }
+        let fleet = PersistentFleet::create(
+            &options.dir,
+            &options.config,
+            options.threads,
+            options.snapshot_every,
+        )
+        .map_err(|e| format!("create {}: {e}", options.dir.display()))?;
+        (fleet, None)
+    };
+
+    let shared = Arc::new(Shared::new(options.config));
+    shared.step.store(fleet.runner().step(), Ordering::SeqCst);
+    shared.journal_frames.store(fleet.journal().frames_written(), Ordering::SeqCst);
+    let totals = fleet.runner().totals();
+    shared.online_bits.store(totals.0.to_bits(), Ordering::SeqCst);
+    shared.offline_bits.store(totals.1.to_bits(), Ordering::SeqCst);
+
+    let subscribers: Subscribers = Arc::new(Mutex::new(Vec::new()));
+    let (jobs_tx, jobs_rx) = std::sync::mpsc::sync_channel(options.queue_capacity);
+
+    let engine = {
+        let shared = Arc::clone(&shared);
+        let subscribers = Arc::clone(&subscribers);
+        let options = options.clone();
+        std::thread::Builder::new()
+            .name("fleetd-engine".to_string())
+            .spawn(move || engine_loop(fleet, &jobs_rx, &shared, &subscribers, &options))
+            .map_err(|e| format!("spawn engine thread: {e}"))?
+    };
+
+    if socket_path.exists() {
+        std::fs::remove_file(socket_path)
+            .map_err(|e| format!("remove stale socket {}: {e}", socket_path.display()))?;
+    }
+    let listener = UnixListener::bind(socket_path)
+        .map_err(|e| format!("bind {}: {e}", socket_path.display()))?;
+    listener.set_nonblocking(true).map_err(|e| format!("nonblocking: {e}"))?;
+
+    let mut accept = Vec::new();
+    {
+        let shared = Arc::clone(&shared);
+        let subscribers = Arc::clone(&subscribers);
+        let jobs = jobs_tx.clone();
+        let capacity = options.queue_capacity;
+        accept.push(
+            std::thread::Builder::new()
+                .name("fleetd-accept-unix".to_string())
+                .spawn(move || {
+                    accept_loop(
+                        || listener.accept().map(|(s, _)| Conn::Unix(s)),
+                        &shared,
+                        &subscribers,
+                        &jobs,
+                        capacity,
+                    );
+                })
+                .map_err(|e| format!("spawn accept thread: {e}"))?,
+        );
+    }
+    if let Some(addr) = tcp_addr {
+        let tcp = std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        tcp.set_nonblocking(true).map_err(|e| format!("nonblocking: {e}"))?;
+        let shared = Arc::clone(&shared);
+        let subscribers = Arc::clone(&subscribers);
+        let jobs = jobs_tx.clone();
+        let capacity = options.queue_capacity;
+        accept.push(
+            std::thread::Builder::new()
+                .name("fleetd-accept-tcp".to_string())
+                .spawn(move || {
+                    accept_loop(
+                        || tcp.accept().map(|(s, _)| Conn::Tcp(s)),
+                        &shared,
+                        &subscribers,
+                        &jobs,
+                        capacity,
+                    );
+                })
+                .map_err(|e| format!("spawn accept thread: {e}"))?,
+        );
+    }
+
+    Ok(Started {
+        handle: ServerHandle {
+            engine: Some(engine),
+            accept,
+            jobs: jobs_tx,
+            shared,
+            socket_path: Some(socket_path.to_path_buf()),
+        },
+        recovery,
+    })
+}
+
+/// Either transport, unified for the connection handler.
+enum Conn {
+    Unix(UnixStream),
+    Tcp(std::net::TcpStream),
+}
+
+impl Conn {
+    fn set_blocking(&self) -> std::io::Result<()> {
+        match self {
+            Self::Unix(s) => s.set_nonblocking(false),
+            Self::Tcp(s) => s.set_nonblocking(false),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Self::Unix(s) => s.read(buf),
+            Self::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Self::Unix(s) => s.write(buf),
+            Self::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Self::Unix(s) => s.flush(),
+            Self::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+fn accept_loop<F>(
+    mut accept: F,
+    shared: &Arc<Shared>,
+    subscribers: &Subscribers,
+    jobs: &SyncSender<EngineJob>,
+    queue_capacity: usize,
+) where
+    F: FnMut() -> std::io::Result<Conn>,
+{
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match accept() {
+            Ok(conn) => {
+                let client_id = u64::from(shared.connections.fetch_add(1, Ordering::SeqCst));
+                let shared = Arc::clone(shared);
+                let subscribers = Arc::clone(subscribers);
+                let jobs = jobs.clone();
+                // Connection threads are detached: they end when their
+                // client disconnects (or the process exits).
+                let _ = std::thread::Builder::new().name(format!("fleetd-conn-{client_id}")).spawn(
+                    move || {
+                        handle_conn(conn, client_id, &shared, &subscribers, &jobs, queue_capacity);
+                    },
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Emits a session trace event on the connection's own stream
+/// (`meta + 1 + client_id`), so concurrent connections never collide on
+/// `(stream, stop, seq)` keys.
+fn session_event(shared: &Shared, client: u64, what: &'static str, detail: String) {
+    if !obsv::tracer::observing() {
+        return;
+    }
+    let step = shared.step.load(Ordering::SeqCst);
+    obsv::tracer::set_stream(shared.config.meta_stream() + 1 + client);
+    obsv::tracer::begin_stop(step);
+    obsv::tracer::emit(TraceEvent::Session { what: what.into(), client, step, detail });
+}
+
+#[allow(clippy::too_many_lines)]
+fn handle_conn(
+    mut conn: Conn,
+    client_id: u64,
+    shared: &Arc<Shared>,
+    subscribers: &Subscribers,
+    jobs: &SyncSender<EngineJob>,
+    queue_capacity: usize,
+) {
+    if conn.set_blocking().is_err() {
+        return;
+    }
+    let mut client_name = String::new();
+    while let Ok(Some(frame)) = proto::read_frame(&mut conn) {
+        let request = match proto::decode_request(&frame) {
+            Ok(r) => r,
+            Err(e) => {
+                // A typed decode error is an answer, not a disconnect:
+                // the framing is intact (CRC verified), only the payload
+                // or kind was wrong.
+                let reply = Reply::Error { message: e.to_string() };
+                if proto::write_frame(&mut conn, &proto::encode_reply(&reply)).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let reply = match request {
+            Request::Hello { name } => {
+                client_name = name;
+                session_event(shared, client_id, "hello", client_name.clone());
+                Reply::HelloAck {
+                    config: shared.config,
+                    step: shared.step.load(Ordering::SeqCst),
+                    client_id,
+                }
+            }
+            Request::Submit { first_step, rows } => {
+                let (tx, rx) = std::sync::mpsc::sync_channel(1);
+                let depth = shared.queue_depth.load(Ordering::SeqCst);
+                let job = EngineJob::Submit { client: client_id, first_step, rows, reply: tx };
+                match jobs.try_send(job) {
+                    Ok(()) => {
+                        shared.queue_depth.fetch_add(1, Ordering::SeqCst);
+                        rx.recv().unwrap_or(Reply::Error { message: "daemon stopped".into() })
+                    }
+                    Err(TrySendError::Full(_)) => {
+                        shared.busy_rejections.fetch_add(1, Ordering::SeqCst);
+                        session_event(
+                            shared,
+                            client_id,
+                            "busy_rejected",
+                            format!("queue {depth}/{queue_capacity}"),
+                        );
+                        Reply::Busy { queued: depth as u32, capacity: queue_capacity as u32 }
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        Reply::Error { message: "daemon stopped".into() }
+                    }
+                }
+            }
+            Request::Stats => Reply::Stats(StatsInfo {
+                step: shared.step.load(Ordering::SeqCst),
+                lanes: shared.config.lanes as u32,
+                queue_depth: shared.queue_depth.load(Ordering::SeqCst) as u32,
+                queue_capacity: queue_capacity as u32,
+                connections: shared.connections.load(Ordering::SeqCst),
+                subscribers: shared.subscribers.load(Ordering::SeqCst),
+                busy_rejections: shared.busy_rejections.load(Ordering::SeqCst),
+                blocks_ingested: shared.blocks_ingested.load(Ordering::SeqCst),
+                journal_frames: shared.journal_frames.load(Ordering::SeqCst),
+                online_total: f64::from_bits(shared.online_bits.load(Ordering::SeqCst)),
+                offline_total: f64::from_bits(shared.offline_bits.load(Ordering::SeqCst)),
+            }),
+            Request::ExportState => send_job(jobs, |tx| EngineJob::ExportState { reply: tx }),
+            Request::Snapshot => send_job(jobs, |tx| EngineJob::Snapshot { reply: tx }),
+            Request::ReplayEvents => {
+                session_event(shared, client_id, "replay", client_name.clone());
+                // Replay streams multiple Events frames; forward them
+                // all, then continue serving this connection.
+                let (tx, rx) = std::sync::mpsc::sync_channel(4);
+                if jobs.send(EngineJob::Replay { client: client_id, reply: tx }).is_err() {
+                    Reply::Error { message: "daemon stopped".into() }
+                } else {
+                    let mut failed = false;
+                    for reply in rx {
+                        let done = !matches!(reply, Reply::Events { last: false, .. });
+                        if proto::write_frame(&mut conn, &proto::encode_reply(&reply)).is_err() {
+                            failed = true;
+                            break;
+                        }
+                        if done {
+                            break;
+                        }
+                    }
+                    if failed {
+                        break;
+                    }
+                    continue;
+                }
+            }
+            Request::Subscribe => {
+                session_event(shared, client_id, "subscribe", client_name.clone());
+                let (tx, rx) = std::sync::mpsc::sync_channel(SUBSCRIBER_QUEUE);
+                subscribers.lock().unwrap_or_else(PoisonError::into_inner).push((client_id, tx));
+                shared.subscribers.fetch_add(1, Ordering::SeqCst);
+                run_subscriber(&mut conn, &rx);
+                shared.subscribers.fetch_sub(1, Ordering::SeqCst);
+                subscribers
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .retain(|(id, _)| *id != client_id);
+                break;
+            }
+            Request::Shutdown => {
+                session_event(shared, client_id, "shutdown", client_name.clone());
+                send_job(jobs, |tx| EngineJob::Shutdown { reply: tx })
+            }
+        };
+        if proto::write_frame(&mut conn, &proto::encode_reply(&reply)).is_err() {
+            break;
+        }
+    }
+    session_event(shared, client_id, "disconnected", client_name);
+}
+
+/// Sends a single-reply job to the engine, waiting for its answer.
+fn send_job<F>(jobs: &SyncSender<EngineJob>, make: F) -> Reply
+where
+    F: FnOnce(SyncSender<Reply>) -> EngineJob,
+{
+    let (tx, rx) = std::sync::mpsc::sync_channel(1);
+    if jobs.send(make(tx)).is_err() {
+        return Reply::Error { message: "daemon stopped".into() };
+    }
+    rx.recv().unwrap_or(Reply::Error { message: "daemon stopped".into() })
+}
+
+/// Forwards event batches to a subscribed connection until the client
+/// disconnects or the daemon stops.
+fn run_subscriber(conn: &mut Conn, rx: &Receiver<Arc<Vec<TraceRecord>>>) {
+    for batch in rx {
+        let jsonl = obsv::event::to_jsonl(&batch);
+        let reply = Reply::Events { last: false, jsonl };
+        if proto::write_frame(conn, &proto::encode_reply(&reply)).is_err() {
+            return;
+        }
+    }
+}
+
+fn engine_loop(
+    mut fleet: PersistentFleet,
+    jobs: &Receiver<EngineJob>,
+    shared: &Arc<Shared>,
+    subscribers: &Subscribers,
+    options: &ServeOptions,
+) {
+    let emit = options.emit_trace;
+    while let Ok(job) = jobs.recv() {
+        match job {
+            EngineJob::Submit { client, first_step, rows, reply } => {
+                if options.engine_delay_ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(options.engine_delay_ms));
+                }
+                let step = fleet.runner().step();
+                let answer = if first_step != u64::MAX && first_step != step {
+                    Reply::Error {
+                        message: format!(
+                            "step mismatch: daemon is at step {step}, block starts at {first_step}"
+                        ),
+                    }
+                } else {
+                    match fleet.run_block_decided(&rows, emit) {
+                        Ok(decisions) => {
+                            shared.blocks_ingested.fetch_add(1, Ordering::SeqCst);
+                            shared.step.store(fleet.runner().step(), Ordering::SeqCst);
+                            shared
+                                .journal_frames
+                                .store(fleet.journal().frames_written(), Ordering::SeqCst);
+                            let totals = fleet.runner().totals();
+                            shared.online_bits.store(totals.0.to_bits(), Ordering::SeqCst);
+                            shared.offline_bits.store(totals.1.to_bits(), Ordering::SeqCst);
+                            Reply::Decisions {
+                                first_step: step,
+                                steps: decisions.steps() as u32,
+                                lanes: decisions.lanes() as u32,
+                                thresholds: decisions.thresholds().to_vec(),
+                                vertices: decisions.vertices().to_vec(),
+                            }
+                        }
+                        Err(e) => Reply::Error { message: format!("client {client}: {e}") },
+                    }
+                };
+                shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                let _ = reply.send(answer);
+                broadcast(subscribers, shared);
+            }
+            EngineJob::ExportState { reply } => {
+                let bytes = fleetstate::encode_fleet_state(&fleet.runner().export_state());
+                let _ = reply.send(Reply::State(bytes));
+            }
+            EngineJob::Snapshot { reply } => {
+                let answer = match fleet.snapshot() {
+                    Ok(()) => {
+                        Reply::Ack { info: format!("snapshot at step {}", fleet.runner().step()) }
+                    }
+                    Err(e) => Reply::Error { message: e.to_string() },
+                };
+                let _ = reply.send(answer);
+                broadcast(subscribers, shared);
+            }
+            EngineJob::Replay { client, reply } => {
+                run_replay(options, client, &reply);
+                broadcast(subscribers, shared);
+            }
+            EngineJob::Shutdown { reply } => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                let _ = reply.send(Reply::Ack {
+                    info: format!("stopping at step {}", fleet.runner().step()),
+                });
+                break;
+            }
+        }
+    }
+    shared.shutdown.store(true, Ordering::SeqCst);
+    // Dropping the subscriber senders ends each tail's receive loop, so
+    // subscribed connections observe EOF instead of hanging.
+    subscribers.lock().unwrap_or_else(PoisonError::into_inner).clear();
+}
+
+/// Replays the complete journal through a fresh engine (the journal
+/// holds every step since creation — snapshots never truncate it) and
+/// streams the regenerated canonical events back in chunks.
+fn run_replay(options: &ServeOptions, client: u64, reply: &SyncSender<Reply>) {
+    // The replay emits through the global tracer; the engine drains it
+    // after every block, so whatever is pending now belongs to earlier
+    // work — flush it to subscribers is already done, and the tracer is
+    // empty here. Run, then drain everything the replay produced.
+    let journal_path = options.dir.join(JOURNAL_FILE);
+    let replayed = if options.emit_trace {
+        fleetstate::replay_session(&journal_path, &options.config, options.threads)
+    } else {
+        let _ = client;
+        let _ = reply.send(Reply::Error {
+            message: "daemon runs with tracing disabled; no events to replay".into(),
+        });
+        return;
+    };
+    match replayed {
+        Ok(_runner) => {
+            let records = obsv::tracer::global().drain_sorted();
+            if records.is_empty() {
+                let _ = reply.send(Reply::Events { last: true, jsonl: String::new() });
+                return;
+            }
+            let chunks: Vec<&[TraceRecord]> = records.chunks(EVENTS_CHUNK).collect();
+            let n = chunks.len();
+            for (i, chunk) in chunks.into_iter().enumerate() {
+                let msg = Reply::Events { last: i + 1 == n, jsonl: obsv::event::to_jsonl(chunk) };
+                if reply.send(msg).is_err() {
+                    return;
+                }
+            }
+        }
+        Err(e) => {
+            let _ = reply.send(Reply::Error { message: format!("replay: {e}") });
+        }
+    }
+}
+
+/// Drains the global tracer and fans the batch out to subscribers; a
+/// subscriber whose queue is full (or gone) is dropped.
+fn broadcast(subscribers: &Subscribers, shared: &Arc<Shared>) {
+    if !obsv::tracer::active() {
+        return;
+    }
+    let records = obsv::tracer::global().drain_sorted();
+    if records.is_empty() {
+        return;
+    }
+    let batch = Arc::new(records);
+    let mut subs = subscribers.lock().unwrap_or_else(PoisonError::into_inner);
+    let before = subs.len();
+    subs.retain(|(_, tx)| tx.try_send(Arc::clone(&batch)).is_ok());
+    let dropped = before - subs.len();
+    if dropped > 0 {
+        shared.subscribers.fetch_sub(dropped as u32, Ordering::SeqCst);
+    }
+}

@@ -150,6 +150,49 @@ pub fn recover_fleet(
     Ok((runner, outcome))
 }
 
+/// Steps per replay block in [`replay_session`] — bounds transient
+/// memory without changing results (block boundaries are invisible to
+/// the lane-local engine).
+const REPLAY_SESSION_BLOCK: usize = 256;
+
+/// Replays the *complete* journal — every step from zero, not just the
+/// tail past a snapshot — through a fresh cold-start runner **with
+/// trace emission on**, regenerating the canonical per-stop event
+/// history of the whole session.
+///
+/// Snapshots never truncate the journal, so this works at any point in
+/// a session's life: a client that missed events (it connected late, or
+/// the daemon was SIGKILLed and restarted) gets the full history back
+/// and can merge it with whatever it recorded — deduplicating by
+/// `(stream, stop, seq)` yields exactly the uninterrupted run's trace.
+/// The caller owns the tracer: enable (or point a monitor at) the
+/// global tracer before calling, drain after.
+///
+/// # Errors
+///
+/// [`PersistError::Io`] if the journal is unreadable, any
+/// [`parse_journal`] error, [`PersistError::ConfigMismatch`] if the
+/// journal header disagrees with `expected`, or an engine error during
+/// replay.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn replay_session(
+    journal_path: &Path,
+    expected: &FleetConfig,
+    threads: usize,
+) -> Result<FleetRunner, PersistError> {
+    let bytes = std::fs::read(journal_path).map_err(|e| io_err(journal_path, &e))?;
+    let journal = parse_journal(&bytes)?;
+    expected.ensure_matches(&journal.config)?;
+    let mut runner = FleetRunner::new(expected, threads)?;
+    for block in journal.steps.chunks(REPLAY_SESSION_BLOCK) {
+        runner.run_block(block, true)?;
+    }
+    Ok(runner)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +256,39 @@ mod tests {
             encode_fleet_state(&recovered.export_state()),
             encode_fleet_state(&reference.export_state())
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_session_rebuilds_full_history_despite_snapshots() {
+        let dir = tmp("session");
+        std::fs::remove_dir_all(&dir).ok();
+        let config = cfg(4);
+        let block = rows(4, 40, 21);
+
+        let mut reference = FleetRunner::new(&config, 1).unwrap();
+        reference.run_block(&block, false).unwrap();
+
+        // Aggressive snapshot cadence: replay must still start at step 0
+        // (snapshots never truncate the journal).
+        let mut fleet = PersistentFleet::create(&dir, &config, 2, 5).unwrap();
+        for chunk in block.chunks(6) {
+            fleet.run_block(chunk, false).unwrap();
+        }
+        drop(fleet);
+
+        let replayed = replay_session(&dir.join(JOURNAL_FILE), &config, 3).unwrap();
+        assert_eq!(replayed.step(), 40);
+        assert_eq!(
+            encode_fleet_state(&replayed.export_state()),
+            encode_fleet_state(&reference.export_state())
+        );
+
+        let wrong = FleetConfig { lanes: 5, ..config };
+        assert!(matches!(
+            replay_session(&dir.join(JOURNAL_FILE), &wrong, 1),
+            Err(PersistError::ConfigMismatch { .. })
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -17,7 +17,7 @@
 use std::path::{Path, PathBuf};
 
 use skirental::batch::{
-    flush_shard_observability, BatchStore, CounterRng, VertexKind, VertexTally,
+    flush_shard_observability, BatchStore, CounterRng, ShardPlan, VertexKind, VertexTally,
 };
 use skirental::BreakEven;
 
@@ -46,8 +46,70 @@ impl ShardState {
     }
 }
 
+/// Per-step decisions captured from a block run, lane-major: lane `i`'s
+/// decisions for the whole block are contiguous, so each contiguous
+/// shard of the fleet writes one contiguous region. Returned by
+/// [`FleetRunner::run_block_decided`] for callers (the `fleetd` daemon)
+/// that must *serve* the decisions rather than only settle their costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockDecisions {
+    steps: usize,
+    lanes: usize,
+    thresholds: Vec<f64>,
+    vertices: Vec<VertexKind>,
+}
+
+impl BlockDecisions {
+    /// Steps covered by the block.
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Lanes covered by the block (the fleet width).
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Lane `lane`'s threshold at block-relative step `t` (seconds;
+    /// `+inf` = never restart).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` or `t` is out of range.
+    #[must_use]
+    pub fn threshold(&self, lane: usize, t: usize) -> f64 {
+        assert!(lane < self.lanes && t < self.steps, "decision index out of range");
+        self.thresholds[lane * self.steps + t]
+    }
+
+    /// Lane `lane`'s vertex at block-relative step `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` or `t` is out of range.
+    #[must_use]
+    pub fn vertex(&self, lane: usize, t: usize) -> VertexKind {
+        assert!(lane < self.lanes && t < self.steps, "decision index out of range");
+        self.vertices[lane * self.steps + t]
+    }
+
+    /// All thresholds, lane-major (`lane * steps + t`).
+    #[must_use]
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+
+    /// All vertices, lane-major (`lane * steps + t`).
+    #[must_use]
+    pub fn vertices(&self) -> &[VertexKind] {
+        &self.vertices
+    }
+}
+
 /// A resumable batched fleet: every piece of state that decisions depend
-/// on can be exported as a [`FleetState`] and restored bit-identically.
+/// on can be exported and restored bit-identically.
 pub struct FleetRunner {
     config: FleetConfig,
     break_even: BreakEven,
@@ -88,22 +150,19 @@ impl FleetRunner {
     pub fn new(config: &FleetConfig, threads: usize) -> Result<Self, PersistError> {
         assert!(threads > 0, "need at least one thread");
         let break_even = validate_config(config)?;
-        let shard_size = config.lanes.div_ceil(threads);
-        let shards = (0..config.lanes)
-            .step_by(shard_size)
-            .map(|base| {
-                let n = shard_size.min(config.lanes - base);
-                ShardState {
-                    base,
-                    store: make_store(config, break_even, n),
-                    rngs: (0..n)
-                        .map(|i| CounterRng::for_stream(config.seed, (base + i) as u64))
-                        .collect(),
-                    thresholds: vec![0.0; n],
-                    vertices: vec![VertexKind::ColdStart; n],
-                    online: vec![0.0; n],
-                    offline: vec![0.0; n],
-                }
+        let plan = ShardPlan::new(config.lanes, threads);
+        let shards = plan
+            .ranges()
+            .map(|(base, n)| ShardState {
+                base,
+                store: make_store(config, break_even, n),
+                rngs: (0..n)
+                    .map(|i| CounterRng::for_stream(config.seed, (base + i) as u64))
+                    .collect(),
+                thresholds: vec![0.0; n],
+                vertices: vec![VertexKind::ColdStart; n],
+                online: vec![0.0; n],
+                offline: vec![0.0; n],
             })
             .collect();
         Ok(Self { config: *config, break_even, step: 0, shards })
@@ -202,6 +261,39 @@ impl FleetRunner {
     /// [`PersistError::BadPayload`] on a row of the wrong width or
     /// [`PersistError::Engine`] on a negative/non-finite stop.
     pub fn run_block(&mut self, rows: &[Vec<f64>], emit: bool) -> Result<(), PersistError> {
+        self.run_block_inner(rows, emit, None)
+    }
+
+    /// [`FleetRunner::run_block`] that additionally captures every
+    /// per-step decision — the thresholds and vertices the engine played
+    /// — lane-major, so a serving layer can answer "what did you decide
+    /// for vehicle `i` at step `t`" without re-deriving it. Identical
+    /// state evolution and trace emission to `run_block`; only the
+    /// capture differs.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the [`FleetRunner::run_block`] errors; a failed call
+    /// leaves the fleet untouched.
+    pub fn run_block_decided(
+        &mut self,
+        rows: &[Vec<f64>],
+        emit: bool,
+    ) -> Result<BlockDecisions, PersistError> {
+        let steps = rows.len();
+        let lanes = self.config.lanes;
+        let mut thresholds = vec![0.0f64; lanes * steps];
+        let mut vertices = vec![VertexKind::ColdStart; lanes * steps];
+        self.run_block_inner(rows, emit, Some((&mut thresholds, &mut vertices)))?;
+        Ok(BlockDecisions { steps, lanes, thresholds, vertices })
+    }
+
+    fn run_block_inner(
+        &mut self,
+        rows: &[Vec<f64>],
+        emit: bool,
+        out: Option<(&mut [f64], &mut [VertexKind])>,
+    ) -> Result<(), PersistError> {
         for row in rows {
             if row.len() != self.config.lanes {
                 return Err(PersistError::BadPayload {
@@ -218,20 +310,33 @@ impl FleetRunner {
         if rows.is_empty() {
             return Ok(());
         }
+        let steps = rows.len();
         let step0 = self.step;
         let break_even = self.break_even;
         let trace_base = self.config.trace_stream_base;
         if self.shards.len() == 1 {
             let shard = &mut self.shards[0];
-            process_block(shard, rows, step0, break_even, trace_base, emit)?;
+            process_block(shard, rows, step0, break_even, trace_base, emit, out)?;
         } else {
             let results: Vec<Result<(), skirental::Error>> = std::thread::scope(|scope| {
+                let mut rest = out;
                 let handles: Vec<_> = self
                     .shards
                     .iter_mut()
                     .map(|shard| {
+                        // Each contiguous shard owns the contiguous
+                        // lane-major output region of its lanes.
+                        let (mine, remaining) = match rest.take() {
+                            Some((th, vx)) => {
+                                let (th_a, th_b) = th.split_at_mut(shard.lanes() * steps);
+                                let (vx_a, vx_b) = vx.split_at_mut(shard.lanes() * steps);
+                                (Some((th_a, vx_a)), Some((th_b, vx_b)))
+                            }
+                            None => (None, None),
+                        };
+                        rest = remaining;
                         scope.spawn(move || {
-                            process_block(shard, rows, step0, break_even, trace_base, emit)
+                            process_block(shard, rows, step0, break_even, trace_base, emit, mine)
                         })
                     })
                     .collect();
@@ -259,8 +364,10 @@ fn process_block(
     break_even: BreakEven,
     trace_base: u64,
     emit: bool,
+    mut out: Option<(&mut [f64], &mut [VertexKind])>,
 ) -> Result<(), skirental::Error> {
     let lanes = shard.lanes();
+    let steps = rows.len();
     let mut tally = VertexTally::default();
     let mut observations = 0u64;
     let tracing = emit && obsv::tracer::observing();
@@ -270,6 +377,10 @@ fn process_block(
         for lane in 0..lanes {
             let y = row[shard.base + lane];
             let x = shard.thresholds[lane];
+            if let Some((th, vx)) = &mut out {
+                th[lane * steps + t] = x;
+                vx[lane * steps + t] = shard.vertices[lane];
+            }
             // Same cost expression (and therefore bits) as the engine's
             // reference loop in `process_shard`.
             let cost = if x.is_infinite() { y } else { break_even.online_cost(x, y) };
@@ -379,15 +490,31 @@ impl PersistentFleet {
     /// Journal append errors ([`PersistError::Io`] among them) or the
     /// [`FleetRunner::run_block`] errors.
     pub fn run_block(&mut self, rows: &[Vec<f64>], emit: bool) -> Result<(), PersistError> {
+        self.run_block_decided(rows, emit).map(|_| ())
+    }
+
+    /// [`PersistentFleet::run_block`] that returns the block's captured
+    /// decisions (see [`FleetRunner::run_block_decided`]) — the serving
+    /// path: journal first, decide, reply.
+    ///
+    /// # Errors
+    ///
+    /// Journal append errors ([`PersistError::Io`] among them) or the
+    /// [`FleetRunner::run_block`] errors.
+    pub fn run_block_decided(
+        &mut self,
+        rows: &[Vec<f64>],
+        emit: bool,
+    ) -> Result<BlockDecisions, PersistError> {
         let before = self.runner.step();
         self.journal.append_block(before, rows)?;
         crate::obs::metrics().journal_frames.add(rows.len() as u64);
-        self.runner.run_block(rows, emit)?;
+        let decisions = self.runner.run_block_decided(rows, emit)?;
         let after = self.runner.step();
         if self.snapshot_every > 0 && after / self.snapshot_every > before / self.snapshot_every {
             self.snapshot()?;
         }
-        Ok(())
+        Ok(decisions)
     }
 
     /// Takes a snapshot of the current state now, appending it to the
@@ -528,6 +655,76 @@ mod tests {
         let snaps = std::fs::read(dir.join(SNAPSHOT_FILE)).unwrap();
         let scan = crate::snapshot::scan_snapshots(&snaps, &config);
         assert_eq!(scan.states.iter().map(|s| s.step).collect::<Vec<_>>(), vec![16, 32, 48]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn decided_run_matches_plain_run_at_any_thread_count() {
+        let config = cfg(9, Some(6));
+        let block = rows(9, 30, 17);
+        let mut plain = FleetRunner::new(&config, 2).unwrap();
+        plain.run_block(&block, false).unwrap();
+        let mut one = FleetRunner::new(&config, 1).unwrap();
+        let d1 = one.run_block_decided(&block, false).unwrap();
+        let mut four = FleetRunner::new(&config, 4).unwrap();
+        let d4 = four.run_block_decided(&block, false).unwrap();
+        // Capturing decisions changes nothing about the state evolution,
+        // and the captured decisions are thread-count-independent.
+        assert_eq!(
+            crate::state::encode_fleet_state(&plain.export_state()),
+            crate::state::encode_fleet_state(&one.export_state())
+        );
+        assert_eq!(
+            crate::state::encode_fleet_state(&one.export_state()),
+            crate::state::encode_fleet_state(&four.export_state())
+        );
+        assert_eq!(d1, d4);
+        assert_eq!(d1.steps(), 30);
+        assert_eq!(d1.lanes(), 9);
+        assert_eq!(d1.thresholds().len(), 9 * 30);
+        // Cold-start decisions (min_history 4) are the B fallback.
+        assert_eq!(d1.vertex(0, 0), VertexKind::ColdStart);
+        for t in 0..30 {
+            for lane in 0..9 {
+                let x = d1.threshold(lane, t);
+                assert!(x.is_infinite() || x >= 0.0);
+            }
+        }
+        // Past min_history the engine leaves cold start.
+        assert_ne!(d1.vertex(0, 29), VertexKind::ColdStart);
+    }
+
+    #[test]
+    fn persistent_decided_run_journals_and_matches() {
+        let dir = std::env::temp_dir()
+            .join("fleetstate-runner-tests")
+            .join(format!("decided-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let config = cfg(5, Some(6));
+        let block = rows(5, 24, 9);
+        let mut reference = FleetRunner::new(&config, 1).unwrap();
+        let want = reference.run_block_decided(&block, false).unwrap();
+
+        let mut fleet = PersistentFleet::create(&dir, &config, 2, 0).unwrap();
+        let mut got_thresholds = Vec::new();
+        for chunk in block.chunks(8) {
+            let d = fleet.run_block_decided(chunk, false).unwrap();
+            got_thresholds.push(d);
+        }
+        assert_eq!(fleet.journal().steps_recorded(), 24);
+        // Reassemble the chunked decisions lane-major and compare.
+        for lane in 0..5 {
+            let mut t_global = 0usize;
+            for d in &got_thresholds {
+                for t in 0..d.steps() {
+                    assert_eq!(want.threshold(lane, t_global).to_bits(), {
+                        d.threshold(lane, t).to_bits()
+                    });
+                    assert_eq!(want.vertex(lane, t_global), d.vertex(lane, t));
+                    t_global += 1;
+                }
+            }
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -173,6 +173,24 @@ pub enum TraceEvent {
         /// configured window length (mismatch / CR bound).
         window_len: u64,
     },
+    /// A decision-daemon session/connection lifecycle event (client
+    /// connect/disconnect, backpressure rejection, subscription,
+    /// shutdown). Emitted on the fleet's *meta* stream, never on a lane
+    /// stream, so byte-identical lane-trace comparisons are unaffected
+    /// by how many clients happened to be attached.
+    Session {
+        /// What happened (`"client_connected"`, `"client_disconnected"`,
+        /// `"busy_rejected"`, `"subscribed"`, `"shutdown"`). `Cow` so
+        /// the daemon's hot paths emit `&'static str` tags without a
+        /// per-event allocation.
+        what: Cow<'static, str>,
+        /// Daemon-assigned connection id.
+        client: u64,
+        /// Fleet step at the time of the event.
+        step: u64,
+        /// Free-form context (socket kind, rejection queue depth, …).
+        detail: String,
+    },
 }
 
 impl TraceEvent {
@@ -190,6 +208,7 @@ impl TraceEvent {
             Self::Checkpoint { .. } => "checkpoint",
             Self::Recovery { .. } => "recovery",
             Self::MonitorAlarm { .. } => "monitor_alarm",
+            Self::Session { .. } => "session",
         }
     }
 
@@ -281,6 +300,9 @@ impl TraceEvent {
                 "ALARM [{alarm}]: {detail} \
                  (observed {observed:.4} > limit {limit:.4}, n = {window_len})"
             ),
+            Self::Session { what, client, step, detail } => {
+                format!("session: {what} (client {client}, step {step}) {detail}")
+            }
         }
     }
 }
@@ -422,6 +444,12 @@ impl TraceRecord {
                 obj.insert("limit".to_string(), Value::float(*limit));
                 obj.insert("window_len".to_string(), Value::UInt(*window_len));
             }
+            TraceEvent::Session { what, client, step, detail } => {
+                obj.insert("what".to_string(), Value::Str(what.to_string()));
+                obj.insert("client".to_string(), Value::UInt(*client));
+                obj.insert("step".to_string(), Value::UInt(*step));
+                obj.insert("detail".to_string(), Value::Str(detail.clone()));
+            }
         }
         Value::Obj(obj).to_string()
     }
@@ -512,6 +540,12 @@ impl TraceRecord {
                 observed: req_f64(obj, "observed")?,
                 limit: req_f64(obj, "limit")?,
                 window_len: req_u64(obj, "window_len")?,
+            },
+            "session" => TraceEvent::Session {
+                what: req_str(obj, "what")?.into(),
+                client: req_u64(obj, "client")?,
+                step: req_u64(obj, "step")?,
+                detail: req_str(obj, "detail")?,
             },
             other => return Err(err(&format!("unknown trace event type {other:?}"))),
         };
@@ -728,6 +762,17 @@ mod tests {
                     observed: 2.625,
                     limit: 2.0,
                     window_len: 73,
+                },
+            },
+            TraceRecord {
+                stream: 96,
+                stop: 30,
+                seq: 1,
+                event: TraceEvent::Session {
+                    what: "busy_rejected".into(),
+                    client: 4,
+                    step: 30,
+                    detail: "queue 8/8".to_string(),
                 },
             },
         ]

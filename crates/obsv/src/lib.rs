@@ -59,6 +59,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod dashboard;
 pub mod diff;
 pub mod event;
 pub mod json;

@@ -83,12 +83,18 @@ fn record_of(
             q_b_plus: opt2,
         },
         5 => TraceEvent::FaultApplied { event_index: n, fault: name },
-        _ => TraceEvent::MonitorAlarm {
+        6 => TraceEvent::MonitorAlarm {
             alarm: name,
             detail: names[((n + 2) % 4) as usize].to_string(),
             observed: f1,
             limit: f2,
             window_len: n,
+        },
+        _ => TraceEvent::Session {
+            what: name.into(),
+            client: n,
+            step: n / 2,
+            detail: names[((n + 3) % 4) as usize].to_string(),
         },
     };
     TraceRecord { stream, stop, seq, event }
@@ -148,7 +154,7 @@ proptest! {
     /// This is the canonical-encoding property `trace_diff` relies on.
     #[test]
     fn trace_jsonl_roundtrip_is_byte_identical(
-        kind in 0usize..7,
+        kind in 0usize..8,
         stream in 0u64..1_000_000,
         stop in 0u64..100_000,
         seq in 0u64..100_000,

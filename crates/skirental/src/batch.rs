@@ -154,6 +154,20 @@ impl VertexKind {
             Self::NRand => "N-Rand",
         }
     }
+
+    /// Decodes the stable discriminant (the `as u8` value) — the form
+    /// vertices travel in on the `fleetd` wire and in persisted state.
+    #[must_use]
+    pub fn from_u8(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(Self::ColdStart),
+            1 => Some(Self::Det),
+            2 => Some(Self::Toi),
+            3 => Some(Self::BDet),
+            4 => Some(Self::NRand),
+            _ => None,
+        }
+    }
 }
 
 /// Per-vertex decision counts of a shard (or an aggregate over shards).
@@ -699,6 +713,70 @@ impl BatchStore {
     }
 }
 
+/// The canonical contiguous shard layout of a fleet: `ceil(n / shards)`
+/// lanes per shard, the same layout [`crate::parallel::try_shard_map`]
+/// and [`run_fleet_batch`] use. External batch drivers (the crash-safe
+/// fleet runner, the decision daemon's shard router) build their shards
+/// through this so every engine in the workspace agrees on which global
+/// lane index lives in which shard — and, because all lane arithmetic is
+/// keyed by *global* index, on the exact bits each lane produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    lanes: usize,
+    shard_size: usize,
+}
+
+impl ShardPlan {
+    /// Plans `lanes` lanes over at most `max_shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0` or `max_shards == 0`.
+    #[must_use]
+    pub fn new(lanes: usize, max_shards: usize) -> Self {
+        assert!(lanes > 0, "shard plan needs at least one lane");
+        assert!(max_shards > 0, "shard plan needs at least one shard");
+        Self { lanes, shard_size: lanes.div_ceil(max_shards) }
+    }
+
+    /// Total lanes planned over.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Lanes per full shard (the final shard may be shorter).
+    #[must_use]
+    pub fn shard_size(&self) -> usize {
+        self.shard_size
+    }
+
+    /// Number of non-empty shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.lanes.div_ceil(self.shard_size)
+    }
+
+    /// The shard holding global lane `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    #[must_use]
+    pub fn shard_of(&self, lane: usize) -> usize {
+        assert!(lane < self.lanes, "lane {lane} outside a {}-lane plan", self.lanes);
+        lane / self.shard_size
+    }
+
+    /// `(base, len)` of every shard, in lane order. Bases are global
+    /// lane indices; the `len`s sum to [`ShardPlan::lanes`].
+    pub fn ranges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.lanes)
+            .step_by(self.shard_size)
+            .map(move |base| (base, self.shard_size.min(self.lanes - base)))
+    }
+}
+
 /// Configuration of a batched (or scalar-reference) adaptive fleet run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchConfig {
@@ -1013,6 +1091,44 @@ mod tests {
 
     fn b28() -> BreakEven {
         BreakEven::new(28.0).unwrap()
+    }
+
+    #[test]
+    fn shard_plan_covers_every_lane_once() {
+        for lanes in [1usize, 2, 7, 96, 100, 4096] {
+            for shards in [1usize, 2, 3, 8, 64, 200] {
+                let plan = ShardPlan::new(lanes, shards);
+                assert!(plan.shard_count() <= shards.min(lanes));
+                let mut next = 0usize;
+                for (si, (base, len)) in plan.ranges().enumerate() {
+                    assert_eq!(base, next);
+                    assert!(len > 0);
+                    for lane in base..base + len {
+                        assert_eq!(plan.shard_of(lane), si);
+                    }
+                    next = base + len;
+                }
+                assert_eq!(next, lanes);
+                assert_eq!(plan.lanes(), lanes);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_plan_matches_try_shard_map_layout() {
+        // The plan must agree with the layout `run_fleet_batch` gets from
+        // `parallel::try_shard_map`, or external drivers would disagree
+        // with the engine about shard membership.
+        let items: Vec<usize> = (0..37).collect();
+        for threads in [1usize, 2, 4, 7, 16] {
+            let plan = ShardPlan::new(items.len(), threads);
+            let observed: Vec<(usize, usize)> =
+                crate::parallel::try_shard_map(&items, threads, |base, shard| {
+                    Ok::<_, Error>((base, shard.len()))
+                })
+                .unwrap();
+            assert_eq!(plan.ranges().collect::<Vec<_>>(), observed);
+        }
     }
 
     #[test]
