@@ -63,6 +63,7 @@ fn bench_daemon_rtt(c: &mut Criterion) {
             emit_trace: false,
             engine_delay_ms: 0,
             recover: false,
+            telemetry_addr: None,
         };
         let started = serve(&options, &socket, None).expect("daemon starts");
         let mut client = Client::connect_unix(&socket).expect("daemon accepts");

@@ -231,9 +231,10 @@ fn batch_phase() -> BatchThroughput {
 /// Decision throughput through the full daemon path: an in-process
 /// `fleetd` on a unix socket, one client streaming seeded blocks —
 /// frame codec, socket hops, bounded queue, write-ahead journal, and
-/// the sharded engine all on the clock. Recorded in meta as
-/// `daemon_decisions_per_sec` (observability only — no floor yet; a
-/// future baseline refresh can promote it to a gate).
+/// the sharded engine all on the clock — with the telemetry plane
+/// enabled (stage histograms + HTTP listener), so the floor also
+/// guards the instrumentation's overhead. Recorded in meta as
+/// `daemon_decisions_per_sec` and gated by [`daemon_gate`].
 fn daemon_phase() -> f64 {
     const DAEMON_LANES: usize = 2_048;
     const DAEMON_BLOCKS: usize = 24;
@@ -262,6 +263,7 @@ fn daemon_phase() -> f64 {
         emit_trace: false,
         engine_delay_ms: 0,
         recover: false,
+        telemetry_addr: Some("127.0.0.1:0".to_string()),
     };
     let started = fleetd::server::serve(&options, &socket, None).expect("daemon starts");
     let mut client = fleetd::client::Client::connect_unix(&socket).expect("daemon accepts");
@@ -326,6 +328,27 @@ fn throughput_gate(tp: &BatchThroughput, baseline: &RunReport, tolerance: f64) -
         ),
     }
     failures
+}
+
+/// Gates the daemon-path throughput against the baseline's
+/// `daemon_decisions_per_sec` floor (divided by `tolerance`). A
+/// baseline written before the daemon phase existed carries no key;
+/// the gate only bites once a baseline refresh records the floor.
+fn daemon_gate(fresh_dps: f64, baseline: &RunReport, tolerance: f64) -> Vec<String> {
+    match baseline.meta.get("daemon_decisions_per_sec").map(|v| v.parse::<f64>()) {
+        Some(Ok(floor)) if floor.is_finite() && floor > 0.0 => {
+            // NaN (a broken measurement) must fail the floor too.
+            if fresh_dps.is_nan() || fresh_dps < floor / tolerance {
+                vec![format!(
+                    "daemon_decisions_per_sec: fresh {fresh_dps:.0} below baseline {floor:.0} / \
+                     tolerance {tolerance} (set PERF_GATE_TOLERANCE to override)"
+                )]
+            } else {
+                Vec::new()
+            }
+        }
+        _ => Vec::new(),
+    }
 }
 
 /// Whether a counter's value is timing-derived (excluded from exact
@@ -467,10 +490,10 @@ fn main() -> ExitCode {
     // as the floor for future runs.
     reporter.meta("batch_stops_per_sec", format!("{:.0}", throughput.batch_sps));
     reporter.meta("scalar_stops_per_sec", format!("{:.0}", throughput.scalar_sps));
-    // Daemon-path throughput rides in meta for observability only — no
-    // floor yet, so baselines written before the daemon existed stay
-    // valid and machines see the number before a gate pins it.
-    reporter.meta("daemon_decisions_per_sec", format!("{:.0}", daemon_phase()));
+    // Daemon-path throughput (telemetry plane on) is both observability
+    // and, once a baseline records it, a floor via `daemon_gate`.
+    let daemon_dps = daemon_phase();
+    reporter.meta("daemon_decisions_per_sec", format!("{daemon_dps:.0}"));
 
     let fresh = reporter.capture();
     reporter.finish();
@@ -511,12 +534,13 @@ fn main() -> ExitCode {
     let mut failures = invariants(&fresh);
     failures.extend(compare(&fresh, &baseline, tolerance));
     failures.extend(throughput_gate(&throughput, &baseline, tolerance));
+    failures.extend(daemon_gate(daemon_dps, &baseline, tolerance));
 
     if failures.is_empty() {
         println!(
             "perf gate PASS: wall {:.3} s (baseline {:.3} s, tolerance {tolerance}x), \
              {} counters / {} histograms matched, batch {:.0} stops/s \
-             ({:.1}x scalar {:.0} stops/s)",
+             ({:.1}x scalar {:.0} stops/s), daemon {daemon_dps:.0} decisions/s",
             fresh.wall_s,
             baseline.wall_s,
             baseline.metrics.counters.len(),

@@ -10,7 +10,13 @@
 //! 2. the full event history served by `ReplayEvents` is
 //!    **byte-identical** as canonical JSONL, and
 //! 3. a burst of concurrent submissions against a tiny queue gets
-//!    explicit `Busy` backpressure, not blocking or data loss.
+//!    explicit `Busy` backpressure, not blocking or data loss, and
+//! 4. the telemetry plane tells the truth: `/metrics` parses as a
+//!    well-formed exposition with every stage histogram populated,
+//!    the recovered daemon's recovery gauges agree with its own
+//!    `Stats` counters, scraped counters are monotone across scrapes,
+//!    and `/healthz` flips ready → unready across shutdown. The final
+//!    scrape lands in `--artifact-dir` as `telemetry.prom`.
 //!
 //! The recorded trace is written next to the report so CI can push it
 //! through `monitor --replay --expect-clean`. On failure, artifacts
@@ -131,6 +137,7 @@ fn spawn_daemon(
     dir: &Path,
     vehicles: usize,
     recover: bool,
+    telemetry_port: u16,
 ) -> Result<Child, String> {
     let mut cmd = Command::new(fleetd);
     cmd.arg("--socket")
@@ -154,11 +161,79 @@ fn spawn_daemon(
         .arg("--queue")
         .arg(QUEUE_CAPACITY.to_string())
         .arg("--engine-delay-ms")
-        .arg(ENGINE_DELAY_MS.to_string());
+        .arg(ENGINE_DELAY_MS.to_string())
+        .arg("--telemetry-addr")
+        .arg(format!("127.0.0.1:{telemetry_port}"));
     if recover {
         cmd.arg("--recover");
     }
     cmd.spawn().map_err(|e| format!("spawn {}: {e}", fleetd.display()))
+}
+
+/// Reserves a free TCP port by binding to `:0` and immediately
+/// releasing it — the daemon rebinds the same port a moment later.
+/// (A listen socket leaves no TIME_WAIT, so the rebind is reliable;
+/// each daemon still gets its own fresh port.)
+fn free_port() -> Result<u16, String> {
+    let listener =
+        std::net::TcpListener::bind("127.0.0.1:0").map_err(|e| format!("reserve port: {e}"))?;
+    Ok(listener.local_addr().map_err(|e| e.to_string())?.port())
+}
+
+/// Minimal HTTP/1.0 GET against the daemon's telemetry listener.
+/// Returns (status code, body).
+fn http_get(port: u16, target: &str) -> Result<(u16, String), String> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(("127.0.0.1", port))
+        .map_err(|e| format!("connect telemetry port {port}: {e}"))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5))).map_err(|e| e.to_string())?;
+    write!(stream, "GET {target} HTTP/1.0\r\nHost: fleetd\r\n\r\n").map_err(|e| e.to_string())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).map_err(|e| format!("read {target}: {e}"))?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("{target}: malformed status line"))?;
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Parses a scraped exposition page — the parse alone rejects duplicate
+/// or malformed series — and asserts what must hold on ANY live scrape:
+/// every pipeline stage histogram exists and has traffic, and the
+/// liveness gauges read healthy.
+fn expo_check(text: &str, ctx: &str) -> Result<obsv::telemetry::Scrape, String> {
+    let scrape = obsv::telemetry::parse(text).map_err(|e| format!("{ctx}: bad exposition: {e}"))?;
+    for name in fleetd::STAGE_HISTOGRAMS {
+        let histo = scrape
+            .histograms
+            .get(*name)
+            .ok_or_else(|| format!("{ctx}: stage histogram {name} missing"))?;
+        if histo.count < 1.0 {
+            return Err(format!("{ctx}: stage histogram {name} recorded nothing"));
+        }
+    }
+    for gauge in ["fleetd_engine_alive", "fleetd_journal_writable"] {
+        if scrape.gauge(gauge) != Some(1.0) {
+            return Err(format!("{ctx}: {gauge} is not 1 on a live daemon"));
+        }
+    }
+    Ok(scrape)
+}
+
+/// Counters may only grow between two scrapes of the same daemon.
+fn monotone_check(
+    first: &obsv::telemetry::Scrape,
+    second: &obsv::telemetry::Scrape,
+) -> Result<(), String> {
+    for (name, was) in &first.counters {
+        let now = second.counter(name).ok_or_else(|| format!("counter {name} vanished"))?;
+        if now < *was {
+            return Err(format!("counter {name} went backwards: {was} -> {now}"));
+        }
+    }
+    Ok(())
 }
 
 /// Waits until the daemon answers a handshake (the socket file existing
@@ -293,11 +368,25 @@ fn run(opts: &Options, reporter: &mut RunReporter) -> Result<(), String> {
     // Phase 1 — live session up to the kill point, then SIGKILL while a
     // submit is in flight (the journal may keep a torn tail; recovery
     // must shrug it off).
-    let mut child = spawn_daemon(&fleetd, &socket, &state_dir, vehicles, false)?;
+    let live_port = free_port()?;
+    let mut child = spawn_daemon(&fleetd, &socket, &state_dir, vehicles, false, live_port)?;
     await_daemon(&socket, &mut child)?;
     let mut client = Client::connect_unix(&socket).map_err(|e| e.to_string())?;
     client.hello("drill-load").map_err(|e| e.to_string())?;
+    let (health_status, health_body) = http_get(live_port, "/healthz")?;
+    if health_status != 200 || health_body != "ok\n" {
+        return Err(format!("live /healthz said {health_status} {health_body:?}, wanted 200 ok"));
+    }
     drive(&mut client, 0, kill_step, block, vehicles)?;
+    // Every stage has seen traffic by now; the scrape must prove it.
+    let (status, page) = http_get(live_port, "/metrics")?;
+    if status != 200 {
+        return Err(format!("live /metrics said {status}"));
+    }
+    let live_scrape = expo_check(&page, "pre-kill scrape")?;
+    if live_scrape.gauge("fleetd_recovered") != Some(0.0) {
+        return Err("fresh daemon claims fleetd_recovered != 0".to_string());
+    }
 
     let killer = std::thread::spawn(move || {
         // Land inside the next block's journal-append/process window.
@@ -319,7 +408,8 @@ fn run(opts: &Options, reporter: &mut RunReporter) -> Result<(), String> {
 
     // Phase 2 — restart with --recover and resume from wherever the
     // journal's clean prefix ends (mid-block is legal under SIGKILL).
-    let mut child = spawn_daemon(&fleetd, &socket, &state_dir, vehicles, true)?;
+    let telemetry_port = free_port()?;
+    let mut child = spawn_daemon(&fleetd, &socket, &state_dir, vehicles, true, telemetry_port)?;
     let (_, resumed) = await_daemon(&socket, &mut child)?;
     if resumed < kill_step || resumed > kill_step + block as u64 {
         return Err(format!(
@@ -330,6 +420,53 @@ fn run(opts: &Options, reporter: &mut RunReporter) -> Result<(), String> {
     reporter.meta("drill.resumed_step", resumed);
     let mut client = Client::connect_unix(&socket).map_err(|e| e.to_string())?;
     client.hello("drill-resume").map_err(|e| e.to_string())?;
+
+    // The recovered daemon's recovery gauges must agree with what it
+    // told us over the protocol. This scrape rides the `Telemetry`
+    // request (not HTTP), so both transports get exercised.
+    let stats = client.stats().map_err(|e| e.to_string())?;
+    let page = client.telemetry().map_err(|e| e.to_string())?;
+    let scrape = obsv::telemetry::parse(&page)
+        .map_err(|e| format!("post-recovery scrape: bad exposition: {e}"))?;
+    let gauge = |name: &str| {
+        scrape.gauge(name).ok_or_else(|| format!("post-recovery scrape: gauge {name} missing"))
+    };
+    if gauge("fleetd_recovered")? != 1.0 {
+        return Err("recovered daemon claims fleetd_recovered != 1".to_string());
+    }
+    let resumed_gauge = gauge("fleetd_recovery_resumed_step")?;
+    if resumed_gauge != resumed as f64 || gauge("fleetd_step")? != resumed as f64 {
+        return Err(format!(
+            "recovery gauges disagree with Hello: resumed_step gauge {resumed_gauge}, \
+             step gauge {}, Hello said {resumed}",
+            gauge("fleetd_step")?
+        ));
+    }
+    let snapshot_step = gauge("fleetd_recovery_snapshot_step")?;
+    if snapshot_step > resumed as f64 {
+        return Err(format!("snapshot step {snapshot_step} beyond resumed step {resumed}"));
+    }
+    let frames_replayed = gauge("fleetd_recovery_frames_replayed")?;
+    let torn = gauge("fleetd_recovery_torn_tail_dropped")?;
+    if torn != 0.0 && torn != 1.0 {
+        return Err(format!("torn-tail gauge is {torn}, wanted 0 or 1"));
+    }
+    let journal_frames = scrape
+        .counter("fleetd_journal_frames_total")
+        .ok_or("post-recovery scrape: fleetd_journal_frames_total missing")?;
+    if journal_frames != stats.journal_frames as f64 {
+        return Err(format!(
+            "journal frame counter {journal_frames} disagrees with Stats {}",
+            stats.journal_frames
+        ));
+    }
+    reporter.meta("drill.recovery_frames_replayed", frames_replayed as u64);
+    reporter.meta("drill.recovery_torn_tail", torn as u64);
+    eprintln!(
+        "service_drill: recovery gauges check out (snapshot {snapshot_step}, \
+         {frames_replayed} frames replayed, torn tail {torn})"
+    );
+
     drive(&mut client, resumed, total_steps, block, vehicles)?;
 
     // Phase 3 — byte-compare state and full event history.
@@ -437,12 +574,39 @@ fn run(opts: &Options, reporter: &mut RunReporter) -> Result<(), String> {
          Busy rejections"
     );
 
-    // Graceful close; scratch is only kept while something failed.
+    // Phase 5 — final scrape over HTTP: every stage histogram has
+    // traffic, counters only grew since the post-recovery scrape, and
+    // the page itself becomes the uploaded `telemetry.prom` artifact.
+    let (status, final_page) = http_get(telemetry_port, "/metrics")?;
+    if status != 200 {
+        return Err(format!("final /metrics said {status}"));
+    }
+    let final_scrape = expo_check(&final_page, "final scrape")?;
+    monotone_check(&scrape, &final_scrape).map_err(|e| format!("final scrape: {e}"))?;
+    let busy_counter = final_scrape.counter("fleetd_busy_rejections_total").unwrap_or(0.0);
+    if busy_counter < rejected as f64 {
+        return Err(format!(
+            "busy counter {busy_counter} below the {rejected} rejections Stats reported"
+        ));
+    }
+    write_artifact(&opts.artifact_dir, "telemetry.prom", final_page.as_bytes());
+    reporter.meta("drill.telemetry_histograms", final_scrape.histograms.len());
+
+    // Graceful close; /healthz must stop saying ok once shutdown lands.
     client.shutdown().map_err(|e| e.to_string())?;
     let status = child.wait().map_err(|e| e.to_string())?;
     if !status.success() {
         return Err(format!("daemon exited uncleanly after shutdown: {status}"));
     }
+    match http_get(telemetry_port, "/healthz") {
+        Ok((code, body)) if code == 200 && body == "ok\n" => {
+            return Err("daemon is down but /healthz still says ok".to_string());
+        }
+        // 503 from a still-draining listener or connection refused —
+        // both read as "unready".
+        Ok(_) | Err(_) => {}
+    }
+    eprintln!("service_drill: telemetry plane verified (healthz went unready on shutdown)");
     let _ = std::fs::remove_dir_all(&scratch);
     Ok(())
 }

@@ -1,12 +1,14 @@
 //! `fleetctl` — the daemon's control and console client.
 //!
 //! ```text
-//! fleetctl status   --socket PATH             daemon counters
-//! fleetctl snapshot --socket PATH             force a snapshot now
-//! fleetctl state    --socket PATH --out FILE  export estimator state bytes
-//! fleetctl replay   --socket PATH [--out F]   full canonical event history
-//! fleetctl tail     --socket PATH [...]       live TUI console
-//! fleetctl shutdown --socket PATH             graceful stop
+//! fleetctl status    --socket PATH [--json]    daemon counters
+//! fleetctl telemetry --socket PATH [--raw]     stage latencies + health
+//! fleetctl top       --socket PATH [...]       live telemetry view
+//! fleetctl snapshot  --socket PATH             force a snapshot now
+//! fleetctl state     --socket PATH --out FILE  export estimator state bytes
+//! fleetctl replay    --socket PATH [--out F]   full canonical event history
+//! fleetctl tail      --socket PATH [...]       live TUI console
+//! fleetctl shutdown  --socket PATH             graceful stop
 //! ```
 //!
 //! `tail` subscribes to the daemon's event stream and runs a local
@@ -30,7 +32,11 @@ fn usage() -> ExitCode {
         "usage: fleetctl COMMAND --socket PATH [options]\n\
          \n\
          commands:\n\
-         \x20 status                      print daemon counters\n\
+         \x20 status [--json]             print daemon counters\n\
+         \x20 telemetry [--raw]           stage latency quantiles + health gauges\n\
+         \x20                             (--raw dumps the Prometheus exposition)\n\
+         \x20 top [--interval-ms N] [--frames N] [--plain]\n\
+         \x20                             live per-stage latency / queue view\n\
          \x20 snapshot                    force a snapshot now\n\
          \x20 state --out FILE            export estimator state bytes\n\
          \x20 replay [--out FILE]         full canonical event history (JSONL)\n\
@@ -53,6 +59,10 @@ struct Cli {
     max_batches: u64,
     window: usize,
     plain: bool,
+    json: bool,
+    raw: bool,
+    interval_ms: u64,
+    frames: u64,
 }
 
 fn parse() -> Option<Cli> {
@@ -67,6 +77,10 @@ fn parse() -> Option<Cli> {
         max_batches: 0,
         window: 64,
         plain: false,
+        json: false,
+        raw: false,
+        interval_ms: 1000,
+        frames: 0,
     };
     while let Some(a) = args.next() {
         let value = |a: &str, key: &str, rest: &mut dyn Iterator<Item = String>| {
@@ -86,8 +100,16 @@ fn parse() -> Option<Cli> {
             cli.max_batches = value(&a, "--max-batches", &mut args)?.parse().ok()?;
         } else if a == "--window" || a.starts_with("--window=") {
             cli.window = value(&a, "--window", &mut args)?.parse().ok()?;
+        } else if a == "--interval-ms" || a.starts_with("--interval-ms=") {
+            cli.interval_ms = value(&a, "--interval-ms", &mut args)?.parse().ok()?;
+        } else if a == "--frames" || a.starts_with("--frames=") {
+            cli.frames = value(&a, "--frames", &mut args)?.parse().ok()?;
         } else if a == "--plain" {
             cli.plain = true;
+        } else if a == "--json" {
+            cli.json = true;
+        } else if a == "--raw" {
+            cli.raw = true;
         } else if !a.starts_with('-') && cli.command.is_empty() {
             // The command may appear before or after the flags.
             cli.command = a;
@@ -109,6 +131,29 @@ fn connect(cli: &Cli) -> Result<Client, String> {
     }
 }
 
+/// `status --json`: the counters as one canonical JSON object
+/// (sorted keys, shortest-round-trip floats — [`obsv::json`] rules), so
+/// scripts can diff two statuses byte-for-byte.
+fn stats_json(info: &StatsInfo) -> String {
+    use obsv::json::Value;
+    let mut obj = std::collections::BTreeMap::new();
+    let mut put = |k: &str, v: Value| obj.insert(k.to_string(), v);
+    put("step", Value::UInt(info.step));
+    put("lanes", Value::UInt(u64::from(info.lanes)));
+    put("queue_depth", Value::UInt(u64::from(info.queue_depth)));
+    put("queue_capacity", Value::UInt(u64::from(info.queue_capacity)));
+    put("connections", Value::UInt(u64::from(info.connections)));
+    put("subscribers", Value::UInt(u64::from(info.subscribers)));
+    put("busy_rejections", Value::UInt(info.busy_rejections));
+    put("blocks_ingested", Value::UInt(info.blocks_ingested));
+    put("journal_frames", Value::UInt(info.journal_frames));
+    put("online_total", Value::float(info.online_total));
+    put("offline_total", Value::float(info.offline_total));
+    let cr = obsv::dashboard::realized_cr(info.online_total, info.offline_total);
+    put("realized_cr", Value::float(cr));
+    Value::Obj(obj).to_string()
+}
+
 fn print_stats(info: &StatsInfo) {
     println!("step              {}", info.step);
     println!("lanes             {}", info.lanes);
@@ -122,6 +167,105 @@ fn print_stats(info: &StatsInfo) {
     println!("offline cost      {:.3}", info.offline_total);
     let cr = obsv::dashboard::realized_cr(info.online_total, info.offline_total);
     println!("realized CR       {}", obsv::dashboard::fmt_cr(cr).trim_start());
+}
+
+/// Human-scale duration: picks ns/µs/ms/s so a 40 ns decode and a 2 s
+/// fsync stall read equally well in one table.
+fn fmt_secs(s: f64) -> String {
+    if s <= 0.0 {
+        "0".to_string()
+    } else if s < 1e-6 {
+        format!("{:.0}ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.1}\u{3bc}s", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.3}s", s)
+    }
+}
+
+/// Renders one telemetry scrape: per-stage latency quantiles, queue and
+/// journal health, and (in `top`) a queue-occupancy sparkline.
+fn render_telemetry(scrape: &obsv::telemetry::Scrape, queue_history: &[f64]) -> String {
+    let g = |name: &str| scrape.gauge(name).unwrap_or(0.0);
+    let c = |name: &str| scrape.counter(name).unwrap_or(0.0);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "fleetd @ step {}   blocks {}   queue {}/{} (peak {})\n",
+        g("fleetd_step") as u64,
+        c("fleetd_blocks_ingested_total") as u64,
+        g("fleetd_queue_depth") as u64,
+        g("fleetd_queue_capacity") as u64,
+        g("fleetd_queue_depth_peak") as u64,
+    ));
+    out.push_str(&format!(
+        "{:<16} {:>10} {:>9} {:>9} {:>9}\n",
+        "stage", "count", "p50", "p95", "p99"
+    ));
+    for name in fleetd::STAGE_HISTOGRAMS {
+        let Some(h) = scrape.histograms.get(*name) else { continue };
+        let label = name.trim_start_matches("fleetd_stage_").trim_end_matches("_seconds");
+        out.push_str(&format!(
+            "{label:<16} {:>10} {:>9} {:>9} {:>9}\n",
+            h.count as u64,
+            fmt_secs(h.quantile(0.50)),
+            fmt_secs(h.quantile(0.95)),
+            fmt_secs(h.quantile(0.99)),
+        ));
+    }
+    out.push_str(&format!(
+        "journal: {} bytes, {} frames total, {} since snapshot, age {} steps\n",
+        g("fleetd_journal_bytes") as u64,
+        c("fleetd_journal_frames_total") as u64,
+        g("fleetd_journal_frames_since_snapshot") as u64,
+        g("fleetd_snapshot_age_steps") as u64,
+    ));
+    out.push_str(&format!(
+        "health: engine {}, journal {}, busy rejections {}, subscribers {} (lag {}, drops {})\n",
+        if g("fleetd_engine_alive") > 0.0 { "alive" } else { "DOWN" },
+        if g("fleetd_journal_writable") > 0.0 { "writable" } else { "FAILED" },
+        c("fleetd_busy_rejections_total") as u64,
+        g("fleetd_subscribers") as u64,
+        g("fleetd_subscriber_lag") as u64,
+        c("fleetd_subscriber_drops_total") as u64,
+    ));
+    if !queue_history.is_empty() {
+        out.push_str(&format!(
+            "queue occupancy: {}\n",
+            obsv::dashboard::sparkline(queue_history, queue_history.len().min(40))
+        ));
+    }
+    out
+}
+
+/// `top`: poll the telemetry page and redraw the stage/health view.
+fn top(cli: &Cli) -> Result<(), String> {
+    let mut client = connect(cli)?;
+    client.hello("fleetctl-top").map_err(|e| e.to_string())?;
+    let mut queue_history: Vec<f64> = Vec::new();
+    let mut frame: u64 = 0;
+    loop {
+        let text = client.telemetry().map_err(|e| e.to_string())?;
+        let scrape = obsv::telemetry::parse(&text).map_err(|e| format!("bad exposition: {e}"))?;
+        queue_history.push(scrape.gauge("fleetd_queue_depth").unwrap_or(0.0));
+        if queue_history.len() > 40 {
+            let excess = queue_history.len() - 40;
+            queue_history.drain(..excess);
+        }
+        let body = render_telemetry(&scrape, &queue_history);
+        if cli.plain {
+            println!("{body}");
+        } else {
+            print!("\x1b[2J\x1b[H{body}");
+            let _ = std::io::stdout().flush();
+        }
+        frame += 1;
+        if cli.frames != 0 && frame >= cli.frames {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(cli.interval_ms.max(50)));
+    }
 }
 
 /// One live console session: subscribe, analyze each batch with a
@@ -203,9 +347,27 @@ fn run(cli: &Cli) -> Result<(), String> {
             let mut client = connect(cli)?;
             client.hello("fleetctl").map_err(|e| e.to_string())?;
             let info = client.stats().map_err(|e| e.to_string())?;
-            print_stats(&info);
+            if cli.json {
+                println!("{}", stats_json(&info));
+            } else {
+                print_stats(&info);
+            }
             Ok(())
         }
+        "telemetry" => {
+            let mut client = connect(cli)?;
+            client.hello("fleetctl").map_err(|e| e.to_string())?;
+            let text = client.telemetry().map_err(|e| e.to_string())?;
+            if cli.raw {
+                print!("{text}");
+            } else {
+                let scrape =
+                    obsv::telemetry::parse(&text).map_err(|e| format!("bad exposition: {e}"))?;
+                print!("{}", render_telemetry(&scrape, &[]));
+            }
+            Ok(())
+        }
+        "top" => top(cli),
         "snapshot" => {
             let mut client = connect(cli)?;
             let ack = client.snapshot().map_err(|e| e.to_string())?;

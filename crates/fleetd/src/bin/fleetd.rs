@@ -16,14 +16,16 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: fleetd --socket PATH --dir DIR [--tcp ADDR]\n\
+        "usage: fleetd --socket PATH --dir DIR [--tcp ADDR] [--telemetry-addr ADDR]\n\
          \x20       [--lanes N] [--break-even SECS] [--window N] [--min-history N]\n\
          \x20       [--seed N] [--stream-base N]\n\
          \x20       [--threads N] [--snapshot-every N] [--queue N]\n\
          \x20       [--engine-delay-ms N] [--no-trace] [--recover]\n\
          \n\
          Starts fresh in DIR (refusing an existing journal) unless --recover,\n\
-         which resumes the journaled state bit-identically."
+         which resumes the journaled state bit-identically.\n\
+         --telemetry-addr serves GET /metrics (Prometheus text exposition)\n\
+         and GET /healthz over plain HTTP."
     );
     ExitCode::from(2)
 }
@@ -31,6 +33,7 @@ fn usage() -> ExitCode {
 struct Cli {
     socket: Option<PathBuf>,
     tcp: Option<String>,
+    telemetry_addr: Option<String>,
     dir: Option<PathBuf>,
     lanes: usize,
     break_even: f64,
@@ -51,6 +54,7 @@ impl Cli {
         Self {
             socket: None,
             tcp: None,
+            telemetry_addr: None,
             dir: None,
             lanes: 1024,
             break_even: 28.0,
@@ -94,6 +98,10 @@ fn parse() -> Option<Cli> {
         }
         if a == "--tcp" || a.starts_with("--tcp=") {
             cli.tcp = Some(value(&a, "--tcp", &mut args)?);
+            continue;
+        }
+        if a == "--telemetry-addr" || a.starts_with("--telemetry-addr=") {
+            cli.telemetry_addr = Some(value(&a, "--telemetry-addr", &mut args)?);
             continue;
         }
         if a == "--window" || a.starts_with("--window=") {
@@ -148,6 +156,7 @@ fn main() -> ExitCode {
         emit_trace: !cli.no_trace,
         engine_delay_ms: cli.engine_delay_ms,
         recover: cli.recover,
+        telemetry_addr: cli.telemetry_addr.clone(),
     };
     match serve(&options, &socket, cli.tcp.as_deref()) {
         Ok(started) => {
@@ -164,6 +173,9 @@ fn main() -> ExitCode {
                     config.lanes,
                     socket.display()
                 ),
+            }
+            if let Some(addr) = started.telemetry_addr {
+                eprintln!("fleetd: telemetry on http://{addr}/metrics");
             }
             started.handle.wait();
             eprintln!("fleetd: stopped");

@@ -189,6 +189,19 @@ impl Client {
         }
     }
 
+    /// Fetches the daemon's telemetry page (Prometheus text exposition;
+    /// parse with [`obsv::telemetry::parse`]).
+    ///
+    /// # Errors
+    ///
+    /// Transport, framing, or daemon error.
+    pub fn telemetry(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Telemetry)? {
+            Reply::Telemetry { text } => Ok(text),
+            _ => Err(ClientError::Unexpected("telemetry wants Telemetry")),
+        }
+    }
+
     /// Asks the daemon to shut down gracefully; returns the ack text.
     ///
     /// # Errors

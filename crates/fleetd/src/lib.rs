@@ -25,6 +25,11 @@
 //!   load generator, and the CI service drill; includes a session
 //!   recorder that captures every event batch as canonical JSONL so a
 //!   live session is byte-identically replayable offline.
+//! * [`telemetry`] — the daemon's service-metrics plane: per-stage
+//!   latency histograms and health gauges in a `fleetd`-owned
+//!   [`obsv::MetricsRegistry`], rendered as a Prometheus text
+//!   exposition via the [`Request::Telemetry`] message or the optional
+//!   `--telemetry-addr` HTTP listener (`/metrics`, `/healthz`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,7 +38,9 @@
 pub mod client;
 pub mod proto;
 pub mod server;
+pub mod telemetry;
 
 pub use client::{Client, SessionRecorder};
 pub use proto::{Reply, Request, StatsInfo, WireError};
 pub use server::{serve, ServeOptions, ServerHandle, Started};
+pub use telemetry::{Telemetry, STAGE_HISTOGRAMS};

@@ -283,6 +283,10 @@ pub enum Request {
     ReplayEvents,
     /// Take a snapshot now. Answered with [`Reply::Ack`].
     Snapshot,
+    /// The daemon's telemetry page (Prometheus text exposition:
+    /// per-stage latency histograms, health gauges). Answered with
+    /// [`Reply::Telemetry`].
+    Telemetry,
     /// Gracefully stop the daemon. Answered with [`Reply::Ack`], then
     /// the daemon exits.
     Shutdown,
@@ -371,6 +375,12 @@ pub enum Reply {
         /// Human-readable detail (e.g. the snapshot step).
         info: String,
     },
+    /// The daemon's telemetry page.
+    Telemetry {
+        /// Prometheus text exposition ([`obsv::telemetry::render`]
+        /// output; parse with [`obsv::telemetry::parse`]).
+        text: String,
+    },
     /// The request failed; nothing changed.
     Error {
         /// What went wrong.
@@ -386,6 +396,7 @@ const KIND_SUBSCRIBE: u8 = 5;
 const KIND_REPLAY_EVENTS: u8 = 6;
 const KIND_SNAPSHOT: u8 = 7;
 const KIND_SHUTDOWN: u8 = 8;
+const KIND_TELEMETRY: u8 = 9;
 
 const KIND_HELLO_ACK: u8 = 64;
 const KIND_DECISIONS: u8 = 65;
@@ -395,6 +406,7 @@ const KIND_STATE: u8 = 68;
 const KIND_EVENTS: u8 = 69;
 const KIND_ACK: u8 = 70;
 const KIND_ERROR: u8 = 71;
+const KIND_TELEMETRY_REPLY: u8 = 72;
 
 impl Request {
     fn kind(&self) -> u8 {
@@ -406,6 +418,7 @@ impl Request {
             Self::Subscribe => KIND_SUBSCRIBE,
             Self::ReplayEvents => KIND_REPLAY_EVENTS,
             Self::Snapshot => KIND_SNAPSHOT,
+            Self::Telemetry => KIND_TELEMETRY,
             Self::Shutdown => KIND_SHUTDOWN,
         }
     }
@@ -429,6 +442,7 @@ impl Request {
             | Self::Subscribe
             | Self::ReplayEvents
             | Self::Snapshot
+            | Self::Telemetry
             | Self::Shutdown => {}
         }
         out
@@ -464,6 +478,7 @@ impl Request {
             KIND_SUBSCRIBE => Self::Subscribe,
             KIND_REPLAY_EVENTS => Self::ReplayEvents,
             KIND_SNAPSHOT => Self::Snapshot,
+            KIND_TELEMETRY => Self::Telemetry,
             KIND_SHUTDOWN => Self::Shutdown,
             other => return Err(WireError::UnknownKind { offset: 6, kind: other }),
         };
@@ -483,6 +498,7 @@ impl Reply {
             Self::Events { .. } => KIND_EVENTS,
             Self::Ack { .. } => KIND_ACK,
             Self::Error { .. } => KIND_ERROR,
+            Self::Telemetry { .. } => KIND_TELEMETRY_REPLY,
         }
     }
 
@@ -530,6 +546,12 @@ impl Reply {
             }
             Self::Ack { info } => put_string(&mut out, info),
             Self::Error { message } => put_string(&mut out, message),
+            Self::Telemetry { text } => {
+                // A full exposition page can exceed the short-string cap,
+                // so it rides as length-prefixed raw bytes like `Events`.
+                put_u32(&mut out, text.len() as u32);
+                out.extend_from_slice(text.as_bytes());
+            }
         }
         out
     }
@@ -597,6 +619,13 @@ impl Reply {
             }
             KIND_ACK => Self::Ack { info: r.string()? },
             KIND_ERROR => Self::Error { message: r.string()? },
+            KIND_TELEMETRY_REPLY => {
+                let len = r.u32()?;
+                let bytes = r.take(len as usize)?;
+                let text = String::from_utf8(bytes.to_vec())
+                    .map_err(|_| WireError::BadPayload { offset: 4, what: "text is not UTF-8" })?;
+                Self::Telemetry { text }
+            }
             other => return Err(WireError::UnknownKind { offset: 6, kind: other }),
         };
         r.finish()?;
@@ -775,6 +804,7 @@ mod tests {
             Request::Subscribe,
             Request::ReplayEvents,
             Request::Snapshot,
+            Request::Telemetry,
             Request::Shutdown,
         ]
     }
@@ -823,6 +853,9 @@ mod tests {
             Reply::Events { last: false, jsonl: String::new() },
             Reply::Ack { info: "snapshot at step 41".to_string() },
             Reply::Error { message: "step mismatch".to_string() },
+            Reply::Telemetry {
+                text: "# TYPE fleetd_queue_depth gauge\nfleetd_queue_depth 3\n".to_string(),
+            },
         ]
     }
 

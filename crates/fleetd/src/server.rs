@@ -26,6 +26,16 @@
 //!   engine drains the global tracer and broadcasts the batch. A
 //!   subscriber that falls behind its channel capacity is dropped (a
 //!   tail is a *view*; the journal, not the tail, is the record).
+//! * **Telemetry** rides a daemon-owned [`crate::telemetry::Telemetry`]
+//!   registry: each request stage (queue wait, frame decode, engine
+//!   decide, journal append, fsync, reply write) records into a
+//!   log-bucketed latency histogram, and health gauges track the queue,
+//!   journal, subscribers, and recovery. Exposed two ways — the
+//!   [`Request::Telemetry`] protocol message, and an optional plain-HTTP
+//!   listener ([`ServeOptions::telemetry_addr`]) serving `GET /metrics`
+//!   (Prometheus text exposition) and `GET /healthz`. Timing feeds
+//!   histograms only; it never touches the canonical trace, so the
+//!   byte-identity contract is unaffected.
 //!
 //! # Trace streams
 //!
@@ -37,6 +47,7 @@
 //! byte-identical replay contract.
 
 use crate::proto::{self, Reply, Request, StatsInfo};
+use crate::telemetry::Telemetry;
 use fleetstate::{FleetConfig, PersistentFleet, RecoveryOutcome, JOURNAL_FILE};
 use obsv::{TraceEvent, TraceRecord};
 use std::io::{Read, Write};
@@ -46,6 +57,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering}
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Records per [`Reply::Events`] frame when chunking a replay answer.
 const EVENTS_CHUNK: usize = 4096;
@@ -79,6 +91,11 @@ pub struct ServeOptions {
     pub engine_delay_ms: u64,
     /// Recover from an existing journal instead of starting fresh.
     pub recover: bool,
+    /// Bind a plain-HTTP telemetry listener on this address
+    /// (`GET /metrics` = Prometheus exposition, `GET /healthz` =
+    /// readiness). `None` = no listener; the [`Request::Telemetry`]
+    /// protocol message works either way.
+    pub telemetry_addr: Option<String>,
 }
 
 impl ServeOptions {
@@ -95,6 +112,7 @@ impl ServeOptions {
             emit_trace: true,
             engine_delay_ms: 0,
             recover: false,
+            telemetry_addr: None,
         }
     }
 }
@@ -102,28 +120,71 @@ impl ServeOptions {
 /// A job handed to the engine thread. Replies travel back over the
 /// per-request channel; a dropped receiver (client gone) is ignored.
 enum EngineJob {
-    Submit { client: u64, first_step: u64, rows: Vec<Vec<f64>>, reply: SyncSender<Reply> },
-    ExportState { reply: SyncSender<Reply> },
-    Snapshot { reply: SyncSender<Reply> },
-    Replay { client: u64, reply: SyncSender<Reply> },
-    Shutdown { reply: SyncSender<Reply> },
+    Submit {
+        client: u64,
+        first_step: u64,
+        rows: Vec<Vec<f64>>,
+        reply: SyncSender<Reply>,
+        /// When the connection thread queued the job; the engine records
+        /// the queue-wait stage from it at dequeue.
+        enqueued: Instant,
+    },
+    ExportState {
+        reply: SyncSender<Reply>,
+    },
+    Snapshot {
+        reply: SyncSender<Reply>,
+    },
+    Replay {
+        client: u64,
+        reply: SyncSender<Reply>,
+    },
+    Shutdown {
+        reply: SyncSender<Reply>,
+    },
 }
 
 /// Counters shared between the engine, connections, and stats replies.
+///
+/// # Memory orderings
+///
+/// Every statistic here is an independent scalar: no reader derives an
+/// invariant from *two* of them being mutually consistent (a `Stats`
+/// reply is a racy point-in-time sample by design), so the counters use
+/// `Relaxed` — each atomic is individually coherent, which is all a
+/// monotone counter or last-write-wins sample needs. The exceptions are
+/// documented on their fields.
 struct Shared {
     /// Immutable after startup; connections read it lock-free.
     config: FleetConfig,
     step: AtomicU64,
     queue_depth: AtomicUsize,
+    /// High-watermark of `queue_depth` (updated with `fetch_max` right
+    /// after each enqueue).
+    queue_depth_peak: AtomicUsize,
     connections: AtomicU32,
     subscribers: AtomicU32,
     busy_rejections: AtomicU64,
     blocks_ingested: AtomicU64,
+    /// `Release` store / `Acquire` load: the flag is the *publication*
+    /// that the engine finished mutating its state (or was asked to),
+    /// so threads that observe it true must also observe everything the
+    /// engine wrote before setting it.
     shutdown: AtomicBool,
+    /// Cleared (`Release`) by the engine thread on exit; `/healthz`
+    /// reads it (`Acquire`) as the liveness half of readiness.
+    engine_alive: AtomicBool,
+    /// Cleared when a block fails to persist ([`fleetstate::PersistError`]):
+    /// the write-ahead guarantee is gone, so readiness drops. `Relaxed`
+    /// — a lone health bit with no dependent data.
+    journal_ok: AtomicBool,
     /// Bit totals of the fleet cost ledgers, updated after each block.
     online_bits: AtomicU64,
     offline_bits: AtomicU64,
     journal_frames: AtomicU64,
+    /// The daemon's metrics plane (its own registry — the process-wide
+    /// [`obsv::global`] registry stays untouched).
+    telemetry: Telemetry,
 }
 
 impl Shared {
@@ -132,19 +193,40 @@ impl Shared {
             config,
             step: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
+            queue_depth_peak: AtomicUsize::new(0),
             connections: AtomicU32::new(0),
             subscribers: AtomicU32::new(0),
             busy_rejections: AtomicU64::new(0),
             blocks_ingested: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            engine_alive: AtomicBool::new(true),
+            journal_ok: AtomicBool::new(true),
             online_bits: AtomicU64::new(0),
             offline_bits: AtomicU64::new(0),
             journal_frames: AtomicU64::new(0),
+            telemetry: Telemetry::new(),
         }
+    }
+
+    /// Readiness for `/healthz`: the engine thread is alive, the journal
+    /// still accepts appends, and nobody asked us to stop.
+    fn ready(&self) -> bool {
+        self.engine_alive.load(Ordering::Acquire)
+            && self.journal_ok.load(Ordering::Relaxed)
+            && !self.shutdown.load(Ordering::Acquire)
     }
 }
 
-type Subscribers = Arc<Mutex<Vec<(u64, SyncSender<Arc<Vec<TraceRecord>>>)>>>;
+/// One registered event tail.
+struct Subscriber {
+    client: u64,
+    tx: SyncSender<Arc<Vec<TraceRecord>>>,
+    /// Batches handed to `tx` but not yet written to the client socket —
+    /// the tail's *lag*, surfaced as a telemetry gauge.
+    in_flight: Arc<AtomicU64>,
+}
+
+type Subscribers = Arc<Mutex<Vec<Subscriber>>>;
 
 /// A running daemon: join it, or stop it programmatically.
 pub struct ServerHandle {
@@ -174,7 +256,7 @@ impl ServerHandle {
     /// Whether the daemon has been told to shut down.
     #[must_use]
     pub fn is_shutting_down(&self) -> bool {
-        self.shared.shutdown.load(Ordering::SeqCst)
+        self.shared.shutdown.load(Ordering::Acquire)
     }
 
     fn join_inner(&mut self) {
@@ -196,6 +278,10 @@ pub struct Started {
     pub handle: ServerHandle,
     /// The recovery outcome when `recover` was set.
     pub recovery: Option<RecoveryOutcome>,
+    /// The bound telemetry listener address, when
+    /// [`ServeOptions::telemetry_addr`] was set (resolves an `:0` port
+    /// request to the actual port).
+    pub telemetry_addr: Option<std::net::SocketAddr>,
 }
 
 /// Starts the daemon: opens (or recovers) the persistent fleet in
@@ -247,11 +333,25 @@ pub fn serve(
     };
 
     let shared = Arc::new(Shared::new(options.config));
-    shared.step.store(fleet.runner().step(), Ordering::SeqCst);
-    shared.journal_frames.store(fleet.journal().frames_written(), Ordering::SeqCst);
+    shared.step.store(fleet.runner().step(), Ordering::Relaxed);
+    shared.journal_frames.store(fleet.journal().frames_written(), Ordering::Relaxed);
     let totals = fleet.runner().totals();
-    shared.online_bits.store(totals.0.to_bits(), Ordering::SeqCst);
-    shared.offline_bits.store(totals.1.to_bits(), Ordering::SeqCst);
+    shared.online_bits.store(totals.0.to_bits(), Ordering::Relaxed);
+    shared.offline_bits.store(totals.1.to_bits(), Ordering::Relaxed);
+    publish_journal_gauges(&shared.telemetry, &fleet);
+    shared.telemetry.set_gauge("fleetd_recovered", f64::from(u8::from(recovery.is_some())));
+    if let Some(outcome) = &recovery {
+        let t = &shared.telemetry;
+        t.set_gauge("fleetd_recovery_resumed_step", outcome.resumed_step as f64);
+        t.set_gauge("fleetd_recovery_snapshot_step", outcome.snapshot_step as f64);
+        t.set_gauge("fleetd_recovery_frames_replayed", outcome.frames_replayed as f64);
+        t.set_gauge("fleetd_recovery_snapshots_rejected", outcome.snapshots_rejected as f64);
+        t.set_gauge("fleetd_recovery_duplicates_skipped", outcome.duplicates_skipped as f64);
+        t.set_gauge(
+            "fleetd_recovery_torn_tail_dropped",
+            f64::from(u8::from(outcome.torn_tail_dropped)),
+        );
+    }
 
     let subscribers: Subscribers = Arc::new(Mutex::new(Vec::new()));
     let (jobs_tx, jobs_rx) = std::sync::mpsc::sync_channel(options.queue_capacity);
@@ -318,6 +418,22 @@ pub fn serve(
         );
     }
 
+    let mut telemetry_addr = None;
+    if let Some(addr) = options.telemetry_addr.as_deref() {
+        let http = std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        http.set_nonblocking(true).map_err(|e| format!("nonblocking: {e}"))?;
+        telemetry_addr = http.local_addr().ok();
+        let shared = Arc::clone(&shared);
+        let subscribers = Arc::clone(&subscribers);
+        let capacity = options.queue_capacity;
+        accept.push(
+            std::thread::Builder::new()
+                .name("fleetd-telemetry".to_string())
+                .spawn(move || http_loop(&http, &shared, &subscribers, capacity))
+                .map_err(|e| format!("spawn telemetry thread: {e}"))?,
+        );
+    }
+
     Ok(Started {
         handle: ServerHandle {
             engine: Some(engine),
@@ -327,6 +443,7 @@ pub fn serve(
             socket_path: Some(socket_path.to_path_buf()),
         },
         recovery,
+        telemetry_addr,
     })
 }
 
@@ -379,10 +496,14 @@ fn accept_loop<F>(
 ) where
     F: FnMut() -> std::io::Result<Conn>,
 {
-    while !shared.shutdown.load(Ordering::SeqCst) {
+    // Acquire pairs with the engine's Release store: once the loop sees
+    // shutdown it also sees the engine's final state.
+    while !shared.shutdown.load(Ordering::Acquire) {
         match accept() {
             Ok(conn) => {
-                let client_id = u64::from(shared.connections.fetch_add(1, Ordering::SeqCst));
+                // Relaxed: the id only needs to be unique, which a
+                // single atomic guarantees at any ordering.
+                let client_id = u64::from(shared.connections.fetch_add(1, Ordering::Relaxed));
                 let shared = Arc::clone(shared);
                 let subscribers = Arc::clone(subscribers);
                 let jobs = jobs.clone();
@@ -409,7 +530,9 @@ fn session_event(shared: &Shared, client: u64, what: &'static str, detail: Strin
     if !obsv::tracer::observing() {
         return;
     }
-    let step = shared.step.load(Ordering::SeqCst);
+    // Relaxed: the step only decorates the event; session streams are
+    // keyed by client id, so a stale read cannot collide records.
+    let step = shared.step.load(Ordering::Relaxed);
     obsv::tracer::set_stream(shared.config.meta_stream() + 1 + client);
     obsv::tracer::begin_stop(step);
     obsv::tracer::emit(TraceEvent::Session { what: what.into(), client, step, detail });
@@ -429,7 +552,10 @@ fn handle_conn(
     }
     let mut client_name = String::new();
     while let Ok(Some(frame)) = proto::read_frame(&mut conn) {
-        let request = match proto::decode_request(&frame) {
+        let decode_span = shared.telemetry.frame_decode.start();
+        let decoded = proto::decode_request(&frame);
+        decode_span.finish();
+        let request = match decoded {
             Ok(r) => r,
             Err(e) => {
                 // A typed decode error is an answer, not a disconnect:
@@ -448,21 +574,30 @@ fn handle_conn(
                 session_event(shared, client_id, "hello", client_name.clone());
                 Reply::HelloAck {
                     config: shared.config,
-                    step: shared.step.load(Ordering::SeqCst),
+                    step: shared.step.load(Ordering::Relaxed),
                     client_id,
                 }
             }
             Request::Submit { first_step, rows } => {
                 let (tx, rx) = std::sync::mpsc::sync_channel(1);
-                let depth = shared.queue_depth.load(Ordering::SeqCst);
-                let job = EngineJob::Submit { client: client_id, first_step, rows, reply: tx };
+                let depth = shared.queue_depth.load(Ordering::Relaxed);
+                let job = EngineJob::Submit {
+                    client: client_id,
+                    first_step,
+                    rows,
+                    reply: tx,
+                    enqueued: Instant::now(),
+                };
                 match jobs.try_send(job) {
                     Ok(()) => {
-                        shared.queue_depth.fetch_add(1, Ordering::SeqCst);
+                        // Relaxed: depth is advisory (Stats + Busy echo);
+                        // the queue itself is the synchronizing structure.
+                        let depth = shared.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+                        shared.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
                         rx.recv().unwrap_or(Reply::Error { message: "daemon stopped".into() })
                     }
                     Err(TrySendError::Full(_)) => {
-                        shared.busy_rejections.fetch_add(1, Ordering::SeqCst);
+                        shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
                         session_event(
                             shared,
                             client_id,
@@ -476,19 +611,24 @@ fn handle_conn(
                     }
                 }
             }
+            // Relaxed throughout: a stats reply is a racy point-in-time
+            // sample; no pair of fields carries a joint invariant.
             Request::Stats => Reply::Stats(StatsInfo {
-                step: shared.step.load(Ordering::SeqCst),
+                step: shared.step.load(Ordering::Relaxed),
                 lanes: shared.config.lanes as u32,
-                queue_depth: shared.queue_depth.load(Ordering::SeqCst) as u32,
+                queue_depth: shared.queue_depth.load(Ordering::Relaxed) as u32,
                 queue_capacity: queue_capacity as u32,
-                connections: shared.connections.load(Ordering::SeqCst),
-                subscribers: shared.subscribers.load(Ordering::SeqCst),
-                busy_rejections: shared.busy_rejections.load(Ordering::SeqCst),
-                blocks_ingested: shared.blocks_ingested.load(Ordering::SeqCst),
-                journal_frames: shared.journal_frames.load(Ordering::SeqCst),
-                online_total: f64::from_bits(shared.online_bits.load(Ordering::SeqCst)),
-                offline_total: f64::from_bits(shared.offline_bits.load(Ordering::SeqCst)),
+                connections: shared.connections.load(Ordering::Relaxed),
+                subscribers: shared.subscribers.load(Ordering::Relaxed),
+                busy_rejections: shared.busy_rejections.load(Ordering::Relaxed),
+                blocks_ingested: shared.blocks_ingested.load(Ordering::Relaxed),
+                journal_frames: shared.journal_frames.load(Ordering::Relaxed),
+                online_total: f64::from_bits(shared.online_bits.load(Ordering::Relaxed)),
+                offline_total: f64::from_bits(shared.offline_bits.load(Ordering::Relaxed)),
             }),
+            Request::Telemetry => {
+                Reply::Telemetry { text: render_metrics(shared, subscribers, queue_capacity) }
+            }
             Request::ExportState => send_job(jobs, |tx| EngineJob::ExportState { reply: tx }),
             Request::Snapshot => send_job(jobs, |tx| EngineJob::Snapshot { reply: tx }),
             Request::ReplayEvents => {
@@ -519,14 +659,19 @@ fn handle_conn(
             Request::Subscribe => {
                 session_event(shared, client_id, "subscribe", client_name.clone());
                 let (tx, rx) = std::sync::mpsc::sync_channel(SUBSCRIBER_QUEUE);
-                subscribers.lock().unwrap_or_else(PoisonError::into_inner).push((client_id, tx));
-                shared.subscribers.fetch_add(1, Ordering::SeqCst);
-                run_subscriber(&mut conn, &rx);
-                shared.subscribers.fetch_sub(1, Ordering::SeqCst);
+                let in_flight = Arc::new(AtomicU64::new(0));
+                subscribers.lock().unwrap_or_else(PoisonError::into_inner).push(Subscriber {
+                    client: client_id,
+                    tx,
+                    in_flight: Arc::clone(&in_flight),
+                });
+                shared.subscribers.fetch_add(1, Ordering::Relaxed);
+                run_subscriber(&mut conn, &rx, &in_flight);
+                shared.subscribers.fetch_sub(1, Ordering::Relaxed);
                 subscribers
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner)
-                    .retain(|(id, _)| *id != client_id);
+                    .retain(|s| s.client != client_id);
                 break;
             }
             Request::Shutdown => {
@@ -534,7 +679,11 @@ fn handle_conn(
                 send_job(jobs, |tx| EngineJob::Shutdown { reply: tx })
             }
         };
-        if proto::write_frame(&mut conn, &proto::encode_reply(&reply)).is_err() {
+        let frame = proto::encode_reply(&reply);
+        let write_span = shared.telemetry.reply_write.start();
+        let wrote = proto::write_frame(&mut conn, &frame);
+        write_span.finish();
+        if wrote.is_err() {
             break;
         }
     }
@@ -554,12 +703,16 @@ where
 }
 
 /// Forwards event batches to a subscribed connection until the client
-/// disconnects or the daemon stops.
-fn run_subscriber(conn: &mut Conn, rx: &Receiver<Arc<Vec<TraceRecord>>>) {
+/// disconnects or the daemon stops. `in_flight` mirrors the channel's
+/// backlog for the lag gauge: broadcast increments on enqueue, this
+/// decrements once the batch reaches the socket.
+fn run_subscriber(conn: &mut Conn, rx: &Receiver<Arc<Vec<TraceRecord>>>, in_flight: &AtomicU64) {
     for batch in rx {
         let jsonl = obsv::event::to_jsonl(&batch);
         let reply = Reply::Events { last: false, jsonl };
-        if proto::write_frame(conn, &proto::encode_reply(&reply)).is_err() {
+        let sent = proto::write_frame(conn, &proto::encode_reply(&reply));
+        in_flight.fetch_sub(1, Ordering::Relaxed);
+        if sent.is_err() {
             return;
         }
     }
@@ -575,7 +728,9 @@ fn engine_loop(
     let emit = options.emit_trace;
     while let Ok(job) = jobs.recv() {
         match job {
-            EngineJob::Submit { client, first_step, rows, reply } => {
+            EngineJob::Submit { client, first_step, rows, reply, enqueued } => {
+                // Queue wait ends at dequeue, before any debug throttle.
+                shared.telemetry.queue_wait.record_duration(enqueued.elapsed());
                 if options.engine_delay_ms > 0 {
                     std::thread::sleep(std::time::Duration::from_millis(options.engine_delay_ms));
                 }
@@ -587,16 +742,21 @@ fn engine_loop(
                         ),
                     }
                 } else {
-                    match fleet.run_block_decided(&rows, emit) {
-                        Ok(decisions) => {
-                            shared.blocks_ingested.fetch_add(1, Ordering::SeqCst);
-                            shared.step.store(fleet.runner().step(), Ordering::SeqCst);
+                    match fleet.run_block_decided_timed(&rows, emit) {
+                        Ok((decisions, timing)) => {
+                            let t = &shared.telemetry;
+                            t.journal_append.record_seconds(timing.journal_write_s);
+                            t.journal_fsync.record_seconds(timing.journal_sync_s);
+                            t.engine_decide.record_seconds(timing.decide_s);
+                            publish_journal_gauges(t, &fleet);
+                            shared.blocks_ingested.fetch_add(1, Ordering::Relaxed);
+                            shared.step.store(fleet.runner().step(), Ordering::Relaxed);
                             shared
                                 .journal_frames
-                                .store(fleet.journal().frames_written(), Ordering::SeqCst);
+                                .store(fleet.journal().frames_written(), Ordering::Relaxed);
                             let totals = fleet.runner().totals();
-                            shared.online_bits.store(totals.0.to_bits(), Ordering::SeqCst);
-                            shared.offline_bits.store(totals.1.to_bits(), Ordering::SeqCst);
+                            shared.online_bits.store(totals.0.to_bits(), Ordering::Relaxed);
+                            shared.offline_bits.store(totals.1.to_bits(), Ordering::Relaxed);
                             Reply::Decisions {
                                 first_step: step,
                                 steps: decisions.steps() as u32,
@@ -605,10 +765,16 @@ fn engine_loop(
                                 vertices: decisions.vertices().to_vec(),
                             }
                         }
-                        Err(e) => Reply::Error { message: format!("client {client}: {e}") },
+                        Err(e) => {
+                            // A persist failure voids the write-ahead
+                            // guarantee: flag the journal unhealthy so
+                            // /healthz flips to unready.
+                            shared.journal_ok.store(false, Ordering::Relaxed);
+                            Reply::Error { message: format!("client {client}: {e}") }
+                        }
                     }
                 };
-                shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
                 let _ = reply.send(answer);
                 broadcast(subscribers, shared);
             }
@@ -631,7 +797,9 @@ fn engine_loop(
                 broadcast(subscribers, shared);
             }
             EngineJob::Shutdown { reply } => {
-                shared.shutdown.store(true, Ordering::SeqCst);
+                // Release: publishes every engine write above to threads
+                // that Acquire-load the flag (accept loops, /healthz).
+                shared.shutdown.store(true, Ordering::Release);
                 let _ = reply.send(Reply::Ack {
                     info: format!("stopping at step {}", fleet.runner().step()),
                 });
@@ -639,7 +807,8 @@ fn engine_loop(
             }
         }
     }
-    shared.shutdown.store(true, Ordering::SeqCst);
+    shared.shutdown.store(true, Ordering::Release);
+    shared.engine_alive.store(false, Ordering::Release);
     // Dropping the subscriber senders ends each tail's receive loop, so
     // subscribed connections observe EOF instead of hanging.
     subscribers.lock().unwrap_or_else(PoisonError::into_inner).clear();
@@ -698,9 +867,164 @@ fn broadcast(subscribers: &Subscribers, shared: &Arc<Shared>) {
     let batch = Arc::new(records);
     let mut subs = subscribers.lock().unwrap_or_else(PoisonError::into_inner);
     let before = subs.len();
-    subs.retain(|(_, tx)| tx.try_send(Arc::clone(&batch)).is_ok());
+    subs.retain(|s| {
+        let kept = s.tx.try_send(Arc::clone(&batch)).is_ok();
+        if kept {
+            s.in_flight.fetch_add(1, Ordering::Relaxed);
+        }
+        kept
+    });
     let dropped = before - subs.len();
     if dropped > 0 {
-        shared.subscribers.fetch_sub(dropped as u32, Ordering::SeqCst);
+        shared.subscribers.fetch_sub(dropped as u32, Ordering::Relaxed);
+        shared.telemetry.subscriber_drops.add(dropped as u64);
     }
+}
+
+/// Publishes the engine-owned journal health gauges (journal length,
+/// write-ahead backlog, snapshot age). Called from the engine thread
+/// after each block and once at startup.
+fn publish_journal_gauges(telemetry: &Telemetry, fleet: &PersistentFleet) {
+    telemetry.journal_bytes.set(fleet.journal().bytes_written() as f64);
+    telemetry.frames_since_snapshot.set(fleet.frames_since_snapshot() as f64);
+    telemetry.snapshot_age_steps.set(fleet.snapshot_age_steps() as f64);
+}
+
+/// Refreshes the scrape-time series from the shared atomics and renders
+/// the full Prometheus exposition page. Stage histograms and the
+/// engine's journal gauges are already live in the registry; this adds
+/// the point-in-time service gauges and syncs the mirrored counters.
+fn render_metrics(shared: &Shared, subscribers: &Subscribers, queue_capacity: usize) -> String {
+    let t = &shared.telemetry;
+    t.sync_counter(
+        "fleetd_connections_total",
+        u64::from(shared.connections.load(Ordering::Relaxed)),
+    );
+    t.sync_counter("fleetd_busy_rejections_total", shared.busy_rejections.load(Ordering::Relaxed));
+    t.sync_counter("fleetd_blocks_ingested_total", shared.blocks_ingested.load(Ordering::Relaxed));
+    t.sync_counter("fleetd_journal_frames_total", shared.journal_frames.load(Ordering::Relaxed));
+    t.set_gauge("fleetd_step", shared.step.load(Ordering::Relaxed) as f64);
+    t.set_gauge("fleetd_queue_depth", shared.queue_depth.load(Ordering::Relaxed) as f64);
+    t.set_gauge("fleetd_queue_depth_peak", shared.queue_depth_peak.load(Ordering::Relaxed) as f64);
+    t.set_gauge("fleetd_queue_capacity", queue_capacity as f64);
+    t.set_gauge("fleetd_subscribers", f64::from(shared.subscribers.load(Ordering::Relaxed)));
+    let lag = subscribers
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .map(|s| s.in_flight.load(Ordering::Relaxed))
+        .max()
+        .unwrap_or(0);
+    t.set_gauge("fleetd_subscriber_lag", lag as f64);
+    t.set_gauge(
+        "fleetd_engine_alive",
+        f64::from(u8::from(shared.engine_alive.load(Ordering::Acquire))),
+    );
+    t.set_gauge(
+        "fleetd_journal_writable",
+        f64::from(u8::from(shared.journal_ok.load(Ordering::Relaxed))),
+    );
+    t.set_gauge(
+        "fleetd_online_cost_total",
+        f64::from_bits(shared.online_bits.load(Ordering::Relaxed)),
+    );
+    t.set_gauge(
+        "fleetd_offline_cost_total",
+        f64::from_bits(shared.offline_bits.load(Ordering::Relaxed)),
+    );
+    t.render_text()
+}
+
+/// Cap on an HTTP request head (request line + headers) the telemetry
+/// responder will buffer.
+const HTTP_HEAD_MAX: usize = 8 * 1024;
+
+/// Accept loop for the `--telemetry-addr` listener: answers
+/// `GET /metrics` and `GET /healthz` over HTTP/1.0, one short-lived
+/// thread per connection.
+fn http_loop(
+    listener: &std::net::TcpListener,
+    shared: &Arc<Shared>,
+    subscribers: &Subscribers,
+    queue_capacity: usize,
+) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                let subscribers = Arc::clone(subscribers);
+                let _ =
+                    std::thread::Builder::new().name("fleetd-http".to_string()).spawn(move || {
+                        let _ = serve_http(stream, &shared, &subscribers, queue_capacity);
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Answers one HTTP request and closes the connection (HTTP/1.0
+/// semantics: no keep-alive, `Content-Length` always set).
+fn serve_http(
+    mut stream: std::net::TcpStream,
+    shared: &Shared,
+    subscribers: &Subscribers,
+    queue_capacity: usize,
+) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(2)))?;
+    let head = read_http_head(&mut stream)?;
+    let line = head.lines().next().unwrap_or("");
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        ("405 Method Not Allowed", "text/plain; charset=utf-8", "method not allowed\n".to_string())
+    } else {
+        match target {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                render_metrics(shared, subscribers, queue_capacity),
+            ),
+            "/healthz" => {
+                if shared.ready() {
+                    ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string())
+                } else {
+                    (
+                        "503 Service Unavailable",
+                        "text/plain; charset=utf-8",
+                        "unready\n".to_string(),
+                    )
+                }
+            }
+            _ => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string()),
+        }
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads until the blank line ending the request head (or the size cap).
+fn read_http_head(stream: &mut std::net::TcpStream) -> std::io::Result<String> {
+    let mut head = Vec::new();
+    let mut buf = [0u8; 512];
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= HTTP_HEAD_MAX {
+            break;
+        }
+    }
+    Ok(String::from_utf8_lossy(&head).into_owned())
 }

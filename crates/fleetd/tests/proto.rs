@@ -26,7 +26,7 @@ fn request_of(
     lanes: usize,
     cells: Vec<f64>,
 ) -> Request {
-    match kind % 8 {
+    match kind % 9 {
         0 => Request::Hello { name },
         1 => {
             let rows = (0..steps)
@@ -39,13 +39,14 @@ fn request_of(
         4 => Request::Subscribe,
         5 => Request::ReplayEvents,
         6 => Request::Snapshot,
+        7 => Request::Telemetry,
         _ => Request::Shutdown,
     }
 }
 
 /// Builds an arbitrary reply from primitive inputs.
 fn reply_of(kind: usize, text: String, a: u64, b: u64, cells: Vec<f64>, raw: Vec<u8>) -> Reply {
-    match kind % 8 {
+    match kind % 9 {
         0 => Reply::HelloAck {
             config: FleetConfig {
                 lanes: (a % 10_000) as usize + 1,
@@ -89,6 +90,7 @@ fn reply_of(kind: usize, text: String, a: u64, b: u64, cells: Vec<f64>, raw: Vec
         4 => Reply::State(raw),
         5 => Reply::Events { last: a % 2 == 0, jsonl: text },
         6 => Reply::Ack { info: text },
+        7 => Reply::Telemetry { text },
         _ => Reply::Error { message: text },
     }
 }
@@ -118,7 +120,7 @@ proptest! {
     /// Requests survive encode→decode losslessly.
     #[test]
     fn request_roundtrip(
-        (kind, first_step) in (0usize..8, 0u64..u64::MAX),
+        (kind, first_step) in (0usize..9, 0u64..u64::MAX),
         name in "\\PC*",
         (steps, lanes) in (0usize..5, 0usize..6),
         cells in prop::collection::vec(-1.0e6f64..1.0e6, 1..30),
@@ -132,7 +134,7 @@ proptest! {
     /// payloads, which travel as raw bits, not text.
     #[test]
     fn reply_roundtrip(
-        (kind, a, b) in (0usize..8, 0u64..u64::MAX, 0u64..u64::MAX),
+        (kind, a, b) in (0usize..9, 0u64..u64::MAX, 0u64..u64::MAX),
         text in "\\PC*",
         cells in prop::collection::vec(-1.0e9f64..1.0e9, 1..20),
         raw in bytes(100),
@@ -147,7 +149,7 @@ proptest! {
     /// error's `needed`/`available` fields are consistent.
     #[test]
     fn torn_frames_are_typed_truncations(
-        (kind, first_step) in (0usize..8, 0u64..1_000_000),
+        (kind, first_step) in (0usize..9, 0u64..1_000_000),
         name in "\\PC*",
         (steps, lanes) in (0usize..4, 0usize..5),
         cells in prop::collection::vec(-100.0f64..100.0, 1..10),
@@ -172,7 +174,7 @@ proptest! {
     /// covers header and payload, so no corruption decodes silently.
     #[test]
     fn single_byte_corruption_is_always_caught(
-        (kind, a, b) in (0usize..8, 0u64..1_000_000, 0u64..1_000_000),
+        (kind, a, b) in (0usize..9, 0u64..1_000_000, 0u64..1_000_000),
         text in "\\PC*",
         cells in prop::collection::vec(-100.0f64..100.0, 1..10),
         raw in bytes(40),
@@ -190,7 +192,7 @@ proptest! {
     /// reader consumes exactly one frame and leaves the rest.
     #[test]
     fn stream_reader_consumes_exactly_one_frame(
-        (kind, first_step) in (0usize..8, 0u64..1_000_000),
+        (kind, first_step) in (0usize..9, 0u64..1_000_000),
         name in "\\PC*",
         trailing in bytes(50),
     ) {

@@ -61,6 +61,7 @@ fn options(dir: &std::path::Path, emit_trace: bool) -> ServeOptions {
         emit_trace,
         engine_delay_ms: 0,
         recover: false,
+        telemetry_addr: None,
     }
 }
 
@@ -224,6 +225,83 @@ fn live_capture_union_replay_equals_offline_golden() {
     // Session chatter exists but lives above the meta stream.
     assert!(union.records().iter().any(|r| r.stream > meta));
     obsv::tracer::global().disable();
+}
+
+/// Minimal HTTP/1.0 GET against the daemon's telemetry listener:
+/// `(status, body)`.
+fn http_get(addr: std::net::SocketAddr, target: &str) -> std::io::Result<(u16, String)> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    write!(stream, "GET {target} HTTP/1.0\r\nHost: fleetd\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status = response.split_whitespace().nth(1).unwrap_or("0").parse().unwrap_or(0);
+    let body = response.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    Ok((status, body))
+}
+
+#[test]
+fn telemetry_exposition_over_proto_and_http() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (dir, socket) = scratch("telemetry");
+    let mut opts = options(&dir, false);
+    opts.telemetry_addr = Some("127.0.0.1:0".to_string());
+    let started = serve(&opts, &socket, None).unwrap();
+    let addr = started.telemetry_addr.expect("telemetry listener bound");
+
+    let mut client = Client::connect_unix(&socket).unwrap();
+    client.hello("it-telemetry").unwrap();
+    client.submit(0, &rows(0, STEPS)).unwrap();
+
+    // Over the protocol: a parseable exposition with live stage spans.
+    let text = client.telemetry().unwrap();
+    let scrape = obsv::telemetry::parse(&text).unwrap();
+    for name in fleetd::STAGE_HISTOGRAMS {
+        assert!(scrape.histograms.contains_key(*name), "missing stage series {name}");
+    }
+    assert!(scrape.histograms["fleetd_stage_queue_wait_seconds"].count >= 1.0);
+    assert!(scrape.histograms["fleetd_stage_frame_decode_seconds"].count >= 1.0);
+    assert!(scrape.histograms["fleetd_stage_engine_decide_seconds"].count >= 1.0);
+    assert!(scrape.histograms["fleetd_stage_journal_append_seconds"].count >= 1.0);
+    assert!(scrape.histograms["fleetd_stage_journal_fsync_seconds"].count >= 1.0);
+    assert_eq!(scrape.gauge("fleetd_step"), Some(STEPS as f64));
+    assert_eq!(scrape.gauge("fleetd_engine_alive"), Some(1.0));
+    assert_eq!(scrape.gauge("fleetd_journal_writable"), Some(1.0));
+    assert_eq!(scrape.counter("fleetd_blocks_ingested_total"), Some(1.0));
+    assert!(scrape.gauge("fleetd_journal_bytes").unwrap() > 0.0);
+    assert_eq!(scrape.gauge("fleetd_recovered"), Some(0.0));
+
+    // Over HTTP: /metrics parses identically and counters are monotone
+    // across scrapes; /healthz is ready; bad paths are typed.
+    let (status, body) = http_get(addr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+    let first = obsv::telemetry::parse(&body).unwrap();
+    client.submit(STEPS as u64, &rows(STEPS as u64, STEPS)).unwrap();
+    let (status, body) = http_get(addr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+    let second = obsv::telemetry::parse(&body).unwrap();
+    for (name, value) in &first.counters {
+        assert!(second.counters[name] >= *value, "{name} went backwards");
+    }
+    assert_eq!(second.counter("fleetd_blocks_ingested_total"), Some(2.0));
+
+    let (status, body) = http_get(addr, "/healthz").unwrap();
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    let (status, _) = http_get(addr, "/nope").unwrap();
+    assert_eq!(status, 404);
+
+    // Reply-write spans cover every request kind handled above.
+    let text = client.telemetry().unwrap();
+    let scrape = obsv::telemetry::parse(&text).unwrap();
+    assert!(scrape.histograms["fleetd_stage_reply_write_seconds"].count >= 4.0);
+
+    started.handle.stop();
+    // After shutdown the listener is gone: readiness flips to a refused
+    // connection (or an explicit 503 if a raced request slips through).
+    match http_get(addr, "/healthz") {
+        Err(_) => {}
+        Ok((status, _)) => assert_eq!(status, 503),
+    }
 }
 
 #[test]

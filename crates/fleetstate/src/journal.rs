@@ -19,10 +19,22 @@
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use crate::error::{io_err, PersistError};
 use crate::format::{encode_frame, scan_frames, Frame, FrameKind};
 use crate::state::{decode_config, encode_config, FleetConfig, Reader};
+
+/// Wall-clock cost of one [`Journal::append_block_timed`] call, split
+/// into the buffered write and the `sync_data` flush. Timing is
+/// measurement-only: it never influences what bytes are written.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AppendTiming {
+    /// Seconds spent in `write_all` (page-cache copy).
+    pub write_s: f64,
+    /// Seconds spent in `sync_data` (the durable part).
+    pub sync_s: f64,
+}
 
 /// An open journal being appended to.
 #[derive(Debug)]
@@ -34,6 +46,9 @@ pub struct Journal {
     next_step: u64,
     /// Frames written through this handle (header included).
     frames_written: u64,
+    /// Bytes in the journal file (clean prefix on reopen, everything
+    /// this handle appended since).
+    bytes_written: u64,
 }
 
 impl Journal {
@@ -61,6 +76,7 @@ impl Journal {
             config: *config,
             next_step: 0,
             frames_written: 1,
+            bytes_written: frame.len() as u64,
         })
     }
 
@@ -78,12 +94,14 @@ impl Journal {
         frames_on_disk: u64,
     ) -> Result<Self, PersistError> {
         let file = OpenOptions::new().append(true).open(path).map_err(|e| io_err(path, &e))?;
+        let bytes_written = file.metadata().map_err(|e| io_err(path, &e))?.len();
         Ok(Self {
             path: path.to_path_buf(),
             file,
             config: *config,
             next_step: steps_recorded,
             frames_written: frames_on_disk,
+            bytes_written,
         })
     }
 
@@ -120,6 +138,7 @@ impl Journal {
         self.file.sync_data().map_err(|e| io_err(&self.path, &e))?;
         self.next_step += 1;
         self.frames_written += 1;
+        self.bytes_written += frame.len() as u64;
         Ok(())
     }
 
@@ -134,6 +153,22 @@ impl Journal {
     /// Same as [`Journal::append_step`]; nothing is written on a
     /// validation failure.
     pub fn append_block(&mut self, first_step: u64, rows: &[Vec<f64>]) -> Result<(), PersistError> {
+        self.append_block_timed(first_step, rows).map(|_| ())
+    }
+
+    /// [`Journal::append_block`] that also reports where the wall time
+    /// went. The produced bytes are identical to the untimed call — the
+    /// only additions are two monotonic-clock reads around the write and
+    /// two around the flush.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Journal::append_block`].
+    pub fn append_block_timed(
+        &mut self,
+        first_step: u64,
+        rows: &[Vec<f64>],
+    ) -> Result<AppendTiming, PersistError> {
         if first_step != self.next_step {
             return Err(PersistError::NonContiguousStep {
                 offset: 0,
@@ -148,7 +183,7 @@ impl Journal {
             });
         }
         if rows.is_empty() {
-            return Ok(());
+            return Ok(AppendTiming::default());
         }
         let mut buf = Vec::with_capacity(
             rows.len() * (crate::format::HEADER_LEN + crate::format::TRAILER_LEN + 8)
@@ -163,11 +198,16 @@ impl Journal {
             }
             buf.extend_from_slice(&encode_frame(FrameKind::Observations, &payload));
         }
+        let write_start = Instant::now();
         self.file.write_all(&buf).map_err(|e| io_err(&self.path, &e))?;
+        let sync_start = Instant::now();
         self.file.sync_data().map_err(|e| io_err(&self.path, &e))?;
+        let sync_s = sync_start.elapsed().as_secs_f64();
+        let write_s = (sync_start - write_start).as_secs_f64();
         self.next_step += rows.len() as u64;
         self.frames_written += rows.len() as u64;
-        Ok(())
+        self.bytes_written += buf.len() as u64;
+        Ok(AppendTiming { write_s, sync_s })
     }
 
     /// Steps recorded so far (equivalently: the step index the next
@@ -181,6 +221,12 @@ impl Journal {
     #[must_use]
     pub fn frames_written(&self) -> u64 {
         self.frames_written
+    }
+
+    /// Bytes in the journal file as of this handle's last append.
+    #[must_use]
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
     }
 }
 
@@ -406,6 +452,25 @@ mod tests {
         ));
         assert!(matches!(b.append_block(3, &[vec![1.0]]), Err(PersistError::BadPayload { .. })));
         assert_eq!(std::fs::read(&pa).unwrap(), std::fs::read(&pb).unwrap());
+        assert_eq!(b.bytes_written(), std::fs::read(&pb).unwrap().len() as u64);
+        assert_eq!(a.bytes_written(), b.bytes_written());
+        std::fs::remove_file(&pa).ok();
+        std::fs::remove_file(&pb).ok();
+    }
+
+    #[test]
+    fn timed_append_produces_identical_bytes_and_tracks_length() {
+        let (pa, pb) = (tmp("timed-a"), tmp("timed-b"));
+        let rows = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        let mut a = Journal::create(&pa, &cfg()).unwrap();
+        a.append_block(0, &rows).unwrap();
+        let mut b = Journal::create(&pb, &cfg()).unwrap();
+        let timing = b.append_block_timed(0, &rows).unwrap();
+        assert!(timing.write_s >= 0.0 && timing.sync_s >= 0.0);
+        assert_eq!(std::fs::read(&pa).unwrap(), std::fs::read(&pb).unwrap());
+        // An empty block writes nothing and costs nothing.
+        assert_eq!(b.append_block_timed(2, &[]).unwrap(), AppendTiming::default());
+        assert_eq!(b.bytes_written(), std::fs::read(&pb).unwrap().len() as u64);
         std::fs::remove_file(&pa).ok();
         std::fs::remove_file(&pb).ok();
     }
@@ -419,6 +484,7 @@ mod tests {
         let mut j = Journal::reopen(&path, &cfg(), 1, 2).unwrap();
         j.append_step(1, &[4.0, 5.0, 6.0]).unwrap();
         let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(j.bytes_written(), bytes.len() as u64, "reopen seeds byte count from disk");
         let parsed = parse_journal(&bytes).unwrap();
         assert_eq!(parsed.steps.len(), 2);
         std::fs::remove_file(&path).ok();

@@ -43,9 +43,11 @@ pub mod state;
 
 pub use error::PersistError;
 pub use faults::{FaultTarget, StorageFault, StorageFaultPlan};
-pub use journal::{parse_journal, Journal, JournalContents};
+pub use journal::{parse_journal, AppendTiming, Journal, JournalContents};
 pub use recovery::{recover_fleet, replay_session, RecoveryOutcome};
-pub use runner::{BlockDecisions, FleetRunner, PersistentFleet, JOURNAL_FILE, SNAPSHOT_FILE};
+pub use runner::{
+    BlockDecisions, BlockTiming, FleetRunner, PersistentFleet, JOURNAL_FILE, SNAPSHOT_FILE,
+};
 pub use snapshot::{append_snapshot, scan_snapshots, SnapshotScan};
 pub use state::{
     decode_fleet_state, decode_ladder_state, encode_fleet_state, encode_ladder_state, FleetConfig,

@@ -22,7 +22,7 @@ use skirental::batch::{
 use skirental::BreakEven;
 
 use crate::error::{io_err, PersistError};
-use crate::journal::Journal;
+use crate::journal::{AppendTiming, Journal};
 use crate::recovery::{recover_fleet, RecoveryOutcome};
 use crate::snapshot::append_snapshot;
 use crate::state::{FleetConfig, FleetState, LaneSnapshot};
@@ -410,6 +410,21 @@ fn process_block(
     Ok(())
 }
 
+/// Where the wall time of one [`PersistentFleet::run_block_decided_timed`]
+/// call went. Measurement-only: state evolution, journal bytes, and the
+/// canonical trace are identical whether or not a caller looks at this.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BlockTiming {
+    /// Journal buffered-write seconds (see [`AppendTiming::write_s`]).
+    pub journal_write_s: f64,
+    /// Journal `sync_data` seconds (see [`AppendTiming::sync_s`]).
+    pub journal_sync_s: f64,
+    /// Decision-engine seconds for the block.
+    pub decide_s: f64,
+    /// Whether this block crossed a snapshot boundary and snapshotted.
+    pub snapshotted: bool,
+}
+
 /// A [`FleetRunner`] wrapped with crash safety: a write-ahead journal of
 /// every observation and periodic full snapshots.
 pub struct PersistentFleet {
@@ -418,6 +433,13 @@ pub struct PersistentFleet {
     snapshot_path: PathBuf,
     /// Snapshot cadence in steps (`0` = never snapshot automatically).
     snapshot_every: u64,
+    /// Engine step of the most recent snapshot (0 if none yet — a fresh
+    /// fleet's implicit snapshot is its empty initial state).
+    last_snapshot_step: u64,
+    /// `journal.frames_written()` at the most recent snapshot; the
+    /// difference to the current frame count is the replay debt a crash
+    /// right now would incur.
+    frames_at_snapshot: u64,
 }
 
 /// The journal file's name inside a persistence directory.
@@ -451,7 +473,15 @@ impl PersistentFleet {
         if snapshot_path.exists() {
             std::fs::remove_file(&snapshot_path).map_err(|e| io_err(&snapshot_path, &e))?;
         }
-        Ok(Self { runner, journal, snapshot_path, snapshot_every })
+        let frames_at_snapshot = journal.frames_written();
+        Ok(Self {
+            runner,
+            journal,
+            snapshot_path,
+            snapshot_every,
+            last_snapshot_step: 0,
+            frames_at_snapshot,
+        })
     }
 
     /// Recovers a persistent fleet from `dir`: latest valid snapshot
@@ -477,7 +507,19 @@ impl PersistentFleet {
         let (runner, outcome) = recover_fleet(&journal_path, &snapshot_path, config, threads)?;
         let journal =
             Journal::reopen(&journal_path, config, outcome.resumed_step, outcome.journal_frames)?;
-        Ok((Self { runner, journal, snapshot_path, snapshot_every }, outcome))
+        // The replayed tail is exactly the frames the last snapshot had
+        // not yet covered, so the post-recovery replay debt starts where
+        // the snapshot left it.
+        let frames_at_snapshot = outcome.journal_frames.saturating_sub(outcome.frames_replayed);
+        let fleet = Self {
+            runner,
+            journal,
+            snapshot_path,
+            snapshot_every,
+            last_snapshot_step: outcome.snapshot_step,
+            frames_at_snapshot,
+        };
+        Ok((fleet, outcome))
     }
 
     /// Journals a block of steps, then processes it — in that order, so
@@ -506,15 +548,37 @@ impl PersistentFleet {
         rows: &[Vec<f64>],
         emit: bool,
     ) -> Result<BlockDecisions, PersistError> {
+        self.run_block_decided_timed(rows, emit).map(|(decisions, _)| decisions)
+    }
+
+    /// [`PersistentFleet::run_block_decided`] that also reports the
+    /// block's wall-time split (journal write, fsync, engine decide).
+    /// The clock reads bracket existing calls — they never change what
+    /// is journaled, decided, or traced.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PersistentFleet::run_block_decided`].
+    pub fn run_block_decided_timed(
+        &mut self,
+        rows: &[Vec<f64>],
+        emit: bool,
+    ) -> Result<(BlockDecisions, BlockTiming), PersistError> {
         let before = self.runner.step();
-        self.journal.append_block(before, rows)?;
+        let AppendTiming { write_s, sync_s } = self.journal.append_block_timed(before, rows)?;
         crate::obs::metrics().journal_frames.add(rows.len() as u64);
+        let decide_start = std::time::Instant::now();
         let decisions = self.runner.run_block_decided(rows, emit)?;
+        let decide_s = decide_start.elapsed().as_secs_f64();
         let after = self.runner.step();
+        let mut snapshotted = false;
         if self.snapshot_every > 0 && after / self.snapshot_every > before / self.snapshot_every {
             self.snapshot()?;
+            snapshotted = true;
         }
-        Ok(decisions)
+        let timing =
+            BlockTiming { journal_write_s: write_s, journal_sync_s: sync_s, decide_s, snapshotted };
+        Ok((decisions, timing))
     }
 
     /// Takes a snapshot of the current state now, appending it to the
@@ -540,6 +604,8 @@ impl PersistentFleet {
                 bytes,
             });
         }
+        self.last_snapshot_step = state.step;
+        self.frames_at_snapshot = self.journal.frames_written();
         Ok(())
     }
 
@@ -553,6 +619,25 @@ impl PersistentFleet {
     #[must_use]
     pub fn journal(&self) -> &Journal {
         &self.journal
+    }
+
+    /// Engine step of the most recent snapshot (0 if none yet).
+    #[must_use]
+    pub fn last_snapshot_step(&self) -> u64 {
+        self.last_snapshot_step
+    }
+
+    /// Journal frames appended since the most recent snapshot — the
+    /// replay debt a crash right now would incur.
+    #[must_use]
+    pub fn frames_since_snapshot(&self) -> u64 {
+        self.journal.frames_written().saturating_sub(self.frames_at_snapshot)
+    }
+
+    /// Engine ticks (steps) since the most recent snapshot.
+    #[must_use]
+    pub fn snapshot_age_steps(&self) -> u64 {
+        self.runner.step().saturating_sub(self.last_snapshot_step)
     }
 }
 
@@ -649,6 +734,15 @@ mod tests {
         }
         assert_eq!(fleet.runner().step(), 48);
         assert_eq!(fleet.journal().steps_recorded(), 48);
+        // Snapshot-age accounting: the last block crossed the 48
+        // boundary, so the replay debt is zero right now.
+        assert_eq!(fleet.last_snapshot_step(), 48);
+        assert_eq!(fleet.snapshot_age_steps(), 0);
+        assert_eq!(fleet.frames_since_snapshot(), 0);
+        assert_eq!(
+            fleet.journal().bytes_written(),
+            std::fs::read(dir.join(JOURNAL_FILE)).unwrap().len() as u64
+        );
         let bytes = std::fs::read(dir.join(JOURNAL_FILE)).unwrap();
         let parsed = crate::journal::parse_journal(&bytes).unwrap();
         assert_eq!(parsed.steps.len(), 48);
@@ -708,10 +802,16 @@ mod tests {
         let mut fleet = PersistentFleet::create(&dir, &config, 2, 0).unwrap();
         let mut got_thresholds = Vec::new();
         for chunk in block.chunks(8) {
-            let d = fleet.run_block_decided(chunk, false).unwrap();
+            let (d, timing) = fleet.run_block_decided_timed(chunk, false).unwrap();
+            assert!(timing.journal_write_s >= 0.0 && timing.journal_sync_s >= 0.0);
+            assert!(timing.decide_s >= 0.0);
+            assert!(!timing.snapshotted, "snapshot_every 0 never snapshots");
             got_thresholds.push(d);
         }
         assert_eq!(fleet.journal().steps_recorded(), 24);
+        // No snapshot ever: the whole journal is replay debt.
+        assert_eq!(fleet.frames_since_snapshot(), 24);
+        assert_eq!(fleet.snapshot_age_steps(), 24);
         // Reassemble the chunked decisions lane-major and compare.
         for lane in 0..5 {
             let mut t_global = 0usize;

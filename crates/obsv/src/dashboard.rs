@@ -262,4 +262,35 @@ mod tests {
         assert!(text.lines().any(|l| l.trim_start().starts_with('9')));
         assert!(text.contains("trust-ladder occupancy:"));
     }
+    #[test]
+    fn sparkline_golden_render() {
+        // Fixed input → exact glyphs: CR 1 at the ramp bottom, the series
+        // max at the top, evenly spaced interior cells, `!` for a
+        // non-finite window.
+        assert_eq!(sparkline(&[1.0, 1.25, 1.5, 1.75, 2.0, f64::INFINITY], 6), ".-+#@!");
+        // 2:1 downsampling keeps chunk maxima: (1.0,2.0)(1.0,1.5) → "@+".
+        assert_eq!(sparkline(&[1.0, 2.0, 1.0, 1.5], 2), "@+");
+    }
+
+    #[test]
+    fn dashboard_golden_render() {
+        // A fully deterministic report (no clock, fixed records) renders
+        // to exactly these bytes — table layout, trust-ladder occupancy
+        // line, and empty alarm log included.
+        let monitor = Monitor::new(MonitorConfig::default());
+        let records = vec![
+            stop_record(3, 0, 5.0, 5.0),
+            stop_record(3, 1, 6.0, 4.0),
+            stop_record(9, 0, 6.0, 3.0),
+        ];
+        monitor.replay(&records);
+        let text = render_dashboard(&monitor.report(), &cr_series(&records, 50));
+        let want = "    stream  stops  cum CR  win CR   bound trust          \u{3bc}-PH    q-PH alarms  windowed CR (oldest \u{2192} newest)
+         3      2  1.2222  1.2222       - Full           0.00   0.000      0  .@
+         9      1  2.0000  2.0000       - Full           0.00   0.000      0  @
+trust-ladder occupancy: 2 Full
+alarm log: empty
+";
+        assert_eq!(text, want);
+    }
 }

@@ -38,6 +38,13 @@
 //!   detector, and a CR-bound-violation alarm, all surfaced as typed
 //!   [`TraceEvent::MonitorAlarm`] records and a [`MonitorReport`] section
 //!   of the [`RunReport`].
+//! * The [`telemetry`] module renders any registry snapshot in the
+//!   Prometheus text exposition format with byte-deterministic output
+//!   (sorted series, caller-injected integer timestamps, no clock on the
+//!   render path) and parses it back, so services built on this stack
+//!   can expose `/metrics` with zero new dependencies. [`LatencyHisto`]
+//!   is the matching log-bucketed (~2/octave, ns…minutes) span
+//!   histogram for service-grade latency resolution.
 //!
 //! # Example
 //!
@@ -66,11 +73,12 @@ pub mod json;
 mod metrics;
 pub mod monitor;
 mod report;
+pub mod telemetry;
 pub mod tracer;
 
 pub use diff::{first_divergence, Divergence};
 pub use event::{EventError, TraceEvent, TraceRecord};
-pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, Span, Timer};
+pub use metrics::{Counter, Gauge, Histogram, LatencyHisto, MetricsRegistry, Span, Timer};
 pub use monitor::{AlarmRecord, Monitor, MonitorConfig, MonitorReport, PageHinkley, StreamSummary};
 pub use report::{HistogramSnapshot, MetricsSnapshot, ReportError, RunReport, REPORT_VERSION};
 pub use tracer::Tracer;

@@ -3,7 +3,7 @@
 use crate::report::{HistogramSnapshot, MetricsSnapshot};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
 /// Fixed-point scale for histogram sums: one unit is a microunit of the
@@ -15,6 +15,28 @@ pub(crate) const SUM_SCALE: f64 = 1e6;
 /// 1 µs … 10 s in decades, which spans a sub-microsecond policy decision
 /// to a multi-second sweep chunk.
 const TIMER_BOUNDS_S: [f64; 8] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0];
+
+/// Number of bucket bounds in a [`LatencyHisto`]: two per octave from
+/// 1 ns up to ~194 s, so a single histogram covers everything from a
+/// cache-hot frame decode to a multi-minute stall without rebinning.
+const LATENCY_BOUND_COUNT: i32 = 76;
+
+static LATENCY_BOUNDS_S: OnceLock<Vec<f64>> = OnceLock::new();
+
+/// The shared log-spaced bound table (seconds). Bound `i` is
+/// `1e-9 · 2^(i/2)`: exact powers of two on even `i`, `·√2` on odd `i`,
+/// which keeps the sequence strictly ascending and finite by
+/// construction (no accumulated multiplication error).
+fn latency_bounds() -> &'static [f64] {
+    LATENCY_BOUNDS_S.get_or_init(|| {
+        (0..LATENCY_BOUND_COUNT)
+            .map(|i| {
+                let half_step = if i % 2 == 1 { std::f64::consts::SQRT_2 } else { 1.0 };
+                1e-9 * 2f64.powi(i / 2) * half_step
+            })
+            .collect()
+    })
+}
 
 struct CounterCore {
     name: String,
@@ -197,6 +219,53 @@ impl Timer {
     }
 }
 
+/// A log-bucketed latency histogram: ~2 buckets per octave over
+/// 1 ns … ~3 minutes, sharing the fixed-point [`Histogram`] storage so
+/// snapshots stay exactly mergeable across threads and processes.
+///
+/// Where [`Timer`] is a coarse decade histogram for library spans,
+/// `LatencyHisto` is the service-telemetry resolution: fine enough to
+/// separate a p50 from a p99 within one decade, still cheap (one
+/// `partition_point` over a shared static bound table per record).
+#[derive(Clone)]
+pub struct LatencyHisto {
+    hist: Histogram,
+}
+
+impl LatencyHisto {
+    /// Starts a span; elapsed seconds are recorded when the guard drops.
+    /// No clock is read on a disabled registry.
+    #[must_use]
+    pub fn start(&self) -> Span {
+        let start = self.hist.is_enabled().then(Instant::now);
+        Span { hist: self.hist.clone(), start }
+    }
+
+    /// Records an externally measured duration, in seconds.
+    #[inline]
+    pub fn record_seconds(&self, seconds: f64) {
+        self.hist.record(seconds);
+    }
+
+    /// Records a [`std::time::Duration`].
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.hist.record(d.as_secs_f64());
+    }
+
+    /// Number of recorded spans.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.hist.count()
+    }
+
+    /// The underlying histogram handle.
+    #[must_use]
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+}
+
 /// Guard returned by [`Timer::start`]; records on drop.
 pub struct Span {
     hist: Histogram,
@@ -361,6 +430,17 @@ impl MetricsRegistry {
         Timer { hist: self.histogram(name, &TIMER_BOUNDS_S) }
     }
 
+    /// Returns a log-bucketed [`LatencyHisto`] registered under `name`
+    /// (~2 buckets/octave, 1 ns – ~3 min), creating it if new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn latency_histo(&self, name: &str) -> LatencyHisto {
+        LatencyHisto { hist: self.histogram(name, latency_bounds()) }
+    }
+
     /// Zeroes every metric's value **in place** — all existing handles
     /// stay valid and keep recording into the same storage.
     pub fn reset(&self) {
@@ -515,6 +595,45 @@ mod tests {
         let r = MetricsRegistry::new();
         let _c = r.counter("same");
         let _g = r.gauge("same");
+    }
+
+    #[test]
+    fn latency_bounds_are_strictly_ascending_two_per_octave() {
+        let bounds = latency_bounds();
+        assert_eq!(bounds.len(), LATENCY_BOUND_COUNT as usize);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1] && w[0].is_finite()));
+        assert_eq!(bounds[0], 1e-9);
+        // Every other bound doubles exactly: the table is 2/octave.
+        for pair in bounds.chunks_exact(2).collect::<Vec<_>>().windows(2) {
+            assert_eq!(pair[1][0], pair[0][0] * 2.0);
+        }
+        assert!(bounds[bounds.len() - 1] > 120.0, "top bound spans minutes");
+    }
+
+    #[test]
+    fn latency_histo_buckets_by_octave_and_merges_exactly() {
+        let r = MetricsRegistry::new();
+        let l = r.latency_histo("stage");
+        l.record_seconds(1.5e-9); // second bucket: 1e-9 < v <= √2e-9 is bucket 1
+        l.record_duration(std::time::Duration::from_micros(3));
+        l.record_seconds(1e6); // overflow bucket
+        assert_eq!(l.count(), 3);
+        let s = r.snapshot().histograms["stage"].clone();
+        assert_eq!(s.count(), 3);
+        assert_eq!(*s.counts.last().unwrap(), 1, "huge value lands in overflow");
+        // Same bound table everywhere → snapshots from independent
+        // registries merge exactly.
+        let r2 = MetricsRegistry::new();
+        let l2 = r2.latency_histo("stage");
+        l2.record_seconds(0.25);
+        let merged = s.merge(&r2.snapshot().histograms["stage"]).unwrap();
+        assert_eq!(merged.count(), 4);
+        // Span guard records on drop, and a disabled registry reads no clock.
+        l.start().finish();
+        assert_eq!(l.count(), 4);
+        r.disable();
+        l.start().finish();
+        assert_eq!(l.count(), 4);
     }
 
     #[test]

@@ -1,0 +1,426 @@
+//! Byte-deterministic Prometheus text exposition for registry
+//! snapshots, plus a small parser so consoles and drills can assert on
+//! scraped values without a real Prometheus.
+//!
+//! [`render`] turns a [`MetricsSnapshot`] into the Prometheus text
+//! exposition format (`# TYPE` comments, cumulative `_bucket{le=...}`
+//! series, `_sum`/`_count`): series sorted by sanitized name, one fixed
+//! label order, floats printed with Rust's shortest-round-trip `{:?}`
+//! formatting, and **no clock on the render path** — if a timestamp is
+//! wanted, the caller injects an integer tick. The same snapshot
+//! therefore always renders to the same bytes, which is what lets CI
+//! diff scrapes and the unit tests pin the output exactly.
+//!
+//! [`parse`] inverts the subset [`render`] emits (it is not a general
+//! Prometheus parser): it rejects duplicate series, non-cumulative
+//! buckets, and histograms without a `+Inf` bucket, so a scrape that
+//! parses is structurally sound. [`ScrapedHistogram::quantile`]
+//! estimates quantiles by linear interpolation within a bucket — the
+//! standard `histogram_quantile` estimate.
+
+use crate::report::MetricsSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Maps a metric name to the Prometheus name charset: every character
+/// outside `[a-zA-Z0-9_:]` becomes `_`, and a leading digit gets a `_`
+/// prefix. If two raw names collapse to the same sanitized name the
+/// lexicographically later raw name wins (deterministically).
+#[must_use]
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Prometheus sample-value formatting: shortest round-trip decimal for
+/// finite values, the spec spellings for the three non-finite ones.
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v:?}")
+    }
+}
+
+fn push_sample(out: &mut String, series: &str, value: &str, timestamp: Option<u64>) {
+    match timestamp {
+        Some(ts) => {
+            let _ = writeln!(out, "{series} {value} {ts}");
+        }
+        None => {
+            let _ = writeln!(out, "{series} {value}");
+        }
+    }
+}
+
+/// Renders `snapshot` in Prometheus text exposition format.
+///
+/// Output is byte-deterministic for a given snapshot: series are sorted
+/// by sanitized metric name, histogram buckets are emitted in ascending
+/// `le` order followed by `_sum` and `_count`, and the only timestamp
+/// that can appear is the integer `timestamp` the caller passes (stamped
+/// on every sample line) — this function never reads a clock.
+#[must_use]
+pub fn render(snapshot: &MetricsSnapshot, timestamp: Option<u64>) -> String {
+    enum Series<'a> {
+        Counter(u64),
+        Gauge(f64),
+        Histogram(&'a crate::report::HistogramSnapshot),
+    }
+    let mut merged: BTreeMap<String, Series<'_>> = BTreeMap::new();
+    for (name, v) in &snapshot.counters {
+        merged.insert(sanitize_name(name), Series::Counter(*v));
+    }
+    for (name, v) in &snapshot.gauges {
+        merged.insert(sanitize_name(name), Series::Gauge(*v));
+    }
+    for (name, h) in &snapshot.histograms {
+        merged.insert(sanitize_name(name), Series::Histogram(h));
+    }
+
+    let mut out = String::new();
+    for (name, series) in &merged {
+        match series {
+            Series::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                push_sample(&mut out, name, &v.to_string(), timestamp);
+            }
+            Series::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                push_sample(&mut out, name, &fmt_value(*v), timestamp);
+            }
+            Series::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cumulative: u64 = 0;
+                for (i, count) in h.counts.iter().enumerate() {
+                    cumulative += count;
+                    let le = h.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+                    let series = format!("{name}_bucket{{le=\"{}\"}}", fmt_value(le));
+                    push_sample(&mut out, &series, &cumulative.to_string(), timestamp);
+                }
+                let sum = h.sum_micros as f64 / crate::metrics::SUM_SCALE;
+                push_sample(&mut out, &format!("{name}_sum"), &fmt_value(sum), timestamp);
+                push_sample(&mut out, &format!("{name}_count"), &cumulative.to_string(), timestamp);
+            }
+        }
+    }
+    out
+}
+
+/// One histogram reconstructed from `_bucket`/`_sum`/`_count` series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScrapedHistogram {
+    /// Ascending bucket upper bounds; the last one is `+Inf`.
+    pub bounds: Vec<f64>,
+    /// Cumulative counts, one per bound (Prometheus bucket semantics).
+    pub cumulative: Vec<f64>,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Total number of recorded values.
+    pub count: f64,
+}
+
+impl ScrapedHistogram {
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by linear
+    /// interpolation inside the bucket containing the target rank —
+    /// the classic `histogram_quantile` estimate. Returns `0.0` for an
+    /// empty histogram; a rank landing in the `+Inf` bucket returns the
+    /// last finite bound (there is nothing to interpolate toward).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.cumulative.last().copied().unwrap_or(0.0);
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total).max(1.0);
+        let mut prev_cum = 0.0;
+        for (i, &cum) in self.cumulative.iter().enumerate() {
+            if cum >= rank {
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let upper = self.bounds[i];
+                if !upper.is_finite() {
+                    return lower;
+                }
+                let in_bucket = cum - prev_cum;
+                if in_bucket <= 0.0 {
+                    return upper;
+                }
+                return lower + (rank - prev_cum) / in_bucket * (upper - lower);
+            }
+            prev_cum = cum;
+        }
+        self.bounds.iter().rev().find(|b| b.is_finite()).copied().unwrap_or(0.0)
+    }
+}
+
+/// A parsed exposition page: every series keyed by metric name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Scrape {
+    /// Counter samples.
+    pub counters: BTreeMap<String, f64>,
+    /// Gauge samples.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms reassembled from their component series.
+    pub histograms: BTreeMap<String, ScrapedHistogram>,
+}
+
+impl Scrape {
+    /// A gauge's value, if the page had one under `name`.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// A counter's value, if the page had one under `name`.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<f64> {
+        self.counters.get(name).copied()
+    }
+}
+
+fn parse_value(token: &str) -> Result<f64, String> {
+    match token {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        t => t.parse::<f64>().map_err(|e| format!("bad sample value {t:?}: {e}")),
+    }
+}
+
+/// Parses the exposition subset emitted by [`render`].
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for: malformed lines,
+/// samples without a preceding `# TYPE`, duplicate series, histograms
+/// whose buckets are out of order / non-cumulative / missing `+Inf`, or
+/// a `_count` that disagrees with the last bucket.
+pub fn parse(text: &str) -> Result<Scrape, String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut scrape = Scrape::default();
+    let mut seen: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let (Some(name), Some(kind)) = (it.next(), it.next()) else {
+                return Err(format!("malformed TYPE line: {line:?}"));
+            };
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(format!("duplicate TYPE for {name:?}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+
+        // Sample line: name[{labels}] value [timestamp]
+        let (series, rest) = match line.find('}') {
+            Some(end) => (&line[..=end], line[end + 1..].trim_start()),
+            None => {
+                let sp = line.find(' ').ok_or_else(|| format!("malformed sample: {line:?}"))?;
+                (&line[..sp], line[sp + 1..].trim_start())
+            }
+        };
+        if !seen.insert(series.to_string()) {
+            return Err(format!("duplicate series {series:?}"));
+        }
+        let value = parse_value(
+            rest.split_whitespace().next().ok_or_else(|| format!("missing value: {line:?}"))?,
+        )?;
+        let name = series.split('{').next().unwrap_or(series);
+
+        if let Some(base) = name.strip_suffix("_bucket") {
+            if types.get(base).map(String::as_str) != Some("histogram") {
+                return Err(format!("bucket sample for undeclared histogram {base:?}"));
+            }
+            let le = series
+                .split("le=\"")
+                .nth(1)
+                .and_then(|s| s.split('"').next())
+                .ok_or_else(|| format!("bucket without le label: {line:?}"))?;
+            let bound = parse_value(le)?;
+            let h = scrape.histograms.entry(base.to_string()).or_insert(ScrapedHistogram {
+                bounds: Vec::new(),
+                cumulative: Vec::new(),
+                sum: 0.0,
+                count: 0.0,
+            });
+            if let (Some(&last_b), Some(&last_c)) = (h.bounds.last(), h.cumulative.last()) {
+                if bound <= last_b || value < last_c {
+                    return Err(format!("non-cumulative bucket order at {line:?}"));
+                }
+            }
+            h.bounds.push(bound);
+            h.cumulative.push(value);
+            continue;
+        }
+        let strip = |suffix: &str| {
+            name.strip_suffix(suffix)
+                .filter(|b| types.get(*b).map(String::as_str) == Some("histogram"))
+                .map(str::to_string)
+        };
+        if let Some(base) = strip("_sum") {
+            scrape
+                .histograms
+                .get_mut(&base)
+                .ok_or_else(|| format!("_sum before buckets for {base:?}"))?
+                .sum = value;
+            continue;
+        }
+        if let Some(base) = strip("_count") {
+            let h = scrape
+                .histograms
+                .get_mut(&base)
+                .ok_or_else(|| format!("_count before buckets for {base:?}"))?;
+            h.count = value;
+            continue;
+        }
+        match types.get(name).map(String::as_str) {
+            Some("counter") => {
+                scrape.counters.insert(name.to_string(), value);
+            }
+            Some("gauge") => {
+                scrape.gauges.insert(name.to_string(), value);
+            }
+            Some(kind) => return Err(format!("sample {name:?} under unsupported TYPE {kind:?}")),
+            None => return Err(format!("sample {name:?} without a TYPE declaration")),
+        }
+    }
+
+    for (name, h) in &scrape.histograms {
+        if h.bounds.last().copied() != Some(f64::INFINITY) {
+            return Err(format!("histogram {name:?} is missing its +Inf bucket"));
+        }
+        if h.cumulative.last().copied().unwrap_or(0.0) != h.count {
+            return Err(format!("histogram {name:?}: _count disagrees with +Inf bucket"));
+        }
+    }
+    Ok(scrape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    fn fixed_snapshot() -> MetricsSnapshot {
+        let r = MetricsRegistry::new();
+        let c = r.counter("fleetd.busy_total");
+        c.add(3);
+        let g = r.gauge("queue.depth");
+        g.set(2.5);
+        let h = r.histogram("lat_seconds", &[0.001, 1.0]);
+        h.record(0.0005);
+        h.record(0.5);
+        h.record(5.0);
+        r.snapshot()
+    }
+
+    #[test]
+    fn render_is_byte_deterministic() {
+        let snap = fixed_snapshot();
+        let want = "\
+# TYPE fleetd_busy_total counter
+fleetd_busy_total 3
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le=\"0.001\"} 1
+lat_seconds_bucket{le=\"1.0\"} 2
+lat_seconds_bucket{le=\"+Inf\"} 3
+lat_seconds_sum 5.5005
+lat_seconds_count 3
+# TYPE queue_depth gauge
+queue_depth 2.5
+";
+        assert_eq!(render(&snap, None), want);
+        assert_eq!(render(&snap, None), render(&snap, None));
+    }
+
+    #[test]
+    fn render_stamps_injected_integer_ticks() {
+        let snap = fixed_snapshot();
+        let stamped = render(&snap, Some(42));
+        assert!(stamped.contains("fleetd_busy_total 3 42"));
+        assert!(stamped.contains("lat_seconds_bucket{le=\"+Inf\"} 3 42"));
+        assert!(stamped.contains("queue_depth 2.5 42"));
+        // TYPE comment lines carry no timestamp.
+        assert!(stamped.contains("# TYPE queue_depth gauge\n"));
+    }
+
+    #[test]
+    fn parse_inverts_render() {
+        let snap = fixed_snapshot();
+        let scrape = parse(&render(&snap, None)).unwrap();
+        assert_eq!(scrape.counter("fleetd_busy_total"), Some(3.0));
+        assert_eq!(scrape.gauge("queue_depth"), Some(2.5));
+        let h = &scrape.histograms["lat_seconds"];
+        assert_eq!(h.cumulative, vec![1.0, 2.0, 3.0]);
+        assert_eq!(h.count, 3.0);
+        assert!((h.sum - 5.5005).abs() < 1e-9);
+        // And a stamped page parses to the same values.
+        assert_eq!(parse(&render(&snap, Some(7))).unwrap(), scrape);
+    }
+
+    #[test]
+    fn parse_rejects_duplicates_and_torn_histograms() {
+        let dup = "# TYPE a counter\na 1\na 2\n";
+        assert!(parse(dup).unwrap_err().contains("duplicate series"));
+        let undeclared = "a_bucket{le=\"+Inf\"} 1\n";
+        assert!(parse(undeclared).unwrap_err().contains("undeclared"));
+        let no_inf = "# TYPE h histogram\nh_bucket{le=\"1.0\"} 1\nh_sum 1.0\nh_count 1\n";
+        assert!(parse(no_inf).unwrap_err().contains("+Inf"));
+        let shuffled =
+            "# TYPE h histogram\nh_bucket{le=\"2.0\"} 5\nh_bucket{le=\"1.0\"} 1\nh_sum 0\nh_count 5\n";
+        assert!(parse(shuffled).unwrap_err().contains("non-cumulative"));
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let h = ScrapedHistogram {
+            bounds: vec![1.0, 2.0, f64::INFINITY],
+            cumulative: vec![10.0, 20.0, 20.0],
+            sum: 30.0,
+            count: 20.0,
+        };
+        // Ranks 1..=10 spread over (0,1]; the median rank 10 sits at the
+        // top of the first bucket.
+        assert!((h.quantile(0.5) - 1.0).abs() < 1e-12);
+        // p75 → rank 15, midway through (1, 2].
+        assert!((h.quantile(0.75) - 1.5).abs() < 1e-12);
+        // A rank in +Inf territory clamps to the last finite bound.
+        let top_heavy = ScrapedHistogram {
+            bounds: vec![1.0, f64::INFINITY],
+            cumulative: vec![0.0, 4.0],
+            sum: 0.0,
+            count: 4.0,
+        };
+        assert_eq!(top_heavy.quantile(0.99), 1.0);
+        // Empty histogram.
+        let empty = ScrapedHistogram {
+            bounds: vec![1.0, f64::INFINITY],
+            cumulative: vec![0.0, 0.0],
+            sum: 0.0,
+            count: 0.0,
+        };
+        assert_eq!(empty.quantile(0.5), 0.0);
+    }
+}
