@@ -371,6 +371,31 @@ fn sweep_drift(b: BreakEven) -> Vec<String> {
             s.alarms.iter().filter(|a| a.alarm == "vertex_mismatch").count(),
             s.alarms.iter().filter(|a| a.alarm == "cr_bound").count(),
         );
+        // With the tail-budget detector armed (IDLING_TAIL_TAU env var)
+        // the frozen register's restart storm must breach the budget —
+        // the per-stop CR exceeds any reasonable τ on nearly every tiny
+        // stop while the estimator is poisoned.
+        let config = obsv::monitor::global().config();
+        if config.tail_tau.is_finite() {
+            let tail: Vec<_> = s.alarms.iter().filter(|a| a.alarm == "tail_budget").collect();
+            assert!(
+                !tail.is_empty(),
+                "tail-budget detector armed (tau {}) but never fired on the drift stream",
+                config.tail_tau
+            );
+            let first = tail[0].stop;
+            assert!(
+                first >= DRIFT_FREEZE_START as u64,
+                "tail-budget alarm at stop {first} precedes the freeze at {DRIFT_FREEZE_START}"
+            );
+            println!(
+                "monitor: tail budget P(CR > {}) > {} breached at stop {first} \
+                 ({} tail_budget alarm(s))",
+                config.tail_tau,
+                config.tail_delta,
+                tail.len()
+            );
+        }
     }
     rows
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! monitor --replay <trace.jsonl> [--report out.json] [--expect-clean]
 //!                                [--break-even B] [--window W]
+//!                                [--tail-tau T] [--tail-delta D] [--tail-margin M]
 //! monitor --live [--frame N] [--source PATH]
 //! ```
 //!
@@ -74,6 +75,7 @@ fn usage() -> ExitCode {
          \x20                                     [--break-even B] [--window W] [--warmup N]\n\
          \x20                                     [--mu-lambda L] [--q-lambda L]\n\
          \x20                                     [--ignore-stream S]... [--ignore-from R.json]\n\
+         \x20                                     [--tail-tau T] [--tail-delta D] [--tail-margin M]\n\
          \x20      monitor --live [--frame N] [--source <socket|fifo|file>]"
     );
     ExitCode::from(2)
@@ -509,6 +511,27 @@ fn main() -> ExitCode {
                 .and_then(|v| v.parse().ok())
             {
                 Some(v) => config.mu_lambda = v,
+                None => return usage(),
+            }
+        } else if a == "--tail-tau" || a.starts_with("--tail-tau=") {
+            match take(a.strip_prefix("--tail-tau=").map(str::to_string), &mut args)
+                .and_then(|v| v.parse().ok())
+            {
+                Some(v) => config.tail_tau = v,
+                None => return usage(),
+            }
+        } else if a == "--tail-delta" || a.starts_with("--tail-delta=") {
+            match take(a.strip_prefix("--tail-delta=").map(str::to_string), &mut args)
+                .and_then(|v| v.parse().ok())
+            {
+                Some(v) => config.tail_delta = v,
+                None => return usage(),
+            }
+        } else if a == "--tail-margin" || a.starts_with("--tail-margin=") {
+            match take(a.strip_prefix("--tail-margin=").map(str::to_string), &mut args)
+                .and_then(|v| v.parse().ok())
+            {
+                Some(v) => config.tail_margin = v,
                 None => return usage(),
             }
         } else if a == "--warmup" || a.starts_with("--warmup=") {

@@ -16,7 +16,13 @@
 //!    the recovered daemon's recovery gauges agree with its own
 //!    `Stats` counters, scraped counters are monotone across scrapes,
 //!    and `/healthz` flips ready → unready across shutdown. The final
-//!    scrape lands in `--artifact-dir` as `telemetry.prom`.
+//!    scrape lands in `--artifact-dir` as `telemetry.prom`, and
+//! 5. the risk plane survives the crash: the `fleet_cr_*` series are
+//!    present on every scrape, monotone across recovery (the journal
+//!    replay repopulates the realized-CR sketches), and the daemon's
+//!    fleet digest matches an offline recomputation from the canonical
+//!    trace *exactly* — written to `--artifact-dir` as
+//!    `risk-report.json`.
 //!
 //! The recorded trace is written next to the report so CI can push it
 //! through `monitor --replay --expect-clean`. On failure, artifacts
@@ -467,6 +473,35 @@ fn run(opts: &Options, reporter: &mut RunReporter) -> Result<(), String> {
          {frames_replayed} frames replayed, torn tail {torn})"
     );
 
+    // The risk series must be present on both sides of the crash and
+    // monotone across it: the recovered daemon rebuilt its realized-CR
+    // sketches from the journal replay, so no sample may be lost.
+    let live_risk = live_scrape
+        .counter("fleet_cr_samples_total")
+        .ok_or("pre-kill scrape: fleet_cr_samples_total missing")?;
+    let recovered_risk = scrape
+        .counter("fleet_cr_samples_total")
+        .ok_or("post-recovery scrape: fleet_cr_samples_total missing")?;
+    if recovered_risk < live_risk {
+        return Err(format!(
+            "risk samples went backwards across recovery: {live_risk} -> {recovered_risk}"
+        ));
+    }
+    for tau in obsv::risk::TAU_LADDER {
+        let name = format!("fleet_cr_exceed_total{{tau=\"{tau}\"}}");
+        let was =
+            live_scrape.counter(&name).ok_or_else(|| format!("pre-kill scrape: {name} missing"))?;
+        let now =
+            scrape.counter(&name).ok_or_else(|| format!("post-recovery scrape: {name} missing"))?;
+        if now < was {
+            return Err(format!("{name} went backwards across recovery: {was} -> {now}"));
+        }
+    }
+    eprintln!(
+        "service_drill: risk series monotone across recovery \
+         ({live_risk} -> {recovered_risk} samples)"
+    );
+
     drive(&mut client, resumed, total_steps, block, vehicles)?;
 
     // Phase 3 — byte-compare state and full event history.
@@ -523,6 +558,71 @@ fn run(opts: &Options, reporter: &mut RunReporter) -> Result<(), String> {
         return Err(format!("monitor raised {} alarms on the recovered trace", alarms.len()));
     }
     write_artifact(&opts.artifact_dir, "session_trace.jsonl", recovered_trace.as_bytes());
+
+    // The fleet CVaR ledger must be recomputable bit-exactly offline:
+    // feed the canonical trace through a fresh local hub and compare
+    // the daemon's scrape against the offline digest. Gauges render
+    // with shortest-round-trip floats, so equality here is equality of
+    // bits, not a tolerance.
+    let risk_page = client.telemetry().map_err(|e| e.to_string())?;
+    let risk_scrape = obsv::telemetry::parse(&risk_page)
+        .map_err(|e| format!("risk scrape: bad exposition: {e}"))?;
+    let local_hub = obsv::risk::RiskHub::new();
+    for r in &lane_records {
+        if let obsv::TraceEvent::StopCost { online_s, offline_s, .. } = r.event {
+            local_hub.record(r.stream, online_s, offline_s);
+        }
+    }
+    let offline_report = local_hub.report();
+    let daemon_samples = risk_scrape
+        .counter("fleet_cr_samples_total")
+        .ok_or("risk scrape: fleet_cr_samples_total missing")?;
+    if daemon_samples != offline_report.fleet.count as f64 {
+        return Err(format!(
+            "daemon risk samples {daemon_samples} disagree with the {} StopCost records \
+             of its own canonical trace",
+            offline_report.fleet.count
+        ));
+    }
+    for (name, offline_value) in [
+        ("fleet_cr_cvar{alpha=\"0.95\"}", offline_report.fleet.cvar(0.95)),
+        ("fleet_cr_cvar{alpha=\"0.99\"}", offline_report.fleet.cvar(0.99)),
+        ("fleet_cr_quantile{q=\"0.5\"}", offline_report.fleet.quantile(0.5)),
+        ("fleet_cr_quantile{q=\"0.99\"}", offline_report.fleet.quantile(0.99)),
+    ] {
+        let offline_value =
+            offline_value.ok_or_else(|| format!("offline risk digest empty at {name}"))?;
+        let scraped =
+            risk_scrape.gauge(name).ok_or_else(|| format!("risk scrape: {name} missing"))?;
+        if scraped.to_bits() != offline_value.to_bits() {
+            return Err(format!(
+                "daemon {name} = {scraped} diverges from offline recomputation {offline_value}"
+            ));
+        }
+    }
+    for tau in obsv::risk::TAU_LADDER {
+        let name = format!("fleet_cr_exceed_total{{tau=\"{tau}\"}}");
+        let scraped =
+            risk_scrape.counter(&name).ok_or_else(|| format!("risk scrape: {name} missing"))?;
+        let offline_value = offline_report.fleet.exceed_count(tau) as f64;
+        if scraped != offline_value {
+            return Err(format!(
+                "daemon {name} = {scraped} diverges from offline recomputation {offline_value}"
+            ));
+        }
+    }
+    write_artifact(
+        &opts.artifact_dir,
+        "risk-report.json",
+        (offline_report.to_value().to_string() + "\n").as_bytes(),
+    );
+    reporter.meta("drill.risk_samples", offline_report.fleet.count);
+    eprintln!(
+        "service_drill: daemon risk digest matches offline recomputation \
+         ({} samples, {} vehicles)",
+        offline_report.fleet.count,
+        offline_report.vehicles.len()
+    );
 
     // Phase 4 — backpressure burst: concurrent submits against the
     // 2-deep queue must see explicit Busy, and every client must

@@ -73,14 +73,23 @@ pub fn csv_row(fields: impl IntoIterator<Item = String>) -> String {
 /// present the process-wide streaming monitor ([`obsv::monitor::global`])
 /// is reset and enabled — alarms interleave into the trace (if any) and
 /// the aggregated [`obsv::MonitorReport`] rides in the run report's
-/// `monitor` section (if any).
+/// `monitor` section (if any). When `--risk` is present the process-wide
+/// realized-CR risk hub ([`obsv::risk::global`]) is reset and enabled,
+/// and the aggregated [`obsv::RiskReport`] rides in the run report's
+/// `risk` section.
 /// Without the flags everything is a no-op and all recorders stay
 /// disabled (a few relaxed atomic loads per instrumented operation).
+///
+/// The monitor's tail-budget detector is configured from the
+/// environment when `--monitor` is active: `IDLING_TAIL_TAU`,
+/// `IDLING_TAIL_DELTA`, and `IDLING_TAIL_MARGIN` override the
+/// [`obsv::MonitorConfig`] tail fields (unset = detector disabled).
 pub struct RunReporter {
     bin: &'static str,
     path: Option<PathBuf>,
     trace_path: Option<PathBuf>,
     monitor: bool,
+    risk: bool,
     meta: Vec<(String, String)>,
     start: Instant,
 }
@@ -93,6 +102,7 @@ impl RunReporter {
         let mut path = None;
         let mut trace = None;
         let mut monitor = false;
+        let mut risk = false;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             if a == "--report" {
@@ -105,11 +115,16 @@ impl RunReporter {
                 trace = Some(PathBuf::from(p));
             } else if a == "--monitor" {
                 monitor = true;
+            } else if a == "--risk" {
+                risk = true;
             }
         }
         let mut reporter = Self::to_paths(bin, path, trace);
         if monitor {
             reporter.enable_monitor();
+        }
+        if risk {
+            reporter.enable_risk();
         }
         reporter
     }
@@ -133,16 +148,54 @@ impl RunReporter {
             obsv::tracer::global().clear();
             obsv::tracer::global().enable();
         }
-        Self { bin, path, trace_path, monitor: false, meta: Vec::new(), start: Instant::now() }
+        Self {
+            bin,
+            path,
+            trace_path,
+            monitor: false,
+            risk: false,
+            meta: Vec::new(),
+            start: Instant::now(),
+        }
     }
 
     /// Resets and enables the process-wide streaming monitor
     /// ([`obsv::monitor::global`]); its aggregated report is attached to
-    /// the run report by [`RunReporter::capture`].
+    /// the run report by [`RunReporter::capture`]. The tail-budget
+    /// detector is configured from `IDLING_TAIL_TAU` /
+    /// `IDLING_TAIL_DELTA` / `IDLING_TAIL_MARGIN` when set, so any
+    /// harness binary can arm it without growing new flags.
     pub fn enable_monitor(&mut self) {
-        obsv::monitor::global().reset();
-        obsv::monitor::global().enable();
+        let monitor = obsv::monitor::global();
+        let env_f64 = |key: &str| std::env::var(key).ok().and_then(|v| v.parse::<f64>().ok());
+        let tau = env_f64("IDLING_TAIL_TAU");
+        let delta = env_f64("IDLING_TAIL_DELTA");
+        let margin = env_f64("IDLING_TAIL_MARGIN");
+        if tau.is_some() || delta.is_some() || margin.is_some() {
+            let mut config = monitor.config();
+            if let Some(tau) = tau {
+                config.tail_tau = tau;
+            }
+            if let Some(delta) = delta {
+                config.tail_delta = delta;
+            }
+            if let Some(margin) = margin {
+                config.tail_margin = margin;
+            }
+            monitor.set_config(config);
+        }
+        monitor.reset();
+        monitor.enable();
         self.monitor = true;
+    }
+
+    /// Resets and enables the process-wide realized-CR risk hub
+    /// ([`obsv::risk::global`]); its aggregated [`obsv::RiskReport`] is
+    /// attached to the run report by [`RunReporter::capture`].
+    pub fn enable_risk(&mut self) {
+        obsv::risk::global().reset();
+        obsv::risk::global().enable();
+        self.risk = true;
     }
 
     /// Whether a report will be written.
@@ -172,6 +225,9 @@ impl RunReporter {
         }
         if self.monitor {
             report = report.with_monitor(obsv::monitor::global().report());
+        }
+        if self.risk {
+            report = report.with_risk(obsv::risk::global().report());
         }
         report = report.with_meta("crate_version", env!("CARGO_PKG_VERSION"));
         let fp = report.config_fingerprint();

@@ -4,6 +4,7 @@
 //! fleetctl status    --socket PATH [--json]    daemon counters
 //! fleetctl telemetry --socket PATH [--raw]     stage latencies + health
 //! fleetctl top       --socket PATH [...]       live telemetry view
+//! fleetctl risk      --socket PATH [--delta F] fleet tail-risk view
 //! fleetctl snapshot  --socket PATH             force a snapshot now
 //! fleetctl state     --socket PATH --out FILE  export estimator state bytes
 //! fleetctl replay    --socket PATH [--out F]   full canonical event history
@@ -37,6 +38,8 @@ fn usage() -> ExitCode {
          \x20                             (--raw dumps the Prometheus exposition)\n\
          \x20 top [--interval-ms N] [--frames N] [--plain]\n\
          \x20                             live per-stage latency / queue view\n\
+         \x20 risk [--delta F]            fleet CVaR, riskiest vehicles, and\n\
+         \x20                             tail-budget headroom vs δ (default 0.05)\n\
          \x20 snapshot                    force a snapshot now\n\
          \x20 state --out FILE            export estimator state bytes\n\
          \x20 replay [--out FILE]         full canonical event history (JSONL)\n\
@@ -63,6 +66,7 @@ struct Cli {
     raw: bool,
     interval_ms: u64,
     frames: u64,
+    delta: f64,
 }
 
 fn parse() -> Option<Cli> {
@@ -81,6 +85,7 @@ fn parse() -> Option<Cli> {
         raw: false,
         interval_ms: 1000,
         frames: 0,
+        delta: 0.05,
     };
     while let Some(a) = args.next() {
         let value = |a: &str, key: &str, rest: &mut dyn Iterator<Item = String>| {
@@ -104,6 +109,8 @@ fn parse() -> Option<Cli> {
             cli.interval_ms = value(&a, "--interval-ms", &mut args)?.parse().ok()?;
         } else if a == "--frames" || a.starts_with("--frames=") {
             cli.frames = value(&a, "--frames", &mut args)?.parse().ok()?;
+        } else if a == "--delta" || a.starts_with("--delta=") {
+            cli.delta = value(&a, "--delta", &mut args)?.parse().ok()?;
         } else if a == "--plain" {
             cli.plain = true;
         } else if a == "--json" {
@@ -185,6 +192,12 @@ fn fmt_secs(s: f64) -> String {
     }
 }
 
+/// A quantile from a histogram that may have seen no samples yet:
+/// `None` renders as `-` rather than a misleading `0`.
+fn fmt_secs_opt(s: Option<f64>) -> String {
+    s.map_or_else(|| "-".to_string(), fmt_secs)
+}
+
 /// Renders one telemetry scrape: per-stage latency quantiles, queue and
 /// journal health, and (in `top`) a queue-occupancy sparkline.
 fn render_telemetry(scrape: &obsv::telemetry::Scrape, queue_history: &[f64]) -> String {
@@ -209,9 +222,9 @@ fn render_telemetry(scrape: &obsv::telemetry::Scrape, queue_history: &[f64]) -> 
         out.push_str(&format!(
             "{label:<16} {:>10} {:>9} {:>9} {:>9}\n",
             h.count as u64,
-            fmt_secs(h.quantile(0.50)),
-            fmt_secs(h.quantile(0.95)),
-            fmt_secs(h.quantile(0.99)),
+            fmt_secs_opt(h.quantile(0.50)),
+            fmt_secs_opt(h.quantile(0.95)),
+            fmt_secs_opt(h.quantile(0.99)),
         ));
     }
     out.push_str(&format!(
@@ -234,6 +247,58 @@ fn render_telemetry(scrape: &obsv::telemetry::Scrape, queue_history: &[f64]) -> 
         out.push_str(&format!(
             "queue occupancy: {}\n",
             obsv::dashboard::sparkline(queue_history, queue_history.len().min(40))
+        ));
+    }
+    out
+}
+
+/// Renders the fleet tail-risk view from the labeled risk series the
+/// daemon exports: fleet CVaR/quantiles, the top-k riskiest vehicles,
+/// and per-rung exceedance rates with headroom against the tail
+/// budget `δ` (headroom = δ − P(CR > τ); negative means over budget).
+fn render_risk(scrape: &obsv::telemetry::Scrape, delta: f64) -> String {
+    let samples = scrape.counter("fleet_cr_samples_total").unwrap_or(0.0);
+    if samples <= 0.0 {
+        return "no risk telemetry (risk plane disabled or no stops decided yet)\n".to_string();
+    }
+    let cr = |v: Option<f64>| {
+        v.map_or_else(|| "-".to_string(), |x| obsv::dashboard::fmt_cr(x).trim_start().to_string())
+    };
+    let mut out = String::new();
+    out.push_str(&format!("fleet realized-CR risk over {} stops\n", samples as u64));
+    out.push_str(&format!(
+        "  p50 {}   p90 {}   p99 {}   CVaR95 {}   CVaR99 {}\n",
+        cr(scrape.gauge("fleet_cr_quantile{q=\"0.5\"}")),
+        cr(scrape.gauge("fleet_cr_quantile{q=\"0.9\"}")),
+        cr(scrape.gauge("fleet_cr_quantile{q=\"0.99\"}")),
+        cr(scrape.gauge("fleet_cr_cvar{alpha=\"0.95\"}")),
+        cr(scrape.gauge("fleet_cr_cvar{alpha=\"0.99\"}")),
+    ));
+    out.push_str(&format!("{:<6} {:>8} {:>10}\n", "rank", "lane", "CVaR95"));
+    for rank in 1..=8u32 {
+        let lane = scrape.gauge(&format!("fleet_cr_top_lane{{rank=\"{rank}\"}}"));
+        let cvar = scrape.gauge(&format!("fleet_cr_top_cvar{{rank=\"{rank}\"}}"));
+        let (Some(lane), Some(cvar)) = (lane, cvar) else { break };
+        out.push_str(&format!("{rank:<6} {:>8} {:>10}\n", lane as u64, cr(Some(cvar))));
+    }
+    out.push_str(&format!(
+        "{:<22} {:>10} {:>10} {:>10}\n",
+        "tail budget (δ)", "exceeded", "P(CR>τ)", "headroom"
+    ));
+    for tau in obsv::risk::TAU_LADDER {
+        let Some(exceed) = scrape.counter(&format!("fleet_cr_exceed_total{{tau=\"{tau}\"}}"))
+        else {
+            continue;
+        };
+        let rate = exceed / samples;
+        let headroom = delta - rate;
+        out.push_str(&format!(
+            "{:<22} {:>10} {:>10.4} {:>+10.4}{}\n",
+            format!("\u{3c4} = {tau:.4}"),
+            exceed as u64,
+            rate,
+            headroom,
+            if headroom < 0.0 { "  OVER BUDGET" } else { "" },
         ));
     }
     out
@@ -368,6 +433,15 @@ fn run(cli: &Cli) -> Result<(), String> {
             Ok(())
         }
         "top" => top(cli),
+        "risk" => {
+            let mut client = connect(cli)?;
+            client.hello("fleetctl").map_err(|e| e.to_string())?;
+            let text = client.telemetry().map_err(|e| e.to_string())?;
+            let scrape =
+                obsv::telemetry::parse(&text).map_err(|e| format!("bad exposition: {e}"))?;
+            print!("{}", render_risk(&scrape, cli.delta));
+            Ok(())
+        }
         "snapshot" => {
             let mut client = connect(cli)?;
             let ack = client.snapshot().map_err(|e| e.to_string())?;

@@ -263,6 +263,9 @@ impl ServerHandle {
         if let Some(engine) = self.engine.take() {
             let _ = engine.join();
         }
+        // Stop the (process-global) risk hub with the daemon so later
+        // in-process work does not keep recording into its sketches.
+        obsv::risk::global().disable();
         for h in self.accept.drain(..) {
             let _ = h.join();
         }
@@ -331,6 +334,29 @@ pub fn serve(
         .map_err(|e| format!("create {}: {e}", options.dir.display()))?;
         (fleet, None)
     };
+
+    // The realized-CR sketches are derived state over the *whole*
+    // journal (a snapshot restores estimator state but replays no
+    // stops), so a recovered daemon rebuilds them by replaying the full
+    // journal through a throwaway engine with trace emission off — the
+    // risk counters are then monotone across the crash. The hub is
+    // reset/enabled only after `recover` so the journal-tail replay
+    // inside it cannot double-count.
+    let risk_hub = obsv::risk::global();
+    risk_hub.reset();
+    risk_hub.enable();
+    if recovery.is_some() {
+        let journal_path = options.dir.join(JOURNAL_FILE);
+        let bytes =
+            std::fs::read(&journal_path).map_err(|e| format!("{}: {e}", journal_path.display()))?;
+        let journal = fleetstate::parse_journal(&bytes)
+            .map_err(|e| format!("risk rebuild: {}: {e}", journal_path.display()))?;
+        let mut rebuild = fleetstate::FleetRunner::new(&options.config, options.threads)
+            .map_err(|e| format!("risk rebuild: {e}"))?;
+        for block in journal.steps.chunks(4096) {
+            rebuild.run_block(block, false).map_err(|e| format!("risk rebuild: {e}"))?;
+        }
+    }
 
     let shared = Arc::new(Shared::new(options.config));
     shared.step.store(fleet.runner().step(), Ordering::Relaxed);
@@ -824,7 +850,20 @@ fn run_replay(options: &ServeOptions, client: u64, reply: &SyncSender<Reply>) {
     // empty here. Run, then drain everything the replay produced.
     let journal_path = options.dir.join(JOURNAL_FILE);
     let replayed = if options.emit_trace {
-        fleetstate::replay_session(&journal_path, &options.config, options.threads)
+        // The full-journal replay re-runs every stop through a fresh
+        // engine; park the risk hub so the live sketches are not
+        // double-counted. (Runs on the engine thread, so no block is
+        // processed concurrently.)
+        let hub = obsv::risk::global();
+        let was_risk = hub.is_enabled();
+        if was_risk {
+            hub.disable();
+        }
+        let result = fleetstate::replay_session(&journal_path, &options.config, options.threads);
+        if was_risk {
+            hub.enable();
+        }
+        result
     } else {
         let _ = client;
         let _ = reply.send(Reply::Error {
@@ -932,7 +971,53 @@ fn render_metrics(shared: &Shared, subscribers: &Subscribers, queue_capacity: us
         "fleetd_offline_cost_total",
         f64::from_bits(shared.offline_bits.load(Ordering::Relaxed)),
     );
+    if obsv::risk::active() {
+        publish_risk_series(t, shared.config.trace_stream_base);
+    }
     t.render_text()
+}
+
+/// Cardinality of the `fleet_cr_top_*` rank gauges: the k riskiest
+/// vehicles exported per scrape.
+const TOP_RISK_K: usize = 3;
+
+/// Publishes the fleet tail-risk series from the global risk hub: fleet
+/// CVaR/quantile gauges, per-ladder-rung exceedance counters, and
+/// fixed-cardinality top-k riskiest-vehicle rank gauges. Label values
+/// are the default `{}` float rendering — the exact strings `fleetctl
+/// risk` looks up.
+fn publish_risk_series(t: &Telemetry, trace_stream_base: u64) {
+    let report = obsv::risk::global().report();
+    let fleet = &report.fleet;
+    t.sync_counter("fleet_cr_samples_total", fleet.count);
+    for tau in obsv::risk::TAU_LADDER {
+        t.sync_counter(&format!("fleet_cr_exceed_total{{tau=\"{tau}\"}}"), fleet.exceed_count(tau));
+    }
+    for alpha in [0.95, 0.99] {
+        if let Some(v) = fleet.cvar(alpha) {
+            t.set_gauge(&format!("fleet_cr_cvar{{alpha=\"{alpha}\"}}"), v);
+        }
+    }
+    for q in [0.5, 0.9, 0.99] {
+        if let Some(v) = fleet.quantile(q) {
+            t.set_gauge(&format!("fleet_cr_quantile{{q=\"{q}\"}}"), v);
+        }
+    }
+    // Top-k by per-vehicle CVaR95; ties break toward the lower lane so
+    // the ranking (and the rendered page) is deterministic.
+    let mut ranked: Vec<(u64, f64)> = report
+        .vehicles
+        .iter()
+        .filter_map(|(stream, digest)| {
+            digest.cvar(0.95).map(|v| (stream.saturating_sub(trace_stream_base), v))
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (i, (lane, cvar)) in ranked.into_iter().take(TOP_RISK_K).enumerate() {
+        let rank = i + 1;
+        t.set_gauge(&format!("fleet_cr_top_lane{{rank=\"{rank}\"}}"), lane as f64);
+        t.set_gauge(&format!("fleet_cr_top_cvar{{rank=\"{rank}\"}}"), cvar);
+    }
 }
 
 /// Cap on an HTTP request head (request line + headers) the telemetry

@@ -38,6 +38,12 @@ struct ShardState {
     vertices: Vec<VertexKind>,
     online: Vec<f64>,
     offline: Vec<f64>,
+    /// Per-lane realized-CR sketches, cached from the global
+    /// [`obsv::risk`] hub so the hot loop pays two relaxed atomic adds
+    /// per stop and no lock. Refreshed when the hub's epoch moves (a
+    /// `reset` invalidates every cached handle).
+    risk_lanes: Vec<std::sync::Arc<obsv::risk::CrSketch>>,
+    risk_epoch: u64,
 }
 
 impl ShardState {
@@ -163,6 +169,8 @@ impl FleetRunner {
                 vertices: vec![VertexKind::ColdStart; n],
                 online: vec![0.0; n],
                 offline: vec![0.0; n],
+                risk_lanes: Vec::new(),
+                risk_epoch: u64::MAX,
             })
             .collect();
         Ok(Self { config: *config, break_even, step: 0, shards })
@@ -371,6 +379,20 @@ fn process_block(
     let mut tally = VertexTally::default();
     let mut observations = 0u64;
     let tracing = emit && obsv::tracer::observing();
+    // Risk sketches are *state*, not trace: they record even when trace
+    // emission is suppressed (journal-tail replay after recovery), so a
+    // recovered daemon's risk counters are monotone across the crash.
+    let risk_on = obsv::risk::active();
+    if risk_on {
+        let hub = obsv::risk::global();
+        let epoch = hub.epoch();
+        if shard.risk_epoch != epoch || shard.risk_lanes.len() != lanes {
+            shard.risk_lanes = (0..lanes)
+                .map(|lane| hub.sketch(trace_base + (shard.base + lane) as u64))
+                .collect();
+            shard.risk_epoch = epoch;
+        }
+    }
     for (t, row) in rows.iter().enumerate() {
         shard.store.decide_batch(&mut shard.rngs, &mut shard.thresholds, &mut shard.vertices)?;
         let step = step0 + t as u64;
@@ -390,6 +412,9 @@ fn process_block(
             tally.count(shard.vertices[lane]);
             shard.store.observe(lane, y);
             observations += 1;
+            if risk_on {
+                shard.risk_lanes[lane].record_ratio(cost, off);
+            }
             if tracing {
                 // One record per (lane, step): stream identifies the
                 // lane, stop the step, so the merged sort order is

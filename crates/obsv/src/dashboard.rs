@@ -161,10 +161,11 @@ pub fn render_dashboard(report: &MonitorReport, series: &BTreeMap<u64, Vec<f64>>
     }
     let _ = writeln!(
         out,
-        "alarm log ({total}: {} drift, {} vertex_mismatch, {} cr_bound):",
+        "alarm log ({total}: {} drift, {} vertex_mismatch, {} cr_bound, {} tail_budget):",
         report.alarms_of("drift"),
         report.alarms_of("vertex_mismatch"),
         report.alarms_of("cr_bound"),
+        report.alarms_of("tail_budget"),
     );
     let mut shown = 0usize;
     'log: for (stream, s) in &report.streams {

@@ -173,6 +173,23 @@ pub enum TraceEvent {
         /// configured window length (mismatch / CR bound).
         window_len: u64,
     },
+    /// The streaming monitor's tail-budget detector latched: the
+    /// windowed exceedance estimate `P(CR > τ)` crossed the budget `δ`
+    /// with margin (see `crate::monitor`). Distinct from
+    /// [`TraceEvent::MonitorAlarm`] so replay tooling can filter tail
+    /// alarms without string-matching alarm classes.
+    TailBudgetAlarm {
+        /// The CR threshold τ the budget is stated against.
+        tau: f64,
+        /// The exceedance budget δ (`P(CR > τ) ≤ δ`).
+        delta: f64,
+        /// The windowed exceedance fraction that tripped the latch.
+        observed: f64,
+        /// Stops in the window with realized `CR > τ`.
+        exceeded: u64,
+        /// The window length the fraction was measured over.
+        window_len: u64,
+    },
     /// A decision-daemon session/connection lifecycle event (client
     /// connect/disconnect, backpressure rejection, subscription,
     /// shutdown). Emitted on the fleet's *meta* stream, never on a lane
@@ -208,6 +225,7 @@ impl TraceEvent {
             Self::Checkpoint { .. } => "checkpoint",
             Self::Recovery { .. } => "recovery",
             Self::MonitorAlarm { .. } => "monitor_alarm",
+            Self::TailBudgetAlarm { .. } => "tail_budget_alarm",
             Self::Session { .. } => "session",
         }
     }
@@ -299,6 +317,10 @@ impl TraceEvent {
             Self::MonitorAlarm { alarm, detail, observed, limit, window_len } => format!(
                 "ALARM [{alarm}]: {detail} \
                  (observed {observed:.4} > limit {limit:.4}, n = {window_len})"
+            ),
+            Self::TailBudgetAlarm { tau, delta, observed, exceeded, window_len } => format!(
+                "ALARM [tail_budget]: P(CR > {tau:.4}) = {observed:.4} \
+                 ({exceeded}/{window_len} stops) over budget δ = {delta:.4}"
             ),
             Self::Session { what, client, step, detail } => {
                 format!("session: {what} (client {client}, step {step}) {detail}")
@@ -444,6 +466,13 @@ impl TraceRecord {
                 obj.insert("limit".to_string(), Value::float(*limit));
                 obj.insert("window_len".to_string(), Value::UInt(*window_len));
             }
+            TraceEvent::TailBudgetAlarm { tau, delta, observed, exceeded, window_len } => {
+                obj.insert("tau".to_string(), Value::float(*tau));
+                obj.insert("delta".to_string(), Value::float(*delta));
+                obj.insert("observed".to_string(), Value::float(*observed));
+                obj.insert("exceeded".to_string(), Value::UInt(*exceeded));
+                obj.insert("window_len".to_string(), Value::UInt(*window_len));
+            }
             TraceEvent::Session { what, client, step, detail } => {
                 obj.insert("what".to_string(), Value::Str(what.to_string()));
                 obj.insert("client".to_string(), Value::UInt(*client));
@@ -539,6 +568,13 @@ impl TraceRecord {
                 detail: req_str(obj, "detail")?,
                 observed: req_f64(obj, "observed")?,
                 limit: req_f64(obj, "limit")?,
+                window_len: req_u64(obj, "window_len")?,
+            },
+            "tail_budget_alarm" => TraceEvent::TailBudgetAlarm {
+                tau: req_f64(obj, "tau")?,
+                delta: req_f64(obj, "delta")?,
+                observed: req_f64(obj, "observed")?,
+                exceeded: req_u64(obj, "exceeded")?,
                 window_len: req_u64(obj, "window_len")?,
             },
             "session" => TraceEvent::Session {
@@ -762,6 +798,18 @@ mod tests {
                     observed: 2.625,
                     limit: 2.0,
                     window_len: 73,
+                },
+            },
+            TraceRecord {
+                stream: 4,
+                stop: 121,
+                seq: 6,
+                event: TraceEvent::TailBudgetAlarm {
+                    tau: 2.0,
+                    delta: 0.05,
+                    observed: 0.125,
+                    exceeded: 5,
+                    window_len: 40,
                 },
             },
             TraceRecord {

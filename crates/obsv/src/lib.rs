@@ -45,6 +45,11 @@
 //!   can expose `/metrics` with zero new dependencies. [`LatencyHisto`]
 //!   is the matching log-bucketed (~2/octave, ns…minutes) span
 //!   histogram for service-grade latency resolution.
+//! * The [`risk`] module is the tail-risk plane on top of all of it:
+//!   exactly-mergeable per-vehicle realized-CR sketches ([`CrSketch`]),
+//!   quantile/CVaR/exceedance queries on immutable [`SketchDigest`]s
+//!   (live gauges and offline audits share one code path, so they agree
+//!   bit-for-bit), and a `risk` section in the [`RunReport`].
 //!
 //! # Example
 //!
@@ -73,6 +78,7 @@ pub mod json;
 mod metrics;
 pub mod monitor;
 mod report;
+pub mod risk;
 pub mod telemetry;
 pub mod tracer;
 
@@ -81,6 +87,7 @@ pub use event::{EventError, TraceEvent, TraceRecord};
 pub use metrics::{Counter, Gauge, Histogram, LatencyHisto, MetricsRegistry, Span, Timer};
 pub use monitor::{AlarmRecord, Monitor, MonitorConfig, MonitorReport, PageHinkley, StreamSummary};
 pub use report::{HistogramSnapshot, MetricsSnapshot, ReportError, RunReport, REPORT_VERSION};
+pub use risk::{CrSketch, RiskHub, RiskReport, SketchDigest};
 pub use tracer::Tracer;
 
 use std::sync::OnceLock;

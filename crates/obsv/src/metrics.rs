@@ -80,6 +80,7 @@ impl Entry {
 ///
 /// Handles are cheap to clone and share; recording on a disabled registry
 /// is one relaxed atomic load.
+#[must_use = "a counter handle that is never used records nothing"]
 #[derive(Clone)]
 pub struct Counter {
     enabled: Arc<AtomicBool>,
@@ -116,6 +117,7 @@ impl Counter {
 
 /// A last-write-wins `f64` value (utilization ratios, configuration
 /// echoes, …).
+#[must_use = "a gauge handle that is never used records nothing"]
 #[derive(Clone)]
 pub struct Gauge {
     enabled: Arc<AtomicBool>,
@@ -145,6 +147,7 @@ impl Gauge {
 }
 
 /// A fixed-bucket histogram of non-negative values.
+#[must_use = "a histogram handle that is never used records nothing"]
 #[derive(Clone)]
 pub struct Histogram {
     enabled: Arc<AtomicBool>,
@@ -193,6 +196,7 @@ impl Histogram {
 /// A lightweight span timer: [`Timer::start`] returns a guard that records
 /// the elapsed wall time into a latency [`Histogram`] (seconds) when
 /// dropped. On a disabled registry no clock is read at all.
+#[must_use = "a timer handle that is never started records nothing"]
 #[derive(Clone)]
 pub struct Timer {
     hist: Histogram,
@@ -201,7 +205,6 @@ pub struct Timer {
 impl Timer {
     /// Starts a span; the elapsed seconds are recorded when the returned
     /// guard drops.
-    #[must_use]
     pub fn start(&self) -> Span {
         let start = self.hist.is_enabled().then(Instant::now);
         Span { hist: self.hist.clone(), start }
@@ -213,7 +216,6 @@ impl Timer {
     }
 
     /// The underlying latency histogram.
-    #[must_use]
     pub fn histogram(&self) -> &Histogram {
         &self.hist
     }
@@ -227,6 +229,7 @@ impl Timer {
 /// `LatencyHisto` is the service-telemetry resolution: fine enough to
 /// separate a p50 from a p99 within one decade, still cheap (one
 /// `partition_point` over a shared static bound table per record).
+#[must_use = "a latency histogram handle that is never used records nothing"]
 #[derive(Clone)]
 pub struct LatencyHisto {
     hist: Histogram,
@@ -235,7 +238,6 @@ pub struct LatencyHisto {
 impl LatencyHisto {
     /// Starts a span; elapsed seconds are recorded when the guard drops.
     /// No clock is read on a disabled registry.
-    #[must_use]
     pub fn start(&self) -> Span {
         let start = self.hist.is_enabled().then(Instant::now);
         Span { hist: self.hist.clone(), start }
@@ -260,13 +262,17 @@ impl LatencyHisto {
     }
 
     /// The underlying histogram handle.
-    #[must_use]
     pub fn histogram(&self) -> &Histogram {
         &self.hist
     }
 }
 
 /// Guard returned by [`Timer::start`]; records on drop.
+///
+/// `#[must_use]`: binding the guard to `_` or discarding the expression
+/// drops it immediately and records a ~0 ns span — always hold it in a
+/// named binding (or `_guard`) for the duration being measured.
+#[must_use = "dropping a Span at creation records a ~0ns duration; bind it for the span's lifetime"]
 pub struct Span {
     hist: Histogram,
     start: Option<Instant>,
@@ -346,7 +352,6 @@ impl MetricsRegistry {
     /// # Panics
     ///
     /// Panics if `name` is already registered as a different metric kind.
-    #[must_use]
     pub fn counter(&self, name: &str) -> Counter {
         let mut entries = self.lock();
         if let Some(e) = entries.iter().find(|e| e.name() == name) {
@@ -367,7 +372,6 @@ impl MetricsRegistry {
     /// # Panics
     ///
     /// Panics if `name` is already registered as a different metric kind.
-    #[must_use]
     pub fn gauge(&self, name: &str) -> Gauge {
         let mut entries = self.lock();
         if let Some(e) = entries.iter().find(|e| e.name() == name) {
@@ -392,7 +396,6 @@ impl MetricsRegistry {
     ///
     /// Panics if `bounds` is empty or not strictly ascending/finite, or if
     /// `name` is already registered as a different metric kind.
-    #[must_use]
     pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
         let mut entries = self.lock();
         if let Some(e) = entries.iter().find(|e| e.name() == name) {
@@ -425,7 +428,6 @@ impl MetricsRegistry {
     /// # Panics
     ///
     /// Panics if `name` is already registered as a different metric kind.
-    #[must_use]
     pub fn timer(&self, name: &str) -> Timer {
         Timer { hist: self.histogram(name, &TIMER_BOUNDS_S) }
     }
@@ -436,7 +438,6 @@ impl MetricsRegistry {
     /// # Panics
     ///
     /// Panics if `name` is already registered as a different metric kind.
-    #[must_use]
     pub fn latency_histo(&self, name: &str) -> LatencyHisto {
         LatencyHisto { hist: self.histogram(name, latency_bounds()) }
     }

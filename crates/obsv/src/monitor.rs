@@ -18,7 +18,13 @@
 //!   exactly the "stale advice" signal;
 //! * a **CR-bound-violation alarm** when the windowed realized CR exceeds
 //!   the worst-case bound carried by the most recent statistics-bearing
-//!   `stop_decision` event by a configurable margin.
+//!   `stop_decision` event by a configurable margin;
+//! * a **tail-budget alarm** ([`crate::TraceEvent::TailBudgetAlarm`])
+//!   when the windowed per-stop exceedance estimate `P(CR > τ)` crosses
+//!   the budget `δ` with margin — the online counterpart of the
+//!   `P(CR > τ) ≤ δ` constraints of the tail-risk ski-rental literature,
+//!   disabled by default (`tail_tau = +∞`). The distributional view
+//!   behind the same ratios lives in [`crate::risk`].
 //!
 //! Alarms surface as [`crate::TraceEvent::MonitorAlarm`] records (stamped
 //! by the tracer's logical clock, so traces stay byte-identical across
@@ -72,6 +78,18 @@ pub struct MonitorConfig {
     /// the windowed argmin before a vertex-mismatch alarm fires (single
     /// disagreements near a region boundary are expected).
     pub mismatch_streak: usize,
+    /// Tail-budget threshold τ: the per-stop realized-CR level the
+    /// exceedance budget is stated against (`P(CR > τ) ≤ tail_delta`).
+    /// The default `+∞` disables the detector — no stop ever exceeds it —
+    /// so existing traces and configs stay alarm-free unless a τ is
+    /// explicitly chosen.
+    pub tail_tau: f64,
+    /// Tail-budget δ: the tolerated windowed exceedance fraction.
+    pub tail_delta: f64,
+    /// Tail alarm margin: fire when the windowed exceedance fraction
+    /// crosses `tail_delta × (1 + tail_margin)`; re-arm once it is back
+    /// at or under `tail_delta` itself.
+    pub tail_margin: f64,
 }
 
 impl Default for MonitorConfig {
@@ -86,6 +104,9 @@ impl Default for MonitorConfig {
             q_lambda: 2.0,
             cr_margin: 1.0,
             mismatch_streak: 12,
+            tail_tau: f64::INFINITY,
+            tail_delta: 0.05,
+            tail_margin: 0.5,
         }
     }
 }
@@ -112,6 +133,18 @@ impl MonitorConfig {
             assert!(v.is_finite() && v > 0.0, "{name} must be finite and positive");
         }
         assert!(self.cr_margin.is_finite() && self.cr_margin >= 0.0, "cr_margin must be >= 0");
+        assert!(
+            self.tail_tau >= 1.0,
+            "tail_tau must be >= 1 (a CR never falls below 1); +inf disables the detector"
+        );
+        assert!(
+            self.tail_delta > 0.0 && self.tail_delta <= 1.0,
+            "tail_delta must be a fraction in (0, 1]"
+        );
+        assert!(
+            self.tail_margin.is_finite() && self.tail_margin >= 0.0,
+            "tail_margin must be finite and >= 0"
+        );
         self
     }
 }
@@ -275,14 +308,18 @@ fn ratio(online: f64, offline: f64) -> f64 {
 pub struct AlarmRecord {
     /// Stop index (within the stream) at which the alarm fired.
     pub stop: u64,
-    /// Alarm class: `"drift"`, `"vertex_mismatch"`, or `"cr_bound"`.
+    /// Alarm class: `"drift"`, `"vertex_mismatch"`, `"cr_bound"`, or
+    /// `"tail_budget"`.
     pub alarm: String,
     /// What specifically tripped (`"mu_b_minus"`, `"q_b_plus"`, `"played
-    /// TOI, windowed argmin DET"`, `"windowed CR above bound"`).
+    /// TOI, windowed argmin DET"`, `"windowed CR above bound"`,
+    /// `"P(CR > τ) over budget δ"`).
     pub detail: String,
-    /// The observed statistic (PH statistic, mismatch streak, windowed CR).
+    /// The observed statistic (PH statistic, mismatch streak, windowed
+    /// CR, windowed exceedance fraction).
     pub observed: f64,
-    /// The limit it crossed (λ, streak threshold, bound × (1 + margin)).
+    /// The limit it crossed (λ, streak threshold, bound/budget × (1 +
+    /// margin)).
     pub limit: f64,
 }
 
@@ -396,6 +433,11 @@ struct StreamState {
     /// is playing, since the stale bound no longer describes it.
     bound_live: bool,
     cr_latched: bool,
+    /// Per-stop `CR > τ` flags of the last `W` stops (tail detector).
+    tail_window: VecDeque<bool>,
+    /// Count of `true` flags in `tail_window` (maintained incrementally).
+    tail_exceed: usize,
+    tail_latched: bool,
     trust: String,
     transitions: u64,
     last_vertex: Option<String>,
@@ -419,6 +461,9 @@ impl StreamState {
             bound_cr: None,
             bound_live: false,
             cr_latched: false,
+            tail_window: VecDeque::with_capacity(config.window),
+            tail_exceed: 0,
+            tail_latched: false,
             trust: "Full".to_string(),
             transitions: 0,
             last_vertex: None,
@@ -709,6 +754,45 @@ impl Monitor {
                         }
                     }
                 }
+                if config.tail_tau.is_finite() {
+                    // Tail-budget detector: windowed estimate of
+                    // P(CR > τ) from the per-stop realized ratios. A CR
+                    // is never NaN (the ∞-convention maps 0/0 to 1), so
+                    // every stop contributes a flag.
+                    if state.tail_window.len() == config.window
+                        && state.tail_window.pop_front() == Some(true)
+                    {
+                        state.tail_exceed -= 1;
+                    }
+                    let exceeds = ratio(*online_s, *offline_s) > config.tail_tau;
+                    state.tail_window.push_back(exceeds);
+                    if exceeds {
+                        state.tail_exceed += 1;
+                    }
+                    if state.tail_window.len() >= config.window {
+                        let frac = state.tail_exceed as f64 / state.tail_window.len() as f64;
+                        let limit = config.tail_delta * (1.0 + config.tail_margin);
+                        if frac > limit && !state.tail_latched {
+                            state.tail_latched = true;
+                            let detail = format!(
+                                "P(CR > {}) over budget {}",
+                                config.tail_tau, config.tail_delta
+                            );
+                            state.raise(stop, "tail_budget", detail, frac, limit);
+                            alarms.push(TraceEvent::TailBudgetAlarm {
+                                tau: config.tail_tau,
+                                delta: config.tail_delta,
+                                observed: frac,
+                                exceeded: state.tail_exceed as u64,
+                                window_len: state.tail_window.len() as u64,
+                            });
+                        } else if frac <= config.tail_delta {
+                            // Re-arm only once the window is back inside
+                            // the budget itself, not just under the margin.
+                            state.tail_latched = false;
+                        }
+                    }
+                }
             }
             TraceEvent::LadderTransition { to, .. } => {
                 state.trust = to.clone();
@@ -727,7 +811,10 @@ impl Monitor {
     pub fn replay(&self, records: &[TraceRecord]) -> Vec<TraceRecord> {
         let mut alarms = Vec::new();
         for r in records {
-            if matches!(r.event, TraceEvent::MonitorAlarm { .. }) {
+            if matches!(
+                r.event,
+                TraceEvent::MonitorAlarm { .. } | TraceEvent::TailBudgetAlarm { .. }
+            ) {
                 continue;
             }
             for event in self.observe(r.stream, r.stop, &r.event) {
@@ -987,5 +1074,83 @@ mod tests {
     #[should_panic(expected = "window must be non-empty")]
     fn config_validation_rejects_empty_window() {
         let _ = MonitorConfig { window: 0, ..MonitorConfig::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "tail_delta must be a fraction")]
+    fn config_validation_rejects_zero_tail_delta() {
+        let _ = MonitorConfig { tail_delta: 0.0, ..MonitorConfig::default() }.validate();
+    }
+
+    #[test]
+    fn tail_budget_disabled_by_default() {
+        let m = Monitor::new(MonitorConfig { window: 4, ..MonitorConfig::default() });
+        for stop in 0..100u64 {
+            // Every stop wildly over any finite τ — but τ defaults to +∞.
+            let alarms = m.observe(2, stop, &cost_event(1.0, 50.0, 1.0));
+            assert!(alarms.is_empty(), "default config must never raise tail alarms");
+        }
+        assert_eq!(m.report().alarms_of("tail_budget"), 0);
+    }
+
+    #[test]
+    fn tail_budget_alarm_latches_and_rearms() {
+        let config = MonitorConfig {
+            window: 10,
+            tail_tau: 2.0,
+            tail_delta: 0.2,
+            tail_margin: 0.5,
+            ..MonitorConfig::default()
+        };
+        let m = Monitor::new(config);
+        let good = cost_event(1.0, 1.0, 1.0); // CR 1
+        let bad = cost_event(1.0, 5.0, 1.0); // CR 5 > τ
+        let mut stop = 0u64;
+        let mut drive = |event: &TraceEvent, n: usize, m: &Monitor| {
+            let mut fired = Vec::new();
+            for _ in 0..n {
+                fired.extend(m.observe(7, stop, event));
+                stop += 1;
+            }
+            fired
+        };
+        // Fill the window clean: no alarm.
+        assert!(drive(&good, 10, &m).is_empty());
+        // Push exceedances until the fraction crosses δ·(1+margin) = 0.3:
+        // 4/10 does it, and the alarm fires exactly once (latched).
+        let fired = drive(&bad, 10, &m);
+        assert_eq!(fired.len(), 1, "latched alarm must fire once, got {fired:?}");
+        match &fired[0] {
+            TraceEvent::TailBudgetAlarm { tau, delta, observed, exceeded, window_len } => {
+                assert_eq!(*tau, 2.0);
+                assert_eq!(*delta, 0.2);
+                assert_eq!(*window_len, 10);
+                assert_eq!(*exceeded, 4);
+                assert!((observed - 0.4).abs() < 1e-12);
+            }
+            other => panic!("wrong event {other:?}"),
+        }
+        // Recover: once the window is back at or under δ the latch
+        // re-arms, and a second burst fires again.
+        assert!(drive(&good, 10, &m).is_empty());
+        assert_eq!(drive(&bad, 10, &m).len(), 1, "re-armed detector must fire again");
+        assert_eq!(m.report().alarms_of("tail_budget"), 2);
+        // Replay of a trace containing the recorded alarms re-derives
+        // them instead of double-counting.
+        let records = vec![TraceRecord {
+            stream: 7,
+            stop: 0,
+            seq: 0,
+            event: TraceEvent::TailBudgetAlarm {
+                tau: 2.0,
+                delta: 0.2,
+                observed: 0.4,
+                exceeded: 4,
+                window_len: 10,
+            },
+        }];
+        let replayed = Monitor::new(config);
+        assert!(replayed.replay(&records).is_empty());
+        assert_eq!(replayed.report().total_alarms(), 0);
     }
 }

@@ -3,6 +3,7 @@
 use crate::json::{ParseError, Value};
 use crate::metrics::SUM_SCALE;
 use crate::monitor::{AlarmRecord, MonitorReport, StreamSummary};
+use crate::risk::RiskReport;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -148,6 +149,10 @@ pub struct RunReport {
     /// monitor enabled (`--monitor`). Absent ≠ empty: `None` omits the
     /// key entirely, so pre-monitor reports re-emit byte-identically.
     pub monitor: Option<MonitorReport>,
+    /// Realized-CR risk digests, present only when the run had the risk
+    /// plane enabled (`--risk`). Same absent ≠ empty contract as the
+    /// monitor section.
+    pub risk: Option<RiskReport>,
 }
 
 impl RunReport {
@@ -161,6 +166,7 @@ impl RunReport {
             wall_s,
             metrics,
             monitor: None,
+            risk: None,
         }
     }
 
@@ -175,6 +181,13 @@ impl RunReport {
     #[must_use]
     pub fn with_monitor(mut self, monitor: MonitorReport) -> Self {
         self.monitor = Some(monitor);
+        self
+    }
+
+    /// Attaches a risk report; returns `self` for chaining.
+    #[must_use]
+    pub fn with_risk(mut self, risk: RiskReport) -> Self {
+        self.risk = Some(risk);
         self
     }
 
@@ -242,6 +255,9 @@ impl RunReport {
         if let Some(monitor) = &self.monitor {
             obj.insert("monitor".to_string(), monitor_to_value(monitor));
         }
+        if let Some(risk) = &self.risk {
+            obj.insert("risk".to_string(), risk.to_value());
+        }
         Value::Obj(obj).to_string()
     }
 
@@ -307,7 +323,14 @@ impl RunReport {
             Some(v) => Some(monitor_from_value(v)?),
             None => None,
         };
-        Ok(Self { version, bin, meta, wall_s, metrics, monitor })
+        let risk = match obj.get("risk") {
+            Some(v) => Some(
+                RiskReport::from_value(v)
+                    .ok_or_else(|| ReportError::shape("risk", "risk report object"))?,
+            ),
+            None => None,
+        };
+        Ok(Self { version, bin, meta, wall_s, metrics, monitor, risk })
     }
 }
 
@@ -613,6 +636,42 @@ mod tests {
         // The monitor section is configuration-independent measurement
         // data: it must not perturb the config fingerprint.
         assert_eq!(report.config_fingerprint(), sample_report().config_fingerprint());
+    }
+
+    #[test]
+    fn risk_section_roundtrips_and_is_optional() {
+        use crate::risk::RiskHub;
+
+        // Without a risk section the key is absent entirely.
+        let plain = sample_report();
+        assert!(!plain.to_json().contains("\"risk\""));
+
+        let hub = RiskHub::new();
+        hub.record(11, 30.0, 28.0);
+        hub.record(11, 56.0, 28.0);
+        hub.record(42, 5.0, 0.0); // ∞ → overflow bucket, still pure-integer JSON
+        let report = sample_report().with_risk(hub.report());
+        let json = report.to_json();
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.to_json(), json, "re-emission must be byte-identical");
+        let back_risk = back.risk.unwrap();
+        assert_eq!(back_risk.fleet.count, 3);
+        assert_eq!(back_risk.vehicles.len(), 2);
+        // The serialized digests re-derive the fleet gauges bit-exactly.
+        let remerged = back_risk
+            .vehicles
+            .values()
+            .fold(crate::risk::SketchDigest::default(), |acc, d| acc.merge(d));
+        assert_eq!(remerged, back_risk.fleet);
+        assert_eq!(back_risk.fleet.cvar(0.5), hub.fleet_digest().cvar(0.5));
+
+        // The risk section is measurement data: fingerprint-inert.
+        assert_eq!(report.config_fingerprint(), sample_report().config_fingerprint());
+
+        // A malformed risk section is a typed error, not a silent None.
+        let bad = r#"{"version":1,"bin":"x","wall_s":0.0,"risk":{"nope":1}}"#;
+        assert!(RunReport::from_json(bad).is_err());
     }
 
     #[test]

@@ -28,6 +28,20 @@ use std::fmt::Write as _;
 /// lexicographically later raw name wins (deterministically).
 #[must_use]
 pub fn sanitize_name(name: &str) -> String {
+    sanitize_chars(name)
+}
+
+/// Series key for a counter/gauge name that may carry a label set
+/// (`base{label="value"}`): the base is sanitized, the label block is
+/// kept verbatim. A plain name sanitizes whole, exactly as before.
+fn series_key(name: &str) -> String {
+    match name.split_once('{') {
+        Some((base, labels)) => format!("{}{{{labels}", sanitize_chars(base)),
+        None => sanitize_chars(name),
+    }
+}
+
+fn sanitize_chars(name: &str) -> String {
     let mut out = String::with_capacity(name.len() + 1);
     for (i, c) in name.chars().enumerate() {
         if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
@@ -74,6 +88,11 @@ fn push_sample(out: &mut String, series: &str, value: &str, timestamp: Option<u6
 /// `le` order followed by `_sum` and `_count`, and the only timestamp
 /// that can appear is the integer `timestamp` the caller passes (stamped
 /// on every sample line) — this function never reads a clock.
+///
+/// Counter/gauge names may carry an inline label block
+/// (`fleet_cr_cvar{alpha="0.95"}`): the base name is sanitized, the
+/// label block passes through verbatim, and one `# TYPE` line covers
+/// the whole family.
 #[must_use]
 pub fn render(snapshot: &MetricsSnapshot, timestamp: Option<u64>) -> String {
     enum Series<'a> {
@@ -83,28 +102,41 @@ pub fn render(snapshot: &MetricsSnapshot, timestamp: Option<u64>) -> String {
     }
     let mut merged: BTreeMap<String, Series<'_>> = BTreeMap::new();
     for (name, v) in &snapshot.counters {
-        merged.insert(sanitize_name(name), Series::Counter(*v));
+        merged.insert(series_key(name), Series::Counter(*v));
     }
     for (name, v) in &snapshot.gauges {
-        merged.insert(sanitize_name(name), Series::Gauge(*v));
+        merged.insert(series_key(name), Series::Gauge(*v));
     }
     for (name, h) in &snapshot.histograms {
         merged.insert(sanitize_name(name), Series::Histogram(h));
     }
 
+    // Labeled series of one family (`base{...}`) sort adjacently (any
+    // key between `base{a}` and `base{b}` also starts with `base{`), so
+    // emitting a `# TYPE` only when the base name changes yields exactly
+    // one declaration per family — and byte-identical output to the old
+    // per-series emission for label-free snapshots.
     let mut out = String::new();
+    let mut last_base: Option<String> = None;
+    let mut declare = |out: &mut String, base: &str, kind: &str| {
+        if last_base.as_deref() != Some(base) {
+            let _ = writeln!(out, "# TYPE {base} {kind}");
+            last_base = Some(base.to_string());
+        }
+    };
     for (name, series) in &merged {
+        let base = name.split('{').next().unwrap_or(name);
         match series {
             Series::Counter(v) => {
-                let _ = writeln!(out, "# TYPE {name} counter");
+                declare(&mut out, base, "counter");
                 push_sample(&mut out, name, &v.to_string(), timestamp);
             }
             Series::Gauge(v) => {
-                let _ = writeln!(out, "# TYPE {name} gauge");
+                declare(&mut out, base, "gauge");
                 push_sample(&mut out, name, &fmt_value(*v), timestamp);
             }
             Series::Histogram(h) => {
-                let _ = writeln!(out, "# TYPE {name} histogram");
+                declare(&mut out, base, "histogram");
                 let mut cumulative: u64 = 0;
                 for (i, count) in h.counts.iter().enumerate() {
                     cumulative += count;
@@ -137,14 +169,16 @@ pub struct ScrapedHistogram {
 impl ScrapedHistogram {
     /// Estimates the `q`-quantile (`q` in `[0, 1]`) by linear
     /// interpolation inside the bucket containing the target rank —
-    /// the classic `histogram_quantile` estimate. Returns `0.0` for an
-    /// empty histogram; a rank landing in the `+Inf` bucket returns the
-    /// last finite bound (there is nothing to interpolate toward).
+    /// the classic `histogram_quantile` estimate. Returns `None` for an
+    /// empty histogram (a `0.0` here used to masquerade as a real
+    /// zero-latency sample — consoles render `-` instead); a rank
+    /// landing in the `+Inf` bucket returns the last finite bound
+    /// (there is nothing to interpolate toward).
     #[must_use]
-    pub fn quantile(&self, q: f64) -> f64 {
+    pub fn quantile(&self, q: f64) -> Option<f64> {
         let total = self.cumulative.last().copied().unwrap_or(0.0);
         if total <= 0.0 {
-            return 0.0;
+            return None;
         }
         let rank = (q.clamp(0.0, 1.0) * total).max(1.0);
         let mut prev_cum = 0.0;
@@ -153,17 +187,17 @@ impl ScrapedHistogram {
                 let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
                 let upper = self.bounds[i];
                 if !upper.is_finite() {
-                    return lower;
+                    return Some(lower);
                 }
                 let in_bucket = cum - prev_cum;
                 if in_bucket <= 0.0 {
-                    return upper;
+                    return Some(upper);
                 }
-                return lower + (rank - prev_cum) / in_bucket * (upper - lower);
+                return Some(lower + (rank - prev_cum) / in_bucket * (upper - lower));
             }
             prev_cum = cum;
         }
-        self.bounds.iter().rev().find(|b| b.is_finite()).copied().unwrap_or(0.0)
+        self.bounds.iter().rev().find(|b| b.is_finite()).copied()
     }
 }
 
@@ -179,13 +213,16 @@ pub struct Scrape {
 }
 
 impl Scrape {
-    /// A gauge's value, if the page had one under `name`.
+    /// A gauge's value, if the page had one under `name`. Labeled
+    /// gauges are keyed by their full series string
+    /// (`fleet_cr_cvar{alpha="0.95"}`).
     #[must_use]
     pub fn gauge(&self, name: &str) -> Option<f64> {
         self.gauges.get(name).copied()
     }
 
-    /// A counter's value, if the page had one under `name`.
+    /// A counter's value, if the page had one under `name` (full series
+    /// string for labeled counters).
     #[must_use]
     pub fn counter(&self, name: &str) -> Option<f64> {
         self.counters.get(name).copied()
@@ -297,10 +334,13 @@ pub fn parse(text: &str) -> Result<Scrape, String> {
         }
         match types.get(name).map(String::as_str) {
             Some("counter") => {
-                scrape.counters.insert(name.to_string(), value);
+                // Keyed by the full series (labels included) so one
+                // family's rungs — `x_total{tau="2"}`, `x_total{tau="4"}`
+                // — stay distinct samples instead of clobbering.
+                scrape.counters.insert(series.to_string(), value);
             }
             Some("gauge") => {
-                scrape.gauges.insert(name.to_string(), value);
+                scrape.gauges.insert(series.to_string(), value);
             }
             Some(kind) => return Err(format!("sample {name:?} under unsupported TYPE {kind:?}")),
             None => return Err(format!("sample {name:?} without a TYPE declaration")),
@@ -403,9 +443,9 @@ queue_depth 2.5
         };
         // Ranks 1..=10 spread over (0,1]; the median rank 10 sits at the
         // top of the first bucket.
-        assert!((h.quantile(0.5) - 1.0).abs() < 1e-12);
+        assert!((h.quantile(0.5).unwrap() - 1.0).abs() < 1e-12);
         // p75 → rank 15, midway through (1, 2].
-        assert!((h.quantile(0.75) - 1.5).abs() < 1e-12);
+        assert!((h.quantile(0.75).unwrap() - 1.5).abs() < 1e-12);
         // A rank in +Inf territory clamps to the last finite bound.
         let top_heavy = ScrapedHistogram {
             bounds: vec![1.0, f64::INFINITY],
@@ -413,14 +453,42 @@ queue_depth 2.5
             sum: 0.0,
             count: 4.0,
         };
-        assert_eq!(top_heavy.quantile(0.99), 1.0);
-        // Empty histogram.
+        assert_eq!(top_heavy.quantile(0.99), Some(1.0));
+        // An empty histogram has no quantiles — None, not a fake 0.
         let empty = ScrapedHistogram {
             bounds: vec![1.0, f64::INFINITY],
             cumulative: vec![0.0, 0.0],
             sum: 0.0,
             count: 0.0,
         };
-        assert_eq!(empty.quantile(0.5), 0.0);
+        assert_eq!(empty.quantile(0.5), None);
+    }
+
+    #[test]
+    fn labeled_series_share_one_type_and_parse_distinctly() {
+        let r = MetricsRegistry::new();
+        r.gauge("fleet_cr_cvar{alpha=\"0.95\"}").set(1.5);
+        r.gauge("fleet_cr_cvar{alpha=\"0.99\"}").set(2.25);
+        r.gauge("fleet_cr_quantile{q=\"0.5\"}").set(1.0);
+        r.counter("fleet_cr_exceed_total{tau=\"2.0\"}").add(7);
+        r.counter("fleet_cr_exceed_total{tau=\"4.0\"}").add(2);
+        r.counter("fleet_cr_samples_total").add(100);
+        let text = render(&r.snapshot(), None);
+        // One TYPE per family, rungs as separate samples.
+        assert_eq!(text.matches("# TYPE fleet_cr_cvar gauge").count(), 1);
+        assert_eq!(text.matches("# TYPE fleet_cr_exceed_total counter").count(), 1);
+        assert!(text.contains("fleet_cr_cvar{alpha=\"0.95\"} 1.5\n"));
+        assert!(text.contains("fleet_cr_cvar{alpha=\"0.99\"} 2.25\n"));
+        // Deterministic and parseable; samples keyed by full series.
+        assert_eq!(text, render(&r.snapshot(), None));
+        let scrape = parse(&text).unwrap();
+        assert_eq!(scrape.gauge("fleet_cr_cvar{alpha=\"0.95\"}"), Some(1.5));
+        assert_eq!(scrape.gauge("fleet_cr_cvar{alpha=\"0.99\"}"), Some(2.25));
+        assert_eq!(scrape.counter("fleet_cr_exceed_total{tau=\"2.0\"}"), Some(7.0));
+        assert_eq!(scrape.counter("fleet_cr_exceed_total{tau=\"4.0\"}"), Some(2.0));
+        assert_eq!(scrape.counter("fleet_cr_samples_total"), Some(100.0));
+        // Duplicate labeled series are still rejected.
+        let dup = "# TYPE g gauge\ng{a=\"1\"} 1\ng{a=\"1\"} 2\n";
+        assert!(parse(dup).unwrap_err().contains("duplicate series"));
     }
 }

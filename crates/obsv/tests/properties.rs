@@ -2,9 +2,10 @@
 //! perf gate and the report pipeline rely on — and for the decision-trace
 //! JSONL encoding, which `trace_diff` requires to be byte-canonical.
 
+use obsv::risk::{bucket_bound, bucket_index, CrSketch, TAU_LADDER};
 use obsv::{
     AlarmRecord, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, Monitor, MonitorConfig,
-    MonitorReport, PageHinkley, RunReport, StreamSummary, TraceEvent, TraceRecord,
+    MonitorReport, PageHinkley, RunReport, SketchDigest, StreamSummary, TraceEvent, TraceRecord,
 };
 use proptest::prelude::*;
 
@@ -22,6 +23,25 @@ fn hist_of(values: &[f64]) -> HistogramSnapshot {
 
 fn values() -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(0.0f64..5000.0, 0..60)
+}
+
+/// Realized-CR samples: CRs never fall below 1; the upper end runs past
+/// the sketch's last finite bound (4096) to exercise the overflow path.
+fn crs() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(1.0f64..5000.0, 0..80)
+}
+
+/// Digest of a fresh sketch fed `values` (plus `infs` infinite CRs —
+/// the `x/0 → ∞` convention's overflow-bucket samples).
+fn digest_of(values: &[f64], infs: usize) -> SketchDigest {
+    let s = CrSketch::new();
+    for &v in values {
+        s.record_cr(v);
+    }
+    for _ in 0..infs {
+        s.record_cr(f64::INFINITY);
+    }
+    s.digest()
 }
 
 /// An arbitrary trace record: `kind` selects the variant, the float /
@@ -280,6 +300,98 @@ proptest! {
         prop_assert_eq!(s.windowed_offline_s.to_bits(), offline.to_bits());
         prop_assert_eq!(s.windowed_cr().to_bits(), expected_cr.to_bits());
         prop_assert_eq!(s.stops, costs.len() as u64);
+    }
+
+    /// Risk-sketch merging is exactly associative and commutative, and a
+    /// merged digest equals the digest of the concatenated sample — the
+    /// algebra that makes the fleet CVaR ledger independent of sharding
+    /// and merge order.
+    #[test]
+    fn risk_digest_merge_associative_commutative(
+        a in crs(),
+        b in crs(),
+        c in crs(),
+        infs in 0usize..3,
+    ) {
+        let da = digest_of(&a, infs);
+        let db = digest_of(&b, 0);
+        let dc = digest_of(&c, 0);
+        let ab = da.merge(&db);
+        let ba = db.merge(&da);
+        prop_assert_eq!(&ab, &ba);
+        let ab_c = ab.merge(&dc);
+        let a_bc = da.merge(&db.merge(&dc));
+        prop_assert_eq!(&ab_c, &a_bc);
+        prop_assert_eq!(ab_c.count, (a.len() + b.len() + c.len() + infs) as u64);
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        both.extend_from_slice(&c);
+        prop_assert_eq!(ab_c, digest_of(&both, infs));
+    }
+
+    /// Every digest query agrees with a brute-force oracle over the
+    /// sorted vector of per-sample bucket bounds: quantile is the
+    /// rank-`⌈q·n⌉` element, CVaR is the grouped descending mean of the
+    /// worst `⌈(1−α)·n⌉` bounds, and exceedance at a ladder rung counts
+    /// the *raw* samples above it exactly (the rungs are exact bounds).
+    /// All comparisons are on bits, not within an epsilon.
+    #[test]
+    fn risk_digest_queries_match_sorted_oracle(
+        values in crs(),
+        infs in 0usize..3,
+        q in 0.0f64..1.0,
+        alpha in 0.5f64..1.0,
+    ) {
+        let d = digest_of(&values, infs);
+        let n = (values.len() + infs) as u64;
+        prop_assert_eq!(d.count, n);
+        if n == 0 {
+            prop_assert_eq!(d.quantile(q), None);
+            prop_assert_eq!(d.cvar(alpha), None);
+            return Ok(());
+        }
+        let mut bounds: Vec<f64> =
+            values.iter().map(|&v| bucket_bound(bucket_index(v))).collect();
+        bounds.extend(std::iter::repeat(f64::INFINITY).take(infs));
+        bounds.sort_by(f64::total_cmp);
+
+        // Quantile: the rank-⌈q·n⌉ order statistic of the bound vector.
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let expected_q = bounds[(rank - 1) as usize];
+        prop_assert_eq!(d.quantile(q).unwrap().to_bits(), expected_q.to_bits());
+
+        // CVaR: mean of the worst k bounds, summed as `bound × count`
+        // per distinct bound in descending order — the digest's own
+        // association, so the floats must agree bit for bit.
+        let k = (((1.0 - alpha) * n as f64).ceil() as u64).clamp(1, n);
+        let tail = &bounds[bounds.len() - k as usize..];
+        let expected_cvar = if tail.iter().any(|b| b.is_infinite()) {
+            f64::INFINITY
+        } else {
+            let mut sum = 0.0f64;
+            let mut i = tail.len();
+            while i > 0 {
+                let bound = tail[i - 1];
+                let mut j = i;
+                while j > 0 && tail[j - 1] == bound {
+                    j -= 1;
+                }
+                sum += bound * (i - j) as f64;
+                i = j;
+            }
+            sum / k as f64
+        };
+        prop_assert_eq!(d.cvar(alpha).unwrap().to_bits(), expected_cvar.to_bits());
+
+        // Exceedance at every ladder rung is exact over raw samples —
+        // not bucket-resolution-approximate — because each rung is an
+        // exact bucket bound.
+        for tau in TAU_LADDER {
+            let expected = values.iter().filter(|&&v| v > tau).count() + infs;
+            prop_assert_eq!(d.exceed_count(tau), expected as u64);
+            let expected_rate = expected as f64 / n as f64;
+            prop_assert_eq!(d.exceed_rate(tau).to_bits(), expected_rate.to_bits());
+        }
     }
 
     /// A run report carrying a monitor section round-trips through the

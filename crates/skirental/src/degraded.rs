@@ -658,6 +658,7 @@ impl DegradedController {
                     restarted: !x.is_infinite() && y >= x,
                 });
             }
+            obsv::risk::record_current(cost, off);
             self.observe(reading);
         }
         let cr = realized_cr(online, offline);

@@ -464,6 +464,7 @@ impl AdaptiveController {
                     restarted: !x.is_infinite() && y >= x,
                 });
             }
+            obsv::risk::record_current(cost, off);
             self.observe(y);
         }
         let cr = realized_cr(online, offline);

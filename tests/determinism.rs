@@ -5,6 +5,7 @@
 //! exactly on any machine.
 
 use automotive_idling::drivesim::{Area, FleetConfig, VehicleTrace};
+use automotive_idling::fleetstate;
 use automotive_idling::skirental::analysis::bootstrap_cr_ci_parallel;
 use automotive_idling::skirental::batch::{run_fleet_batch, run_fleet_scalar, BatchConfig};
 use automotive_idling::skirental::estimator::AdaptiveController;
@@ -14,8 +15,14 @@ use automotive_idling::skirental::policy::Det;
 use automotive_idling::skirental::{BreakEven, Strategy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::{Mutex, PoisonError};
 
 const THREADS: [usize; 5] = [1, 2, 4, 7, 64];
+
+/// Serializes the tests that drive process-wide observability state
+/// (the global tracer and the global risk hub): an enabled hub would
+/// otherwise record stops from a concurrently running test thread.
+static PROCESS_WIDE: Mutex<()> = Mutex::new(());
 
 #[test]
 fn fleet_eval_bit_identical_across_thread_counts() {
@@ -81,6 +88,7 @@ fn batch_engine_bit_identical_across_thread_counts() {
 /// per-stop call sites, so nothing else records into it.
 #[test]
 fn decision_traces_bit_identical_across_thread_counts() {
+    let _guard = PROCESS_WIDE.lock().unwrap_or_else(PoisonError::into_inner);
     let traces = FleetConfig::new(Area::Chicago).vehicles(8).synthesize(77);
     let vehicles: Vec<Vec<f64>> = traces.iter().map(VehicleTrace::stop_lengths).collect();
     let b = BreakEven::SSV;
@@ -113,4 +121,84 @@ fn decision_traces_bit_identical_across_thread_counts() {
     // And the reference parses back into as many records as it has lines.
     let parsed = obsv::event::parse_jsonl(&reference).unwrap();
     assert_eq!(parsed.len(), reference.lines().count());
+}
+
+/// The serialized risk report of a sharded fleet run is **byte**
+/// identical for any worker-thread count: sketch buckets are integer
+/// counts keyed by lane, so sharding cannot move a sample, and the
+/// report walks vehicles in sorted stream order. The fleet digest —
+/// hence every published CVaR / quantile / exceedance gauge — also
+/// re-derives bit-exactly from the per-vehicle digests of the
+/// round-tripped JSON, which is the offline-audit contract.
+#[test]
+fn risk_reports_bit_identical_across_thread_counts() {
+    let _guard = PROCESS_WIDE.lock().unwrap_or_else(PoisonError::into_inner);
+    let lanes = 23usize;
+    let steps = 200usize;
+    let mut rng = StdRng::seed_from_u64(20_140_601);
+    let rows: Vec<Vec<f64>> = (0..steps)
+        .map(|_| {
+            (0..lanes)
+                .map(|_| 1.0 + 180.0 * automotive_idling::stopmodel::uniform01(&mut rng))
+                .collect()
+        })
+        .collect();
+    let config = fleetstate::FleetConfig {
+        lanes,
+        break_even: 28.0,
+        window: Some(50),
+        min_history: 3,
+        seed: 7,
+        trace_stream_base: 9_000,
+    };
+    let hub = obsv::risk::global();
+
+    let report_with = |threads: usize| -> obsv::RiskReport {
+        hub.reset();
+        hub.enable();
+        let mut runner = fleetstate::FleetRunner::new(&config, threads).unwrap();
+        for block in rows.chunks(64) {
+            runner.run_block(block, false).unwrap();
+        }
+        hub.disable();
+        hub.report()
+    };
+
+    let reference = report_with(1);
+    let reference_json = reference.to_value().to_string();
+    assert_eq!(reference.vehicles.len(), lanes, "every lane must have a sketch");
+    assert_eq!(reference.fleet.count, (lanes * steps) as u64);
+    for threads in [2, 8] {
+        let report = report_with(threads);
+        assert_eq!(report, reference, "risk report drifted at {threads} threads");
+        assert_eq!(
+            report.to_value().to_string(),
+            reference_json,
+            "risk report bytes drifted at {threads} threads"
+        );
+    }
+    hub.reset();
+
+    // Offline audit: parse the serialized report back, re-merge the
+    // vehicle digests, and re-derive every gauge — bit-for-bit equal to
+    // the live values, including the fleet CVaR ledger.
+    let parsed =
+        obsv::RiskReport::from_value(&obsv::json::Value::parse(&reference_json).unwrap()).unwrap();
+    assert_eq!(parsed, reference);
+    let remerged =
+        parsed.vehicles.values().fold(obsv::SketchDigest::default(), |acc, d| acc.merge(d));
+    assert_eq!(remerged, reference.fleet, "fleet digest must equal the vehicle merge");
+    for alpha in [0.95, 0.99] {
+        let live = reference.fleet.cvar(alpha).unwrap();
+        let offline = remerged.cvar(alpha).unwrap();
+        assert_eq!(offline.to_bits(), live.to_bits(), "cvar({alpha}) drifted offline");
+    }
+    for q in [0.5, 0.9, 0.99] {
+        let live = reference.fleet.quantile(q).unwrap();
+        let offline = remerged.quantile(q).unwrap();
+        assert_eq!(offline.to_bits(), live.to_bits(), "quantile({q}) drifted offline");
+    }
+    for tau in obsv::risk::TAU_LADDER {
+        assert_eq!(remerged.exceed_count(tau), reference.fleet.exceed_count(tau));
+    }
 }

@@ -5,22 +5,32 @@
 //! must re-derive exactly the same alarms, and the windowed realized-CR
 //! ledger must match an offline recomputation bit for bit.
 //!
-//! Everything lives in one `#[test]` because the tracer and monitor are
-//! process-wide: parallel test threads would interleave their streams.
+//! The tail-budget detector gets the same treatment: a drift run whose
+//! frozen estimator drives the windowed exceedance rate `P(CR > τ)`
+//! over budget must latch a `tail_budget` alarm inside the injected
+//! window, and a fresh monitor replaying the trace must re-derive it
+//! record for record.
+//!
+//! The tracer and monitor are process-wide, so the tests serialize on
+//! one mutex: parallel test threads would interleave their streams.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use skirental::estimator::{realized_cr, AdaptiveController};
 use skirental::BreakEven;
 use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
 
 const STOPS: usize = 3000;
 const SHIFT: std::ops::Range<usize> = 1000..2000;
 const FREEZE: std::ops::Range<usize> = 1150..2150;
 const STREAM: u64 = 9;
 
+static PROCESS_WIDE: Mutex<()> = Mutex::new(());
+
 #[test]
 fn drift_run_alarms_in_window_replays_identically_and_ledger_is_bit_exact() {
+    let _guard = PROCESS_WIDE.lock().unwrap_or_else(PoisonError::into_inner);
     let tracer = obsv::tracer::global();
     tracer.clear();
     // One stream lands in one shard; ~4 events per stop needs more than
@@ -120,4 +130,106 @@ fn drift_run_alarms_in_window_replays_identically_and_ledger_is_bit_exact() {
     assert_eq!(s.windowed_online_s.to_bits(), online.to_bits());
     assert_eq!(s.windowed_offline_s.to_bits(), offline.to_bits());
     assert_eq!(s.windowed_cr().to_bits(), realized_cr(online, offline).to_bits());
+}
+
+/// With the tail budget armed (`τ = 2`, `δ = 0.1`), the same
+/// drift-plus-freeze run pushes the windowed exceedance rate
+/// `P(CR > τ)` over `δ·(1 + margin)` and latches a `tail_budget` alarm
+/// inside the injected window; the alarm lands in the trace, and a
+/// fresh monitor replaying that trace re-derives the identical alarm
+/// records — the offline audit path for the risk plane.
+#[test]
+fn tail_budget_alarm_fires_in_window_and_replays_bit_exact() {
+    let _guard = PROCESS_WIDE.lock().unwrap_or_else(PoisonError::into_inner);
+    let monitor = obsv::monitor::global();
+    let base = monitor.config();
+    let config = obsv::MonitorConfig { tail_tau: 2.0, tail_delta: 0.1, ..base };
+    monitor.set_config(config);
+    monitor.reset();
+    monitor.enable();
+
+    let tracer = obsv::tracer::global();
+    tracer.clear();
+    tracer.set_capacity(32 * 1024);
+    tracer.enable();
+
+    let b = BreakEven::SSV;
+    let mut dist_rng = StdRng::seed_from_u64(411);
+    let mut policy_rng = StdRng::seed_from_u64(412);
+    let mut ctl = AdaptiveController::with_window(b, 50);
+    obsv::tracer::set_stream(STREAM);
+    for i in 0..STOPS {
+        obsv::tracer::begin_stop(i as u64);
+        let u = stopmodel::uniform01(&mut dist_rng);
+        let y = if SHIFT.contains(&i) { 10.0 + 8.0 * u } else { 2.0 + 6.0 * u };
+        let observed = if FREEZE.contains(&i) && i % 12 < 10 { 900.0 } else { y };
+        let x = ctl.decide(&mut policy_rng);
+        let online = if x.is_infinite() { y } else { b.online_cost(x, y) };
+        let offline = b.offline_cost(y);
+        obsv::tracer::emit(obsv::TraceEvent::StopCost {
+            threshold_b: x,
+            stop_s: y,
+            online_s: online,
+            offline_s: offline,
+            restarted: !x.is_infinite() && y >= x,
+        });
+        let _ = ctl.try_observe(observed);
+    }
+
+    let records = tracer.drain_sorted();
+    assert_eq!(tracer.dropped(), 0, "trace must be complete for replay to be exact");
+    tracer.disable();
+    tracer.set_capacity(obsv::tracer::DEFAULT_SHARD_CAPACITY);
+    let report = monitor.report();
+    monitor.disable();
+    monitor.reset();
+    monitor.set_config(base);
+
+    // The budget breach latches inside the injected drift window.
+    let s = &report.streams[&STREAM];
+    let tail: Vec<_> = s.alarms.iter().filter(|a| a.alarm == "tail_budget").collect();
+    assert!(!tail.is_empty(), "no tail_budget alarm raised: {:?}", s.alarms);
+    let in_window = |stop: u64| (SHIFT.start as u64..SHIFT.end as u64).contains(&stop);
+    assert!(
+        tail.iter().any(|a| in_window(a.stop)),
+        "no tail_budget alarm inside the injected window: {tail:?}"
+    );
+    // Latching: breaches arrive as discrete alarms, not one per stop.
+    assert!(
+        tail.len() < 20,
+        "alarm did not latch — {} tail_budget alarms for one injected episode",
+        tail.len()
+    );
+    for a in &tail {
+        assert!(a.observed > a.limit, "alarm below its own limit: {a:?}");
+        assert!(a.limit >= config.tail_delta, "limit must include the re-arm margin");
+    }
+
+    // The alarms landed in the trace — tail breaches as dedicated
+    // `tail_budget_alarm` records — and a fresh monitor fed the recorded
+    // trace derives the identical alarm set, event for event.
+    let recorded: Vec<&obsv::TraceRecord> = records
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.event,
+                obsv::TraceEvent::MonitorAlarm { .. } | obsv::TraceEvent::TailBudgetAlarm { .. }
+            )
+        })
+        .collect();
+    assert!(
+        recorded.iter().any(|r| matches!(r.event, obsv::TraceEvent::TailBudgetAlarm { .. })),
+        "no tail_budget_alarm record in the trace"
+    );
+    assert_eq!(recorded.len(), s.alarms.len(), "trace and report disagree on alarm count");
+    let fresh = obsv::Monitor::new(config);
+    let derived = fresh.replay(&records);
+    assert_eq!(derived.len(), recorded.len(), "replay derived a different alarm set");
+    for (d, r) in derived.iter().zip(&recorded) {
+        assert_eq!(d.stream, r.stream);
+        assert_eq!(d.stop, r.stop);
+        assert_eq!(d.event, r.event, "replayed alarm differs from the recorded one");
+    }
+    assert_eq!(fresh.report().streams[&STREAM].alarms, s.alarms);
+    tracer.clear();
 }
